@@ -1,0 +1,79 @@
+// A2 — Replication apply batching: the incremental-update pipeline applies
+// captured changes in batches; this ablation sweeps the batch size to show
+// the per-batch overhead amortization (each batch pays one boundary round
+// trip and one replication transaction).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace idaa::bench {
+namespace {
+
+struct ApplyRun {
+  double millis = 0;
+  uint64_t batches = 0;
+  uint64_t round_trips = 0;
+};
+
+ApplyRun RunApply(size_t changes, size_t batch_size) {
+  SystemOptions options;
+  options.replication_batch_size = 0;  // manual flush
+  IdaaSystem system(options);
+  Must(system, "CREATE TABLE t (id INT NOT NULL, v DOUBLE)");
+  Must(system, "CALL SYSPROC.ACCEL_ADD_TABLES('t')");
+
+  // Produce the change stream: inserts plus some updates/deletes.
+  Must(system, "BEGIN");
+  for (size_t i = 0; i < changes; ++i) {
+    Must(system, StrFormat("INSERT INTO t VALUES (%zu, %zu.5)", i, i));
+  }
+  Must(system, "COMMIT");
+  system.replication().set_batch_size(batch_size);
+
+  MetricsDelta delta(system.metrics());
+  WallTimer timer;
+  auto stats = system.replication().Flush();
+  if (!stats.ok()) std::exit(1);
+  ApplyRun run;
+  run.millis = timer.Millis();
+  run.batches = delta.Delta(metric::kReplicationBatches);
+  run.round_trips = delta.Delta(metric::kFederationRoundTrips);
+  return run;
+}
+
+void PrintTable() {
+  PrintHeader("A2: replication apply batch size",
+              "Claim: batching amortizes the per-apply round trip; tiny "
+              "batches pay per-change overhead.");
+  std::printf("%9s %10s | %12s %9s %12s %14s\n", "changes", "batch",
+              "apply ms", "batches", "round trips", "changes/ms");
+  const size_t kChanges = 8000;
+  for (size_t batch : {1u, 16u, 128u, 1024u, 8192u}) {
+    ApplyRun run = RunApply(kChanges, batch);
+    std::printf("%9zu %10zu | %12.1f %9llu %12llu %14.1f\n", kChanges, batch,
+                run.millis, (unsigned long long)run.batches,
+                (unsigned long long)run.round_trips,
+                kChanges / std::max(0.001, run.millis));
+  }
+}
+
+void BM_ReplicationApply(benchmark::State& state) {
+  for (auto _ : state) {
+    ApplyRun run = RunApply(2000, static_cast<size_t>(state.range(0)));
+    state.counters["batches"] = static_cast<double>(run.batches);
+  }
+}
+
+BENCHMARK(BM_ReplicationApply)->Arg(16)->Arg(1024)
+    ->Unit(benchmark::kMillisecond)->Iterations(2);
+
+}  // namespace
+}  // namespace idaa::bench
+
+int main(int argc, char** argv) {
+  idaa::bench::PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,115 @@
+// E3 — IDAA Loader ingestion: loading external data directly into an
+// accelerator-only table vs. the legacy route (DB2 insert + incremental
+// re-replication to the accelerator). Sweeps row count and batch size.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "loader/record_source.h"
+
+namespace idaa::bench {
+namespace {
+
+Schema FeedSchema() {
+  return Schema({{"ID", DataType::kInteger, false},
+                 {"USERNAME", DataType::kVarchar, true},
+                 {"SENTIMENT", DataType::kDouble, true}});
+}
+
+loader::GeneratorSource MakeFeed(size_t rows, Rng* rng) {
+  return loader::GeneratorSource(FeedSchema(), rows, [rng](size_t i) {
+    return Row{Value::Integer(static_cast<int64_t>(i)),
+               Value::Varchar("user_" + std::to_string(rng->Uniform(1, 999))),
+               Value::Double(rng->UniformDouble(-1, 1))};
+  });
+}
+
+struct IngestStats {
+  double millis = 0;
+  uint64_t boundary_bytes = 0;
+  uint64_t db2_rows = 0;
+};
+
+/// direct=true: AOT target (loader -> accelerator).
+/// direct=false: accelerated DB2 table (loader -> DB2 -> replication).
+IngestStats RunIngest(size_t rows, size_t batch_size, bool direct) {
+  IdaaSystem system;
+  if (direct) {
+    Must(system, "CREATE TABLE feed (id INT NOT NULL, username VARCHAR, "
+                 "sentiment DOUBLE) IN ACCELERATOR");
+  } else {
+    Must(system, "CREATE TABLE feed (id INT NOT NULL, username VARCHAR, "
+                 "sentiment DOUBLE)");
+    Must(system, "CALL SYSPROC.ACCEL_ADD_TABLES('feed')");
+  }
+  Rng rng(5);
+  auto feed = MakeFeed(rows, &rng);
+  loader::LoadOptions options;
+  options.batch_size = batch_size;
+
+  MetricsDelta delta(system.metrics());
+  WallTimer timer;
+  auto report = system.loader().Load("feed", &feed, options);
+  if (!report.ok()) std::exit(1);
+  if (!direct) {
+    // The replica only converges once incremental update ran.
+    auto flushed = system.replication().Flush();
+    if (!flushed.ok()) std::exit(1);
+  }
+  IngestStats stats;
+  stats.millis = timer.Millis();
+  stats.boundary_bytes = delta.Delta(metric::kFederationBytesToAccel) +
+                         delta.Delta(metric::kFederationBytesFromAccel);
+  stats.db2_rows = delta.Delta(metric::kDb2RowsMaterialized);
+  return stats;
+}
+
+void PrintTable() {
+  PrintHeader("E3: external data ingestion (IDAA Loader)",
+              "Claim: loading external feeds directly into AOTs avoids the "
+              "DB2 write\npath and the re-replication pass entirely.");
+  std::printf("%8s %7s | %12s %10s | %12s %10s | %9s\n", "rows", "batch",
+              "via-db2 ms", "db2 rows", "direct ms", "db2 rows", "speedup");
+  for (size_t rows : {10000u, 50000u}) {
+    for (size_t batch : {256u, 2048u, 8192u}) {
+      IngestStats via_db2 = RunIngest(rows, batch, /*direct=*/false);
+      IngestStats direct = RunIngest(rows, batch, /*direct=*/true);
+      std::printf("%8zu %7zu | %12.1f %10llu | %12.1f %10llu | %8.2fx\n",
+                  rows, batch, via_db2.millis,
+                  (unsigned long long)via_db2.db2_rows, direct.millis,
+                  (unsigned long long)direct.db2_rows,
+                  via_db2.millis / direct.millis);
+    }
+  }
+}
+
+void BM_LoaderDirect(benchmark::State& state) {
+  for (auto _ : state) {
+    IngestStats stats = RunIngest(static_cast<size_t>(state.range(0)),
+                                  2048, /*direct=*/true);
+    state.counters["db2_rows"] = static_cast<double>(stats.db2_rows);
+  }
+}
+
+void BM_LoaderViaDb2(benchmark::State& state) {
+  for (auto _ : state) {
+    IngestStats stats = RunIngest(static_cast<size_t>(state.range(0)),
+                                  2048, /*direct=*/false);
+    state.counters["db2_rows"] = static_cast<double>(stats.db2_rows);
+  }
+}
+
+BENCHMARK(BM_LoaderDirect)->Arg(20000)->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+BENCHMARK(BM_LoaderViaDb2)->Arg(20000)->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+}  // namespace
+}  // namespace idaa::bench
+
+int main(int argc, char** argv) {
+  idaa::bench::PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

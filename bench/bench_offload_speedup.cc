@@ -1,0 +1,106 @@
+// E2 — Query offload: analytical queries on the accelerator's columnar,
+// zone-map-pruned engine vs. DB2's row-at-a-time volcano engine ("extremely
+// fast execution of complex, analytical queries"), plus the crossover for
+// short transactional lookups that the ENABLE-mode heuristic protects.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace idaa::bench {
+namespace {
+
+struct QueryDef {
+  const char* name;
+  const char* sql;
+};
+
+const QueryDef kQueries[] = {
+    {"Q1 full scan agg",
+     "SELECT COUNT(*), SUM(amount), AVG(amount) FROM orders"},
+    {"Q2 selective filter",
+     "SELECT COUNT(*) FROM orders WHERE id BETWEEN 1000 AND 1100"},
+    {"Q3 group by region",
+     "SELECT region, COUNT(*), SUM(amount) FROM orders GROUP BY region"},
+    {"Q4 join + group",
+     "SELECT c.tier, COUNT(*), SUM(o.amount) FROM orders o "
+     "JOIN customers c ON o.cust = c.cid GROUP BY c.tier"},
+    {"Q5 point lookup", "SELECT amount FROM orders WHERE id = 77"},
+};
+
+double TimeQuery(IdaaSystem& system, const std::string& sql,
+                 federation::AccelerationMode mode, int reps) {
+  system.SetAccelerationMode(mode);
+  // Warm up once.
+  auto warm = system.ExecuteSql(sql);
+  if (!warm.ok()) {
+    std::cerr << "query failed: " << sql << ": " << warm.status() << "\n";
+    std::exit(1);
+  }
+  WallTimer timer;
+  for (int i = 0; i < reps; ++i) {
+    auto r = system.ExecuteSql(sql);
+    if (!r.ok()) std::exit(1);
+  }
+  return timer.Millis() / reps;
+}
+
+void PrintTable() {
+  PrintHeader("E2: analytical query offload speedup",
+              "Claim: the accelerator wins on analytical shapes (scans, "
+              "grouping, joins);\nshort point lookups are better off in "
+              "DB2 (the ENABLE heuristic's crossover).");
+  for (size_t rows : {20000u, 100000u, 400000u}) {
+    IdaaSystem system;
+    SeedOrders(system, rows, /*accelerate=*/true);
+    SeedCustomers(system, 1000, /*accelerate=*/true);
+    std::printf("rows = %zu\n", rows);
+    std::printf("  %-22s %12s %12s %9s\n", "query", "db2 ms", "accel ms",
+                "speedup");
+    for (const QueryDef& q : kQueries) {
+      int reps = rows > 100000 ? 3 : 5;
+      double db2 = TimeQuery(system, q.sql,
+                             federation::AccelerationMode::kNone, reps);
+      double accel = TimeQuery(
+          system, q.sql, federation::AccelerationMode::kEligible, reps);
+      std::printf("  %-22s %12.3f %12.3f %8.2fx\n", q.name, db2, accel,
+                  db2 / accel);
+    }
+    std::printf("\n");
+  }
+}
+
+void BM_OffloadQuery(benchmark::State& state) {
+  static IdaaSystem* system = [] {
+    auto* s = new IdaaSystem();
+    SeedOrders(*s, 100000, true);
+    SeedCustomers(*s, 1000, true);
+    return s;
+  }();
+  const QueryDef& q = kQueries[state.range(0)];
+  auto mode = state.range(1) ? federation::AccelerationMode::kEligible
+                             : federation::AccelerationMode::kNone;
+  system->SetAccelerationMode(mode);
+  for (auto _ : state) {
+    auto r = system->ExecuteSql(q.sql);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(std::string(q.name) + (state.range(1) ? " accel" : " db2"));
+}
+
+BENCHMARK(BM_OffloadQuery)
+    ->Args({0, 0})->Args({0, 1})
+    ->Args({2, 0})->Args({2, 1})
+    ->Args({3, 0})->Args({3, 1})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace idaa::bench
+
+int main(int argc, char** argv) {
+  idaa::bench::PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Shared helpers for the experiment benchmarks (see DESIGN.md §4 and
+// EXPERIMENTS.md). Each bench binary prints its experiment table(s) —
+// the reproduction of the paper's claims — and then runs google-benchmark
+// micro timings.
+
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "idaa/system.h"
+
+namespace idaa::bench {
+
+inline void Must(IdaaSystem& system, const std::string& sql) {
+  auto r = system.ExecuteSql(sql);
+  if (!r.ok()) {
+    std::cerr << "bench setup failed: " << sql << "\n  " << r.status() << "\n";
+    std::exit(1);
+  }
+}
+
+/// Bulk-load `rows` synthetic order rows into a DB2 table via the loader
+/// (much faster than per-row INSERT) and optionally accelerate it.
+inline void SeedOrders(IdaaSystem& system, size_t rows, bool accelerate,
+                       const std::string& table = "orders") {
+  Must(system, "CREATE TABLE " + table +
+                   " (id INT NOT NULL, cust INT, amount DOUBLE, "
+                   "region VARCHAR, qty INT)");
+  Schema schema({{"ID", DataType::kInteger, false},
+                 {"CUST", DataType::kInteger, true},
+                 {"AMOUNT", DataType::kDouble, true},
+                 {"REGION", DataType::kVarchar, true},
+                 {"QTY", DataType::kInteger, true}});
+  static const char* kRegions[] = {"NORTH", "SOUTH", "EAST", "WEST"};
+  Rng rng(42);
+  loader::GeneratorSource source(schema, rows, [&rng](size_t i) {
+    return Row{Value::Integer(static_cast<int64_t>(i)),
+               Value::Integer(rng.Uniform(0, 999)),
+               Value::Double(rng.UniformDouble(0, 1000)),
+               Value::Varchar(kRegions[rng.Uniform(0, 3)]),
+               Value::Integer(rng.Uniform(1, 50))};
+  });
+  loader::LoadOptions options;
+  options.batch_size = 8192;
+  auto report = system.loader().Load(table, &source, options);
+  if (!report.ok()) {
+    std::cerr << "bench seed failed: " << report.status() << "\n";
+    std::exit(1);
+  }
+  if (accelerate) {
+    Must(system, "CALL SYSPROC.ACCEL_ADD_TABLES('" + table + "')");
+  }
+}
+
+/// Seed a small dimension table (customers) on both sides.
+inline void SeedCustomers(IdaaSystem& system, size_t rows, bool accelerate) {
+  Must(system,
+       "CREATE TABLE customers (cid INT NOT NULL, tier VARCHAR, "
+       "score DOUBLE)");
+  Schema schema({{"CID", DataType::kInteger, false},
+                 {"TIER", DataType::kVarchar, true},
+                 {"SCORE", DataType::kDouble, true}});
+  static const char* kTiers[] = {"GOLD", "SILVER", "BRONZE"};
+  Rng rng(7);
+  loader::GeneratorSource source(schema, rows, [&rng](size_t i) {
+    return Row{Value::Integer(static_cast<int64_t>(i)),
+               Value::Varchar(kTiers[i % 3]),
+               Value::Double(rng.UniformDouble(0, 1))};
+  });
+  auto report = system.loader().Load("customers", &source);
+  if (!report.ok()) {
+    std::cerr << "bench seed failed: " << report.status() << "\n";
+    std::exit(1);
+  }
+  if (accelerate) {
+    Must(system, "CALL SYSPROC.ACCEL_ADD_TABLES('customers')");
+  }
+}
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double Millis() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void PrintHeader(const std::string& experiment,
+                        const std::string& claim) {
+  std::cout << "\n=== " << experiment << " ===\n" << claim << "\n\n";
+}
+
+}  // namespace idaa::bench

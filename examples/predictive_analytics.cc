@@ -1,0 +1,123 @@
+// Predictive-analytics example: an SPSS-style pipeline executed entirely
+// in-database on the accelerator — data preparation (impute, normalize),
+// clustering (k-means), then a regression per the discovered segments,
+// with every intermediate result held in accelerator-only tables and
+// governance enforced for a non-admin analyst user.
+//
+//   $ ./example_predictive_analytics
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "idaa/system.h"
+
+using idaa::IdaaSystem;
+using idaa::Rng;
+using idaa::StrFormat;
+
+namespace {
+
+void Must(IdaaSystem& system, const std::string& sql,
+          bool print_result = false) {
+  auto r = system.ExecuteSql(sql);
+  if (!r.ok()) {
+    std::cerr << "FAILED: " << sql << "\n  " << r.status() << "\n";
+    std::exit(1);
+  }
+  if (print_result && r->result_set.NumRows() > 0) {
+    std::cout << r->result_set.ToString() << "\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  IdaaSystem system;
+
+  // --- admin: land customer behaviour data and accelerate it --------------
+  Must(system, "CREATE TABLE customers (cid INT NOT NULL, visits DOUBLE, "
+               "basket DOUBLE, tenure DOUBLE)");
+  Rng rng(7);
+  for (int i = 0; i < 600; ++i) {
+    // Two behavioural segments + 5% missing visit counts.
+    bool loyal = i % 2 == 0;
+    double visits = loyal ? rng.Gaussian(40, 5) : rng.Gaussian(5, 2);
+    double basket = loyal ? rng.Gaussian(80, 10) : rng.Gaussian(25, 8);
+    double tenure = loyal ? rng.Gaussian(48, 12) : rng.Gaussian(8, 4);
+    std::string visits_text =
+        i % 20 == 19 ? "NULL" : StrFormat("%.2f", visits);
+    Must(system, StrFormat("INSERT INTO customers VALUES (%d, %s, %.2f, %.2f)",
+                           i, visits_text.c_str(), basket, tenure));
+  }
+  Must(system, "CALL SYSPROC.ACCEL_ADD_TABLES('customers')");
+
+  // --- admin: provision the analyst -----------------------------------------
+  Must(system, "GRANT SELECT ON customers TO analyst");
+  for (const char* op : {"IMPUTE", "NORMALIZE", "KMEANS", "LINREG"}) {
+    Must(system, StrFormat("GRANT EXECUTE ON IDAA.%s TO analyst", op));
+  }
+
+  // --- analyst: multi-stage mining pipeline, all on the accelerator --------
+  system.SetUser("analyst");
+  std::cout << "stage 1: impute missing visit counts\n";
+  Must(system,
+       "CALL IDAA.IMPUTE('input=customers', 'output=c_filled', "
+       "'columns=visits')",
+       true);
+
+  std::cout << "stage 2: z-score normalize the features\n";
+  Must(system,
+       "CALL IDAA.NORMALIZE('input=c_filled', 'output=c_norm', "
+       "'columns=visits,basket,tenure')",
+       true);
+
+  std::cout << "stage 3: discover behavioural segments (k-means, k=2)\n";
+  Must(system,
+       "CALL IDAA.KMEANS('input=c_norm', 'output=segments', "
+       "'columns=visits,basket,tenure', 'k=2', 'seed=13', "
+       "'centroids_output=centers')",
+       true);
+  Must(system,
+       "SELECT cluster, COUNT(*) AS customers FROM segments "
+       "GROUP BY cluster ORDER BY cluster",
+       true);
+
+  std::cout << "stage 4: basket value model per segment (OLS)\n";
+  Must(system, "CREATE TABLE seg0 (visits DOUBLE, basket DOUBLE, "
+               "tenure DOUBLE) IN ACCELERATOR");
+  Must(system, "INSERT INTO seg0 SELECT visits, basket, tenure FROM segments "
+               "WHERE cluster = 0");
+  Must(system,
+       "CALL IDAA.LINREG('input=seg0', 'target=basket', "
+       "'columns=visits,tenure', 'output=seg0_preds')",
+       true);
+
+  // --- the analyst cannot escape governance --------------------------------
+  std::cout << "governance check: analyst reading an unauthorized table\n";
+  auto denied = system.ExecuteSql("SELECT * FROM centers");
+  if (denied.ok()) {
+    // centers was created by the analyst via KMEANS, so this succeeds;
+    // try a table the analyst never got access to instead.
+  }
+  system.SetUser(idaa::governance::AuthorizationManager::kAdmin);
+  Must(system, "CREATE TABLE payroll (cid INT, salary DOUBLE)");
+  system.SetUser("analyst");
+  auto forbidden = system.ExecuteSql("SELECT * FROM payroll");
+  std::cout << "  SELECT * FROM payroll -> "
+            << forbidden.status().ToString() << "\n\n";
+
+  system.SetUser(idaa::governance::AuthorizationManager::kAdmin);
+  std::cout << "audit trail (last 5 entries):\n";
+  auto entries = system.audit().Entries();
+  size_t start = entries.size() > 5 ? entries.size() - 5 : 0;
+  for (size_t i = start; i < entries.size(); ++i) {
+    std::cout << StrFormat("  #%llu %-8s %-20s %-14s %s\n",
+                           (unsigned long long)entries[i].sequence,
+                           entries[i].user.c_str(), entries[i].action.c_str(),
+                           entries[i].object.c_str(),
+                           entries[i].allowed ? "ALLOWED" : "DENIED");
+  }
+  return 0;
+}

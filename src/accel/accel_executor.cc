@@ -1,0 +1,524 @@
+#include "accel/accel_executor.h"
+
+#include <cstring>
+#include <optional>
+#include <unordered_map>
+
+#include "sql/expression_eval.h"
+
+namespace idaa::accel {
+
+namespace {
+
+/// Gather combined-layout column indexes referenced by a bound tree.
+void CollectColumns(const sql::BoundExpr& expr, std::vector<uint8_t>* flags) {
+  if (expr.kind == sql::BoundExprKind::kColumn && expr.index < flags->size()) {
+    (*flags)[expr.index] = 1;
+  }
+  for (const auto& child : expr.children) CollectColumns(*child, flags);
+}
+
+/// Per-table projection masks: which columns the plan actually touches.
+/// Scan predicates are table-local and handled per table; everything else
+/// addresses the combined layout.
+std::vector<std::vector<uint8_t>> ComputeProjections(
+    const sql::BoundSelect& plan) {
+  size_t combined_width = 0;
+  for (const auto& bt : plan.tables) {
+    combined_width += bt.info->schema.NumColumns();
+  }
+  std::vector<uint8_t> combined(combined_width, 0);
+  auto collect = [&](const sql::BoundExprPtr& e) {
+    if (e) CollectColumns(*e, &combined);
+  };
+  collect(plan.where);
+  for (const auto& bt : plan.tables) collect(bt.join_on);
+  for (const auto& g : plan.group_keys) CollectColumns(*g, &combined);
+  for (const auto& agg : plan.aggregates) collect(agg.arg);
+  for (const auto& e : plan.select_exprs) CollectColumns(*e, &combined);
+  collect(plan.having);
+  for (const auto& ob : plan.order_by) CollectColumns(*ob.expr, &combined);
+
+  std::vector<std::vector<uint8_t>> per_table;
+  per_table.reserve(plan.tables.size());
+  for (const auto& bt : plan.tables) {
+    size_t width = bt.info->schema.NumColumns();
+    std::vector<uint8_t> flags(width, 0);
+    for (size_t c = 0; c < width; ++c) flags[c] = combined[bt.offset + c];
+    if (bt.scan_predicate) CollectColumns(*bt.scan_predicate, &flags);
+    per_table.push_back(std::move(flags));
+  }
+  return per_table;
+}
+
+}  // namespace
+
+/// Plans whose aggregation can run at the slices (SPU-side): one table,
+/// no residual predicate, plain-column group keys, plain-column (or
+/// COUNT(*)) non-DISTINCT aggregate arguments.
+bool EligibleForSliceAggregation(const sql::BoundSelect& plan) {
+  if (plan.tables.size() != 1 || !plan.has_aggregation) return false;
+  if (plan.where) return false;
+  for (const auto& key : plan.group_keys) {
+    if (key->kind != sql::BoundExprKind::kColumn) return false;
+  }
+  for (const auto& agg : plan.aggregates) {
+    if (agg.distinct) return false;
+    if (agg.arg && agg.arg->kind != sql::BoundExprKind::kColumn) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Raw (slice-local) group key: per key column a (null flag, bits) pair.
+struct RawKeyHash {
+  size_t operator()(const std::vector<uint64_t>& key) const {
+    size_t h = 0x9e3779b97f4a7c15ULL;
+    for (uint64_t v : key) h = h * 1315423911ULL + std::hash<uint64_t>()(v);
+    return h;
+  }
+};
+
+/// Partial aggregation state for one slice.
+struct SlicePartial {
+  std::vector<std::vector<Value>> keys;
+  std::vector<std::vector<sql::AggregateAccumulator>> accumulators;
+};
+
+/// Aggregate one slice without materializing rows (the columnar fast path).
+Status AggregateSlice(const ColumnTable& table, size_t slice_index,
+                      const sql::BoundSelect& plan, TxnId reader, Csn snapshot,
+                      const TransactionManager& tm, MetricsRegistry* metrics,
+                      SlicePartial* out) {
+  std::unordered_map<std::vector<uint64_t>, size_t, RawKeyHash> index;
+  std::vector<uint64_t> raw_key(plan.group_keys.size() * 2);
+
+  auto raw_of = [](const Column& col, size_t i, uint64_t* null_flag,
+                   uint64_t* bits) {
+    if (col.IsNull(i)) {
+      *null_flag = 1;
+      *bits = 0;
+      return;
+    }
+    *null_flag = 0;
+    switch (col.type()) {
+      case DataType::kDouble: {
+        double d = col.RawDouble(i);
+        uint64_t b;
+        std::memcpy(&b, &d, sizeof(b));
+        *bits = b;
+        break;
+      }
+      case DataType::kVarchar:
+        *bits = col.RawCode(i);
+        break;
+      default:
+        *bits = static_cast<uint64_t>(col.RawInt(i));
+    }
+  };
+
+  return table.VisitVisible(
+      slice_index, plan.tables[0].scan_predicate.get(), reader, snapshot, tm,
+      metrics,
+      [&](const std::vector<std::unique_ptr<Column>>& columns, size_t i) {
+        for (size_t k = 0; k < plan.group_keys.size(); ++k) {
+          const Column& col = *columns[plan.group_keys[k]->index];
+          raw_of(col, i, &raw_key[2 * k], &raw_key[2 * k + 1]);
+        }
+        auto it = index.find(raw_key);
+        size_t group;
+        if (it == index.end()) {
+          group = out->keys.size();
+          index.emplace(raw_key, group);
+          std::vector<Value> key_values;
+          key_values.reserve(plan.group_keys.size());
+          for (const auto& key : plan.group_keys) {
+            key_values.push_back(columns[key->index]->Get(i));
+          }
+          out->keys.push_back(std::move(key_values));
+          std::vector<sql::AggregateAccumulator> accs;
+          accs.reserve(plan.aggregates.size());
+          for (const auto& agg : plan.aggregates) accs.emplace_back(agg);
+          out->accumulators.push_back(std::move(accs));
+        } else {
+          group = it->second;
+        }
+        auto& accs = out->accumulators[group];
+        for (size_t a = 0; a < plan.aggregates.size(); ++a) {
+          const auto& agg = plan.aggregates[a];
+          if (agg.func == sql::AggFunc::kCountStar) {
+            accs[a].AccumulateRow();
+          } else {
+            accs[a].Accumulate(columns[agg.arg->index]->Get(i));
+          }
+        }
+      });
+}
+
+/// Hash for Value-vector group/join keys.
+struct ValueKeyHash {
+  size_t operator()(const std::vector<Value>& key) const {
+    size_t h = 0x9e3779b97f4a7c15ULL;
+    for (const Value& v : key) h = h * 1315423911ULL + v.Hash();
+    return h;
+  }
+};
+
+/// Merge per-slice partial aggregations into post-aggregation rows
+/// [keys..., finalized aggregates...].
+Result<std::vector<Row>> MergePartials(const sql::BoundSelect& plan,
+                                       std::vector<SlicePartial>* partials) {
+  std::unordered_map<std::vector<Value>, size_t, ValueKeyHash> merged_index;
+  std::vector<std::vector<Value>> keys;
+  std::vector<std::vector<sql::AggregateAccumulator>> merged;
+  for (SlicePartial& partial : *partials) {
+    for (size_t g = 0; g < partial.keys.size(); ++g) {
+      auto it = merged_index.find(partial.keys[g]);
+      if (it == merged_index.end()) {
+        merged_index.emplace(partial.keys[g], keys.size());
+        keys.push_back(std::move(partial.keys[g]));
+        merged.push_back(std::move(partial.accumulators[g]));
+      } else {
+        auto& accs = merged[it->second];
+        for (size_t a = 0; a < accs.size(); ++a) {
+          IDAA_RETURN_IF_ERROR(accs[a].Merge(partial.accumulators[g][a]));
+        }
+      }
+    }
+  }
+  // Global aggregation over empty input still yields one row.
+  if (keys.empty() && plan.group_keys.empty()) {
+    keys.push_back({});
+    std::vector<sql::AggregateAccumulator> accs;
+    for (const auto& agg : plan.aggregates) accs.emplace_back(agg);
+    merged.push_back(std::move(accs));
+  }
+  std::vector<Row> post_rows;
+  post_rows.reserve(keys.size());
+  for (size_t g = 0; g < keys.size(); ++g) {
+    Row row = std::move(keys[g]);
+    for (const auto& acc : merged[g]) row.push_back(acc.Finalize());
+    post_rows.push_back(std::move(row));
+  }
+  return post_rows;
+}
+
+// ---------------------------------------------------------------------------
+// Slice-side star join: small (dimension) tables are broadcast to the data
+// slices as hash tables and the big base table is probed during its scan —
+// the Netezza SPU-side join. Optionally the aggregation runs there too, so
+// only per-group partials reach the coordinator.
+// ---------------------------------------------------------------------------
+
+struct BroadcastDim {
+  size_t offset = 0;                       ///< combined-layout offset
+  std::vector<size_t> base_key_columns;    ///< probe key: base-local columns
+  std::vector<size_t> dim_key_columns;     ///< build key: dim-local columns
+  std::vector<Row> rows;                   ///< materialized dimension
+  std::unordered_map<std::vector<Value>, std::vector<size_t>, ValueKeyHash>
+      index;
+};
+
+/// Shape test for the slice-side join: inner equi joins whose keys all
+/// probe the base (first) table, no residual WHERE. Fills `dims` with key
+/// metadata (rows are loaded later).
+bool SliceJoinEligible(const sql::BoundSelect& plan,
+                       std::vector<BroadcastDim>* dims) {
+  if (plan.tables.size() < 2 || plan.where) return false;
+  size_t base_width = plan.tables[0].info->schema.NumColumns();
+  for (size_t t = 1; t < plan.tables.size(); ++t) {
+    const sql::BoundTable& bt = plan.tables[t];
+    if (bt.join_type != sql::JoinType::kInner || !bt.join_on) return false;
+    std::vector<exec::EquiKey> keys;
+    std::vector<const sql::BoundExpr*> residual;
+    exec::ExtractEquiKeys(*bt.join_on, bt.offset,
+                          bt.offset + bt.info->schema.NumColumns(), &keys,
+                          &residual);
+    if (keys.empty() || !residual.empty()) return false;
+    BroadcastDim dim;
+    dim.offset = bt.offset;
+    for (const exec::EquiKey& key : keys) {
+      if (key.left_index >= base_width) return false;  // chained join
+      dim.base_key_columns.push_back(key.left_index);
+      dim.dim_key_columns.push_back(key.right_index - bt.offset);
+    }
+    dims->push_back(std::move(dim));
+  }
+  return true;
+}
+
+/// Whether the post-join aggregation can also run at the slices.
+bool JoinAggregationAtSlices(const sql::BoundSelect& plan) {
+  if (!plan.has_aggregation) return false;
+  for (const auto& key : plan.group_keys) {
+    if (key->kind != sql::BoundExprKind::kColumn) return false;
+  }
+  for (const auto& agg : plan.aggregates) {
+    if (agg.distinct) return false;
+    if (agg.arg && agg.arg->kind != sql::BoundExprKind::kColumn) return false;
+  }
+  return true;
+}
+
+/// Execute the slice-side join (optionally + aggregation). Returns nullopt
+/// when ineligible or when the base scan predicate cannot run column-wise
+/// (caller falls back to the coordinator join).
+Result<std::optional<ResultSet>> TrySliceJoin(
+    const sql::BoundSelect& plan, const AccelTableResolver& resolver,
+    TxnId reader, Csn snapshot, const TransactionManager& tm, ThreadPool* pool,
+    MetricsRegistry* metrics) {
+  std::vector<BroadcastDim> dims;
+  if (!SliceJoinEligible(plan, &dims)) {
+    return std::optional<ResultSet>();
+  }
+
+  // Broadcast phase: materialize + index every dimension.
+  for (size_t t = 1; t < plan.tables.size(); ++t) {
+    const sql::BoundTable& bt = plan.tables[t];
+    IDAA_ASSIGN_OR_RETURN(const ColumnTable* table, resolver(bt));
+    IDAA_ASSIGN_OR_RETURN(
+        dims[t - 1].rows,
+        ParallelScan(*table, bt.scan_predicate.get(), reader, snapshot, tm,
+                     pool, metrics));
+    BroadcastDim& dim = dims[t - 1];
+    for (size_t r = 0; r < dim.rows.size(); ++r) {
+      std::vector<Value> key;
+      key.reserve(dim.dim_key_columns.size());
+      bool has_null = false;
+      for (size_t c : dim.dim_key_columns) {
+        if (dim.rows[r][c].is_null()) has_null = true;
+        key.push_back(dim.rows[r][c]);
+      }
+      if (has_null) continue;  // NULL never equi-joins
+      dim.index[std::move(key)].push_back(r);
+    }
+  }
+
+  IDAA_ASSIGN_OR_RETURN(const ColumnTable* base, resolver(plan.tables[0]));
+  const size_t base_width = plan.tables[0].info->schema.NumColumns();
+  size_t combined_width = base_width;
+  for (size_t t = 1; t < plan.tables.size(); ++t) {
+    combined_width += plan.tables[t].info->schema.NumColumns();
+  }
+  const bool aggregate_at_slices = JoinAggregationAtSlices(plan);
+  const size_t num_slices = base->num_slices();
+
+  std::vector<SlicePartial> partials(num_slices);
+  std::vector<std::vector<Row>> slice_rows(num_slices);
+  std::vector<Status> statuses(num_slices);
+
+  auto probe_slice = [&](size_t s) {
+    std::unordered_map<std::vector<Value>, size_t, ValueKeyHash> group_index;
+    SlicePartial& partial = partials[s];
+    std::vector<const std::vector<size_t>*> matches(dims.size());
+
+    statuses[s] = base->VisitVisible(
+        s, plan.tables[0].scan_predicate.get(), reader, snapshot, tm, metrics,
+        [&](const std::vector<std::unique_ptr<Column>>& columns, size_t i) {
+          // Probe every dimension; inner join drops the row on any miss.
+          for (size_t d = 0; d < dims.size(); ++d) {
+            std::vector<Value> key;
+            key.reserve(dims[d].base_key_columns.size());
+            for (size_t c : dims[d].base_key_columns) {
+              if (columns[c]->IsNull(i)) return;
+              key.push_back(columns[c]->Get(i));
+            }
+            auto it = dims[d].index.find(key);
+            if (it == dims[d].index.end()) return;
+            matches[d] = &it->second;
+          }
+          // Cross product over the match lists (odometer).
+          std::vector<size_t> pick(dims.size(), 0);
+          while (true) {
+            // Value of combined-layout column `idx` for this combination.
+            auto value_at = [&](size_t idx) -> Value {
+              if (idx < base_width) return columns[idx]->Get(i);
+              for (size_t d = dims.size(); d-- > 0;) {
+                if (idx >= dims[d].offset) {
+                  const Row& row = dims[d].rows[(*matches[d])[pick[d]]];
+                  return row[idx - dims[d].offset];
+                }
+              }
+              return Value::Null();
+            };
+            if (aggregate_at_slices) {
+              std::vector<Value> group_key;
+              group_key.reserve(plan.group_keys.size());
+              for (const auto& key : plan.group_keys) {
+                group_key.push_back(value_at(key->index));
+              }
+              auto it = group_index.find(group_key);
+              size_t group;
+              if (it == group_index.end()) {
+                group = partial.keys.size();
+                group_index.emplace(group_key, group);
+                partial.keys.push_back(std::move(group_key));
+                std::vector<sql::AggregateAccumulator> accs;
+                accs.reserve(plan.aggregates.size());
+                for (const auto& agg : plan.aggregates) accs.emplace_back(agg);
+                partial.accumulators.push_back(std::move(accs));
+              } else {
+                group = it->second;
+              }
+              auto& accs = partial.accumulators[group];
+              for (size_t a = 0; a < plan.aggregates.size(); ++a) {
+                const auto& agg = plan.aggregates[a];
+                if (agg.func == sql::AggFunc::kCountStar) {
+                  accs[a].AccumulateRow();
+                } else {
+                  accs[a].Accumulate(value_at(agg.arg->index));
+                }
+              }
+            } else {
+              Row combined(combined_width);
+              for (size_t c = 0; c < base_width; ++c) {
+                combined[c] = columns[c]->Get(i);
+              }
+              for (size_t d = 0; d < dims.size(); ++d) {
+                const Row& row = dims[d].rows[(*matches[d])[pick[d]]];
+                for (size_t c = 0; c < row.size(); ++c) {
+                  combined[dims[d].offset + c] = row[c];
+                }
+              }
+              slice_rows[s].push_back(std::move(combined));
+            }
+            // Advance the odometer.
+            size_t d = 0;
+            for (; d < dims.size(); ++d) {
+              if (++pick[d] < matches[d]->size()) break;
+              pick[d] = 0;
+            }
+            if (d == dims.size()) break;
+          }
+        });
+  };
+
+  if (pool != nullptr && num_slices > 1) {
+    pool->ParallelFor(num_slices, probe_slice);
+  } else {
+    for (size_t s = 0; s < num_slices; ++s) probe_slice(s);
+  }
+  for (const Status& status : statuses) {
+    if (status.code() == StatusCode::kNotSupported) {
+      return std::optional<ResultSet>();  // fall back to coordinator join
+    }
+    if (!status.ok()) return status;
+  }
+
+  if (aggregate_at_slices) {
+    IDAA_ASSIGN_OR_RETURN(std::vector<Row> post,
+                          MergePartials(plan, &partials));
+    IDAA_ASSIGN_OR_RETURN(ResultSet out,
+                          exec::FinalizeSelect(plan, std::move(post)));
+    return std::optional<ResultSet>(std::move(out));
+  }
+  std::vector<Row> combined;
+  for (auto& rows : slice_rows) {
+    combined.insert(combined.end(), std::make_move_iterator(rows.begin()),
+                    std::make_move_iterator(rows.end()));
+  }
+  IDAA_ASSIGN_OR_RETURN(ResultSet out,
+                        exec::FinishSelect(plan, std::move(combined)));
+  return std::optional<ResultSet>(std::move(out));
+}
+
+/// Run slice-parallel aggregation; returns post-aggregation rows
+/// [keys..., aggregate results...] or nullopt when the plan is ineligible.
+Result<std::optional<std::vector<Row>>> TrySliceAggregation(
+    const sql::BoundSelect& plan, const ColumnTable& table, TxnId reader,
+    Csn snapshot, const TransactionManager& tm, ThreadPool* pool,
+    MetricsRegistry* metrics) {
+  if (!EligibleForSliceAggregation(plan)) {
+    return std::optional<std::vector<Row>>();
+  }
+  const size_t num_slices = table.num_slices();
+  std::vector<SlicePartial> partials(num_slices);
+  std::vector<Status> statuses(num_slices);
+  auto run_one = [&](size_t s) {
+    statuses[s] = AggregateSlice(table, s, plan, reader, snapshot, tm, metrics,
+                                 &partials[s]);
+  };
+  if (pool != nullptr && num_slices > 1) {
+    pool->ParallelFor(num_slices, run_one);
+  } else {
+    for (size_t s = 0; s < num_slices; ++s) run_one(s);
+  }
+  for (const Status& status : statuses) {
+    if (status.code() == StatusCode::kNotSupported) {
+      return std::optional<std::vector<Row>>();  // fall back to row path
+    }
+    if (!status.ok()) return status;
+  }
+
+  IDAA_ASSIGN_OR_RETURN(std::vector<Row> post_rows,
+                        MergePartials(plan, &partials));
+  return std::optional<std::vector<Row>>(std::move(post_rows));
+}
+
+}  // namespace
+
+Result<std::vector<Row>> ParallelScan(
+    const ColumnTable& table, const sql::BoundExpr* predicate, TxnId reader,
+    Csn snapshot, const TransactionManager& tm, ThreadPool* pool,
+    MetricsRegistry* metrics, const std::vector<uint8_t>* projection) {
+  const size_t num_slices = table.num_slices();
+  std::vector<Result<std::vector<Row>>> partials(
+      num_slices, Result<std::vector<Row>>(std::vector<Row>{}));
+  auto scan_one = [&](size_t s) {
+    partials[s] = table.ScanSlice(s, predicate, reader, snapshot, tm, metrics,
+                                  projection);
+  };
+  if (pool != nullptr && num_slices > 1) {
+    pool->ParallelFor(num_slices, scan_one);
+  } else {
+    for (size_t s = 0; s < num_slices; ++s) scan_one(s);
+  }
+  std::vector<Row> out;
+  for (auto& partial : partials) {
+    if (!partial.ok()) return partial.status();
+    auto& rows = partial.value();
+    out.insert(out.end(), std::make_move_iterator(rows.begin()),
+               std::make_move_iterator(rows.end()));
+  }
+  return out;
+}
+
+Result<ResultSet> ExecuteAccelSelect(const sql::BoundSelect& plan,
+                                     const AccelTableResolver& resolver,
+                                     TxnId reader, Csn snapshot,
+                                     const TransactionManager& tm,
+                                     ThreadPool* pool,
+                                     MetricsRegistry* metrics) {
+  // Columnar fast paths. Single table: aggregation computed at the slices.
+  // Star joins: dimensions broadcast to the slices, probe during the scan.
+  if (EligibleForSliceAggregation(plan) && plan.tables.size() == 1) {
+    IDAA_ASSIGN_OR_RETURN(const ColumnTable* table, resolver(plan.tables[0]));
+    IDAA_ASSIGN_OR_RETURN(
+        auto post_rows,
+        TrySliceAggregation(plan, *table, reader, snapshot, tm, pool, metrics));
+    if (post_rows.has_value()) {
+      return exec::FinalizeSelect(plan, std::move(*post_rows));
+    }
+  }
+  if (plan.tables.size() >= 2) {
+    IDAA_ASSIGN_OR_RETURN(
+        auto joined,
+        TrySliceJoin(plan, resolver, reader, snapshot, tm, pool, metrics));
+    if (joined.has_value()) return std::move(*joined);
+  }
+
+  std::vector<std::vector<uint8_t>> projections = ComputeProjections(plan);
+  exec::TableSource source = [&](size_t index) -> Result<std::vector<Row>> {
+    const sql::BoundTable& bt = plan.tables[index];
+    IDAA_ASSIGN_OR_RETURN(const ColumnTable* table, resolver(bt));
+    return ParallelScan(*table, bt.scan_predicate.get(), reader, snapshot, tm,
+                        pool, metrics, &projections[index]);
+  };
+  exec::ExecutorOptions options;
+  options.metrics = nullptr;  // slice scans account their own rows
+  options.apply_scan_predicates = false;
+  return exec::ExecuteBoundSelect(plan, source, options);
+}
+
+}  // namespace idaa::accel

@@ -1,0 +1,42 @@
+// Accelerator-side query execution: parallel, zone-map-pruned, vectorized
+// slice scans feeding the shared coordinator runtime.
+
+#pragma once
+
+#include "accel/column_table.h"
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "engine/select_runtime.h"
+#include "sql/binder.h"
+#include "txn/transaction_manager.h"
+
+namespace idaa::accel {
+
+/// Scan all slices of a table in parallel (one task per data slice),
+/// applying `predicate` inside the scan, and concatenate the results in
+/// slice order (deterministic).
+Result<std::vector<Row>> ParallelScan(
+    const ColumnTable& table, const sql::BoundExpr* predicate, TxnId reader,
+    Csn snapshot, const TransactionManager& tm, ThreadPool* pool,
+    MetricsRegistry* metrics,
+    const std::vector<uint8_t>* projection = nullptr);
+
+/// True when the plan's aggregation can run at the data slices (one
+/// table, no residual predicate, plain-column keys and arguments, no
+/// DISTINCT) — exposed for EXPLAIN and tests.
+bool EligibleForSliceAggregation(const sql::BoundSelect& plan);
+
+/// Resolve plan.tables[i] to accelerator column tables.
+using AccelTableResolver =
+    std::function<Result<const ColumnTable*>(const sql::BoundTable&)>;
+
+/// Execute a bound SELECT fully on the accelerator under
+/// (reader, snapshot) visibility.
+Result<ResultSet> ExecuteAccelSelect(const sql::BoundSelect& plan,
+                                     const AccelTableResolver& resolver,
+                                     TxnId reader, Csn snapshot,
+                                     const TransactionManager& tm,
+                                     ThreadPool* pool,
+                                     MetricsRegistry* metrics);
+
+}  // namespace idaa::accel

@@ -1,0 +1,115 @@
+#include "accel/accelerator.h"
+
+namespace idaa::accel {
+
+Accelerator::Accelerator(const AcceleratorOptions& options,
+                         TransactionManager* tm, MetricsRegistry* metrics,
+                         std::string name)
+    : options_(options), name_(Catalog::NormalizeName(name)), tm_(tm),
+      metrics_(metrics), pool_(options.num_threads) {}
+
+size_t Accelerator::NumTables() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_.size();
+}
+
+Status Accelerator::AddTable(const TableInfo& info) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string name = Catalog::NormalizeName(info.name);
+  if (tables_.count(name)) {
+    return Status::AlreadyExists("accelerator table already exists: " + name);
+  }
+  tables_[name] = std::make_unique<ColumnTable>(
+      info.schema, info.distribution_column, options_);
+  return Status::OK();
+}
+
+Status Accelerator::RemoveTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!tables_.erase(Catalog::NormalizeName(name))) {
+    return Status::NotFound("accelerator table not found: " + name);
+  }
+  return Status::OK();
+}
+
+bool Accelerator::HasTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_.count(Catalog::NormalizeName(name)) > 0;
+}
+
+Result<ColumnTable*> Accelerator::GetTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(Catalog::NormalizeName(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("accelerator table not found: " + name);
+  }
+  return it->second.get();
+}
+
+Result<const ColumnTable*> Accelerator::GetTable(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(Catalog::NormalizeName(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("accelerator table not found: " + name);
+  }
+  return const_cast<const ColumnTable*>(it->second.get());
+}
+
+Status Accelerator::LoadRows(const std::string& name,
+                             const std::vector<Row>& rows, TxnId txn) {
+  IDAA_ASSIGN_OR_RETURN(ColumnTable * table, GetTable(name));
+  return table->Insert(rows, txn);
+}
+
+Result<ResultSet> Accelerator::ExecuteSelect(const sql::BoundSelect& plan,
+                                             TxnId reader, Csn snapshot) {
+  AccelTableResolver resolver =
+      [this](const sql::BoundTable& bt) -> Result<const ColumnTable*> {
+    return static_cast<const Accelerator*>(this)->GetTable(bt.info->name);
+  };
+  return ExecuteAccelSelect(plan, resolver, reader, snapshot, *tm_, &pool_,
+                            metrics_);
+}
+
+Result<size_t> Accelerator::ExecuteUpdate(const sql::BoundUpdate& plan,
+                                          TxnId txn, Csn snapshot) {
+  IDAA_ASSIGN_OR_RETURN(ColumnTable * table, GetTable(plan.table->name));
+  std::vector<std::pair<size_t, const sql::BoundExpr*>> assignments;
+  assignments.reserve(plan.assignments.size());
+  for (const auto& [col, expr] : plan.assignments) {
+    assignments.emplace_back(col, expr.get());
+  }
+  return table->UpdateWhere(assignments, plan.where.get(), txn, snapshot, *tm_);
+}
+
+Result<size_t> Accelerator::ExecuteDelete(const sql::BoundDelete& plan,
+                                          TxnId txn, Csn snapshot) {
+  IDAA_ASSIGN_OR_RETURN(ColumnTable * table, GetTable(plan.table->name));
+  return table->DeleteWhere(plan.where.get(), txn, snapshot, *tm_);
+}
+
+GroomStats Accelerator::GroomAll() {
+  Csn horizon = tm_->OldestActiveSnapshot();
+  GroomStats total;
+  std::vector<ColumnTable*> tables;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, table] : tables_) tables.push_back(table.get());
+  }
+  for (ColumnTable* table : tables) {
+    GroomStats stats = table->Groom(horizon, *tm_);
+    total.rows_examined += stats.rows_examined;
+    total.rows_reclaimed += stats.rows_reclaimed;
+  }
+  return total;
+}
+
+std::vector<std::string> Accelerator::ListTables() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace idaa::accel

@@ -1,0 +1,85 @@
+// Accelerator: the simulated appliance — a catalog of column tables
+// (snapshot replicas of accelerated DB2 tables, and accelerator-only
+// tables), a worker pool for slice parallelism, and entry points for the
+// statements the federation layer delegates.
+
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "accel/accel_executor.h"
+#include "accel/column_table.h"
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "txn/transaction_manager.h"
+
+namespace idaa::accel {
+
+class Accelerator {
+ public:
+  Accelerator(const AcceleratorOptions& options, TransactionManager* tm,
+              MetricsRegistry* metrics, std::string name = "ACCEL1");
+
+  const AcceleratorOptions& options() const { return options_; }
+
+  /// This accelerator's name as known to DB2 (e.g. "ACCEL1").
+  const std::string& name() const { return name_; }
+
+  /// Availability toggle (maintenance / outage simulation). Statements
+  /// against an offline accelerator fail at the federation layer.
+  void SetAvailable(bool available) { available_ = available; }
+  bool available() const { return available_; }
+
+  /// Number of tables currently hosted (placement balancing).
+  size_t NumTables() const;
+
+  /// Create storage for a table (replica or AOT).
+  Status AddTable(const TableInfo& info);
+
+  Status RemoveTable(const std::string& name);
+
+  bool HasTable(const std::string& name) const;
+
+  Result<ColumnTable*> GetTable(const std::string& name);
+  Result<const ColumnTable*> GetTable(const std::string& name) const;
+
+  /// Bulk-append rows under `txn` (replication apply, loader, INSERT).
+  Status LoadRows(const std::string& name, const std::vector<Row>& rows,
+                  TxnId txn);
+
+  /// Delegated SELECT under (reader, snapshot) visibility.
+  Result<ResultSet> ExecuteSelect(const sql::BoundSelect& plan, TxnId reader,
+                                  Csn snapshot);
+
+  /// Delegated UPDATE/DELETE on an AOT.
+  Result<size_t> ExecuteUpdate(const sql::BoundUpdate& plan, TxnId txn,
+                               Csn snapshot);
+  Result<size_t> ExecuteDelete(const sql::BoundDelete& plan, TxnId txn,
+                               Csn snapshot);
+
+  /// Groom every table up to the transaction manager's oldest active
+  /// snapshot; returns aggregate stats.
+  GroomStats GroomAll();
+
+  std::vector<std::string> ListTables() const;
+
+  ThreadPool* thread_pool() { return &pool_; }
+  TransactionManager* txn_manager() { return tm_; }
+  MetricsRegistry* metrics() { return metrics_; }
+
+ private:
+  AcceleratorOptions options_;
+  std::string name_;
+  std::atomic<bool> available_{true};
+  TransactionManager* tm_;
+  MetricsRegistry* metrics_;
+  ThreadPool pool_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<ColumnTable>> tables_;
+};
+
+}  // namespace idaa::accel

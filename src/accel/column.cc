@@ -1,0 +1,94 @@
+#include "accel/column.h"
+
+#include "common/schema.h"
+
+namespace idaa::accel {
+
+Status Column::Append(const Value& v) {
+  if (v.is_null()) {
+    nulls_.push_back(1);
+    switch (type_) {
+      case DataType::kDouble:
+        doubles_.push_back(0.0);
+        break;
+      case DataType::kVarchar:
+        codes_.push_back(0);
+        break;
+      default:
+        ints_.push_back(0);
+    }
+    return Status::OK();
+  }
+  if (!ValueMatchesType(v, type_)) {
+    return Status::ConstraintViolation("column type mismatch: " + v.ToString() +
+                                       " vs " + DataTypeToString(type_));
+  }
+  nulls_.push_back(0);
+  switch (type_) {
+    case DataType::kBoolean:
+      ints_.push_back(v.AsBoolean() ? 1 : 0);
+      break;
+    case DataType::kInteger:
+      ints_.push_back(v.AsInteger());
+      break;
+    case DataType::kDate:
+      ints_.push_back(v.AsDate());
+      break;
+    case DataType::kTimestamp:
+      ints_.push_back(v.AsTimestamp());
+      break;
+    case DataType::kDouble:
+      doubles_.push_back(v.AsDouble());
+      break;
+    case DataType::kVarchar: {
+      const std::string& s = v.AsVarchar();
+      auto it = dict_index_.find(s);
+      uint32_t code;
+      if (it == dict_index_.end()) {
+        code = static_cast<uint32_t>(dict_.size());
+        dict_.push_back(s);
+        dict_index_.emplace(s, code);
+      } else {
+        code = it->second;
+      }
+      codes_.push_back(code);
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Value Column::Get(size_t i) const {
+  if (nulls_[i]) return Value::Null();
+  switch (type_) {
+    case DataType::kBoolean:
+      return Value::Boolean(ints_[i] != 0);
+    case DataType::kInteger:
+      return Value::Integer(ints_[i]);
+    case DataType::kDate:
+      return Value::Date(static_cast<int32_t>(ints_[i]));
+    case DataType::kTimestamp:
+      return Value::Timestamp(ints_[i]);
+    case DataType::kDouble:
+      return Value::Double(doubles_[i]);
+    case DataType::kVarchar:
+      return Value::Varchar(dict_[codes_[i]]);
+  }
+  return Value::Null();
+}
+
+int64_t Column::LookupCode(const std::string& s) const {
+  auto it = dict_index_.find(s);
+  return it == dict_index_.end() ? -1 : static_cast<int64_t>(it->second);
+}
+
+size_t Column::ByteSize() const {
+  size_t bytes = nulls_.size();
+  bytes += ints_.size() * sizeof(int64_t);
+  bytes += doubles_.size() * sizeof(double);
+  bytes += codes_.size() * sizeof(uint32_t);
+  for (const auto& s : dict_) bytes += s.size();
+  return bytes;
+}
+
+}  // namespace idaa::accel

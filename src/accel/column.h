@@ -1,0 +1,58 @@
+// Column: typed columnar storage for the accelerator. Numerics are stored
+// as flat arrays; VARCHAR uses dictionary encoding (codes + dictionary),
+// mirroring the compressed column format of the Netezza appliance.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace idaa::accel {
+
+class Column {
+ public:
+  explicit Column(DataType type) : type_(type) {}
+
+  DataType type() const { return type_; }
+  size_t size() const { return nulls_.size(); }
+
+  /// Append a value (must match the column type or be NULL).
+  Status Append(const Value& v);
+
+  /// Materialize element i as a Value.
+  Value Get(size_t i) const;
+
+  bool IsNull(size_t i) const { return nulls_[i] != 0; }
+
+  /// Raw numeric view (INTEGER/DATE/TIMESTAMP/BOOLEAN as int64).
+  int64_t RawInt(size_t i) const { return ints_[i]; }
+  double RawDouble(size_t i) const { return doubles_[i]; }
+  /// Dictionary code of a VARCHAR element.
+  uint32_t RawCode(size_t i) const { return codes_[i]; }
+  const std::string& DictEntry(uint32_t code) const { return dict_[code]; }
+  size_t DictSize() const { return dict_.size(); }
+
+  /// Dictionary code for `s`, or -1 if the string never occurs in the
+  /// column (lets equality predicates skip the column entirely).
+  int64_t LookupCode(const std::string& s) const;
+
+  /// Approximate compressed footprint in bytes.
+  size_t ByteSize() const;
+
+ private:
+  DataType type_;
+  std::vector<uint8_t> nulls_;
+  // One of the following is populated, by type:
+  std::vector<int64_t> ints_;      // INTEGER / DATE / TIMESTAMP / BOOLEAN
+  std::vector<double> doubles_;    // DOUBLE
+  std::vector<uint32_t> codes_;    // VARCHAR dictionary codes
+  std::vector<std::string> dict_;  // VARCHAR dictionary
+  std::unordered_map<std::string, uint32_t> dict_index_;
+};
+
+}  // namespace idaa::accel

@@ -1,0 +1,413 @@
+#include "accel/column_table.h"
+
+#include <algorithm>
+
+#include "sql/expression_eval.h"
+
+namespace idaa::accel {
+
+using sql::BoundExpr;
+using sql::EvalExpr;
+using sql::EvalPredicate;
+
+ColumnTable::Slice::Slice(const Schema& schema, size_t zone_size)
+    : zone_map(schema.NumColumns(), zone_size) {
+  columns.reserve(schema.NumColumns());
+  for (const auto& col : schema.columns()) {
+    columns.push_back(std::make_unique<Column>(col.type));
+  }
+}
+
+Status ColumnTable::Slice::Append(const Row& row, TxnId txn) {
+  size_t row_index = NumRows();
+  for (size_t c = 0; c < columns.size(); ++c) {
+    IDAA_RETURN_IF_ERROR(columns[c]->Append(row[c]));
+    zone_map.Observe(row_index, c, row[c]);
+  }
+  createxid.push_back(txn);
+  deletexid.push_back(kInvalidTxnId);
+  return Status::OK();
+}
+
+Row ColumnTable::Slice::MaterializeRow(size_t i) const {
+  Row row;
+  row.reserve(columns.size());
+  for (const auto& col : columns) row.push_back(col->Get(i));
+  return row;
+}
+
+Row ColumnTable::Slice::MaterializeProjected(
+    size_t i, const std::vector<uint8_t>& projection) const {
+  Row row(columns.size());
+  for (size_t c = 0; c < columns.size(); ++c) {
+    if (projection[c]) row[c] = columns[c]->Get(i);
+  }
+  return row;
+}
+
+ColumnTable::ColumnTable(Schema schema,
+                         std::optional<size_t> distribution_column,
+                         const AcceleratorOptions& options)
+    : schema_(std::move(schema)),
+      distribution_column_(distribution_column),
+      options_(options) {
+  slices_.reserve(options_.num_slices);
+  for (size_t i = 0; i < options_.num_slices; ++i) {
+    slices_.emplace_back(schema_, options_.zone_size);
+  }
+}
+
+size_t ColumnTable::SliceFor(const Row& row) {
+  if (distribution_column_) {
+    return row[*distribution_column_].Hash() % slices_.size();
+  }
+  return round_robin_next_++ % slices_.size();
+}
+
+Status ColumnTable::Insert(const std::vector<Row>& rows, TxnId txn) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (const Row& row : rows) {
+    IDAA_ASSIGN_OR_RETURN(Row coerced, CoerceRowToSchema(row, schema_));
+    IDAA_RETURN_IF_ERROR(schema_.ValidateRow(coerced));
+    IDAA_RETURN_IF_ERROR(slices_[SliceFor(coerced)].Append(coerced, txn));
+  }
+  return Status::OK();
+}
+
+Result<size_t> ColumnTable::DeleteWhere(const BoundExpr* predicate, TxnId txn,
+                                        Csn snapshot,
+                                        const TransactionManager& tm) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  size_t deleted = 0;
+  for (Slice& slice : slices_) {
+    for (size_t i = 0; i < slice.NumRows(); ++i) {
+      if (!tm.IsVisible(slice.createxid[i], slice.deletexid[i], txn, snapshot)) {
+        continue;
+      }
+      if (predicate != nullptr) {
+        Row row = slice.MaterializeRow(i);
+        IDAA_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*predicate, row));
+        if (!pass) continue;
+      }
+      // First-writer-wins conflict detection against concurrent deleters.
+      TxnId current = slice.deletexid[i];
+      if (current != kInvalidTxnId && current != txn) {
+        TxnState state = tm.StateOf(current);
+        if (state == TxnState::kActive) {
+          return Status::Conflict(
+              "row is being deleted by a concurrent transaction");
+        }
+        if (state == TxnState::kCommitted) {
+          // Deleted by a transaction that committed after our snapshot
+          // (otherwise the row would have been invisible): WW conflict.
+          return Status::Conflict(
+              "row was deleted by a newer committed transaction");
+        }
+        // Aborted deleter: its mark is void, we may take over.
+      }
+      slice.deletexid[i] = txn;
+      ++deleted;
+    }
+  }
+  return deleted;
+}
+
+Result<bool> ColumnTable::DeleteOneMatching(const Row& image, TxnId txn,
+                                            Csn snapshot,
+                                            const TransactionManager& tm) {
+  IDAA_ASSIGN_OR_RETURN(Row coerced, CoerceRowToSchema(image, schema_));
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (Slice& slice : slices_) {
+    for (size_t i = 0; i < slice.NumRows(); ++i) {
+      if (!tm.IsVisible(slice.createxid[i], slice.deletexid[i], txn, snapshot)) {
+        continue;
+      }
+      if (slice.MaterializeRow(i) != coerced) continue;
+      TxnId current = slice.deletexid[i];
+      if (current != kInvalidTxnId && current != txn &&
+          tm.StateOf(current) != TxnState::kAborted) {
+        continue;  // claimed by someone else; try another identical row
+      }
+      slice.deletexid[i] = txn;
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<size_t> ColumnTable::UpdateWhere(
+    const std::vector<std::pair<size_t, const BoundExpr*>>& assignments,
+    const BoundExpr* predicate, TxnId txn, Csn snapshot,
+    const TransactionManager& tm) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  // Collect new versions first, then delete+append (update = delete+insert,
+  // the Netezza model; the new version may hash to a different slice).
+  struct Pending {
+    Slice* slice;
+    size_t row_index;
+    Row new_row;
+  };
+  std::vector<Pending> pending;
+  for (Slice& slice : slices_) {
+    for (size_t i = 0; i < slice.NumRows(); ++i) {
+      if (!tm.IsVisible(slice.createxid[i], slice.deletexid[i], txn, snapshot)) {
+        continue;
+      }
+      Row row = slice.MaterializeRow(i);
+      if (predicate != nullptr) {
+        IDAA_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*predicate, row));
+        if (!pass) continue;
+      }
+      TxnId current = slice.deletexid[i];
+      if (current != kInvalidTxnId && current != txn) {
+        TxnState state = tm.StateOf(current);
+        if (state == TxnState::kActive || state == TxnState::kCommitted) {
+          return Status::Conflict("update conflicts with concurrent delete");
+        }
+      }
+      Row new_row = row;
+      for (const auto& [col, expr] : assignments) {
+        IDAA_ASSIGN_OR_RETURN(Value v, EvalExpr(*expr, row));
+        if (!v.is_null() && !ValueMatchesType(v, schema_.Column(col).type)) {
+          IDAA_ASSIGN_OR_RETURN(v, v.CastTo(schema_.Column(col).type));
+        }
+        new_row[col] = std::move(v);
+      }
+      IDAA_RETURN_IF_ERROR(schema_.ValidateRow(new_row));
+      pending.push_back({&slice, i, std::move(new_row)});
+    }
+  }
+  for (Pending& p : pending) {
+    p.slice->deletexid[p.row_index] = txn;
+    IDAA_RETURN_IF_ERROR(slices_[SliceFor(p.new_row)].Append(p.new_row, txn));
+  }
+  return pending.size();
+}
+
+Result<std::vector<Row>> ColumnTable::ScanSlice(
+    size_t slice_index, const BoundExpr* predicate, TxnId reader, Csn snapshot,
+    const TransactionManager& tm, MetricsRegistry* metrics,
+    const std::vector<uint8_t>* projection) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  TransactionManager::VisibilityChecker visibility(&tm, reader, snapshot);
+  const Slice& slice = slices_[slice_index];
+  const size_t num_rows = slice.NumRows();
+  std::vector<Row> out;
+
+  std::vector<ColumnRange> ranges;
+  bool exact_ranges = false;
+  if (predicate != nullptr) {
+    ranges = ExtractColumnRanges(*predicate, &exact_ranges);
+  }
+
+  const size_t zone_size = options_.zone_size;
+  size_t rows_scanned = 0;
+  size_t rows_skipped = 0;
+
+  for (size_t zone_start = 0; zone_start < num_rows; zone_start += zone_size) {
+    size_t zone = zone_start / zone_size;
+    size_t zone_end = std::min(zone_start + zone_size, num_rows);
+    if (options_.enable_zone_maps && !ranges.empty() &&
+        !slice.zone_map.ZoneCanMatch(zone, ranges)) {
+      rows_skipped += zone_end - zone_start;
+      continue;
+    }
+
+    // Vectorized restriction: evaluate simple ranges column-at-a-time over
+    // the zone (the software stand-in for the FPGA restriction stage).
+    std::vector<uint8_t> selected(zone_end - zone_start, 1);
+    for (const ColumnRange& range : ranges) {
+      const Column& col = *slice.columns[range.column];
+      for (size_t i = zone_start; i < zone_end; ++i) {
+        size_t s = i - zone_start;
+        if (!selected[s]) continue;
+        if (col.IsNull(i)) {
+          selected[s] = 0;
+          continue;
+        }
+        Value v = col.Get(i);
+        auto cmp = v.Compare(range.literal);
+        if (!cmp.ok()) {
+          selected[s] = 0;
+          continue;
+        }
+        bool pass = false;
+        switch (range.op) {
+          case sql::BinaryOp::kEq: pass = *cmp == 0; break;
+          case sql::BinaryOp::kLt: pass = *cmp < 0; break;
+          case sql::BinaryOp::kLtEq: pass = *cmp <= 0; break;
+          case sql::BinaryOp::kGt: pass = *cmp > 0; break;
+          case sql::BinaryOp::kGtEq: pass = *cmp >= 0; break;
+          default: pass = true;
+        }
+        if (!pass) selected[s] = 0;
+      }
+    }
+
+    for (size_t i = zone_start; i < zone_end; ++i) {
+      ++rows_scanned;
+      if (!selected[i - zone_start]) continue;
+      if (!visibility.IsVisible(slice.createxid[i], slice.deletexid[i])) {
+        continue;
+      }
+      Row row = projection != nullptr
+                    ? slice.MaterializeProjected(i, *projection)
+                    : slice.MaterializeRow(i);
+      if (predicate != nullptr && !exact_ranges) {
+        IDAA_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*predicate, row));
+        if (!pass) continue;
+      }
+      out.push_back(std::move(row));
+    }
+  }
+
+  if (metrics != nullptr) {
+    metrics->Add(metric::kAccelRowsScanned, rows_scanned);
+    metrics->Add(metric::kAccelRowsSkippedZoneMap, rows_skipped);
+  }
+  return out;
+}
+
+Status ColumnTable::VisitVisible(size_t slice_index,
+                                 const BoundExpr* predicate, TxnId reader,
+                                 Csn snapshot, const TransactionManager& tm,
+                                 MetricsRegistry* metrics,
+                                 const ColumnVisitor& visitor) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<ColumnRange> ranges;
+  if (predicate != nullptr) {
+    bool exact = false;
+    ranges = ExtractColumnRanges(*predicate, &exact);
+    if (!exact) {
+      return Status::NotSupported(
+          "predicate not expressible as column ranges");
+    }
+  }
+  TransactionManager::VisibilityChecker visibility(&tm, reader, snapshot);
+  const Slice& slice = slices_[slice_index];
+  const size_t num_rows = slice.NumRows();
+  const size_t zone_size = options_.zone_size;
+  size_t rows_scanned = 0;
+  size_t rows_skipped = 0;
+
+  for (size_t zone_start = 0; zone_start < num_rows; zone_start += zone_size) {
+    size_t zone = zone_start / zone_size;
+    size_t zone_end = std::min(zone_start + zone_size, num_rows);
+    if (options_.enable_zone_maps && !ranges.empty() &&
+        !slice.zone_map.ZoneCanMatch(zone, ranges)) {
+      rows_skipped += zone_end - zone_start;
+      continue;
+    }
+    for (size_t i = zone_start; i < zone_end; ++i) {
+      ++rows_scanned;
+      bool pass = true;
+      for (const ColumnRange& range : ranges) {
+        const Column& col = *slice.columns[range.column];
+        if (col.IsNull(i)) {
+          pass = false;
+          break;
+        }
+        auto cmp = col.Get(i).Compare(range.literal);
+        if (!cmp.ok()) {
+          pass = false;
+          break;
+        }
+        switch (range.op) {
+          case sql::BinaryOp::kEq: pass = *cmp == 0; break;
+          case sql::BinaryOp::kLt: pass = *cmp < 0; break;
+          case sql::BinaryOp::kLtEq: pass = *cmp <= 0; break;
+          case sql::BinaryOp::kGt: pass = *cmp > 0; break;
+          case sql::BinaryOp::kGtEq: pass = *cmp >= 0; break;
+          default: break;
+        }
+        if (!pass) break;
+      }
+      if (!pass) continue;
+      if (!visibility.IsVisible(slice.createxid[i], slice.deletexid[i])) {
+        continue;
+      }
+      visitor(slice.columns, i);
+    }
+  }
+  if (metrics != nullptr) {
+    metrics->Add(metric::kAccelRowsScanned, rows_scanned);
+    metrics->Add(metric::kAccelRowsSkippedZoneMap, rows_skipped);
+  }
+  return Status::OK();
+}
+
+Result<size_t> ColumnTable::CountVisible(TxnId reader, Csn snapshot,
+                                         const TransactionManager& tm) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  TransactionManager::VisibilityChecker visibility(&tm, reader, snapshot);
+  size_t count = 0;
+  for (const Slice& slice : slices_) {
+    for (size_t i = 0; i < slice.NumRows(); ++i) {
+      if (visibility.IsVisible(slice.createxid[i], slice.deletexid[i])) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+GroomStats ColumnTable::Groom(Csn horizon, const TransactionManager& tm) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  GroomStats stats;
+  for (Slice& slice : slices_) {
+    size_t n = slice.NumRows();
+    stats.rows_examined += n;
+    // Decide survivors.
+    std::vector<size_t> keep;
+    keep.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      TxnState created = tm.StateOf(slice.createxid[i]);
+      if (created == TxnState::kAborted) continue;  // never existed
+      TxnId dx = slice.deletexid[i];
+      if (dx != kInvalidTxnId) {
+        TxnState deleted = tm.StateOf(dx);
+        if (deleted == TxnState::kAborted) {
+          slice.deletexid[i] = kInvalidTxnId;  // clear void delete mark
+        } else if (deleted == TxnState::kCommitted &&
+                   tm.CommitCsnOf(dx) <= horizon) {
+          continue;  // no active snapshot can still see it
+        }
+      }
+      keep.push_back(i);
+    }
+    if (keep.size() == n) continue;
+    stats.rows_reclaimed += n - keep.size();
+    Slice rebuilt(schema_, options_.zone_size);
+    for (size_t i : keep) {
+      Row row = slice.MaterializeRow(i);
+      size_t new_index = rebuilt.NumRows();
+      for (size_t c = 0; c < rebuilt.columns.size(); ++c) {
+        (void)rebuilt.columns[c]->Append(row[c]);
+        rebuilt.zone_map.Observe(new_index, c, row[c]);
+      }
+      rebuilt.createxid.push_back(slice.createxid[i]);
+      rebuilt.deletexid.push_back(slice.deletexid[i]);
+    }
+    slice = std::move(rebuilt);
+  }
+  return stats;
+}
+
+size_t ColumnTable::NumVersions() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  size_t total = 0;
+  for (const Slice& slice : slices_) total += slice.NumRows();
+  return total;
+}
+
+size_t ColumnTable::ByteSize() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  size_t total = 0;
+  for (const Slice& slice : slices_) {
+    for (const auto& col : slice.columns) total += col->ByteSize();
+    total += slice.createxid.size() * 2 * sizeof(TxnId);
+  }
+  return total;
+}
+
+}  // namespace idaa::accel

@@ -1,0 +1,143 @@
+// ColumnTable: one accelerator-resident table — hash-distributed across
+// data slices, columnar within each slice, versioned with per-row
+// createxid/deletexid transaction ids exactly like Netezza's storage model.
+// Visibility is decided by TransactionManager::IsVisible, which implements
+// the paper's requirement: snapshot isolation for other transactions plus
+// read-your-own-uncommitted-writes for the DB2 transaction that issued the
+// statement.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <vector>
+
+#include "accel/column.h"
+#include "accel/zone_map.h"
+#include "common/metrics.h"
+#include "common/result.h"
+#include "common/row.h"
+#include "common/schema.h"
+#include "sql/binder.h"
+#include "txn/transaction_manager.h"
+
+namespace idaa::accel {
+
+/// Tuning knobs of the simulated appliance.
+struct AcceleratorOptions {
+  size_t num_slices = 4;      ///< parallel data slices (SPU equivalents)
+  size_t zone_size = 1024;    ///< rows per zone-map extent
+  bool enable_zone_maps = true;
+  size_t num_threads = 4;     ///< worker threads for slice parallelism
+};
+
+/// Result of a groom (space reclamation) pass.
+struct GroomStats {
+  size_t rows_examined = 0;
+  size_t rows_reclaimed = 0;
+};
+
+class ColumnTable {
+ public:
+  ColumnTable(Schema schema, std::optional<size_t> distribution_column,
+              const AcceleratorOptions& options);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_slices() const { return slices_.size(); }
+
+  /// Append rows with createxid = txn (uncommitted until the transaction
+  /// manager publishes the commit).
+  Status Insert(const std::vector<Row>& rows, TxnId txn);
+
+  /// Mark all rows visible to `txn` that satisfy `predicate` (nullable) as
+  /// deleted by `txn`. Snapshot-isolation first-writer-wins: deleting a row
+  /// already deleted by a concurrent or newer-committed transaction fails
+  /// with kConflict.
+  Result<size_t> DeleteWhere(const sql::BoundExpr* predicate, TxnId txn,
+                             Csn snapshot, const TransactionManager& tm);
+
+  /// Delete the first row visible to `txn` whose values equal `image`
+  /// (storage equality; NULL matches NULL). Used by replication apply,
+  /// where full-row images identify rows content-wise. Returns whether a
+  /// row was found.
+  Result<bool> DeleteOneMatching(const Row& image, TxnId txn, Csn snapshot,
+                                 const TransactionManager& tm);
+
+  /// Update = delete old version + insert new version in one pass.
+  Result<size_t> UpdateWhere(
+      const std::vector<std::pair<size_t, const sql::BoundExpr*>>& assignments,
+      const sql::BoundExpr* predicate, TxnId txn, Csn snapshot,
+      const TransactionManager& tm);
+
+  /// Scan one slice: rows visible to (reader, snapshot) that satisfy
+  /// `predicate`. Zones that provably cannot match are skipped via zone
+  /// maps; pure conjunctions of simple comparisons take a vectorized
+  /// column-at-a-time path; visibility resolution is memoized per scan.
+  /// If `projection` is non-null (one flag per column), columns whose flag
+  /// is 0 are not materialized (the output row holds NULL there) — the
+  /// columnar engine reads only what the query touches.
+  /// Thread-safe against concurrent scans.
+  Result<std::vector<Row>> ScanSlice(size_t slice_index,
+                                     const sql::BoundExpr* predicate,
+                                     TxnId reader, Csn snapshot,
+                                     const TransactionManager& tm,
+                                     MetricsRegistry* metrics,
+                                     const std::vector<uint8_t>* projection =
+                                         nullptr) const;
+
+  /// Rows visible to (reader, snapshot) across all slices (no predicate).
+  Result<size_t> CountVisible(TxnId reader, Csn snapshot,
+                              const TransactionManager& tm) const;
+
+  /// Column-at-a-time visitor over the visible, predicate-passing rows of
+  /// one slice — the hook for slice-local (SPU-side) aggregation. Only
+  /// predicates that convert exactly to column ranges are supported;
+  /// anything else returns kNotSupported and the caller must fall back to
+  /// ScanSlice. The visitor receives the slice's columns and a row index.
+  using ColumnVisitor =
+      std::function<void(const std::vector<std::unique_ptr<Column>>& columns,
+                         size_t row_index)>;
+  Status VisitVisible(size_t slice_index, const sql::BoundExpr* predicate,
+                      TxnId reader, Csn snapshot, const TransactionManager& tm,
+                      MetricsRegistry* metrics,
+                      const ColumnVisitor& visitor) const;
+
+  /// Reclaim rows whose deletion committed at csn <= horizon and rows
+  /// created by aborted transactions; clears aborted deletexids.
+  GroomStats Groom(Csn horizon, const TransactionManager& tm);
+
+  /// Total stored row versions (live + not yet groomed).
+  size_t NumVersions() const;
+
+  /// Approximate compressed bytes across all slices.
+  size_t ByteSize() const;
+
+ private:
+  struct Slice {
+    std::vector<std::unique_ptr<Column>> columns;
+    std::vector<TxnId> createxid;
+    std::vector<TxnId> deletexid;
+    ZoneMap zone_map;
+
+    Slice(const Schema& schema, size_t zone_size);
+    size_t NumRows() const { return createxid.size(); }
+    Status Append(const Row& row, TxnId txn);
+    Row MaterializeRow(size_t i) const;
+    /// Materialize only the flagged columns (others stay NULL).
+    Row MaterializeProjected(size_t i,
+                             const std::vector<uint8_t>& projection) const;
+  };
+
+  size_t SliceFor(const Row& row);
+
+  Schema schema_;
+  std::optional<size_t> distribution_column_;
+  AcceleratorOptions options_;
+  mutable std::shared_mutex mu_;
+  std::vector<Slice> slices_;
+  size_t round_robin_next_ = 0;
+};
+
+}  // namespace idaa::accel

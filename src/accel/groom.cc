@@ -1,0 +1,22 @@
+#include "accel/groom.h"
+
+namespace idaa::accel {
+
+GroomStats GroomService::RunOnce() {
+  GroomStats stats = accelerator_->GroomAll();
+  total_reclaimed_ += stats.rows_reclaimed;
+  ++runs_;
+  return stats;
+}
+
+GroomStats GroomService::MaybeGroom() {
+  size_t versions = 0;
+  for (const auto& name : accelerator_->ListTables()) {
+    auto table = accelerator_->GetTable(name);
+    if (table.ok()) versions += (*table)->NumVersions();
+  }
+  if (versions < trigger_versions_) return GroomStats{};
+  return RunOnce();
+}
+
+}  // namespace idaa::accel

@@ -1,0 +1,39 @@
+// GroomService: the accelerator's space-reclamation daemon. Old row
+// versions (committed deletes below every active snapshot, and rows created
+// by aborted transactions) are physically removed and zone maps rebuilt —
+// the equivalent of Netezza's GROOM TABLE.
+
+#pragma once
+
+#include <cstdint>
+
+#include "accel/accelerator.h"
+
+namespace idaa::accel {
+
+class GroomService {
+ public:
+  /// `trigger_versions`: automatic groom fires when a sweep observes at
+  /// least this many row versions (checked by MaybeGroom).
+  GroomService(Accelerator* accelerator, size_t trigger_versions = 100000)
+      : accelerator_(accelerator), trigger_versions_(trigger_versions) {}
+
+  /// Unconditional sweep of all tables.
+  GroomStats RunOnce();
+
+  /// Sweep only if total stored versions exceed the trigger threshold.
+  /// Returns stats (zeros when skipped).
+  GroomStats MaybeGroom();
+
+  /// Totals across the service's lifetime.
+  uint64_t total_reclaimed() const { return total_reclaimed_; }
+  uint64_t runs() const { return runs_; }
+
+ private:
+  Accelerator* accelerator_;
+  size_t trigger_versions_;
+  uint64_t total_reclaimed_ = 0;
+  uint64_t runs_ = 0;
+};
+
+}  // namespace idaa::accel

@@ -1,0 +1,134 @@
+#include "accel/zone_map.h"
+
+namespace idaa::accel {
+
+using sql::BinaryOp;
+using sql::BoundExpr;
+using sql::BoundExprKind;
+
+namespace {
+
+/// Returns true when the node was fully converted into ranges.
+bool ExtractImpl(const BoundExpr& pred, std::vector<ColumnRange>* out) {
+  if (pred.kind == BoundExprKind::kBinary && pred.binary_op == BinaryOp::kAnd) {
+    bool left = ExtractImpl(*pred.children[0], out);
+    bool right = ExtractImpl(*pred.children[1], out);
+    return left && right;
+  }
+  // col OP literal  /  literal OP col
+  if (pred.kind == BoundExprKind::kBinary) {
+    BinaryOp op = pred.binary_op;
+    bool comparison = op == BinaryOp::kEq || op == BinaryOp::kLt ||
+                      op == BinaryOp::kLtEq || op == BinaryOp::kGt ||
+                      op == BinaryOp::kGtEq;
+    if (!comparison) return false;
+    const BoundExpr& lhs = *pred.children[0];
+    const BoundExpr& rhs = *pred.children[1];
+    if (lhs.kind == BoundExprKind::kColumn &&
+        rhs.kind == BoundExprKind::kLiteral && !rhs.literal.is_null()) {
+      out->push_back({lhs.index, op, rhs.literal});
+      return true;
+    }
+    if (rhs.kind == BoundExprKind::kColumn &&
+        lhs.kind == BoundExprKind::kLiteral && !lhs.literal.is_null()) {
+      // Mirror the operator: 5 < col  ==  col > 5.
+      BinaryOp mirrored = op;
+      switch (op) {
+        case BinaryOp::kLt: mirrored = BinaryOp::kGt; break;
+        case BinaryOp::kLtEq: mirrored = BinaryOp::kGtEq; break;
+        case BinaryOp::kGt: mirrored = BinaryOp::kLt; break;
+        case BinaryOp::kGtEq: mirrored = BinaryOp::kLtEq; break;
+        default: break;
+      }
+      out->push_back({rhs.index, mirrored, lhs.literal});
+      return true;
+    }
+    return false;
+  }
+  // col BETWEEN lo AND hi (not negated, literal bounds)
+  if (pred.kind == BoundExprKind::kBetween && !pred.negated &&
+      pred.children[0]->kind == BoundExprKind::kColumn &&
+      pred.children[1]->kind == BoundExprKind::kLiteral &&
+      pred.children[2]->kind == BoundExprKind::kLiteral &&
+      !pred.children[1]->literal.is_null() &&
+      !pred.children[2]->literal.is_null()) {
+    out->push_back(
+        {pred.children[0]->index, BinaryOp::kGtEq, pred.children[1]->literal});
+    out->push_back(
+        {pred.children[0]->index, BinaryOp::kLtEq, pred.children[2]->literal});
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<ColumnRange> ExtractColumnRanges(const BoundExpr& predicate,
+                                             bool* fully_consumed) {
+  std::vector<ColumnRange> out;
+  bool consumed = ExtractImpl(predicate, &out);
+  if (fully_consumed != nullptr) *fully_consumed = consumed;
+  return out;
+}
+
+void ZoneMap::Observe(size_t row_index, size_t column, const Value& v) {
+  if (zones_per_column_.empty()) zones_per_column_.resize(num_columns_);
+  size_t zone = row_index / zone_size_;
+  auto& zones = zones_per_column_[column];
+  if (zones.size() <= zone) zones.resize(zone + 1);
+  ZoneStats& stats = zones[zone];
+  ++stats.count;
+  if (v.is_null()) {
+    stats.has_null = true;
+    return;
+  }
+  if (stats.min.is_null()) {
+    stats.min = v;
+    stats.max = v;
+    return;
+  }
+  auto cmp_min = v.Compare(stats.min);
+  if (cmp_min.ok() && *cmp_min < 0) stats.min = v;
+  auto cmp_max = v.Compare(stats.max);
+  if (cmp_max.ok() && *cmp_max > 0) stats.max = v;
+}
+
+bool ZoneMap::ZoneCanMatch(size_t zone,
+                           const std::vector<ColumnRange>& ranges) const {
+  for (const ColumnRange& range : ranges) {
+    if (range.column >= zones_per_column_.size()) continue;
+    const auto& zones = zones_per_column_[range.column];
+    if (zone >= zones.size()) continue;
+    const ZoneStats& stats = zones[zone];
+    if (stats.min.is_null()) {
+      // Zone holds only NULLs; a comparison can never be TRUE.
+      if (stats.count > 0) return false;
+      continue;
+    }
+    auto lo = range.literal.Compare(stats.min);  // literal vs min
+    auto hi = range.literal.Compare(stats.max);  // literal vs max
+    if (!lo.ok() || !hi.ok()) continue;          // incomparable: cannot prune
+    switch (range.op) {
+      case BinaryOp::kEq:
+        if (*lo < 0 || *hi > 0) return false;  // literal outside [min,max]
+        break;
+      case BinaryOp::kLt:  // need min < literal
+        if (*lo <= 0) return false;
+        break;
+      case BinaryOp::kLtEq:  // need min <= literal
+        if (*lo < 0) return false;
+        break;
+      case BinaryOp::kGt:  // need max > literal
+        if (*hi >= 0) return false;
+        break;
+      case BinaryOp::kGtEq:  // need max >= literal
+        if (*hi > 0) return false;
+        break;
+      default:
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace idaa::accel

@@ -1,0 +1,65 @@
+// Zone maps: per-extent min/max statistics that let the accelerator skip
+// whole storage zones when a scan predicate cannot match anything inside —
+// the software analogue of Netezza's zone-map-directed disk reads.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/value.h"
+#include "sql/binder.h"
+
+namespace idaa::accel {
+
+/// A simple single-column comparison extracted from a scan predicate:
+/// `column <op> literal`.
+struct ColumnRange {
+  size_t column = 0;
+  sql::BinaryOp op = sql::BinaryOp::kEq;  // Eq / Lt / LtEq / Gt / GtEq
+  Value literal;
+};
+
+/// Split a (single-table layout) predicate into zone-map-usable column
+/// ranges and a residual of everything else. The ranges are implied by the
+/// predicate (safe to use for pruning); `residual` receives the conjuncts
+/// that still must be evaluated per row — note that range conjuncts are ALSO
+/// re-evaluated per row (pruning is zone-granular, not row-exact), so the
+/// caller should evaluate the original predicate on surviving rows.
+/// If `fully_consumed` is non-null it is set to true when the predicate is
+/// exactly an AND of the returned ranges — in that case the vectorized
+/// range check is exact and no per-row re-evaluation is needed.
+std::vector<ColumnRange> ExtractColumnRanges(const sql::BoundExpr& predicate,
+                                             bool* fully_consumed = nullptr);
+
+/// Min/max/null statistics per zone for every column of a slice.
+class ZoneMap {
+ public:
+  ZoneMap(size_t num_columns, size_t zone_size)
+      : num_columns_(num_columns), zone_size_(zone_size) {}
+
+  size_t zone_size() const { return zone_size_; }
+
+  /// Record the value of `column` for the row at `row_index`.
+  void Observe(size_t row_index, size_t column, const Value& v);
+
+  size_t NumZones() const { return zones_per_column_.empty() ? 0 : zones_per_column_[0].size(); }
+
+  /// Can any row in `zone` possibly satisfy all `ranges`?
+  bool ZoneCanMatch(size_t zone, const std::vector<ColumnRange>& ranges) const;
+
+ private:
+  struct ZoneStats {
+    Value min;        // NULL until a non-null value observed
+    Value max;
+    bool has_null = false;
+    size_t count = 0;
+  };
+
+  size_t num_columns_;
+  size_t zone_size_;
+  // zones_per_column_[column][zone]
+  std::vector<std::vector<ZoneStats>> zones_per_column_;
+};
+
+}  // namespace idaa::accel

@@ -1,0 +1,153 @@
+#include "analytics/apriori.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace idaa::analytics {
+
+std::vector<FrequentItemset> RunApriori(
+    const std::vector<std::set<std::string>>& transactions,
+    double min_support, size_t max_size) {
+  std::vector<FrequentItemset> result;
+  if (transactions.empty()) return result;
+  const double n = static_cast<double>(transactions.size());
+  const size_t min_count =
+      static_cast<size_t>(std::ceil(min_support * n));
+
+  // L1: frequent single items.
+  std::map<std::string, size_t> item_counts;
+  for (const auto& txn : transactions) {
+    for (const auto& item : txn) ++item_counts[item];
+  }
+  std::vector<std::vector<std::string>> current;  // frequent (k)-itemsets
+  for (const auto& [item, count] : item_counts) {
+    if (count >= min_count && min_count > 0) {
+      current.push_back({item});
+      result.push_back({{item}, static_cast<double>(count) / n});
+    }
+  }
+
+  // Iteratively join L(k) with itself into candidates C(k+1), count, prune.
+  for (size_t k = 2; k <= max_size && current.size() >= 2; ++k) {
+    std::set<std::vector<std::string>> candidates;
+    for (size_t i = 0; i < current.size(); ++i) {
+      for (size_t j = i + 1; j < current.size(); ++j) {
+        // Join when the first k-2 items agree (classic prefix join).
+        bool joinable = true;
+        for (size_t p = 0; p + 1 < current[i].size(); ++p) {
+          if (current[i][p] != current[j][p]) {
+            joinable = false;
+            break;
+          }
+        }
+        if (!joinable) continue;
+        std::vector<std::string> candidate = current[i];
+        candidate.push_back(current[j].back());
+        std::sort(candidate.begin(), candidate.end());
+        candidate.erase(std::unique(candidate.begin(), candidate.end()),
+                        candidate.end());
+        if (candidate.size() == k) candidates.insert(std::move(candidate));
+      }
+    }
+    std::vector<std::vector<std::string>> next;
+    for (const auto& candidate : candidates) {
+      size_t count = 0;
+      for (const auto& txn : transactions) {
+        bool contains = true;
+        for (const auto& item : candidate) {
+          if (!txn.count(item)) {
+            contains = false;
+            break;
+          }
+        }
+        if (contains) ++count;
+      }
+      if (count >= min_count && min_count > 0) {
+        next.push_back(candidate);
+        result.push_back({candidate, static_cast<double>(count) / n});
+      }
+    }
+    current = std::move(next);
+  }
+  return result;
+}
+
+namespace {
+
+class AprioriOperator : public AnalyticsOperator {
+ public:
+  std::string name() const override { return "APRIORI"; }
+  std::string description() const override {
+    return "frequent itemset mining (Apriori)";
+  }
+
+  Result<std::vector<std::string>> InputTables(
+      const ParamMap& params) const override {
+    IDAA_ASSIGN_OR_RETURN(std::string input, GetParam(params, "input"));
+    return std::vector<std::string>{Catalog::NormalizeName(input)};
+  }
+
+  Result<ResultSet> Run(AnalyticsContext& ctx, const ParamMap& params) override {
+    IDAA_ASSIGN_OR_RETURN(std::string input, GetParam(params, "input"));
+    IDAA_ASSIGN_OR_RETURN(std::string tid_name,
+                          GetParam(params, "tid_column"));
+    IDAA_ASSIGN_OR_RETURN(std::string item_name,
+                          GetParam(params, "item_column"));
+    IDAA_ASSIGN_OR_RETURN(double min_support,
+                          GetDoubleParam(params, "min_support", 0.1));
+    IDAA_ASSIGN_OR_RETURN(int64_t max_size, GetIntParam(params, "max_size", 3));
+
+    IDAA_ASSIGN_OR_RETURN(Schema in_schema, ctx.TableSchema(input));
+    IDAA_ASSIGN_OR_RETURN(size_t tid_col, in_schema.ColumnIndex(tid_name));
+    IDAA_ASSIGN_OR_RETURN(size_t item_col, in_schema.ColumnIndex(item_name));
+    IDAA_ASSIGN_OR_RETURN(std::vector<Row> rows, ctx.ReadTable(input));
+
+    std::map<std::string, std::set<std::string>> grouped;
+    for (const Row& row : rows) {
+      if (row[tid_col].is_null() || row[item_col].is_null()) continue;
+      grouped[row[tid_col].ToString()].insert(row[item_col].ToString());
+    }
+    std::vector<std::set<std::string>> transactions;
+    transactions.reserve(grouped.size());
+    for (auto& [tid, items] : grouped) transactions.push_back(std::move(items));
+
+    std::vector<FrequentItemset> itemsets = RunApriori(
+        transactions, min_support, static_cast<size_t>(max_size));
+
+    std::string output = GetParamOr(params, "output", "");
+    if (!output.empty()) {
+      Schema out_schema({{"ITEMSET", DataType::kVarchar, false},
+                         {"SIZE", DataType::kInteger, false},
+                         {"SUPPORT", DataType::kDouble, false}});
+      IDAA_RETURN_IF_ERROR(ctx.RecreateAot(output, out_schema));
+      std::vector<Row> out_rows;
+      for (const auto& itemset : itemsets) {
+        out_rows.push_back(
+            {Value::Varchar(Join(itemset.items, ",")),
+             Value::Integer(static_cast<int64_t>(itemset.items.size())),
+             Value::Double(itemset.support)});
+      }
+      IDAA_RETURN_IF_ERROR(ctx.AppendRows(output, out_rows));
+    }
+
+    std::map<size_t, size_t> per_size;
+    for (const auto& itemset : itemsets) ++per_size[itemset.items.size()];
+    ResultSet summary{Schema({{"SIZE", DataType::kInteger, false},
+                              {"ITEMSETS", DataType::kInteger, false}})};
+    for (const auto& [size, count] : per_size) {
+      summary.Append({Value::Integer(static_cast<int64_t>(size)),
+                      Value::Integer(static_cast<int64_t>(count))});
+    }
+    return summary;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<AnalyticsOperator> MakeAprioriOperator() {
+  return std::make_unique<AprioriOperator>();
+}
+
+}  // namespace idaa::analytics

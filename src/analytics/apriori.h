@@ -1,0 +1,31 @@
+// APRIORI: frequent-itemset mining over a (transaction id, item) table.
+// Params: input, tid_column, item_column, min_support (fraction, def 0.1),
+// max_size (def 3), output (optional AOT: ITEMSET VARCHAR, SIZE INTEGER,
+// SUPPORT DOUBLE). Summary: itemsets found per size.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analytics/operator.h"
+
+namespace idaa::analytics {
+
+std::unique_ptr<AnalyticsOperator> MakeAprioriOperator();
+
+/// A frequent itemset with its support.
+struct FrequentItemset {
+  std::vector<std::string> items;  // sorted
+  double support = 0;
+};
+
+/// Classic Apriori over transactions (each a set of items).
+std::vector<FrequentItemset> RunApriori(
+    const std::vector<std::set<std::string>>& transactions,
+    double min_support, size_t max_size);
+
+}  // namespace idaa::analytics

@@ -1,0 +1,491 @@
+#include "analytics/data_prep.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace idaa::analytics {
+
+namespace {
+
+/// Common scaffolding: read input, validate output name, hand rows to a
+/// transform, write the produced rows into a fresh output AOT.
+class TableToTableOperator : public AnalyticsOperator {
+ public:
+  Result<std::vector<std::string>> InputTables(
+      const ParamMap& params) const override {
+    IDAA_ASSIGN_OR_RETURN(std::string input, GetParam(params, "input"));
+    return std::vector<std::string>{Catalog::NormalizeName(input)};
+  }
+
+  Result<ResultSet> Run(AnalyticsContext& ctx, const ParamMap& params) override {
+    IDAA_ASSIGN_OR_RETURN(std::string input, GetParam(params, "input"));
+    IDAA_ASSIGN_OR_RETURN(std::string output, GetParam(params, "output"));
+    IDAA_ASSIGN_OR_RETURN(Schema in_schema, ctx.TableSchema(input));
+    IDAA_ASSIGN_OR_RETURN(std::vector<Row> rows, ctx.ReadTable(input));
+
+    Schema out_schema;
+    std::vector<Row> out_rows;
+    IDAA_ASSIGN_OR_RETURN(
+        ResultSet summary,
+        Transform(ctx, params, in_schema, rows, &out_schema, &out_rows));
+
+    IDAA_RETURN_IF_ERROR(ctx.RecreateAot(output, out_schema));
+    IDAA_RETURN_IF_ERROR(ctx.AppendRows(output, out_rows));
+    return summary;
+  }
+
+ protected:
+  /// Produce output schema + rows and a summary result set.
+  virtual Result<ResultSet> Transform(AnalyticsContext& ctx,
+                                      const ParamMap& params,
+                                      const Schema& in_schema,
+                                      const std::vector<Row>& rows,
+                                      Schema* out_schema,
+                                      std::vector<Row>* out_rows) = 0;
+
+  static ResultSet SummaryRow(std::vector<std::string> names,
+                              std::vector<Value> values) {
+    std::vector<ColumnDef> cols;
+    for (size_t i = 0; i < names.size(); ++i) {
+      DataType type = DataType::kVarchar;
+      if (values[i].is_integer()) type = DataType::kInteger;
+      if (values[i].is_double()) type = DataType::kDouble;
+      cols.push_back({names[i], type, true});
+    }
+    ResultSet out{Schema(std::move(cols))};
+    out.Append(std::move(values));
+    return out;
+  }
+};
+
+// ---------------------------------------------------------------------------
+
+class NormalizeOperator : public TableToTableOperator {
+ public:
+  std::string name() const override { return "NORMALIZE"; }
+  std::string description() const override {
+    return "z-score or min-max scaling of numeric columns";
+  }
+
+ protected:
+  Result<ResultSet> Transform(AnalyticsContext&, const ParamMap& params,
+                              const Schema& in_schema,
+                              const std::vector<Row>& rows, Schema* out_schema,
+                              std::vector<Row>* out_rows) override {
+    IDAA_ASSIGN_OR_RETURN(std::string columns_list,
+                          GetParam(params, "columns"));
+    IDAA_ASSIGN_OR_RETURN(std::vector<size_t> columns,
+                          ResolveColumns(in_schema, columns_list));
+    std::string method = ToLower(GetParamOr(params, "method", "zscore"));
+    if (method != "zscore" && method != "minmax") {
+      return Status::InvalidArgument("unknown normalization method: " + method);
+    }
+
+    // Column statistics.
+    struct Stats {
+      double sum = 0, sum_sq = 0, min = 0, max = 0;
+      size_t n = 0;
+    };
+    std::map<size_t, Stats> stats;
+    for (size_t c : columns) stats[c] = Stats{};
+    for (const Row& row : rows) {
+      for (size_t c : columns) {
+        if (row[c].is_null()) continue;
+        IDAA_ASSIGN_OR_RETURN(double d, row[c].ToDouble());
+        Stats& s = stats[c];
+        if (s.n == 0) {
+          s.min = d;
+          s.max = d;
+        }
+        s.min = std::min(s.min, d);
+        s.max = std::max(s.max, d);
+        s.sum += d;
+        s.sum_sq += d * d;
+        ++s.n;
+      }
+    }
+
+    // Output schema: normalized columns become DOUBLE, everything else kept.
+    std::vector<ColumnDef> out_cols = in_schema.columns();
+    for (size_t c : columns) {
+      if (!IsNumeric(out_cols[c].type)) {
+        return Status::InvalidArgument("column " + out_cols[c].name +
+                                       " is not numeric");
+      }
+      out_cols[c].type = DataType::kDouble;
+    }
+    *out_schema = Schema(std::move(out_cols));
+
+    out_rows->reserve(rows.size());
+    for (const Row& row : rows) {
+      Row out = row;
+      for (size_t c : columns) {
+        if (out[c].is_null()) continue;
+        IDAA_ASSIGN_OR_RETURN(double d, out[c].ToDouble());
+        const Stats& s = stats[c];
+        double scaled = 0.0;
+        if (method == "zscore") {
+          double mean = s.n ? s.sum / s.n : 0.0;
+          double var = s.n ? s.sum_sq / s.n - mean * mean : 0.0;
+          double sd = var > 0 ? std::sqrt(var) : 1.0;
+          scaled = (d - mean) / sd;
+        } else {
+          double span = s.max - s.min;
+          scaled = span > 0 ? (d - s.min) / span : 0.0;
+        }
+        out[c] = Value::Double(scaled);
+      }
+      out_rows->push_back(std::move(out));
+    }
+    return SummaryRow({"ROWS", "COLUMNS", "METHOD"},
+                      {Value::Integer(static_cast<int64_t>(out_rows->size())),
+                       Value::Integer(static_cast<int64_t>(columns.size())),
+                       Value::Varchar(method)});
+  }
+};
+
+// ---------------------------------------------------------------------------
+
+class DiscretizeOperator : public TableToTableOperator {
+ public:
+  std::string name() const override { return "DISCRETIZE"; }
+  std::string description() const override {
+    return "equal-width binning of a numeric column";
+  }
+
+ protected:
+  Result<ResultSet> Transform(AnalyticsContext&, const ParamMap& params,
+                              const Schema& in_schema,
+                              const std::vector<Row>& rows, Schema* out_schema,
+                              std::vector<Row>* out_rows) override {
+    IDAA_ASSIGN_OR_RETURN(std::string column, GetParam(params, "column"));
+    IDAA_ASSIGN_OR_RETURN(size_t col, in_schema.ColumnIndex(column));
+    IDAA_ASSIGN_OR_RETURN(int64_t bins, GetIntParam(params, "bins", 10));
+    if (bins < 1) return Status::InvalidArgument("bins must be >= 1");
+
+    double lo = 0, hi = 0;
+    bool first = true;
+    for (const Row& row : rows) {
+      if (row[col].is_null()) continue;
+      IDAA_ASSIGN_OR_RETURN(double d, row[col].ToDouble());
+      if (first) {
+        lo = hi = d;
+        first = false;
+      }
+      lo = std::min(lo, d);
+      hi = std::max(hi, d);
+    }
+    double width = (hi - lo) / static_cast<double>(bins);
+    if (width <= 0) width = 1.0;
+
+    std::vector<ColumnDef> out_cols = in_schema.columns();
+    out_cols.push_back(
+        {Catalog::NormalizeName(column) + "_BIN", DataType::kInteger, true});
+    *out_schema = Schema(std::move(out_cols));
+
+    out_rows->reserve(rows.size());
+    for (const Row& row : rows) {
+      Row out = row;
+      if (row[col].is_null()) {
+        out.push_back(Value::Null());
+      } else {
+        IDAA_ASSIGN_OR_RETURN(double d, row[col].ToDouble());
+        int64_t bin = static_cast<int64_t>((d - lo) / width);
+        bin = std::clamp<int64_t>(bin, 0, bins - 1);
+        out.push_back(Value::Integer(bin));
+      }
+      out_rows->push_back(std::move(out));
+    }
+    return SummaryRow(
+        {"ROWS", "BINS", "LOW", "HIGH"},
+        {Value::Integer(static_cast<int64_t>(out_rows->size())),
+         Value::Integer(bins), Value::Double(lo), Value::Double(hi)});
+  }
+};
+
+// ---------------------------------------------------------------------------
+
+class ImputeOperator : public TableToTableOperator {
+ public:
+  std::string name() const override { return "IMPUTE"; }
+  std::string description() const override {
+    return "replace NULLs with column mean (numeric) or mode (varchar)";
+  }
+
+ protected:
+  Result<ResultSet> Transform(AnalyticsContext&, const ParamMap& params,
+                              const Schema& in_schema,
+                              const std::vector<Row>& rows, Schema* out_schema,
+                              std::vector<Row>* out_rows) override {
+    IDAA_ASSIGN_OR_RETURN(std::string columns_list,
+                          GetParam(params, "columns"));
+    IDAA_ASSIGN_OR_RETURN(std::vector<size_t> columns,
+                          ResolveColumns(in_schema, columns_list));
+
+    std::map<size_t, Value> replacement;
+    for (size_t c : columns) {
+      const ColumnDef& def = in_schema.Column(c);
+      if (def.type == DataType::kVarchar) {
+        std::map<std::string, size_t> counts;
+        for (const Row& row : rows) {
+          if (!row[c].is_null()) ++counts[row[c].AsVarchar()];
+        }
+        std::string mode;
+        size_t best = 0;
+        for (const auto& [value, count] : counts) {
+          if (count > best) {
+            best = count;
+            mode = value;
+          }
+        }
+        replacement[c] = Value::Varchar(mode);
+      } else {
+        double sum = 0;
+        size_t n = 0;
+        for (const Row& row : rows) {
+          if (row[c].is_null()) continue;
+          IDAA_ASSIGN_OR_RETURN(double d, row[c].ToDouble());
+          sum += d;
+          ++n;
+        }
+        double mean = n ? sum / n : 0.0;
+        Value v = Value::Double(mean);
+        if (def.type != DataType::kDouble) {
+          IDAA_ASSIGN_OR_RETURN(v, v.CastTo(def.type));
+        }
+        replacement[c] = v;
+      }
+    }
+
+    *out_schema = in_schema;
+    size_t imputed = 0;
+    out_rows->reserve(rows.size());
+    for (const Row& row : rows) {
+      Row out = row;
+      for (size_t c : columns) {
+        if (out[c].is_null()) {
+          out[c] = replacement[c];
+          ++imputed;
+        }
+      }
+      out_rows->push_back(std::move(out));
+    }
+    return SummaryRow({"ROWS", "IMPUTED_VALUES"},
+                      {Value::Integer(static_cast<int64_t>(out_rows->size())),
+                       Value::Integer(static_cast<int64_t>(imputed))});
+  }
+};
+
+// ---------------------------------------------------------------------------
+
+class OneHotOperator : public TableToTableOperator {
+ public:
+  std::string name() const override { return "ONEHOT"; }
+  std::string description() const override {
+    return "expand a categorical column into 0/1 indicator columns";
+  }
+
+ protected:
+  Result<ResultSet> Transform(AnalyticsContext&, const ParamMap& params,
+                              const Schema& in_schema,
+                              const std::vector<Row>& rows, Schema* out_schema,
+                              std::vector<Row>* out_rows) override {
+    IDAA_ASSIGN_OR_RETURN(std::string column, GetParam(params, "column"));
+    IDAA_ASSIGN_OR_RETURN(size_t col, in_schema.ColumnIndex(column));
+    IDAA_ASSIGN_OR_RETURN(int64_t max_values,
+                          GetIntParam(params, "max_values", 32));
+
+    std::map<std::string, size_t> categories;  // value -> indicator index
+    for (const Row& row : rows) {
+      if (row[col].is_null()) continue;
+      std::string key = row[col].ToString();
+      if (!categories.count(key)) {
+        if (static_cast<int64_t>(categories.size()) >= max_values) {
+          return Status::InvalidArgument(
+              "column has more than max_values distinct values");
+        }
+        categories.emplace(key, categories.size());
+      }
+    }
+
+    std::vector<ColumnDef> out_cols = in_schema.columns();
+    std::vector<std::string> ordered(categories.size());
+    for (const auto& [value, idx] : categories) ordered[idx] = value;
+    for (const std::string& value : ordered) {
+      std::string safe;
+      for (char ch : value) {
+        safe += std::isalnum(static_cast<unsigned char>(ch)) ? ch : '_';
+      }
+      out_cols.push_back({Catalog::NormalizeName(column) + "_" + ToUpper(safe),
+                          DataType::kInteger, true});
+    }
+    *out_schema = Schema(std::move(out_cols));
+
+    out_rows->reserve(rows.size());
+    for (const Row& row : rows) {
+      Row out = row;
+      std::string key = row[col].is_null() ? "" : row[col].ToString();
+      for (const std::string& value : ordered) {
+        out.push_back(Value::Integer(!row[col].is_null() && key == value));
+      }
+      out_rows->push_back(std::move(out));
+    }
+    return SummaryRow({"ROWS", "CATEGORIES"},
+                      {Value::Integer(static_cast<int64_t>(out_rows->size())),
+                       Value::Integer(static_cast<int64_t>(ordered.size()))});
+  }
+};
+
+// ---------------------------------------------------------------------------
+
+class SampleOperator : public TableToTableOperator {
+ public:
+  std::string name() const override { return "SAMPLE"; }
+  std::string description() const override {
+    return "Bernoulli row sampling";
+  }
+
+ protected:
+  Result<ResultSet> Transform(AnalyticsContext&, const ParamMap& params,
+                              const Schema& in_schema,
+                              const std::vector<Row>& rows, Schema* out_schema,
+                              std::vector<Row>* out_rows) override {
+    IDAA_ASSIGN_OR_RETURN(double fraction,
+                          GetDoubleParam(params, "fraction", 0.1));
+    IDAA_ASSIGN_OR_RETURN(int64_t seed, GetIntParam(params, "seed", 42));
+    if (fraction < 0.0 || fraction > 1.0) {
+      return Status::InvalidArgument("fraction must be in [0,1]");
+    }
+    *out_schema = in_schema;
+    Rng rng(static_cast<uint64_t>(seed));
+    for (const Row& row : rows) {
+      if (rng.Bernoulli(fraction)) out_rows->push_back(row);
+    }
+    return SummaryRow({"INPUT_ROWS", "SAMPLED_ROWS"},
+                      {Value::Integer(static_cast<int64_t>(rows.size())),
+                       Value::Integer(static_cast<int64_t>(out_rows->size()))});
+  }
+};
+
+// ---------------------------------------------------------------------------
+
+class SummarizeOperator : public AnalyticsOperator {
+ public:
+  std::string name() const override { return "SUMMARIZE"; }
+  std::string description() const override {
+    return "per-column data audit: count, nulls, distinct, min/max, "
+           "mean/stddev";
+  }
+
+  Result<std::vector<std::string>> InputTables(
+      const ParamMap& params) const override {
+    IDAA_ASSIGN_OR_RETURN(std::string input, GetParam(params, "input"));
+    return std::vector<std::string>{Catalog::NormalizeName(input)};
+  }
+
+  Result<ResultSet> Run(AnalyticsContext& ctx, const ParamMap& params) override {
+    IDAA_ASSIGN_OR_RETURN(std::string input, GetParam(params, "input"));
+    IDAA_ASSIGN_OR_RETURN(Schema in_schema, ctx.TableSchema(input));
+    std::vector<size_t> columns;
+    std::string columns_list = GetParamOr(params, "columns", "");
+    if (columns_list.empty()) {
+      for (size_t c = 0; c < in_schema.NumColumns(); ++c) columns.push_back(c);
+    } else {
+      IDAA_ASSIGN_OR_RETURN(columns, ResolveColumns(in_schema, columns_list));
+    }
+    IDAA_ASSIGN_OR_RETURN(std::vector<Row> rows, ctx.ReadTable(input));
+
+    Schema out_schema({{"COLUMN", DataType::kVarchar, false},
+                       {"TYPE", DataType::kVarchar, false},
+                       {"N", DataType::kInteger, false},
+                       {"NULLS", DataType::kInteger, false},
+                       {"DISTINCT", DataType::kInteger, false},
+                       {"MIN", DataType::kVarchar, true},
+                       {"MAX", DataType::kVarchar, true},
+                       {"MEAN", DataType::kDouble, true},
+                       {"STDDEV", DataType::kDouble, true}});
+    std::vector<Row> out_rows;
+    for (size_t c : columns) {
+      const ColumnDef& def = in_schema.Column(c);
+      size_t nulls = 0, n = 0;
+      double sum = 0, sum_sq = 0;
+      Value min_v, max_v;
+      std::set<std::string> distinct;
+      bool numeric = IsNumeric(def.type);
+      for (const Row& row : rows) {
+        const Value& v = row[c];
+        if (v.is_null()) {
+          ++nulls;
+          continue;
+        }
+        ++n;
+        distinct.insert(v.ToString());
+        if (min_v.is_null()) {
+          min_v = v;
+          max_v = v;
+        } else {
+          auto lo = v.Compare(min_v);
+          if (lo.ok() && *lo < 0) min_v = v;
+          auto hi = v.Compare(max_v);
+          if (hi.ok() && *hi > 0) max_v = v;
+        }
+        if (numeric) {
+          auto d = v.ToDouble();
+          if (d.ok()) {
+            sum += *d;
+            sum_sq += *d * *d;
+          }
+        }
+      }
+      Value mean = Value::Null(), stddev = Value::Null();
+      if (numeric && n > 0) {
+        double mu = sum / static_cast<double>(n);
+        double var = sum_sq / static_cast<double>(n) - mu * mu;
+        mean = Value::Double(mu);
+        stddev = Value::Double(std::sqrt(std::max(0.0, var)));
+      }
+      out_rows.push_back(
+          {Value::Varchar(def.name), Value::Varchar(DataTypeToString(def.type)),
+           Value::Integer(static_cast<int64_t>(n)),
+           Value::Integer(static_cast<int64_t>(nulls)),
+           Value::Integer(static_cast<int64_t>(distinct.size())),
+           min_v.is_null() ? Value::Null() : Value::Varchar(min_v.ToString()),
+           max_v.is_null() ? Value::Null() : Value::Varchar(max_v.ToString()),
+           mean, stddev});
+    }
+
+    std::string output = GetParamOr(params, "output", "");
+    if (!output.empty()) {
+      IDAA_RETURN_IF_ERROR(ctx.RecreateAot(output, out_schema));
+      IDAA_RETURN_IF_ERROR(ctx.AppendRows(output, out_rows));
+    }
+    return ResultSet(out_schema, std::move(out_rows));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<AnalyticsOperator> MakeNormalizeOperator() {
+  return std::make_unique<NormalizeOperator>();
+}
+std::unique_ptr<AnalyticsOperator> MakeDiscretizeOperator() {
+  return std::make_unique<DiscretizeOperator>();
+}
+std::unique_ptr<AnalyticsOperator> MakeImputeOperator() {
+  return std::make_unique<ImputeOperator>();
+}
+std::unique_ptr<AnalyticsOperator> MakeOneHotOperator() {
+  return std::make_unique<OneHotOperator>();
+}
+std::unique_ptr<AnalyticsOperator> MakeSampleOperator() {
+  return std::make_unique<SampleOperator>();
+}
+std::unique_ptr<AnalyticsOperator> MakeSummarizeOperator() {
+  return std::make_unique<SummarizeOperator>();
+}
+
+}  // namespace idaa::analytics

@@ -1,0 +1,39 @@
+// Data-preparation operators — the "multi-staged data preparation,
+// transformation and evaluation tasks" of SPSS-style pipelines, executed
+// in-accelerator with AOT outputs.
+
+#pragma once
+
+#include <memory>
+
+#include "analytics/operator.h"
+
+namespace idaa::analytics {
+
+/// NORMALIZE: scale numeric columns. Params:
+///   input, output, columns, method=zscore|minmax (default zscore)
+std::unique_ptr<AnalyticsOperator> MakeNormalizeOperator();
+
+/// DISCRETIZE: equal-width binning of one numeric column into an integer
+/// bin id column "<col>_BIN". Params: input, output, column, bins (def 10)
+std::unique_ptr<AnalyticsOperator> MakeDiscretizeOperator();
+
+/// IMPUTE: replace NULLs with the column mean (numerics) or mode (VARCHAR).
+/// Params: input, output, columns
+std::unique_ptr<AnalyticsOperator> MakeImputeOperator();
+
+/// ONEHOT: expand one categorical column into 0/1 indicator columns
+/// "<col>_<value>". Params: input, output, column, max_values (def 32)
+std::unique_ptr<AnalyticsOperator> MakeOneHotOperator();
+
+/// SAMPLE: Bernoulli sample. Params: input, output, fraction (def 0.1),
+/// seed (def 42)
+std::unique_ptr<AnalyticsOperator> MakeSampleOperator();
+
+/// SUMMARIZE: per-column data audit (count, nulls, distinct, min, max,
+/// mean, stddev). Params: input, columns (optional, default all),
+/// output (optional AOT holding the summary). The summary is also the
+/// returned result set.
+std::unique_ptr<AnalyticsOperator> MakeSummarizeOperator();
+
+}  // namespace idaa::analytics

@@ -1,0 +1,179 @@
+#include "analytics/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace idaa::analytics {
+
+KMeansResult RunKMeans(const std::vector<std::vector<double>>& points,
+                       size_t k, size_t max_iters, uint64_t seed) {
+  KMeansResult result;
+  if (points.empty() || k == 0) return result;
+  const size_t dims = points[0].size();
+  k = std::min(k, points.size());
+
+  // Initialize centroids by sampling distinct points (deterministic).
+  Rng rng(seed);
+  std::vector<size_t> chosen;
+  while (chosen.size() < k) {
+    size_t idx = rng.Index(points.size());
+    bool dup = false;
+    for (size_t c : chosen) dup |= (c == idx);
+    if (!dup) chosen.push_back(idx);
+  }
+  for (size_t c : chosen) result.centroids.push_back(points[c]);
+
+  result.assignments.assign(points.size(), 0);
+  for (size_t iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    // Assignment step.
+    for (size_t p = 0; p < points.size(); ++p) {
+      double best = std::numeric_limits<double>::max();
+      size_t best_c = 0;
+      for (size_t c = 0; c < k; ++c) {
+        double dist = 0;
+        for (size_t d = 0; d < dims; ++d) {
+          double diff = points[p][d] - result.centroids[c][d];
+          dist += diff * diff;
+        }
+        if (dist < best) {
+          best = dist;
+          best_c = c;
+        }
+      }
+      if (result.assignments[p] != best_c) {
+        result.assignments[p] = best_c;
+        changed = true;
+      }
+    }
+    result.iterations = iter + 1;
+    // Update step.
+    std::vector<std::vector<double>> sums(k, std::vector<double>(dims, 0.0));
+    std::vector<size_t> counts(k, 0);
+    for (size_t p = 0; p < points.size(); ++p) {
+      size_t c = result.assignments[p];
+      ++counts[c];
+      for (size_t d = 0; d < dims; ++d) sums[c][d] += points[p][d];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // keep old centroid for empty cluster
+      for (size_t d = 0; d < dims; ++d) {
+        result.centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+    if (!changed) break;
+  }
+
+  result.inertia = 0;
+  for (size_t p = 0; p < points.size(); ++p) {
+    const auto& centroid = result.centroids[result.assignments[p]];
+    for (size_t d = 0; d < dims; ++d) {
+      double diff = points[p][d] - centroid[d];
+      result.inertia += diff * diff;
+    }
+  }
+  return result;
+}
+
+namespace {
+
+class KMeansOperator : public AnalyticsOperator {
+ public:
+  std::string name() const override { return "KMEANS"; }
+  std::string description() const override {
+    return "Lloyd's k-means clustering; assignments materialized as an AOT";
+  }
+
+  Result<std::vector<std::string>> InputTables(
+      const ParamMap& params) const override {
+    IDAA_ASSIGN_OR_RETURN(std::string input, GetParam(params, "input"));
+    return std::vector<std::string>{Catalog::NormalizeName(input)};
+  }
+
+  Result<ResultSet> Run(AnalyticsContext& ctx, const ParamMap& params) override {
+    IDAA_ASSIGN_OR_RETURN(std::string input, GetParam(params, "input"));
+    IDAA_ASSIGN_OR_RETURN(std::string output, GetParam(params, "output"));
+    IDAA_ASSIGN_OR_RETURN(std::string columns_list,
+                          GetParam(params, "columns"));
+    IDAA_ASSIGN_OR_RETURN(int64_t k, GetIntParam(params, "k", 3));
+    IDAA_ASSIGN_OR_RETURN(int64_t max_iters,
+                          GetIntParam(params, "max_iters", 25));
+    IDAA_ASSIGN_OR_RETURN(int64_t seed, GetIntParam(params, "seed", 42));
+    if (k < 1) return Status::InvalidArgument("k must be >= 1");
+
+    IDAA_ASSIGN_OR_RETURN(Schema in_schema, ctx.TableSchema(input));
+    IDAA_ASSIGN_OR_RETURN(std::vector<size_t> columns,
+                          ResolveColumns(in_schema, columns_list));
+    IDAA_ASSIGN_OR_RETURN(std::vector<Row> rows, ctx.ReadTable(input));
+    std::vector<size_t> kept;
+    IDAA_ASSIGN_OR_RETURN(auto points, ExtractFeatures(rows, columns, &kept));
+
+    KMeansResult km = RunKMeans(points, static_cast<size_t>(k),
+                                static_cast<size_t>(max_iters),
+                                static_cast<uint64_t>(seed));
+
+    // Assignments AOT: features + CLUSTER.
+    std::vector<ColumnDef> out_cols;
+    for (size_t c : columns) {
+      ColumnDef def = in_schema.Column(c);
+      def.type = DataType::kDouble;
+      out_cols.push_back(def);
+    }
+    out_cols.push_back({"CLUSTER", DataType::kInteger, false});
+    Schema out_schema(std::move(out_cols));
+    IDAA_RETURN_IF_ERROR(ctx.RecreateAot(output, out_schema));
+    std::vector<Row> out_rows;
+    out_rows.reserve(points.size());
+    for (size_t p = 0; p < points.size(); ++p) {
+      Row row;
+      for (double d : points[p]) row.push_back(Value::Double(d));
+      row.push_back(Value::Integer(static_cast<int64_t>(km.assignments[p])));
+      out_rows.push_back(std::move(row));
+    }
+    IDAA_RETURN_IF_ERROR(ctx.AppendRows(output, out_rows));
+
+    // Optional centroids AOT.
+    std::string centroids_output = GetParamOr(params, "centroids_output", "");
+    if (!centroids_output.empty()) {
+      std::vector<ColumnDef> cen_cols = {{"CLUSTER", DataType::kInteger, false}};
+      for (size_t c : columns) {
+        ColumnDef def = in_schema.Column(c);
+        def.type = DataType::kDouble;
+        cen_cols.push_back(def);
+      }
+      Schema cen_schema(std::move(cen_cols));
+      IDAA_RETURN_IF_ERROR(ctx.RecreateAot(centroids_output, cen_schema));
+      std::vector<Row> cen_rows;
+      for (size_t c = 0; c < km.centroids.size(); ++c) {
+        Row row = {Value::Integer(static_cast<int64_t>(c))};
+        for (double d : km.centroids[c]) row.push_back(Value::Double(d));
+        cen_rows.push_back(std::move(row));
+      }
+      IDAA_RETURN_IF_ERROR(ctx.AppendRows(centroids_output, cen_rows));
+    }
+
+    ResultSet summary{Schema({{"K", DataType::kInteger, false},
+                              {"ITERATIONS", DataType::kInteger, false},
+                              {"INERTIA", DataType::kDouble, false},
+                              {"ROWS", DataType::kInteger, false},
+                              {"SKIPPED_NULL_ROWS", DataType::kInteger, false}})};
+    summary.Append({Value::Integer(static_cast<int64_t>(km.centroids.size())),
+                    Value::Integer(static_cast<int64_t>(km.iterations)),
+                    Value::Double(km.inertia),
+                    Value::Integer(static_cast<int64_t>(points.size())),
+                    Value::Integer(
+                        static_cast<int64_t>(rows.size() - kept.size()))});
+    return summary;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<AnalyticsOperator> MakeKMeansOperator() {
+  return std::make_unique<KMeansOperator>();
+}
+
+}  // namespace idaa::analytics

@@ -1,0 +1,170 @@
+#include "analytics/naive_bayes.h"
+
+#include <cmath>
+#include <limits>
+
+namespace idaa::analytics {
+
+Result<GaussianNbModel> GaussianNbModel::Fit(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<std::string>& labels) {
+  if (features.size() != labels.size() || features.empty()) {
+    return Status::InvalidArgument("NB: empty or mismatched inputs");
+  }
+  const size_t dims = features[0].size();
+  GaussianNbModel model;
+
+  std::map<std::string, size_t> counts;
+  for (size_t r = 0; r < features.size(); ++r) {
+    ClassStats& stats = model.classes_[labels[r]];
+    if (stats.mean.empty()) {
+      stats.mean.assign(dims, 0.0);
+      stats.variance.assign(dims, 0.0);
+    }
+    ++counts[labels[r]];
+    for (size_t d = 0; d < dims; ++d) stats.mean[d] += features[r][d];
+  }
+  for (auto& [label, stats] : model.classes_) {
+    double n = static_cast<double>(counts[label]);
+    for (size_t d = 0; d < dims; ++d) stats.mean[d] /= n;
+    stats.prior = n / static_cast<double>(features.size());
+    model.priors_[label] = stats.prior;
+  }
+  for (size_t r = 0; r < features.size(); ++r) {
+    ClassStats& stats = model.classes_[labels[r]];
+    for (size_t d = 0; d < dims; ++d) {
+      double diff = features[r][d] - stats.mean[d];
+      stats.variance[d] += diff * diff;
+    }
+  }
+  for (auto& [label, stats] : model.classes_) {
+    double n = static_cast<double>(counts[label]);
+    for (size_t d = 0; d < dims; ++d) {
+      stats.variance[d] = stats.variance[d] / n + 1e-9;  // smoothed
+    }
+  }
+  return model;
+}
+
+const std::string& GaussianNbModel::Predict(
+    const std::vector<double>& features) const {
+  double best_score = -std::numeric_limits<double>::max();
+  const std::string* best_label = &classes_.begin()->first;
+  for (const auto& [label, stats] : classes_) {
+    double score = std::log(stats.prior);
+    for (size_t d = 0; d < features.size(); ++d) {
+      double var = stats.variance[d];
+      double diff = features[d] - stats.mean[d];
+      score += -0.5 * std::log(2.0 * M_PI * var) - diff * diff / (2.0 * var);
+    }
+    if (score > best_score) {
+      best_score = score;
+      best_label = &label;
+    }
+  }
+  return *best_label;
+}
+
+namespace {
+
+class NaiveBayesOperator : public AnalyticsOperator {
+ public:
+  std::string name() const override { return "NAIVEBAYES"; }
+  std::string description() const override {
+    return "Gaussian naive Bayes classifier";
+  }
+
+  Result<std::vector<std::string>> InputTables(
+      const ParamMap& params) const override {
+    IDAA_ASSIGN_OR_RETURN(std::string input, GetParam(params, "input"));
+    return std::vector<std::string>{Catalog::NormalizeName(input)};
+  }
+
+  Result<ResultSet> Run(AnalyticsContext& ctx, const ParamMap& params) override {
+    IDAA_ASSIGN_OR_RETURN(std::string input, GetParam(params, "input"));
+    IDAA_ASSIGN_OR_RETURN(std::string label_name, GetParam(params, "label"));
+    IDAA_ASSIGN_OR_RETURN(std::string columns_list,
+                          GetParam(params, "columns"));
+
+    IDAA_ASSIGN_OR_RETURN(Schema in_schema, ctx.TableSchema(input));
+    IDAA_ASSIGN_OR_RETURN(std::vector<size_t> feature_cols,
+                          ResolveColumns(in_schema, columns_list));
+    IDAA_ASSIGN_OR_RETURN(size_t label_col, in_schema.ColumnIndex(label_name));
+    IDAA_ASSIGN_OR_RETURN(std::vector<Row> rows, ctx.ReadTable(input));
+
+    std::vector<std::vector<double>> features;
+    std::vector<std::string> labels;
+    for (const Row& row : rows) {
+      if (row[label_col].is_null()) continue;
+      std::vector<double> feature;
+      bool skip = false;
+      for (size_t c : feature_cols) {
+        if (row[c].is_null()) {
+          skip = true;
+          break;
+        }
+        auto d = row[c].ToDouble();
+        if (!d.ok()) return d.status();
+        feature.push_back(*d);
+      }
+      if (skip) continue;
+      features.push_back(std::move(feature));
+      labels.push_back(row[label_col].ToString());
+    }
+
+    IDAA_ASSIGN_OR_RETURN(GaussianNbModel model,
+                          GaussianNbModel::Fit(features, labels));
+
+    size_t correct = 0;
+    std::vector<std::string> predictions;
+    predictions.reserve(features.size());
+    for (size_t r = 0; r < features.size(); ++r) {
+      predictions.push_back(model.Predict(features[r]));
+      if (predictions.back() == labels[r]) ++correct;
+    }
+    double accuracy = features.empty()
+                          ? 0.0
+                          : static_cast<double>(correct) /
+                                static_cast<double>(features.size());
+
+    std::string output = GetParamOr(params, "output", "");
+    if (!output.empty()) {
+      std::vector<ColumnDef> out_cols;
+      for (size_t c : feature_cols) {
+        ColumnDef def = in_schema.Column(c);
+        def.type = DataType::kDouble;
+        out_cols.push_back(def);
+      }
+      out_cols.push_back({"ACTUAL", DataType::kVarchar, false});
+      out_cols.push_back({"PREDICTED", DataType::kVarchar, false});
+      IDAA_RETURN_IF_ERROR(ctx.RecreateAot(output, Schema(out_cols)));
+      std::vector<Row> out_rows;
+      for (size_t r = 0; r < features.size(); ++r) {
+        Row row;
+        for (double d : features[r]) row.push_back(Value::Double(d));
+        row.push_back(Value::Varchar(labels[r]));
+        row.push_back(Value::Varchar(predictions[r]));
+        out_rows.push_back(std::move(row));
+      }
+      IDAA_RETURN_IF_ERROR(ctx.AppendRows(output, out_rows));
+    }
+
+    ResultSet summary{Schema({{"METRIC", DataType::kVarchar, false},
+                              {"VALUE", DataType::kDouble, false}})};
+    summary.Append({Value::Varchar("TRAIN_ACCURACY"), Value::Double(accuracy)});
+    summary.Append({Value::Varchar("ROWS"),
+                    Value::Double(static_cast<double>(features.size()))});
+    for (const auto& [label, prior] : model.priors()) {
+      summary.Append({Value::Varchar("PRIOR_" + label), Value::Double(prior)});
+    }
+    return summary;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<AnalyticsOperator> MakeNaiveBayesOperator() {
+  return std::make_unique<NaiveBayesOperator>();
+}
+
+}  // namespace idaa::analytics

@@ -1,0 +1,164 @@
+#include "analytics/operator.h"
+
+#include "accel/accel_executor.h"
+#include "common/string_util.h"
+
+namespace idaa::analytics {
+
+Result<ParamMap> ParseParams(const std::vector<Value>& args) {
+  ParamMap out;
+  for (const Value& arg : args) {
+    if (!arg.is_varchar()) {
+      return Status::InvalidArgument(
+          "analytics procedures take 'key=value' string arguments, got: " +
+          arg.ToString());
+    }
+    const std::string& text = arg.AsVarchar();
+    size_t eq = text.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("malformed parameter (expected key=value): " +
+                                     text);
+    }
+    out[ToLower(Trim(text.substr(0, eq)))] = Trim(text.substr(eq + 1));
+  }
+  return out;
+}
+
+Result<std::string> GetParam(const ParamMap& params, const std::string& key) {
+  auto it = params.find(key);
+  if (it == params.end()) {
+    return Status::InvalidArgument("missing required parameter: " + key);
+  }
+  return it->second;
+}
+
+std::string GetParamOr(const ParamMap& params, const std::string& key,
+                       const std::string& fallback) {
+  auto it = params.find(key);
+  return it == params.end() ? fallback : it->second;
+}
+
+Result<int64_t> GetIntParam(const ParamMap& params, const std::string& key,
+                            int64_t fallback) {
+  auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  try {
+    return static_cast<int64_t>(std::stoll(it->second));
+  } catch (...) {
+    return Status::InvalidArgument("parameter " + key +
+                                   " is not an integer: " + it->second);
+  }
+}
+
+Result<double> GetDoubleParam(const ParamMap& params, const std::string& key,
+                              double fallback) {
+  auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (...) {
+    return Status::InvalidArgument("parameter " + key +
+                                   " is not a number: " + it->second);
+  }
+}
+
+Result<std::vector<Row>> AnalyticsContext::ReadTable(const std::string& name) {
+  IDAA_ASSIGN_OR_RETURN(const TableInfo* info, catalog_->GetTable(name));
+  if (info->kind == TableKind::kDb2Only) {
+    return Status::InvalidArgument(
+        "table " + info->name +
+        " is not on the accelerator; add it with ACCEL_ADD_TABLES first");
+  }
+  IDAA_ASSIGN_OR_RETURN(const accel::ColumnTable* table,
+                        static_cast<const accel::Accelerator*>(accelerator_)
+                            ->GetTable(info->name));
+  return accel::ParallelScan(*table, /*predicate=*/nullptr, txn_->id(),
+                             txn_->snapshot_csn(), *tm_,
+                             accelerator_->thread_pool(), metrics_);
+}
+
+Result<Schema> AnalyticsContext::TableSchema(const std::string& name) const {
+  IDAA_ASSIGN_OR_RETURN(const TableInfo* info, catalog_->GetTable(name));
+  return info->schema;
+}
+
+Status AnalyticsContext::CreateAot(const std::string& name,
+                                   const Schema& schema) {
+  TableInfo info;
+  info.name = name;
+  info.schema = schema;
+  info.kind = TableKind::kAcceleratorOnly;
+  info.accelerator_name = accelerator_->name();
+  IDAA_ASSIGN_OR_RETURN(uint64_t id, catalog_->CreateTable(info));
+  (void)id;
+  IDAA_ASSIGN_OR_RETURN(const TableInfo* stored, catalog_->GetTable(name));
+  Status status = accelerator_->AddTable(*stored);
+  if (!status.ok()) {
+    (void)catalog_->DropTable(name);
+    return status;
+  }
+  created_tables_.push_back(stored->name);
+  return Status::OK();
+}
+
+Status AnalyticsContext::RecreateAot(const std::string& name,
+                                     const Schema& schema) {
+  if (catalog_->HasTable(name)) {
+    IDAA_ASSIGN_OR_RETURN(const TableInfo* info, catalog_->GetTable(name));
+    if (info->kind != TableKind::kAcceleratorOnly) {
+      return Status::InvalidArgument("output table " + info->name +
+                                     " exists and is not accelerator-only");
+    }
+    IDAA_RETURN_IF_ERROR(accelerator_->RemoveTable(name));
+    IDAA_RETURN_IF_ERROR(catalog_->DropTable(name));
+  }
+  return CreateAot(name, schema);
+}
+
+Status AnalyticsContext::AppendRows(const std::string& name,
+                                    const std::vector<Row>& rows) {
+  return accelerator_->LoadRows(name, rows, txn_->id());
+}
+
+Result<std::vector<size_t>> ResolveColumns(const Schema& schema,
+                                           const std::string& comma_list) {
+  std::vector<size_t> out;
+  for (const std::string& raw : Split(comma_list, ',')) {
+    std::string name = Trim(raw);
+    if (name.empty()) continue;
+    IDAA_ASSIGN_OR_RETURN(size_t idx, schema.ColumnIndex(name));
+    out.push_back(idx);
+  }
+  if (out.empty()) {
+    return Status::InvalidArgument("empty column list: '" + comma_list + "'");
+  }
+  return out;
+}
+
+Result<std::vector<std::vector<double>>> ExtractFeatures(
+    const std::vector<Row>& rows, const std::vector<size_t>& columns,
+    std::vector<size_t>* kept) {
+  std::vector<std::vector<double>> features;
+  features.reserve(rows.size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    std::vector<double> feature;
+    feature.reserve(columns.size());
+    bool skip = false;
+    for (size_t c : columns) {
+      const Value& v = rows[r][c];
+      if (v.is_null()) {
+        skip = true;
+        break;
+      }
+      auto d = v.ToDouble();
+      if (!d.ok()) return d.status();
+      feature.push_back(*d);
+    }
+    if (skip) continue;
+    if (kept != nullptr) kept->push_back(r);
+    features.push_back(std::move(feature));
+  }
+  return features;
+}
+
+}  // namespace idaa::analytics

@@ -1,0 +1,22 @@
+#include "analytics/pipeline.h"
+
+namespace idaa::analytics {
+
+Pipeline& Pipeline::AddStage(std::string stage_name, std::string sql) {
+  stages_.push_back({std::move(stage_name), std::move(sql)});
+  return *this;
+}
+
+Result<PipelineReport> Pipeline::Run(const SqlExecutor& executor) const {
+  PipelineReport report;
+  for (const Stage& stage : stages_) {
+    IDAA_ASSIGN_OR_RETURN(StageResult result, executor(stage.sql));
+    result.name = stage.name;
+    report.total_rows += result.affected_rows;
+    if (result.on_accelerator) ++report.stages_on_accelerator;
+    report.stages.push_back(std::move(result));
+  }
+  return report;
+}
+
+}  // namespace idaa::analytics

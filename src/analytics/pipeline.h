@@ -1,0 +1,60 @@
+// Pipeline: the multi-stage ELT / mining chain the paper's introduction
+// motivates — "multiple SQL statements, each implementing a step or stage
+// in a chain of data preparation, transformation, and evaluation tasks".
+// A Pipeline is an ordered list of SQL stages executed through a caller-
+// provided SqlExecutor (the IdaaSystem facade supplies one); with AOT
+// staging tables the whole chain stays on the accelerator.
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace idaa::analytics {
+
+/// Outcome of one pipeline stage.
+struct StageResult {
+  std::string name;
+  size_t affected_rows = 0;
+  bool on_accelerator = false;
+  std::string detail;
+};
+
+struct PipelineReport {
+  std::vector<StageResult> stages;
+  size_t total_rows = 0;
+  size_t stages_on_accelerator = 0;
+};
+
+/// Executes one SQL statement; returns (affected rows, ran-on-accelerator,
+/// detail). Supplied by the embedding system.
+using SqlExecutor =
+    std::function<Result<StageResult>(const std::string& sql)>;
+
+class Pipeline {
+ public:
+  explicit Pipeline(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Append a stage. Stages run in insertion order.
+  Pipeline& AddStage(std::string stage_name, std::string sql);
+
+  size_t NumStages() const { return stages_.size(); }
+
+  /// Run all stages; stops at the first failure.
+  Result<PipelineReport> Run(const SqlExecutor& executor) const;
+
+ private:
+  struct Stage {
+    std::string name;
+    std::string sql;
+  };
+  std::string name_;
+  std::vector<Stage> stages_;
+};
+
+}  // namespace idaa::analytics

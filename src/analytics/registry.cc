@@ -1,0 +1,62 @@
+#include "analytics/registry.h"
+
+#include "analytics/apriori.h"
+#include "analytics/data_prep.h"
+#include "analytics/decision_tree.h"
+#include "analytics/kmeans.h"
+#include "analytics/linear_regression.h"
+#include "analytics/naive_bayes.h"
+#include "common/string_util.h"
+
+namespace idaa::analytics {
+
+Status OperatorRegistry::Register(std::unique_ptr<AnalyticsOperator> op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string name = ToUpper(op->name());
+  if (operators_.count(name)) {
+    return Status::AlreadyExists("operator already registered: " + name);
+  }
+  operators_[name] = std::move(op);
+  return Status::OK();
+}
+
+Result<AnalyticsOperator*> OperatorRegistry::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = operators_.find(ToUpper(name));
+  if (it == operators_.end()) {
+    return Status::NotFound("analytics operator not found: " + name);
+  }
+  return it->second.get();
+}
+
+bool OperatorRegistry::Has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return operators_.count(ToUpper(name)) > 0;
+}
+
+std::vector<std::string> OperatorRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(operators_.size());
+  for (const auto& [name, op] : operators_) names.push_back(name);
+  return names;
+}
+
+std::unique_ptr<OperatorRegistry> MakeBuiltinRegistry() {
+  auto registry = std::make_unique<OperatorRegistry>();
+  (void)registry->Register(MakeNormalizeOperator());
+  (void)registry->Register(MakeDiscretizeOperator());
+  (void)registry->Register(MakeImputeOperator());
+  (void)registry->Register(MakeOneHotOperator());
+  (void)registry->Register(MakeSampleOperator());
+  (void)registry->Register(MakeSummarizeOperator());
+  (void)registry->Register(MakeKMeansOperator());
+  (void)registry->Register(MakeLinearRegressionOperator());
+  (void)registry->Register(MakeNaiveBayesOperator());
+  (void)registry->Register(MakeDecisionTreeOperator());
+  (void)registry->Register(MakeAprioriOperator());
+  return registry;
+}
+
+}  // namespace idaa::analytics

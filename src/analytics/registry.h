@@ -1,0 +1,37 @@
+// OperatorRegistry: the deployment point of the analytics framework. New
+// algorithms are registered here and become callable as DB2 stored
+// procedures (CALL IDAA.<NAME>(...)) without any DB2-side code change.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "analytics/operator.h"
+
+namespace idaa::analytics {
+
+class OperatorRegistry {
+ public:
+  /// Register an operator under its name(). Errors on duplicates.
+  Status Register(std::unique_ptr<AnalyticsOperator> op);
+
+  Result<AnalyticsOperator*> Get(const std::string& name) const;
+
+  bool Has(const std::string& name) const;
+
+  std::vector<std::string> List() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<AnalyticsOperator>> operators_;
+};
+
+/// Create a registry pre-loaded with every built-in operator (data prep,
+/// k-means, linear regression, naive Bayes, decision tree, apriori).
+std::unique_ptr<OperatorRegistry> MakeBuiltinRegistry();
+
+}  // namespace idaa::analytics

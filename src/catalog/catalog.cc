@@ -1,0 +1,102 @@
+#include "catalog/catalog.h"
+
+#include "common/string_util.h"
+
+namespace idaa {
+
+const char* TableKindToString(TableKind kind) {
+  switch (kind) {
+    case TableKind::kDb2Only:
+      return "DB2_ONLY";
+    case TableKind::kAccelerated:
+      return "ACCELERATED";
+    case TableKind::kAcceleratorOnly:
+      return "ACCELERATOR_ONLY";
+  }
+  return "UNKNOWN";
+}
+
+std::string Catalog::NormalizeName(const std::string& name) {
+  return ToUpper(name);
+}
+
+Result<uint64_t> Catalog::CreateTable(TableInfo info) {
+  std::lock_guard<std::mutex> lock(mu_);
+  info.name = NormalizeName(info.name);
+  if (tables_.count(info.name)) {
+    return Status::AlreadyExists("table already exists: " + info.name);
+  }
+  info.table_id = next_table_id_++;
+  uint64_t id = info.table_id;
+  std::string key = info.name;  // copy before the move below
+  tables_[key] = std::make_unique<TableInfo>(std::move(info));
+  return id;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(NormalizeName(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table not found: " + name);
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+Result<const TableInfo*> Catalog::GetTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(NormalizeName(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table not found: " + name);
+  }
+  return const_cast<const TableInfo*>(it->second.get());
+}
+
+Result<const TableInfo*> Catalog::GetTableById(uint64_t table_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, info] : tables_) {
+    if (info->table_id == table_id) return const_cast<const TableInfo*>(info.get());
+  }
+  return Status::NotFound("table id not found: " + std::to_string(table_id));
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_.count(NormalizeName(name)) > 0;
+}
+
+Status Catalog::SetTableKind(const std::string& name, TableKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(NormalizeName(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table not found: " + name);
+  }
+  it->second->kind = kind;
+  return Status::OK();
+}
+
+Status Catalog::SetAcceleratorName(const std::string& name,
+                                   const std::string& accelerator_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(NormalizeName(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table not found: " + name);
+  }
+  it->second->accelerator_name = NormalizeName(accelerator_name);
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::ListTables() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, info] : tables_) names.push_back(name);
+  return names;
+}
+
+size_t Catalog::NumTables() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_.size();
+}
+
+}  // namespace idaa

@@ -1,0 +1,92 @@
+// Catalog: table metadata shared between the DB2 front end and the
+// accelerator. DB2's catalog holds an entry for every table — including
+// proxy ("nickname") entries for accelerator-only tables, exactly as the
+// paper describes: "DB2 only keeps a proxy or table reference ... used for
+// storing meta data in the DB2 catalog and acts as indicator for delegating
+// any query on the corresponding AOT to IDAA."
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/schema.h"
+
+namespace idaa {
+
+/// Where a table's data lives.
+enum class TableKind : uint8_t {
+  /// Ordinary DB2 table, not added to the accelerator.
+  kDb2Only = 0,
+  /// DB2 table whose snapshot is replicated to the accelerator
+  /// (classic IDAA "accelerated table").
+  kAccelerated,
+  /// Accelerator-only table (AOT): data exclusively on the accelerator,
+  /// DB2 keeps only this proxy entry.
+  kAcceleratorOnly,
+};
+
+const char* TableKindToString(TableKind kind);
+
+/// Catalog entry for one table.
+struct TableInfo {
+  uint64_t table_id = 0;
+  std::string name;          ///< Upper-cased, unqualified.
+  Schema schema;
+  TableKind kind = TableKind::kDb2Only;
+  /// Accelerator hash-distribution column (index into schema), or nullopt
+  /// for round-robin distribution. Meaningless for kDb2Only.
+  std::optional<size_t> distribution_column;
+  /// Which attached accelerator holds this table's accelerator-side data
+  /// (empty for kDb2Only). A DB2 can have several accelerators attached.
+  std::string accelerator_name;
+};
+
+/// Thread-safe name -> TableInfo registry. Names are case-insensitive
+/// (normalized to upper case, matching DB2 behaviour for ordinary
+/// identifiers).
+class Catalog {
+ public:
+  /// Register a table. Fills in info.table_id. Errors on duplicate name.
+  Result<uint64_t> CreateTable(TableInfo info);
+
+  /// Remove a table by name.
+  Status DropTable(const std::string& name);
+
+  /// Look up by name. Returned pointer is stable until the table is dropped.
+  Result<const TableInfo*> GetTable(const std::string& name) const;
+
+  /// Look up by id.
+  Result<const TableInfo*> GetTableById(uint64_t table_id) const;
+
+  bool HasTable(const std::string& name) const;
+
+  /// Change the kind of an existing table (e.g. DB2-only -> accelerated
+  /// after ACCEL_ADD_TABLES).
+  Status SetTableKind(const std::string& name, TableKind kind);
+
+  /// Record/clear the accelerator holding a table's accelerator-side data.
+  Status SetAcceleratorName(const std::string& name,
+                            const std::string& accelerator_name);
+
+  /// All table names, sorted.
+  std::vector<std::string> ListTables() const;
+
+  size_t NumTables() const;
+
+  /// Normalize an identifier the way the catalog does (upper case).
+  static std::string NormalizeName(const std::string& name);
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t next_table_id_ = 1;
+  std::map<std::string, std::unique_ptr<TableInfo>> tables_;
+};
+
+}  // namespace idaa

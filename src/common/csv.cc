@@ -1,0 +1,109 @@
+#include "common/csv.h"
+
+#include <sstream>
+
+namespace idaa {
+
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line,
+                                              char delim) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      current += c;
+      ++i;
+      continue;
+    }
+    if (c == '"' && current.empty()) {
+      in_quotes = true;
+      ++i;
+      continue;
+    }
+    if (c == delim) {
+      fields.push_back(std::move(current));
+      current.clear();
+      ++i;
+      continue;
+    }
+    current += c;
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::IoError("unterminated quoted CSV field in line: " + line);
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string FormatCsvLine(const std::vector<std::string>& fields, char delim) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += delim;
+    const std::string& f = fields[i];
+    bool needs_quote = f.find(delim) != std::string::npos ||
+                       f.find('"') != std::string::npos ||
+                       f.find('\n') != std::string::npos;
+    if (!needs_quote) {
+      out += f;
+      continue;
+    }
+    out += '"';
+    for (char c : f) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+  }
+  return out;
+}
+
+Result<Row> CsvFieldsToRow(const std::vector<std::string>& fields,
+                           const Schema& schema) {
+  if (fields.size() != schema.NumColumns()) {
+    return Status::IoError("CSV field count mismatch: got " +
+                           std::to_string(fields.size()) + ", expected " +
+                           std::to_string(schema.NumColumns()));
+  }
+  Row row;
+  row.reserve(fields.size());
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].empty()) {
+      row.push_back(Value::Null());
+      continue;
+    }
+    IDAA_ASSIGN_OR_RETURN(
+        Value v, Value::Varchar(fields[i]).CastTo(schema.Column(i).type));
+    row.push_back(std::move(v));
+  }
+  return row;
+}
+
+Result<std::vector<Row>> ParseCsvDocument(const std::string& body,
+                                          const Schema& schema, char delim) {
+  std::vector<Row> rows;
+  std::istringstream in(body);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    IDAA_ASSIGN_OR_RETURN(auto fields, ParseCsvLine(line, delim));
+    IDAA_ASSIGN_OR_RETURN(Row row, CsvFieldsToRow(fields, schema));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace idaa

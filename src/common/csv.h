@@ -1,0 +1,33 @@
+// Minimal RFC-4180-ish CSV codec used by the IDAA Loader simulator.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/row.h"
+#include "common/schema.h"
+
+namespace idaa {
+
+/// Parse one CSV line into fields. Supports double-quoted fields with
+/// embedded commas and doubled quotes. Errors on unterminated quotes.
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line,
+                                              char delim = ',');
+
+/// Format fields as one CSV line (quoting where needed).
+std::string FormatCsvLine(const std::vector<std::string>& fields,
+                          char delim = ',');
+
+/// Convert textual CSV fields into typed values per `schema`.
+/// Empty fields become NULL. Errors on unparseable values.
+Result<Row> CsvFieldsToRow(const std::vector<std::string>& fields,
+                           const Schema& schema);
+
+/// Parse an entire CSV document body (no header) into rows.
+Result<std::vector<Row>> ParseCsvDocument(const std::string& body,
+                                          const Schema& schema,
+                                          char delim = ',');
+
+}  // namespace idaa

@@ -1,0 +1,49 @@
+#include "common/metrics.h"
+
+#include "common/string_util.h"
+
+namespace idaa {
+
+void MetricsRegistry::Add(const std::string& name, uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+uint64_t MetricsRegistry::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+}
+
+std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {counters_.begin(), counters_.end()};
+}
+
+std::string MetricsRegistry::ToString() const {
+  std::string out;
+  for (const auto& [name, value] : Snapshot()) {
+    out += StrFormat("%-40s = %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(value));
+  }
+  return out;
+}
+
+uint64_t MetricsDelta::Delta(const std::string& name) const {
+  uint64_t before = 0;
+  for (const auto& [n, v] : base_) {
+    if (n == name) {
+      before = v;
+      break;
+    }
+  }
+  uint64_t now = registry_.Get(name);
+  return now >= before ? now - before : 0;
+}
+
+}  // namespace idaa

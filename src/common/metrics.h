@@ -1,0 +1,82 @@
+// MetricsRegistry: named monotonic counters used to meter data movement
+// between DB2 and the accelerator — the quantity the paper's AOT design
+// minimizes. Every byte crossing the federation boundary, every replicated
+// change and every loaded record increments a counter here.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace idaa {
+
+/// Well-known counter names (modules may add their own).
+namespace metric {
+inline constexpr const char* kFederationBytesToAccel = "federation.bytes_to_accel";
+inline constexpr const char* kFederationBytesFromAccel =
+    "federation.bytes_from_accel";
+inline constexpr const char* kFederationRoundTrips = "federation.round_trips";
+inline constexpr const char* kReplicationBytesApplied =
+    "replication.bytes_applied";
+inline constexpr const char* kReplicationChangesApplied =
+    "replication.changes_applied";
+inline constexpr const char* kReplicationBatches = "replication.batches";
+inline constexpr const char* kLoaderBytesIngested = "loader.bytes_ingested";
+inline constexpr const char* kLoaderRowsIngested = "loader.rows_ingested";
+inline constexpr const char* kDb2RowsMaterialized = "db2.rows_materialized";
+inline constexpr const char* kDb2BytesMaterialized = "db2.bytes_materialized";
+inline constexpr const char* kAccelRowsScanned = "accel.rows_scanned";
+inline constexpr const char* kAccelRowsSkippedZoneMap =
+    "accel.rows_skipped_zone_map";
+inline constexpr const char* kDb2RowsScanned = "db2.rows_scanned";
+inline constexpr const char* kGovernanceChecks = "governance.checks";
+inline constexpr const char* kQueriesRoutedToAccel = "router.queries_to_accel";
+inline constexpr const char* kQueriesRoutedToDb2 = "router.queries_to_db2";
+}  // namespace metric
+
+/// Thread-safe registry of named uint64 counters.
+class MetricsRegistry {
+ public:
+  /// Add `delta` to counter `name` (creating it at zero first).
+  void Add(const std::string& name, uint64_t delta);
+
+  /// Increment by one.
+  void Increment(const std::string& name) { Add(name, 1); }
+
+  /// Current value (0 if never touched).
+  uint64_t Get(const std::string& name) const;
+
+  /// Reset every counter to zero.
+  void Reset();
+
+  /// Snapshot of all counters, sorted by name.
+  std::vector<std::pair<std::string, uint64_t>> Snapshot() const;
+
+  /// Render the snapshot as "name = value" lines.
+  std::string ToString() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, uint64_t> counters_;
+};
+
+/// Scoped delta reader: captures counter values at construction and reports
+/// the difference on Delta(). Handy in benches.
+class MetricsDelta {
+ public:
+  explicit MetricsDelta(const MetricsRegistry& registry)
+      : registry_(registry), base_(registry.Snapshot()) {}
+
+  /// Value of `name` accumulated since construction.
+  uint64_t Delta(const std::string& name) const;
+
+ private:
+  const MetricsRegistry& registry_;
+  std::vector<std::pair<std::string, uint64_t>> base_;
+};
+
+}  // namespace idaa

@@ -1,0 +1,64 @@
+// Result<T>: value-or-Status, the return type of fallible producers.
+
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace idaa {
+
+/// Holds either a T (success) or a non-OK Status (failure).
+///
+/// Usage:
+///   Result<int> Parse(...);
+///   IDAA_ASSIGN_OR_RETURN(int v, Parse(...));
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error Status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "Result constructed from OK Status without a value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK Status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access the value; undefined if !ok().
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+  /// Move the value out, or return a default if error.
+  T ValueOr(T fallback) && {
+    return ok() ? std::move(*value_) : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();  // only meaningful when !value_
+};
+
+#define IDAA_CONCAT_IMPL(a, b) a##b
+#define IDAA_CONCAT(a, b) IDAA_CONCAT_IMPL(a, b)
+
+/// Assign the value of a Result expression to `lhs`, or propagate its error.
+#define IDAA_ASSIGN_OR_RETURN(lhs, expr)                      \
+  auto IDAA_CONCAT(_res_, __LINE__) = (expr);                 \
+  if (!IDAA_CONCAT(_res_, __LINE__).ok())                     \
+    return IDAA_CONCAT(_res_, __LINE__).status();             \
+  lhs = std::move(IDAA_CONCAT(_res_, __LINE__)).value()
+
+}  // namespace idaa

@@ -1,0 +1,57 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace idaa {
+
+int64_t Rng::Uniform(int64_t lo, int64_t hi) {
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+std::string Rng::RandomString(size_t len) {
+  std::string out(len, 'a');
+  for (char& c : out) {
+    c = static_cast<char>('a' + Uniform(0, 25));
+  }
+  return out;
+}
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double skew, uint64_t seed)
+    : engine_(seed), cdf_(n) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), skew);
+  }
+  double acc = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i), skew) / sum;
+    cdf_[i - 1] = acc;
+  }
+  if (!cdf_.empty()) cdf_.back() = 1.0;
+}
+
+uint64_t ZipfGenerator::Next() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  double u = dist(engine_);
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin()) + 1;
+}
+
+}  // namespace idaa

@@ -1,0 +1,57 @@
+// Deterministic random generation for workloads. All randomness in the
+// library flows through Rng so experiments are reproducible.
+
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace idaa {
+
+/// Seeded PRNG with the distributions the workload generators need.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Standard normal scaled: mean + stddev * N(0,1).
+  double Gaussian(double mean, double stddev);
+
+  /// Bernoulli with probability p.
+  bool Bernoulli(double p);
+
+  /// Random lowercase ASCII string of length `len`.
+  std::string RandomString(size_t len);
+
+  /// Pick a uniformly random element index for a container of size n.
+  size_t Index(size_t n) { return static_cast<size_t>(Uniform(0, static_cast<int64_t>(n) - 1)); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Zipf-distributed integers over [1, n] with skew s (s=0 -> uniform).
+/// Uses the classic rejection-inversion-free CDF table (n is expected to be
+/// modest, <= a few million).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double skew, uint64_t seed = 42);
+
+  /// Next sample in [1, n].
+  uint64_t Next();
+
+ private:
+  std::mt19937_64 engine_;
+  std::vector<double> cdf_;  // cumulative probabilities, size n
+};
+
+}  // namespace idaa

@@ -1,0 +1,79 @@
+#include "common/row.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace idaa {
+
+size_t RowByteSize(const Row& row) {
+  size_t total = 0;
+  for (const Value& v : row) total += v.ByteSize();
+  return total;
+}
+
+Result<Row> CoerceRowToSchema(const Row& row, const Schema& schema) {
+  if (row.size() != schema.NumColumns()) {
+    return Status::ConstraintViolation(
+        StrFormat("row has %zu values, schema has %zu columns", row.size(),
+                  schema.NumColumns()));
+  }
+  Row out;
+  out.reserve(row.size());
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null() || ValueMatchesType(row[i], schema.Column(i).type)) {
+      out.push_back(row[i]);
+    } else {
+      IDAA_ASSIGN_OR_RETURN(Value cast, row[i].CastTo(schema.Column(i).type));
+      out.push_back(std::move(cast));
+    }
+  }
+  return out;
+}
+
+size_t ResultSet::ByteSize() const {
+  size_t total = 0;
+  for (const Row& r : rows_) total += RowByteSize(r);
+  return total;
+}
+
+std::string ResultSet::ToString(size_t max_rows) const {
+  std::vector<size_t> widths(schema_.NumColumns());
+  for (size_t c = 0; c < schema_.NumColumns(); ++c) {
+    widths[c] = schema_.Column(c).name.size();
+  }
+  size_t shown = std::min(max_rows, rows_.size());
+  std::vector<std::vector<std::string>> cells(shown);
+  for (size_t r = 0; r < shown; ++r) {
+    cells[r].resize(schema_.NumColumns());
+    for (size_t c = 0; c < schema_.NumColumns(); ++c) {
+      cells[r][c] = rows_[r][c].ToString();
+      widths[c] = std::max(widths[c], cells[r][c].size());
+    }
+  }
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& vals) {
+    for (size_t c = 0; c < vals.size(); ++c) {
+      out += "| ";
+      out += vals[c];
+      out.append(widths[c] - vals[c].size() + 1, ' ');
+    }
+    out += "|\n";
+  };
+  std::vector<std::string> header;
+  header.reserve(schema_.NumColumns());
+  for (const auto& col : schema_.columns()) header.push_back(col.name);
+  append_row(header);
+  for (size_t c = 0; c < widths.size(); ++c) {
+    out += "+";
+    out.append(widths[c] + 2, '-');
+  }
+  out += "+\n";
+  for (size_t r = 0; r < shown; ++r) append_row(cells[r]);
+  if (rows_.size() > shown) {
+    out += StrFormat("... (%zu more rows)\n", rows_.size() - shown);
+  }
+  return out;
+}
+
+}  // namespace idaa

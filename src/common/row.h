@@ -1,0 +1,53 @@
+// Row and ResultSet: tuple representation and query results.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/value.h"
+
+namespace idaa {
+
+/// A tuple. Position i corresponds to Schema column i.
+using Row = std::vector<Value>;
+
+/// Approximate serialized size of a row (used for transfer metering).
+size_t RowByteSize(const Row& row);
+
+/// Cast every value in `row` to the column types of `schema` (e.g. INTEGER
+/// literal into a DOUBLE column). Errors on non-castable values.
+Result<Row> CoerceRowToSchema(const Row& row, const Schema& schema);
+
+/// Materialized query result: a schema plus rows, as returned to clients by
+/// both the DB2 engine and the accelerator.
+class ResultSet {
+ public:
+  ResultSet() = default;
+  explicit ResultSet(Schema schema) : schema_(std::move(schema)) {}
+  ResultSet(Schema schema, std::vector<Row> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<Row>& mutable_rows() { return rows_; }
+  size_t NumRows() const { return rows_.size(); }
+
+  void Append(Row row) { rows_.push_back(std::move(row)); }
+
+  /// Total byte size of all rows (payload only).
+  size_t ByteSize() const;
+
+  /// Value at (row, col) — bounds-checked in debug builds only.
+  const Value& At(size_t row, size_t col) const { return rows_[row][col]; }
+
+  /// Render as an aligned text table (for examples and debugging).
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace idaa

@@ -1,0 +1,83 @@
+#include "common/schema.h"
+
+#include "common/string_util.h"
+
+namespace idaa {
+
+std::optional<size_t> Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+Result<size_t> Schema::ColumnIndex(const std::string& name) const {
+  auto idx = FindColumn(name);
+  if (!idx) return Status::NotFound("column not found: " + name);
+  return *idx;
+}
+
+Status Schema::AddColumn(ColumnDef column) {
+  if (FindColumn(column.name)) {
+    return Status::AlreadyExists("duplicate column name: " + column.name);
+  }
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+Status Schema::ValidateRow(const std::vector<Value>& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::ConstraintViolation(
+        StrFormat("row has %zu values, schema has %zu columns", row.size(),
+                  columns_.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) {
+      if (!columns_[i].nullable) {
+        return Status::ConstraintViolation("NULL in NOT NULL column " +
+                                           columns_[i].name);
+      }
+      continue;
+    }
+    if (!ValueMatchesType(row[i], columns_[i].type)) {
+      return Status::ConstraintViolation(
+          "value " + row[i].ToString() + " does not match type " +
+          DataTypeToString(columns_[i].type) + " of column " + columns_[i].name);
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += DataTypeToString(columns_[i].type);
+    if (!columns_[i].nullable) out += " NOT NULL";
+  }
+  out += ")";
+  return out;
+}
+
+bool ValueMatchesType(const Value& value, DataType type) {
+  if (value.is_null()) return true;
+  switch (type) {
+    case DataType::kBoolean:
+      return value.is_boolean();
+    case DataType::kInteger:
+      return value.is_integer();
+    case DataType::kDouble:
+      return value.is_double();
+    case DataType::kVarchar:
+      return value.is_varchar();
+    case DataType::kDate:
+      return value.is_date();
+    case DataType::kTimestamp:
+      return value.is_timestamp();
+  }
+  return false;
+}
+
+}  // namespace idaa

@@ -1,0 +1,61 @@
+// Schema: ordered, named, typed columns; shared by both engines.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace idaa {
+
+/// One column definition.
+struct ColumnDef {
+  std::string name;
+  DataType type = DataType::kInteger;
+  bool nullable = true;
+
+  bool operator==(const ColumnDef&) const = default;
+};
+
+/// Ordered list of columns; column names are matched case-insensitively.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {}
+
+  size_t NumColumns() const { return columns_.size(); }
+  const ColumnDef& Column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Index of a column by (case-insensitive) name, or nullopt.
+  std::optional<size_t> FindColumn(const std::string& name) const;
+
+  /// Index of a column by name, error if absent.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Append a column; error if the name already exists.
+  Status AddColumn(ColumnDef column);
+
+  /// Validate a row against this schema: arity, types (after NULL check),
+  /// NOT NULL constraints. Values of wrong-but-castable type are NOT coerced
+  /// here; callers cast first.
+  Status ValidateRow(const std::vector<Value>& row) const;
+
+  /// "(a INTEGER NOT NULL, b VARCHAR)".
+  std::string ToString() const;
+
+  bool operator==(const Schema&) const = default;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+/// True if `value` may be stored in a column of `type` (NULL always fits,
+/// INTEGER fits DOUBLE columns after cast — this checks exact storage type).
+bool ValueMatchesType(const Value& value, DataType type);
+
+}  // namespace idaa

@@ -1,0 +1,49 @@
+#include "common/status.h"
+
+namespace idaa {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kSyntaxError:
+      return "SyntaxError";
+    case StatusCode::kSemanticError:
+      return "SemanticError";
+    case StatusCode::kNotAuthorized:
+      return "NotAuthorized";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+    case StatusCode::kConflict:
+      return "Conflict";
+    case StatusCode::kConstraintViolation:
+      return "ConstraintViolation";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kIoError:
+      return "IoError";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace idaa

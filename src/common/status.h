@@ -1,0 +1,105 @@
+// Status: error model used across the library (Arrow/RocksDB idiom).
+// No exceptions cross public API boundaries; fallible functions return
+// Status or Result<T> (see common/result.h).
+
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace idaa {
+
+/// Error categories surfaced by the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed something malformed.
+  kNotFound,          ///< Catalog object, row, or resource does not exist.
+  kAlreadyExists,     ///< Object with that name/id already exists.
+  kSyntaxError,       ///< SQL text failed to lex/parse.
+  kSemanticError,     ///< SQL bound against the catalog is invalid.
+  kNotAuthorized,     ///< Governance: privilege check failed.
+  kNotSupported,      ///< Valid request outside the implemented subset.
+  kConflict,          ///< Lock conflict / write-write conflict / deadlock.
+  kConstraintViolation,  ///< NOT NULL or type constraint violated.
+  kInternal,          ///< Invariant broken inside the library.
+  kIoError,           ///< File/CSV level failure.
+};
+
+/// Human-readable name of a StatusCode (e.g. "NotFound").
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation: a code plus a context message.
+/// Cheap to copy in the OK case (no allocation).
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status SyntaxError(std::string msg) {
+    return Status(StatusCode::kSyntaxError, std::move(msg));
+  }
+  static Status SemanticError(std::string msg) {
+    return Status(StatusCode::kSemanticError, std::move(msg));
+  }
+  static Status NotAuthorized(std::string msg) {
+    return Status(StatusCode::kNotAuthorized, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Conflict(std::string msg) {
+    return Status(StatusCode::kConflict, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsConflict() const { return code_ == StatusCode::kConflict; }
+  bool IsNotAuthorized() const { return code_ == StatusCode::kNotAuthorized; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Propagate a non-OK Status to the caller.
+#define IDAA_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::idaa::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+}  // namespace idaa

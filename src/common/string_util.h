@@ -1,0 +1,37 @@
+// Small string helpers shared across modules.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace idaa {
+
+/// ASCII upper-case copy.
+std::string ToUpper(const std::string& s);
+
+/// ASCII lower-case copy.
+std::string ToLower(const std::string& s);
+
+/// Trim ASCII whitespace on both ends.
+std::string Trim(const std::string& s);
+
+/// Split on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(const std::string& s, char delim);
+
+/// Join with a separator.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(const std::string& a, const std::string& b);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+/// SQL LIKE match with % (any run) and _ (any single char), case sensitive.
+bool LikeMatch(const std::string& text, const std::string& pattern);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace idaa

@@ -1,0 +1,446 @@
+#include "engine/select_runtime.h"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "sql/expression_eval.h"
+
+namespace idaa::exec {
+
+using sql::BoundExpr;
+using sql::BoundExprKind;
+using sql::BoundSelect;
+using sql::BoundTable;
+using sql::EvalExpr;
+using sql::EvalPredicate;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Volcano iterators
+// ---------------------------------------------------------------------------
+
+/// Row-at-a-time iterator. Next() yields nullopt at end of stream.
+class RowIterator {
+ public:
+  virtual ~RowIterator() = default;
+  virtual Result<std::optional<Row>> Next() = 0;
+};
+
+using RowIteratorPtr = std::unique_ptr<RowIterator>;
+
+/// Source over a materialized vector, applying a scan predicate.
+class ScanIterator : public RowIterator {
+ public:
+  ScanIterator(std::vector<Row> rows, const BoundExpr* predicate,
+               MetricsRegistry* metrics, const char* counter)
+      : rows_(std::move(rows)),
+        predicate_(predicate),
+        metrics_(metrics),
+        counter_(counter) {}
+
+  Result<std::optional<Row>> Next() override {
+    while (pos_ < rows_.size()) {
+      Row& row = rows_[pos_++];
+      if (metrics_ != nullptr) metrics_->Increment(counter_);
+      if (predicate_ != nullptr) {
+        IDAA_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*predicate_, row));
+        if (!pass) continue;
+      }
+      return std::optional<Row>(std::move(row));
+    }
+    return std::optional<Row>();
+  }
+
+ private:
+  std::vector<Row> rows_;
+  const BoundExpr* predicate_;
+  MetricsRegistry* metrics_;
+  const char* counter_;
+  size_t pos_ = 0;
+};
+
+class FilterIterator : public RowIterator {
+ public:
+  FilterIterator(RowIteratorPtr child, const BoundExpr* predicate)
+      : child_(std::move(child)), predicate_(predicate) {}
+
+  Result<std::optional<Row>> Next() override {
+    while (true) {
+      IDAA_ASSIGN_OR_RETURN(auto row, child_->Next());
+      if (!row) return std::optional<Row>();
+      IDAA_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*predicate_, *row));
+      if (pass) return row;
+    }
+  }
+
+ private:
+  RowIteratorPtr child_;
+  const BoundExpr* predicate_;
+};
+
+/// Hash key for grouping / joining on a vector of values.
+struct RowKeyHash {
+  size_t operator()(const std::vector<Value>& key) const {
+    size_t h = 0x9e3779b97f4a7c15ULL;
+    for (const Value& v : key) h = h * 1315423911ULL + v.Hash();
+    return h;
+  }
+};
+
+}  // namespace
+
+/// Find `a = b` conjuncts splitting cleanly across the join boundary.
+void ExtractEquiKeys(const BoundExpr& on, size_t right_offset,
+                     size_t right_end, std::vector<EquiKey>* keys,
+                     std::vector<const BoundExpr*>* residual) {
+  if (on.kind == BoundExprKind::kBinary &&
+      on.binary_op == sql::BinaryOp::kAnd) {
+    ExtractEquiKeys(*on.children[0], right_offset, right_end, keys, residual);
+    ExtractEquiKeys(*on.children[1], right_offset, right_end, keys, residual);
+    return;
+  }
+  if (on.kind == BoundExprKind::kBinary && on.binary_op == sql::BinaryOp::kEq &&
+      on.children[0]->kind == BoundExprKind::kColumn &&
+      on.children[1]->kind == BoundExprKind::kColumn) {
+    size_t a = on.children[0]->index;
+    size_t b = on.children[1]->index;
+    bool a_left = a < right_offset;
+    bool b_left = b < right_offset;
+    bool a_right = a >= right_offset && a < right_end;
+    bool b_right = b >= right_offset && b < right_end;
+    if (a_left && b_right) {
+      keys->push_back({a, b});
+      return;
+    }
+    if (b_left && a_right) {
+      keys->push_back({b, a});
+      return;
+    }
+  }
+  residual->push_back(&on);
+}
+
+namespace {
+
+/// Joins the child stream (left) with a materialized right side.
+/// Inner/cross/left-outer; hash-accelerated when equi keys exist.
+class JoinIterator : public RowIterator {
+ public:
+  JoinIterator(RowIteratorPtr left, std::vector<Row> right_rows,
+               size_t right_offset, size_t right_width, sql::JoinType type,
+               const BoundExpr* on)
+      : left_(std::move(left)),
+        right_rows_(std::move(right_rows)),
+        right_offset_(right_offset),
+        right_width_(right_width),
+        type_(type),
+        on_(on) {
+    if (on_ != nullptr) {
+      ExtractEquiKeys(*on_, right_offset_, right_offset_ + right_width_,
+                      &equi_keys_, &residual_);
+    }
+    if (!equi_keys_.empty()) {
+      for (size_t i = 0; i < right_rows_.size(); ++i) {
+        std::vector<Value> key;
+        key.reserve(equi_keys_.size());
+        bool has_null = false;
+        for (const EquiKey& k : equi_keys_) {
+          const Value& v = right_rows_[i][k.right_index - right_offset_];
+          if (v.is_null()) has_null = true;
+          key.push_back(v);
+        }
+        if (has_null) continue;  // NULL never equi-joins
+        hash_table_[std::move(key)].push_back(i);
+      }
+    }
+  }
+
+  Result<std::optional<Row>> Next() override {
+    while (true) {
+      if (!current_left_) {
+        IDAA_ASSIGN_OR_RETURN(auto row, left_->Next());
+        if (!row) return std::optional<Row>();
+        current_left_ = std::move(row);
+        matched_ = false;
+        if (!equi_keys_.empty()) {
+          std::vector<Value> key;
+          key.reserve(equi_keys_.size());
+          bool has_null = false;
+          for (const EquiKey& k : equi_keys_) {
+            const Value& v = (*current_left_)[k.left_index];
+            if (v.is_null()) has_null = true;
+            key.push_back(v);
+          }
+          candidates_ = nullptr;
+          if (!has_null) {
+            auto it = hash_table_.find(key);
+            if (it != hash_table_.end()) candidates_ = &it->second;
+          }
+          candidate_pos_ = 0;
+        } else {
+          candidate_pos_ = 0;
+        }
+      }
+
+      // Iterate over candidate right rows.
+      while (true) {
+        size_t right_index;
+        if (!equi_keys_.empty()) {
+          if (candidates_ == nullptr || candidate_pos_ >= candidates_->size()) {
+            break;
+          }
+          right_index = (*candidates_)[candidate_pos_++];
+        } else {
+          if (candidate_pos_ >= right_rows_.size()) break;
+          right_index = candidate_pos_++;
+        }
+        Row combined = *current_left_;
+        combined.resize(right_offset_, Value::Null());
+        const Row& right = right_rows_[right_index];
+        combined.insert(combined.end(), right.begin(), right.end());
+        bool pass = true;
+        if (!residual_.empty()) {
+          for (const BoundExpr* pred : residual_) {
+            IDAA_ASSIGN_OR_RETURN(bool p, EvalPredicate(*pred, combined));
+            if (!p) {
+              pass = false;
+              break;
+            }
+          }
+        } else if (equi_keys_.empty() && on_ != nullptr) {
+          IDAA_ASSIGN_OR_RETURN(pass, EvalPredicate(*on_, combined));
+        }
+        if (pass) {
+          matched_ = true;
+          return std::optional<Row>(std::move(combined));
+        }
+      }
+
+      // Left row exhausted all candidates.
+      if (type_ == sql::JoinType::kLeft && !matched_) {
+        Row combined = std::move(*current_left_);
+        combined.resize(right_offset_ + right_width_, Value::Null());
+        current_left_.reset();
+        return std::optional<Row>(std::move(combined));
+      }
+      current_left_.reset();
+    }
+  }
+
+ private:
+  RowIteratorPtr left_;
+  std::vector<Row> right_rows_;
+  size_t right_offset_;
+  size_t right_width_;
+  sql::JoinType type_;
+  const BoundExpr* on_;
+  std::vector<EquiKey> equi_keys_;
+  std::vector<const BoundExpr*> residual_;
+  std::unordered_map<std::vector<Value>, std::vector<size_t>, RowKeyHash>
+      hash_table_;
+
+  std::optional<Row> current_left_;
+  const std::vector<size_t>* candidates_ = nullptr;
+  size_t candidate_pos_ = 0;
+  bool matched_ = false;
+};
+
+/// Drain an iterator into a vector.
+Result<std::vector<Row>> Drain(RowIterator* it) {
+  std::vector<Row> out;
+  while (true) {
+    IDAA_ASSIGN_OR_RETURN(auto row, it->Next());
+    if (!row) break;
+    out.push_back(std::move(*row));
+  }
+  return out;
+}
+
+/// NULLs sort high (DB2 semantics): last ascending, first descending.
+Result<bool> CompareRows(const std::vector<sql::BoundOrderBy>& order_by,
+                         const Row& a, const Row& b, bool* less) {
+  for (const auto& ob : order_by) {
+    IDAA_ASSIGN_OR_RETURN(Value va, EvalExpr(*ob.expr, a));
+    IDAA_ASSIGN_OR_RETURN(Value vb, EvalExpr(*ob.expr, b));
+    if (va.is_null() && vb.is_null()) continue;
+    int cmp;
+    if (va.is_null()) {
+      cmp = 1;  // NULL is high
+    } else if (vb.is_null()) {
+      cmp = -1;
+    } else {
+      IDAA_ASSIGN_OR_RETURN(cmp, va.Compare(vb));
+    }
+    if (cmp == 0) continue;
+    *less = ob.ascending ? cmp < 0 : cmp > 0;
+    return true;
+  }
+  *less = false;
+  return false;  // equal
+}
+
+}  // namespace
+
+Result<ResultSet> FinishSelect(const BoundSelect& plan,
+                               std::vector<Row> combined_rows) {
+  std::vector<Row> post_rows;
+
+  if (plan.has_aggregation) {
+    // Hash aggregation over group keys.
+    std::unordered_map<std::vector<Value>,
+                       std::vector<sql::AggregateAccumulator>, RowKeyHash>
+        groups;
+    std::vector<std::vector<Value>> group_order;  // deterministic output
+    for (const Row& row : combined_rows) {
+      std::vector<Value> key;
+      key.reserve(plan.group_keys.size());
+      for (const auto& g : plan.group_keys) {
+        IDAA_ASSIGN_OR_RETURN(Value v, EvalExpr(*g, row));
+        key.push_back(std::move(v));
+      }
+      auto it = groups.find(key);
+      if (it == groups.end()) {
+        std::vector<sql::AggregateAccumulator> accs;
+        accs.reserve(plan.aggregates.size());
+        for (const auto& agg : plan.aggregates) accs.emplace_back(agg);
+        it = groups.emplace(key, std::move(accs)).first;
+        group_order.push_back(key);
+      }
+      for (size_t i = 0; i < plan.aggregates.size(); ++i) {
+        const auto& agg = plan.aggregates[i];
+        if (agg.func == sql::AggFunc::kCountStar) {
+          it->second[i].AccumulateRow();
+        } else {
+          IDAA_ASSIGN_OR_RETURN(Value v, EvalExpr(*agg.arg, row));
+          it->second[i].Accumulate(v);
+        }
+      }
+    }
+    // Global aggregation over an empty input still yields one row.
+    if (groups.empty() && plan.group_keys.empty()) {
+      std::vector<sql::AggregateAccumulator> accs;
+      for (const auto& agg : plan.aggregates) accs.emplace_back(agg);
+      groups.emplace(std::vector<Value>{}, std::move(accs));
+      group_order.push_back({});
+    }
+    post_rows.reserve(groups.size());
+    for (const auto& key : group_order) {
+      auto it = groups.find(key);
+      Row out = key;
+      for (const auto& acc : it->second) out.push_back(acc.Finalize());
+      post_rows.push_back(std::move(out));
+    }
+  } else {
+    post_rows = std::move(combined_rows);
+  }
+  return FinalizeSelect(plan, std::move(post_rows));
+}
+
+Result<ResultSet> FinalizeSelect(const BoundSelect& plan,
+                                 std::vector<Row> post_rows) {
+  if (plan.having) {
+    std::vector<Row> kept;
+    for (Row& row : post_rows) {
+      IDAA_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*plan.having, row));
+      if (pass) kept.push_back(std::move(row));
+    }
+    post_rows = std::move(kept);
+  }
+
+  // ORDER BY over the pre-projection layout.
+  if (!plan.order_by.empty()) {
+    Status sort_error = Status::OK();
+    std::stable_sort(post_rows.begin(), post_rows.end(),
+                     [&](const Row& a, const Row& b) {
+                       if (!sort_error.ok()) return false;
+                       bool less = false;
+                       auto r = CompareRows(plan.order_by, a, b, &less);
+                       if (!r.ok()) {
+                         sort_error = r.status();
+                         return false;
+                       }
+                       return less;
+                     });
+    IDAA_RETURN_IF_ERROR(sort_error);
+  }
+
+  // Project.
+  ResultSet result(plan.output_schema);
+  for (const Row& row : post_rows) {
+    Row out;
+    out.reserve(plan.select_exprs.size());
+    for (const auto& e : plan.select_exprs) {
+      IDAA_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, row));
+      out.push_back(std::move(v));
+    }
+    result.Append(std::move(out));
+  }
+
+  // DISTINCT preserving first-occurrence order.
+  if (plan.distinct) {
+    std::unordered_map<std::vector<Value>, bool, RowKeyHash> seen;
+    std::vector<Row> unique;
+    for (Row& row : result.mutable_rows()) {
+      if (seen.emplace(row, true).second) unique.push_back(std::move(row));
+    }
+    result = ResultSet(plan.output_schema, std::move(unique));
+  }
+
+  // LIMIT.
+  if (plan.limit && result.NumRows() > static_cast<size_t>(*plan.limit)) {
+    result.mutable_rows().resize(static_cast<size_t>(*plan.limit));
+  }
+  return result;
+}
+
+Result<ResultSet> ExecuteBoundSelect(const BoundSelect& plan,
+                                     const TableSource& source,
+                                     const ExecutorOptions& options) {
+  // Table-less SELECT: one row of evaluated expressions.
+  if (plan.tables.empty()) {
+    return FinishSelect(plan, {Row{}});
+  }
+
+  // Build the pipeline: scan of the base table, then joins left-to-right.
+  IDAA_ASSIGN_OR_RETURN(std::vector<Row> base_rows, source(0));
+  RowIteratorPtr pipeline = std::make_unique<ScanIterator>(
+      std::move(base_rows),
+      options.apply_scan_predicates ? plan.tables[0].scan_predicate.get()
+                                    : nullptr,
+      options.metrics, options.scan_counter);
+
+  for (size_t t = 1; t < plan.tables.size(); ++t) {
+    const BoundTable& bt = plan.tables[t];
+    IDAA_ASSIGN_OR_RETURN(std::vector<Row> right_raw, source(t));
+    // Apply the right table's scan predicate while materializing.
+    std::vector<Row> right_rows;
+    right_rows.reserve(right_raw.size());
+    for (Row& row : right_raw) {
+      if (options.metrics != nullptr) {
+        options.metrics->Increment(options.scan_counter);
+      }
+      if (options.apply_scan_predicates && bt.scan_predicate) {
+        IDAA_ASSIGN_OR_RETURN(bool pass,
+                              EvalPredicate(*bt.scan_predicate, row));
+        if (!pass) continue;
+      }
+      right_rows.push_back(std::move(row));
+    }
+    pipeline = std::make_unique<JoinIterator>(
+        std::move(pipeline), std::move(right_rows), bt.offset,
+        bt.info->schema.NumColumns(), bt.join_type, bt.join_on.get());
+  }
+
+  if (plan.where) {
+    pipeline =
+        std::make_unique<FilterIterator>(std::move(pipeline), plan.where.get());
+  }
+
+  IDAA_ASSIGN_OR_RETURN(std::vector<Row> combined, Drain(pipeline.get()));
+  return FinishSelect(plan, std::move(combined));
+}
+
+}  // namespace idaa::exec

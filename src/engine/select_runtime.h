@@ -1,0 +1,67 @@
+// Shared SELECT runtime: the coordinator-side operators used by both
+// engines — joins (hash-accelerated, volcano iterators), aggregation,
+// HAVING, ORDER BY, projection, DISTINCT and LIMIT.
+//
+// The engines differ in their *scan* layers (which is where the paper's
+// performance asymmetry lives): DB2 feeds raw row-store scans and lets this
+// runtime apply scan predicates row-at-a-time; the accelerator feeds
+// pre-filtered rows from its parallel, zone-map-pruned, vectorized column
+// scans and disables predicate re-evaluation.
+
+#pragma once
+
+#include <functional>
+
+#include "common/metrics.h"
+#include "common/result.h"
+#include "common/row.h"
+#include "sql/binder.h"
+
+namespace idaa::exec {
+
+/// Supplies the rows of plan.tables[table_index].
+using TableSource =
+    std::function<Result<std::vector<Row>>(size_t table_index)>;
+
+struct ExecutorOptions {
+  /// If set, scanned rows are accounted under `scan_counter`.
+  MetricsRegistry* metrics = nullptr;
+  const char* scan_counter = metric::kDb2RowsScanned;
+  /// When false the sources have already applied plan.tables[i].scan_predicate
+  /// (accelerator push-down) and the runtime must not re-evaluate it.
+  bool apply_scan_predicates = true;
+};
+
+/// Execute a bound SELECT against the provided table sources.
+Result<ResultSet> ExecuteBoundSelect(const sql::BoundSelect& plan,
+                                     const TableSource& source,
+                                     const ExecutorOptions& options = {});
+
+/// Post-join processing only: aggregation, HAVING, ORDER BY, projection,
+/// DISTINCT and LIMIT over already-joined combined rows.
+Result<ResultSet> FinishSelect(const sql::BoundSelect& plan,
+                               std::vector<Row> combined_rows);
+
+/// An equi-join key pair extracted from an ON predicate (combined-layout
+/// column indexes; left is below the join boundary, right above).
+struct EquiKey {
+  size_t left_index;
+  size_t right_index;
+};
+
+/// Split an ON predicate into hashable equi keys crossing the boundary
+/// [right_offset, right_end) and residual conjuncts that must be evaluated
+/// per candidate pair.
+void ExtractEquiKeys(const sql::BoundExpr& on, size_t right_offset,
+                     size_t right_end, std::vector<EquiKey>* keys,
+                     std::vector<const sql::BoundExpr*>* residual);
+
+/// The tail of FinishSelect for engines that aggregate at the storage
+/// layer (accelerator slice-parallel aggregation): applies HAVING, ORDER
+/// BY, projection, DISTINCT and LIMIT to rows already in the post-
+/// aggregation layout [group keys..., aggregate results...] (or the plain
+/// combined layout for non-aggregating plans).
+Result<ResultSet> FinalizeSelect(const sql::BoundSelect& plan,
+                                 std::vector<Row> post_rows);
+
+}  // namespace idaa::exec

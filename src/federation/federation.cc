@@ -1,0 +1,812 @@
+#include "federation/federation.h"
+
+#include "accel/accel_executor.h"
+#include "common/string_util.h"
+#include "sql/parser.h"
+
+namespace idaa::federation {
+
+using governance::Privilege;
+
+namespace {
+
+/// Grant the full privilege set on a newly created object to its creator.
+void GrantAllToCreator(governance::AuthorizationManager* auth,
+                       const std::string& user, const std::string& object) {
+  for (Privilege p : {Privilege::kSelect, Privilege::kInsert,
+                      Privilege::kUpdate, Privilege::kDelete}) {
+    (void)auth->Grant(user, object, p);
+  }
+}
+
+}  // namespace
+
+Status FederationEngine::Authorize(const Session& session,
+                                   const std::string& object,
+                                   Privilege privilege,
+                                   const std::string& action) {
+  metrics_->Increment(metric::kGovernanceChecks);
+  Status status = auth_->Check(session.user, object, privilege);
+  audit_->Record(session.user, action, object, status.ok(),
+                 status.ok() ? "" : status.message());
+  return status;
+}
+
+std::vector<Row> FederationEngine::MapRows(const std::vector<Row>& source,
+                                           const std::vector<size_t>& mapping,
+                                           size_t target_width) {
+  std::vector<Row> out;
+  out.reserve(source.size());
+  for (const Row& src : source) {
+    Row row(target_width, Value::Null());
+    for (size_t i = 0; i < mapping.size(); ++i) row[mapping[i]] = src[i];
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+Result<accel::Accelerator*> FederationEngine::AcceleratorByName(
+    const std::string& name) const {
+  std::string normalized = Catalog::NormalizeName(name);
+  for (accel::Accelerator* a : accelerators_) {
+    if (a->name() == normalized) return a;
+  }
+  return Status::NotFound("no such accelerator: " + name);
+}
+
+Result<accel::Accelerator*> FederationEngine::AcceleratorForTable(
+    const TableInfo& info) const {
+  if (info.accelerator_name.empty()) {
+    return Status::InvalidArgument("table " + info.name +
+                                   " has no accelerator-side data");
+  }
+  IDAA_ASSIGN_OR_RETURN(accel::Accelerator * a,
+                        AcceleratorByName(info.accelerator_name));
+  if (!a->available()) {
+    return Status::NotSupported("accelerator " + a->name() + " is offline");
+  }
+  return a;
+}
+
+Result<accel::Accelerator*> FederationEngine::AcceleratorForPlan(
+    const sql::BoundSelect& plan) const {
+  accel::Accelerator* chosen = nullptr;
+  for (const auto& bt : plan.tables) {
+    IDAA_ASSIGN_OR_RETURN(accel::Accelerator * a,
+                          AcceleratorForTable(*bt.info));
+    if (chosen != nullptr && a != chosen) {
+      return Status::SemanticError(
+          "statement references tables on different accelerators (" +
+          chosen->name() + ", " + a->name() + ")");
+    }
+    chosen = a;
+  }
+  if (chosen == nullptr) {
+    return Status::Internal("no accelerator-resident table in plan");
+  }
+  return chosen;
+}
+
+accel::Accelerator* FederationEngine::LeastLoadedAccelerator() const {
+  accel::Accelerator* best = nullptr;
+  for (accel::Accelerator* a : accelerators_) {
+    if (!a->available()) continue;
+    if (best == nullptr || a->NumTables() < best->NumTables()) best = a;
+  }
+  return best != nullptr ? best : accelerators_.front();
+}
+
+Result<ExecResult> FederationEngine::Execute(const sql::Statement& stmt,
+                                             const Session& session,
+                                             Transaction* txn) {
+  switch (stmt.kind()) {
+    case sql::StatementKind::kSelect:
+      return ExecuteSelect(static_cast<const sql::SelectStatement&>(stmt),
+                           session, txn);
+    case sql::StatementKind::kInsert:
+      return ExecuteInsert(static_cast<const sql::InsertStatement&>(stmt),
+                           session, txn);
+    case sql::StatementKind::kUpdate:
+      return ExecuteUpdate(static_cast<const sql::UpdateStatement&>(stmt),
+                           session, txn);
+    case sql::StatementKind::kDelete:
+      return ExecuteDelete(static_cast<const sql::DeleteStatement&>(stmt),
+                           session, txn);
+    case sql::StatementKind::kCreateTable:
+      return ExecuteCreateTable(
+          static_cast<const sql::CreateTableStatement&>(stmt), session, txn);
+    case sql::StatementKind::kDropTable:
+      return ExecuteDropTable(static_cast<const sql::DropTableStatement&>(stmt),
+                              session);
+    case sql::StatementKind::kGrant:
+    case sql::StatementKind::kRevoke:
+      return ExecuteGrantRevoke(stmt, session);
+    case sql::StatementKind::kCall:
+      return ExecuteCall(static_cast<const sql::CallStatement&>(stmt), session,
+                         txn);
+    case sql::StatementKind::kExplain:
+      return ExecuteExplain(static_cast<const sql::ExplainStatement&>(stmt),
+                            session);
+  }
+  return Status::NotSupported("unhandled statement kind");
+}
+
+Result<ResultSet> FederationEngine::RunSelectOn(Target target,
+                                                const sql::BoundSelect& plan,
+                                                Transaction* txn) {
+  if (target == Target::kAccelerator) {
+    metrics_->Increment(metric::kQueriesRoutedToAccel);
+    IDAA_ASSIGN_OR_RETURN(accel::Accelerator * accelerator,
+                          AcceleratorForPlan(plan));
+    return accelerator->ExecuteSelect(plan, txn->id(), txn->snapshot_csn());
+  }
+  metrics_->Increment(metric::kQueriesRoutedToDb2);
+  return db2_->ExecuteSelect(plan, txn);
+}
+
+Result<ExecResult> FederationEngine::ExecuteSelect(
+    const sql::SelectStatement& stmt, const Session& session,
+    Transaction* txn) {
+  for (const std::string& table : sql::ReferencedTables(stmt)) {
+    IDAA_RETURN_IF_ERROR(
+        Authorize(session, table, Privilege::kSelect, "SELECT"));
+  }
+  IDAA_ASSIGN_OR_RETURN(RoutingDecision route,
+                        router_.RouteSelect(stmt, session.acceleration));
+  sql::Binder binder(*catalog_);
+  IDAA_ASSIGN_OR_RETURN(sql::BoundSelect plan, binder.BindSelect(stmt));
+
+  ExecResult out;
+  out.executed_on = route.target;
+  out.detail = route.reason;
+  if (route.target == Target::kAccelerator) {
+    channel_->SendStatement(stmt.ToSql());
+    IDAA_ASSIGN_OR_RETURN(ResultSet result, RunSelectOn(route.target, plan, txn));
+    // The result crosses the accelerator -> DB2 boundary to the client.
+    IDAA_ASSIGN_OR_RETURN(out.result_set,
+                          channel_->FetchResultFromAccelerator(result));
+  } else {
+    IDAA_ASSIGN_OR_RETURN(out.result_set, RunSelectOn(route.target, plan, txn));
+  }
+  return out;
+}
+
+Result<ExecResult> FederationEngine::ExecuteInsert(
+    const sql::InsertStatement& stmt, const Session& session,
+    Transaction* txn) {
+  IDAA_RETURN_IF_ERROR(
+      Authorize(session, stmt.table_name, Privilege::kInsert, "INSERT"));
+  if (stmt.select) {
+    for (const std::string& table : sql::ReferencedTables(*stmt.select)) {
+      IDAA_RETURN_IF_ERROR(
+          Authorize(session, table, Privilege::kSelect, "SELECT"));
+    }
+  }
+
+  sql::Binder binder(*catalog_);
+  IDAA_ASSIGN_OR_RETURN(sql::BoundInsert bound, binder.BindInsert(stmt));
+  const TableInfo& target = *bound.table;
+  bool target_aot = target.kind == TableKind::kAcceleratorOnly;
+  size_t width = target.schema.NumColumns();
+
+  ExecResult out;
+  out.executed_on = target_aot ? Target::kAccelerator : Target::kDb2;
+
+  // Materialize the source rows and note where they were produced.
+  std::vector<Row> rows;
+  Target source_target = Target::kDb2;
+  if (bound.select) {
+    IDAA_ASSIGN_OR_RETURN(RoutingDecision route,
+                          router_.RouteSelect(*stmt.select,
+                                              session.acceleration));
+    source_target = route.target;
+    if (source_target == Target::kAccelerator) {
+      channel_->SendStatement(stmt.select->ToSql());
+    }
+    IDAA_ASSIGN_OR_RETURN(ResultSet source_result,
+                          RunSelectOn(source_target, *bound.select, txn));
+    rows = MapRows(source_result.rows(), bound.column_mapping, width);
+  } else {
+    rows = bound.values_rows;  // already full width
+  }
+
+  if (target_aot) {
+    IDAA_ASSIGN_OR_RETURN(accel::Accelerator * target_accel,
+                          AcceleratorForTable(target));
+    bool cross_accelerator = false;
+    if (bound.select && source_target == Target::kAccelerator) {
+      for (const std::string& table : sql::ReferencedTables(*stmt.select)) {
+        auto src_info = catalog_->GetTable(table);
+        if (src_info.ok() &&
+            (*src_info)->accelerator_name != target.accelerator_name) {
+          cross_accelerator = true;
+        }
+      }
+    }
+    if (source_target == Target::kDb2 && bound.select) {
+      // Data produced in DB2 must cross the boundary once.
+      IDAA_ASSIGN_OR_RETURN(rows, channel_->SendRowsToAccelerator(rows));
+      out.detail = "INSERT into AOT from DB2 source (one boundary crossing)";
+    } else if (!bound.select) {
+      IDAA_ASSIGN_OR_RETURN(rows, channel_->SendRowsToAccelerator(rows));
+      out.detail = "INSERT VALUES into AOT";
+    } else if (cross_accelerator) {
+      // Source and target live on different accelerators: the rows come
+      // back to DB2 and go out again (two boundary crossings).
+      ResultSet shipped(Schema{}, std::move(rows));
+      IDAA_ASSIGN_OR_RETURN(ResultSet fetched,
+                            channel_->FetchResultFromAccelerator(shipped));
+      IDAA_ASSIGN_OR_RETURN(rows,
+                            channel_->SendRowsToAccelerator(fetched.rows()));
+      out.detail = "INSERT ... SELECT across accelerators (two boundary "
+                   "crossings)";
+    } else {
+      // Fully accelerator-side: no data movement at all — the paper's ELT
+      // optimization.
+      channel_->SendStatement(stmt.ToSql());
+      out.detail = "INSERT ... SELECT executed entirely on the accelerator";
+    }
+    IDAA_RETURN_IF_ERROR(
+        target_accel->LoadRows(target.name, rows, txn->id()));
+    out.affected_rows = rows.size();
+    return out;
+  }
+
+  // Regular DB2 target.
+  if (source_target == Target::kAccelerator) {
+    // Legacy materialization path: accelerator result lands in DB2 (and is
+    // re-replicated if the target is an accelerated table).
+    ResultSet shipped(Schema{}, std::move(rows));
+    IDAA_ASSIGN_OR_RETURN(ResultSet fetched,
+                          channel_->FetchResultFromAccelerator(shipped));
+    rows = fetched.rows();
+    out.detail = "accelerator result materialized into DB2 table";
+  }
+  IDAA_ASSIGN_OR_RETURN(out.affected_rows,
+                        db2_->InsertRows(target, std::move(rows), txn));
+  return out;
+}
+
+Result<ExecResult> FederationEngine::ExecuteUpdate(
+    const sql::UpdateStatement& stmt, const Session& session,
+    Transaction* txn) {
+  IDAA_RETURN_IF_ERROR(
+      Authorize(session, stmt.table_name, Privilege::kUpdate, "UPDATE"));
+  sql::Binder binder(*catalog_);
+  IDAA_ASSIGN_OR_RETURN(sql::BoundUpdate bound, binder.BindUpdate(stmt));
+  ExecResult out;
+  if (bound.table->kind == TableKind::kAcceleratorOnly) {
+    channel_->SendStatement(stmt.ToSql());
+    out.executed_on = Target::kAccelerator;
+    out.detail = "UPDATE delegated to accelerator (AOT)";
+    IDAA_ASSIGN_OR_RETURN(accel::Accelerator * accelerator,
+                          AcceleratorForTable(*bound.table));
+    IDAA_ASSIGN_OR_RETURN(out.affected_rows,
+                          accelerator->ExecuteUpdate(bound, txn->id(),
+                                                     txn->snapshot_csn()));
+    return out;
+  }
+  out.executed_on = Target::kDb2;
+  IDAA_ASSIGN_OR_RETURN(out.affected_rows, db2_->ExecuteUpdate(bound, txn));
+  return out;
+}
+
+Result<ExecResult> FederationEngine::ExecuteDelete(
+    const sql::DeleteStatement& stmt, const Session& session,
+    Transaction* txn) {
+  IDAA_RETURN_IF_ERROR(
+      Authorize(session, stmt.table_name, Privilege::kDelete, "DELETE"));
+  sql::Binder binder(*catalog_);
+  IDAA_ASSIGN_OR_RETURN(sql::BoundDelete bound, binder.BindDelete(stmt));
+  ExecResult out;
+  if (bound.table->kind == TableKind::kAcceleratorOnly) {
+    channel_->SendStatement(stmt.ToSql());
+    out.executed_on = Target::kAccelerator;
+    out.detail = "DELETE delegated to accelerator (AOT)";
+    IDAA_ASSIGN_OR_RETURN(accel::Accelerator * accelerator,
+                          AcceleratorForTable(*bound.table));
+    IDAA_ASSIGN_OR_RETURN(out.affected_rows,
+                          accelerator->ExecuteDelete(bound, txn->id(),
+                                                     txn->snapshot_csn()));
+    return out;
+  }
+  out.executed_on = Target::kDb2;
+  IDAA_ASSIGN_OR_RETURN(out.affected_rows, db2_->ExecuteDelete(bound, txn));
+  return out;
+}
+
+Result<ExecResult> FederationEngine::ExecuteCreateTable(
+    const sql::CreateTableStatement& stmt, const Session& session,
+    Transaction* txn) {
+  if (!auth_->HasUser(session.user)) {
+    return Status::NotAuthorized("unknown user: " + session.user);
+  }
+  if (stmt.if_not_exists && catalog_->HasTable(stmt.table_name)) {
+    ExecResult out;
+    out.detail = "table already exists (IF NOT EXISTS)";
+    return out;
+  }
+  TableInfo info;
+  info.name = stmt.table_name;
+  Schema schema;
+  if (stmt.as_select) {
+    // CTAS: derive the schema from the query's output.
+    for (const std::string& table : sql::ReferencedTables(*stmt.as_select)) {
+      IDAA_RETURN_IF_ERROR(
+          Authorize(session, table, Privilege::kSelect, "SELECT"));
+    }
+    sql::Binder binder(*catalog_);
+    IDAA_ASSIGN_OR_RETURN(sql::BoundSelect plan,
+                          binder.BindSelect(*stmt.as_select));
+    for (const auto& col : plan.output_schema.columns()) {
+      IDAA_RETURN_IF_ERROR(schema.AddColumn(col));
+    }
+  } else {
+    for (const auto& col : stmt.columns) {
+      ColumnDef def;
+      def.name = Catalog::NormalizeName(col.name);
+      def.type = col.type;
+      def.nullable = !col.not_null;
+      IDAA_RETURN_IF_ERROR(schema.AddColumn(def));
+    }
+  }
+  info.schema = std::move(schema);
+  info.kind = stmt.in_accelerator ? TableKind::kAcceleratorOnly
+                                  : TableKind::kDb2Only;
+  if (stmt.distribute_by) {
+    if (!stmt.in_accelerator) {
+      return Status::SemanticError(
+          "DISTRIBUTE BY is only valid with IN ACCELERATOR");
+    }
+    IDAA_ASSIGN_OR_RETURN(size_t idx,
+                          info.schema.ColumnIndex(*stmt.distribute_by));
+    info.distribution_column = idx;
+  }
+  IDAA_ASSIGN_OR_RETURN(uint64_t table_id, catalog_->CreateTable(info));
+  info.table_id = table_id;
+  IDAA_ASSIGN_OR_RETURN(const TableInfo* stored,
+                        catalog_->GetTable(stmt.table_name));
+
+  Status storage_status;
+  accel::Accelerator* placed = nullptr;
+  if (stmt.in_accelerator) {
+    // AOT: storage only on the accelerator; DB2 keeps the proxy entry.
+    if (stmt.accelerator_name) {
+      auto by_name = AcceleratorByName(*stmt.accelerator_name);
+      if (!by_name.ok()) {
+        (void)catalog_->DropTable(stmt.table_name);
+        return by_name.status();
+      }
+      placed = *by_name;
+    } else {
+      placed = LeastLoadedAccelerator();
+    }
+    if (!placed->available()) {
+      (void)catalog_->DropTable(stmt.table_name);
+      return Status::NotSupported("accelerator " + placed->name() +
+                                  " is offline");
+    }
+    channel_->SendStatement(stmt.ToSql());
+    storage_status = placed->AddTable(*stored);
+    if (storage_status.ok()) {
+      storage_status =
+          catalog_->SetAcceleratorName(stored->name, placed->name());
+    }
+  } else {
+    storage_status = db2_->CreateTableStorage(*stored);
+  }
+  if (!storage_status.ok()) {
+    (void)catalog_->DropTable(stmt.table_name);
+    return storage_status;
+  }
+  GrantAllToCreator(auth_, session.user, stored->name);
+  audit_->Record(session.user, "CREATE TABLE", stored->name, true,
+                 stmt.in_accelerator ? "accelerator-only" : "db2");
+  ExecResult out;
+  out.executed_on = stmt.in_accelerator ? Target::kAccelerator : Target::kDb2;
+  out.detail = stmt.in_accelerator
+                   ? "created accelerator-only table with DB2 proxy entry"
+                   : "created DB2 table";
+  if (stmt.as_select) {
+    // Populate via the regular INSERT ... SELECT machinery (keeps the
+    // routing and data-movement accounting identical to a two-statement
+    // stage). The select is round-tripped through its SQL text.
+    sql::InsertStatement insert;
+    insert.table_name = stored->name;
+    IDAA_ASSIGN_OR_RETURN(sql::StatementPtr reparsed,
+                          sql::ParseStatement(stmt.as_select->ToSql()));
+    insert.select.reset(
+        static_cast<sql::SelectStatement*>(reparsed.release()));
+    auto populated = ExecuteInsert(insert, session, txn);
+    if (!populated.ok()) {
+      // Roll the DDL back so CTAS is atomic.
+      switch (stored->kind) {
+        case TableKind::kAcceleratorOnly:
+          if (placed != nullptr) (void)placed->RemoveTable(stored->name);
+          break;
+        default:
+          (void)db2_->DropTableStorage(*stored);
+      }
+      (void)catalog_->DropTable(stmt.table_name);
+      return populated.status();
+    }
+    out.affected_rows = populated->affected_rows;
+    out.detail += StrFormat(" and populated %zu rows (CTAS)",
+                            populated->affected_rows);
+  }
+  return out;
+}
+
+Result<ExecResult> FederationEngine::ExecuteDropTable(
+    const sql::DropTableStatement& stmt, const Session& session) {
+  if (stmt.if_exists && !catalog_->HasTable(stmt.table_name)) {
+    ExecResult out;
+    out.detail = "table does not exist (IF EXISTS)";
+    return out;
+  }
+  IDAA_ASSIGN_OR_RETURN(const TableInfo* info,
+                        catalog_->GetTable(stmt.table_name));
+  // Ownership proxy: dropping needs DELETE privilege (creator or admin).
+  IDAA_RETURN_IF_ERROR(
+      Authorize(session, info->name, Privilege::kDelete, "DROP TABLE"));
+  switch (info->kind) {
+    case TableKind::kAcceleratorOnly: {
+      IDAA_ASSIGN_OR_RETURN(accel::Accelerator * a,
+                            AcceleratorByName(info->accelerator_name));
+      IDAA_RETURN_IF_ERROR(a->RemoveTable(info->name));
+      break;
+    }
+    case TableKind::kAccelerated: {
+      replication_->UnregisterTable(info->name);
+      IDAA_ASSIGN_OR_RETURN(accel::Accelerator * a,
+                            AcceleratorByName(info->accelerator_name));
+      IDAA_RETURN_IF_ERROR(a->RemoveTable(info->name));
+      IDAA_RETURN_IF_ERROR(db2_->DropTableStorage(*info));
+      break;
+    }
+    case TableKind::kDb2Only:
+      IDAA_RETURN_IF_ERROR(db2_->DropTableStorage(*info));
+      break;
+  }
+  std::string name = info->name;
+  IDAA_RETURN_IF_ERROR(catalog_->DropTable(name));
+  auth_->DropObject(name);
+  ExecResult out;
+  out.detail = "dropped " + name;
+  return out;
+}
+
+Result<ExecResult> FederationEngine::ExecuteGrantRevoke(
+    const sql::Statement& stmt, const Session& session) {
+  // Only the administrator manages privileges in this model.
+  if (ToUpper(session.user) !=
+      governance::AuthorizationManager::kAdmin) {
+    audit_->Record(session.user, "GRANT/REVOKE", "", false,
+                   "only SYSADM may manage privileges");
+    return Status::NotAuthorized("only SYSADM may manage privileges");
+  }
+  ExecResult out;
+  if (stmt.kind() == sql::StatementKind::kGrant) {
+    const auto& grant = static_cast<const sql::GrantStatement&>(stmt);
+    auth_->CreateUser(grant.grantee);
+    for (const std::string& priv_name : grant.privileges) {
+      IDAA_ASSIGN_OR_RETURN(Privilege p,
+                            governance::PrivilegeFromString(priv_name));
+      IDAA_RETURN_IF_ERROR(auth_->Grant(
+          grant.grantee, Catalog::NormalizeName(grant.object_name), p));
+    }
+    audit_->Record(session.user, "GRANT", grant.object_name, true,
+                   "to " + grant.grantee);
+    out.detail = "granted";
+    return out;
+  }
+  const auto& revoke = static_cast<const sql::RevokeStatement&>(stmt);
+  for (const std::string& priv_name : revoke.privileges) {
+    IDAA_ASSIGN_OR_RETURN(Privilege p,
+                          governance::PrivilegeFromString(priv_name));
+    IDAA_RETURN_IF_ERROR(auth_->Revoke(
+        revoke.grantee, Catalog::NormalizeName(revoke.object_name), p));
+  }
+  audit_->Record(session.user, "REVOKE", revoke.object_name, true,
+                 "from " + revoke.grantee);
+  out.detail = "revoked";
+  return out;
+}
+
+Result<ExecResult> FederationEngine::ExecuteCall(const sql::CallStatement& stmt,
+                                                 const Session& session,
+                                                 Transaction* txn) {
+  std::string name = ToUpper(stmt.procedure_name);
+  if (name == "SYSPROC.ACCEL_ADD_TABLES") {
+    if (ToUpper(session.user) != governance::AuthorizationManager::kAdmin) {
+      return Status::NotAuthorized("only SYSADM may add tables");
+    }
+    if (stmt.arguments.empty() || stmt.arguments.size() > 2 ||
+        !stmt.arguments[0].is_varchar() ||
+        (stmt.arguments.size() == 2 && !stmt.arguments[1].is_varchar())) {
+      return Status::InvalidArgument(
+          "ACCEL_ADD_TABLES expects a table name and an optional "
+          "accelerator name");
+    }
+    IDAA_RETURN_IF_ERROR(AddTableToAccelerator(
+        stmt.arguments[0].AsVarchar(), txn,
+        stmt.arguments.size() == 2 ? stmt.arguments[1].AsVarchar() : ""));
+    audit_->Record(session.user, "ACCEL_ADD_TABLES",
+                   stmt.arguments[0].AsVarchar(), true);
+    ExecResult out;
+    out.detail = "table added to accelerator";
+    return out;
+  }
+  if (name == "SYSPROC.ACCEL_REMOVE_TABLES") {
+    if (ToUpper(session.user) != governance::AuthorizationManager::kAdmin) {
+      return Status::NotAuthorized("only SYSADM may remove tables");
+    }
+    if (stmt.arguments.size() != 1 || !stmt.arguments[0].is_varchar()) {
+      return Status::InvalidArgument(
+          "ACCEL_REMOVE_TABLES expects one VARCHAR table name");
+    }
+    IDAA_RETURN_IF_ERROR(
+        RemoveTableFromAccelerator(stmt.arguments[0].AsVarchar()));
+    audit_->Record(session.user, "ACCEL_REMOVE_TABLES",
+                   stmt.arguments[0].AsVarchar(), true);
+    ExecResult out;
+    out.detail = "table removed from accelerator";
+    return out;
+  }
+  if (name == "SYSPROC.ACCEL_LOAD_TABLES") {
+    if (ToUpper(session.user) != governance::AuthorizationManager::kAdmin) {
+      return Status::NotAuthorized("only SYSADM may reload tables");
+    }
+    if (stmt.arguments.size() != 1 || !stmt.arguments[0].is_varchar()) {
+      return Status::InvalidArgument(
+          "ACCEL_LOAD_TABLES expects one VARCHAR table name");
+    }
+    IDAA_RETURN_IF_ERROR(
+        ReloadAcceleratedTable(stmt.arguments[0].AsVarchar(), txn));
+    audit_->Record(session.user, "ACCEL_LOAD_TABLES",
+                   stmt.arguments[0].AsVarchar(), true);
+    ExecResult out;
+    out.detail = "replica reloaded from DB2 snapshot";
+    return out;
+  }
+  if (name == "SYSPROC.ACCEL_GET_TABLES_INFO") {
+    ExecResult out;
+    out.result_set =
+        ResultSet{Schema({{"TABLE", DataType::kVarchar, false},
+                          {"KIND", DataType::kVarchar, false},
+                          {"DB2_ROWS", DataType::kInteger, true},
+                          {"ACCEL_VERSIONS", DataType::kInteger, true},
+                          {"REPLICATED", DataType::kBoolean, false},
+                          {"ACCELERATOR", DataType::kVarchar, true}})};
+    for (const std::string& table_name : catalog_->ListTables()) {
+      auto info_r = catalog_->GetTable(table_name);
+      if (!info_r.ok()) continue;
+      const TableInfo* info = *info_r;
+      Value db2_rows = Value::Null();
+      if (info->kind != TableKind::kAcceleratorOnly) {
+        auto stored = db2_->row_store().GetTable(info->table_id);
+        if (stored.ok()) {
+          db2_rows =
+              Value::Integer(static_cast<int64_t>((*stored)->NumLiveRows()));
+        }
+      }
+      Value versions = Value::Null();
+      if (!info->accelerator_name.empty()) {
+        auto host = AcceleratorByName(info->accelerator_name);
+        if (host.ok()) {
+          auto accel_table = (*host)->GetTable(info->name);
+          if (accel_table.ok()) {
+            versions = Value::Integer(
+                static_cast<int64_t>((*accel_table)->NumVersions()));
+          }
+        }
+      }
+      out.result_set.Append(
+          {Value::Varchar(info->name), Value::Varchar(TableKindToString(info->kind)),
+           db2_rows, versions,
+           Value::Boolean(replication_->IsReplicated(info->name)),
+           info->accelerator_name.empty() ? Value::Null()
+                                          : Value::Varchar(
+                                                info->accelerator_name)});
+    }
+    out.detail = "catalog snapshot";
+    return out;
+  }
+  if (name == "SYSPROC.ACCEL_GROOM") {
+    accel::GroomStats stats;
+    for (accel::Accelerator* a : accelerators_) {
+      accel::GroomStats one = a->GroomAll();
+      stats.rows_examined += one.rows_examined;
+      stats.rows_reclaimed += one.rows_reclaimed;
+    }
+    ExecResult out;
+    out.detail = StrFormat("groomed: %zu examined, %zu reclaimed",
+                           stats.rows_examined, stats.rows_reclaimed);
+    return out;
+  }
+  if (name == "SYSPROC.ACCEL_CONTROL") {
+    if (ToUpper(session.user) != governance::AuthorizationManager::kAdmin) {
+      return Status::NotAuthorized("only SYSADM may control accelerators");
+    }
+    if (stmt.arguments.size() != 2 || !stmt.arguments[0].is_varchar() ||
+        !stmt.arguments[1].is_varchar()) {
+      return Status::InvalidArgument(
+          "ACCEL_CONTROL expects (accelerator, 'ONLINE'|'OFFLINE')");
+    }
+    IDAA_ASSIGN_OR_RETURN(accel::Accelerator * a,
+                          AcceleratorByName(stmt.arguments[0].AsVarchar()));
+    std::string command = ToUpper(stmt.arguments[1].AsVarchar());
+    if (command == "ONLINE") {
+      a->SetAvailable(true);
+    } else if (command == "OFFLINE") {
+      a->SetAvailable(false);
+    } else {
+      return Status::InvalidArgument("unknown ACCEL_CONTROL command: " +
+                                     command);
+    }
+    audit_->Record(session.user, "ACCEL_CONTROL", a->name(), true, command);
+    ExecResult out;
+    out.detail = a->name() + " is now " + command;
+    return out;
+  }
+  // Analytics / user procedures: EXECUTE privilege, then delegate.
+  IDAA_RETURN_IF_ERROR(
+      Authorize(session, name, Privilege::kExecute, "CALL " + name));
+  if (!procedure_handler_) {
+    return Status::NotFound("procedure not found: " + name);
+  }
+  channel_->SendStatement(stmt.ToSql());
+  ExecResult out;
+  out.executed_on = Target::kAccelerator;
+  IDAA_ASSIGN_OR_RETURN(out.result_set,
+                        procedure_handler_(name, stmt.arguments, txn, session));
+  out.detail = "procedure executed on accelerator";
+  return out;
+}
+
+Result<ExecResult> FederationEngine::ExecuteExplain(
+    const sql::ExplainStatement& stmt, const Session& session) {
+  // EXPLAIN needs the same read privileges as the query itself.
+  for (const std::string& table : sql::ReferencedTables(*stmt.select)) {
+    IDAA_RETURN_IF_ERROR(
+        Authorize(session, table, Privilege::kSelect, "EXPLAIN"));
+  }
+  IDAA_ASSIGN_OR_RETURN(RoutingDecision route,
+                        router_.RouteSelect(*stmt.select, session.acceleration));
+  sql::Binder binder(*catalog_);
+  IDAA_ASSIGN_OR_RETURN(sql::BoundSelect plan, binder.BindSelect(*stmt.select));
+
+  ResultSet report{Schema({{"ASPECT", DataType::kVarchar, false},
+                           {"DETAIL", DataType::kVarchar, false}})};
+  auto add = [&report](const std::string& aspect, const std::string& detail) {
+    report.Append({Value::Varchar(aspect), Value::Varchar(detail)});
+  };
+  add("TARGET", route.target == Target::kAccelerator ? "ACCELERATOR" : "DB2");
+  add("REASON", route.reason);
+  add("ACCELERATION MODE",
+      AccelerationModeToString(session.acceleration));
+
+  for (const auto& bt : plan.tables) {
+    std::string detail = std::string(TableKindToString(bt.info->kind));
+    if (bt.scan_predicate) {
+      bool exact = false;
+      auto ranges = accel::ExtractColumnRanges(*bt.scan_predicate, &exact);
+      detail += StrFormat(", scan predicate pushed down (%zu zone-map "
+                          "range%s%s)",
+                          ranges.size(), ranges.size() == 1 ? "" : "s",
+                          exact ? ", exact" : "");
+      if (route.target == Target::kDb2) {
+        // Index access path report for the DB2 row engine.
+        auto table = db2_->row_store().GetTable(bt.info->table_id);
+        bool eq_on_first =
+            bt.scan_predicate->kind == sql::BoundExprKind::kBinary &&
+            !ranges.empty() && ranges[0].column == 0 &&
+            ranges[0].op == sql::BinaryOp::kEq;
+        if (table.ok() && (*table)->has_index() && eq_on_first) {
+          detail += ", primary-key hash index";
+        } else {
+          detail += ", table scan";
+        }
+      }
+    } else {
+      detail += route.target == Target::kDb2 ? ", table scan" : ", full scan";
+    }
+    add("TABLE " + bt.effective_name, detail);
+  }
+  if (plan.has_aggregation) {
+    std::string agg = StrFormat("%zu group key(s), %zu aggregate(s)",
+                                plan.group_keys.size(),
+                                plan.aggregates.size());
+    if (route.target == Target::kAccelerator) {
+      agg += accel::EligibleForSliceAggregation(plan)
+                 ? ", computed at the data slices"
+                 : ", computed at the coordinator";
+    }
+    add("AGGREGATION", agg);
+  }
+  if (plan.where) add("RESIDUAL PREDICATE", "evaluated after joins");
+  add("OUTPUT", StrFormat("%zu column(s)", plan.output_schema.NumColumns()));
+
+  ExecResult out;
+  out.result_set = std::move(report);
+  out.detail = "explain only; statement not executed";
+  return out;
+}
+
+Status FederationEngine::AddTableToAccelerator(
+    const std::string& table_name, Transaction* txn,
+    const std::string& accelerator_name) {
+  IDAA_ASSIGN_OR_RETURN(const TableInfo* info, catalog_->GetTable(table_name));
+  if (info->kind == TableKind::kAcceleratorOnly) {
+    return Status::InvalidArgument(
+        "table is accelerator-only; it is already (only) there");
+  }
+  if (info->kind == TableKind::kAccelerated) {
+    return Status::AlreadyExists("table is already accelerated: " + info->name);
+  }
+  accel::Accelerator* target = nullptr;
+  if (accelerator_name.empty()) {
+    target = LeastLoadedAccelerator();
+  } else {
+    IDAA_ASSIGN_OR_RETURN(target, AcceleratorByName(accelerator_name));
+  }
+  if (!target->available()) {
+    return Status::NotSupported("accelerator " + target->name() +
+                                " is offline");
+  }
+  // Initial load: snapshot in DB2, ship through the channel, bulk-load.
+  IDAA_ASSIGN_OR_RETURN(std::vector<Row> snapshot,
+                        db2_->TableSnapshot(*info, txn));
+  IDAA_RETURN_IF_ERROR(target->AddTable(*info));
+  IDAA_ASSIGN_OR_RETURN(std::vector<Row> shipped,
+                        channel_->SendRowsToAccelerator(snapshot));
+  Status load = target->LoadRows(info->name, shipped, txn->id());
+  if (!load.ok()) {
+    (void)target->RemoveTable(info->name);
+    return load;
+  }
+  IDAA_RETURN_IF_ERROR(catalog_->SetTableKind(info->name,
+                                              TableKind::kAccelerated));
+  IDAA_RETURN_IF_ERROR(
+      catalog_->SetAcceleratorName(info->name, target->name()));
+  replication_->RegisterTable(info->name);
+  return Status::OK();
+}
+
+Status FederationEngine::ReloadAcceleratedTable(const std::string& table_name,
+                                                Transaction* txn) {
+  IDAA_ASSIGN_OR_RETURN(const TableInfo* info, catalog_->GetTable(table_name));
+  if (info->kind != TableKind::kAccelerated) {
+    return Status::InvalidArgument("table is not accelerated: " + info->name);
+  }
+  // Drop any queued changes (the fresh snapshot supersedes them), rebuild
+  // the replica storage, and re-ship the current DB2 state.
+  IDAA_ASSIGN_OR_RETURN(accel::Accelerator * host,
+                        AcceleratorForTable(*info));
+  replication_->UnregisterTable(info->name);
+  IDAA_RETURN_IF_ERROR(host->RemoveTable(info->name));
+  IDAA_RETURN_IF_ERROR(host->AddTable(*info));
+  IDAA_ASSIGN_OR_RETURN(std::vector<Row> snapshot,
+                        db2_->TableSnapshot(*info, txn));
+  IDAA_ASSIGN_OR_RETURN(std::vector<Row> shipped,
+                        channel_->SendRowsToAccelerator(snapshot));
+  IDAA_RETURN_IF_ERROR(host->LoadRows(info->name, shipped, txn->id()));
+  replication_->RegisterTable(info->name);
+  return Status::OK();
+}
+
+Status FederationEngine::RemoveTableFromAccelerator(
+    const std::string& table_name) {
+  IDAA_ASSIGN_OR_RETURN(const TableInfo* info, catalog_->GetTable(table_name));
+  if (info->kind != TableKind::kAccelerated) {
+    return Status::InvalidArgument("table is not accelerated: " + info->name);
+  }
+  IDAA_ASSIGN_OR_RETURN(accel::Accelerator * host,
+                        AcceleratorByName(info->accelerator_name));
+  replication_->UnregisterTable(info->name);
+  IDAA_RETURN_IF_ERROR(host->RemoveTable(info->name));
+  IDAA_RETURN_IF_ERROR(catalog_->SetAcceleratorName(info->name, ""));
+  return catalog_->SetTableKind(info->name, TableKind::kDb2Only);
+}
+
+}  // namespace idaa::federation

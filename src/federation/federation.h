@@ -1,0 +1,165 @@
+// FederationEngine: the IDAA integration layer — the paper's primary
+// contribution. It owns statement orchestration across DB2 and the
+// accelerator:
+//   * DDL: CREATE TABLE ... IN ACCELERATOR creates the AOT on the
+//     accelerator and only a proxy (nickname) entry in the DB2 catalog;
+//   * routing: queries on AOTs are always delegated; queries on accelerated
+//     tables are offloaded per the acceleration mode; INSERT ... SELECT
+//     between AOTs runs entirely on the accelerator with zero DB2
+//     materialization (the ELT optimization);
+//   * transaction context propagation: every delegated statement carries
+//     the DB2 transaction id and snapshot so the accelerator's MVCC shows
+//     own uncommitted changes and a consistent snapshot of everything else;
+//   * governance: privileges are checked and audited at the DB2 front door
+//     before anything is delegated.
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.h"
+#include "catalog/catalog.h"
+#include "common/metrics.h"
+#include "common/result.h"
+#include "db2/db2_engine.h"
+#include "federation/router.h"
+#include "federation/transfer_channel.h"
+#include "governance/audit_log.h"
+#include "governance/authorization.h"
+#include "replication/replication_service.h"
+#include "sql/ast.h"
+#include "sql/binder.h"
+#include "txn/transaction_manager.h"
+
+namespace idaa::federation {
+
+/// Per-connection state.
+struct Session {
+  std::string user = governance::AuthorizationManager::kAdmin;
+  AccelerationMode acceleration = AccelerationMode::kEligible;
+};
+
+/// Outcome of one statement.
+struct ExecResult {
+  ResultSet result_set;        ///< SELECT / CALL output
+  size_t affected_rows = 0;    ///< DML row count
+  Target executed_on = Target::kDb2;
+  std::string detail;          ///< routing reason etc.
+};
+
+/// Hook for CALL statements the engine does not handle itself (the
+/// in-database analytics framework registers here).
+using ProcedureHandler = std::function<Result<ResultSet>(
+    const std::string& name, const std::vector<Value>& args, Transaction* txn,
+    const Session& session)>;
+
+class FederationEngine {
+ public:
+  /// A DB2 may have several accelerators attached; `accelerators` must be
+  /// non-empty. Tables are placed on one accelerator (explicitly or
+  /// balanced) and statements resolve to their tables' accelerator.
+  FederationEngine(Catalog* catalog, db2::Db2Engine* db2,
+                   std::vector<accel::Accelerator*> accelerators,
+                   TransactionManager* tm,
+                   replication::ReplicationService* replication,
+                   TransferChannel* channel,
+                   governance::AuthorizationManager* authorization,
+                   governance::AuditLog* audit, MetricsRegistry* metrics)
+      : catalog_(catalog), db2_(db2), accelerators_(std::move(accelerators)),
+        tm_(tm), replication_(replication), channel_(channel),
+        auth_(authorization), audit_(audit), metrics_(metrics),
+        router_(catalog) {}
+
+  /// Execute one parsed statement in the given session and transaction.
+  Result<ExecResult> Execute(const sql::Statement& stmt, const Session& session,
+                             Transaction* txn);
+
+  /// Admin API behind CALL SYSPROC.ACCEL_ADD_TABLES: snapshot the DB2 table,
+  /// ship it through the channel, create the replica, and subscribe it to
+  /// incremental update. With an empty `accelerator_name` the least-loaded
+  /// attached accelerator is chosen.
+  Status AddTableToAccelerator(const std::string& table_name, Transaction* txn,
+                               const std::string& accelerator_name = "");
+
+  /// Resolve an attached accelerator by name (error when unknown).
+  Result<accel::Accelerator*> AcceleratorByName(const std::string& name) const;
+
+  /// The accelerator hosting a table's accelerator-side data; errors when
+  /// the table has none or its accelerator is offline.
+  Result<accel::Accelerator*> AcceleratorForTable(const TableInfo& info) const;
+
+  /// CALL SYSPROC.ACCEL_REMOVE_TABLES.
+  Status RemoveTableFromAccelerator(const std::string& table_name);
+
+  /// CALL SYSPROC.ACCEL_LOAD_TABLES: re-snapshot an accelerated table's
+  /// replica from DB2 (recovery from divergence or a long replication
+  /// outage).
+  Status ReloadAcceleratedTable(const std::string& table_name,
+                                Transaction* txn);
+
+  void set_procedure_handler(ProcedureHandler handler) {
+    procedure_handler_ = std::move(handler);
+  }
+
+  const Router& router() const { return router_; }
+  Router& mutable_router() { return router_; }
+
+ private:
+  Result<ExecResult> ExecuteSelect(const sql::SelectStatement& stmt,
+                                   const Session& session, Transaction* txn);
+  Result<ExecResult> ExecuteInsert(const sql::InsertStatement& stmt,
+                                   const Session& session, Transaction* txn);
+  Result<ExecResult> ExecuteUpdate(const sql::UpdateStatement& stmt,
+                                   const Session& session, Transaction* txn);
+  Result<ExecResult> ExecuteDelete(const sql::DeleteStatement& stmt,
+                                   const Session& session, Transaction* txn);
+  Result<ExecResult> ExecuteCreateTable(const sql::CreateTableStatement& stmt,
+                                        const Session& session,
+                                        Transaction* txn);
+  Result<ExecResult> ExecuteDropTable(const sql::DropTableStatement& stmt,
+                                      const Session& session);
+  Result<ExecResult> ExecuteGrantRevoke(const sql::Statement& stmt,
+                                        const Session& session);
+  Result<ExecResult> ExecuteCall(const sql::CallStatement& stmt,
+                                 const Session& session, Transaction* txn);
+  Result<ExecResult> ExecuteExplain(const sql::ExplainStatement& stmt,
+                                    const Session& session);
+
+  /// Run a bound SELECT on the chosen target and return its (unmetered)
+  /// result; the caller meters when the result crosses the boundary.
+  Result<ResultSet> RunSelectOn(Target target, const sql::BoundSelect& plan,
+                                Transaction* txn);
+
+  /// The single accelerator all of the plan's tables live on (error when
+  /// they span accelerators or it is offline).
+  Result<accel::Accelerator*> AcceleratorForPlan(
+      const sql::BoundSelect& plan) const;
+
+  /// Placement choice for new accelerator-side tables.
+  accel::Accelerator* LeastLoadedAccelerator() const;
+
+  /// Governance check + audit record.
+  Status Authorize(const Session& session, const std::string& object,
+                   governance::Privilege privilege, const std::string& action);
+
+  /// Map source-result rows into full-width target rows per column_mapping.
+  static std::vector<Row> MapRows(const std::vector<Row>& source,
+                                  const std::vector<size_t>& mapping,
+                                  size_t target_width);
+
+  Catalog* catalog_;
+  db2::Db2Engine* db2_;
+  std::vector<accel::Accelerator*> accelerators_;
+  TransactionManager* tm_;
+  replication::ReplicationService* replication_;
+  TransferChannel* channel_;
+  governance::AuthorizationManager* auth_;
+  governance::AuditLog* audit_;
+  MetricsRegistry* metrics_;
+  Router router_;
+  ProcedureHandler procedure_handler_;
+};
+
+}  // namespace idaa::federation

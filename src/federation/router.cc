@@ -1,0 +1,170 @@
+#include "federation/router.h"
+
+#include "common/string_util.h"
+
+#include "sql/binder.h"
+
+namespace idaa::federation {
+
+const char* AccelerationModeToString(AccelerationMode mode) {
+  switch (mode) {
+    case AccelerationMode::kNone: return "NONE";
+    case AccelerationMode::kEnable: return "ENABLE";
+    case AccelerationMode::kEligible: return "ELIGIBLE";
+    case AccelerationMode::kAll: return "ALL";
+  }
+  return "?";
+}
+
+Result<TableClassification> Router::Classify(
+    const std::vector<std::string>& tables) const {
+  TableClassification out;
+  for (const std::string& name : tables) {
+    IDAA_ASSIGN_OR_RETURN(const TableInfo* info, catalog_->GetTable(name));
+    ++out.num_tables;
+    switch (info->kind) {
+      case TableKind::kAcceleratorOnly:
+        out.any_aot = true;
+        break;
+      case TableKind::kAccelerated:
+        out.any_accelerated = true;
+        break;
+      case TableKind::kDb2Only:
+        out.any_db2_only = true;
+        break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// True when the predicate has a top-level AND conjunct of the form
+/// `<column> = <literal>` (either side) on the named column.
+bool HasEqualityOnImpl(const sql::Expr& e, const std::string& column) {
+  if (e.kind == sql::ExprKind::kBinary &&
+      e.binary_op == sql::BinaryOp::kAnd) {
+    return HasEqualityOnImpl(*e.children[0], column) ||
+           HasEqualityOnImpl(*e.children[1], column);
+  }
+  if (e.kind == sql::ExprKind::kBinary && e.binary_op == sql::BinaryOp::kEq) {
+    const sql::Expr& lhs = *e.children[0];
+    const sql::Expr& rhs = *e.children[1];
+    auto is_col = [&column](const sql::Expr& x) {
+      return x.kind == sql::ExprKind::kColumnRef &&
+             EqualsIgnoreCase(x.column_name, column);
+    };
+    auto is_lit = [](const sql::Expr& x) {
+      return x.kind == sql::ExprKind::kLiteral;
+    };
+    return (is_col(lhs) && is_lit(rhs)) || (is_col(rhs) && is_lit(lhs));
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Router::HasEqualityOn(const sql::Expr& predicate,
+                           const std::string& column) {
+  return HasEqualityOnImpl(predicate, column);
+}
+
+bool Router::LooksAnalytical(const sql::SelectStatement& stmt) {
+  if (!stmt.joins.empty()) return true;
+  if (!stmt.group_by.empty()) return true;
+  if (stmt.distinct) return true;
+  auto contains_aggregate = [](const sql::Expr& e) {
+    // Recursive lambda via explicit stack.
+    std::vector<const sql::Expr*> stack = {&e};
+    while (!stack.empty()) {
+      const sql::Expr* cur = stack.back();
+      stack.pop_back();
+      if (cur->kind == sql::ExprKind::kFunctionCall &&
+          sql::IsAggregateFunction(cur->function_name)) {
+        return true;
+      }
+      for (const auto& child : cur->children) stack.push_back(child.get());
+    }
+    return false;
+  };
+  for (const auto& item : stmt.items) {
+    if (contains_aggregate(*item.expr)) return true;
+  }
+  return false;
+}
+
+Result<RoutingDecision> Router::RouteSelect(const sql::SelectStatement& stmt,
+                                            AccelerationMode mode) const {
+  std::vector<std::string> tables = sql::ReferencedTables(stmt);
+  IDAA_ASSIGN_OR_RETURN(TableClassification cls, Classify(tables));
+
+  if (cls.num_tables == 0) {
+    return RoutingDecision{Target::kDb2, "table-less SELECT runs locally"};
+  }
+  if (cls.any_aot) {
+    if (mode == AccelerationMode::kNone) {
+      return Status::SemanticError(
+          "statement references an accelerator-only table but CURRENT QUERY "
+          "ACCELERATION is NONE");
+    }
+    if (cls.any_db2_only) {
+      return Status::SemanticError(
+          "cannot join accelerator-only tables with tables that exist only "
+          "in DB2");
+    }
+    return RoutingDecision{Target::kAccelerator,
+                           "references accelerator-only table(s)"};
+  }
+  if (cls.any_db2_only || mode == AccelerationMode::kNone) {
+    if (mode == AccelerationMode::kAll && cls.any_db2_only &&
+        cls.any_accelerated) {
+      return Status::SemanticError(
+          "acceleration ALL but statement references non-accelerated tables");
+    }
+    return RoutingDecision{
+        Target::kDb2, cls.any_db2_only ? "references non-accelerated tables"
+                                       : "acceleration disabled"};
+  }
+  // All tables are accelerated.
+  switch (mode) {
+    case AccelerationMode::kEligible:
+    case AccelerationMode::kAll:
+      return RoutingDecision{Target::kAccelerator,
+                             "all tables accelerated, mode " +
+                                 std::string(AccelerationModeToString(mode))};
+    case AccelerationMode::kEnable: {
+      if (LooksAnalytical(stmt)) {
+        return RoutingDecision{Target::kAccelerator,
+                               "heuristic: analytical query shape"};
+      }
+      // Indexable point queries belong in DB2 regardless of table size.
+      if (stmt.joins.empty() && stmt.from && stmt.where) {
+        auto info = catalog_->GetTable(stmt.from->table_name);
+        if (info.ok() && (*info)->schema.NumColumns() > 0 &&
+            HasEqualityOn(*stmt.where, (*info)->schema.Column(0).name)) {
+          return RoutingDecision{Target::kDb2,
+                                 "heuristic: indexable point query"};
+        }
+      }
+      if (row_count_fn_) {
+        size_t total = 0;
+        for (const std::string& name : tables) {
+          auto info = catalog_->GetTable(name);
+          if (info.ok()) total += row_count_fn_(**info);
+        }
+        if (total >= enable_row_threshold_) {
+          return RoutingDecision{
+              Target::kAccelerator,
+              "heuristic: large scan (" + std::to_string(total) + " rows)"};
+        }
+      }
+      return RoutingDecision{Target::kDb2,
+                             "heuristic: short transactional query shape"};
+    }
+    case AccelerationMode::kNone:
+      break;  // handled above
+  }
+  return RoutingDecision{Target::kDb2, "default"};
+}
+
+}  // namespace idaa::federation

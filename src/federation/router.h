@@ -1,0 +1,82 @@
+// Router: decides for every statement whether it runs in DB2 or on the
+// accelerator, driven by table kinds (regular / accelerated / AOT) and the
+// session's acceleration mode — the behaviour DB2 exposes through the
+// CURRENT QUERY ACCELERATION special register.
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace idaa::federation {
+
+/// Session-level acceleration preference (models DB2's special register).
+enum class AccelerationMode : uint8_t {
+  kNone = 0,  ///< never offload; AOT access fails
+  kEnable,    ///< offload when the heuristic says the query is analytical
+  kEligible,  ///< offload whenever all referenced tables are on the accelerator
+  kAll,       ///< like kEligible, but fail instead of running on DB2
+};
+
+const char* AccelerationModeToString(AccelerationMode mode);
+
+enum class Target : uint8_t { kDb2, kAccelerator };
+
+struct RoutingDecision {
+  Target target = Target::kDb2;
+  std::string reason;
+};
+
+/// Classification of the tables a statement touches.
+struct TableClassification {
+  bool any_aot = false;
+  bool any_accelerated = false;
+  bool any_db2_only = false;
+  size_t num_tables = 0;
+};
+
+class Router {
+ public:
+  explicit Router(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Optional cardinality source (live row count of a table). With it, the
+  /// ENABLE heuristic also offloads large non-aggregating scans: even a
+  /// plain filter over millions of rows belongs on the accelerator.
+  using RowCountFn = std::function<size_t(const TableInfo&)>;
+  void set_row_count_fn(RowCountFn fn) { row_count_fn_ = std::move(fn); }
+
+  /// Scan-size threshold above which ENABLE offloads non-analytical
+  /// queries (default 50'000 rows).
+  void set_enable_row_threshold(size_t rows) { enable_row_threshold_ = rows; }
+
+  /// Classify the referenced tables of any statement.
+  Result<TableClassification> Classify(
+      const std::vector<std::string>& tables) const;
+
+  /// Route a SELECT. Errors when an AOT is referenced together with a
+  /// DB2-only table, or with acceleration NONE.
+  Result<RoutingDecision> RouteSelect(const sql::SelectStatement& stmt,
+                                      AccelerationMode mode) const;
+
+  /// True when the SELECT looks analytical (joins, grouping, aggregation,
+  /// DISTINCT) — the offload heuristic for AccelerationMode::kEnable.
+  static bool LooksAnalytical(const sql::SelectStatement& stmt);
+
+  /// True when the predicate has a top-level AND conjunct `column = literal`
+  /// (either operand order) on the named column — the index-awareness probe
+  /// of the ENABLE heuristic.
+  static bool HasEqualityOn(const sql::Expr& predicate,
+                            const std::string& column);
+
+ private:
+  const Catalog* catalog_;
+  RowCountFn row_count_fn_;
+  size_t enable_row_threshold_ = 50000;
+};
+
+}  // namespace idaa::federation

@@ -1,0 +1,179 @@
+#include "federation/transfer_channel.h"
+
+#include <cstring>
+
+namespace idaa::federation {
+
+namespace {
+
+enum WireTag : uint8_t {
+  kTagNull = 0,
+  kTagBoolean,
+  kTagInteger,
+  kTagDouble,
+  kTagVarchar,
+  kTagDate,
+  kTagTimestamp,
+};
+
+void PutU32(uint32_t v, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v >> 16));
+  out->push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void PutU64(uint64_t v, std::vector<uint8_t>* out) {
+  PutU32(static_cast<uint32_t>(v), out);
+  PutU32(static_cast<uint32_t>(v >> 32), out);
+}
+
+Result<uint32_t> GetU32(const std::vector<uint8_t>& buf, size_t* offset) {
+  if (*offset + 4 > buf.size()) {
+    return Status::Internal("wire format underflow (u32)");
+  }
+  uint32_t v = static_cast<uint32_t>(buf[*offset]) |
+               static_cast<uint32_t>(buf[*offset + 1]) << 8 |
+               static_cast<uint32_t>(buf[*offset + 2]) << 16 |
+               static_cast<uint32_t>(buf[*offset + 3]) << 24;
+  *offset += 4;
+  return v;
+}
+
+Result<uint64_t> GetU64(const std::vector<uint8_t>& buf, size_t* offset) {
+  IDAA_ASSIGN_OR_RETURN(uint32_t lo, GetU32(buf, offset));
+  IDAA_ASSIGN_OR_RETURN(uint32_t hi, GetU32(buf, offset));
+  return static_cast<uint64_t>(hi) << 32 | lo;
+}
+
+}  // namespace
+
+void EncodeRow(const Row& row, std::vector<uint8_t>* out) {
+  PutU32(static_cast<uint32_t>(row.size()), out);
+  for (const Value& v : row) {
+    if (v.is_null()) {
+      out->push_back(kTagNull);
+    } else if (v.is_boolean()) {
+      out->push_back(kTagBoolean);
+      out->push_back(v.AsBoolean() ? 1 : 0);
+    } else if (v.is_integer()) {
+      out->push_back(kTagInteger);
+      PutU64(static_cast<uint64_t>(v.AsInteger()), out);
+    } else if (v.is_double()) {
+      out->push_back(kTagDouble);
+      uint64_t bits;
+      double d = v.AsDouble();
+      std::memcpy(&bits, &d, sizeof(bits));
+      PutU64(bits, out);
+    } else if (v.is_varchar()) {
+      out->push_back(kTagVarchar);
+      const std::string& s = v.AsVarchar();
+      PutU32(static_cast<uint32_t>(s.size()), out);
+      out->insert(out->end(), s.begin(), s.end());
+    } else if (v.is_date()) {
+      out->push_back(kTagDate);
+      PutU32(static_cast<uint32_t>(v.AsDate()), out);
+    } else {
+      out->push_back(kTagTimestamp);
+      PutU64(static_cast<uint64_t>(v.AsTimestamp()), out);
+    }
+  }
+}
+
+Result<Row> DecodeRow(const std::vector<uint8_t>& buffer, size_t* offset) {
+  IDAA_ASSIGN_OR_RETURN(uint32_t arity, GetU32(buffer, offset));
+  Row row;
+  row.reserve(arity);
+  for (uint32_t i = 0; i < arity; ++i) {
+    if (*offset >= buffer.size()) {
+      return Status::Internal("wire format underflow (tag)");
+    }
+    uint8_t tag = buffer[(*offset)++];
+    switch (tag) {
+      case kTagNull:
+        row.push_back(Value::Null());
+        break;
+      case kTagBoolean: {
+        if (*offset >= buffer.size()) {
+          return Status::Internal("wire format underflow (bool)");
+        }
+        row.push_back(Value::Boolean(buffer[(*offset)++] != 0));
+        break;
+      }
+      case kTagInteger: {
+        IDAA_ASSIGN_OR_RETURN(uint64_t v, GetU64(buffer, offset));
+        row.push_back(Value::Integer(static_cast<int64_t>(v)));
+        break;
+      }
+      case kTagDouble: {
+        IDAA_ASSIGN_OR_RETURN(uint64_t bits, GetU64(buffer, offset));
+        double d;
+        std::memcpy(&d, &bits, sizeof(d));
+        row.push_back(Value::Double(d));
+        break;
+      }
+      case kTagVarchar: {
+        IDAA_ASSIGN_OR_RETURN(uint32_t len, GetU32(buffer, offset));
+        if (*offset + len > buffer.size()) {
+          return Status::Internal("wire format underflow (string)");
+        }
+        row.push_back(Value::Varchar(std::string(
+            buffer.begin() + static_cast<long>(*offset),
+            buffer.begin() + static_cast<long>(*offset + len))));
+        *offset += len;
+        break;
+      }
+      case kTagDate: {
+        IDAA_ASSIGN_OR_RETURN(uint32_t v, GetU32(buffer, offset));
+        row.push_back(Value::Date(static_cast<int32_t>(v)));
+        break;
+      }
+      case kTagTimestamp: {
+        IDAA_ASSIGN_OR_RETURN(uint64_t v, GetU64(buffer, offset));
+        row.push_back(Value::Timestamp(static_cast<int64_t>(v)));
+        break;
+      }
+      default:
+        return Status::Internal("unknown wire tag: " + std::to_string(tag));
+    }
+  }
+  return row;
+}
+
+Result<std::vector<Row>> TransferChannel::SendRowsToAccelerator(
+    const std::vector<Row>& rows) {
+  std::vector<uint8_t> wire;
+  for (const Row& row : rows) EncodeRow(row, &wire);
+  metrics_->Add(metric::kFederationBytesToAccel, wire.size());
+  metrics_->Increment(metric::kFederationRoundTrips);
+  std::vector<Row> decoded;
+  decoded.reserve(rows.size());
+  size_t offset = 0;
+  while (offset < wire.size()) {
+    IDAA_ASSIGN_OR_RETURN(Row row, DecodeRow(wire, &offset));
+    decoded.push_back(std::move(row));
+  }
+  return decoded;
+}
+
+Result<ResultSet> TransferChannel::FetchResultFromAccelerator(
+    const ResultSet& result) {
+  std::vector<uint8_t> wire;
+  for (const Row& row : result.rows()) EncodeRow(row, &wire);
+  metrics_->Add(metric::kFederationBytesFromAccel, wire.size());
+  metrics_->Increment(metric::kFederationRoundTrips);
+  ResultSet out(result.schema());
+  size_t offset = 0;
+  while (offset < wire.size()) {
+    IDAA_ASSIGN_OR_RETURN(Row row, DecodeRow(wire, &offset));
+    out.Append(std::move(row));
+  }
+  return out;
+}
+
+void TransferChannel::SendStatement(const std::string& sql) {
+  metrics_->Add(metric::kFederationBytesToAccel, sql.size());
+  metrics_->Increment(metric::kFederationRoundTrips);
+}
+
+}  // namespace idaa::federation

@@ -1,0 +1,51 @@
+// TransferChannel: the metered data path between DB2 and the accelerator
+// (the DRDA/network link in the real product). Rows crossing the boundary
+// are serialized to a binary wire format and deserialized on the other
+// side, so every transfer has a real CPU cost and an exact byte count —
+// the quantity the paper's AOT design minimizes.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/result.h"
+#include "common/row.h"
+#include "common/schema.h"
+
+namespace idaa::federation {
+
+/// Serialize one row (length-prefixed, type-tagged values).
+void EncodeRow(const Row& row, std::vector<uint8_t>* out);
+
+/// Deserialize one row; advances *offset. Errors on malformed input.
+Result<Row> DecodeRow(const std::vector<uint8_t>& buffer, size_t* offset);
+
+class TransferChannel {
+ public:
+  explicit TransferChannel(MetricsRegistry* metrics) : metrics_(metrics) {}
+
+  /// Ship rows DB2 -> accelerator. Returns the decoded rows as they arrive
+  /// on the accelerator side (a genuine encode/decode round).
+  Result<std::vector<Row>> SendRowsToAccelerator(const std::vector<Row>& rows);
+
+  /// Ship a result set accelerator -> DB2.
+  Result<ResultSet> FetchResultFromAccelerator(const ResultSet& result);
+
+  /// Ship a statement string DB2 -> accelerator (metered, tiny).
+  void SendStatement(const std::string& sql);
+
+  uint64_t bytes_to_accelerator() const {
+    return metrics_->Get(metric::kFederationBytesToAccel);
+  }
+  uint64_t bytes_from_accelerator() const {
+    return metrics_->Get(metric::kFederationBytesFromAccel);
+  }
+
+ private:
+  MetricsRegistry* metrics_;
+};
+
+}  // namespace idaa::federation

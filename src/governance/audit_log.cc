@@ -1,0 +1,47 @@
+#include "governance/audit_log.h"
+
+#include "common/string_util.h"
+
+namespace idaa::governance {
+
+void AuditLog::Record(const std::string& user, const std::string& action,
+                      const std::string& object, bool allowed,
+                      const std::string& detail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AuditEntry entry;
+  entry.sequence = next_sequence_++;
+  entry.user = ToUpper(user);
+  entry.action = action;
+  entry.object = object;
+  entry.allowed = allowed;
+  entry.detail = detail;
+  entries_.push_back(std::move(entry));
+}
+
+std::vector<AuditEntry> AuditLog::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+size_t AuditLog::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::vector<AuditEntry> AuditLog::EntriesForUser(
+    const std::string& user) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<AuditEntry> out;
+  std::string upper = ToUpper(user);
+  for (const auto& e : entries_) {
+    if (e.user == upper) out.push_back(e);
+  }
+  return out;
+}
+
+void AuditLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace idaa::governance

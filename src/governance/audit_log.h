@@ -1,0 +1,44 @@
+// AuditLog: append-only record of every authorized/denied action, kept on
+// the DB2 side even for statements that execute on the accelerator.
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace idaa::governance {
+
+struct AuditEntry {
+  uint64_t sequence = 0;
+  std::string user;
+  std::string action;     ///< e.g. "SELECT", "CALL KMEANS", "GRANT"
+  std::string object;     ///< table / procedure
+  bool allowed = true;
+  std::string detail;     ///< routing decision, row counts, error text
+};
+
+class AuditLog {
+ public:
+  void Record(const std::string& user, const std::string& action,
+              const std::string& object, bool allowed,
+              const std::string& detail = "");
+
+  /// Copy of all entries (tests / inspection).
+  std::vector<AuditEntry> Entries() const;
+
+  size_t Size() const;
+
+  /// Entries for one user.
+  std::vector<AuditEntry> EntriesForUser(const std::string& user) const;
+
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t next_sequence_ = 1;
+  std::vector<AuditEntry> entries_;
+};
+
+}  // namespace idaa::governance

@@ -1,0 +1,103 @@
+#include "governance/authorization.h"
+
+#include "common/string_util.h"
+
+namespace idaa::governance {
+
+const char* PrivilegeToString(Privilege p) {
+  switch (p) {
+    case Privilege::kSelect: return "SELECT";
+    case Privilege::kInsert: return "INSERT";
+    case Privilege::kUpdate: return "UPDATE";
+    case Privilege::kDelete: return "DELETE";
+    case Privilege::kExecute: return "EXECUTE";
+  }
+  return "?";
+}
+
+Result<Privilege> PrivilegeFromString(const std::string& name) {
+  std::string upper = ToUpper(name);
+  if (upper == "SELECT") return Privilege::kSelect;
+  if (upper == "INSERT") return Privilege::kInsert;
+  if (upper == "UPDATE") return Privilege::kUpdate;
+  if (upper == "DELETE") return Privilege::kDelete;
+  if (upper == "EXECUTE") return Privilege::kExecute;
+  return Status::InvalidArgument("unknown privilege: " + name);
+}
+
+std::string AuthorizationManager::Key(const std::string& user,
+                                      const std::string& object) {
+  return ToUpper(user) + "|" + ToUpper(object);
+}
+
+void AuthorizationManager::CreateUser(const std::string& user) {
+  std::lock_guard<std::mutex> lock(mu_);
+  users_.insert(ToUpper(user));
+}
+
+bool AuthorizationManager::HasUser(const std::string& user) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return users_.count(ToUpper(user)) > 0 || ToUpper(user) == kAdmin;
+}
+
+Status AuthorizationManager::Grant(const std::string& user,
+                                   const std::string& object,
+                                   Privilege privilege) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!users_.count(ToUpper(user)) && ToUpper(user) != kAdmin) {
+    return Status::NotFound("user not found: " + user);
+  }
+  grants_[Key(user, object)].insert(privilege);
+  return Status::OK();
+}
+
+Status AuthorizationManager::Revoke(const std::string& user,
+                                    const std::string& object,
+                                    Privilege privilege) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = grants_.find(Key(user, object));
+  if (it == grants_.end() || !it->second.erase(privilege)) {
+    return Status::NotFound(std::string("grant not found: ") +
+                            PrivilegeToString(privilege) + " on " + object +
+                            " for " + user);
+  }
+  return Status::OK();
+}
+
+Status AuthorizationManager::Check(const std::string& user,
+                                   const std::string& object,
+                                   Privilege privilege) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ToUpper(user) == kAdmin) return Status::OK();
+  auto it = grants_.find(Key(user, object));
+  if (it != grants_.end() && it->second.count(privilege)) {
+    return Status::OK();
+  }
+  return Status::NotAuthorized("user " + user + " lacks " +
+                               PrivilegeToString(privilege) + " on " + object);
+}
+
+std::vector<Privilege> AuthorizationManager::PrivilegesOf(
+    const std::string& user, const std::string& object) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = grants_.find(Key(user, object));
+  if (it == grants_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+void AuthorizationManager::DropObject(const std::string& object) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string suffix = "|";
+  suffix += ToUpper(object);
+  for (auto it = grants_.begin(); it != grants_.end();) {
+    const std::string& key = it->first;
+    if (key.size() >= suffix.size() &&
+        key.compare(key.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      it = grants_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace idaa::governance

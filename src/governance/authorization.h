@@ -1,0 +1,66 @@
+// Authorization: users, privileges, GRANT/REVOKE. The paper's framework
+// requirement: analytics code executes on the accelerator, but *data
+// governance stays with DB2* — every delegated statement is authorized at
+// the DB2 front door before it leaves, and audited.
+
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace idaa::governance {
+
+/// Privilege kinds on tables and procedures.
+enum class Privilege : uint8_t {
+  kSelect = 0,
+  kInsert,
+  kUpdate,
+  kDelete,
+  kExecute,  ///< procedures / analytics operators
+};
+
+const char* PrivilegeToString(Privilege p);
+Result<Privilege> PrivilegeFromString(const std::string& name);
+
+class AuthorizationManager {
+ public:
+  /// The administrator account that always passes checks.
+  static constexpr const char* kAdmin = "SYSADM";
+
+  /// Register a user. Idempotent.
+  void CreateUser(const std::string& user);
+
+  bool HasUser(const std::string& user) const;
+
+  /// Grant `privilege` on `object` (table or procedure name) to `user`.
+  Status Grant(const std::string& user, const std::string& object,
+               Privilege privilege);
+
+  Status Revoke(const std::string& user, const std::string& object,
+                Privilege privilege);
+
+  /// Check; returns kNotAuthorized with a descriptive message on failure.
+  Status Check(const std::string& user, const std::string& object,
+               Privilege privilege) const;
+
+  /// All privileges a user holds on an object.
+  std::vector<Privilege> PrivilegesOf(const std::string& user,
+                                      const std::string& object) const;
+
+  /// Drop all grants on an object (table dropped).
+  void DropObject(const std::string& object);
+
+ private:
+  static std::string Key(const std::string& user, const std::string& object);
+
+  mutable std::mutex mu_;
+  std::set<std::string> users_;
+  std::map<std::string, std::set<Privilege>> grants_;  // key: user|object
+};
+
+}  // namespace idaa::governance

@@ -1,0 +1,150 @@
+#include "idaa/connection.h"
+
+#include "common/string_util.h"
+#include "idaa/system.h"
+#include "sql/parser.h"
+
+namespace idaa {
+
+Connection::Connection(IdaaSystem* system, federation::Session session)
+    : system_(system), session_(std::move(session)) {}
+
+Connection::~Connection() {
+  if (txn_ != nullptr && txn_->IsActive()) {
+    (void)system_->txn_manager().Abort(txn_);
+    system_->db2().lock_manager().ReleaseAll(txn_->id());
+  }
+}
+
+Status Connection::Begin() {
+  if (explicit_txn_) {
+    return Status::InvalidArgument("transaction already open");
+  }
+  txn_ = system_->txn_manager().Begin();
+  explicit_txn_ = true;
+  return Status::OK();
+}
+
+Status Connection::Commit() {
+  if (!explicit_txn_) {
+    return Status::InvalidArgument("no open transaction");
+  }
+  Transaction* txn = txn_;
+  txn_ = nullptr;
+  explicit_txn_ = false;
+  Status status = system_->txn_manager().Commit(txn);
+  system_->db2().lock_manager().ReleaseAll(txn->id());
+  return status;
+}
+
+Status Connection::Rollback() {
+  if (!explicit_txn_) {
+    return Status::InvalidArgument("no open transaction");
+  }
+  Transaction* txn = txn_;
+  txn_ = nullptr;
+  explicit_txn_ = false;
+  Status status = system_->txn_manager().Abort(txn);
+  system_->db2().lock_manager().ReleaseAll(txn->id());
+  return status;
+}
+
+void Connection::EndAutoTxn(Transaction* txn, bool success) {
+  if (success) {
+    (void)system_->txn_manager().Commit(txn);
+  } else {
+    (void)system_->txn_manager().Abort(txn);
+  }
+  system_->db2().lock_manager().ReleaseAll(txn->id());
+}
+
+Result<federation::ExecResult> Connection::ExecuteParsed(
+    const sql::Statement& stmt) {
+  if (explicit_txn_) {
+    return system_->federation().Execute(stmt, session_, txn_);
+  }
+  Transaction* txn = system_->txn_manager().Begin();
+  auto result = system_->federation().Execute(stmt, session_, txn);
+  EndAutoTxn(txn, result.ok());
+  return result;
+}
+
+std::optional<Result<federation::ExecResult>> Connection::TryControlStatement(
+    const std::string& sql) {
+  std::string trimmed = ToUpper(Trim(sql));
+  if (!trimmed.empty() && trimmed.back() == ';') {
+    trimmed = Trim(trimmed.substr(0, trimmed.size() - 1));
+  }
+  auto done = [](std::string detail) {
+    federation::ExecResult out;
+    out.detail = std::move(detail);
+    return Result<federation::ExecResult>(std::move(out));
+  };
+  if (trimmed == "BEGIN" || trimmed == "BEGIN TRANSACTION") {
+    Status st = Begin();
+    if (!st.ok()) return Result<federation::ExecResult>(st);
+    return done("transaction started");
+  }
+  if (trimmed == "COMMIT") {
+    Status st = Commit();
+    if (!st.ok()) return Result<federation::ExecResult>(st);
+    return done("committed");
+  }
+  if (trimmed == "ROLLBACK") {
+    Status st = Rollback();
+    if (!st.ok()) return Result<federation::ExecResult>(st);
+    return done("rolled back");
+  }
+  // SET CURRENT QUERY ACCELERATION = NONE | ENABLE | ELIGIBLE | ALL
+  // (DB2's special register; session-local, so handled here).
+  const std::string kPrefix = "SET CURRENT QUERY ACCELERATION";
+  if (StartsWith(trimmed, kPrefix)) {
+    std::string rest = Trim(trimmed.substr(kPrefix.size()));
+    if (!rest.empty() && rest[0] == '=') rest = Trim(rest.substr(1));
+    federation::AccelerationMode mode;
+    if (rest == "NONE") {
+      mode = federation::AccelerationMode::kNone;
+    } else if (rest == "ENABLE") {
+      mode = federation::AccelerationMode::kEnable;
+    } else if (rest == "ELIGIBLE") {
+      mode = federation::AccelerationMode::kEligible;
+    } else if (rest == "ALL") {
+      mode = federation::AccelerationMode::kAll;
+    } else {
+      return Result<federation::ExecResult>(Status::SyntaxError(
+          "expected NONE, ENABLE, ELIGIBLE or ALL, got: '" + rest + "'"));
+    }
+    session_.acceleration = mode;
+    return done(std::string("CURRENT QUERY ACCELERATION = ") + rest);
+  }
+  return std::nullopt;
+}
+
+Result<federation::ExecResult> Connection::ExecuteSql(const std::string& sql) {
+  if (auto control = TryControlStatement(sql)) {
+    return std::move(*control);
+  }
+  IDAA_ASSIGN_OR_RETURN(sql::StatementPtr stmt, sql::ParseStatement(sql));
+  return ExecuteParsed(*stmt);
+}
+
+Result<ResultSet> Connection::Query(const std::string& sql) {
+  IDAA_ASSIGN_OR_RETURN(federation::ExecResult result, ExecuteSql(sql));
+  return result.result_set;
+}
+
+analytics::SqlExecutor Connection::MakeSqlExecutor() {
+  return [this](const std::string& sql) -> Result<analytics::StageResult> {
+    IDAA_ASSIGN_OR_RETURN(federation::ExecResult result, ExecuteSql(sql));
+    analytics::StageResult stage;
+    stage.affected_rows = result.affected_rows != 0
+                              ? result.affected_rows
+                              : result.result_set.NumRows();
+    stage.on_accelerator =
+        result.executed_on == federation::Target::kAccelerator;
+    stage.detail = result.detail;
+    return stage;
+  };
+}
+
+}  // namespace idaa

@@ -1,0 +1,71 @@
+// Connection: one client session against an IdaaSystem — its own user,
+// acceleration mode (the CURRENT QUERY ACCELERATION special register) and
+// transaction state. Multiple connections against one system model
+// concurrent applications, which is how the concurrency semantics of the
+// paper (snapshot isolation vs. cursor stability) become observable
+// through plain SQL.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "analytics/pipeline.h"
+#include "common/result.h"
+#include "federation/federation.h"
+
+namespace idaa {
+
+class IdaaSystem;
+
+class Connection {
+ public:
+  /// Created via IdaaSystem::NewConnection().
+  Connection(IdaaSystem* system, federation::Session session);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Parse and execute one SQL statement. Handles BEGIN/COMMIT/ROLLBACK and
+  /// SET CURRENT QUERY ACCELERATION here; everything else goes through the
+  /// federation engine under this connection's transaction.
+  Result<federation::ExecResult> ExecuteSql(const std::string& sql);
+
+  /// Convenience: execute and return the result set.
+  Result<ResultSet> Query(const std::string& sql);
+
+  Status Begin();
+  Status Commit();
+  Status Rollback();
+  bool InTransaction() const { return explicit_txn_; }
+  Transaction* current_transaction() { return txn_; }
+
+  void SetUser(const std::string& user) { session_.user = user; }
+  const std::string& user() const { return session_.user; }
+
+  void SetAccelerationMode(federation::AccelerationMode mode) {
+    session_.acceleration = mode;
+  }
+  federation::AccelerationMode acceleration_mode() const {
+    return session_.acceleration;
+  }
+
+  /// SQL executor adapter for analytics::Pipeline.
+  analytics::SqlExecutor MakeSqlExecutor();
+
+ private:
+  Result<federation::ExecResult> ExecuteParsed(const sql::Statement& stmt);
+  void EndAutoTxn(Transaction* txn, bool success);
+  /// Intercepts transaction control and SET statements; returns nullopt if
+  /// the text is a regular statement.
+  std::optional<Result<federation::ExecResult>> TryControlStatement(
+      const std::string& sql);
+
+  IdaaSystem* system_;
+  federation::Session session_;
+  Transaction* txn_ = nullptr;
+  bool explicit_txn_ = false;
+};
+
+}  // namespace idaa

@@ -1,0 +1,111 @@
+#include "idaa/system.h"
+
+#include "common/string_util.h"
+#include "sql/parser.h"
+
+namespace idaa {
+
+IdaaSystem::IdaaSystem(const SystemOptions& options) : options_(options) {
+  db2_ = std::make_unique<db2::Db2Engine>(&catalog_, &tm_, &metrics_);
+  size_t num_accelerators = std::max<size_t>(1, options_.num_accelerators);
+  std::vector<accel::Accelerator*> accel_ptrs;
+  for (size_t i = 0; i < num_accelerators; ++i) {
+    accelerators_.push_back(std::make_unique<accel::Accelerator>(
+        options_.accelerator, &tm_, &metrics_,
+        "ACCEL" + std::to_string(i + 1)));
+    accel_ptrs.push_back(accelerators_.back().get());
+  }
+  channel_ = std::make_unique<federation::TransferChannel>(&metrics_);
+
+  // Replication and the loader find a table's accelerator through the
+  // catalog's placement record.
+  auto accel_for_info =
+      [this](const TableInfo& info) -> Result<accel::Accelerator*> {
+    return federation_->AcceleratorForTable(info);
+  };
+  replication_ = std::make_unique<replication::ReplicationService>(
+      &tm_,
+      [this](const std::string& table_name) -> Result<accel::ColumnTable*> {
+        IDAA_ASSIGN_OR_RETURN(const TableInfo* info,
+                              catalog_.GetTable(table_name));
+        IDAA_ASSIGN_OR_RETURN(accel::Accelerator * a,
+                              federation_->AcceleratorForTable(*info));
+        return a->GetTable(table_name);
+      },
+      channel_.get(), &metrics_);
+  replication_->set_batch_size(options_.replication_batch_size);
+  replication_->Attach();
+  federation_ = std::make_unique<federation::FederationEngine>(
+      &catalog_, db2_.get(), std::move(accel_ptrs), &tm_, replication_.get(),
+      channel_.get(), &auth_, &audit_, &metrics_);
+  loader_ = std::make_unique<loader::IdaaLoader>(&catalog_, db2_.get(),
+                                                 accel_for_info,
+                                                 channel_.get(), &tm_,
+                                                 &metrics_);
+  registry_ = analytics::MakeBuiltinRegistry();
+  // Cardinality feed for the ENABLE routing heuristic.
+  federation_->mutable_router().set_row_count_fn(
+      [this](const TableInfo& info) -> size_t {
+        auto table = db2_->row_store().GetTable(info.table_id);
+        return table.ok() ? (*table)->NumLiveRows() : 0;
+      });
+
+  // Wire the analytics framework into CALL dispatch: EXECUTE privilege was
+  // already checked by the federation layer; here we enforce SELECT on the
+  // operator's inputs, run it, and grant the caller privileges on the
+  // produced AOTs.
+  federation_->set_procedure_handler(
+      [this](const std::string& name, const std::vector<Value>& args,
+             Transaction* txn,
+             const federation::Session& session) -> Result<ResultSet> {
+        std::string op_name = name;
+        if (StartsWith(op_name, "IDAA.")) op_name = op_name.substr(5);
+        IDAA_ASSIGN_OR_RETURN(analytics::AnalyticsOperator * op,
+                              registry_->Get(op_name));
+        IDAA_ASSIGN_OR_RETURN(analytics::ParamMap params,
+                              analytics::ParseParams(args));
+        IDAA_ASSIGN_OR_RETURN(std::vector<std::string> inputs,
+                              op->InputTables(params));
+        for (const std::string& input : inputs) {
+          Status check = auth_.Check(session.user, input,
+                                     governance::Privilege::kSelect);
+          audit_.Record(session.user, "ANALYTICS " + op_name, input,
+                        check.ok(), check.ok() ? "" : check.message());
+          IDAA_RETURN_IF_ERROR(check);
+        }
+        // The operator runs on the accelerator hosting its (first) input;
+        // output AOTs are created alongside.
+        accel::Accelerator* host = accelerators_.front().get();
+        if (!inputs.empty()) {
+          auto info = catalog_.GetTable(inputs.front());
+          if (info.ok() && !(*info)->accelerator_name.empty()) {
+            IDAA_ASSIGN_OR_RETURN(host,
+                                  federation_->AcceleratorForTable(**info));
+          }
+        }
+        analytics::AnalyticsContext ctx(&catalog_, host, &tm_, txn,
+                                        &metrics_);
+        IDAA_ASSIGN_OR_RETURN(ResultSet result, op->Run(ctx, params));
+        for (const std::string& created : ctx.created_tables()) {
+          for (governance::Privilege p :
+               {governance::Privilege::kSelect, governance::Privilege::kInsert,
+                governance::Privilege::kUpdate,
+                governance::Privilege::kDelete}) {
+            (void)auth_.Grant(session.user, created, p);
+          }
+        }
+        return result;
+      });
+
+  default_connection_ = NewConnection();
+}
+
+IdaaSystem::~IdaaSystem() = default;
+
+std::unique_ptr<Connection> IdaaSystem::NewConnection() {
+  federation::Session session;
+  session.acceleration = options_.acceleration_mode;
+  return std::make_unique<Connection>(this, session);
+}
+
+}  // namespace idaa

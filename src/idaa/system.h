@@ -1,0 +1,145 @@
+// IdaaSystem: the public entry point wiring all subsystems together —
+// DB2 engine, accelerator, federation, replication, loader, governance and
+// the analytics framework. This is the API the examples and benchmarks use:
+//
+//   idaa::IdaaSystem system;
+//   system.ExecuteSql("CREATE TABLE t (a INT, b DOUBLE)");
+//   system.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('t')");
+//   system.ExecuteSql("CREATE TABLE stage1 (a INT, s DOUBLE) IN ACCELERATOR");
+//   system.ExecuteSql("INSERT INTO stage1 SELECT a, SUM(b) FROM t GROUP BY a");
+//   auto rs = system.Query("SELECT * FROM stage1 ORDER BY a");
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "accel/accelerator.h"
+#include "analytics/pipeline.h"
+#include "analytics/registry.h"
+#include "catalog/catalog.h"
+#include "common/metrics.h"
+#include "db2/db2_engine.h"
+#include "federation/federation.h"
+#include "governance/audit_log.h"
+#include "governance/authorization.h"
+#include "idaa/connection.h"
+#include "loader/loader.h"
+#include "replication/replication_service.h"
+#include "txn/transaction_manager.h"
+
+namespace idaa {
+
+struct SystemOptions {
+  accel::AcceleratorOptions accelerator;
+  /// Number of attached accelerators (named ACCEL1..ACCELn).
+  size_t num_accelerators = 1;
+  /// Replication apply batch size (0 = manual Flush only).
+  size_t replication_batch_size = 256;
+  /// Default acceleration mode for new sessions.
+  federation::AccelerationMode acceleration_mode =
+      federation::AccelerationMode::kEligible;
+};
+
+/// One embedded IDAA deployment: DB2 + accelerator + glue.
+/// Statement execution is auto-commit unless Begin() opened an explicit
+/// transaction. Not safe for concurrent ExecuteSql from multiple threads on
+/// the *same* IdaaSystem session; use NewSession()-style separate
+/// transactions via the component APIs for concurrency tests.
+class IdaaSystem {
+ public:
+  explicit IdaaSystem(const SystemOptions& options = {});
+  ~IdaaSystem();
+
+  IdaaSystem(const IdaaSystem&) = delete;
+  IdaaSystem& operator=(const IdaaSystem&) = delete;
+
+  /// Open an additional client session (own user, acceleration mode and
+  /// transaction state). The IdaaSystem itself embeds a default connection
+  /// that the convenience methods below forward to.
+  std::unique_ptr<Connection> NewConnection();
+
+  // -- statement interface ---------------------------------------------------
+
+  /// Parse and execute one SQL statement on the default connection.
+  /// "BEGIN"/"COMMIT"/"ROLLBACK" and SET CURRENT QUERY ACCELERATION are
+  /// handled as session control.
+  Result<federation::ExecResult> ExecuteSql(const std::string& sql) {
+    return default_connection_->ExecuteSql(sql);
+  }
+
+  /// Convenience: execute and return the result set (for SELECT/CALL).
+  Result<ResultSet> Query(const std::string& sql) {
+    return default_connection_->Query(sql);
+  }
+
+  // -- transaction control (default connection) -------------------------------
+
+  Status Begin() { return default_connection_->Begin(); }
+  Status Commit() { return default_connection_->Commit(); }
+  Status Rollback() { return default_connection_->Rollback(); }
+  bool InTransaction() const { return default_connection_->InTransaction(); }
+
+  /// The transaction a delegated operation would run under right now
+  /// (only valid between Begin/Commit).
+  Transaction* current_transaction() {
+    return default_connection_->current_transaction();
+  }
+
+  // -- session (default connection) --------------------------------------------
+
+  /// Switch the active user (governance checks apply to this user).
+  void SetUser(const std::string& user) { default_connection_->SetUser(user); }
+  const std::string& user() const { return default_connection_->user(); }
+
+  void SetAccelerationMode(federation::AccelerationMode mode) {
+    default_connection_->SetAccelerationMode(mode);
+  }
+  federation::AccelerationMode acceleration_mode() const {
+    return default_connection_->acceleration_mode();
+  }
+
+  // -- components ---------------------------------------------------------------
+
+  Catalog& catalog() { return catalog_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  TransactionManager& txn_manager() { return tm_; }
+  db2::Db2Engine& db2() { return *db2_; }
+  /// The i-th attached accelerator (0 = ACCEL1).
+  accel::Accelerator& accelerator(size_t i = 0) { return *accelerators_[i]; }
+  size_t num_accelerators() const { return accelerators_.size(); }
+  /// Accelerator hosting a table's data (federation placement lookup).
+  Result<accel::Accelerator*> AcceleratorForTable(const TableInfo& info) {
+    return federation_->AcceleratorForTable(info);
+  }
+  federation::FederationEngine& federation() { return *federation_; }
+  federation::TransferChannel& channel() { return *channel_; }
+  replication::ReplicationService& replication() { return *replication_; }
+  loader::IdaaLoader& loader() { return *loader_; }
+  governance::AuthorizationManager& authorization() { return auth_; }
+  governance::AuditLog& audit() { return audit_; }
+  analytics::OperatorRegistry& analytics_registry() { return *registry_; }
+
+  /// SQL executor adapter for analytics::Pipeline (default connection).
+  analytics::SqlExecutor MakeSqlExecutor() {
+    return default_connection_->MakeSqlExecutor();
+  }
+
+ private:
+  SystemOptions options_;
+  MetricsRegistry metrics_;
+  TransactionManager tm_;
+  Catalog catalog_;
+  std::unique_ptr<db2::Db2Engine> db2_;
+  std::vector<std::unique_ptr<accel::Accelerator>> accelerators_;
+  std::unique_ptr<federation::TransferChannel> channel_;
+  std::unique_ptr<replication::ReplicationService> replication_;
+  governance::AuthorizationManager auth_;
+  governance::AuditLog audit_;
+  std::unique_ptr<federation::FederationEngine> federation_;
+  std::unique_ptr<loader::IdaaLoader> loader_;
+  std::unique_ptr<analytics::OperatorRegistry> registry_;
+  std::unique_ptr<Connection> default_connection_;
+};
+
+}  // namespace idaa

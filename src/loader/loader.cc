@@ -1,0 +1,75 @@
+#include "loader/loader.h"
+
+namespace idaa::loader {
+
+Result<size_t> IdaaLoader::LoadBatch(const TableInfo& info,
+                                     std::vector<Row> batch,
+                                     Transaction* txn) {
+  if (batch.empty()) return size_t{0};
+  if (info.kind == TableKind::kAcceleratorOnly) {
+    // Direct ingestion: external source -> accelerator, no DB2 involvement.
+    IDAA_ASSIGN_OR_RETURN(accel::Accelerator * accelerator, resolver_(info));
+    IDAA_ASSIGN_OR_RETURN(std::vector<Row> shipped,
+                          channel_->SendRowsToAccelerator(batch));
+    IDAA_RETURN_IF_ERROR(
+        accelerator->LoadRows(info.name, shipped, txn->id()));
+    return shipped.size();
+  }
+  // Regular or accelerated DB2 table: DB2 is the system of record; change
+  // capture re-replicates to the accelerator when the table is accelerated.
+  return db2_->InsertRows(info, std::move(batch), txn);
+}
+
+Result<LoadReport> IdaaLoader::Load(const std::string& table_name,
+                                    RecordSource* source,
+                                    const LoadOptions& options) {
+  IDAA_ASSIGN_OR_RETURN(const TableInfo* info, catalog_->GetTable(table_name));
+  LoadReport report;
+  size_t batch_size = options.batch_size == 0 ? 1024 : options.batch_size;
+
+  Transaction* txn = tm_->Begin();
+  std::vector<Row> batch;
+  batch.reserve(batch_size);
+
+  auto flush = [&]() -> Status {
+    if (batch.empty()) return Status::OK();
+    for (const Row& row : batch) report.bytes += RowByteSize(row);
+    auto loaded = LoadBatch(*info, std::move(batch), txn);
+    batch.clear();
+    if (!loaded.ok()) {
+      (void)tm_->Abort(txn);
+      db2_->lock_manager().ReleaseAll(txn->id());
+      return loaded.status();
+    }
+    report.rows_loaded += *loaded;
+    ++report.batches;
+    metrics_->Add(metric::kLoaderRowsIngested, *loaded);
+    if (options.commit_per_batch) {
+      IDAA_RETURN_IF_ERROR(tm_->Commit(txn));
+      db2_->lock_manager().ReleaseAll(txn->id());
+      txn = tm_->Begin();
+    }
+    return Status::OK();
+  };
+
+  while (true) {
+    auto next = source->Next();
+    if (!next.ok()) {
+      (void)tm_->Abort(txn);
+      db2_->lock_manager().ReleaseAll(txn->id());
+      return next.status();
+    }
+    if (!next->has_value()) break;
+    batch.push_back(std::move(**next));
+    if (batch.size() >= batch_size) {
+      IDAA_RETURN_IF_ERROR(flush());
+    }
+  }
+  IDAA_RETURN_IF_ERROR(flush());
+  IDAA_RETURN_IF_ERROR(tm_->Commit(txn));
+  db2_->lock_manager().ReleaseAll(txn->id());
+  metrics_->Add(metric::kLoaderBytesIngested, report.bytes);
+  return report;
+}
+
+}  // namespace idaa::loader

@@ -1,0 +1,66 @@
+// IdaaLoader: the standalone high-speed ingestion tool ("IDAA Loader").
+// Loads external data in batches either into regular DB2 tables (which then
+// re-replicate to the accelerator) or *directly* into accelerator tables —
+// including AOTs — bypassing DB2 data movement entirely.
+
+#pragma once
+
+#include <functional>
+
+#include "accel/accelerator.h"
+#include "catalog/catalog.h"
+#include "common/metrics.h"
+#include "db2/db2_engine.h"
+#include "federation/transfer_channel.h"
+#include "loader/record_source.h"
+#include "txn/transaction_manager.h"
+
+namespace idaa::loader {
+
+/// Resolves the accelerator hosting a table's accelerator-side data.
+using AcceleratorResolver =
+    std::function<Result<accel::Accelerator*>(const TableInfo&)>;
+
+struct LoadOptions {
+  size_t batch_size = 1024;
+  /// Commit after every batch (the loader's normal restartable mode);
+  /// false = one transaction for the whole load.
+  bool commit_per_batch = true;
+};
+
+struct LoadReport {
+  size_t rows_loaded = 0;
+  size_t batches = 0;
+  size_t bytes = 0;
+};
+
+class IdaaLoader {
+ public:
+  IdaaLoader(Catalog* catalog, db2::Db2Engine* db2,
+             AcceleratorResolver resolver,
+             federation::TransferChannel* channel, TransactionManager* tm,
+             MetricsRegistry* metrics)
+      : catalog_(catalog), db2_(db2), resolver_(std::move(resolver)),
+        channel_(channel), tm_(tm), metrics_(metrics) {}
+
+  /// Load the full source into `table_name`. AOTs and accelerated tables
+  /// take the direct-to-accelerator path; DB2-only tables go through the
+  /// DB2 engine. Loading into an *accelerated* table writes DB2 first and
+  /// lets replication carry the rows over (the expensive legacy path the
+  /// benchmarks compare against).
+  Result<LoadReport> Load(const std::string& table_name, RecordSource* source,
+                          const LoadOptions& options = {});
+
+ private:
+  Result<size_t> LoadBatch(const TableInfo& info, std::vector<Row> batch,
+                           Transaction* txn);
+
+  Catalog* catalog_;
+  db2::Db2Engine* db2_;
+  AcceleratorResolver resolver_;
+  federation::TransferChannel* channel_;
+  TransactionManager* tm_;
+  MetricsRegistry* metrics_;
+};
+
+}  // namespace idaa::loader

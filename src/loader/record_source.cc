@@ -1,0 +1,48 @@
+#include "loader/record_source.h"
+
+#include <fstream>
+
+namespace idaa::loader {
+
+Result<std::optional<Row>> CsvStringSource::Next() {
+  std::string line;
+  while (std::getline(stream_, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    IDAA_ASSIGN_OR_RETURN(auto fields, ParseCsvLine(line, delim_));
+    IDAA_ASSIGN_OR_RETURN(Row row, CsvFieldsToRow(fields, schema_));
+    return std::optional<Row>(std::move(row));
+  }
+  return std::optional<Row>();
+}
+
+Result<std::optional<Row>> CsvFileSource::Next() {
+  if (!opened_) {
+    std::ifstream file(path_);
+    if (!file) {
+      return Status::IoError("cannot open file: " + path_);
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    stream_ = std::make_unique<std::istringstream>(buffer.str());
+    opened_ = true;
+  }
+  std::string line;
+  while (std::getline(*stream_, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    IDAA_ASSIGN_OR_RETURN(auto fields, ParseCsvLine(line, delim_));
+    IDAA_ASSIGN_OR_RETURN(Row row, CsvFieldsToRow(fields, schema_));
+    return std::optional<Row>(std::move(row));
+  }
+  return std::optional<Row>();
+}
+
+Result<std::optional<Row>> GeneratorSource::Next() {
+  if (produced_ >= count_) return std::optional<Row>();
+  Row row = fn_(produced_++);
+  IDAA_ASSIGN_OR_RETURN(Row coerced, CoerceRowToSchema(row, schema_));
+  return std::optional<Row>(std::move(coerced));
+}
+
+}  // namespace idaa::loader

@@ -1,0 +1,79 @@
+// RecordSource: pluggable producers for the IDAA Loader. The paper: "The
+// data to be loaded can originate from a variety of sources, even from
+// applications not running on System z" — e.g. CSV extracts or streaming
+// feeds such as social-media data.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "common/csv.h"
+#include "common/result.h"
+#include "common/row.h"
+#include "common/schema.h"
+
+namespace idaa::loader {
+
+/// Pull-based record stream.
+class RecordSource {
+ public:
+  virtual ~RecordSource() = default;
+  virtual const Schema& schema() const = 0;
+  /// Next row, or nullopt at end of stream.
+  virtual Result<std::optional<Row>> Next() = 0;
+};
+
+/// CSV text (no header) parsed against a schema.
+class CsvStringSource : public RecordSource {
+ public:
+  CsvStringSource(std::string body, Schema schema, char delim = ',')
+      : schema_(std::move(schema)), stream_(std::move(body)), delim_(delim) {}
+
+  const Schema& schema() const override { return schema_; }
+  Result<std::optional<Row>> Next() override;
+
+ private:
+  Schema schema_;
+  std::istringstream stream_;
+  char delim_;
+};
+
+/// CSV file on disk (no header).
+class CsvFileSource : public RecordSource {
+ public:
+  /// Opens lazily on first Next().
+  CsvFileSource(std::string path, Schema schema, char delim = ',')
+      : schema_(std::move(schema)), path_(std::move(path)), delim_(delim) {}
+
+  const Schema& schema() const override { return schema_; }
+  Result<std::optional<Row>> Next() override;
+
+ private:
+  Schema schema_;
+  std::string path_;
+  char delim_;
+  std::unique_ptr<std::istringstream> stream_;  // whole-file buffer
+  bool opened_ = false;
+};
+
+/// Synthetic generator: fn(i) for i in [0, count).
+class GeneratorSource : public RecordSource {
+ public:
+  GeneratorSource(Schema schema, size_t count, std::function<Row(size_t)> fn)
+      : schema_(std::move(schema)), count_(count), fn_(std::move(fn)) {}
+
+  const Schema& schema() const override { return schema_; }
+  Result<std::optional<Row>> Next() override;
+
+ private:
+  Schema schema_;
+  size_t count_;
+  std::function<Row(size_t)> fn_;
+  size_t produced_ = 0;
+};
+
+}  // namespace idaa::loader

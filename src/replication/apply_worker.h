@@ -1,0 +1,49 @@
+// ApplyWorker: pushes committed change batches through the metered DB2 ->
+// accelerator channel and applies them to the replica column tables under a
+// dedicated replication transaction per batch.
+
+#pragma once
+
+#include <functional>
+
+#include "accel/accelerator.h"
+#include "common/metrics.h"
+#include "federation/transfer_channel.h"
+#include "replication/change_capture.h"
+#include "txn/transaction_manager.h"
+
+namespace idaa::replication {
+
+/// Resolves a replica column table by (normalized) table name — supplied by
+/// the embedding system, which knows which attached accelerator hosts the
+/// table.
+using ReplicaResolver =
+    std::function<Result<accel::ColumnTable*>(const std::string& table_name)>;
+
+struct ApplyStats {
+  size_t changes_applied = 0;
+  size_t inserts = 0;
+  size_t deletes = 0;
+  size_t updates = 0;
+  size_t misses = 0;  ///< delete/update images not found (should stay 0)
+};
+
+class ApplyWorker {
+ public:
+  ApplyWorker(TransactionManager* tm, ReplicaResolver resolver,
+              federation::TransferChannel* channel, MetricsRegistry* metrics)
+      : tm_(tm), resolver_(std::move(resolver)), channel_(channel),
+        metrics_(metrics) {}
+
+  /// Apply one batch atomically (single replication transaction; rolled
+  /// back entirely on failure).
+  Result<ApplyStats> ApplyBatch(const std::vector<CommittedChange>& batch);
+
+ private:
+  TransactionManager* tm_;
+  ReplicaResolver resolver_;
+  federation::TransferChannel* channel_;
+  MetricsRegistry* metrics_;
+};
+
+}  // namespace idaa::replication

@@ -1,0 +1,57 @@
+#include "replication/change_capture.h"
+
+#include <algorithm>
+
+namespace idaa::replication {
+
+void ChangeCapture::Subscribe(const std::string& table_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  subscriptions_.insert(table_name);
+}
+
+void ChangeCapture::Unsubscribe(const std::string& table_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  subscriptions_.erase(table_name);
+  // Drop queued changes of the table.
+  std::deque<CommittedChange> kept;
+  for (auto& cc : pending_) {
+    if (cc.change.table_name != table_name) kept.push_back(std::move(cc));
+  }
+  pending_ = std::move(kept);
+}
+
+bool ChangeCapture::IsSubscribed(const std::string& table_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return subscriptions_.count(table_name) > 0;
+}
+
+void ChangeCapture::OnCommit(const Transaction& txn, Csn commit_csn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const CapturedChange& change : txn.captured_changes()) {
+    if (!subscriptions_.count(change.table_name)) continue;
+    pending_.push_back({change, commit_csn});
+    highest_captured_ = std::max(highest_captured_, commit_csn);
+  }
+}
+
+std::vector<CommittedChange> ChangeCapture::Drain(size_t max) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CommittedChange> out;
+  while (!pending_.empty() && out.size() < max) {
+    out.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+  }
+  return out;
+}
+
+size_t ChangeCapture::PendingCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+Csn ChangeCapture::HighestCapturedCsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return highest_captured_;
+}
+
+}  // namespace idaa::replication

@@ -1,0 +1,48 @@
+// ChangeCapture: collects the committed change stream of replicated DB2
+// tables (the "log reader" of IDAA's incremental-update pipeline).
+
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "txn/transaction.h"
+
+namespace idaa::replication {
+
+/// A committed change plus its commit CSN, ready to apply.
+struct CommittedChange {
+  CapturedChange change;
+  Csn commit_csn = 0;
+};
+
+class ChangeCapture {
+ public:
+  /// Start capturing changes for a table (normalized name).
+  void Subscribe(const std::string& table_name);
+  void Unsubscribe(const std::string& table_name);
+  bool IsSubscribed(const std::string& table_name) const;
+
+  /// Feed a committed transaction's captured changes; changes of
+  /// unsubscribed tables are dropped.
+  void OnCommit(const Transaction& txn, Csn commit_csn);
+
+  /// Drain up to `max` pending changes (FIFO).
+  std::vector<CommittedChange> Drain(size_t max);
+
+  size_t PendingCount() const;
+
+  /// Highest commit CSN ever enqueued (staleness tracking).
+  Csn HighestCapturedCsn() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::set<std::string> subscriptions_;
+  std::deque<CommittedChange> pending_;
+  Csn highest_captured_ = 0;
+};
+
+}  // namespace idaa::replication

@@ -1,0 +1,67 @@
+#include "replication/replication_service.h"
+
+#include <algorithm>
+
+namespace idaa::replication {
+
+void ReplicationService::Attach() {
+  tm_->AddCommitListener([this](const Transaction& txn) {
+    Csn csn = tm_->CommitCsnOf(txn.id());
+    capture_.OnCommit(txn, csn);
+    if (batch_size_ > 0 && capture_.PendingCount() >= batch_size_) {
+      // Replication apply itself commits a transaction; the flushing_ flag
+      // keeps the listener from recursing on that commit.
+      bool expected = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        expected = flushing_;
+        if (!flushing_) flushing_ = true;
+      }
+      if (!expected) {
+        (void)Flush();
+        std::lock_guard<std::mutex> lock(mu_);
+        flushing_ = false;
+      }
+    }
+  });
+}
+
+void ReplicationService::RegisterTable(const std::string& normalized_name) {
+  capture_.Subscribe(normalized_name);
+}
+
+void ReplicationService::UnregisterTable(const std::string& normalized_name) {
+  capture_.Unsubscribe(normalized_name);
+}
+
+bool ReplicationService::IsReplicated(
+    const std::string& normalized_name) const {
+  return capture_.IsSubscribed(normalized_name);
+}
+
+Result<ApplyStats> ReplicationService::Flush() {
+  ApplyStats total;
+  size_t batch_limit = batch_size_ > 0 ? batch_size_ : 4096;
+  while (true) {
+    std::vector<CommittedChange> batch = capture_.Drain(batch_limit);
+    if (batch.empty()) break;
+    Csn batch_high = 0;
+    for (const auto& cc : batch) batch_high = std::max(batch_high, cc.commit_csn);
+    IDAA_ASSIGN_OR_RETURN(ApplyStats stats, worker_.ApplyBatch(batch));
+    total.changes_applied += stats.changes_applied;
+    total.inserts += stats.inserts;
+    total.deletes += stats.deletes;
+    total.updates += stats.updates;
+    total.misses += stats.misses;
+    std::lock_guard<std::mutex> lock(mu_);
+    highest_applied_ = std::max(highest_applied_, batch_high);
+  }
+  return total;
+}
+
+Csn ReplicationService::HighestAppliedCsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return highest_applied_;
+}
+
+}  // namespace idaa::replication

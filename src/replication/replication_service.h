@@ -1,0 +1,57 @@
+// ReplicationService: IDAA's incremental-update pipeline — subscribes to
+// DB2 commits, batches captured changes, and applies them to the
+// accelerator's replica tables. The legacy (pre-AOT) ELT flow pays this
+// path once per pipeline stage; AOTs bypass it entirely.
+
+#pragma once
+
+#include <mutex>
+
+#include "replication/apply_worker.h"
+#include "replication/change_capture.h"
+
+namespace idaa::replication {
+
+class ReplicationService {
+ public:
+  ReplicationService(TransactionManager* tm, ReplicaResolver resolver,
+                     federation::TransferChannel* channel,
+                     MetricsRegistry* metrics)
+      : capture_(), worker_(tm, std::move(resolver), channel, metrics),
+        tm_(tm) {}
+
+  /// Register the commit listener with the transaction manager. Call once.
+  void Attach();
+
+  /// Start replicating a table (its initial snapshot load is the
+  /// federation layer's job — ACCEL_ADD_TABLES).
+  void RegisterTable(const std::string& normalized_name);
+  void UnregisterTable(const std::string& normalized_name);
+  bool IsReplicated(const std::string& normalized_name) const;
+
+  /// Changes accumulated but not yet applied.
+  size_t PendingChanges() const { return capture_.PendingCount(); }
+
+  /// Apply everything pending, in batches of `batch_size()`.
+  Result<ApplyStats> Flush();
+
+  /// Batch size for automatic apply: once pending >= batch_size, the next
+  /// commit triggers a flush. 0 disables automatic apply (manual Flush).
+  void set_batch_size(size_t n) { batch_size_ = n; }
+  size_t batch_size() const { return batch_size_; }
+
+  /// Staleness: highest captured CSN minus highest applied CSN.
+  Csn HighestCapturedCsn() const { return capture_.HighestCapturedCsn(); }
+  Csn HighestAppliedCsn() const;
+
+ private:
+  ChangeCapture capture_;
+  ApplyWorker worker_;
+  TransactionManager* tm_;
+  size_t batch_size_ = 256;
+  mutable std::mutex mu_;
+  Csn highest_applied_ = 0;
+  bool flushing_ = false;
+};
+
+}  // namespace idaa::replication

@@ -1,0 +1,964 @@
+#include "sql/binder.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+#include "sql/expression_eval.h"
+
+namespace idaa::sql {
+
+const char* AggFuncToString(AggFunc func) {
+  switch (func) {
+    case AggFunc::kCountStar: return "COUNT(*)";
+    case AggFunc::kCount: return "COUNT";
+    case AggFunc::kSum: return "SUM";
+    case AggFunc::kAvg: return "AVG";
+    case AggFunc::kMin: return "MIN";
+    case AggFunc::kMax: return "MAX";
+    case AggFunc::kStddev: return "STDDEV";
+    case AggFunc::kVariance: return "VARIANCE";
+  }
+  return "?";
+}
+
+std::string BoundExpr::Key() const {
+  std::string out;
+  switch (kind) {
+    case BoundExprKind::kLiteral:
+      out = "lit:" + literal.ToString();
+      break;
+    case BoundExprKind::kColumn:
+      out = "col:" + std::to_string(index);
+      break;
+    case BoundExprKind::kSlotRef:
+      out = "slot:" + std::to_string(index);
+      break;
+    case BoundExprKind::kUnary:
+      out = unary_op == UnaryOp::kNeg ? "neg" : "not";
+      break;
+    case BoundExprKind::kBinary:
+      out = std::string("bin:") + BinaryOpToString(binary_op);
+      break;
+    case BoundExprKind::kFunction:
+      out = "fn:" + function_name;
+      break;
+    case BoundExprKind::kCase:
+      out = has_else ? "case/else" : "case";
+      break;
+    case BoundExprKind::kInList:
+      out = negated ? "notin" : "in";
+      break;
+    case BoundExprKind::kBetween:
+      out = negated ? "notbetween" : "between";
+      break;
+    case BoundExprKind::kIsNull:
+      out = negated ? "isnotnull" : "isnull";
+      break;
+    case BoundExprKind::kLike:
+      out = negated ? "notlike" : "like";
+      break;
+    case BoundExprKind::kCast:
+      out = std::string("cast:") + DataTypeToString(cast_type);
+      break;
+  }
+  out += "(";
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (i > 0) out += ",";
+    out += children[i]->Key();
+  }
+  out += ")";
+  return out;
+}
+
+BoundExprPtr BoundExpr::Clone() const {
+  auto copy = std::make_unique<BoundExpr>();
+  copy->kind = kind;
+  copy->literal = literal;
+  copy->index = index;
+  copy->unary_op = unary_op;
+  copy->binary_op = binary_op;
+  copy->function_name = function_name;
+  copy->has_else = has_else;
+  copy->negated = negated;
+  copy->cast_type = cast_type;
+  copy->result_type = result_type;
+  copy->nullable = nullable;
+  copy->children.reserve(children.size());
+  for (const auto& child : children) copy->children.push_back(child->Clone());
+  return copy;
+}
+
+namespace {
+
+/// Binding scope: the FROM-clause tables with their combined-layout offsets.
+struct Scope {
+  struct Entry {
+    std::string effective_name;  // upper-cased alias or table name
+    const Schema* schema;
+    size_t offset;
+  };
+  std::vector<Entry> entries;
+
+  /// Resolve a (possibly qualified) column to a combined-layout index.
+  Result<std::pair<size_t, const ColumnDef*>> Resolve(
+      const std::string& qualifier, const std::string& column) const {
+    std::string want_table = Catalog::NormalizeName(qualifier);
+    const ColumnDef* found_def = nullptr;
+    size_t found_index = 0;
+    int matches = 0;
+    for (const Entry& e : entries) {
+      if (!want_table.empty() && e.effective_name != want_table) continue;
+      auto idx = e.schema->FindColumn(column);
+      if (!idx) continue;
+      ++matches;
+      found_index = e.offset + *idx;
+      found_def = &e.schema->Column(*idx);
+    }
+    if (matches == 0) {
+      return Status::SemanticError(
+          "column not found: " +
+          (qualifier.empty() ? column : qualifier + "." + column));
+    }
+    if (matches > 1) {
+      return Status::SemanticError("ambiguous column reference: " + column);
+    }
+    return std::make_pair(found_index, found_def);
+  }
+};
+
+DataType InferArithType(BinaryOp op, const BoundExpr& lhs,
+                        const BoundExpr& rhs) {
+  if (op == BinaryOp::kConcatOp) return DataType::kVarchar;
+  if (lhs.result_type == DataType::kDate && rhs.result_type == DataType::kDate &&
+      op == BinaryOp::kSub) {
+    return DataType::kInteger;
+  }
+  if (lhs.result_type == DataType::kDate) return DataType::kDate;
+  if (lhs.result_type == DataType::kDouble ||
+      rhs.result_type == DataType::kDouble) {
+    return DataType::kDouble;
+  }
+  return DataType::kInteger;
+}
+
+DataType InferFunctionType(const std::string& fn,
+                           const std::vector<BoundExprPtr>& args) {
+  if (fn == "LENGTH" || fn == "SIGN" || fn == "YEAR" || fn == "MONTH" ||
+      fn == "DAY") {
+    return DataType::kInteger;
+  }
+  if (fn == "SQRT" || fn == "EXP" || fn == "LN" || fn == "LOG" ||
+      fn == "POWER" || fn == "POW") {
+    return DataType::kDouble;
+  }
+  if (fn == "UPPER" || fn == "LOWER" || fn == "UCASE" || fn == "LCASE" ||
+      fn == "TRIM" || fn == "SUBSTR" || fn == "SUBSTRING" || fn == "CONCAT" ||
+      fn == "REPLACE") {
+    return DataType::kVarchar;
+  }
+  if (fn == "ABS" || fn == "FLOOR" || fn == "CEIL" || fn == "CEILING" ||
+      fn == "ROUND" || fn == "MOD" || fn == "COALESCE" || fn == "NULLIF" ||
+      fn == "LEAST" || fn == "GREATEST") {
+    return args.empty() ? DataType::kDouble : args[0]->result_type;
+  }
+  return DataType::kDouble;
+}
+
+/// Does the (unbound) expression contain any aggregate function call?
+bool ContainsAggregate(const Expr& expr) {
+  if (expr.kind == ExprKind::kFunctionCall &&
+      IsAggregateFunction(expr.function_name)) {
+    return true;
+  }
+  for (const auto& child : expr.children) {
+    if (ContainsAggregate(*child)) return true;
+  }
+  return false;
+}
+
+Result<AggFunc> AggFuncFromName(const std::string& name, bool star_arg) {
+  if (name == "COUNT") return star_arg ? AggFunc::kCountStar : AggFunc::kCount;
+  if (name == "SUM") return AggFunc::kSum;
+  if (name == "AVG") return AggFunc::kAvg;
+  if (name == "MIN") return AggFunc::kMin;
+  if (name == "MAX") return AggFunc::kMax;
+  if (name == "STDDEV") return AggFunc::kStddev;
+  if (name == "VARIANCE") return AggFunc::kVariance;
+  return Status::SemanticError("unknown aggregate: " + name);
+}
+
+/// Bind an expression against a scope (no aggregates allowed).
+Result<BoundExprPtr> BindExprScoped(const Expr& expr, const Scope& scope) {
+  auto out = std::make_unique<BoundExpr>();
+  switch (expr.kind) {
+    case ExprKind::kLiteral: {
+      out->kind = BoundExprKind::kLiteral;
+      out->literal = expr.literal;
+      if (expr.literal.is_null()) {
+        out->result_type = DataType::kVarchar;  // unconstrained; stays NULL
+        out->nullable = true;
+      } else {
+        IDAA_ASSIGN_OR_RETURN(out->result_type, expr.literal.Type());
+        out->nullable = false;
+      }
+      return out;
+    }
+    case ExprKind::kColumnRef: {
+      IDAA_ASSIGN_OR_RETURN(auto hit,
+                            scope.Resolve(expr.table_qualifier, expr.column_name));
+      out->kind = BoundExprKind::kColumn;
+      out->index = hit.first;
+      out->result_type = hit.second->type;
+      out->nullable = hit.second->nullable;
+      return out;
+    }
+    case ExprKind::kStar:
+      return Status::SemanticError("'*' is only valid in COUNT(*) or as a "
+                                   "select item");
+    case ExprKind::kUnary: {
+      IDAA_ASSIGN_OR_RETURN(auto child, BindExprScoped(*expr.children[0], scope));
+      out->kind = BoundExprKind::kUnary;
+      out->unary_op = expr.unary_op;
+      out->result_type = expr.unary_op == UnaryOp::kNot
+                             ? DataType::kBoolean
+                             : child->result_type;
+      out->nullable = child->nullable;
+      out->children.push_back(std::move(child));
+      return out;
+    }
+    case ExprKind::kBinary: {
+      IDAA_ASSIGN_OR_RETURN(auto lhs, BindExprScoped(*expr.children[0], scope));
+      IDAA_ASSIGN_OR_RETURN(auto rhs, BindExprScoped(*expr.children[1], scope));
+      out->kind = BoundExprKind::kBinary;
+      out->binary_op = expr.binary_op;
+      switch (expr.binary_op) {
+        case BinaryOp::kEq:
+        case BinaryOp::kNotEq:
+        case BinaryOp::kLt:
+        case BinaryOp::kLtEq:
+        case BinaryOp::kGt:
+        case BinaryOp::kGtEq:
+        case BinaryOp::kAnd:
+        case BinaryOp::kOr:
+          out->result_type = DataType::kBoolean;
+          break;
+        default:
+          out->result_type = InferArithType(expr.binary_op, *lhs, *rhs);
+      }
+      out->nullable = lhs->nullable || rhs->nullable;
+      out->children.push_back(std::move(lhs));
+      out->children.push_back(std::move(rhs));
+      return out;
+    }
+    case ExprKind::kFunctionCall: {
+      if (IsAggregateFunction(expr.function_name)) {
+        return Status::SemanticError(
+            "aggregate " + expr.function_name +
+            " is not allowed here (WHERE/JOIN/GROUP BY input)");
+      }
+      out->kind = BoundExprKind::kFunction;
+      out->function_name = expr.function_name;
+      for (const auto& arg : expr.children) {
+        IDAA_ASSIGN_OR_RETURN(auto bound, BindExprScoped(*arg, scope));
+        out->children.push_back(std::move(bound));
+      }
+      out->result_type = InferFunctionType(expr.function_name, out->children);
+      out->nullable = true;
+      return out;
+    }
+    case ExprKind::kCase: {
+      out->kind = BoundExprKind::kCase;
+      out->has_else = expr.has_else;
+      DataType result = DataType::kVarchar;
+      bool first_then = true;
+      size_t pairs = (expr.children.size() - (expr.has_else ? 1 : 0)) / 2;
+      for (size_t i = 0; i < expr.children.size(); ++i) {
+        IDAA_ASSIGN_OR_RETURN(auto bound,
+                              BindExprScoped(*expr.children[i], scope));
+        bool is_then = (i < 2 * pairs && i % 2 == 1) ||
+                       (expr.has_else && i + 1 == expr.children.size());
+        if (is_then && first_then) {
+          result = bound->result_type;
+          first_then = false;
+        }
+        out->children.push_back(std::move(bound));
+      }
+      out->result_type = result;
+      out->nullable = true;
+      return out;
+    }
+    case ExprKind::kInList:
+    case ExprKind::kBetween:
+    case ExprKind::kIsNull:
+    case ExprKind::kLike: {
+      out->kind = expr.kind == ExprKind::kInList    ? BoundExprKind::kInList
+                  : expr.kind == ExprKind::kBetween ? BoundExprKind::kBetween
+                  : expr.kind == ExprKind::kIsNull  ? BoundExprKind::kIsNull
+                                                    : BoundExprKind::kLike;
+      out->negated = expr.negated;
+      for (const auto& child : expr.children) {
+        IDAA_ASSIGN_OR_RETURN(auto bound, BindExprScoped(*child, scope));
+        out->children.push_back(std::move(bound));
+      }
+      out->result_type = DataType::kBoolean;
+      out->nullable = expr.kind != ExprKind::kIsNull;
+      return out;
+    }
+    case ExprKind::kCast: {
+      IDAA_ASSIGN_OR_RETURN(auto child, BindExprScoped(*expr.children[0], scope));
+      out->kind = BoundExprKind::kCast;
+      out->cast_type = expr.cast_type;
+      out->result_type = expr.cast_type;
+      out->nullable = child->nullable;
+      out->children.push_back(std::move(child));
+      return out;
+    }
+  }
+  return Status::Internal("unhandled expression kind in binder");
+}
+
+/// Collect the set of combined-layout column indexes an expression touches.
+void CollectColumnIndexes(const BoundExpr& expr, std::set<size_t>* out) {
+  if (expr.kind == BoundExprKind::kColumn) out->insert(expr.index);
+  for (const auto& child : expr.children) CollectColumnIndexes(*child, out);
+}
+
+/// Split a predicate tree into top-level AND conjuncts (bound form).
+void SplitConjuncts(BoundExprPtr expr, std::vector<BoundExprPtr>* out) {
+  if (expr->kind == BoundExprKind::kBinary &&
+      expr->binary_op == BinaryOp::kAnd) {
+    SplitConjuncts(std::move(expr->children[0]), out);
+    SplitConjuncts(std::move(expr->children[1]), out);
+    return;
+  }
+  out->push_back(std::move(expr));
+}
+
+BoundExprPtr CombineConjuncts(std::vector<BoundExprPtr> conjuncts) {
+  if (conjuncts.empty()) return nullptr;
+  BoundExprPtr acc = std::move(conjuncts[0]);
+  for (size_t i = 1; i < conjuncts.size(); ++i) {
+    auto node = std::make_unique<BoundExpr>();
+    node->kind = BoundExprKind::kBinary;
+    node->binary_op = BinaryOp::kAnd;
+    node->result_type = DataType::kBoolean;
+    node->children.push_back(std::move(acc));
+    node->children.push_back(std::move(conjuncts[i]));
+    acc = std::move(node);
+  }
+  return acc;
+}
+
+/// Rewrites a combined-layout expression into a single-table layout by
+/// subtracting the table's offset from every column index.
+void ShiftColumns(BoundExpr* expr, size_t offset) {
+  if (expr->kind == BoundExprKind::kColumn) expr->index -= offset;
+  for (auto& child : expr->children) ShiftColumns(child.get(), offset);
+}
+
+/// Helper that binds post-aggregation expressions: matches group keys,
+/// extracts aggregates, errors on stray columns.
+class PostAggBinder {
+ public:
+  PostAggBinder(const Scope& scope, const std::vector<BoundExprPtr>& group_keys,
+                std::vector<BoundAggregate>* aggregates)
+      : scope_(scope), group_keys_(group_keys), aggregates_(aggregates) {
+    for (size_t i = 0; i < group_keys.size(); ++i) {
+      key_lookup_.emplace_back(group_keys[i]->Key(), i);
+    }
+  }
+
+  Result<BoundExprPtr> Bind(const Expr& expr) {
+    // Aggregate call -> slot reference past the group keys.
+    if (expr.kind == ExprKind::kFunctionCall &&
+        IsAggregateFunction(expr.function_name)) {
+      return BindAggregate(expr);
+    }
+    // Try binding the whole subtree against the input scope; if it succeeds
+    // and matches a group key, reference the key slot.
+    if (!ContainsAggregate(expr)) {
+      auto bound = BindExprScoped(expr, scope_);
+      if (bound.ok()) {
+        std::string key = (*bound)->Key();
+        for (const auto& [k, slot] : key_lookup_) {
+          if (k == key) {
+            auto ref = std::make_unique<BoundExpr>();
+            ref->kind = BoundExprKind::kSlotRef;
+            ref->index = slot;
+            ref->result_type = (*bound)->result_type;
+            ref->nullable = (*bound)->nullable;
+            return BoundExprPtr(std::move(ref));
+          }
+        }
+        // Constant expressions are fine anywhere.
+        std::set<size_t> cols;
+        CollectColumnIndexes(**bound, &cols);
+        if (cols.empty()) return std::move(*bound);
+        return Status::SemanticError(
+            "expression '" + expr.ToSql() +
+            "' references columns that are neither grouped nor aggregated");
+      }
+    }
+    // Recurse: rebuild the node around post-agg children.
+    if (expr.children.empty()) {
+      if (expr.kind == ExprKind::kLiteral) {
+        return BindExprScoped(expr, scope_);
+      }
+      return Status::SemanticError(
+          "column '" + expr.ToSql() + "' must appear in GROUP BY or inside an "
+          "aggregate");
+    }
+    auto out = std::make_unique<BoundExpr>();
+    switch (expr.kind) {
+      case ExprKind::kUnary:
+        out->kind = BoundExprKind::kUnary;
+        out->unary_op = expr.unary_op;
+        break;
+      case ExprKind::kBinary:
+        out->kind = BoundExprKind::kBinary;
+        out->binary_op = expr.binary_op;
+        break;
+      case ExprKind::kFunctionCall:
+        out->kind = BoundExprKind::kFunction;
+        out->function_name = expr.function_name;
+        break;
+      case ExprKind::kCase:
+        out->kind = BoundExprKind::kCase;
+        out->has_else = expr.has_else;
+        break;
+      case ExprKind::kInList:
+        out->kind = BoundExprKind::kInList;
+        out->negated = expr.negated;
+        break;
+      case ExprKind::kBetween:
+        out->kind = BoundExprKind::kBetween;
+        out->negated = expr.negated;
+        break;
+      case ExprKind::kIsNull:
+        out->kind = BoundExprKind::kIsNull;
+        out->negated = expr.negated;
+        break;
+      case ExprKind::kLike:
+        out->kind = BoundExprKind::kLike;
+        out->negated = expr.negated;
+        break;
+      case ExprKind::kCast:
+        out->kind = BoundExprKind::kCast;
+        out->cast_type = expr.cast_type;
+        break;
+      default:
+        return Status::SemanticError("unsupported expression over aggregates: " +
+                                     expr.ToSql());
+    }
+    for (const auto& child : expr.children) {
+      IDAA_ASSIGN_OR_RETURN(auto bound, Bind(*child));
+      out->children.push_back(std::move(bound));
+    }
+    switch (out->kind) {
+      case BoundExprKind::kBinary:
+        switch (out->binary_op) {
+          case BinaryOp::kEq:
+          case BinaryOp::kNotEq:
+          case BinaryOp::kLt:
+          case BinaryOp::kLtEq:
+          case BinaryOp::kGt:
+          case BinaryOp::kGtEq:
+          case BinaryOp::kAnd:
+          case BinaryOp::kOr:
+            out->result_type = DataType::kBoolean;
+            break;
+          default:
+            out->result_type = InferArithType(out->binary_op, *out->children[0],
+                                              *out->children[1]);
+        }
+        break;
+      case BoundExprKind::kUnary:
+        out->result_type = out->unary_op == UnaryOp::kNot
+                               ? DataType::kBoolean
+                               : out->children[0]->result_type;
+        break;
+      case BoundExprKind::kFunction:
+        out->result_type = InferFunctionType(out->function_name, out->children);
+        break;
+      case BoundExprKind::kCase:
+        out->result_type = out->children.size() >= 2
+                               ? out->children[1]->result_type
+                               : DataType::kVarchar;
+        break;
+      case BoundExprKind::kCast:
+        out->result_type = out->cast_type;
+        break;
+      default:
+        out->result_type = DataType::kBoolean;
+    }
+    out->nullable = true;
+    return BoundExprPtr(std::move(out));
+  }
+
+  size_t num_keys() const { return group_keys_.size(); }
+
+ private:
+  Result<BoundExprPtr> BindAggregate(const Expr& expr) {
+    BoundAggregate agg;
+    bool star = !expr.children.empty() &&
+                expr.children[0]->kind == ExprKind::kStar;
+    if (expr.children.empty() && expr.function_name == "COUNT") star = true;
+    IDAA_ASSIGN_OR_RETURN(agg.func, AggFuncFromName(expr.function_name, star));
+    agg.distinct = expr.distinct;
+    if (!star) {
+      if (expr.children.size() != 1) {
+        return Status::SemanticError(expr.function_name +
+                                     " takes exactly one argument");
+      }
+      if (ContainsAggregate(*expr.children[0])) {
+        return Status::SemanticError("nested aggregates are not allowed");
+      }
+      IDAA_ASSIGN_OR_RETURN(agg.arg, BindExprScoped(*expr.children[0], scope_));
+    }
+    switch (agg.func) {
+      case AggFunc::kCountStar:
+      case AggFunc::kCount:
+        agg.result_type = DataType::kInteger;
+        break;
+      case AggFunc::kAvg:
+      case AggFunc::kStddev:
+      case AggFunc::kVariance:
+        agg.result_type = DataType::kDouble;
+        break;
+      case AggFunc::kSum:
+      case AggFunc::kMin:
+      case AggFunc::kMax:
+        agg.result_type = agg.arg ? agg.arg->result_type : DataType::kInteger;
+        break;
+    }
+    // Dedup identical aggregates.
+    std::string key = std::string(AggFuncToString(agg.func)) +
+                      (agg.distinct ? "/d" : "") +
+                      (agg.arg ? agg.arg->Key() : "");
+    size_t slot = aggregates_->size();
+    for (size_t i = 0; i < agg_keys_.size(); ++i) {
+      if (agg_keys_[i] == key) {
+        slot = i;
+        break;
+      }
+    }
+    auto ref = std::make_unique<BoundExpr>();
+    ref->kind = BoundExprKind::kSlotRef;
+    ref->result_type = agg.result_type;
+    ref->nullable = true;
+    if (slot == aggregates_->size()) {
+      agg_keys_.push_back(key);
+      aggregates_->push_back(std::move(agg));
+    }
+    ref->index = group_keys_.size() + slot;
+    return BoundExprPtr(std::move(ref));
+  }
+
+  const Scope& scope_;
+  const std::vector<BoundExprPtr>& group_keys_;
+  std::vector<BoundAggregate>* aggregates_;
+  std::vector<std::pair<std::string, size_t>> key_lookup_;
+  std::vector<std::string> agg_keys_;
+};
+
+std::string DeriveColumnName(const SelectItem& item, size_t position) {
+  if (!item.alias.empty()) return Catalog::NormalizeName(item.alias);
+  if (item.expr->kind == ExprKind::kColumnRef) {
+    return Catalog::NormalizeName(item.expr->column_name);
+  }
+  return "C" + std::to_string(position + 1);
+}
+
+std::optional<size_t> AliasIndex(const std::vector<SelectItem>& items,
+                                 const std::string& name) {
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (!items[i].alias.empty() && EqualsIgnoreCase(items[i].alias, name)) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+/// ORDER BY in an aggregating query: positions and aliases resolve through
+/// the select list, everything else binds post-aggregation.
+Result<BoundExprPtr> BindAggOrderBy(const Expr& expr,
+                                    const std::vector<SelectItem>& items,
+                                    PostAggBinder* post) {
+  if (expr.kind == ExprKind::kLiteral && expr.literal.is_integer()) {
+    int64_t pos = expr.literal.AsInteger();
+    if (pos < 1 || static_cast<size_t>(pos) > items.size()) {
+      return Status::SemanticError("ORDER BY position out of range");
+    }
+    return post->Bind(*items[pos - 1].expr);
+  }
+  if (expr.kind == ExprKind::kColumnRef && expr.table_qualifier.empty()) {
+    if (auto idx = AliasIndex(items, expr.column_name)) {
+      return post->Bind(*items[*idx].expr);
+    }
+  }
+  return post->Bind(expr);
+}
+
+}  // namespace
+
+Result<BoundSelect> Binder::BindSelect(const SelectStatement& stmt) const {
+  BoundSelect out;
+  out.distinct = stmt.distinct;
+  out.limit = stmt.limit;
+
+  // ---- FROM --------------------------------------------------------------
+  Scope scope;
+  bool has_left_join = false;
+  size_t combined_width = 0;
+  auto add_table = [&](const TableRef& ref, JoinType type) -> Status {
+    auto info_r = catalog_.GetTable(ref.table_name);
+    if (!info_r.ok()) return info_r.status();
+    const TableInfo* info = *info_r;
+    BoundTable bt;
+    bt.info = info;
+    bt.effective_name = Catalog::NormalizeName(ref.EffectiveName());
+    bt.offset = combined_width;
+    bt.join_type = type;
+    for (const auto& existing : scope.entries) {
+      if (existing.effective_name == bt.effective_name) {
+        return Status::SemanticError("duplicate table name/alias in FROM: " +
+                                     bt.effective_name);
+      }
+    }
+    scope.entries.push_back({bt.effective_name, &info->schema, bt.offset});
+    combined_width += info->schema.NumColumns();
+    out.tables.push_back(std::move(bt));
+    return Status::OK();
+  };
+
+  if (stmt.from) {
+    IDAA_RETURN_IF_ERROR(add_table(*stmt.from, JoinType::kInner));
+    for (const auto& join : stmt.joins) {
+      if (join.type == JoinType::kLeft) has_left_join = true;
+      IDAA_RETURN_IF_ERROR(add_table(join.table, join.type));
+      if (join.on) {
+        IDAA_ASSIGN_OR_RETURN(out.tables.back().join_on,
+                              BindExprScoped(*join.on, scope));
+      }
+    }
+  } else if (!stmt.joins.empty()) {
+    return Status::SemanticError("JOIN without FROM");
+  }
+
+  // Combined schema may contain duplicate column names across tables; that
+  // is fine for the layout but AddColumn rejects duplicates, so rebuild it
+  // permissively.
+  {
+    Schema combined;
+    std::vector<ColumnDef> cols;
+    for (const auto& bt : out.tables) {
+      for (const auto& col : bt.info->schema.columns()) {
+        ColumnDef def = col;
+        if (bt.join_type == JoinType::kLeft) def.nullable = true;
+        // Qualify duplicates to keep names unique-ish for debugging.
+        def.name = bt.effective_name + "." + col.name;
+        cols.push_back(def);
+      }
+    }
+    out.combined_schema = Schema(std::move(cols));
+  }
+
+  // ---- WHERE + pushdown ----------------------------------------------------
+  if (stmt.where) {
+    if (ContainsAggregate(*stmt.where)) {
+      return Status::SemanticError("aggregates are not allowed in WHERE");
+    }
+    IDAA_ASSIGN_OR_RETURN(BoundExprPtr where, BindExprScoped(*stmt.where, scope));
+    if (!has_left_join && !out.tables.empty()) {
+      std::vector<BoundExprPtr> conjuncts;
+      SplitConjuncts(std::move(where), &conjuncts);
+      std::vector<BoundExprPtr> residual;
+      for (auto& conjunct : conjuncts) {
+        std::set<size_t> cols;
+        CollectColumnIndexes(*conjunct, &cols);
+        // Find the unique table covering all referenced columns.
+        const BoundTable* owner = nullptr;
+        bool single_table = !cols.empty();
+        for (size_t idx : cols) {
+          const BoundTable* table = nullptr;
+          for (const auto& bt : out.tables) {
+            if (idx >= bt.offset &&
+                idx < bt.offset + bt.info->schema.NumColumns()) {
+              table = &bt;
+              break;
+            }
+          }
+          if (owner == nullptr) owner = table;
+          if (table != owner) {
+            single_table = false;
+            break;
+          }
+        }
+        if (single_table && owner != nullptr) {
+          // Rewrite to the table's local layout and attach to its scan.
+          BoundTable* mutable_owner = nullptr;
+          for (auto& bt : out.tables) {
+            if (&bt == owner) mutable_owner = &bt;
+          }
+          ShiftColumns(conjunct.get(), owner->offset);
+          if (mutable_owner->scan_predicate) {
+            std::vector<BoundExprPtr> merged;
+            merged.push_back(std::move(mutable_owner->scan_predicate));
+            merged.push_back(std::move(conjunct));
+            mutable_owner->scan_predicate = CombineConjuncts(std::move(merged));
+          } else {
+            mutable_owner->scan_predicate = std::move(conjunct);
+          }
+        } else {
+          residual.push_back(std::move(conjunct));
+        }
+      }
+      out.where = CombineConjuncts(std::move(residual));
+    } else {
+      out.where = std::move(where);
+    }
+  }
+
+  // ---- aggregation detection ------------------------------------------------
+  bool any_aggregate = !stmt.group_by.empty();
+  for (const auto& item : stmt.items) {
+    if (ContainsAggregate(*item.expr)) any_aggregate = true;
+  }
+  if (stmt.having && !any_aggregate) {
+    return Status::SemanticError("HAVING requires GROUP BY or aggregates");
+  }
+  out.has_aggregation = any_aggregate;
+
+  // ---- select list ----------------------------------------------------------
+  // Expand stars first.
+  std::vector<SelectItem> items;
+  for (const auto& item : stmt.items) {
+    if (item.expr->kind == ExprKind::kStar) {
+      if (any_aggregate) {
+        return Status::SemanticError("'*' cannot be combined with GROUP BY");
+      }
+      std::string qualifier =
+          Catalog::NormalizeName(item.expr->table_qualifier);
+      bool matched = false;
+      for (const auto& bt : out.tables) {
+        if (!qualifier.empty() && bt.effective_name != qualifier) continue;
+        matched = true;
+        for (const auto& col : bt.info->schema.columns()) {
+          SelectItem expanded;
+          expanded.expr = MakeColumnRef(bt.effective_name, col.name);
+          expanded.alias = col.name;
+          items.push_back(std::move(expanded));
+        }
+      }
+      if (!matched) {
+        return Status::SemanticError("no table matches '" + qualifier + ".*'");
+      }
+      continue;
+    }
+    SelectItem copy;
+    copy.expr = item.expr->Clone();
+    copy.alias = item.alias;
+    items.push_back(std::move(copy));
+  }
+  if (items.empty()) return Status::SemanticError("empty select list");
+
+  if (any_aggregate) {
+    for (const auto& g : stmt.group_by) {
+      if (ContainsAggregate(*g)) {
+        return Status::SemanticError("aggregates are not allowed in GROUP BY");
+      }
+      IDAA_ASSIGN_OR_RETURN(auto bound, BindExprScoped(*g, scope));
+      out.group_keys.push_back(std::move(bound));
+    }
+    PostAggBinder post(scope, out.group_keys, &out.aggregates);
+    for (size_t i = 0; i < items.size(); ++i) {
+      IDAA_ASSIGN_OR_RETURN(auto bound, post.Bind(*items[i].expr));
+      ColumnDef def;
+      def.name = DeriveColumnName(items[i], i);
+      def.type = bound->result_type;
+      def.nullable = bound->nullable;
+      out.select_exprs.push_back(std::move(bound));
+      std::vector<ColumnDef> cols = out.output_schema.columns();
+      cols.push_back(def);
+      out.output_schema = Schema(std::move(cols));
+    }
+    if (stmt.having) {
+      IDAA_ASSIGN_OR_RETURN(out.having, post.Bind(*stmt.having));
+    }
+    for (const auto& ob : stmt.order_by) {
+      BoundOrderBy bound;
+      bound.ascending = ob.ascending;
+      IDAA_ASSIGN_OR_RETURN(bound.expr, BindAggOrderBy(*ob.expr, items, &post));
+      out.order_by.push_back(std::move(bound));
+    }
+  } else {
+    for (size_t i = 0; i < items.size(); ++i) {
+      IDAA_ASSIGN_OR_RETURN(auto bound, BindExprScoped(*items[i].expr, scope));
+      ColumnDef def;
+      def.name = DeriveColumnName(items[i], i);
+      def.type = bound->result_type;
+      def.nullable = bound->nullable;
+      out.select_exprs.push_back(std::move(bound));
+      std::vector<ColumnDef> cols = out.output_schema.columns();
+      cols.push_back(def);
+      out.output_schema = Schema(std::move(cols));
+    }
+    for (const auto& ob : stmt.order_by) {
+      BoundOrderBy bound;
+      bound.ascending = ob.ascending;
+      // ORDER BY <position> or <alias> or expression over the input.
+      if (ob.expr->kind == ExprKind::kLiteral && ob.expr->literal.is_integer()) {
+        int64_t pos = ob.expr->literal.AsInteger();
+        if (pos < 1 || static_cast<size_t>(pos) > out.select_exprs.size()) {
+          return Status::SemanticError("ORDER BY position out of range");
+        }
+        bound.expr = out.select_exprs[pos - 1]->Clone();
+      } else if (ob.expr->kind == ExprKind::kColumnRef &&
+                 ob.expr->table_qualifier.empty() &&
+                 AliasIndex(items, ob.expr->column_name)) {
+        bound.expr =
+            out.select_exprs[*AliasIndex(items, ob.expr->column_name)]->Clone();
+      } else {
+        IDAA_ASSIGN_OR_RETURN(bound.expr, BindExprScoped(*ob.expr, scope));
+      }
+      out.order_by.push_back(std::move(bound));
+    }
+  }
+  return out;
+}
+
+Result<BoundInsert> Binder::BindInsert(const InsertStatement& stmt) const {
+  BoundInsert out;
+  IDAA_ASSIGN_OR_RETURN(out.table, catalog_.GetTable(stmt.table_name));
+  const Schema& schema = out.table->schema;
+
+  if (stmt.columns.empty()) {
+    out.column_mapping.resize(schema.NumColumns());
+    for (size_t i = 0; i < schema.NumColumns(); ++i) out.column_mapping[i] = i;
+  } else {
+    for (const auto& name : stmt.columns) {
+      IDAA_ASSIGN_OR_RETURN(size_t idx, schema.ColumnIndex(name));
+      out.column_mapping.push_back(idx);
+    }
+  }
+
+  if (stmt.select) {
+    auto select = std::make_unique<BoundSelect>();
+    IDAA_ASSIGN_OR_RETURN(*select, BindSelect(*stmt.select));
+    if (select->output_schema.NumColumns() != out.column_mapping.size()) {
+      return Status::SemanticError(StrFormat(
+          "INSERT source has %zu columns, target list has %zu",
+          select->output_schema.NumColumns(), out.column_mapping.size()));
+    }
+    out.select = std::move(select);
+    return out;
+  }
+
+  Scope empty_scope;
+  for (const auto& value_row : stmt.values_rows) {
+    if (value_row.size() != out.column_mapping.size()) {
+      return Status::SemanticError("INSERT VALUES arity mismatch");
+    }
+    Row row(schema.NumColumns(), Value::Null());
+    for (size_t i = 0; i < value_row.size(); ++i) {
+      IDAA_ASSIGN_OR_RETURN(auto bound,
+                            BindExprScoped(*value_row[i], empty_scope));
+      IDAA_ASSIGN_OR_RETURN(Value v, EvalExpr(*bound, Row{}));
+      size_t target = out.column_mapping[i];
+      if (!v.is_null() && !ValueMatchesType(v, schema.Column(target).type)) {
+        IDAA_ASSIGN_OR_RETURN(v, v.CastTo(schema.Column(target).type));
+      }
+      row[target] = std::move(v);
+    }
+    IDAA_RETURN_IF_ERROR(schema.ValidateRow(row));
+    out.values_rows.push_back(std::move(row));
+  }
+  if (out.values_rows.empty()) {
+    return Status::SemanticError("INSERT requires VALUES or a SELECT source");
+  }
+  return out;
+}
+
+Result<BoundUpdate> Binder::BindUpdate(const UpdateStatement& stmt) const {
+  BoundUpdate out;
+  IDAA_ASSIGN_OR_RETURN(out.table, catalog_.GetTable(stmt.table_name));
+  Scope scope;
+  scope.entries.push_back(
+      {Catalog::NormalizeName(stmt.table_name), &out.table->schema, 0});
+  for (const auto& [col, expr] : stmt.assignments) {
+    IDAA_ASSIGN_OR_RETURN(size_t idx, out.table->schema.ColumnIndex(col));
+    if (ContainsAggregate(*expr)) {
+      return Status::SemanticError("aggregates are not allowed in UPDATE SET");
+    }
+    IDAA_ASSIGN_OR_RETURN(auto bound, BindExprScoped(*expr, scope));
+    out.assignments.emplace_back(idx, std::move(bound));
+  }
+  if (stmt.where) {
+    if (ContainsAggregate(*stmt.where)) {
+      return Status::SemanticError("aggregates are not allowed in WHERE");
+    }
+    IDAA_ASSIGN_OR_RETURN(out.where, BindExprScoped(*stmt.where, scope));
+  }
+  return out;
+}
+
+Result<BoundDelete> Binder::BindDelete(const DeleteStatement& stmt) const {
+  BoundDelete out;
+  IDAA_ASSIGN_OR_RETURN(out.table, catalog_.GetTable(stmt.table_name));
+  if (stmt.where) {
+    if (ContainsAggregate(*stmt.where)) {
+      return Status::SemanticError("aggregates are not allowed in WHERE");
+    }
+    Scope scope;
+    scope.entries.push_back(
+        {Catalog::NormalizeName(stmt.table_name), &out.table->schema, 0});
+    IDAA_ASSIGN_OR_RETURN(out.where, BindExprScoped(*stmt.where, scope));
+  }
+  return out;
+}
+
+Result<BoundExprPtr> Binder::BindScalar(const Expr& expr, const Schema& schema,
+                                        const std::string& table_name) const {
+  Scope scope;
+  scope.entries.push_back({Catalog::NormalizeName(table_name), &schema, 0});
+  if (ContainsAggregate(expr)) {
+    return Status::SemanticError("aggregates are not allowed here");
+  }
+  return BindExprScoped(expr, scope);
+}
+
+std::vector<std::string> ReferencedTables(const SelectStatement& stmt) {
+  std::vector<std::string> out;
+  if (stmt.from) out.push_back(Catalog::NormalizeName(stmt.from->table_name));
+  for (const auto& join : stmt.joins) {
+    out.push_back(Catalog::NormalizeName(join.table.table_name));
+  }
+  return out;
+}
+
+std::vector<std::string> ReferencedTables(const Statement& stmt) {
+  switch (stmt.kind()) {
+    case StatementKind::kSelect:
+      return ReferencedTables(static_cast<const SelectStatement&>(stmt));
+    case StatementKind::kInsert: {
+      const auto& insert = static_cast<const InsertStatement&>(stmt);
+      std::vector<std::string> out = {
+          Catalog::NormalizeName(insert.table_name)};
+      if (insert.select) {
+        for (auto& t : ReferencedTables(*insert.select)) out.push_back(t);
+      }
+      return out;
+    }
+    case StatementKind::kUpdate:
+      return {Catalog::NormalizeName(
+          static_cast<const UpdateStatement&>(stmt).table_name)};
+    case StatementKind::kDelete:
+      return {Catalog::NormalizeName(
+          static_cast<const DeleteStatement&>(stmt).table_name)};
+    default:
+      return {};
+  }
+}
+
+}  // namespace idaa::sql

@@ -1,0 +1,167 @@
+// Binder: resolves a parsed statement against a Catalog, producing bound
+// (index-addressed, type-annotated) trees that both executors consume.
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "common/row.h"
+#include "common/schema.h"
+#include "sql/ast.h"
+
+namespace idaa::sql {
+
+enum class BoundExprKind : uint8_t {
+  kLiteral,
+  kColumn,    ///< index into the input row (combined FROM layout)
+  kSlotRef,   ///< index into the post-aggregation row [keys..., aggs...]
+  kUnary,
+  kBinary,
+  kFunction,
+  kCase,
+  kInList,
+  kBetween,
+  kIsNull,
+  kLike,
+  kCast,
+};
+
+/// Bound expression node. Evaluated against a Row by EvalExpr()
+/// (common to the DB2 volcano executor and the accelerator engine).
+struct BoundExpr {
+  BoundExprKind kind = BoundExprKind::kLiteral;
+  Value literal;
+  size_t index = 0;  ///< kColumn / kSlotRef
+  UnaryOp unary_op = UnaryOp::kNeg;
+  BinaryOp binary_op = BinaryOp::kAdd;
+  std::string function_name;
+  bool has_else = false;
+  bool negated = false;
+  DataType cast_type = DataType::kInteger;
+  std::vector<std::unique_ptr<BoundExpr>> children;
+
+  /// Best-effort inferred output type (drives output schemas).
+  DataType result_type = DataType::kInteger;
+  bool nullable = true;
+
+  /// Canonical key for structural comparison (GROUP BY matching).
+  std::string Key() const;
+
+  std::unique_ptr<BoundExpr> Clone() const;
+};
+
+using BoundExprPtr = std::unique_ptr<BoundExpr>;
+
+/// Aggregate functions supported by both engines.
+enum class AggFunc : uint8_t {
+  kCountStar,
+  kCount,
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+  kStddev,
+  kVariance,
+};
+
+struct BoundAggregate {
+  AggFunc func = AggFunc::kCountStar;
+  BoundExprPtr arg;  ///< null for COUNT(*)
+  bool distinct = false;
+  DataType result_type = DataType::kInteger;
+};
+
+/// One FROM-clause table after binding.
+struct BoundTable {
+  const TableInfo* info = nullptr;  ///< catalog entry (stable pointer)
+  std::string effective_name;       ///< alias or table name (normalized upper)
+  size_t offset = 0;                ///< column offset in the combined layout
+  JoinType join_type = JoinType::kInner;  ///< how it joins (base table: inner)
+  BoundExprPtr join_on;             ///< ON predicate, combined layout
+  /// Conjuncts of WHERE referencing only this table, pushed into the scan
+  /// (what the Netezza FPGA stage would evaluate). Null if none.
+  BoundExprPtr scan_predicate;
+};
+
+struct BoundOrderBy {
+  BoundExprPtr expr;  ///< post-agg layout when has_aggregation, else combined
+  bool ascending = true;
+};
+
+/// Fully bound SELECT.
+struct BoundSelect {
+  std::vector<BoundTable> tables;  ///< empty for table-less SELECT
+  Schema combined_schema;          ///< concatenation of all table schemas
+  BoundExprPtr where;              ///< residual predicate (combined layout)
+
+  bool has_aggregation = false;
+  std::vector<BoundExprPtr> group_keys;     ///< combined layout
+  std::vector<BoundAggregate> aggregates;
+
+  /// Output expressions. With aggregation they address the post-agg row
+  /// [group keys..., aggregate results...]; otherwise the combined row.
+  std::vector<BoundExprPtr> select_exprs;
+  Schema output_schema;
+
+  BoundExprPtr having;  ///< post-agg layout
+  std::vector<BoundOrderBy> order_by;
+  std::optional<int64_t> limit;
+  bool distinct = false;
+};
+
+/// Bound INSERT: rows are pre-evaluated (literal expressions only) or the
+/// bound source select is attached.
+struct BoundInsert {
+  const TableInfo* table = nullptr;
+  /// Map from position in the incoming row to column index in the table
+  /// schema (identity when no column list was given).
+  std::vector<size_t> column_mapping;
+  std::vector<Row> values_rows;           ///< already coerced to schema types
+  std::unique_ptr<BoundSelect> select;    ///< or a source query
+};
+
+struct BoundUpdate {
+  const TableInfo* table = nullptr;
+  std::vector<std::pair<size_t, BoundExprPtr>> assignments;  ///< col idx, expr
+  BoundExprPtr where;  ///< over the table's row layout; null = all rows
+};
+
+struct BoundDelete {
+  const TableInfo* table = nullptr;
+  BoundExprPtr where;
+};
+
+/// Binds statements against a catalog.
+class Binder {
+ public:
+  explicit Binder(const Catalog& catalog) : catalog_(catalog) {}
+
+  Result<BoundSelect> BindSelect(const SelectStatement& stmt) const;
+  Result<BoundInsert> BindInsert(const InsertStatement& stmt) const;
+  Result<BoundUpdate> BindUpdate(const UpdateStatement& stmt) const;
+  Result<BoundDelete> BindDelete(const DeleteStatement& stmt) const;
+
+  /// Bind a scalar expression against a single table's schema (used for
+  /// UPDATE/DELETE predicates and by the analytics operators).
+  Result<BoundExprPtr> BindScalar(const Expr& expr, const Schema& schema,
+                                  const std::string& table_name) const;
+
+ private:
+  const Catalog& catalog_;
+};
+
+/// Names of the tables referenced by a select statement (FROM + JOINs),
+/// resolved through the parser only (no catalog access).
+std::vector<std::string> ReferencedTables(const SelectStatement& stmt);
+
+/// Names of tables referenced by any statement kind (empty for DDL/GRANT).
+std::vector<std::string> ReferencedTables(const Statement& stmt);
+
+const char* AggFuncToString(AggFunc func);
+
+}  // namespace idaa::sql

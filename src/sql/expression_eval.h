@@ -1,0 +1,54 @@
+// Evaluation of bound expressions with SQL three-valued logic.
+
+#pragma once
+
+#include "common/result.h"
+#include "common/row.h"
+#include "sql/binder.h"
+
+namespace idaa::sql {
+
+/// Evaluate a bound expression against a row. NULLs propagate per SQL
+/// semantics (comparisons with NULL yield NULL; AND/OR use 3VL).
+Result<Value> EvalExpr(const BoundExpr& expr, const Row& row);
+
+/// Evaluate a predicate: returns true only if the expression evaluates to
+/// TRUE (NULL and FALSE both reject the row).
+Result<bool> EvalPredicate(const BoundExpr& expr, const Row& row);
+
+/// Compute one aggregate over already-collected input values. Used by both
+/// executors; `inputs` holds the evaluated argument per qualifying row
+/// (for COUNT(*) pass row count via `count_star_rows`).
+class AggregateAccumulator {
+ public:
+  explicit AggregateAccumulator(const BoundAggregate& agg);
+
+  /// Feed the evaluated argument of one row (ignored for COUNT(*)).
+  void Accumulate(const Value& v);
+
+  /// Feed one row for COUNT(*).
+  void AccumulateRow() { ++row_count_; }
+
+  /// Final aggregate value (SQL semantics: SUM/AVG/... of no rows is NULL,
+  /// COUNT is 0).
+  Value Finalize() const;
+
+  /// Combine a partial accumulator computed elsewhere (slice-parallel
+  /// aggregation). DISTINCT accumulators are not mergeable.
+  Status Merge(const AggregateAccumulator& other);
+
+ private:
+  AggFunc func_;
+  bool distinct_ = false;
+  DataType result_type_ = DataType::kInteger;
+  uint64_t row_count_ = 0;       // COUNT(*)
+  uint64_t non_null_count_ = 0;  // COUNT(x) / AVG denominator
+  double sum_ = 0.0;
+  int64_t int_sum_ = 0;
+  bool int_exact_ = true;  // SUM over integers stays integer
+  double sum_sq_ = 0.0;    // for STDDEV/VARIANCE
+  Value min_, max_;
+  std::vector<Value> seen_;  // DISTINCT support (small-N workloads)
+};
+
+}  // namespace idaa::sql

@@ -1,0 +1,200 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <charconv>
+
+#include "common/string_util.h"
+
+namespace idaa::sql {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+
+  auto push = [&](TokenType type, std::string text, size_t pos) {
+    Token t;
+    t.type = type;
+    t.text = std::move(text);
+    t.position = pos;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comment
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    if (IsIdentStart(c)) {
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      std::string word = sql.substr(start, i - start);
+      std::string upper = ToUpper(word);
+      if (IsReservedKeyword(upper)) {
+        push(TokenType::kKeyword, upper, start);
+      } else {
+        push(TokenType::kIdentifier, word, start);
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.') {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        is_double = true;
+        ++i;
+        if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      std::string text = sql.substr(start, i - start);
+      Token t;
+      t.position = start;
+      t.text = text;
+      if (is_double) {
+        t.type = TokenType::kDoubleLit;
+        t.double_value = std::stod(text);
+      } else {
+        t.type = TokenType::kIntegerLit;
+        int64_t v = 0;
+        auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+        if (ec != std::errc()) {
+          return Status::SyntaxError("integer literal out of range: " + text);
+        }
+        (void)ptr;
+        t.int_value = v;
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string body;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {
+            body += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        body += sql[i++];
+      }
+      if (!closed) {
+        return Status::SyntaxError("unterminated string literal at offset " +
+                                   std::to_string(start));
+      }
+      push(TokenType::kStringLit, std::move(body), start);
+      continue;
+    }
+    if (c == '"') {
+      ++i;
+      std::string body;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '"') {
+          closed = true;
+          ++i;
+          break;
+        }
+        body += sql[i++];
+      }
+      if (!closed) {
+        return Status::SyntaxError("unterminated quoted identifier at offset " +
+                                   std::to_string(start));
+      }
+      push(TokenType::kIdentifier, std::move(body), start);
+      continue;
+    }
+    switch (c) {
+      case ',': push(TokenType::kComma, ",", start); ++i; break;
+      case '(': push(TokenType::kLParen, "(", start); ++i; break;
+      case ')': push(TokenType::kRParen, ")", start); ++i; break;
+      case '*': push(TokenType::kStar, "*", start); ++i; break;
+      case '+': push(TokenType::kPlus, "+", start); ++i; break;
+      case '-': push(TokenType::kMinus, "-", start); ++i; break;
+      case '/': push(TokenType::kSlash, "/", start); ++i; break;
+      case '%': push(TokenType::kPercent, "%", start); ++i; break;
+      case '.': push(TokenType::kDot, ".", start); ++i; break;
+      case ';': push(TokenType::kSemicolon, ";", start); ++i; break;
+      case '=': push(TokenType::kEq, "=", start); ++i; break;
+      case '!':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenType::kNotEq, "!=", start);
+          i += 2;
+        } else {
+          return Status::SyntaxError("unexpected '!' at offset " +
+                                     std::to_string(start));
+        }
+        break;
+      case '<':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenType::kLtEq, "<=", start);
+          i += 2;
+        } else if (i + 1 < n && sql[i + 1] == '>') {
+          push(TokenType::kNotEq, "<>", start);
+          i += 2;
+        } else {
+          push(TokenType::kLt, "<", start);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenType::kGtEq, ">=", start);
+          i += 2;
+        } else {
+          push(TokenType::kGt, ">", start);
+          ++i;
+        }
+        break;
+      case '|':
+        if (i + 1 < n && sql[i + 1] == '|') {
+          push(TokenType::kConcat, "||", start);
+          i += 2;
+        } else {
+          return Status::SyntaxError("unexpected '|' at offset " +
+                                     std::to_string(start));
+        }
+        break;
+      default:
+        return Status::SyntaxError(StrFormat(
+            "unexpected character '%c' at offset %zu", c, start));
+    }
+  }
+  Token eof;
+  eof.type = TokenType::kEof;
+  eof.position = n;
+  tokens.push_back(eof);
+  return tokens;
+}
+
+}  // namespace idaa::sql

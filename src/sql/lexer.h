@@ -1,0 +1,18 @@
+// Hand-written SQL lexer.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/token.h"
+
+namespace idaa::sql {
+
+/// Tokenize a SQL statement. Keywords are upper-cased; identifiers keep
+/// their case (the catalog normalizes later); 'strings' support doubled
+/// quote escapes; -- comments run to end of line.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace idaa::sql

@@ -1,0 +1,19 @@
+// Recursive-descent parser for the SQL subset (see DESIGN.md §3).
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace idaa::sql {
+
+/// Parse one SQL statement (a trailing ';' is allowed).
+Result<StatementPtr> ParseStatement(const std::string& sql);
+
+/// Parse a standalone scalar expression (used by tests and analytics).
+Result<ExprPtr> ParseExpression(const std::string& text);
+
+}  // namespace idaa::sql

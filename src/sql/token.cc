@@ -1,0 +1,55 @@
+#include "sql/token.h"
+
+#include <unordered_set>
+
+namespace idaa::sql {
+
+bool Token::IsKeyword(const char* kw) const {
+  return type == TokenType::kKeyword && text == kw;
+}
+
+const char* TokenTypeToString(TokenType type) {
+  switch (type) {
+    case TokenType::kEof: return "EOF";
+    case TokenType::kIdentifier: return "identifier";
+    case TokenType::kKeyword: return "keyword";
+    case TokenType::kIntegerLit: return "integer literal";
+    case TokenType::kDoubleLit: return "double literal";
+    case TokenType::kStringLit: return "string literal";
+    case TokenType::kComma: return ",";
+    case TokenType::kLParen: return "(";
+    case TokenType::kRParen: return ")";
+    case TokenType::kStar: return "*";
+    case TokenType::kPlus: return "+";
+    case TokenType::kMinus: return "-";
+    case TokenType::kSlash: return "/";
+    case TokenType::kPercent: return "%";
+    case TokenType::kEq: return "=";
+    case TokenType::kNotEq: return "<>";
+    case TokenType::kLt: return "<";
+    case TokenType::kLtEq: return "<=";
+    case TokenType::kGt: return ">";
+    case TokenType::kGtEq: return ">=";
+    case TokenType::kDot: return ".";
+    case TokenType::kSemicolon: return ";";
+    case TokenType::kConcat: return "||";
+  }
+  return "?";
+}
+
+bool IsReservedKeyword(const std::string& upper_word) {
+  static const std::unordered_set<std::string> kKeywords = {
+      "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+      "ASC", "DESC", "DISTINCT", "AS", "AND", "OR", "NOT", "NULL", "IS",
+      "IN", "BETWEEN", "LIKE", "CASE", "WHEN", "THEN", "ELSE", "END",
+      "CAST", "JOIN", "INNER", "LEFT", "RIGHT", "OUTER", "CROSS", "ON",
+      "CREATE", "TABLE", "DROP", "INSERT", "INTO", "VALUES", "UPDATE", "SET",
+      "DELETE", "PRIMARY", "KEY", "ACCELERATOR", "DISTRIBUTE", "TRUE",
+      "FALSE", "GRANT", "REVOKE", "TO", "CALL", "EXECUTE", "COMMIT",
+      "ROLLBACK", "BEGIN", "TRANSACTION", "EXISTS", "IF", "UNION", "ALL",
+      "DATE", "TIMESTAMP", "REPLICATION", "EXPLAIN",
+  };
+  return kKeywords.count(upper_word) > 0;
+}
+
+}  // namespace idaa::sql

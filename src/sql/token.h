@@ -1,0 +1,53 @@
+// SQL token model.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace idaa::sql {
+
+enum class TokenType : uint8_t {
+  kEof = 0,
+  kIdentifier,   ///< unquoted or "quoted" identifier
+  kKeyword,      ///< reserved word, text upper-cased
+  kIntegerLit,
+  kDoubleLit,
+  kStringLit,    ///< 'single quoted', text unescaped
+  // punctuation / operators
+  kComma,
+  kLParen,
+  kRParen,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kEq,       ///< =
+  kNotEq,    ///< <> or !=
+  kLt,
+  kLtEq,
+  kGt,
+  kGtEq,
+  kDot,
+  kSemicolon,
+  kConcat,   ///< ||
+};
+
+/// One lexed token with its source position (for error messages).
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;    ///< keyword: upper-cased; string lit: unescaped body
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  size_t position = 0;  ///< byte offset into the statement
+
+  bool IsKeyword(const char* kw) const;
+};
+
+const char* TokenTypeToString(TokenType type);
+
+/// True if `word` (upper-cased) is a reserved keyword.
+bool IsReservedKeyword(const std::string& upper_word);
+
+}  // namespace idaa::sql

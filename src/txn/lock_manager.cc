@@ -1,0 +1,81 @@
+#include "txn/lock_manager.h"
+
+#include "common/string_util.h"
+
+namespace idaa {
+
+bool LockManager::CanGrant(const TableLock& lock, TxnId txn_id,
+                           LockMode mode) const {
+  if (mode == LockMode::kShared) {
+    return lock.exclusive_holder == kInvalidTxnId ||
+           lock.exclusive_holder == txn_id;
+  }
+  // Exclusive: no other exclusive holder and no other shared holder.
+  if (lock.exclusive_holder != kInvalidTxnId &&
+      lock.exclusive_holder != txn_id) {
+    return false;
+  }
+  for (TxnId holder : lock.shared_holders) {
+    if (holder != txn_id) return false;
+  }
+  return true;
+}
+
+Status LockManager::Acquire(TxnId txn_id, uint64_t table_id, LockMode mode) {
+  std::unique_lock<std::mutex> guard(mu_);
+  TableLock& lock = locks_[table_id];
+  auto deadline = std::chrono::steady_clock::now() + wait_timeout_;
+  while (!CanGrant(lock, txn_id, mode)) {
+    if (cv_.wait_until(guard, deadline) == std::cv_status::timeout &&
+        !CanGrant(lock, txn_id, mode)) {
+      return Status::Conflict(StrFormat(
+          "lock timeout: txn %llu waiting for %s lock on table %llu",
+          static_cast<unsigned long long>(txn_id),
+          mode == LockMode::kShared ? "S" : "X",
+          static_cast<unsigned long long>(table_id)));
+    }
+  }
+  if (mode == LockMode::kShared) {
+    lock.shared_holders.insert(txn_id);
+  } else {
+    lock.exclusive_holder = txn_id;
+    lock.shared_holders.erase(txn_id);  // upgraded
+  }
+  return Status::OK();
+}
+
+void LockManager::ReleaseShared(TxnId txn_id) {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    for (auto& [table_id, lock] : locks_) {
+      lock.shared_holders.erase(txn_id);
+    }
+  }
+  cv_.notify_all();
+}
+
+void LockManager::ReleaseAll(TxnId txn_id) {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    for (auto& [table_id, lock] : locks_) {
+      lock.shared_holders.erase(txn_id);
+      if (lock.exclusive_holder == txn_id) {
+        lock.exclusive_holder = kInvalidTxnId;
+      }
+    }
+  }
+  cv_.notify_all();
+}
+
+size_t LockManager::NumHeld(TxnId txn_id) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  size_t count = 0;
+  for (const auto& [table_id, lock] : locks_) {
+    if (lock.shared_holders.count(txn_id) || lock.exclusive_holder == txn_id) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace idaa

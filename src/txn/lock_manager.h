@@ -1,0 +1,58 @@
+// LockManager: table-level S/X locking for the DB2 row engine, modelling
+// DB2's cursor-stability behaviour: share locks are released at the end of
+// the statement, exclusive locks are held until commit/rollback.
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "common/result.h"
+#include "txn/transaction.h"
+
+namespace idaa {
+
+enum class LockMode : uint8_t { kShared, kExclusive };
+
+class LockManager {
+ public:
+  /// Max time a request waits for a conflicting lock before failing with
+  /// kConflict (crude deadlock resolution via timeout).
+  explicit LockManager(
+      std::chrono::milliseconds wait_timeout = std::chrono::milliseconds(200))
+      : wait_timeout_(wait_timeout) {}
+
+  /// Acquire a lock on `table_id` for `txn_id`. Re-entrant; upgrading S->X is
+  /// supported when no other holder exists.
+  Status Acquire(TxnId txn_id, uint64_t table_id, LockMode mode);
+
+  /// Release the shared locks of a transaction (end of read statement —
+  /// cursor stability). Exclusive locks stay.
+  void ReleaseShared(TxnId txn_id);
+
+  /// Release everything the transaction holds (commit/abort).
+  void ReleaseAll(TxnId txn_id);
+
+  /// Locks currently held by a transaction (testing/diagnostics).
+  size_t NumHeld(TxnId txn_id) const;
+
+ private:
+  struct TableLock {
+    std::set<TxnId> shared_holders;
+    TxnId exclusive_holder = kInvalidTxnId;
+  };
+
+  bool CanGrant(const TableLock& lock, TxnId txn_id, LockMode mode) const;
+
+  std::chrono::milliseconds wait_timeout_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<uint64_t, TableLock> locks_;
+};
+
+}  // namespace idaa

@@ -1,0 +1,15 @@
+#include "txn/transaction.h"
+
+namespace idaa {
+
+void Transaction::AddUndo(std::function<void()> undo) {
+  std::lock_guard<std::mutex> lock(mu_);
+  undo_log_.push_back(std::move(undo));
+}
+
+void Transaction::CaptureChange(CapturedChange change) {
+  std::lock_guard<std::mutex> lock(mu_);
+  captured_changes_.push_back(std::move(change));
+}
+
+}  // namespace idaa

@@ -1,0 +1,85 @@
+// Transaction: the shared DB2/accelerator transaction context.
+//
+// The paper: "With AOTs, IDAA has to be aware of the DB2 transaction context
+// so that correct results are guaranteed, i.e., uncommitted data
+// modifications of the own transaction are handled. At the same time,
+// concurrent execution of multiple queries in a single transaction are also
+// supported."
+//
+// A transaction carries (a) its id, propagated to the accelerator with every
+// delegated statement so MVCC visibility can include the transaction's own
+// uncommitted rows, (b) a snapshot commit-sequence-number for snapshot
+// isolation on the accelerator, (c) an undo log for the DB2 row store, and
+// (d) captured changes to replicated tables for the incremental-update
+// pipeline.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/row.h"
+
+namespace idaa {
+
+using TxnId = uint64_t;
+/// Commit sequence number; monotonically increasing, assigned at commit.
+using Csn = uint64_t;
+
+inline constexpr TxnId kInvalidTxnId = 0;
+inline constexpr Csn kInfiniteCsn = UINT64_MAX;
+
+enum class TxnState : uint8_t { kActive, kCommitted, kAborted };
+
+/// A change captured on a DB2 table inside a transaction, shipped to the
+/// accelerator by the replication service after commit.
+struct CapturedChange {
+  enum class Op : uint8_t { kInsert, kDelete, kUpdate };
+  Op op = Op::kInsert;
+  std::string table_name;  ///< normalized
+  uint64_t rid = 0;        ///< DB2 row id
+  Row row;                 ///< new image (insert/update)
+  Row old_row;             ///< old image (delete/update)
+};
+
+/// One client transaction. Created by TransactionManager::Begin().
+/// Not thread-safe for concurrent DML from multiple threads; concurrent
+/// *queries* in one transaction are supported (read paths are const).
+class Transaction {
+ public:
+  Transaction(TxnId id, Csn snapshot_csn)
+      : id_(id), snapshot_csn_(snapshot_csn) {}
+
+  TxnId id() const { return id_; }
+  /// The CSN horizon this transaction reads at (snapshot isolation on the
+  /// accelerator): rows committed with csn <= snapshot are visible.
+  Csn snapshot_csn() const { return snapshot_csn_; }
+  TxnState state() const { return state_; }
+
+  bool IsActive() const { return state_ == TxnState::kActive; }
+
+  /// Register an undo action (run in reverse order on rollback).
+  void AddUndo(std::function<void()> undo);
+
+  /// Record a change to a replicated DB2 table (for incremental update).
+  void CaptureChange(CapturedChange change);
+
+  const std::vector<CapturedChange>& captured_changes() const {
+    return captured_changes_;
+  }
+
+ private:
+  friend class TransactionManager;
+
+  TxnId id_;
+  Csn snapshot_csn_;
+  TxnState state_ = TxnState::kActive;
+  std::mutex mu_;
+  std::vector<std::function<void()>> undo_log_;
+  std::vector<CapturedChange> captured_changes_;
+};
+
+}  // namespace idaa

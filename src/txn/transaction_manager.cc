@@ -1,0 +1,114 @@
+#include "txn/transaction_manager.h"
+
+#include <algorithm>
+
+namespace idaa {
+
+Transaction* TransactionManager::Begin() {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto txn = std::make_unique<Transaction>(next_txn_id_++, last_csn_);
+  Transaction* ptr = txn.get();
+  active_[ptr->id()] = ptr;
+  all_txns_.push_back(std::move(txn));
+  return ptr;
+}
+
+Status TransactionManager::Commit(Transaction* txn) {
+  std::vector<CommitListener> listeners;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (txn->state_ != TxnState::kActive) {
+      return Status::InvalidArgument("transaction is not active");
+    }
+    txn->state_ = TxnState::kCommitted;
+    commit_csn_[txn->id()] = ++last_csn_;
+    final_state_[txn->id()] = TxnState::kCommitted;
+    active_.erase(txn->id());
+    listeners = listeners_;
+  }
+  for (const auto& listener : listeners) listener(*txn);
+  return Status::OK();
+}
+
+Status TransactionManager::Abort(Transaction* txn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (txn->state_ != TxnState::kActive) {
+      return Status::InvalidArgument("transaction is not active");
+    }
+    txn->state_ = TxnState::kAborted;
+    final_state_[txn->id()] = TxnState::kAborted;
+    active_.erase(txn->id());
+  }
+  // Run undo actions in reverse order, outside the manager lock.
+  for (auto it = txn->undo_log_.rbegin(); it != txn->undo_log_.rend(); ++it) {
+    (*it)();
+  }
+  txn->undo_log_.clear();
+  txn->captured_changes_.clear();
+  return Status::OK();
+}
+
+void TransactionManager::RefreshSnapshot(Transaction* txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  txn->snapshot_csn_ = last_csn_;
+}
+
+Csn TransactionManager::LastCommittedCsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_csn_;
+}
+
+Csn TransactionManager::CommitCsnOf(TxnId txn_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = commit_csn_.find(txn_id);
+  return it == commit_csn_.end() ? kInfiniteCsn : it->second;
+}
+
+TxnState TransactionManager::StateOf(TxnId txn_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_.count(txn_id)) return TxnState::kActive;
+  auto it = final_state_.find(txn_id);
+  return it == final_state_.end() ? TxnState::kAborted : it->second;
+}
+
+bool TransactionManager::IsVisible(TxnId createxid, TxnId deletexid,
+                                   TxnId reader, Csn snapshot_csn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Creation visibility.
+  bool created_visible = false;
+  if (createxid == reader) {
+    created_visible = true;
+  } else {
+    auto it = commit_csn_.find(createxid);
+    created_visible = it != commit_csn_.end() && it->second <= snapshot_csn;
+  }
+  if (!created_visible) return false;
+  // Deletion visibility.
+  if (deletexid == kInvalidTxnId) return true;
+  if (deletexid == reader) return false;  // own delete hides the row
+  auto it = commit_csn_.find(deletexid);
+  bool delete_visible = it != commit_csn_.end() && it->second <= snapshot_csn;
+  return !delete_visible;
+}
+
+Csn TransactionManager::OldestActiveSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Csn oldest = last_csn_;
+  for (const auto& [id, txn] : active_) {
+    oldest = std::min(oldest, txn->snapshot_csn());
+  }
+  return oldest;
+}
+
+void TransactionManager::AddCommitListener(CommitListener listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  listeners_.push_back(std::move(listener));
+}
+
+size_t TransactionManager::NumActive() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_.size();
+}
+
+}  // namespace idaa

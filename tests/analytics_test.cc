@@ -1,0 +1,416 @@
+// Analytics framework tests: algorithm kernels directly, every operator
+// end-to-end through CALL, and the multi-stage pipeline runner.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "analytics/apriori.h"
+#include "analytics/decision_tree.h"
+#include "analytics/kmeans.h"
+#include "analytics/linear_regression.h"
+#include "analytics/naive_bayes.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "idaa/system.h"
+
+namespace idaa::analytics {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Algorithm kernels
+// ---------------------------------------------------------------------------
+
+TEST(KMeansKernelTest, SeparatesObviousClusters) {
+  std::vector<std::vector<double>> points;
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    points.push_back({rng.Gaussian(0, 0.1), rng.Gaussian(0, 0.1)});
+    points.push_back({rng.Gaussian(10, 0.1), rng.Gaussian(10, 0.1)});
+  }
+  KMeansResult result = RunKMeans(points, 2, 50, 7);
+  ASSERT_EQ(result.centroids.size(), 2u);
+  // Points alternate cluster membership perfectly.
+  for (size_t i = 2; i < points.size(); i += 2) {
+    EXPECT_EQ(result.assignments[i], result.assignments[0]);
+    EXPECT_EQ(result.assignments[i + 1], result.assignments[1]);
+  }
+  EXPECT_NE(result.assignments[0], result.assignments[1]);
+  EXPECT_LT(result.inertia, 10.0);
+}
+
+TEST(KMeansKernelTest, Deterministic) {
+  std::vector<std::vector<double>> points;
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    points.push_back({rng.UniformDouble(0, 1), rng.UniformDouble(0, 1)});
+  }
+  KMeansResult a = RunKMeans(points, 5, 20, 9);
+  KMeansResult b = RunKMeans(points, 5, 20, 9);
+  EXPECT_EQ(a.assignments, b.assignments);
+  EXPECT_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeansKernelTest, KLargerThanPointsClamped) {
+  std::vector<std::vector<double>> points = {{0.0}, {1.0}};
+  KMeansResult result = RunKMeans(points, 10, 5, 1);
+  EXPECT_EQ(result.centroids.size(), 2u);
+}
+
+TEST(KMeansKernelTest, EmptyInput) {
+  KMeansResult result = RunKMeans({}, 3, 5, 1);
+  EXPECT_TRUE(result.centroids.empty());
+}
+
+TEST(OlsKernelTest, RecoversExactCoefficients) {
+  // y = 3 + 2*x1 - 0.5*x2, no noise.
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    double x1 = rng.UniformDouble(-5, 5), x2 = rng.UniformDouble(-5, 5);
+    x.push_back({x1, x2});
+    y.push_back(3 + 2 * x1 - 0.5 * x2);
+  }
+  auto result = SolveOls(x, y);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NEAR(result->coefficients[0], 3.0, 1e-9);
+  EXPECT_NEAR(result->coefficients[1], 2.0, 1e-9);
+  EXPECT_NEAR(result->coefficients[2], -0.5, 1e-9);
+  EXPECT_NEAR(result->r2, 1.0, 1e-9);
+  EXPECT_NEAR(result->rmse, 0.0, 1e-9);
+}
+
+TEST(OlsKernelTest, SingularSystemFails) {
+  // Perfectly collinear features.
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back({static_cast<double>(i), static_cast<double>(2 * i)});
+    y.push_back(i);
+  }
+  EXPECT_FALSE(SolveOls(x, y).ok());
+}
+
+TEST(OlsKernelTest, FewerRowsThanParamsFails) {
+  EXPECT_FALSE(SolveOls({{1.0, 2.0}}, {1.0}).ok());
+}
+
+TEST(NaiveBayesKernelTest, ClassifiesSeparatedClasses) {
+  std::vector<std::vector<double>> x;
+  std::vector<std::string> labels;
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    if (i % 2) {
+      x.push_back({rng.Gaussian(0, 1)});
+      labels.push_back("low");
+    } else {
+      x.push_back({rng.Gaussian(20, 1)});
+      labels.push_back("high");
+    }
+  }
+  auto model = GaussianNbModel::Fit(x, labels);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->Predict({0.5}), "low");
+  EXPECT_EQ(model->Predict({19.5}), "high");
+  EXPECT_NEAR(model->priors().at("low"), 0.5, 1e-9);
+}
+
+TEST(DecisionTreeKernelTest, LearnsAxisAlignedSplit) {
+  std::vector<std::vector<double>> x;
+  std::vector<std::string> labels;
+  for (int i = 0; i < 100; ++i) {
+    double v = i / 100.0;
+    x.push_back({v});
+    labels.push_back(v < 0.5 ? "left" : "right");
+  }
+  auto model = DecisionTreeModel::Fit(x, labels, 3, 2);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->Predict({0.1}), "left");
+  EXPECT_EQ(model->Predict({0.9}), "right");
+  EXPECT_LE(model->Depth(), 3u);
+}
+
+TEST(DecisionTreeKernelTest, PureInputIsSingleLeaf) {
+  std::vector<std::vector<double>> x = {{1.0}, {2.0}, {3.0}};
+  std::vector<std::string> labels = {"same", "same", "same"};
+  auto model = DecisionTreeModel::Fit(x, labels, 5, 1);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->NumNodes(), 1u);
+}
+
+TEST(AprioriKernelTest, FindsFrequentPairs) {
+  std::vector<std::set<std::string>> txns = {
+      {"beer", "chips"}, {"beer", "chips", "salsa"}, {"beer", "chips"},
+      {"milk"},          {"beer"},
+  };
+  auto itemsets = RunApriori(txns, 0.4, 3);
+  // beer: 4/5, chips: 3/5, {beer,chips}: 3/5 all frequent at 0.4.
+  bool found_pair = false;
+  for (const auto& is : itemsets) {
+    if (is.items == std::vector<std::string>{"beer", "chips"}) {
+      found_pair = true;
+      EXPECT_NEAR(is.support, 0.6, 1e-9);
+    }
+  }
+  EXPECT_TRUE(found_pair);
+}
+
+TEST(AprioriKernelTest, MinSupportPrunes) {
+  std::vector<std::set<std::string>> txns = {{"a"}, {"b"}, {"a", "b"}};
+  auto none = RunApriori(txns, 0.99, 2);
+  EXPECT_TRUE(none.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Operators end-to-end via CALL
+// ---------------------------------------------------------------------------
+
+class OperatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(system_
+                    .ExecuteSql("CREATE TABLE data (x DOUBLE, y DOUBLE, "
+                                "cat VARCHAR, label VARCHAR) IN ACCELERATOR")
+                    .ok());
+    Rng rng(5);
+    for (int i = 0; i < 60; ++i) {
+      bool big = i % 2 == 0;
+      double x = big ? rng.Gaussian(10, 1) : rng.Gaussian(0, 1);
+      double y = 2 * x + rng.Gaussian(0, 0.01);
+      std::string cat = i % 3 == 0 ? "red" : (i % 3 == 1 ? "green" : "blue");
+      std::string label = big ? "big" : "small";
+      std::string x_text = i % 15 == 14 ? "NULL" : StrFormat("%.4f", x);
+      ASSERT_TRUE(system_
+                      .ExecuteSql(StrFormat(
+                          "INSERT INTO data VALUES (%s, %.4f, '%s', '%s')",
+                          x_text.c_str(), y, cat.c_str(), label.c_str()))
+                      .ok());
+    }
+  }
+
+  IdaaSystem system_;
+};
+
+TEST_F(OperatorTest, NormalizeZscore) {
+  auto r = system_.ExecuteSql(
+      "CALL IDAA.NORMALIZE('input=data', 'output=norm', 'columns=x,y')");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto rs = system_.Query("SELECT AVG(x), STDDEV(x) FROM norm");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_NEAR(rs->At(0, 0).AsDouble(), 0.0, 1e-6);
+  EXPECT_NEAR(rs->At(0, 1).AsDouble(), 1.0, 1e-6);
+}
+
+TEST_F(OperatorTest, NormalizeMinMaxBounds) {
+  ASSERT_TRUE(system_
+                  .ExecuteSql("CALL IDAA.NORMALIZE('input=data', "
+                              "'output=norm', 'columns=y', 'method=minmax')")
+                  .ok());
+  auto rs = system_.Query("SELECT MIN(y), MAX(y) FROM norm");
+  EXPECT_NEAR(rs->At(0, 0).AsDouble(), 0.0, 1e-9);
+  EXPECT_NEAR(rs->At(0, 1).AsDouble(), 1.0, 1e-9);
+}
+
+TEST_F(OperatorTest, NormalizeNonNumericFails) {
+  EXPECT_FALSE(system_
+                   .ExecuteSql("CALL IDAA.NORMALIZE('input=data', "
+                               "'output=norm', 'columns=cat')")
+                   .ok());
+}
+
+TEST_F(OperatorTest, DiscretizeBins) {
+  auto r = system_.ExecuteSql(
+      "CALL IDAA.DISCRETIZE('input=data', 'output=binned', 'column=y', "
+      "'bins=4')");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto rs = system_.Query(
+      "SELECT MIN(y_bin), MAX(y_bin), COUNT(DISTINCT y_bin) FROM binned");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->At(0, 0).AsInteger(), 0);
+  EXPECT_EQ(rs->At(0, 1).AsInteger(), 3);
+}
+
+TEST_F(OperatorTest, ImputeFillsNulls) {
+  auto r = system_.ExecuteSql(
+      "CALL IDAA.IMPUTE('input=data', 'output=filled', 'columns=x')");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto rs = system_.Query("SELECT COUNT(*) FROM filled WHERE x IS NULL");
+  EXPECT_EQ(rs->At(0, 0).AsInteger(), 0);
+  // Row count preserved.
+  rs = system_.Query("SELECT COUNT(*) FROM filled");
+  EXPECT_EQ(rs->At(0, 0).AsInteger(), 60);
+}
+
+TEST_F(OperatorTest, OneHotCreatesIndicators) {
+  auto r = system_.ExecuteSql(
+      "CALL IDAA.ONEHOT('input=data', 'output=encoded', 'column=cat')");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto rs = system_.Query(
+      "SELECT SUM(cat_red), SUM(cat_green), SUM(cat_blue) FROM encoded");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->At(0, 0).AsInteger(), 20);
+  EXPECT_EQ(rs->At(0, 1).AsInteger(), 20);
+  EXPECT_EQ(rs->At(0, 2).AsInteger(), 20);
+}
+
+TEST_F(OperatorTest, SampleFraction) {
+  auto r = system_.ExecuteSql(
+      "CALL IDAA.SAMPLE('input=data', 'output=sampled', 'fraction=0.5', "
+      "'seed=11')");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto rs = system_.Query("SELECT COUNT(*) FROM sampled");
+  int64_t n = rs->At(0, 0).AsInteger();
+  EXPECT_GT(n, 15);
+  EXPECT_LT(n, 45);
+}
+
+TEST_F(OperatorTest, LinRegRecoversSlope) {
+  auto r = system_.ExecuteSql(
+      "CALL IDAA.LINREG('input=data', 'target=y', 'columns=x', "
+      "'output=preds')");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Summary rows: INTERCEPT, X, R2, RMSE, ROWS.
+  const ResultSet& summary = r->result_set;
+  ASSERT_GE(summary.NumRows(), 4u);
+  double slope = 0, r2 = 0;
+  for (const Row& row : summary.rows()) {
+    if (row[0].AsVarchar() == "X") slope = row[1].AsDouble();
+    if (row[0].AsVarchar() == "R2") r2 = row[1].AsDouble();
+  }
+  EXPECT_NEAR(slope, 2.0, 0.01);
+  EXPECT_GT(r2, 0.999);
+  auto rs = system_.Query("SELECT MAX(ABS(residual)) FROM preds");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_LT(rs->At(0, 0).AsDouble(), 0.1);
+}
+
+TEST_F(OperatorTest, NaiveBayesAccuracy) {
+  auto r = system_.ExecuteSql(
+      "CALL IDAA.NAIVEBAYES('input=data', 'label=label', 'columns=x', "
+      "'output=nb_preds')");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  double accuracy = 0;
+  for (const Row& row : r->result_set.rows()) {
+    if (row[0].AsVarchar() == "TRAIN_ACCURACY") accuracy = row[1].AsDouble();
+  }
+  EXPECT_GT(accuracy, 0.95);
+}
+
+TEST_F(OperatorTest, DecisionTreeAccuracy) {
+  auto r = system_.ExecuteSql(
+      "CALL IDAA.DECISIONTREE('input=data', 'label=label', 'columns=x,y', "
+      "'max_depth=4')");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  double accuracy = 0;
+  for (const Row& row : r->result_set.rows()) {
+    if (row[0].AsVarchar() == "TRAIN_ACCURACY") accuracy = row[1].AsDouble();
+  }
+  EXPECT_GT(accuracy, 0.95);
+}
+
+TEST_F(OperatorTest, KMeansCentroidsOutput) {
+  auto r = system_.ExecuteSql(
+      "CALL IDAA.KMEANS('input=data', 'output=clusters', 'columns=x', "
+      "'k=2', 'centroids_output=centers', 'seed=3')");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto rs = system_.Query("SELECT COUNT(*) FROM centers");
+  EXPECT_EQ(rs->At(0, 0).AsInteger(), 2);
+}
+
+TEST_F(OperatorTest, AprioriOverAotTable) {
+  ASSERT_TRUE(system_
+                  .ExecuteSql("CREATE TABLE basket (tid INT, item VARCHAR) "
+                              "IN ACCELERATOR")
+                  .ok());
+  ASSERT_TRUE(system_
+                  .ExecuteSql("INSERT INTO basket VALUES (1,'a'),(1,'b'),"
+                              "(2,'a'),(2,'b'),(3,'a'),(4,'c')")
+                  .ok());
+  auto r = system_.ExecuteSql(
+      "CALL IDAA.APRIORI('input=basket', 'tid_column=tid', "
+      "'item_column=item', 'min_support=0.5', 'output=freq')");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto rs = system_.Query(
+      "SELECT itemset, support FROM freq ORDER BY itemset");
+  ASSERT_TRUE(rs.ok());
+  // a (3/4), a,b (2/4), b (2/4).
+  ASSERT_EQ(rs->NumRows(), 3u);
+  EXPECT_EQ(rs->At(0, 0).AsVarchar(), "a");
+  EXPECT_EQ(rs->At(1, 0).AsVarchar(), "a,b");
+}
+
+TEST_F(OperatorTest, OperatorRerunReplacesOutput) {
+  ASSERT_TRUE(system_
+                  .ExecuteSql("CALL IDAA.SAMPLE('input=data', "
+                              "'output=s1', 'fraction=1.0')")
+                  .ok());
+  ASSERT_TRUE(system_
+                  .ExecuteSql("CALL IDAA.SAMPLE('input=data', "
+                              "'output=s1', 'fraction=1.0')")
+                  .ok());
+  auto rs = system_.Query("SELECT COUNT(*) FROM s1");
+  EXPECT_EQ(rs->At(0, 0).AsInteger(), 60);  // not 120: recreated
+}
+
+TEST_F(OperatorTest, MissingParamFails) {
+  auto r = system_.ExecuteSql("CALL IDAA.KMEANS('input=data')");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(OperatorTest, MalformedParamFails) {
+  EXPECT_FALSE(system_.ExecuteSql("CALL IDAA.KMEANS('no_equals_sign')").ok());
+}
+
+TEST_F(OperatorTest, InputMustBeOnAccelerator) {
+  ASSERT_TRUE(system_.ExecuteSql("CREATE TABLE db2only (x DOUBLE)").ok());
+  auto r = system_.ExecuteSql(
+      "CALL IDAA.SAMPLE('input=db2only', 'output=out', 'fraction=0.5')");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("ACCEL_ADD_TABLES"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline runner
+// ---------------------------------------------------------------------------
+
+TEST_F(OperatorTest, MultiStagePipelineAllOnAccelerator) {
+  Pipeline pipeline("churn-prep");
+  pipeline
+      .AddStage("filter",
+                "CREATE TABLE p1 (x DOUBLE, y DOUBLE) IN ACCELERATOR")
+      .AddStage("load p1",
+                "INSERT INTO p1 SELECT x, y FROM data WHERE x IS NOT NULL")
+      .AddStage("aggregate",
+                "CREATE TABLE p2 (bucket INTEGER, avg_y DOUBLE) "
+                "IN ACCELERATOR")
+      .AddStage("load p2",
+                "INSERT INTO p2 SELECT CAST(x AS INTEGER) % 4, AVG(y) "
+                "FROM p1 GROUP BY CAST(x AS INTEGER) % 4");
+  auto report = pipeline.Run(system_.MakeSqlExecutor());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->stages.size(), 4u);
+  // The two INSERT ... SELECT stages ran on the accelerator.
+  EXPECT_TRUE(report->stages[1].on_accelerator);
+  EXPECT_TRUE(report->stages[3].on_accelerator);
+  auto rs = system_.Query("SELECT COUNT(*) FROM p2");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_GT(rs->At(0, 0).AsInteger(), 0);
+}
+
+TEST_F(OperatorTest, PipelineStopsOnFailure) {
+  Pipeline pipeline("bad");
+  pipeline.AddStage("ok", "CREATE TABLE okt (x INT) IN ACCELERATOR")
+      .AddStage("fails", "INSERT INTO nosuch VALUES (1)")
+      .AddStage("never", "INSERT INTO okt VALUES (1)");
+  auto report = pipeline.Run(system_.MakeSqlExecutor());
+  ASSERT_FALSE(report.ok());
+  // Third stage never ran.
+  auto rs = system_.Query("SELECT COUNT(*) FROM okt");
+  EXPECT_EQ(rs->At(0, 0).AsInteger(), 0);
+}
+
+}  // namespace
+}  // namespace idaa::analytics

@@ -1,0 +1,301 @@
+// Tests for string utilities, CSV codec, schema, rows, metrics, RNG and
+// the thread pool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/csv.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/row.h"
+#include "common/schema.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+
+namespace idaa {
+namespace {
+
+// ---------------------------------------------------------------------------
+// string_util
+// ---------------------------------------------------------------------------
+
+TEST(StringUtilTest, CaseConversion) {
+  EXPECT_EQ(ToUpper("aBc9_x"), "ABC9_X");
+  EXPECT_EQ(ToLower("AbC"), "abc");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t\n"), "");
+}
+
+TEST(StringUtilTest, SplitJoin) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Join({"x", "y"}, ", "), "x, y");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("abc", "ABC"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abcd"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+}
+
+TEST(StringUtilTest, LikeMatch) {
+  EXPECT_TRUE(LikeMatch("hello", "hello"));
+  EXPECT_TRUE(LikeMatch("hello", "h%"));
+  EXPECT_TRUE(LikeMatch("hello", "%llo"));
+  EXPECT_TRUE(LikeMatch("hello", "h_llo"));
+  EXPECT_TRUE(LikeMatch("hello", "%"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("hello", "h_lo"));
+  EXPECT_FALSE(LikeMatch("hello", "hello_"));
+  EXPECT_TRUE(LikeMatch("a%b", "a%b"));          // % in text matches itself
+  EXPECT_TRUE(LikeMatch("abcabc", "%abc"));      // backtracking
+  EXPECT_TRUE(LikeMatch("mississippi", "%ss%ppi"));
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%05.2f", 1.5), "01.50");
+}
+
+// ---------------------------------------------------------------------------
+// CSV
+// ---------------------------------------------------------------------------
+
+TEST(CsvTest, SimpleLine) {
+  auto fields = ParseCsvLine("a,b,c");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvTest, QuotedFieldsWithCommasAndQuotes) {
+  auto fields = ParseCsvLine(R"(x,"a,b","he said ""hi""",z)");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ((*fields)[1], "a,b");
+  EXPECT_EQ((*fields)[2], "he said \"hi\"");
+  EXPECT_EQ((*fields)[3], "z");
+}
+
+TEST(CsvTest, EmptyFields) {
+  auto fields = ParseCsvLine(",,");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(fields->size(), 3u);
+}
+
+TEST(CsvTest, UnterminatedQuoteFails) {
+  EXPECT_FALSE(ParseCsvLine("\"oops").ok());
+}
+
+TEST(CsvTest, FormatRoundTrip) {
+  std::vector<std::string> fields = {"plain", "with,comma", "with\"quote",
+                                     ""};
+  auto parsed = ParseCsvLine(FormatCsvLine(fields));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, fields);
+}
+
+TEST(CsvTest, FieldsToTypedRow) {
+  Schema schema({{"A", DataType::kInteger, true},
+                 {"B", DataType::kDouble, true},
+                 {"C", DataType::kVarchar, true}});
+  auto row = CsvFieldsToRow({"1", "2.5", "x"}, schema);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[0].AsInteger(), 1);
+  EXPECT_DOUBLE_EQ((*row)[1].AsDouble(), 2.5);
+  EXPECT_EQ((*row)[2].AsVarchar(), "x");
+}
+
+TEST(CsvTest, EmptyFieldBecomesNull) {
+  Schema schema({{"A", DataType::kInteger, true}});
+  auto row = CsvFieldsToRow({""}, schema);
+  ASSERT_TRUE(row.ok());
+  EXPECT_TRUE((*row)[0].is_null());
+}
+
+TEST(CsvTest, DocumentParsing) {
+  Schema schema({{"A", DataType::kInteger, true},
+                 {"B", DataType::kVarchar, true}});
+  auto rows = ParseCsvDocument("1,x\r\n2,y\n\n3,z\n", schema);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ((*rows)[2][1].AsVarchar(), "z");
+}
+
+TEST(CsvTest, ArityMismatchFails) {
+  Schema schema({{"A", DataType::kInteger, true}});
+  EXPECT_FALSE(CsvFieldsToRow({"1", "2"}, schema).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Schema / Row
+// ---------------------------------------------------------------------------
+
+TEST(SchemaTest, FindColumnCaseInsensitive) {
+  Schema schema({{"ID", DataType::kInteger, false},
+                 {"Name", DataType::kVarchar, true}});
+  EXPECT_EQ(*schema.ColumnIndex("id"), 0u);
+  EXPECT_EQ(*schema.ColumnIndex("NAME"), 1u);
+  EXPECT_FALSE(schema.ColumnIndex("missing").ok());
+}
+
+TEST(SchemaTest, AddColumnRejectsDuplicates) {
+  Schema schema;
+  EXPECT_TRUE(schema.AddColumn({"A", DataType::kInteger, true}).ok());
+  EXPECT_FALSE(schema.AddColumn({"a", DataType::kDouble, true}).ok());
+}
+
+TEST(SchemaTest, ValidateRow) {
+  Schema schema({{"A", DataType::kInteger, false},
+                 {"B", DataType::kVarchar, true}});
+  EXPECT_TRUE(
+      schema.ValidateRow({Value::Integer(1), Value::Varchar("x")}).ok());
+  EXPECT_TRUE(schema.ValidateRow({Value::Integer(1), Value::Null()}).ok());
+  // NOT NULL violation
+  EXPECT_FALSE(schema.ValidateRow({Value::Null(), Value::Null()}).ok());
+  // type mismatch
+  EXPECT_FALSE(
+      schema.ValidateRow({Value::Varchar("1"), Value::Null()}).ok());
+  // arity
+  EXPECT_FALSE(schema.ValidateRow({Value::Integer(1)}).ok());
+}
+
+TEST(RowTest, CoerceRowToSchema) {
+  Schema schema({{"A", DataType::kDouble, true},
+                 {"B", DataType::kInteger, true}});
+  auto row = CoerceRowToSchema({Value::Integer(1), Value::Integer(2)}, schema);
+  ASSERT_TRUE(row.ok());
+  EXPECT_TRUE((*row)[0].is_double());
+  EXPECT_TRUE((*row)[1].is_integer());
+}
+
+TEST(ResultSetTest, ByteSizeAndToString) {
+  Schema schema({{"A", DataType::kInteger, true},
+                 {"B", DataType::kVarchar, true}});
+  ResultSet rs(schema);
+  rs.Append({Value::Integer(1), Value::Varchar("xy")});
+  EXPECT_EQ(rs.NumRows(), 1u);
+  EXPECT_EQ(rs.ByteSize(), 8u + 6u);
+  std::string text = rs.ToString();
+  EXPECT_NE(text.find("A"), std::string::npos);
+  EXPECT_NE(text.find("xy"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, AddAndGet) {
+  MetricsRegistry metrics;
+  EXPECT_EQ(metrics.Get("x"), 0u);
+  metrics.Add("x", 5);
+  metrics.Increment("x");
+  EXPECT_EQ(metrics.Get("x"), 6u);
+}
+
+TEST(MetricsTest, SnapshotSorted) {
+  MetricsRegistry metrics;
+  metrics.Add("b", 2);
+  metrics.Add("a", 1);
+  auto snap = metrics.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].first, "a");
+}
+
+TEST(MetricsTest, DeltaTracksOnlyNewActivity) {
+  MetricsRegistry metrics;
+  metrics.Add("x", 10);
+  MetricsDelta delta(metrics);
+  metrics.Add("x", 3);
+  metrics.Add("y", 7);
+  EXPECT_EQ(delta.Delta("x"), 3u);
+  EXPECT_EQ(delta.Delta("y"), 7u);
+  EXPECT_EQ(delta.Delta("z"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Rng / Zipf
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000), b.Uniform(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(5, 10);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 10);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(ZipfTest, SamplesInRangeAndSkewed) {
+  ZipfGenerator zipf(100, 1.2, 3);
+  size_t ones = 0;
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = zipf.Next();
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 100u);
+    if (v == 1) ++ones;
+  }
+  // Rank 1 should dominate under skew 1.2 (expected ~19%).
+  EXPECT_GT(ones, 1000u);
+}
+
+TEST(ZipfTest, ZeroSkewIsRoughlyUniform) {
+  ZipfGenerator zipf(10, 0.0, 3);
+  std::vector<size_t> counts(11, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[zipf.Next()];
+  for (int r = 1; r <= 10; ++r) {
+    EXPECT_GT(counts[r], 700u);
+    EXPECT_LT(counts[r], 1300u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, ParallelForRunsAll) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  pool.ParallelFor(100, [&](size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsFuture) {
+  ThreadPool pool(2);
+  std::atomic<bool> ran{false};
+  auto f = pool.Submit([&] { ran = true; });
+  f.get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> count{0};
+  pool.ParallelFor(10, [&](size_t) { ++count; });
+  EXPECT_EQ(count.load(), 10);
+}
+
+}  // namespace
+}  // namespace idaa

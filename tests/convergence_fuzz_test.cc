@@ -1,0 +1,180 @@
+// Property tests over randomized workloads:
+//  1. Replication convergence: after any committed DML stream + flush, the
+//     accelerator replica holds exactly the same multiset of rows as DB2.
+//  2. Groom invariance: grooming never changes visible query results.
+//  3. Rollback invariance: an aborted transaction leaves both engines
+//     exactly as they were.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "idaa/system.h"
+
+namespace idaa {
+namespace {
+
+std::vector<std::string> CanonicalRows(const ResultSet& rs) {
+  std::vector<std::string> lines;
+  for (const Row& row : rs.rows()) {
+    std::string line;
+    for (const Value& v : row) {
+      line += v.is_double() ? StrFormat("%.9g", v.AsDouble()) : v.ToString();
+      line += "|";
+    }
+    lines.push_back(std::move(line));
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+class ConvergenceFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ConvergenceFuzz, ReplicaMatchesDb2AfterRandomDml) {
+  SystemOptions options;
+  options.replication_batch_size = 0;
+  IdaaSystem system(options);
+  ASSERT_TRUE(system
+                  .ExecuteSql("CREATE TABLE t (id INT NOT NULL, grp INT, "
+                              "v DOUBLE)")
+                  .ok());
+  ASSERT_TRUE(system.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('t')").ok());
+
+  Rng rng(GetParam());
+  int next_id = 0;
+  for (int op = 0; op < 120; ++op) {
+    int kind = static_cast<int>(rng.Uniform(0, 9));
+    std::string sql;
+    if (kind <= 4 || next_id == 0) {
+      // Insert (biased; duplicates in grp/v are intentional).
+      sql = StrFormat("INSERT INTO t VALUES (%d, %d, %d.5)", next_id++,
+                      static_cast<int>(rng.Uniform(0, 4)),
+                      static_cast<int>(rng.Uniform(0, 3)));
+    } else if (kind <= 6) {
+      sql = StrFormat("UPDATE t SET v = v + 1 WHERE grp = %d",
+                      static_cast<int>(rng.Uniform(0, 4)));
+    } else if (kind == 7) {
+      sql = StrFormat("DELETE FROM t WHERE id %% 7 = %d",
+                      static_cast<int>(rng.Uniform(0, 6)));
+    } else {
+      // Periodic flush mid-stream.
+      ASSERT_TRUE(system.replication().Flush().ok());
+      continue;
+    }
+    auto r = system.ExecuteSql(sql);
+    ASSERT_TRUE(r.ok()) << sql << ": " << r.status().ToString();
+  }
+  auto flushed = system.replication().Flush();
+  ASSERT_TRUE(flushed.ok());
+  EXPECT_EQ(flushed->misses, 0u);
+
+  system.SetAccelerationMode(federation::AccelerationMode::kNone);
+  auto db2 = system.Query("SELECT id, grp, v FROM t");
+  ASSERT_TRUE(db2.ok());
+  system.SetAccelerationMode(federation::AccelerationMode::kEligible);
+  auto accel = system.Query("SELECT id, grp, v FROM t");
+  ASSERT_TRUE(accel.ok());
+  EXPECT_EQ(CanonicalRows(*db2), CanonicalRows(*accel))
+      << "seed " << GetParam();
+}
+
+TEST_P(ConvergenceFuzz, GroomNeverChangesVisibleResults) {
+  IdaaSystem system;
+  ASSERT_TRUE(system
+                  .ExecuteSql("CREATE TABLE g (id INT NOT NULL, v INT) "
+                              "IN ACCELERATOR")
+                  .ok());
+  Rng rng(GetParam() + 1000);
+  int next_id = 0;
+  for (int op = 0; op < 80; ++op) {
+    if (rng.Bernoulli(0.6) || next_id == 0) {
+      ASSERT_TRUE(system
+                      .ExecuteSql(StrFormat("INSERT INTO g VALUES (%d, %d)",
+                                            next_id++,
+                                            (int)rng.Uniform(0, 9)))
+                      .ok());
+    } else if (rng.Bernoulli(0.5)) {
+      ASSERT_TRUE(system
+                      .ExecuteSql(StrFormat(
+                          "UPDATE g SET v = v * 2 WHERE id %% 5 = %d",
+                          (int)rng.Uniform(0, 4)))
+                      .ok());
+    } else {
+      ASSERT_TRUE(system
+                      .ExecuteSql(StrFormat("DELETE FROM g WHERE v = %d",
+                                            (int)rng.Uniform(0, 9)))
+                      .ok());
+    }
+  }
+  auto before = system.Query("SELECT id, v FROM g");
+  ASSERT_TRUE(before.ok());
+  size_t versions_before =
+      (*system.accelerator().GetTable("g"))->NumVersions();
+  ASSERT_TRUE(system.ExecuteSql("CALL SYSPROC.ACCEL_GROOM()").ok());
+  auto after = system.Query("SELECT id, v FROM g");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(CanonicalRows(*before), CanonicalRows(*after))
+      << "seed " << GetParam();
+  size_t versions_after = (*system.accelerator().GetTable("g"))->NumVersions();
+  EXPECT_LE(versions_after, versions_before);
+  EXPECT_EQ(versions_after, after->NumRows());  // only live versions remain
+}
+
+TEST_P(ConvergenceFuzz, RollbackRestoresBothEngines) {
+  IdaaSystem system;
+  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE r1 (id INT NOT NULL, v INT)")
+                  .ok());
+  ASSERT_TRUE(system
+                  .ExecuteSql("CREATE TABLE r2 (id INT NOT NULL, v INT) "
+                              "IN ACCELERATOR")
+                  .ok());
+  Rng rng(GetParam() + 2000);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(system
+                    .ExecuteSql(StrFormat("INSERT INTO r1 VALUES (%d, %d)", i,
+                                          (int)rng.Uniform(0, 9)))
+                    .ok());
+    ASSERT_TRUE(system
+                    .ExecuteSql(StrFormat("INSERT INTO r2 VALUES (%d, %d)", i,
+                                          (int)rng.Uniform(0, 9)))
+                    .ok());
+  }
+  auto before_db2 = system.Query("SELECT * FROM r1");
+  auto before_aot = system.Query("SELECT * FROM r2");
+
+  ASSERT_TRUE(system.Begin().ok());
+  for (int op = 0; op < 15; ++op) {
+    const char* table = rng.Bernoulli(0.5) ? "r1" : "r2";
+    std::string sql;
+    switch (rng.Uniform(0, 2)) {
+      case 0:
+        sql = StrFormat("INSERT INTO %s VALUES (%d, 0)", table, 100 + op);
+        break;
+      case 1:
+        sql = StrFormat("UPDATE %s SET v = -1 WHERE id %% 3 = %d", table,
+                        (int)rng.Uniform(0, 2));
+        break;
+      default:
+        sql = StrFormat("DELETE FROM %s WHERE id %% 4 = %d", table,
+                        (int)rng.Uniform(0, 3));
+    }
+    auto r = system.ExecuteSql(sql);
+    ASSERT_TRUE(r.ok()) << sql << ": " << r.status().ToString();
+  }
+  ASSERT_TRUE(system.Rollback().ok());
+
+  auto after_db2 = system.Query("SELECT * FROM r1");
+  auto after_aot = system.Query("SELECT * FROM r2");
+  EXPECT_EQ(CanonicalRows(*before_db2), CanonicalRows(*after_db2))
+      << "seed " << GetParam();
+  EXPECT_EQ(CanonicalRows(*before_aot), CanonicalRows(*after_aot))
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConvergenceFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace idaa

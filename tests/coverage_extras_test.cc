@@ -1,0 +1,166 @@
+// Additional coverage: loader single-transaction mode and real CSV files,
+// join edge cases, update-version grooming, audit utilities, channel
+// statement metering, and accelerator byte accounting.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "idaa/system.h"
+#include "loader/record_source.h"
+
+namespace idaa {
+namespace {
+
+TEST(LoaderExtraTest, SingleTransactionMode) {
+  IdaaSystem system;
+  ASSERT_TRUE(
+      system.ExecuteSql("CREATE TABLE t (n INT) IN ACCELERATOR").ok());
+  Schema schema({{"N", DataType::kInteger, true}});
+  loader::GeneratorSource source(schema, 100, [](size_t i) {
+    return Row{Value::Integer(static_cast<int64_t>(i))};
+  });
+  loader::LoadOptions options;
+  options.batch_size = 32;
+  options.commit_per_batch = false;  // one transaction for the whole load
+  auto report = system.loader().Load("t", &source, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->rows_loaded, 100u);
+  EXPECT_EQ(report->batches, 4u);
+  auto rs = system.Query("SELECT COUNT(*) FROM t");
+  EXPECT_EQ(rs->At(0, 0).AsInteger(), 100);
+}
+
+TEST(LoaderExtraTest, CsvFileSourceHappyPath) {
+  IdaaSystem system;
+  ASSERT_TRUE(system
+                  .ExecuteSql("CREATE TABLE f (id INT NOT NULL, s VARCHAR) "
+                              "IN ACCELERATOR")
+                  .ok());
+  std::string path = ::testing::TempDir() + "/idaa_loader_test.csv";
+  {
+    std::ofstream out(path);
+    out << "1,alpha\n2,\"beta, with comma\"\n3,gamma\n";
+  }
+  Schema schema({{"ID", DataType::kInteger, false},
+                 {"S", DataType::kVarchar, true}});
+  loader::CsvFileSource source(path, schema);
+  auto report = system.loader().Load("f", &source);
+  std::remove(path.c_str());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->rows_loaded, 3u);
+  auto rs = system.Query("SELECT s FROM f WHERE id = 2");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->At(0, 0).AsVarchar(), "beta, with comma");
+}
+
+TEST(JoinEdgeTest, LeftJoinAgainstFullyFilteredRight) {
+  IdaaSystem system;
+  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE l (a INT)").ok());
+  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE r (a INT, b INT)").ok());
+  ASSERT_TRUE(system.ExecuteSql("INSERT INTO l VALUES (1), (2)").ok());
+  ASSERT_TRUE(system.ExecuteSql("INSERT INTO r VALUES (1, 10)").ok());
+  // WHERE on the right table of a LEFT JOIN must not drop unmatched rows
+  // prematurely (pushdown is disabled for left joins).
+  auto rs = system.Query(
+      "SELECT l.a, r.b FROM l LEFT JOIN r ON l.a = r.a ORDER BY l.a");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->NumRows(), 2u);
+  EXPECT_EQ(rs->At(0, 1).AsInteger(), 10);
+  EXPECT_TRUE(rs->At(1, 1).is_null());
+}
+
+TEST(JoinEdgeTest, CrossJoinWithEmptySide) {
+  IdaaSystem system;
+  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE a (x INT)").ok());
+  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE b (y INT)").ok());
+  ASSERT_TRUE(system.ExecuteSql("INSERT INTO a VALUES (1)").ok());
+  auto rs = system.Query("SELECT COUNT(*) FROM a CROSS JOIN b");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->At(0, 0).AsInteger(), 0);
+}
+
+TEST(GroomExtraTest, UpdateVersionsReclaimed) {
+  IdaaSystem system;
+  ASSERT_TRUE(
+      system.ExecuteSql("CREATE TABLE u (id INT NOT NULL, v INT) "
+                        "IN ACCELERATOR")
+          .ok());
+  ASSERT_TRUE(system.ExecuteSql("INSERT INTO u VALUES (1, 0)").ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(system.ExecuteSql("UPDATE u SET v = v + 1").ok());
+  }
+  auto table = system.accelerator().GetTable("u");
+  EXPECT_EQ((*table)->NumVersions(), 6u);  // 1 live + 5 superseded
+  ASSERT_TRUE(system.ExecuteSql("CALL SYSPROC.ACCEL_GROOM()").ok());
+  EXPECT_EQ((*table)->NumVersions(), 1u);
+  auto rs = system.Query("SELECT v FROM u");
+  EXPECT_EQ(rs->At(0, 0).AsInteger(), 5);
+}
+
+TEST(AuditExtraTest, ClearAndFilter) {
+  governance::AuditLog audit;
+  audit.Record("alice", "SELECT", "T", true);
+  audit.Record("bob", "INSERT", "T", false, "denied");
+  EXPECT_EQ(audit.Size(), 2u);
+  auto alice = audit.EntriesForUser("ALICE");  // case-insensitive user match
+  ASSERT_EQ(alice.size(), 1u);
+  EXPECT_EQ(alice[0].action, "SELECT");
+  EXPECT_TRUE(alice[0].allowed);
+  audit.Clear();
+  EXPECT_EQ(audit.Size(), 0u);
+}
+
+TEST(ChannelExtraTest, StatementTextIsMetered) {
+  MetricsRegistry metrics;
+  federation::TransferChannel channel(&metrics);
+  channel.SendStatement("SELECT 1 FROM somewhere");
+  EXPECT_EQ(metrics.Get(metric::kFederationBytesToAccel),
+            std::string("SELECT 1 FROM somewhere").size());
+  EXPECT_EQ(metrics.Get(metric::kFederationRoundTrips), 1u);
+}
+
+TEST(AccelExtraTest, TableByteSizeGrowsWithData) {
+  IdaaSystem system;
+  ASSERT_TRUE(
+      system.ExecuteSql("CREATE TABLE s (v VARCHAR) IN ACCELERATOR").ok());
+  auto table = system.accelerator().GetTable("s");
+  size_t empty = (*table)->ByteSize();
+  ASSERT_TRUE(system.Begin().ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(system
+                    .ExecuteSql("INSERT INTO s VALUES ('value_" +
+                                std::to_string(i) + "')")
+                    .ok());
+  }
+  ASSERT_TRUE(system.Commit().ok());
+  EXPECT_GT((*table)->ByteSize(), empty);
+}
+
+TEST(RouterExtraTest, TableLessSelectAlwaysLocal) {
+  IdaaSystem system;
+  system.SetAccelerationMode(federation::AccelerationMode::kAll);
+  auto r = system.ExecuteSql("SELECT 1 + 1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->executed_on, federation::Target::kDb2);
+}
+
+TEST(ConnectionExtraTest, BeginTwiceFails) {
+  IdaaSystem system;
+  ASSERT_TRUE(system.Begin().ok());
+  EXPECT_FALSE(system.Begin().ok());
+  ASSERT_TRUE(system.Commit().ok());
+  EXPECT_FALSE(system.Commit().ok());
+  EXPECT_FALSE(system.Rollback().ok());
+}
+
+TEST(ConnectionExtraTest, SetRegisterWithSemicolonAndCase) {
+  IdaaSystem system;
+  EXPECT_TRUE(
+      system.ExecuteSql("set current query acceleration = none;").ok());
+  EXPECT_EQ(system.acceleration_mode(), federation::AccelerationMode::kNone);
+}
+
+}  // namespace
+}  // namespace idaa

@@ -1,0 +1,109 @@
+// CREATE TABLE ... AS SELECT (CTAS) tests: the one-statement ELT stage.
+
+#include <gtest/gtest.h>
+
+#include "idaa/system.h"
+#include "sql/parser.h"
+
+namespace idaa {
+namespace {
+
+class CtasTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(system_
+                    .ExecuteSql("CREATE TABLE src (id INT NOT NULL, "
+                                "grp VARCHAR, v DOUBLE)")
+                    .ok());
+    ASSERT_TRUE(system_
+                    .ExecuteSql("INSERT INTO src VALUES (1, 'a', 1.0), "
+                                "(2, 'a', 2.0), (3, 'b', 3.0)")
+                    .ok());
+    ASSERT_TRUE(
+        system_.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('src')").ok());
+  }
+
+  IdaaSystem system_;
+};
+
+TEST_F(CtasTest, CreatesAotFromQueryOnAccelerator) {
+  auto r = system_.ExecuteSql(
+      "CREATE TABLE totals IN ACCELERATOR AS "
+      "SELECT grp, SUM(v) AS total FROM src GROUP BY grp");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->affected_rows, 2u);
+  EXPECT_NE(r->detail.find("CTAS"), std::string::npos);
+
+  auto info = system_.catalog().GetTable("totals");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ((*info)->kind, TableKind::kAcceleratorOnly);
+  EXPECT_EQ((*info)->schema.NumColumns(), 2u);
+  EXPECT_EQ((*info)->schema.Column(0).name, "GRP");
+  EXPECT_EQ((*info)->schema.Column(1).name, "TOTAL");
+  EXPECT_EQ((*info)->schema.Column(1).type, DataType::kDouble);
+
+  auto rs = system_.Query("SELECT grp, total FROM totals ORDER BY grp");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_DOUBLE_EQ(rs->At(0, 1).AsDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(rs->At(1, 1).AsDouble(), 3.0);
+}
+
+TEST_F(CtasTest, AotCtasMovesNoData) {
+  MetricsDelta delta(system_.metrics());
+  ASSERT_TRUE(system_
+                  .ExecuteSql("CREATE TABLE big_ids IN ACCELERATOR AS "
+                              "SELECT id, v FROM src WHERE id >= 2")
+                  .ok());
+  EXPECT_EQ(delta.Delta(metric::kDb2RowsMaterialized), 0u);
+  EXPECT_LT(delta.Delta(metric::kFederationBytesToAccel), 500u);
+}
+
+TEST_F(CtasTest, Db2Ctas) {
+  system_.SetAccelerationMode(federation::AccelerationMode::kNone);
+  auto r = system_.ExecuteSql(
+      "CREATE TABLE copy AS SELECT id, v FROM src WHERE id <= 2");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto info = system_.catalog().GetTable("copy");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ((*info)->kind, TableKind::kDb2Only);
+  auto rs = system_.Query("SELECT COUNT(*) FROM copy");
+  EXPECT_EQ(rs->At(0, 0).AsInteger(), 2);
+}
+
+TEST_F(CtasTest, FailedPopulationRollsBackDdl) {
+  // Division by zero during population: the table must not survive.
+  auto r = system_.ExecuteSql(
+      "CREATE TABLE broken IN ACCELERATOR AS SELECT 1 / (id - id) FROM src");
+  ASSERT_FALSE(r.ok());
+  EXPECT_FALSE(system_.catalog().HasTable("broken"));
+  EXPECT_FALSE(system_.accelerator().HasTable("broken"));
+}
+
+TEST_F(CtasTest, RequiresSourcePrivileges) {
+  system_.SetUser("intruder");
+  auto r = system_.ExecuteSql(
+      "CREATE TABLE steal IN ACCELERATOR AS SELECT * FROM src");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotAuthorized());
+  EXPECT_FALSE(system_.catalog().HasTable("steal"));
+}
+
+TEST_F(CtasTest, ColumnsAndAsSelectAreExclusive) {
+  EXPECT_FALSE(system_
+                   .ExecuteSql("CREATE TABLE x (a INT) AS SELECT id FROM src")
+                   .ok());
+  EXPECT_FALSE(system_.ExecuteSql("CREATE TABLE x").ok());
+}
+
+TEST_F(CtasTest, RoundTripsThroughToSql) {
+  auto stmt = sql::ParseStatement(
+      "CREATE TABLE t2 IN ACCELERATOR AS SELECT id FROM src WHERE id > 1");
+  ASSERT_TRUE(stmt.ok());
+  std::string text = (*stmt)->ToSql();
+  auto again = sql::ParseStatement(text);
+  ASSERT_TRUE(again.ok()) << text;
+  EXPECT_EQ((*again)->ToSql(), text);
+}
+
+}  // namespace
+}  // namespace idaa

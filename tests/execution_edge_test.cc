@@ -1,0 +1,239 @@
+// Edge-case execution tests: empty inputs, NULL ordering, groom service,
+// concurrent sessions, and cross-engine transaction scenarios.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "accel/groom.h"
+#include "idaa/system.h"
+
+namespace idaa {
+namespace {
+
+TEST(ExecutionEdgeTest, TableLessSelect) {
+  IdaaSystem system;
+  auto rs = system.Query("SELECT 1 + 1, 'x' || 'y', ABS(-2.5)");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->NumRows(), 1u);
+  EXPECT_EQ(rs->At(0, 0).AsInteger(), 2);
+  EXPECT_EQ(rs->At(0, 1).AsVarchar(), "xy");
+  EXPECT_DOUBLE_EQ(rs->At(0, 2).AsDouble(), 2.5);
+}
+
+TEST(ExecutionEdgeTest, EmptyTableQueries) {
+  IdaaSystem system;
+  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE e (a INT, b VARCHAR)").ok());
+  auto rs = system.Query("SELECT * FROM e");
+  EXPECT_EQ(rs->NumRows(), 0u);
+  // Global aggregate over empty input: one row, COUNT 0, SUM NULL.
+  rs = system.Query("SELECT COUNT(*), SUM(a) FROM e");
+  ASSERT_EQ(rs->NumRows(), 1u);
+  EXPECT_EQ(rs->At(0, 0).AsInteger(), 0);
+  EXPECT_TRUE(rs->At(0, 1).is_null());
+  // Grouped aggregate over empty input: zero rows.
+  rs = system.Query("SELECT b, COUNT(*) FROM e GROUP BY b");
+  EXPECT_EQ(rs->NumRows(), 0u);
+}
+
+TEST(ExecutionEdgeTest, NullsSortHigh) {
+  IdaaSystem system;
+  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE n (a INT)").ok());
+  ASSERT_TRUE(
+      system.ExecuteSql("INSERT INTO n VALUES (2), (NULL), (1)").ok());
+  auto asc = system.Query("SELECT a FROM n ORDER BY a ASC");
+  ASSERT_EQ(asc->NumRows(), 3u);
+  EXPECT_EQ(asc->At(0, 0).AsInteger(), 1);
+  EXPECT_TRUE(asc->At(2, 0).is_null());  // NULL last ascending (DB2)
+  auto desc = system.Query("SELECT a FROM n ORDER BY a DESC");
+  EXPECT_TRUE(desc->At(0, 0).is_null());  // NULL first descending
+}
+
+TEST(ExecutionEdgeTest, LimitZeroAndOversized) {
+  IdaaSystem system;
+  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE l (a INT)").ok());
+  ASSERT_TRUE(system.ExecuteSql("INSERT INTO l VALUES (1), (2)").ok());
+  EXPECT_EQ(system.Query("SELECT a FROM l LIMIT 0")->NumRows(), 0u);
+  EXPECT_EQ(system.Query("SELECT a FROM l LIMIT 100")->NumRows(), 2u);
+}
+
+TEST(ExecutionEdgeTest, DistinctOnNulls) {
+  IdaaSystem system;
+  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE d (a INT)").ok());
+  ASSERT_TRUE(
+      system.ExecuteSql("INSERT INTO d VALUES (1), (NULL), (NULL), (1)").ok());
+  // SQL DISTINCT treats NULLs as one group.
+  EXPECT_EQ(system.Query("SELECT DISTINCT a FROM d")->NumRows(), 2u);
+}
+
+TEST(ExecutionEdgeTest, GroupByNullKey) {
+  IdaaSystem system;
+  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE g (k VARCHAR, v INT)").ok());
+  ASSERT_TRUE(system
+                  .ExecuteSql("INSERT INTO g VALUES ('a', 1), (NULL, 2), "
+                              "(NULL, 3)")
+                  .ok());
+  auto rs = system.Query("SELECT k, SUM(v) FROM g GROUP BY k");
+  EXPECT_EQ(rs->NumRows(), 2u);  // NULLs form one group
+}
+
+TEST(ExecutionEdgeTest, RuntimeErrorSurfacesNotCrashes) {
+  IdaaSystem system;
+  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE z (a INT)").ok());
+  ASSERT_TRUE(system.ExecuteSql("INSERT INTO z VALUES (0)").ok());
+  auto r = system.ExecuteSql("SELECT 1 / a FROM z");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExecutionEdgeTest, SelfJoinWithAliases) {
+  IdaaSystem system;
+  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE s (a INT)").ok());
+  ASSERT_TRUE(system.ExecuteSql("INSERT INTO s VALUES (1), (2), (3)").ok());
+  auto rs = system.Query(
+      "SELECT x.a, y.a FROM s x JOIN s y ON x.a + 1 = y.a ORDER BY x.a");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->NumRows(), 2u);
+  EXPECT_EQ(rs->At(0, 0).AsInteger(), 1);
+  EXPECT_EQ(rs->At(0, 1).AsInteger(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Groom service
+// ---------------------------------------------------------------------------
+
+TEST(GroomServiceTest, MaybeGroomRespectsThreshold) {
+  IdaaSystem system;
+  ASSERT_TRUE(
+      system.ExecuteSql("CREATE TABLE a (x INT) IN ACCELERATOR").ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(system
+                    .ExecuteSql("INSERT INTO a VALUES (" + std::to_string(i) +
+                                ")")
+                    .ok());
+  }
+  ASSERT_TRUE(system.ExecuteSql("DELETE FROM a WHERE x < 5").ok());
+  accel::GroomService groom(&system.accelerator(), /*trigger_versions=*/1000);
+  // Below threshold: skipped.
+  auto stats = groom.MaybeGroom();
+  EXPECT_EQ(stats.rows_examined, 0u);
+  EXPECT_EQ(groom.runs(), 0u);
+  // Unconditional run reclaims the deleted half.
+  stats = groom.RunOnce();
+  EXPECT_EQ(stats.rows_reclaimed, 5u);
+  EXPECT_EQ(groom.total_reclaimed(), 5u);
+  EXPECT_EQ(groom.runs(), 1u);
+  // Data intact after groom.
+  auto rs = system.Query("SELECT COUNT(*) FROM a");
+  EXPECT_EQ(rs->At(0, 0).AsInteger(), 5);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency
+// ---------------------------------------------------------------------------
+
+TEST(ConcurrencyTest, ParallelAcceleratorScansAreSafe) {
+  IdaaSystem system;
+  ASSERT_TRUE(
+      system.ExecuteSql("CREATE TABLE big (x INT) IN ACCELERATOR").ok());
+  ASSERT_TRUE(system.Begin().ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(system
+                    .ExecuteSql("INSERT INTO big VALUES (" +
+                                std::to_string(i) + ")")
+                    .ok());
+  }
+  ASSERT_TRUE(system.Commit().ok());
+
+  // "Concurrent execution of multiple queries in a single transaction":
+  // several reader threads share one transaction's context.
+  Transaction* txn = system.txn_manager().Begin();
+  auto table = system.accelerator().GetTable("big");
+  ASSERT_TRUE(table.ok());
+  std::vector<std::thread> readers;
+  std::atomic<size_t> total{0};
+  std::atomic<bool> failed{false};
+  for (int t = 0; t < 8; ++t) {
+    readers.emplace_back([&] {
+      auto count = (*table)->CountVisible(txn->id(), txn->snapshot_csn(),
+                                          system.txn_manager());
+      if (!count.ok() || *count != 50) failed = true;
+      total += count.ok() ? *count : 0;
+    });
+  }
+  for (auto& r : readers) r.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(total.load(), 400u);
+  ASSERT_TRUE(system.txn_manager().Commit(txn).ok());
+}
+
+TEST(ConcurrencyTest, WritersAndReadersOnAot) {
+  IdaaSystem system;
+  ASSERT_TRUE(
+      system.ExecuteSql("CREATE TABLE c (x INT) IN ACCELERATOR").ok());
+  auto table = system.accelerator().GetTable("c");
+  ASSERT_TRUE(table.ok());
+  std::atomic<bool> failed{false};
+
+  std::thread writer([&] {
+    for (int i = 0; i < 200; ++i) {
+      Transaction* txn = system.txn_manager().Begin();
+      if (!(*table)->Insert({{Value::Integer(i)}}, txn->id()).ok()) {
+        failed = true;
+      }
+      if (!system.txn_manager().Commit(txn).ok()) failed = true;
+    }
+  });
+  std::thread reader([&] {
+    size_t last = 0;
+    for (int i = 0; i < 100; ++i) {
+      Transaction* txn = system.txn_manager().Begin();
+      auto count = (*table)->CountVisible(txn->id(), txn->snapshot_csn(),
+                                          system.txn_manager());
+      if (!count.ok()) {
+        failed = true;
+        break;
+      }
+      // Visible count must be monotone (snapshots only move forward).
+      if (*count < last) failed = true;
+      last = *count;
+      (void)system.txn_manager().Commit(txn);
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_FALSE(failed.load());
+  Transaction* txn = system.txn_manager().Begin();
+  auto final_count = (*table)->CountVisible(txn->id(), txn->snapshot_csn(),
+                                            system.txn_manager());
+  EXPECT_EQ(*final_count, 200u);
+}
+
+TEST(ConcurrencyTest, SnapshotIsolationAcrossSessions) {
+  IdaaSystem system;
+  ASSERT_TRUE(
+      system.ExecuteSql("CREATE TABLE iso (x INT) IN ACCELERATOR").ok());
+  ASSERT_TRUE(system.ExecuteSql("INSERT INTO iso VALUES (1)").ok());
+
+  // Session A opens a long transaction and reads.
+  Transaction* a = system.txn_manager().Begin();
+  auto table = system.accelerator().GetTable("iso");
+  auto before = (*table)->CountVisible(a->id(), a->snapshot_csn(),
+                                       system.txn_manager());
+  EXPECT_EQ(*before, 1u);
+
+  // Session B (auto-commit through the facade) inserts meanwhile.
+  ASSERT_TRUE(system.ExecuteSql("INSERT INTO iso VALUES (2)").ok());
+
+  // A still sees its snapshot; a fresh transaction sees both rows.
+  auto after = (*table)->CountVisible(a->id(), a->snapshot_csn(),
+                                      system.txn_manager());
+  EXPECT_EQ(*after, 1u);
+  Transaction* fresh = system.txn_manager().Begin();
+  auto fresh_count = (*table)->CountVisible(fresh->id(), fresh->snapshot_csn(),
+                                            system.txn_manager());
+  EXPECT_EQ(*fresh_count, 2u);
+}
+
+}  // namespace
+}  // namespace idaa

@@ -1,0 +1,307 @@
+// SQL lexer + parser tests, including a parameterized round-trip suite:
+// parse -> ToSql -> parse must be stable.
+
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace idaa::sql {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("SELECT a, 42, 3.5, 'str' FROM t;");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_EQ((*tokens)[1].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[3].int_value, 42);
+  EXPECT_DOUBLE_EQ((*tokens)[5].double_value, 3.5);
+  EXPECT_EQ((*tokens)[7].text, "str");
+  EXPECT_EQ((*tokens).back().type, TokenType::kEof);
+}
+
+TEST(LexerTest, OperatorsTwoChar) {
+  auto tokens = Tokenize("<= >= <> != ||");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kLtEq);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kGtEq);
+  EXPECT_EQ((*tokens)[2].type, TokenType::kNotEq);
+  EXPECT_EQ((*tokens)[3].type, TokenType::kNotEq);
+  EXPECT_EQ((*tokens)[4].type, TokenType::kConcat);
+}
+
+TEST(LexerTest, StringEscapes) {
+  auto tokens = Tokenize("'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "it's");
+}
+
+TEST(LexerTest, LineComment) {
+  auto tokens = Tokenize("SELECT 1 -- comment here\n");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens->size(), 3u);  // SELECT, 1, EOF
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(LexerTest, UnknownCharacterFails) {
+  EXPECT_FALSE(Tokenize("SELECT @x").ok());
+}
+
+TEST(LexerTest, KeywordsUpperCased) {
+  auto tokens = Tokenize("select From WHERE");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].text, "FROM");
+  EXPECT_EQ((*tokens)[2].text, "WHERE");
+}
+
+TEST(LexerTest, QuotedIdentifierKeepsCase) {
+  auto tokens = Tokenize("\"MixedCase\"");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[0].text, "MixedCase");
+}
+
+// ---------------------------------------------------------------------------
+// Parser: structure checks
+// ---------------------------------------------------------------------------
+
+TEST(ParserTest, SelectFull) {
+  auto stmt = ParseStatement(
+      "SELECT a, SUM(b) AS total FROM t JOIN u ON t.id = u.id "
+      "WHERE a > 1 GROUP BY a HAVING SUM(b) > 10 ORDER BY total DESC LIMIT 5");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  auto* select = static_cast<SelectStatement*>(stmt->get());
+  EXPECT_EQ(select->items.size(), 2u);
+  EXPECT_EQ(select->items[1].alias, "total");
+  ASSERT_TRUE(select->from.has_value());
+  EXPECT_EQ(select->joins.size(), 1u);
+  ASSERT_TRUE(select->where != nullptr);
+  EXPECT_EQ(select->group_by.size(), 1u);
+  ASSERT_TRUE(select->having != nullptr);
+  EXPECT_EQ(select->order_by.size(), 1u);
+  EXPECT_FALSE(select->order_by[0].ascending);
+  EXPECT_EQ(select->limit, 5);
+}
+
+TEST(ParserTest, SelectStar) {
+  auto stmt = ParseStatement("SELECT * FROM t");
+  ASSERT_TRUE(stmt.ok());
+  auto* select = static_cast<SelectStatement*>(stmt->get());
+  EXPECT_EQ(select->items[0].expr->kind, ExprKind::kStar);
+}
+
+TEST(ParserTest, JoinVariants) {
+  auto stmt = ParseStatement(
+      "SELECT 1 FROM a LEFT OUTER JOIN b ON a.x = b.x CROSS JOIN c "
+      "INNER JOIN d ON d.y = a.y");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  auto* select = static_cast<SelectStatement*>(stmt->get());
+  ASSERT_EQ(select->joins.size(), 3u);
+  EXPECT_EQ(select->joins[0].type, JoinType::kLeft);
+  EXPECT_EQ(select->joins[1].type, JoinType::kCross);
+  EXPECT_EQ(select->joins[2].type, JoinType::kInner);
+}
+
+TEST(ParserTest, InsertValues) {
+  auto stmt =
+      ParseStatement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')");
+  ASSERT_TRUE(stmt.ok());
+  auto* insert = static_cast<InsertStatement*>(stmt->get());
+  EXPECT_EQ(insert->table_name, "t");
+  EXPECT_EQ(insert->columns.size(), 2u);
+  EXPECT_EQ(insert->values_rows.size(), 2u);
+  EXPECT_EQ(insert->select, nullptr);
+}
+
+TEST(ParserTest, InsertSelect) {
+  auto stmt = ParseStatement("INSERT INTO t SELECT a FROM u WHERE a > 0");
+  ASSERT_TRUE(stmt.ok());
+  auto* insert = static_cast<InsertStatement*>(stmt->get());
+  ASSERT_NE(insert->select, nullptr);
+  EXPECT_TRUE(insert->values_rows.empty());
+}
+
+TEST(ParserTest, UpdateDelete) {
+  auto up = ParseStatement("UPDATE t SET a = a + 1, b = 'x' WHERE a < 3");
+  ASSERT_TRUE(up.ok());
+  auto* update = static_cast<UpdateStatement*>(up->get());
+  EXPECT_EQ(update->assignments.size(), 2u);
+  ASSERT_NE(update->where, nullptr);
+
+  auto del = ParseStatement("DELETE FROM t");
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ(static_cast<DeleteStatement*>(del->get())->where, nullptr);
+}
+
+TEST(ParserTest, CreateTableInAccelerator) {
+  auto stmt = ParseStatement(
+      "CREATE TABLE aot (id INT NOT NULL, v VARCHAR(32)) IN ACCELERATOR "
+      "DISTRIBUTE BY (id)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  auto* create = static_cast<CreateTableStatement*>(stmt->get());
+  EXPECT_TRUE(create->in_accelerator);
+  ASSERT_TRUE(create->distribute_by.has_value());
+  EXPECT_EQ(*create->distribute_by, "id");
+  ASSERT_EQ(create->columns.size(), 2u);
+  EXPECT_TRUE(create->columns[0].not_null);
+  EXPECT_EQ(create->columns[1].type, DataType::kVarchar);
+}
+
+TEST(ParserTest, CreateTableIfNotExists) {
+  auto stmt = ParseStatement("CREATE TABLE IF NOT EXISTS t (a INT)");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(static_cast<CreateTableStatement*>(stmt->get())->if_not_exists);
+}
+
+TEST(ParserTest, DropTable) {
+  auto stmt = ParseStatement("DROP TABLE IF EXISTS t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(static_cast<DropTableStatement*>(stmt->get())->if_exists);
+}
+
+TEST(ParserTest, GrantRevoke) {
+  auto grant = ParseStatement("GRANT SELECT, INSERT ON t TO alice");
+  ASSERT_TRUE(grant.ok());
+  auto* g = static_cast<GrantStatement*>(grant->get());
+  EXPECT_EQ(g->privileges, (std::vector<std::string>{"SELECT", "INSERT"}));
+  EXPECT_EQ(g->grantee, "alice");
+
+  auto revoke = ParseStatement("REVOKE SELECT ON t FROM alice");
+  ASSERT_TRUE(revoke.ok());
+}
+
+TEST(ParserTest, CallWithLiterals) {
+  auto stmt =
+      ParseStatement("CALL SYSPROC.ACCEL_ADD_TABLES('sales')");
+  ASSERT_TRUE(stmt.ok());
+  auto* call = static_cast<CallStatement*>(stmt->get());
+  EXPECT_EQ(call->procedure_name, "SYSPROC.ACCEL_ADD_TABLES");
+  ASSERT_EQ(call->arguments.size(), 1u);
+  EXPECT_EQ(call->arguments[0].AsVarchar(), "sales");
+}
+
+TEST(ParserTest, CallNegativeNumberArg) {
+  auto stmt = ParseStatement("CALL p(-5, -2.5)");
+  ASSERT_TRUE(stmt.ok());
+  auto* call = static_cast<CallStatement*>(stmt->get());
+  EXPECT_EQ(call->arguments[0].AsInteger(), -5);
+  EXPECT_DOUBLE_EQ(call->arguments[1].AsDouble(), -2.5);
+}
+
+TEST(ParserTest, CallRejectsExpressions) {
+  EXPECT_FALSE(ParseStatement("CALL p(a + 1)").ok());
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  auto e = ParseExpression("1 + 2 * 3");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->ToSql(), "(1 + (2 * 3))");
+
+  e = ParseExpression("NOT a = 1 AND b = 2 OR c = 3");
+  ASSERT_TRUE(e.ok());
+  // NOT binds over comparison... here NOT applies to (a = 1).
+  EXPECT_EQ((*e)->ToSql(), "((NOT ((a = 1)) AND (b = 2)) OR (c = 3))");
+}
+
+TEST(ParserTest, BetweenInLikeIsNull) {
+  EXPECT_TRUE(ParseExpression("a BETWEEN 1 AND 10").ok());
+  EXPECT_TRUE(ParseExpression("a NOT BETWEEN 1 AND 10").ok());
+  EXPECT_TRUE(ParseExpression("a IN (1, 2, 3)").ok());
+  EXPECT_TRUE(ParseExpression("a NOT IN ('x')").ok());
+  EXPECT_TRUE(ParseExpression("a LIKE 'x%'").ok());
+  EXPECT_TRUE(ParseExpression("a IS NULL").ok());
+  EXPECT_TRUE(ParseExpression("a IS NOT NULL").ok());
+}
+
+TEST(ParserTest, CaseExpression) {
+  auto e = ParseExpression(
+      "CASE WHEN a > 0 THEN 'pos' WHEN a < 0 THEN 'neg' ELSE 'zero' END");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind, ExprKind::kCase);
+  EXPECT_TRUE((*e)->has_else);
+  EXPECT_EQ((*e)->children.size(), 5u);
+}
+
+TEST(ParserTest, CastWithLength) {
+  auto e = ParseExpression("CAST(a AS VARCHAR(10))");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->cast_type, DataType::kVarchar);
+}
+
+TEST(ParserTest, DateLiteral) {
+  auto e = ParseExpression("DATE '2016-03-15'");
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE((*e)->literal.is_date());
+}
+
+TEST(ParserTest, CountDistinct) {
+  auto e = ParseExpression("COUNT(DISTINCT x)");
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE((*e)->distinct);
+}
+
+TEST(ParserTest, TrailingGarbageFails) {
+  EXPECT_FALSE(ParseStatement("SELECT 1 FROM t garbage extra").ok());
+  EXPECT_FALSE(ParseStatement("DROP TABLE t t2").ok());
+}
+
+TEST(ParserTest, ErrorsCarryOffsets) {
+  auto r = ParseStatement("SELECT FROM t");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("offset"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip property: parse(ToSql(parse(s))) == stable
+// ---------------------------------------------------------------------------
+
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, ParseToSqlParseIsStable) {
+  auto first = ParseStatement(GetParam());
+  ASSERT_TRUE(first.ok()) << GetParam() << ": " << first.status().ToString();
+  std::string sql1 = (*first)->ToSql();
+  auto second = ParseStatement(sql1);
+  ASSERT_TRUE(second.ok()) << sql1 << ": " << second.status().ToString();
+  EXPECT_EQ((*second)->ToSql(), sql1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Statements, RoundTripTest,
+    ::testing::Values(
+        "SELECT 1",
+        "SELECT a, b FROM t",
+        "SELECT DISTINCT a FROM t WHERE a > 1 AND b < 2 OR c = 3",
+        "SELECT t.a, u.b FROM t JOIN u ON t.id = u.id",
+        "SELECT a FROM t LEFT JOIN u ON t.id = u.id WHERE u.id IS NULL",
+        "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2",
+        "SELECT a FROM t ORDER BY a DESC LIMIT 10",
+        "SELECT CASE WHEN a > 0 THEN 1 ELSE 0 END FROM t",
+        "SELECT CAST(a AS DOUBLE) FROM t",
+        "SELECT a FROM t WHERE a BETWEEN 1 AND 10",
+        "SELECT a FROM t WHERE a IN (1, 2, 3)",
+        "SELECT a FROM t WHERE name LIKE 'A%'",
+        "SELECT a FROM t WHERE a IS NOT NULL",
+        "SELECT UPPER(name) || '!' FROM t",
+        "SELECT -a + 2 * (b - 1) FROM t",
+        "INSERT INTO t VALUES (1, 'x')",
+        "INSERT INTO t (a, b) VALUES (1, 2), (3, 4)",
+        "INSERT INTO t SELECT a, b FROM u WHERE a > 0",
+        "UPDATE t SET a = a + 1 WHERE b = 'x'",
+        "DELETE FROM t WHERE a < 0",
+        "CREATE TABLE x (a INTEGER NOT NULL, b DOUBLE, c VARCHAR)",
+        "CREATE TABLE x (a INTEGER) IN ACCELERATOR",
+        "CREATE TABLE x (a INTEGER) IN ACCELERATOR DISTRIBUTE BY (a)",
+        "DROP TABLE x",
+        "GRANT SELECT ON t TO bob",
+        "REVOKE SELECT, INSERT ON t TO bob",
+        "CALL SYSPROC.ACCEL_ADD_TABLES('t')",
+        "SELECT COUNT(DISTINCT a), SUM(b), AVG(c), MIN(d), MAX(e) FROM t",
+        "SELECT a FROM t WHERE d = DATE '2016-03-15'"));
+
+}  // namespace
+}  // namespace idaa::sql

@@ -1,0 +1,269 @@
+// IDAA Loader tests (direct AOT ingestion vs DB2 path) and governance
+// tests (privileges at the DB2 front door, audit log).
+
+#include <gtest/gtest.h>
+
+#include "idaa/system.h"
+#include "loader/record_source.h"
+
+namespace idaa {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Loader
+// ---------------------------------------------------------------------------
+
+class LoaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SystemOptions options;
+    options.replication_batch_size = 0;
+    system_ = std::make_unique<IdaaSystem>(options);
+  }
+
+  Schema TweetSchema() {
+    return Schema({{"ID", DataType::kInteger, false},
+                   {"USERNAME", DataType::kVarchar, true},
+                   {"SENTIMENT", DataType::kDouble, true}});
+  }
+
+  std::unique_ptr<IdaaSystem> system_;
+};
+
+TEST_F(LoaderTest, CsvIntoAotDirectly) {
+  ASSERT_TRUE(system_
+                  ->ExecuteSql("CREATE TABLE tweets (id INT NOT NULL, "
+                               "username VARCHAR, sentiment DOUBLE) "
+                               "IN ACCELERATOR")
+                  .ok());
+  loader::CsvStringSource source(
+      "1,alice,0.9\n2,bob,-0.3\n3,,0.1\n", TweetSchema());
+  auto report = system_->loader().Load("tweets", &source);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->rows_loaded, 3u);
+  auto rs = system_->Query("SELECT COUNT(*) FROM tweets");
+  EXPECT_EQ(rs->At(0, 0).AsInteger(), 3);
+  // NULL username parsed from empty CSV field.
+  rs = system_->Query("SELECT COUNT(*) FROM tweets WHERE username IS NULL");
+  EXPECT_EQ(rs->At(0, 0).AsInteger(), 1);
+  // Data never touched DB2.
+  EXPECT_EQ(system_->metrics().Get(metric::kDb2RowsMaterialized), 0u);
+}
+
+TEST_F(LoaderTest, GeneratorIntoDb2Table) {
+  ASSERT_TRUE(system_->ExecuteSql("CREATE TABLE nums (n INT)").ok());
+  Schema schema({{"N", DataType::kInteger, true}});
+  loader::GeneratorSource source(schema, 250, [](size_t i) {
+    return Row{Value::Integer(static_cast<int64_t>(i))};
+  });
+  loader::LoadOptions options;
+  options.batch_size = 100;
+  auto report = system_->loader().Load("nums", &source, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->rows_loaded, 250u);
+  EXPECT_EQ(report->batches, 3u);  // 100 + 100 + 50
+  auto rs = system_->Query("SELECT COUNT(*), MAX(n) FROM nums");
+  EXPECT_EQ(rs->At(0, 0).AsInteger(), 250);
+  EXPECT_EQ(rs->At(0, 1).AsInteger(), 249);
+}
+
+TEST_F(LoaderTest, LoadIntoAcceleratedTableReplicates) {
+  ASSERT_TRUE(system_->ExecuteSql("CREATE TABLE facts (n INT)").ok());
+  ASSERT_TRUE(
+      system_->ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('facts')").ok());
+  Schema schema({{"N", DataType::kInteger, true}});
+  loader::GeneratorSource source(schema, 10, [](size_t i) {
+    return Row{Value::Integer(static_cast<int64_t>(i))};
+  });
+  ASSERT_TRUE(system_->loader().Load("facts", &source).ok());
+  // DB2 is the system of record; replication carries rows to the replica.
+  ASSERT_TRUE(system_->replication().Flush().ok());
+  system_->SetAccelerationMode(federation::AccelerationMode::kEligible);
+  auto rs = system_->Query("SELECT COUNT(*) FROM facts");
+  EXPECT_EQ(rs->At(0, 0).AsInteger(), 10);
+}
+
+TEST_F(LoaderTest, UnknownTableFails) {
+  Schema schema({{"N", DataType::kInteger, true}});
+  loader::GeneratorSource source(schema, 1, [](size_t) {
+    return Row{Value::Integer(1)};
+  });
+  EXPECT_FALSE(system_->loader().Load("nosuch", &source).ok());
+}
+
+TEST_F(LoaderTest, MalformedCsvAborts) {
+  ASSERT_TRUE(system_
+                  ->ExecuteSql(
+                      "CREATE TABLE strict (id INT NOT NULL) IN ACCELERATOR")
+                  .ok());
+  Schema schema({{"ID", DataType::kInteger, false}});
+  loader::CsvStringSource source("1\nnot_a_number\n3\n", schema);
+  auto report = system_->loader().Load("strict", &source);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST_F(LoaderTest, MissingFileFails) {
+  ASSERT_TRUE(
+      system_->ExecuteSql("CREATE TABLE f (id INT) IN ACCELERATOR").ok());
+  Schema schema({{"ID", DataType::kInteger, true}});
+  loader::CsvFileSource source("/nonexistent/file.csv", schema);
+  auto report = system_->loader().Load("f", &source);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(LoaderTest, LoaderMetricsAccumulate) {
+  ASSERT_TRUE(
+      system_->ExecuteSql("CREATE TABLE m (id INT) IN ACCELERATOR").ok());
+  Schema schema({{"ID", DataType::kInteger, true}});
+  loader::GeneratorSource source(schema, 42, [](size_t i) {
+    return Row{Value::Integer(static_cast<int64_t>(i))};
+  });
+  ASSERT_TRUE(system_->loader().Load("m", &source).ok());
+  EXPECT_EQ(system_->metrics().Get(metric::kLoaderRowsIngested), 42u);
+  EXPECT_GT(system_->metrics().Get(metric::kLoaderBytesIngested), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Governance
+// ---------------------------------------------------------------------------
+
+class GovernanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Admin sets up tables and a restricted user.
+    ASSERT_TRUE(system_.ExecuteSql("CREATE TABLE secret (v INT)").ok());
+    ASSERT_TRUE(system_.ExecuteSql("INSERT INTO secret VALUES (42)").ok());
+    ASSERT_TRUE(
+        system_.ExecuteSql("CREATE TABLE open (v INT) IN ACCELERATOR").ok());
+    ASSERT_TRUE(system_.ExecuteSql("GRANT SELECT ON open TO alice").ok());
+  }
+
+  IdaaSystem system_;
+};
+
+TEST_F(GovernanceTest, DeniedSelectWithoutGrant) {
+  system_.SetUser("alice");
+  auto r = system_.ExecuteSql("SELECT * FROM secret");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotAuthorized());
+}
+
+TEST_F(GovernanceTest, GrantedSelectWorks) {
+  system_.SetUser("alice");
+  EXPECT_TRUE(system_.ExecuteSql("SELECT * FROM open").ok());
+}
+
+TEST_F(GovernanceTest, InsertRequiresInsertPrivilege) {
+  system_.SetUser("alice");
+  EXPECT_FALSE(system_.ExecuteSql("INSERT INTO open VALUES (1)").ok());
+  system_.SetUser(governance::AuthorizationManager::kAdmin);
+  ASSERT_TRUE(system_.ExecuteSql("GRANT INSERT ON open TO alice").ok());
+  system_.SetUser("alice");
+  EXPECT_TRUE(system_.ExecuteSql("INSERT INTO open VALUES (1)").ok());
+}
+
+TEST_F(GovernanceTest, RevokeRemovesAccess) {
+  system_.SetUser(governance::AuthorizationManager::kAdmin);
+  ASSERT_TRUE(system_.ExecuteSql("REVOKE SELECT ON open FROM alice").ok());
+  system_.SetUser("alice");
+  EXPECT_FALSE(system_.ExecuteSql("SELECT * FROM open").ok());
+}
+
+TEST_F(GovernanceTest, OnlyAdminGrants) {
+  system_.SetUser("alice");
+  auto r = system_.ExecuteSql("GRANT SELECT ON secret TO alice");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotAuthorized());
+}
+
+TEST_F(GovernanceTest, CreatorGetsFullPrivileges) {
+  system_.SetUser(governance::AuthorizationManager::kAdmin);
+  ASSERT_TRUE(system_.ExecuteSql("GRANT SELECT ON dummy TO bob").ok());
+  system_.SetUser("bob");
+  ASSERT_TRUE(
+      system_.ExecuteSql("CREATE TABLE mine (v INT) IN ACCELERATOR").ok());
+  EXPECT_TRUE(system_.ExecuteSql("INSERT INTO mine VALUES (1)").ok());
+  EXPECT_TRUE(system_.ExecuteSql("SELECT * FROM mine").ok());
+  EXPECT_TRUE(system_.ExecuteSql("DELETE FROM mine").ok());
+  EXPECT_TRUE(system_.ExecuteSql("DROP TABLE mine").ok());
+}
+
+TEST_F(GovernanceTest, InsertSelectNeedsBothPrivileges) {
+  system_.SetUser(governance::AuthorizationManager::kAdmin);
+  ASSERT_TRUE(system_.ExecuteSql("GRANT INSERT ON open TO carol").ok());
+  system_.SetUser("carol");
+  // Carol may INSERT into open but cannot read secret.
+  auto r = system_.ExecuteSql("INSERT INTO open SELECT v FROM secret");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotAuthorized());
+}
+
+TEST_F(GovernanceTest, AnalyticsRequiresExecuteAndInputSelect) {
+  system_.SetUser(governance::AuthorizationManager::kAdmin);
+  ASSERT_TRUE(system_.ExecuteSql("INSERT INTO open VALUES (1), (2)").ok());
+  system_.SetUser("alice");  // has SELECT on open but no EXECUTE
+  auto r = system_.ExecuteSql(
+      "CALL IDAA.SAMPLE('input=open', 'output=open_sample', 'fraction=1.0')");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotAuthorized());
+
+  system_.SetUser(governance::AuthorizationManager::kAdmin);
+  ASSERT_TRUE(
+      system_.ExecuteSql("GRANT EXECUTE ON IDAA.SAMPLE TO alice").ok());
+  system_.SetUser("alice");
+  auto ok = system_.ExecuteSql(
+      "CALL IDAA.SAMPLE('input=open', 'output=open_sample', 'fraction=1.0')");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  // Caller receives privileges on the produced AOT.
+  EXPECT_TRUE(system_.ExecuteSql("SELECT * FROM open_sample").ok());
+}
+
+TEST_F(GovernanceTest, AnalyticsDeniedWithoutInputSelect) {
+  system_.SetUser(governance::AuthorizationManager::kAdmin);
+  ASSERT_TRUE(system_.ExecuteSql("GRANT EXECUTE ON IDAA.SAMPLE TO mallory")
+                  .ok());
+  ASSERT_TRUE(
+      system_.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('secret')").ok());
+  system_.SetUser("mallory");
+  // EXECUTE alone is not enough: SELECT on the input table is enforced.
+  auto r = system_.ExecuteSql(
+      "CALL IDAA.SAMPLE('input=secret', 'output=leak', 'fraction=1.0')");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotAuthorized());
+  EXPECT_FALSE(system_.catalog().HasTable("leak"));
+}
+
+TEST_F(GovernanceTest, AuditTrailRecordsDecisions) {
+  size_t before = system_.audit().Size();
+  system_.SetUser("alice");
+  (void)system_.ExecuteSql("SELECT * FROM open");
+  (void)system_.ExecuteSql("SELECT * FROM secret");  // denied
+  auto entries = system_.audit().EntriesForUser("alice");
+  ASSERT_GE(entries.size(), 2u);
+  bool saw_allowed = false, saw_denied = false;
+  for (const auto& e : entries) {
+    if (e.allowed && e.object == "OPEN") saw_allowed = true;
+    if (!e.allowed && e.object == "SECRET") saw_denied = true;
+  }
+  EXPECT_TRUE(saw_allowed);
+  EXPECT_TRUE(saw_denied);
+  EXPECT_GT(system_.audit().Size(), before);
+}
+
+TEST_F(GovernanceTest, OnlyAdminManagesAccelerator) {
+  system_.SetUser("alice");
+  EXPECT_FALSE(
+      system_.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('open')").ok());
+  EXPECT_FALSE(
+      system_.ExecuteSql("CALL SYSPROC.ACCEL_REMOVE_TABLES('open')").ok());
+}
+
+TEST_F(GovernanceTest, GovernanceChecksAreMetered) {
+  MetricsDelta delta(system_.metrics());
+  (void)system_.ExecuteSql("SELECT * FROM open");
+  EXPECT_GT(delta.Delta(metric::kGovernanceChecks), 0u);
+}
+
+}  // namespace
+}  // namespace idaa

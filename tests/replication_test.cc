@@ -1,0 +1,153 @@
+// Incremental-update (replication) pipeline tests: capture on commit,
+// batched apply, replica convergence under insert/update/delete, staleness.
+
+#include <gtest/gtest.h>
+
+#include "idaa/system.h"
+
+namespace idaa {
+namespace {
+
+class ReplicationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SystemOptions options;
+    options.replication_batch_size = 0;  // manual Flush in these tests
+    system_ = std::make_unique<IdaaSystem>(options);
+    ASSERT_TRUE(
+        system_->ExecuteSql("CREATE TABLE t (id INT, v VARCHAR)").ok());
+    ASSERT_TRUE(system_->ExecuteSql("INSERT INTO t VALUES (1, 'a')").ok());
+    ASSERT_TRUE(
+        system_->ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('t')").ok());
+  }
+
+  /// COUNT(*) as seen by the accelerator replica.
+  int64_t ReplicaCount() {
+    system_->SetAccelerationMode(federation::AccelerationMode::kEligible);
+    auto rs = system_->Query("SELECT COUNT(*) FROM t");
+    EXPECT_TRUE(rs.ok()) << rs.status().ToString();
+    return rs->At(0, 0).AsInteger();
+  }
+
+  std::unique_ptr<IdaaSystem> system_;
+};
+
+TEST_F(ReplicationTest, InsertCapturedAndApplied) {
+  ASSERT_TRUE(
+      system_->ExecuteSql("INSERT INTO t VALUES (2, 'b'), (3, 'c')").ok());
+  EXPECT_EQ(system_->replication().PendingChanges(), 2u);
+  EXPECT_EQ(ReplicaCount(), 1);  // not yet applied
+  auto stats = system_->replication().Flush();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->inserts, 2u);
+  EXPECT_EQ(ReplicaCount(), 3);
+}
+
+TEST_F(ReplicationTest, DeleteConverges) {
+  ASSERT_TRUE(system_->ExecuteSql("INSERT INTO t VALUES (2, 'b')").ok());
+  ASSERT_TRUE(system_->replication().Flush().ok());
+  ASSERT_TRUE(system_->ExecuteSql("DELETE FROM t WHERE id = 1").ok());
+  auto stats = system_->replication().Flush();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->deletes, 1u);
+  EXPECT_EQ(stats->misses, 0u);
+  EXPECT_EQ(ReplicaCount(), 1);
+  system_->SetAccelerationMode(federation::AccelerationMode::kEligible);
+  auto rs = system_->Query("SELECT id FROM t");
+  EXPECT_EQ(rs->At(0, 0).AsInteger(), 2);
+}
+
+TEST_F(ReplicationTest, UpdateConverges) {
+  ASSERT_TRUE(
+      system_->ExecuteSql("UPDATE t SET v = 'changed' WHERE id = 1").ok());
+  auto stats = system_->replication().Flush();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->updates, 1u);
+  EXPECT_EQ(stats->misses, 0u);
+  system_->SetAccelerationMode(federation::AccelerationMode::kEligible);
+  auto rs = system_->Query("SELECT v FROM t WHERE id = 1");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->NumRows(), 1u);
+  EXPECT_EQ(rs->At(0, 0).AsVarchar(), "changed");
+}
+
+TEST_F(ReplicationTest, RolledBackChangesNotCaptured) {
+  ASSERT_TRUE(system_->Begin().ok());
+  ASSERT_TRUE(system_->ExecuteSql("INSERT INTO t VALUES (99, 'x')").ok());
+  ASSERT_TRUE(system_->Rollback().ok());
+  EXPECT_EQ(system_->replication().PendingChanges(), 0u);
+  ASSERT_TRUE(system_->replication().Flush().ok());
+  EXPECT_EQ(ReplicaCount(), 1);
+  // DB2 also rolled back.
+  system_->SetAccelerationMode(federation::AccelerationMode::kNone);
+  auto rs = system_->Query("SELECT COUNT(*) FROM t");
+  EXPECT_EQ(rs->At(0, 0).AsInteger(), 1);
+}
+
+TEST_F(ReplicationTest, NonReplicatedTableNotCaptured) {
+  ASSERT_TRUE(system_->ExecuteSql("CREATE TABLE other (x INT)").ok());
+  ASSERT_TRUE(system_->ExecuteSql("INSERT INTO other VALUES (1)").ok());
+  EXPECT_EQ(system_->replication().PendingChanges(), 0u);
+}
+
+TEST_F(ReplicationTest, AutomaticFlushAtBatchSize) {
+  SystemOptions options;
+  options.replication_batch_size = 4;
+  IdaaSystem system(options);
+  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE t (id INT)").ok());
+  ASSERT_TRUE(system.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('t')").ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(system
+                    .ExecuteSql("INSERT INTO t VALUES (" + std::to_string(i) +
+                                ")")
+                    .ok());
+  }
+  // The 4th commit crossed the threshold and triggered an apply.
+  EXPECT_EQ(system.replication().PendingChanges(), 0u);
+  system.SetAccelerationMode(federation::AccelerationMode::kEligible);
+  auto rs = system.Query("SELECT COUNT(*) FROM t");
+  EXPECT_EQ(rs->At(0, 0).AsInteger(), 4);
+}
+
+TEST_F(ReplicationTest, StalenessTracking) {
+  EXPECT_EQ(system_->replication().HighestAppliedCsn(), 0u);
+  ASSERT_TRUE(system_->ExecuteSql("INSERT INTO t VALUES (5, 'e')").ok());
+  Csn captured = system_->replication().HighestCapturedCsn();
+  EXPECT_GT(captured, 0u);
+  EXPECT_LT(system_->replication().HighestAppliedCsn(), captured);
+  ASSERT_TRUE(system_->replication().Flush().ok());
+  EXPECT_EQ(system_->replication().HighestAppliedCsn(), captured);
+}
+
+TEST_F(ReplicationTest, ApplyCountsBytesAndBatches) {
+  MetricsDelta delta(system_->metrics());
+  ASSERT_TRUE(system_->ExecuteSql("INSERT INTO t VALUES (2, 'b')").ok());
+  ASSERT_TRUE(system_->replication().Flush().ok());
+  EXPECT_EQ(delta.Delta(metric::kReplicationChangesApplied), 1u);
+  EXPECT_EQ(delta.Delta(metric::kReplicationBatches), 1u);
+  EXPECT_GT(delta.Delta(metric::kReplicationBytesApplied), 0u);
+}
+
+TEST_F(ReplicationTest, RemoveTableStopsCapture) {
+  ASSERT_TRUE(
+      system_->ExecuteSql("CALL SYSPROC.ACCEL_REMOVE_TABLES('t')").ok());
+  ASSERT_TRUE(system_->ExecuteSql("INSERT INTO t VALUES (7, 'g')").ok());
+  EXPECT_EQ(system_->replication().PendingChanges(), 0u);
+}
+
+TEST_F(ReplicationTest, DuplicateRowsDeleteOnlyOne) {
+  ASSERT_TRUE(
+      system_->ExecuteSql("INSERT INTO t VALUES (8, 'dup'), (8, 'dup')").ok());
+  ASSERT_TRUE(system_->replication().Flush().ok());
+  EXPECT_EQ(ReplicaCount(), 3);
+  // DB2 deletes both duplicates (two change records); replica must too.
+  ASSERT_TRUE(system_->ExecuteSql("DELETE FROM t WHERE id = 8").ok());
+  auto stats = system_->replication().Flush();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->deletes, 2u);
+  EXPECT_EQ(stats->misses, 0u);
+  EXPECT_EQ(ReplicaCount(), 1);
+}
+
+}  // namespace
+}  // namespace idaa

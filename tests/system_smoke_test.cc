@@ -1,0 +1,119 @@
+// End-to-end smoke tests of the full stack through the public SQL API.
+
+#include "idaa/system.h"
+
+#include <gtest/gtest.h>
+
+namespace idaa {
+namespace {
+
+TEST(SystemSmokeTest, CreateInsertSelectOnDb2) {
+  IdaaSystem system;
+  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE t (a INT, b DOUBLE)").ok());
+  ASSERT_TRUE(
+      system.ExecuteSql("INSERT INTO t VALUES (1, 1.5), (2, 2.5), (3, 3.5)")
+          .ok());
+  auto rs = system.Query("SELECT a, b FROM t WHERE a >= 2 ORDER BY a");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->NumRows(), 2u);
+  EXPECT_EQ(rs->At(0, 0).AsInteger(), 2);
+  EXPECT_EQ(rs->At(1, 0).AsInteger(), 3);
+}
+
+TEST(SystemSmokeTest, AcceleratedTableOffload) {
+  IdaaSystem system;
+  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE sales (id INT, amount DOUBLE)")
+                  .ok());
+  ASSERT_TRUE(system.ExecuteSql(
+                        "INSERT INTO sales VALUES (1, 10.0), (2, 20.0), "
+                        "(3, 30.0), (4, 40.0)")
+                  .ok());
+  auto add = system.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('sales')");
+  ASSERT_TRUE(add.ok()) << add.status().ToString();
+
+  auto result = system.ExecuteSql(
+      "SELECT COUNT(*) AS n, SUM(amount) AS total FROM sales");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->executed_on, federation::Target::kAccelerator);
+  ASSERT_EQ(result->result_set.NumRows(), 1u);
+  EXPECT_EQ(result->result_set.At(0, 0).AsInteger(), 4);
+  EXPECT_DOUBLE_EQ(result->result_set.At(0, 1).AsDouble(), 100.0);
+}
+
+TEST(SystemSmokeTest, AotElTPipelineStaysOnAccelerator) {
+  IdaaSystem system;
+  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE src (k INT, v DOUBLE)").ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(system
+                    .ExecuteSql("INSERT INTO src VALUES (" +
+                                std::to_string(i % 3) + ", " +
+                                std::to_string(i) + ".0)")
+                    .ok());
+  }
+  ASSERT_TRUE(system.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('src')").ok());
+
+  ASSERT_TRUE(system.ExecuteSql(
+                        "CREATE TABLE stage1 (k INT, total DOUBLE) "
+                        "IN ACCELERATOR")
+                  .ok());
+  auto insert = system.ExecuteSql(
+      "INSERT INTO stage1 SELECT k, SUM(v) FROM src GROUP BY k");
+  ASSERT_TRUE(insert.ok()) << insert.status().ToString();
+  EXPECT_EQ(insert->executed_on, federation::Target::kAccelerator);
+  EXPECT_EQ(insert->affected_rows, 3u);
+
+  auto rs = system.Query("SELECT k, total FROM stage1 ORDER BY k");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->NumRows(), 3u);
+  // k=0: 0+3+6+9=18, k=1: 1+4+7=12, k=2: 2+5+8=15
+  EXPECT_DOUBLE_EQ(rs->At(0, 1).AsDouble(), 18.0);
+  EXPECT_DOUBLE_EQ(rs->At(1, 1).AsDouble(), 12.0);
+  EXPECT_DOUBLE_EQ(rs->At(2, 1).AsDouble(), 15.0);
+}
+
+TEST(SystemSmokeTest, TransactionRollbackOnAot) {
+  IdaaSystem system;
+  ASSERT_TRUE(
+      system.ExecuteSql("CREATE TABLE aot (x INT) IN ACCELERATOR").ok());
+  ASSERT_TRUE(system.ExecuteSql("INSERT INTO aot VALUES (1)").ok());
+  ASSERT_TRUE(system.Begin().ok());
+  ASSERT_TRUE(system.ExecuteSql("INSERT INTO aot VALUES (2)").ok());
+  // Own uncommitted insert is visible inside the transaction.
+  auto inside = system.Query("SELECT COUNT(*) FROM aot");
+  ASSERT_TRUE(inside.ok());
+  EXPECT_EQ(inside->At(0, 0).AsInteger(), 2);
+  ASSERT_TRUE(system.Rollback().ok());
+  auto after = system.Query("SELECT COUNT(*) FROM aot");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->At(0, 0).AsInteger(), 1);
+}
+
+TEST(SystemSmokeTest, KMeansProcedure) {
+  IdaaSystem system;
+  ASSERT_TRUE(
+      system.ExecuteSql("CREATE TABLE pts (x DOUBLE, y DOUBLE) IN ACCELERATOR")
+          .ok());
+  // Two obvious clusters.
+  for (int i = 0; i < 10; ++i) {
+    double off = i * 0.01;
+    ASSERT_TRUE(system
+                    .ExecuteSql("INSERT INTO pts VALUES (" +
+                                std::to_string(off) + ", 0.0), (" +
+                                std::to_string(10.0 + off) + ", 10.0)")
+                    .ok());
+  }
+  auto call = system.ExecuteSql(
+      "CALL IDAA.KMEANS('input=pts', 'output=pts_clusters', 'columns=x,y', "
+      "'k=2', 'seed=7')");
+  ASSERT_TRUE(call.ok()) << call.status().ToString();
+  auto rs = system.Query(
+      "SELECT cluster, COUNT(*) AS n FROM pts_clusters GROUP BY cluster "
+      "ORDER BY cluster");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->NumRows(), 2u);
+  EXPECT_EQ(rs->At(0, 1).AsInteger(), 10);
+  EXPECT_EQ(rs->At(1, 1).AsInteger(), 10);
+}
+
+}  // namespace
+}  // namespace idaa

@@ -1,0 +1,224 @@
+// TransactionManager (MVCC visibility oracle) and LockManager tests.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "txn/lock_manager.h"
+#include "txn/transaction_manager.h"
+
+namespace idaa {
+namespace {
+
+TEST(TransactionManagerTest, BeginAssignsIncreasingIds) {
+  TransactionManager tm;
+  Transaction* a = tm.Begin();
+  Transaction* b = tm.Begin();
+  EXPECT_LT(a->id(), b->id());
+  EXPECT_EQ(tm.NumActive(), 2u);
+}
+
+TEST(TransactionManagerTest, CommitPublishesCsn) {
+  TransactionManager tm;
+  Transaction* a = tm.Begin();
+  EXPECT_EQ(tm.CommitCsnOf(a->id()), kInfiniteCsn);
+  ASSERT_TRUE(tm.Commit(a).ok());
+  EXPECT_EQ(tm.CommitCsnOf(a->id()), 1u);
+  EXPECT_EQ(tm.LastCommittedCsn(), 1u);
+  EXPECT_EQ(tm.StateOf(a->id()), TxnState::kCommitted);
+}
+
+TEST(TransactionManagerTest, DoubleCommitFails) {
+  TransactionManager tm;
+  Transaction* a = tm.Begin();
+  ASSERT_TRUE(tm.Commit(a).ok());
+  EXPECT_FALSE(tm.Commit(a).ok());
+  EXPECT_FALSE(tm.Abort(a).ok());
+}
+
+TEST(TransactionManagerTest, AbortRunsUndoInReverse) {
+  TransactionManager tm;
+  Transaction* a = tm.Begin();
+  std::vector<int> order;
+  a->AddUndo([&] { order.push_back(1); });
+  a->AddUndo([&] { order.push_back(2); });
+  ASSERT_TRUE(tm.Abort(a).ok());
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+  EXPECT_EQ(tm.StateOf(a->id()), TxnState::kAborted);
+}
+
+TEST(TransactionManagerTest, CommitListenerFires) {
+  TransactionManager tm;
+  int fired = 0;
+  tm.AddCommitListener([&](const Transaction&) { ++fired; });
+  Transaction* a = tm.Begin();
+  Transaction* b = tm.Begin();
+  ASSERT_TRUE(tm.Commit(a).ok());
+  ASSERT_TRUE(tm.Abort(b).ok());  // abort does not fire
+  EXPECT_EQ(fired, 1);
+}
+
+// -- visibility: the exact semantics the paper requires -----------------------
+
+TEST(VisibilityTest, OwnUncommittedChangesVisible) {
+  TransactionManager tm;
+  Transaction* t = tm.Begin();
+  // Row created by t itself, not deleted.
+  EXPECT_TRUE(tm.IsVisible(t->id(), kInvalidTxnId, t->id(), t->snapshot_csn()));
+  // Row created and deleted by t itself.
+  EXPECT_FALSE(tm.IsVisible(t->id(), t->id(), t->id(), t->snapshot_csn()));
+}
+
+TEST(VisibilityTest, OtherUncommittedInvisible) {
+  TransactionManager tm;
+  Transaction* writer = tm.Begin();
+  Transaction* reader = tm.Begin();
+  EXPECT_FALSE(tm.IsVisible(writer->id(), kInvalidTxnId, reader->id(),
+                            reader->snapshot_csn()));
+}
+
+TEST(VisibilityTest, SnapshotIsolationAgainstLaterCommits) {
+  TransactionManager tm;
+  Transaction* reader = tm.Begin();  // snapshot = 0
+  Transaction* writer = tm.Begin();
+  ASSERT_TRUE(tm.Commit(writer).ok());  // csn 1 > reader snapshot
+  EXPECT_FALSE(tm.IsVisible(writer->id(), kInvalidTxnId, reader->id(),
+                            reader->snapshot_csn()));
+  // A new reader sees it.
+  Transaction* reader2 = tm.Begin();
+  EXPECT_TRUE(tm.IsVisible(writer->id(), kInvalidTxnId, reader2->id(),
+                           reader2->snapshot_csn()));
+}
+
+TEST(VisibilityTest, CommittedDeleteHidesRow) {
+  TransactionManager tm;
+  Transaction* creator = tm.Begin();
+  ASSERT_TRUE(tm.Commit(creator).ok());
+  Transaction* deleter = tm.Begin();
+  ASSERT_TRUE(tm.Commit(deleter).ok());
+  Transaction* reader = tm.Begin();
+  EXPECT_FALSE(tm.IsVisible(creator->id(), deleter->id(), reader->id(),
+                            reader->snapshot_csn()));
+}
+
+TEST(VisibilityTest, DeleteAfterSnapshotStillVisible) {
+  TransactionManager tm;
+  Transaction* creator = tm.Begin();
+  ASSERT_TRUE(tm.Commit(creator).ok());
+  Transaction* reader = tm.Begin();  // snapshot includes creator only
+  Transaction* deleter = tm.Begin();
+  ASSERT_TRUE(tm.Commit(deleter).ok());
+  // The delete committed after the reader's snapshot: row still visible.
+  EXPECT_TRUE(tm.IsVisible(creator->id(), deleter->id(), reader->id(),
+                           reader->snapshot_csn()));
+}
+
+TEST(VisibilityTest, AbortedCreatorInvisible) {
+  TransactionManager tm;
+  Transaction* creator = tm.Begin();
+  ASSERT_TRUE(tm.Abort(creator).ok());
+  Transaction* reader = tm.Begin();
+  EXPECT_FALSE(tm.IsVisible(creator->id(), kInvalidTxnId, reader->id(),
+                            reader->snapshot_csn()));
+}
+
+TEST(VisibilityTest, AbortedDeleterIgnored) {
+  TransactionManager tm;
+  Transaction* creator = tm.Begin();
+  ASSERT_TRUE(tm.Commit(creator).ok());
+  Transaction* deleter = tm.Begin();
+  ASSERT_TRUE(tm.Abort(deleter).ok());
+  Transaction* reader = tm.Begin();
+  EXPECT_TRUE(tm.IsVisible(creator->id(), deleter->id(), reader->id(),
+                           reader->snapshot_csn()));
+}
+
+TEST(VisibilityTest, RefreshSnapshotSeesNewCommits) {
+  TransactionManager tm;
+  Transaction* reader = tm.Begin();
+  Transaction* writer = tm.Begin();
+  ASSERT_TRUE(tm.Commit(writer).ok());
+  EXPECT_FALSE(tm.IsVisible(writer->id(), kInvalidTxnId, reader->id(),
+                            reader->snapshot_csn()));
+  tm.RefreshSnapshot(reader);
+  EXPECT_TRUE(tm.IsVisible(writer->id(), kInvalidTxnId, reader->id(),
+                           reader->snapshot_csn()));
+}
+
+TEST(TransactionManagerTest, OldestActiveSnapshot) {
+  TransactionManager tm;
+  Transaction* old_txn = tm.Begin();  // snapshot 0
+  Transaction* w = tm.Begin();
+  ASSERT_TRUE(tm.Commit(w).ok());
+  Transaction* young = tm.Begin();  // snapshot 1
+  EXPECT_EQ(tm.OldestActiveSnapshot(), 0u);
+  ASSERT_TRUE(tm.Commit(old_txn).ok());
+  EXPECT_EQ(tm.OldestActiveSnapshot(), young->snapshot_csn());
+  ASSERT_TRUE(tm.Commit(young).ok());
+  EXPECT_EQ(tm.OldestActiveSnapshot(), tm.LastCommittedCsn());
+}
+
+// -- locks ---------------------------------------------------------------------
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  LockManager locks(std::chrono::milliseconds(10));
+  EXPECT_TRUE(locks.Acquire(1, 100, LockMode::kShared).ok());
+  EXPECT_TRUE(locks.Acquire(2, 100, LockMode::kShared).ok());
+  EXPECT_EQ(locks.NumHeld(1), 1u);
+}
+
+TEST(LockManagerTest, ExclusiveBlocksOthers) {
+  LockManager locks(std::chrono::milliseconds(10));
+  EXPECT_TRUE(locks.Acquire(1, 100, LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks.Acquire(2, 100, LockMode::kShared).IsConflict());
+  EXPECT_TRUE(
+      locks.Acquire(2, 100, LockMode::kExclusive).IsConflict());
+  // Same txn re-acquires freely.
+  EXPECT_TRUE(locks.Acquire(1, 100, LockMode::kShared).ok());
+  EXPECT_TRUE(locks.Acquire(1, 100, LockMode::kExclusive).ok());
+}
+
+TEST(LockManagerTest, SharedBlocksExclusiveFromOther) {
+  LockManager locks(std::chrono::milliseconds(10));
+  EXPECT_TRUE(locks.Acquire(1, 100, LockMode::kShared).ok());
+  EXPECT_TRUE(
+      locks.Acquire(2, 100, LockMode::kExclusive).IsConflict());
+}
+
+TEST(LockManagerTest, UpgradeWhenSoleHolder) {
+  LockManager locks(std::chrono::milliseconds(10));
+  EXPECT_TRUE(locks.Acquire(1, 100, LockMode::kShared).ok());
+  EXPECT_TRUE(locks.Acquire(1, 100, LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks.Acquire(2, 100, LockMode::kShared).IsConflict());
+}
+
+TEST(LockManagerTest, ReleaseSharedKeepsExclusive) {
+  LockManager locks(std::chrono::milliseconds(10));
+  EXPECT_TRUE(locks.Acquire(1, 100, LockMode::kShared).ok());
+  EXPECT_TRUE(locks.Acquire(1, 200, LockMode::kExclusive).ok());
+  locks.ReleaseShared(1);
+  EXPECT_EQ(locks.NumHeld(1), 1u);  // only table 200 (X) remains
+  EXPECT_TRUE(locks.Acquire(2, 100, LockMode::kExclusive).ok());
+}
+
+TEST(LockManagerTest, ReleaseAllFreesWaiters) {
+  LockManager locks(std::chrono::milliseconds(500));
+  ASSERT_TRUE(locks.Acquire(1, 100, LockMode::kExclusive).ok());
+  std::thread waiter([&] {
+    // Blocks until txn 1 releases.
+    EXPECT_TRUE(locks.Acquire(2, 100, LockMode::kExclusive).ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  locks.ReleaseAll(1);
+  waiter.join();
+  EXPECT_EQ(locks.NumHeld(2), 1u);
+}
+
+TEST(LockManagerTest, DifferentTablesIndependent) {
+  LockManager locks(std::chrono::milliseconds(10));
+  EXPECT_TRUE(locks.Acquire(1, 100, LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks.Acquire(2, 200, LockMode::kExclusive).ok());
+}
+
+}  // namespace
+}  // namespace idaa

@@ -1,0 +1,170 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace idaa {
+namespace {
+
+TEST(ValueTest, NullBasics) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.ToString(), "NULL");
+  EXPECT_FALSE(v.Type().ok());
+  EXPECT_EQ(v, Value::Null());
+}
+
+TEST(ValueTest, TypedConstruction) {
+  EXPECT_TRUE(Value::Boolean(true).AsBoolean());
+  EXPECT_EQ(Value::Integer(-7).AsInteger(), -7);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::Varchar("abc").AsVarchar(), "abc");
+  EXPECT_EQ(Value::Date(10).AsDate(), 10);
+  EXPECT_EQ(Value::Timestamp(123456).AsTimestamp(), 123456);
+}
+
+TEST(ValueTest, DynamicType) {
+  EXPECT_EQ(*Value::Integer(1).Type(), DataType::kInteger);
+  EXPECT_EQ(*Value::Double(1).Type(), DataType::kDouble);
+  EXPECT_EQ(*Value::Varchar("x").Type(), DataType::kVarchar);
+  EXPECT_EQ(*Value::Boolean(false).Type(), DataType::kBoolean);
+  EXPECT_EQ(*Value::Date(0).Type(), DataType::kDate);
+  EXPECT_EQ(*Value::Timestamp(0).Type(), DataType::kTimestamp);
+}
+
+TEST(ValueTest, ToDouble) {
+  EXPECT_DOUBLE_EQ(*Value::Integer(4).ToDouble(), 4.0);
+  EXPECT_DOUBLE_EQ(*Value::Double(4.5).ToDouble(), 4.5);
+  EXPECT_DOUBLE_EQ(*Value::Boolean(true).ToDouble(), 1.0);
+  EXPECT_FALSE(Value::Varchar("4").ToDouble().ok());
+  EXPECT_FALSE(Value::Null().ToDouble().ok());
+}
+
+TEST(ValueTest, CompareSameTypes) {
+  EXPECT_EQ(*Value::Integer(1).Compare(Value::Integer(2)), -1);
+  EXPECT_EQ(*Value::Integer(2).Compare(Value::Integer(2)), 0);
+  EXPECT_EQ(*Value::Integer(3).Compare(Value::Integer(2)), 1);
+  EXPECT_EQ(*Value::Varchar("a").Compare(Value::Varchar("b")), -1);
+  EXPECT_EQ(*Value::Boolean(false).Compare(Value::Boolean(true)), -1);
+}
+
+TEST(ValueTest, CompareCrossNumeric) {
+  EXPECT_EQ(*Value::Integer(2).Compare(Value::Double(2.0)), 0);
+  EXPECT_EQ(*Value::Integer(2).Compare(Value::Double(2.5)), -1);
+  EXPECT_EQ(*Value::Double(3.0).Compare(Value::Integer(2)), 1);
+}
+
+TEST(ValueTest, CompareNullFails) {
+  EXPECT_FALSE(Value::Null().Compare(Value::Integer(1)).ok());
+  EXPECT_FALSE(Value::Integer(1).Compare(Value::Null()).ok());
+}
+
+TEST(ValueTest, CompareIncompatibleFails) {
+  EXPECT_FALSE(Value::Varchar("1").Compare(Value::Integer(1)).ok());
+  EXPECT_FALSE(Value::Boolean(true).Compare(Value::Integer(1)).ok());
+}
+
+TEST(ValueTest, CastIntegerToDouble) {
+  auto v = Value::Integer(3).CastTo(DataType::kDouble);
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->AsDouble(), 3.0);
+}
+
+TEST(ValueTest, CastDoubleToIntegerRounds) {
+  EXPECT_EQ(Value::Double(2.6).CastTo(DataType::kInteger)->AsInteger(), 3);
+  EXPECT_EQ(Value::Double(-2.6).CastTo(DataType::kInteger)->AsInteger(), -3);
+}
+
+TEST(ValueTest, CastStringToNumber) {
+  EXPECT_EQ(Value::Varchar("42").CastTo(DataType::kInteger)->AsInteger(), 42);
+  EXPECT_DOUBLE_EQ(Value::Varchar("2.5").CastTo(DataType::kDouble)->AsDouble(),
+                   2.5);
+  EXPECT_FALSE(Value::Varchar("xyz").CastTo(DataType::kInteger).ok());
+  EXPECT_FALSE(Value::Varchar("1.5x").CastTo(DataType::kDouble).ok());
+}
+
+TEST(ValueTest, CastAnythingToVarchar) {
+  EXPECT_EQ(Value::Integer(9).CastTo(DataType::kVarchar)->AsVarchar(), "9");
+  EXPECT_EQ(Value::Boolean(true).CastTo(DataType::kVarchar)->AsVarchar(),
+            "TRUE");
+}
+
+TEST(ValueTest, CastNullStaysNull) {
+  for (DataType t : {DataType::kBoolean, DataType::kInteger, DataType::kDouble,
+                     DataType::kVarchar, DataType::kDate,
+                     DataType::kTimestamp}) {
+    auto v = Value::Null().CastTo(t);
+    ASSERT_TRUE(v.ok());
+    EXPECT_TRUE(v->is_null());
+  }
+}
+
+TEST(ValueTest, CastStringToDate) {
+  auto v = Value::Varchar("1970-01-02").CastTo(DataType::kDate);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsDate(), 1);
+}
+
+TEST(ValueTest, DateTimestampConversion) {
+  auto ts = Value::Date(2).CastTo(DataType::kTimestamp);
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(ts->AsTimestamp(), 2LL * 86'400'000'000LL);
+  auto back = ts->CastTo(DataType::kDate);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->AsDate(), 2);
+}
+
+TEST(ValueTest, HashEqualValuesAgree) {
+  EXPECT_EQ(Value::Integer(7).Hash(), Value::Integer(7).Hash());
+  EXPECT_EQ(Value::Varchar("hi").Hash(), Value::Varchar("hi").Hash());
+  EXPECT_EQ(Value::Null().Hash(), Value::Null().Hash());
+}
+
+TEST(ValueTest, ByteSize) {
+  EXPECT_EQ(Value::Null().ByteSize(), 1u);
+  EXPECT_EQ(Value::Integer(1).ByteSize(), 8u);
+  EXPECT_EQ(Value::Varchar("abcd").ByteSize(), 8u);  // 4 chars + 4 len
+  EXPECT_EQ(Value::Date(1).ByteSize(), 4u);
+}
+
+TEST(DateTest, ParseFormatRoundTrip) {
+  const char* dates[] = {"1970-01-01", "1999-12-31", "2000-02-29",
+                         "2016-03-15", "2026-07-06", "1969-12-31",
+                         "1900-03-01"};
+  for (const char* text : dates) {
+    auto days = ParseDate(text);
+    ASSERT_TRUE(days.ok()) << text;
+    EXPECT_EQ(FormatDate(*days), text);
+  }
+}
+
+TEST(DateTest, KnownEpochOffsets) {
+  EXPECT_EQ(*ParseDate("1970-01-01"), 0);
+  EXPECT_EQ(*ParseDate("1970-02-01"), 31);
+  EXPECT_EQ(*ParseDate("1971-01-01"), 365);
+  EXPECT_EQ(*ParseDate("1972-12-31"), 365 + 365 + 365);  // 1972 is leap
+  EXPECT_EQ(*ParseDate("1969-12-31"), -1);
+}
+
+TEST(DateTest, RejectsInvalid) {
+  EXPECT_FALSE(ParseDate("not-a-date").ok());
+  EXPECT_FALSE(ParseDate("2021-13-01").ok());
+  EXPECT_FALSE(ParseDate("2021-02-29").ok());  // not a leap year
+  EXPECT_FALSE(ParseDate("2021-04-31").ok());
+}
+
+TEST(DateTest, LeapYearFebruary) {
+  EXPECT_TRUE(ParseDate("2024-02-29").ok());
+  EXPECT_FALSE(ParseDate("2100-02-29").ok());  // century non-leap
+  EXPECT_TRUE(ParseDate("2000-02-29").ok());   // 400-year leap
+}
+
+TEST(DataTypeTest, FromStringAliases) {
+  EXPECT_EQ(*DataTypeFromString("int"), DataType::kInteger);
+  EXPECT_EQ(*DataTypeFromString("BIGINT"), DataType::kInteger);
+  EXPECT_EQ(*DataTypeFromString("Float"), DataType::kDouble);
+  EXPECT_EQ(*DataTypeFromString("text"), DataType::kVarchar);
+  EXPECT_FALSE(DataTypeFromString("BLOB").ok());
+}
+
+}  // namespace
+}  // namespace idaa
