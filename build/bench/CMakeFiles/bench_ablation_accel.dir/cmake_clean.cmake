@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_accel.dir/bench_ablation_accel.cc.o"
+  "CMakeFiles/bench_ablation_accel.dir/bench_ablation_accel.cc.o.d"
+  "bench_ablation_accel"
+  "bench_ablation_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_elt_pipeline.dir/bench_elt_pipeline.cc.o"
+  "CMakeFiles/bench_elt_pipeline.dir/bench_elt_pipeline.cc.o.d"
+  "bench_elt_pipeline"
+  "bench_elt_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_elt_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_offload_speedup.dir/bench_offload_speedup.cc.o"
+  "CMakeFiles/bench_offload_speedup.dir/bench_offload_speedup.cc.o.d"
+  "bench_offload_speedup"
+  "bench_offload_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_offload_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

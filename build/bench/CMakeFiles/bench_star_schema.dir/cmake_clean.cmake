@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_star_schema.dir/bench_star_schema.cc.o"
+  "CMakeFiles/bench_star_schema.dir/bench_star_schema.cc.o.d"
+  "bench_star_schema"
+  "bench_star_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_star_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

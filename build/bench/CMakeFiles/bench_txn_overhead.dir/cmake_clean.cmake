@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_txn_overhead.dir/bench_txn_overhead.cc.o"
+  "CMakeFiles/bench_txn_overhead.dir/bench_txn_overhead.cc.o.d"
+  "bench_txn_overhead"
+  "bench_txn_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_txn_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_concurrent_sessions.dir/concurrent_sessions.cc.o"
+  "CMakeFiles/example_concurrent_sessions.dir/concurrent_sessions.cc.o.d"
+  "example_concurrent_sessions"
+  "example_concurrent_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_concurrent_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

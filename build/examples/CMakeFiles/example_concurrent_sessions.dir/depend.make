@@ -1,0 +1,2 @@
+# Empty dependencies file for example_concurrent_sessions.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dual_accelerator.dir/dual_accelerator.cc.o"
+  "CMakeFiles/example_dual_accelerator.dir/dual_accelerator.cc.o.d"
+  "example_dual_accelerator"
+  "example_dual_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dual_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_elt_pipeline.dir/elt_pipeline.cc.o"
+  "CMakeFiles/example_elt_pipeline.dir/elt_pipeline.cc.o.d"
+  "example_elt_pipeline"
+  "example_elt_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_elt_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

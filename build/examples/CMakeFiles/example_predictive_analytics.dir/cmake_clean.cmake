@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_predictive_analytics.dir/predictive_analytics.cc.o"
+  "CMakeFiles/example_predictive_analytics.dir/predictive_analytics.cc.o.d"
+  "example_predictive_analytics"
+  "example_predictive_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_predictive_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_social_media_ingest.dir/social_media_ingest.cc.o"
+  "CMakeFiles/example_social_media_ingest.dir/social_media_ingest.cc.o.d"
+  "example_social_media_ingest"
+  "example_social_media_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_social_media_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

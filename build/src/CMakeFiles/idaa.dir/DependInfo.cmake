@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/accel_executor.cc" "src/CMakeFiles/idaa.dir/accel/accel_executor.cc.o" "gcc" "src/CMakeFiles/idaa.dir/accel/accel_executor.cc.o.d"
+  "/root/repo/src/accel/accelerator.cc" "src/CMakeFiles/idaa.dir/accel/accelerator.cc.o" "gcc" "src/CMakeFiles/idaa.dir/accel/accelerator.cc.o.d"
+  "/root/repo/src/accel/column.cc" "src/CMakeFiles/idaa.dir/accel/column.cc.o" "gcc" "src/CMakeFiles/idaa.dir/accel/column.cc.o.d"
+  "/root/repo/src/accel/column_table.cc" "src/CMakeFiles/idaa.dir/accel/column_table.cc.o" "gcc" "src/CMakeFiles/idaa.dir/accel/column_table.cc.o.d"
+  "/root/repo/src/accel/groom.cc" "src/CMakeFiles/idaa.dir/accel/groom.cc.o" "gcc" "src/CMakeFiles/idaa.dir/accel/groom.cc.o.d"
+  "/root/repo/src/accel/zone_map.cc" "src/CMakeFiles/idaa.dir/accel/zone_map.cc.o" "gcc" "src/CMakeFiles/idaa.dir/accel/zone_map.cc.o.d"
+  "/root/repo/src/analytics/apriori.cc" "src/CMakeFiles/idaa.dir/analytics/apriori.cc.o" "gcc" "src/CMakeFiles/idaa.dir/analytics/apriori.cc.o.d"
+  "/root/repo/src/analytics/data_prep.cc" "src/CMakeFiles/idaa.dir/analytics/data_prep.cc.o" "gcc" "src/CMakeFiles/idaa.dir/analytics/data_prep.cc.o.d"
+  "/root/repo/src/analytics/decision_tree.cc" "src/CMakeFiles/idaa.dir/analytics/decision_tree.cc.o" "gcc" "src/CMakeFiles/idaa.dir/analytics/decision_tree.cc.o.d"
+  "/root/repo/src/analytics/kmeans.cc" "src/CMakeFiles/idaa.dir/analytics/kmeans.cc.o" "gcc" "src/CMakeFiles/idaa.dir/analytics/kmeans.cc.o.d"
+  "/root/repo/src/analytics/linear_regression.cc" "src/CMakeFiles/idaa.dir/analytics/linear_regression.cc.o" "gcc" "src/CMakeFiles/idaa.dir/analytics/linear_regression.cc.o.d"
+  "/root/repo/src/analytics/naive_bayes.cc" "src/CMakeFiles/idaa.dir/analytics/naive_bayes.cc.o" "gcc" "src/CMakeFiles/idaa.dir/analytics/naive_bayes.cc.o.d"
+  "/root/repo/src/analytics/operator.cc" "src/CMakeFiles/idaa.dir/analytics/operator.cc.o" "gcc" "src/CMakeFiles/idaa.dir/analytics/operator.cc.o.d"
+  "/root/repo/src/analytics/pipeline.cc" "src/CMakeFiles/idaa.dir/analytics/pipeline.cc.o" "gcc" "src/CMakeFiles/idaa.dir/analytics/pipeline.cc.o.d"
+  "/root/repo/src/analytics/registry.cc" "src/CMakeFiles/idaa.dir/analytics/registry.cc.o" "gcc" "src/CMakeFiles/idaa.dir/analytics/registry.cc.o.d"
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/idaa.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/idaa.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/common/csv.cc" "src/CMakeFiles/idaa.dir/common/csv.cc.o" "gcc" "src/CMakeFiles/idaa.dir/common/csv.cc.o.d"
+  "/root/repo/src/common/metrics.cc" "src/CMakeFiles/idaa.dir/common/metrics.cc.o" "gcc" "src/CMakeFiles/idaa.dir/common/metrics.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/idaa.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/idaa.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/row.cc" "src/CMakeFiles/idaa.dir/common/row.cc.o" "gcc" "src/CMakeFiles/idaa.dir/common/row.cc.o.d"
+  "/root/repo/src/common/schema.cc" "src/CMakeFiles/idaa.dir/common/schema.cc.o" "gcc" "src/CMakeFiles/idaa.dir/common/schema.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/idaa.dir/common/status.cc.o" "gcc" "src/CMakeFiles/idaa.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/idaa.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/idaa.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/idaa.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/idaa.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/idaa.dir/common/value.cc.o" "gcc" "src/CMakeFiles/idaa.dir/common/value.cc.o.d"
+  "/root/repo/src/db2/db2_engine.cc" "src/CMakeFiles/idaa.dir/db2/db2_engine.cc.o" "gcc" "src/CMakeFiles/idaa.dir/db2/db2_engine.cc.o.d"
+  "/root/repo/src/db2/row_store.cc" "src/CMakeFiles/idaa.dir/db2/row_store.cc.o" "gcc" "src/CMakeFiles/idaa.dir/db2/row_store.cc.o.d"
+  "/root/repo/src/engine/select_runtime.cc" "src/CMakeFiles/idaa.dir/engine/select_runtime.cc.o" "gcc" "src/CMakeFiles/idaa.dir/engine/select_runtime.cc.o.d"
+  "/root/repo/src/federation/federation.cc" "src/CMakeFiles/idaa.dir/federation/federation.cc.o" "gcc" "src/CMakeFiles/idaa.dir/federation/federation.cc.o.d"
+  "/root/repo/src/federation/router.cc" "src/CMakeFiles/idaa.dir/federation/router.cc.o" "gcc" "src/CMakeFiles/idaa.dir/federation/router.cc.o.d"
+  "/root/repo/src/federation/transfer_channel.cc" "src/CMakeFiles/idaa.dir/federation/transfer_channel.cc.o" "gcc" "src/CMakeFiles/idaa.dir/federation/transfer_channel.cc.o.d"
+  "/root/repo/src/governance/audit_log.cc" "src/CMakeFiles/idaa.dir/governance/audit_log.cc.o" "gcc" "src/CMakeFiles/idaa.dir/governance/audit_log.cc.o.d"
+  "/root/repo/src/governance/authorization.cc" "src/CMakeFiles/idaa.dir/governance/authorization.cc.o" "gcc" "src/CMakeFiles/idaa.dir/governance/authorization.cc.o.d"
+  "/root/repo/src/idaa/connection.cc" "src/CMakeFiles/idaa.dir/idaa/connection.cc.o" "gcc" "src/CMakeFiles/idaa.dir/idaa/connection.cc.o.d"
+  "/root/repo/src/idaa/system.cc" "src/CMakeFiles/idaa.dir/idaa/system.cc.o" "gcc" "src/CMakeFiles/idaa.dir/idaa/system.cc.o.d"
+  "/root/repo/src/loader/loader.cc" "src/CMakeFiles/idaa.dir/loader/loader.cc.o" "gcc" "src/CMakeFiles/idaa.dir/loader/loader.cc.o.d"
+  "/root/repo/src/loader/record_source.cc" "src/CMakeFiles/idaa.dir/loader/record_source.cc.o" "gcc" "src/CMakeFiles/idaa.dir/loader/record_source.cc.o.d"
+  "/root/repo/src/replication/apply_worker.cc" "src/CMakeFiles/idaa.dir/replication/apply_worker.cc.o" "gcc" "src/CMakeFiles/idaa.dir/replication/apply_worker.cc.o.d"
+  "/root/repo/src/replication/change_capture.cc" "src/CMakeFiles/idaa.dir/replication/change_capture.cc.o" "gcc" "src/CMakeFiles/idaa.dir/replication/change_capture.cc.o.d"
+  "/root/repo/src/replication/replication_service.cc" "src/CMakeFiles/idaa.dir/replication/replication_service.cc.o" "gcc" "src/CMakeFiles/idaa.dir/replication/replication_service.cc.o.d"
+  "/root/repo/src/sql/ast.cc" "src/CMakeFiles/idaa.dir/sql/ast.cc.o" "gcc" "src/CMakeFiles/idaa.dir/sql/ast.cc.o.d"
+  "/root/repo/src/sql/binder.cc" "src/CMakeFiles/idaa.dir/sql/binder.cc.o" "gcc" "src/CMakeFiles/idaa.dir/sql/binder.cc.o.d"
+  "/root/repo/src/sql/expression_eval.cc" "src/CMakeFiles/idaa.dir/sql/expression_eval.cc.o" "gcc" "src/CMakeFiles/idaa.dir/sql/expression_eval.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/idaa.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/idaa.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/idaa.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/idaa.dir/sql/parser.cc.o.d"
+  "/root/repo/src/sql/token.cc" "src/CMakeFiles/idaa.dir/sql/token.cc.o" "gcc" "src/CMakeFiles/idaa.dir/sql/token.cc.o.d"
+  "/root/repo/src/txn/lock_manager.cc" "src/CMakeFiles/idaa.dir/txn/lock_manager.cc.o" "gcc" "src/CMakeFiles/idaa.dir/txn/lock_manager.cc.o.d"
+  "/root/repo/src/txn/transaction.cc" "src/CMakeFiles/idaa.dir/txn/transaction.cc.o" "gcc" "src/CMakeFiles/idaa.dir/txn/transaction.cc.o.d"
+  "/root/repo/src/txn/transaction_manager.cc" "src/CMakeFiles/idaa.dir/txn/transaction_manager.cc.o" "gcc" "src/CMakeFiles/idaa.dir/txn/transaction_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

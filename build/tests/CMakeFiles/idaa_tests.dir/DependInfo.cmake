@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/accel_storage_test.cc" "tests/CMakeFiles/idaa_tests.dir/accel_storage_test.cc.o" "gcc" "tests/CMakeFiles/idaa_tests.dir/accel_storage_test.cc.o.d"
+  "/root/repo/tests/analytics_test.cc" "tests/CMakeFiles/idaa_tests.dir/analytics_test.cc.o" "gcc" "tests/CMakeFiles/idaa_tests.dir/analytics_test.cc.o.d"
+  "/root/repo/tests/binder_eval_test.cc" "tests/CMakeFiles/idaa_tests.dir/binder_eval_test.cc.o" "gcc" "tests/CMakeFiles/idaa_tests.dir/binder_eval_test.cc.o.d"
+  "/root/repo/tests/channel_db2_test.cc" "tests/CMakeFiles/idaa_tests.dir/channel_db2_test.cc.o" "gcc" "tests/CMakeFiles/idaa_tests.dir/channel_db2_test.cc.o.d"
+  "/root/repo/tests/common_util_test.cc" "tests/CMakeFiles/idaa_tests.dir/common_util_test.cc.o" "gcc" "tests/CMakeFiles/idaa_tests.dir/common_util_test.cc.o.d"
+  "/root/repo/tests/convergence_fuzz_test.cc" "tests/CMakeFiles/idaa_tests.dir/convergence_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/idaa_tests.dir/convergence_fuzz_test.cc.o.d"
+  "/root/repo/tests/coverage_extras_test.cc" "tests/CMakeFiles/idaa_tests.dir/coverage_extras_test.cc.o" "gcc" "tests/CMakeFiles/idaa_tests.dir/coverage_extras_test.cc.o.d"
+  "/root/repo/tests/ctas_test.cc" "tests/CMakeFiles/idaa_tests.dir/ctas_test.cc.o" "gcc" "tests/CMakeFiles/idaa_tests.dir/ctas_test.cc.o.d"
+  "/root/repo/tests/engine_equivalence_test.cc" "tests/CMakeFiles/idaa_tests.dir/engine_equivalence_test.cc.o" "gcc" "tests/CMakeFiles/idaa_tests.dir/engine_equivalence_test.cc.o.d"
+  "/root/repo/tests/execution_edge_test.cc" "tests/CMakeFiles/idaa_tests.dir/execution_edge_test.cc.o" "gcc" "tests/CMakeFiles/idaa_tests.dir/execution_edge_test.cc.o.d"
+  "/root/repo/tests/features_test.cc" "tests/CMakeFiles/idaa_tests.dir/features_test.cc.o" "gcc" "tests/CMakeFiles/idaa_tests.dir/features_test.cc.o.d"
+  "/root/repo/tests/federation_test.cc" "tests/CMakeFiles/idaa_tests.dir/federation_test.cc.o" "gcc" "tests/CMakeFiles/idaa_tests.dir/federation_test.cc.o.d"
+  "/root/repo/tests/lexer_parser_test.cc" "tests/CMakeFiles/idaa_tests.dir/lexer_parser_test.cc.o" "gcc" "tests/CMakeFiles/idaa_tests.dir/lexer_parser_test.cc.o.d"
+  "/root/repo/tests/loader_governance_test.cc" "tests/CMakeFiles/idaa_tests.dir/loader_governance_test.cc.o" "gcc" "tests/CMakeFiles/idaa_tests.dir/loader_governance_test.cc.o.d"
+  "/root/repo/tests/multi_accelerator_test.cc" "tests/CMakeFiles/idaa_tests.dir/multi_accelerator_test.cc.o" "gcc" "tests/CMakeFiles/idaa_tests.dir/multi_accelerator_test.cc.o.d"
+  "/root/repo/tests/replication_test.cc" "tests/CMakeFiles/idaa_tests.dir/replication_test.cc.o" "gcc" "tests/CMakeFiles/idaa_tests.dir/replication_test.cc.o.d"
+  "/root/repo/tests/slice_join_test.cc" "tests/CMakeFiles/idaa_tests.dir/slice_join_test.cc.o" "gcc" "tests/CMakeFiles/idaa_tests.dir/slice_join_test.cc.o.d"
+  "/root/repo/tests/status_test.cc" "tests/CMakeFiles/idaa_tests.dir/status_test.cc.o" "gcc" "tests/CMakeFiles/idaa_tests.dir/status_test.cc.o.d"
+  "/root/repo/tests/system_smoke_test.cc" "tests/CMakeFiles/idaa_tests.dir/system_smoke_test.cc.o" "gcc" "tests/CMakeFiles/idaa_tests.dir/system_smoke_test.cc.o.d"
+  "/root/repo/tests/txn_test.cc" "tests/CMakeFiles/idaa_tests.dir/txn_test.cc.o" "gcc" "tests/CMakeFiles/idaa_tests.dir/txn_test.cc.o.d"
+  "/root/repo/tests/value_test.cc" "tests/CMakeFiles/idaa_tests.dir/value_test.cc.o" "gcc" "tests/CMakeFiles/idaa_tests.dir/value_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/idaa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
