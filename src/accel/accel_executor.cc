@@ -90,7 +90,7 @@ struct SlicePartial {
 Status AggregateSlice(const ColumnTable& table, size_t slice_index,
                       const sql::BoundSelect& plan, TxnId reader, Csn snapshot,
                       const TransactionManager& tm, MetricsRegistry* metrics,
-                      SlicePartial* out) {
+                      SlicePartial* out, SliceScanStats* stats) {
   std::unordered_map<std::vector<uint64_t>, size_t, RawKeyHash> index;
   std::vector<uint64_t> raw_key(plan.group_keys.size() * 2);
 
@@ -153,7 +153,8 @@ Status AggregateSlice(const ColumnTable& table, size_t slice_index,
             accs[a].Accumulate(columns[agg.arg->index]->Get(i));
           }
         }
-      });
+      },
+      stats);
 }
 
 /// Hash for Value-vector group/join keys.
@@ -267,21 +268,24 @@ bool JoinAggregationAtSlices(const sql::BoundSelect& plan) {
 Result<std::optional<ResultSet>> TrySliceJoin(
     const sql::BoundSelect& plan, const AccelTableResolver& resolver,
     TxnId reader, Csn snapshot, const TransactionManager& tm, ThreadPool* pool,
-    MetricsRegistry* metrics) {
+    MetricsRegistry* metrics, TraceContext tc = {}) {
   std::vector<BroadcastDim> dims;
   if (!SliceJoinEligible(plan, &dims)) {
     return std::optional<ResultSet>();
   }
 
   // Broadcast phase: materialize + index every dimension.
+  TraceSpan broadcast_span(tc, "accel.broadcast_dims");
+  size_t broadcast_rows = 0;
   for (size_t t = 1; t < plan.tables.size(); ++t) {
     const sql::BoundTable& bt = plan.tables[t];
     IDAA_ASSIGN_OR_RETURN(const ColumnTable* table, resolver(bt));
     IDAA_ASSIGN_OR_RETURN(
         dims[t - 1].rows,
         ParallelScan(*table, bt.scan_predicate.get(), reader, snapshot, tm,
-                     pool, metrics));
+                     pool, metrics, nullptr, broadcast_span.context()));
     BroadcastDim& dim = dims[t - 1];
+    broadcast_rows += dim.rows.size();
     for (size_t r = 0; r < dim.rows.size(); ++r) {
       std::vector<Value> key;
       key.reserve(dim.dim_key_columns.size());
@@ -294,6 +298,9 @@ Result<std::optional<ResultSet>> TrySliceJoin(
       dim.index[std::move(key)].push_back(r);
     }
   }
+  broadcast_span.Attr("dimensions", static_cast<uint64_t>(dims.size()));
+  broadcast_span.Attr("rows", static_cast<uint64_t>(broadcast_rows));
+  broadcast_span.End();
 
   IDAA_ASSIGN_OR_RETURN(const ColumnTable* base, resolver(plan.tables[0]));
   const size_t base_width = plan.tables[0].info->schema.NumColumns();
@@ -308,7 +315,12 @@ Result<std::optional<ResultSet>> TrySliceJoin(
   std::vector<std::vector<Row>> slice_rows(num_slices);
   std::vector<Status> statuses(num_slices);
 
+  TraceSpan join_span(tc, "accel.slice_join");
+  join_span.Attr("aggregate_at_slices", aggregate_at_slices ? "true" : "false");
+
   auto probe_slice = [&](size_t s) {
+    TraceSpan slice_span(join_span.context(), "accel.slice_scan");
+    SliceScanStats scan_stats;
     std::unordered_map<std::vector<Value>, size_t, ValueKeyHash> group_index;
     SlicePartial& partial = partials[s];
     std::vector<const std::vector<size_t>*> matches(dims.size());
@@ -391,7 +403,13 @@ Result<std::optional<ResultSet>> TrySliceJoin(
             }
             if (d == dims.size()) break;
           }
-        });
+        },
+        &scan_stats);
+    slice_span.Attr("slice", static_cast<uint64_t>(s));
+    slice_span.Attr("rows_scanned",
+                    static_cast<uint64_t>(scan_stats.rows_scanned));
+    slice_span.Attr("zone_map_skipped",
+                    static_cast<uint64_t>(scan_stats.rows_skipped_zone_map));
   };
 
   if (pool != nullptr && num_slices > 1) {
@@ -399,6 +417,7 @@ Result<std::optional<ResultSet>> TrySliceJoin(
   } else {
     for (size_t s = 0; s < num_slices; ++s) probe_slice(s);
   }
+  join_span.End();
   for (const Status& status : statuses) {
     if (status.code() == StatusCode::kNotSupported) {
       return std::optional<ResultSet>();  // fall back to coordinator join
@@ -406,9 +425,11 @@ Result<std::optional<ResultSet>> TrySliceJoin(
     if (!status.ok()) return status;
   }
 
+  TraceSpan merge_span(tc, "accel.coordinator_merge");
   if (aggregate_at_slices) {
     IDAA_ASSIGN_OR_RETURN(std::vector<Row> post,
                           MergePartials(plan, &partials));
+    merge_span.Attr("groups", static_cast<uint64_t>(post.size()));
     IDAA_ASSIGN_OR_RETURN(ResultSet out,
                           exec::FinalizeSelect(plan, std::move(post)));
     return std::optional<ResultSet>(std::move(out));
@@ -418,6 +439,7 @@ Result<std::optional<ResultSet>> TrySliceJoin(
     combined.insert(combined.end(), std::make_move_iterator(rows.begin()),
                     std::make_move_iterator(rows.end()));
   }
+  merge_span.Attr("rows", static_cast<uint64_t>(combined.size()));
   IDAA_ASSIGN_OR_RETURN(ResultSet out,
                         exec::FinishSelect(plan, std::move(combined)));
   return std::optional<ResultSet>(std::move(out));
@@ -428,16 +450,24 @@ Result<std::optional<ResultSet>> TrySliceJoin(
 Result<std::optional<std::vector<Row>>> TrySliceAggregation(
     const sql::BoundSelect& plan, const ColumnTable& table, TxnId reader,
     Csn snapshot, const TransactionManager& tm, ThreadPool* pool,
-    MetricsRegistry* metrics) {
+    MetricsRegistry* metrics, TraceContext tc = {}) {
   if (!EligibleForSliceAggregation(plan)) {
     return std::optional<std::vector<Row>>();
   }
+  TraceSpan agg_span(tc, "accel.slice_aggregation");
   const size_t num_slices = table.num_slices();
   std::vector<SlicePartial> partials(num_slices);
   std::vector<Status> statuses(num_slices);
   auto run_one = [&](size_t s) {
+    TraceSpan slice_span(agg_span.context(), "accel.slice_scan");
+    SliceScanStats stats;
     statuses[s] = AggregateSlice(table, s, plan, reader, snapshot, tm, metrics,
-                                 &partials[s]);
+                                 &partials[s], &stats);
+    slice_span.Attr("slice", static_cast<uint64_t>(s));
+    slice_span.Attr("rows_scanned", static_cast<uint64_t>(stats.rows_scanned));
+    slice_span.Attr("zone_map_skipped",
+                    static_cast<uint64_t>(stats.rows_skipped_zone_map));
+    slice_span.Attr("groups", static_cast<uint64_t>(partials[s].keys.size()));
   };
   if (pool != nullptr && num_slices > 1) {
     pool->ParallelFor(num_slices, run_one);
@@ -450,9 +480,12 @@ Result<std::optional<std::vector<Row>>> TrySliceAggregation(
     }
     if (!status.ok()) return status;
   }
+  agg_span.End();
 
+  TraceSpan merge_span(tc, "accel.coordinator_merge");
   IDAA_ASSIGN_OR_RETURN(std::vector<Row> post_rows,
                         MergePartials(plan, &partials));
+  merge_span.Attr("groups", static_cast<uint64_t>(post_rows.size()));
   return std::optional<std::vector<Row>>(std::move(post_rows));
 }
 
@@ -461,13 +494,20 @@ Result<std::optional<std::vector<Row>>> TrySliceAggregation(
 Result<std::vector<Row>> ParallelScan(
     const ColumnTable& table, const sql::BoundExpr* predicate, TxnId reader,
     Csn snapshot, const TransactionManager& tm, ThreadPool* pool,
-    MetricsRegistry* metrics, const std::vector<uint8_t>* projection) {
+    MetricsRegistry* metrics, const std::vector<uint8_t>* projection,
+    TraceContext tc) {
   const size_t num_slices = table.num_slices();
   std::vector<Result<std::vector<Row>>> partials(
       num_slices, Result<std::vector<Row>>(std::vector<Row>{}));
   auto scan_one = [&](size_t s) {
+    TraceSpan slice_span(tc, "accel.slice_scan");
+    SliceScanStats stats;
     partials[s] = table.ScanSlice(s, predicate, reader, snapshot, tm, metrics,
-                                  projection);
+                                  projection, &stats);
+    slice_span.Attr("slice", static_cast<uint64_t>(s));
+    slice_span.Attr("rows_scanned", static_cast<uint64_t>(stats.rows_scanned));
+    slice_span.Attr("zone_map_skipped",
+                    static_cast<uint64_t>(stats.rows_skipped_zone_map));
   };
   if (pool != nullptr && num_slices > 1) {
     pool->ParallelFor(num_slices, scan_one);
@@ -489,14 +529,15 @@ Result<ResultSet> ExecuteAccelSelect(const sql::BoundSelect& plan,
                                      TxnId reader, Csn snapshot,
                                      const TransactionManager& tm,
                                      ThreadPool* pool,
-                                     MetricsRegistry* metrics) {
+                                     MetricsRegistry* metrics,
+                                     TraceContext tc) {
   // Columnar fast paths. Single table: aggregation computed at the slices.
   // Star joins: dimensions broadcast to the slices, probe during the scan.
   if (EligibleForSliceAggregation(plan) && plan.tables.size() == 1) {
     IDAA_ASSIGN_OR_RETURN(const ColumnTable* table, resolver(plan.tables[0]));
     IDAA_ASSIGN_OR_RETURN(
-        auto post_rows,
-        TrySliceAggregation(plan, *table, reader, snapshot, tm, pool, metrics));
+        auto post_rows, TrySliceAggregation(plan, *table, reader, snapshot, tm,
+                                            pool, metrics, tc));
     if (post_rows.has_value()) {
       return exec::FinalizeSelect(plan, std::move(*post_rows));
     }
@@ -504,7 +545,7 @@ Result<ResultSet> ExecuteAccelSelect(const sql::BoundSelect& plan,
   if (plan.tables.size() >= 2) {
     IDAA_ASSIGN_OR_RETURN(
         auto joined,
-        TrySliceJoin(plan, resolver, reader, snapshot, tm, pool, metrics));
+        TrySliceJoin(plan, resolver, reader, snapshot, tm, pool, metrics, tc));
     if (joined.has_value()) return std::move(*joined);
   }
 
@@ -513,7 +554,7 @@ Result<ResultSet> ExecuteAccelSelect(const sql::BoundSelect& plan,
     const sql::BoundTable& bt = plan.tables[index];
     IDAA_ASSIGN_OR_RETURN(const ColumnTable* table, resolver(bt));
     return ParallelScan(*table, bt.scan_predicate.get(), reader, snapshot, tm,
-                        pool, metrics, &projections[index]);
+                        pool, metrics, &projections[index], tc);
   };
   exec::ExecutorOptions options;
   options.metrics = nullptr;  // slice scans account their own rows

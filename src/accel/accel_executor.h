@@ -6,6 +6,7 @@
 #include "accel/column_table.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "engine/select_runtime.h"
 #include "sql/binder.h"
 #include "txn/transaction_manager.h"
@@ -14,12 +15,13 @@ namespace idaa::accel {
 
 /// Scan all slices of a table in parallel (one task per data slice),
 /// applying `predicate` inside the scan, and concatenate the results in
-/// slice order (deterministic).
+/// slice order (deterministic). With a trace context, each slice records a
+/// span with its scan/zone-map accounting.
 Result<std::vector<Row>> ParallelScan(
     const ColumnTable& table, const sql::BoundExpr* predicate, TxnId reader,
     Csn snapshot, const TransactionManager& tm, ThreadPool* pool,
     MetricsRegistry* metrics,
-    const std::vector<uint8_t>* projection = nullptr);
+    const std::vector<uint8_t>* projection = nullptr, TraceContext tc = {});
 
 /// True when the plan's aggregation can run at the data slices (one
 /// table, no residual predicate, plain-column keys and arguments, no
@@ -31,12 +33,15 @@ using AccelTableResolver =
     std::function<Result<const ColumnTable*>(const sql::BoundTable&)>;
 
 /// Execute a bound SELECT fully on the accelerator under
-/// (reader, snapshot) visibility.
+/// (reader, snapshot) visibility. With a trace context, the chosen fast
+/// path, per-slice scans (zone-map rows skipped, rows scanned) and the
+/// coordinator merge are recorded as spans.
 Result<ResultSet> ExecuteAccelSelect(const sql::BoundSelect& plan,
                                      const AccelTableResolver& resolver,
                                      TxnId reader, Csn snapshot,
                                      const TransactionManager& tm,
                                      ThreadPool* pool,
-                                     MetricsRegistry* metrics);
+                                     MetricsRegistry* metrics,
+                                     TraceContext tc = {});
 
 }  // namespace idaa::accel

@@ -63,13 +63,14 @@ Status Accelerator::LoadRows(const std::string& name,
 }
 
 Result<ResultSet> Accelerator::ExecuteSelect(const sql::BoundSelect& plan,
-                                             TxnId reader, Csn snapshot) {
+                                             TxnId reader, Csn snapshot,
+                                             TraceContext tc) {
   AccelTableResolver resolver =
       [this](const sql::BoundTable& bt) -> Result<const ColumnTable*> {
     return static_cast<const Accelerator*>(this)->GetTable(bt.info->name);
   };
   return ExecuteAccelSelect(plan, resolver, reader, snapshot, *tm_, &pool_,
-                            metrics_);
+                            metrics_, tc);
 }
 
 Result<size_t> Accelerator::ExecuteUpdate(const sql::BoundUpdate& plan,

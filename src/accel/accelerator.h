@@ -51,9 +51,10 @@ class Accelerator {
   Status LoadRows(const std::string& name, const std::vector<Row>& rows,
                   TxnId txn);
 
-  /// Delegated SELECT under (reader, snapshot) visibility.
+  /// Delegated SELECT under (reader, snapshot) visibility. With a trace
+  /// context, slice scans and merges are recorded as spans.
   Result<ResultSet> ExecuteSelect(const sql::BoundSelect& plan, TxnId reader,
-                                  Csn snapshot);
+                                  Csn snapshot, TraceContext tc = {});
 
   /// Delegated UPDATE/DELETE on an AOT.
   Result<size_t> ExecuteUpdate(const sql::BoundUpdate& plan, TxnId txn,

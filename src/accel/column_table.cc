@@ -187,7 +187,7 @@ Result<size_t> ColumnTable::UpdateWhere(
 Result<std::vector<Row>> ColumnTable::ScanSlice(
     size_t slice_index, const BoundExpr* predicate, TxnId reader, Csn snapshot,
     const TransactionManager& tm, MetricsRegistry* metrics,
-    const std::vector<uint8_t>* projection) const {
+    const std::vector<uint8_t>* projection, SliceScanStats* stats) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   TransactionManager::VisibilityChecker visibility(&tm, reader, snapshot);
   const Slice& slice = slices_[slice_index];
@@ -265,6 +265,10 @@ Result<std::vector<Row>> ColumnTable::ScanSlice(
     metrics->Add(metric::kAccelRowsScanned, rows_scanned);
     metrics->Add(metric::kAccelRowsSkippedZoneMap, rows_skipped);
   }
+  if (stats != nullptr) {
+    stats->rows_scanned = rows_scanned;
+    stats->rows_skipped_zone_map = rows_skipped;
+  }
   return out;
 }
 
@@ -272,7 +276,8 @@ Status ColumnTable::VisitVisible(size_t slice_index,
                                  const BoundExpr* predicate, TxnId reader,
                                  Csn snapshot, const TransactionManager& tm,
                                  MetricsRegistry* metrics,
-                                 const ColumnVisitor& visitor) const {
+                                 const ColumnVisitor& visitor,
+                                 SliceScanStats* stats) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<ColumnRange> ranges;
   if (predicate != nullptr) {
@@ -332,6 +337,10 @@ Status ColumnTable::VisitVisible(size_t slice_index,
   if (metrics != nullptr) {
     metrics->Add(metric::kAccelRowsScanned, rows_scanned);
     metrics->Add(metric::kAccelRowsSkippedZoneMap, rows_skipped);
+  }
+  if (stats != nullptr) {
+    stats->rows_scanned = rows_scanned;
+    stats->rows_skipped_zone_map = rows_skipped;
   }
   return Status::OK();
 }

@@ -39,6 +39,13 @@ struct GroomStats {
   size_t rows_reclaimed = 0;
 };
 
+/// Per-scan accounting for one slice (query-trace attribution; the global
+/// MetricsRegistry counters are incremented regardless).
+struct SliceScanStats {
+  size_t rows_scanned = 0;
+  size_t rows_skipped_zone_map = 0;
+};
+
 class ColumnTable {
  public:
   ColumnTable(Schema schema, std::optional<size_t> distribution_column,
@@ -79,13 +86,16 @@ class ColumnTable {
   /// is 0 are not materialized (the output row holds NULL there) — the
   /// columnar engine reads only what the query touches.
   /// Thread-safe against concurrent scans.
+  /// `stats`, when non-null, receives this scan's row accounting (for
+  /// per-query trace attribution).
   Result<std::vector<Row>> ScanSlice(size_t slice_index,
                                      const sql::BoundExpr* predicate,
                                      TxnId reader, Csn snapshot,
                                      const TransactionManager& tm,
                                      MetricsRegistry* metrics,
                                      const std::vector<uint8_t>* projection =
-                                         nullptr) const;
+                                         nullptr,
+                                     SliceScanStats* stats = nullptr) const;
 
   /// Rows visible to (reader, snapshot) across all slices (no predicate).
   Result<size_t> CountVisible(TxnId reader, Csn snapshot,
@@ -101,8 +111,8 @@ class ColumnTable {
                          size_t row_index)>;
   Status VisitVisible(size_t slice_index, const sql::BoundExpr* predicate,
                       TxnId reader, Csn snapshot, const TransactionManager& tm,
-                      MetricsRegistry* metrics,
-                      const ColumnVisitor& visitor) const;
+                      MetricsRegistry* metrics, const ColumnVisitor& visitor,
+                      SliceScanStats* stats = nullptr) const;
 
   /// Reclaim rows whose deletion committed at csn <= horizon and rows
   /// created by aborted transactions; clears aborted deletexids.

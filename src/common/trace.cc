@@ -1,0 +1,363 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace idaa {
+
+uint64_t TraceNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// ---------------------------------------------------------------------------
+// QueryTrace
+// ---------------------------------------------------------------------------
+
+size_t QueryTrace::BeginSpan(const std::string& name, size_t parent) {
+  uint64_t now = TraceNowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  Span span;
+  span.name = name;
+  span.parent = parent < spans_.size() ? parent : kNoParent;
+  span.start_ns = now;
+  spans_.push_back(std::move(span));
+  return spans_.size() - 1;
+}
+
+void QueryTrace::EndSpan(size_t id) {
+  uint64_t now = TraceNowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= spans_.size() || !spans_[id].open) return;
+  spans_[id].open = false;
+  spans_[id].duration_ns = now >= spans_[id].start_ns
+                               ? now - spans_[id].start_ns
+                               : 0;
+}
+
+void QueryTrace::SetAttribute(size_t id, const std::string& key,
+                              std::string value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= spans_.size()) return;
+  for (auto& [k, v] : spans_[id].attributes) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  spans_[id].attributes.emplace_back(key, std::move(value));
+}
+
+void QueryTrace::SetAttribute(size_t id, const std::string& key,
+                              uint64_t value) {
+  SetAttribute(id, key, std::to_string(value));
+}
+
+void QueryTrace::AddBoundaryBytes(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  boundary_bytes_ += bytes;
+}
+
+uint64_t QueryTrace::boundary_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return boundary_bytes_;
+}
+
+size_t QueryTrace::NumSpans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::vector<QueryTrace::Span> QueryTrace::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+uint64_t QueryTrace::SpanDurationNs(size_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= spans_.size()) return 0;
+  const Span& span = spans_[id];
+  // A still-open span reports its elapsed time so far.
+  return span.open ? TraceNowNs() - span.start_ns : span.duration_ns;
+}
+
+std::vector<QueryTrace::RenderedSpan> QueryTrace::RenderRows() const {
+  std::vector<Span> spans = Snapshot();
+  std::vector<std::vector<size_t>> children(spans.size());
+  std::vector<size_t> roots;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].parent == kNoParent) {
+      roots.push_back(i);
+    } else {
+      children[spans[i].parent].push_back(i);
+    }
+  }
+  std::vector<RenderedSpan> out;
+  out.reserve(spans.size());
+  // Iterative pre-order DFS; a stack of (span, depth), children pushed in
+  // reverse so they pop in creation order.
+  std::vector<std::pair<size_t, size_t>> stack;
+  for (size_t r = roots.size(); r-- > 0;) stack.emplace_back(roots[r], 0);
+  while (!stack.empty()) {
+    auto [i, depth] = stack.back();
+    stack.pop_back();
+    RenderedSpan row;
+    row.depth = depth;
+    row.name = spans[i].name;
+    row.duration_us = spans[i].duration_ns / 1000;
+    std::string attrs;
+    for (const auto& [k, v] : spans[i].attributes) {
+      if (!attrs.empty()) attrs += " ";
+      attrs += k + "=" + v;
+    }
+    row.attributes = std::move(attrs);
+    out.push_back(std::move(row));
+    for (size_t c = children[i].size(); c-- > 0;) {
+      stack.emplace_back(children[i][c], depth + 1);
+    }
+  }
+  return out;
+}
+
+std::string QueryTrace::Render() const {
+  std::string out;
+  for (const RenderedSpan& row : RenderRows()) {
+    out.append(row.depth * 2, ' ');
+    out += row.name;
+    out += StrFormat("  %lluus", static_cast<unsigned long long>(row.duration_us));
+    if (!row.attributes.empty()) out += "  [" + row.attributes + "]";
+    out += "\n";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TraceSpan
+// ---------------------------------------------------------------------------
+
+TraceSpan::TraceSpan(QueryTrace* trace, const std::string& name, size_t parent)
+    : trace_(trace) {
+  if (trace_ != nullptr) id_ = trace_->BeginSpan(name, parent);
+}
+
+void TraceSpan::End() {
+  if (trace_ != nullptr && !ended_) trace_->EndSpan(id_);
+  ended_ = true;
+}
+
+void TraceSpan::Attr(const std::string& key, std::string value) {
+  if (trace_ != nullptr) trace_->SetAttribute(id_, key, std::move(value));
+}
+
+void TraceSpan::Attr(const std::string& key, uint64_t value) {
+  if (trace_ != nullptr) trace_->SetAttribute(id_, key, value);
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+// ---------------------------------------------------------------------------
+
+size_t LatencyHistogram::BucketOf(uint64_t value) {
+  // Bucket 0 holds the value 0; bucket b >= 1 holds [2^(b-1), 2^b).
+  return static_cast<size_t>(std::bit_width(value));
+}
+
+void LatencyHistogram::Record(uint64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counts_[BucketOf(value)] += 1;
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+size_t LatencyHistogram::Count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+uint64_t LatencyHistogram::Sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+uint64_t LatencyHistogram::Min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+uint64_t LatencyHistogram::Max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+double LatencyHistogram::Mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t LatencyHistogram::Percentile(double p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the percentile sample (1-based, nearest-rank method).
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  rank = std::clamp<uint64_t>(rank, 1, count_);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    cumulative += counts_[b];
+    if (cumulative >= rank) {
+      // Bucket upper bound, clamped into the observed range so single
+      // samples and extremes report exactly.
+      uint64_t upper = b == 0 ? 0
+                      : b >= 64
+                          ? UINT64_MAX
+                          : (uint64_t{1} << b) - 1;
+      return std::clamp(upper, min_, max_);
+    }
+  }
+  return max_;
+}
+
+void LatencyHistogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counts_.fill(0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+std::string LatencyHistogram::ToString() const {
+  return StrFormat(
+      "count=%llu min=%llu p50=%llu p95=%llu p99=%llu max=%llu mean=%.1f",
+      static_cast<unsigned long long>(Count()),
+      static_cast<unsigned long long>(Min()),
+      static_cast<unsigned long long>(P50()),
+      static_cast<unsigned long long>(P95()),
+      static_cast<unsigned long long>(P99()),
+      static_cast<unsigned long long>(Max()), Mean());
+}
+
+// ---------------------------------------------------------------------------
+// HistogramRegistry
+// ---------------------------------------------------------------------------
+
+LatencyHistogram& HistogramRegistry::GetOrCreate(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  return *slot;
+}
+
+std::vector<std::pair<std::string, HistogramRegistry::Summary>>
+HistogramRegistry::Snapshot() const {
+  std::vector<std::pair<std::string, const LatencyHistogram*>> items;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    items.reserve(histograms_.size());
+    for (const auto& [name, histogram] : histograms_) {
+      items.emplace_back(name, histogram.get());
+    }
+  }
+  std::vector<std::pair<std::string, Summary>> out;
+  out.reserve(items.size());
+  for (const auto& [name, histogram] : items) {
+    Summary s;
+    s.count = histogram->Count();
+    s.min = histogram->Min();
+    s.max = histogram->Max();
+    s.p50 = histogram->P50();
+    s.p95 = histogram->P95();
+    s.p99 = histogram->P99();
+    s.mean = histogram->Mean();
+    out.emplace_back(name, s);
+  }
+  return out;
+}
+
+std::string HistogramRegistry::ToString() const {
+  std::string out;
+  for (const auto& [name, s] : Snapshot()) {
+    out += StrFormat(
+        "%-40s = count=%llu min=%llu p50=%llu p95=%llu p99=%llu max=%llu "
+        "mean=%.1f\n",
+        name.c_str(), static_cast<unsigned long long>(s.count),
+        static_cast<unsigned long long>(s.min),
+        static_cast<unsigned long long>(s.p50),
+        static_cast<unsigned long long>(s.p95),
+        static_cast<unsigned long long>(s.p99),
+        static_cast<unsigned long long>(s.max), s.mean);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SlowQueryLog
+// ---------------------------------------------------------------------------
+
+void SlowQueryLog::set_threshold_us(uint64_t us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  threshold_us_ = us;
+  enabled_ = true;
+}
+
+uint64_t SlowQueryLog::threshold_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return threshold_us_;
+}
+
+bool SlowQueryLog::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enabled_;
+}
+
+void SlowQueryLog::set_capacity(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = n;
+  while (entries_.size() > capacity_) entries_.pop_front();
+}
+
+bool SlowQueryLog::MaybeRecord(const std::string& sql, uint64_t duration_us,
+                               uint64_t boundary_bytes, std::string trace) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_ || duration_us < threshold_us_) return false;
+  Entry entry;
+  entry.sql = sql;
+  entry.duration_us = duration_us;
+  entry.boundary_bytes = boundary_bytes;
+  entry.trace = std::move(trace);
+  entries_.push_back(std::move(entry));
+  while (entries_.size() > capacity_) entries_.pop_front();
+  return true;
+}
+
+std::vector<SlowQueryLog::Entry> SlowQueryLog::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {entries_.begin(), entries_.end()};
+}
+
+size_t SlowQueryLog::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void SlowQueryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace idaa

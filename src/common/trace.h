@@ -1,0 +1,235 @@
+// Query tracing & profiling: the observability layer the perf work reports
+// against. Three pieces:
+//
+//   * QueryTrace / TraceSpan — per-statement tree of scoped spans (name,
+//     wall-clock duration, attributes such as rows and boundary bytes,
+//     parent linkage). Thread-safe so accelerator slice workers can attach
+//     spans to the statement that spawned them. Rendered by EXPLAIN ANALYZE
+//     and by the slow-query log.
+//   * LatencyHistogram / HistogramRegistry — thread-safe latency
+//     distributions (p50/p95/p99), exportable next to
+//     MetricsRegistry::Snapshot().
+//   * SlowQueryLog — ring buffer of statements whose latency met a
+//     configurable threshold, each with its rendered trace and the bytes it
+//     moved across the DB2 <-> accelerator boundary.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace idaa {
+
+/// Monotonic wall clock in nanoseconds (steady_clock).
+uint64_t TraceNowNs();
+
+/// Well-known histogram names (modules may add their own; per-statement
+/// latency histograms are named "sql.latency.<kind>").
+namespace histo {
+inline constexpr const char* kReplicationBatchApplyUs =
+    "replication.batch_apply_us";
+inline constexpr const char* kSqlLatencyPrefix = "sql.latency.";
+}  // namespace histo
+
+/// One statement's trace: a tree of timed spans. Spans are identified by
+/// their index in creation order; parent linkage makes the tree. All
+/// methods are thread-safe (slice scans add spans from worker threads).
+class QueryTrace {
+ public:
+  static constexpr size_t kNoParent = static_cast<size_t>(-1);
+
+  struct Span {
+    std::string name;
+    size_t parent = kNoParent;
+    uint64_t start_ns = 0;
+    uint64_t duration_ns = 0;
+    bool open = true;
+    std::vector<std::pair<std::string, std::string>> attributes;
+  };
+
+  /// A span rendered for display: depth in the tree plus formatted fields.
+  struct RenderedSpan {
+    size_t depth = 0;
+    std::string name;
+    uint64_t duration_us = 0;
+    std::string attributes;  ///< "k=v k2=v2" (may be empty)
+  };
+
+  /// Open a span; returns its id. Invalid parent ids are treated as root.
+  size_t BeginSpan(const std::string& name, size_t parent = kNoParent);
+
+  /// Close a span (idempotent; unknown ids ignored).
+  void EndSpan(size_t id);
+
+  void SetAttribute(size_t id, const std::string& key, std::string value);
+  void SetAttribute(size_t id, const std::string& key, uint64_t value);
+
+  /// Bytes that crossed the DB2 <-> accelerator boundary on behalf of this
+  /// statement (accumulated by the TransferChannel).
+  void AddBoundaryBytes(uint64_t bytes);
+  uint64_t boundary_bytes() const;
+
+  size_t NumSpans() const;
+  std::vector<Span> Snapshot() const;
+  uint64_t SpanDurationNs(size_t id) const;
+
+  /// Depth-first pre-order walk of the span tree (children in creation
+  /// order), one entry per span.
+  std::vector<RenderedSpan> RenderRows() const;
+
+  /// Multi-line stage tree, two spaces of indent per level:
+  ///   statement  1234us  [rows=5]
+  ///     route  2us  [target=ACCELERATOR ...]
+  std::string Render() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+  uint64_t boundary_bytes_ = 0;
+};
+
+/// Nullable trace handle threaded through the execution path: the trace (or
+/// nullptr when the statement is not traced) plus the span new work should
+/// attach under. Copy freely; it is two words.
+struct TraceContext {
+  QueryTrace* trace = nullptr;
+  size_t parent = QueryTrace::kNoParent;
+};
+
+/// RAII scoped span. All operations are no-ops when the trace is null, so
+/// instrumented code needs no branching.
+class TraceSpan {
+ public:
+  TraceSpan() = default;
+  TraceSpan(QueryTrace* trace, const std::string& name,
+            size_t parent = QueryTrace::kNoParent);
+  TraceSpan(const TraceContext& ctx, const std::string& name)
+      : TraceSpan(ctx.trace, name, ctx.parent) {}
+  ~TraceSpan() { End(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Close the span early (idempotent; the destructor is then a no-op).
+  void End();
+
+  void Attr(const std::string& key, std::string value);
+  void Attr(const std::string& key, uint64_t value);
+
+  size_t id() const { return id_; }
+  /// Context for child work under this span.
+  TraceContext context() const { return {trace_, id_}; }
+  explicit operator bool() const { return trace_ != nullptr; }
+
+ private:
+  QueryTrace* trace_ = nullptr;
+  size_t id_ = QueryTrace::kNoParent;
+  bool ended_ = false;
+};
+
+/// Thread-safe latency distribution with power-of-two buckets. Percentiles
+/// are bucket upper bounds clamped into [min, max], so a single-sample
+/// histogram reports that sample exactly and percentiles are monotone.
+class LatencyHistogram {
+ public:
+  void Record(uint64_t value);
+
+  size_t Count() const;
+  uint64_t Sum() const;
+  uint64_t Min() const;  ///< 0 when empty
+  uint64_t Max() const;
+  double Mean() const;  ///< 0.0 when empty
+
+  /// Estimated value at percentile `p` in [0, 100]; 0 when empty.
+  uint64_t Percentile(double p) const;
+  uint64_t P50() const { return Percentile(50.0); }
+  uint64_t P95() const { return Percentile(95.0); }
+  uint64_t P99() const { return Percentile(99.0); }
+
+  void Reset();
+
+  /// "count=7 min=1 p50=4 p95=30 p99=30 max=31 mean=9.4"
+  std::string ToString() const;
+
+ private:
+  static constexpr size_t kNumBuckets = 65;  ///< bucket b holds [2^(b-1), 2^b)
+  static size_t BucketOf(uint64_t value);
+
+  mutable std::mutex mu_;
+  std::array<uint64_t, kNumBuckets> counts_{};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+};
+
+/// Named latency histograms, exportable next to MetricsRegistry::Snapshot().
+class HistogramRegistry {
+ public:
+  /// The histogram named `name`, created empty on first use. The returned
+  /// reference stays valid for the registry's lifetime.
+  LatencyHistogram& GetOrCreate(const std::string& name);
+
+  /// Snapshot summaries of all histograms, sorted by name.
+  struct Summary {
+    size_t count = 0;
+    uint64_t min = 0;
+    uint64_t max = 0;
+    uint64_t p50 = 0;
+    uint64_t p95 = 0;
+    uint64_t p99 = 0;
+    double mean = 0.0;
+  };
+  std::vector<std::pair<std::string, Summary>> Snapshot() const;
+
+  /// Render the snapshot as "name = count=... p50=..." lines.
+  std::string ToString() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+/// Ring buffer of statements at/above a latency threshold, with their
+/// rendered traces. Disabled until set_threshold_us() is called.
+class SlowQueryLog {
+ public:
+  struct Entry {
+    std::string sql;
+    uint64_t duration_us = 0;
+    uint64_t boundary_bytes = 0;  ///< DB2 <-> accelerator bytes moved
+    std::string trace;            ///< rendered stage tree
+  };
+
+  /// Record statements with duration_us >= `us`. 0 records everything.
+  void set_threshold_us(uint64_t us);
+  uint64_t threshold_us() const;
+  bool enabled() const;
+
+  /// Keep at most `n` entries (oldest evicted first; default 128).
+  void set_capacity(size_t n);
+
+  /// Apply the threshold; returns whether the statement was recorded.
+  bool MaybeRecord(const std::string& sql, uint64_t duration_us,
+                   uint64_t boundary_bytes, std::string trace);
+
+  std::vector<Entry> Entries() const;
+  size_t Size() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<Entry> entries_;
+  uint64_t threshold_us_ = UINT64_MAX;
+  bool enabled_ = false;
+  size_t capacity_ = 128;
+};
+
+}  // namespace idaa

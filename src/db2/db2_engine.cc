@@ -47,16 +47,21 @@ Status Db2Engine::DropTableStorage(const TableInfo& info) {
 }
 
 Result<ResultSet> Db2Engine::ExecuteSelect(const sql::BoundSelect& plan,
-                                           Transaction* txn) {
+                                           Transaction* txn, TraceContext tc) {
   // Cursor stability: S locks held for the statement only.
-  for (const auto& bt : plan.tables) {
-    IDAA_RETURN_IF_ERROR(
-        lock_manager_.Acquire(txn->id(), bt.info->table_id, LockMode::kShared));
+  {
+    TraceSpan lock_span(tc, "db2.lock_wait");
+    lock_span.Attr("tables", static_cast<uint64_t>(plan.tables.size()));
+    for (const auto& bt : plan.tables) {
+      IDAA_RETURN_IF_ERROR(lock_manager_.Acquire(txn->id(), bt.info->table_id,
+                                                 LockMode::kShared));
+    }
   }
   auto release = [&]() { lock_manager_.ReleaseShared(txn->id()); };
 
   exec::TableSource source = [&](size_t index) -> Result<std::vector<Row>> {
     const TableInfo* info = plan.tables[index].info;
+    TraceSpan scan_span(tc, "db2.scan " + info->name);
     IDAA_ASSIGN_OR_RETURN(const StoredTable* table,
                           row_store_.GetTable(info->table_id));
     std::vector<Row> rows;
@@ -65,16 +70,20 @@ Result<ResultSet> Db2Engine::ExecuteSelect(const sql::BoundSelect& plan,
     const Value* key = table->has_index()
                            ? FindIndexKey(plan.tables[index].scan_predicate.get())
                            : nullptr;
+    scan_span.Attr("access_path",
+                   key != nullptr ? "primary-key hash index" : "table scan");
     if (key != nullptr) {
       for (uint64_t rid : table->IndexLookup(*key)) {
         auto row = table->Get(rid);
         if (row.ok()) rows.push_back(std::move(*row));
       }
+      scan_span.Attr("rows", static_cast<uint64_t>(rows.size()));
       return rows;
     }
     auto stored = table->ScanLive();
     rows.reserve(stored.size());
     for (auto& sr : stored) rows.push_back(std::move(sr.values));
+    scan_span.Attr("rows", static_cast<uint64_t>(rows.size()));
     return rows;
   };
 

@@ -11,6 +11,7 @@
 #include "common/metrics.h"
 #include "common/result.h"
 #include "common/row.h"
+#include "common/trace.h"
 #include "engine/select_runtime.h"
 #include "db2/row_store.h"
 #include "sql/binder.h"
@@ -32,9 +33,11 @@ class Db2Engine {
   Status DropTableStorage(const TableInfo& info);
 
   /// SELECT under cursor stability: S locks for the duration of the
-  /// statement, scan of the committed state.
+  /// statement, scan of the committed state. With a trace context, records
+  /// lock-wait time and a per-table scan span naming the access path
+  /// (hash index vs. table scan).
   Result<ResultSet> ExecuteSelect(const sql::BoundSelect& plan,
-                                  Transaction* txn);
+                                  Transaction* txn, TraceContext tc = {});
 
   /// Insert fully-materialized rows (from VALUES or an already-executed
   /// source query). Validates against the schema, takes an X lock, records

@@ -98,20 +98,21 @@ accel::Accelerator* FederationEngine::LeastLoadedAccelerator() const {
 
 Result<ExecResult> FederationEngine::Execute(const sql::Statement& stmt,
                                              const Session& session,
-                                             Transaction* txn) {
+                                             Transaction* txn,
+                                             TraceContext tc) {
   switch (stmt.kind()) {
     case sql::StatementKind::kSelect:
       return ExecuteSelect(static_cast<const sql::SelectStatement&>(stmt),
-                           session, txn);
+                           session, txn, tc);
     case sql::StatementKind::kInsert:
       return ExecuteInsert(static_cast<const sql::InsertStatement&>(stmt),
-                           session, txn);
+                           session, txn, tc);
     case sql::StatementKind::kUpdate:
       return ExecuteUpdate(static_cast<const sql::UpdateStatement&>(stmt),
-                           session, txn);
+                           session, txn, tc);
     case sql::StatementKind::kDelete:
       return ExecuteDelete(static_cast<const sql::DeleteStatement&>(stmt),
-                           session, txn);
+                           session, txn, tc);
     case sql::StatementKind::kCreateTable:
       return ExecuteCreateTable(
           static_cast<const sql::CreateTableStatement&>(stmt), session, txn);
@@ -123,57 +124,71 @@ Result<ExecResult> FederationEngine::Execute(const sql::Statement& stmt,
       return ExecuteGrantRevoke(stmt, session);
     case sql::StatementKind::kCall:
       return ExecuteCall(static_cast<const sql::CallStatement&>(stmt), session,
-                         txn);
+                         txn, tc);
     case sql::StatementKind::kExplain:
       return ExecuteExplain(static_cast<const sql::ExplainStatement&>(stmt),
-                            session);
+                            session, txn);
   }
   return Status::NotSupported("unhandled statement kind");
 }
 
 Result<ResultSet> FederationEngine::RunSelectOn(Target target,
                                                 const sql::BoundSelect& plan,
-                                                Transaction* txn) {
+                                                Transaction* txn,
+                                                TraceContext tc) {
   if (target == Target::kAccelerator) {
     metrics_->Increment(metric::kQueriesRoutedToAccel);
     IDAA_ASSIGN_OR_RETURN(accel::Accelerator * accelerator,
                           AcceleratorForPlan(plan));
-    return accelerator->ExecuteSelect(plan, txn->id(), txn->snapshot_csn());
+    TraceSpan exec_span(tc, "accel.execute");
+    return accelerator->ExecuteSelect(plan, txn->id(), txn->snapshot_csn(),
+                                      exec_span.context());
   }
   metrics_->Increment(metric::kQueriesRoutedToDb2);
-  return db2_->ExecuteSelect(plan, txn);
+  TraceSpan exec_span(tc, "db2.execute");
+  return db2_->ExecuteSelect(plan, txn, exec_span.context());
 }
 
 Result<ExecResult> FederationEngine::ExecuteSelect(
-    const sql::SelectStatement& stmt, const Session& session,
-    Transaction* txn) {
+    const sql::SelectStatement& stmt, const Session& session, Transaction* txn,
+    TraceContext tc) {
   for (const std::string& table : sql::ReferencedTables(stmt)) {
     IDAA_RETURN_IF_ERROR(
         Authorize(session, table, Privilege::kSelect, "SELECT"));
   }
+  TraceSpan route_span(tc, "route");
   IDAA_ASSIGN_OR_RETURN(RoutingDecision route,
                         router_.RouteSelect(stmt, session.acceleration));
+  route_span.Attr("target", route.target == Target::kAccelerator
+                                ? "ACCELERATOR"
+                                : "DB2");
+  route_span.Attr("reason", route.reason);
+  route_span.End();
   sql::Binder binder(*catalog_);
+  TraceSpan bind_span(tc, "bind");
   IDAA_ASSIGN_OR_RETURN(sql::BoundSelect plan, binder.BindSelect(stmt));
+  bind_span.End();
 
   ExecResult out;
   out.executed_on = route.target;
   out.detail = route.reason;
   if (route.target == Target::kAccelerator) {
-    channel_->SendStatement(stmt.ToSql());
-    IDAA_ASSIGN_OR_RETURN(ResultSet result, RunSelectOn(route.target, plan, txn));
+    channel_->SendStatement(stmt.ToSql(), tc);
+    IDAA_ASSIGN_OR_RETURN(ResultSet result,
+                          RunSelectOn(route.target, plan, txn, tc));
     // The result crosses the accelerator -> DB2 boundary to the client.
     IDAA_ASSIGN_OR_RETURN(out.result_set,
-                          channel_->FetchResultFromAccelerator(result));
+                          channel_->FetchResultFromAccelerator(result, tc));
   } else {
-    IDAA_ASSIGN_OR_RETURN(out.result_set, RunSelectOn(route.target, plan, txn));
+    IDAA_ASSIGN_OR_RETURN(out.result_set,
+                          RunSelectOn(route.target, plan, txn, tc));
   }
   return out;
 }
 
 Result<ExecResult> FederationEngine::ExecuteInsert(
-    const sql::InsertStatement& stmt, const Session& session,
-    Transaction* txn) {
+    const sql::InsertStatement& stmt, const Session& session, Transaction* txn,
+    TraceContext tc) {
   IDAA_RETURN_IF_ERROR(
       Authorize(session, stmt.table_name, Privilege::kInsert, "INSERT"));
   if (stmt.select) {
@@ -201,10 +216,10 @@ Result<ExecResult> FederationEngine::ExecuteInsert(
                                               session.acceleration));
     source_target = route.target;
     if (source_target == Target::kAccelerator) {
-      channel_->SendStatement(stmt.select->ToSql());
+      channel_->SendStatement(stmt.select->ToSql(), tc);
     }
     IDAA_ASSIGN_OR_RETURN(ResultSet source_result,
-                          RunSelectOn(source_target, *bound.select, txn));
+                          RunSelectOn(source_target, *bound.select, txn, tc));
     rows = MapRows(source_result.rows(), bound.column_mapping, width);
   } else {
     rows = bound.values_rows;  // already full width
@@ -225,25 +240,25 @@ Result<ExecResult> FederationEngine::ExecuteInsert(
     }
     if (source_target == Target::kDb2 && bound.select) {
       // Data produced in DB2 must cross the boundary once.
-      IDAA_ASSIGN_OR_RETURN(rows, channel_->SendRowsToAccelerator(rows));
+      IDAA_ASSIGN_OR_RETURN(rows, channel_->SendRowsToAccelerator(rows, tc));
       out.detail = "INSERT into AOT from DB2 source (one boundary crossing)";
     } else if (!bound.select) {
-      IDAA_ASSIGN_OR_RETURN(rows, channel_->SendRowsToAccelerator(rows));
+      IDAA_ASSIGN_OR_RETURN(rows, channel_->SendRowsToAccelerator(rows, tc));
       out.detail = "INSERT VALUES into AOT";
     } else if (cross_accelerator) {
       // Source and target live on different accelerators: the rows come
       // back to DB2 and go out again (two boundary crossings).
       ResultSet shipped(Schema{}, std::move(rows));
       IDAA_ASSIGN_OR_RETURN(ResultSet fetched,
-                            channel_->FetchResultFromAccelerator(shipped));
-      IDAA_ASSIGN_OR_RETURN(rows,
-                            channel_->SendRowsToAccelerator(fetched.rows()));
+                            channel_->FetchResultFromAccelerator(shipped, tc));
+      IDAA_ASSIGN_OR_RETURN(
+          rows, channel_->SendRowsToAccelerator(fetched.rows(), tc));
       out.detail = "INSERT ... SELECT across accelerators (two boundary "
                    "crossings)";
     } else {
       // Fully accelerator-side: no data movement at all — the paper's ELT
       // optimization.
-      channel_->SendStatement(stmt.ToSql());
+      channel_->SendStatement(stmt.ToSql(), tc);
       out.detail = "INSERT ... SELECT executed entirely on the accelerator";
     }
     IDAA_RETURN_IF_ERROR(
@@ -258,7 +273,7 @@ Result<ExecResult> FederationEngine::ExecuteInsert(
     // re-replicated if the target is an accelerated table).
     ResultSet shipped(Schema{}, std::move(rows));
     IDAA_ASSIGN_OR_RETURN(ResultSet fetched,
-                          channel_->FetchResultFromAccelerator(shipped));
+                          channel_->FetchResultFromAccelerator(shipped, tc));
     rows = fetched.rows();
     out.detail = "accelerator result materialized into DB2 table";
   }
@@ -268,49 +283,53 @@ Result<ExecResult> FederationEngine::ExecuteInsert(
 }
 
 Result<ExecResult> FederationEngine::ExecuteUpdate(
-    const sql::UpdateStatement& stmt, const Session& session,
-    Transaction* txn) {
+    const sql::UpdateStatement& stmt, const Session& session, Transaction* txn,
+    TraceContext tc) {
   IDAA_RETURN_IF_ERROR(
       Authorize(session, stmt.table_name, Privilege::kUpdate, "UPDATE"));
   sql::Binder binder(*catalog_);
   IDAA_ASSIGN_OR_RETURN(sql::BoundUpdate bound, binder.BindUpdate(stmt));
   ExecResult out;
   if (bound.table->kind == TableKind::kAcceleratorOnly) {
-    channel_->SendStatement(stmt.ToSql());
+    channel_->SendStatement(stmt.ToSql(), tc);
     out.executed_on = Target::kAccelerator;
     out.detail = "UPDATE delegated to accelerator (AOT)";
     IDAA_ASSIGN_OR_RETURN(accel::Accelerator * accelerator,
                           AcceleratorForTable(*bound.table));
+    TraceSpan exec_span(tc, "accel.execute");
     IDAA_ASSIGN_OR_RETURN(out.affected_rows,
                           accelerator->ExecuteUpdate(bound, txn->id(),
                                                      txn->snapshot_csn()));
     return out;
   }
   out.executed_on = Target::kDb2;
+  TraceSpan exec_span(tc, "db2.execute");
   IDAA_ASSIGN_OR_RETURN(out.affected_rows, db2_->ExecuteUpdate(bound, txn));
   return out;
 }
 
 Result<ExecResult> FederationEngine::ExecuteDelete(
-    const sql::DeleteStatement& stmt, const Session& session,
-    Transaction* txn) {
+    const sql::DeleteStatement& stmt, const Session& session, Transaction* txn,
+    TraceContext tc) {
   IDAA_RETURN_IF_ERROR(
       Authorize(session, stmt.table_name, Privilege::kDelete, "DELETE"));
   sql::Binder binder(*catalog_);
   IDAA_ASSIGN_OR_RETURN(sql::BoundDelete bound, binder.BindDelete(stmt));
   ExecResult out;
   if (bound.table->kind == TableKind::kAcceleratorOnly) {
-    channel_->SendStatement(stmt.ToSql());
+    channel_->SendStatement(stmt.ToSql(), tc);
     out.executed_on = Target::kAccelerator;
     out.detail = "DELETE delegated to accelerator (AOT)";
     IDAA_ASSIGN_OR_RETURN(accel::Accelerator * accelerator,
                           AcceleratorForTable(*bound.table));
+    TraceSpan exec_span(tc, "accel.execute");
     IDAA_ASSIGN_OR_RETURN(out.affected_rows,
                           accelerator->ExecuteDelete(bound, txn->id(),
                                                      txn->snapshot_csn()));
     return out;
   }
   out.executed_on = Target::kDb2;
+  TraceSpan exec_span(tc, "db2.execute");
   IDAA_ASSIGN_OR_RETURN(out.affected_rows, db2_->ExecuteDelete(bound, txn));
   return out;
 }
@@ -515,7 +534,8 @@ Result<ExecResult> FederationEngine::ExecuteGrantRevoke(
 
 Result<ExecResult> FederationEngine::ExecuteCall(const sql::CallStatement& stmt,
                                                  const Session& session,
-                                                 Transaction* txn) {
+                                                 Transaction* txn,
+                                                 TraceContext tc) {
   std::string name = ToUpper(stmt.procedure_name);
   if (name == "SYSPROC.ACCEL_ADD_TABLES") {
     if (ToUpper(session.user) != governance::AuthorizationManager::kAdmin) {
@@ -655,9 +675,10 @@ Result<ExecResult> FederationEngine::ExecuteCall(const sql::CallStatement& stmt,
   if (!procedure_handler_) {
     return Status::NotFound("procedure not found: " + name);
   }
-  channel_->SendStatement(stmt.ToSql());
+  channel_->SendStatement(stmt.ToSql(), tc);
   ExecResult out;
   out.executed_on = Target::kAccelerator;
+  TraceSpan exec_span(tc, "accel.execute");
   IDAA_ASSIGN_OR_RETURN(out.result_set,
                         procedure_handler_(name, stmt.arguments, txn, session));
   out.detail = "procedure executed on accelerator";
@@ -665,11 +686,43 @@ Result<ExecResult> FederationEngine::ExecuteCall(const sql::CallStatement& stmt,
 }
 
 Result<ExecResult> FederationEngine::ExecuteExplain(
-    const sql::ExplainStatement& stmt, const Session& session) {
+    const sql::ExplainStatement& stmt, const Session& session,
+    Transaction* txn) {
   // EXPLAIN needs the same read privileges as the query itself.
   for (const std::string& table : sql::ReferencedTables(*stmt.select)) {
     IDAA_RETURN_IF_ERROR(
         Authorize(session, table, Privilege::kSelect, "EXPLAIN"));
+  }
+  if (stmt.analyze) {
+    // EXPLAIN ANALYZE: run the statement under a fresh trace and report the
+    // timed stage tree (route decision, engine execution, per-slice scans,
+    // boundary transfers, coordinator merge).
+    QueryTrace qt;
+    TraceSpan root(&qt, "statement");
+    IDAA_ASSIGN_OR_RETURN(
+        ExecResult executed,
+        ExecuteSelect(*stmt.select, session, txn, root.context()));
+    root.Attr("rows", static_cast<uint64_t>(executed.result_set.NumRows()));
+    root.Attr("boundary_bytes", qt.boundary_bytes());
+    root.End();
+
+    ResultSet report{Schema({{"STAGE", DataType::kVarchar, false},
+                             {"DURATION_US", DataType::kInteger, false},
+                             {"DETAIL", DataType::kVarchar, true}})};
+    for (const QueryTrace::RenderedSpan& span : qt.RenderRows()) {
+      report.Append({Value::Varchar(std::string(span.depth * 2, ' ') +
+                                    span.name),
+                     Value::Integer(static_cast<int64_t>(span.duration_us)),
+                     span.attributes.empty()
+                         ? Value::Null()
+                         : Value::Varchar(span.attributes)});
+    }
+    ExecResult out;
+    out.executed_on = executed.executed_on;
+    out.result_set = std::move(report);
+    out.detail = "explain analyze; statement executed (" + executed.detail +
+                 ")";
+    return out;
   }
   IDAA_ASSIGN_OR_RETURN(RoutingDecision route,
                         router_.RouteSelect(*stmt.select, session.acceleration));

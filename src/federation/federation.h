@@ -23,6 +23,7 @@
 #include "catalog/catalog.h"
 #include "common/metrics.h"
 #include "common/result.h"
+#include "common/trace.h"
 #include "db2/db2_engine.h"
 #include "federation/router.h"
 #include "federation/transfer_channel.h"
@@ -73,8 +74,10 @@ class FederationEngine {
         router_(catalog) {}
 
   /// Execute one parsed statement in the given session and transaction.
+  /// With a trace context, routing, binding, engine execution and boundary
+  /// transfers are recorded as spans (EXPLAIN ANALYZE / slow-query log).
   Result<ExecResult> Execute(const sql::Statement& stmt, const Session& session,
-                             Transaction* txn);
+                             Transaction* txn, TraceContext tc = {});
 
   /// Admin API behind CALL SYSPROC.ACCEL_ADD_TABLES: snapshot the DB2 table,
   /// ship it through the channel, create the replica, and subscribe it to
@@ -108,13 +111,17 @@ class FederationEngine {
 
  private:
   Result<ExecResult> ExecuteSelect(const sql::SelectStatement& stmt,
-                                   const Session& session, Transaction* txn);
+                                   const Session& session, Transaction* txn,
+                                   TraceContext tc = {});
   Result<ExecResult> ExecuteInsert(const sql::InsertStatement& stmt,
-                                   const Session& session, Transaction* txn);
+                                   const Session& session, Transaction* txn,
+                                   TraceContext tc = {});
   Result<ExecResult> ExecuteUpdate(const sql::UpdateStatement& stmt,
-                                   const Session& session, Transaction* txn);
+                                   const Session& session, Transaction* txn,
+                                   TraceContext tc = {});
   Result<ExecResult> ExecuteDelete(const sql::DeleteStatement& stmt,
-                                   const Session& session, Transaction* txn);
+                                   const Session& session, Transaction* txn,
+                                   TraceContext tc = {});
   Result<ExecResult> ExecuteCreateTable(const sql::CreateTableStatement& stmt,
                                         const Session& session,
                                         Transaction* txn);
@@ -123,14 +130,17 @@ class FederationEngine {
   Result<ExecResult> ExecuteGrantRevoke(const sql::Statement& stmt,
                                         const Session& session);
   Result<ExecResult> ExecuteCall(const sql::CallStatement& stmt,
-                                 const Session& session, Transaction* txn);
+                                 const Session& session, Transaction* txn,
+                                 TraceContext tc = {});
+  /// EXPLAIN renders the static plan; EXPLAIN ANALYZE additionally runs the
+  /// statement under a fresh trace and reports the timed stage tree.
   Result<ExecResult> ExecuteExplain(const sql::ExplainStatement& stmt,
-                                    const Session& session);
+                                    const Session& session, Transaction* txn);
 
   /// Run a bound SELECT on the chosen target and return its (unmetered)
   /// result; the caller meters when the result crosses the boundary.
   Result<ResultSet> RunSelectOn(Target target, const sql::BoundSelect& plan,
-                                Transaction* txn);
+                                Transaction* txn, TraceContext tc = {});
 
   /// The single accelerator all of the plan's tables live on (error when
   /// they span accelerators or it is offline).

@@ -141,39 +141,62 @@ Result<Row> DecodeRow(const std::vector<uint8_t>& buffer, size_t* offset) {
 }
 
 Result<std::vector<Row>> TransferChannel::SendRowsToAccelerator(
-    const std::vector<Row>& rows) {
+    const std::vector<Row>& rows, TraceContext tc) {
+  TraceSpan xfer_span(tc, "xfer.to_accel");
   std::vector<uint8_t> wire;
-  for (const Row& row : rows) EncodeRow(row, &wire);
+  {
+    TraceSpan encode_span(xfer_span.context(), "encode");
+    for (const Row& row : rows) EncodeRow(row, &wire);
+  }
   metrics_->Add(metric::kFederationBytesToAccel, wire.size());
   metrics_->Increment(metric::kFederationRoundTrips);
   std::vector<Row> decoded;
   decoded.reserve(rows.size());
-  size_t offset = 0;
-  while (offset < wire.size()) {
-    IDAA_ASSIGN_OR_RETURN(Row row, DecodeRow(wire, &offset));
-    decoded.push_back(std::move(row));
+  {
+    TraceSpan decode_span(xfer_span.context(), "decode");
+    size_t offset = 0;
+    while (offset < wire.size()) {
+      IDAA_ASSIGN_OR_RETURN(Row row, DecodeRow(wire, &offset));
+      decoded.push_back(std::move(row));
+    }
   }
+  xfer_span.Attr("rows", static_cast<uint64_t>(rows.size()));
+  xfer_span.Attr("bytes", static_cast<uint64_t>(wire.size()));
+  if (tc.trace != nullptr) tc.trace->AddBoundaryBytes(wire.size());
   return decoded;
 }
 
 Result<ResultSet> TransferChannel::FetchResultFromAccelerator(
-    const ResultSet& result) {
+    const ResultSet& result, TraceContext tc) {
+  TraceSpan xfer_span(tc, "xfer.from_accel");
   std::vector<uint8_t> wire;
-  for (const Row& row : result.rows()) EncodeRow(row, &wire);
+  {
+    TraceSpan encode_span(xfer_span.context(), "encode");
+    for (const Row& row : result.rows()) EncodeRow(row, &wire);
+  }
   metrics_->Add(metric::kFederationBytesFromAccel, wire.size());
   metrics_->Increment(metric::kFederationRoundTrips);
   ResultSet out(result.schema());
-  size_t offset = 0;
-  while (offset < wire.size()) {
-    IDAA_ASSIGN_OR_RETURN(Row row, DecodeRow(wire, &offset));
-    out.Append(std::move(row));
+  {
+    TraceSpan decode_span(xfer_span.context(), "decode");
+    size_t offset = 0;
+    while (offset < wire.size()) {
+      IDAA_ASSIGN_OR_RETURN(Row row, DecodeRow(wire, &offset));
+      out.Append(std::move(row));
+    }
   }
+  xfer_span.Attr("rows", static_cast<uint64_t>(result.rows().size()));
+  xfer_span.Attr("bytes", static_cast<uint64_t>(wire.size()));
+  if (tc.trace != nullptr) tc.trace->AddBoundaryBytes(wire.size());
   return out;
 }
 
-void TransferChannel::SendStatement(const std::string& sql) {
+void TransferChannel::SendStatement(const std::string& sql, TraceContext tc) {
+  TraceSpan xfer_span(tc, "xfer.statement");
   metrics_->Add(metric::kFederationBytesToAccel, sql.size());
   metrics_->Increment(metric::kFederationRoundTrips);
+  xfer_span.Attr("bytes", static_cast<uint64_t>(sql.size()));
+  if (tc.trace != nullptr) tc.trace->AddBoundaryBytes(sql.size());
 }
 
 }  // namespace idaa::federation

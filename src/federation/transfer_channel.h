@@ -14,6 +14,7 @@
 #include "common/result.h"
 #include "common/row.h"
 #include "common/schema.h"
+#include "common/trace.h"
 
 namespace idaa::federation {
 
@@ -28,14 +29,18 @@ class TransferChannel {
   explicit TransferChannel(MetricsRegistry* metrics) : metrics_(metrics) {}
 
   /// Ship rows DB2 -> accelerator. Returns the decoded rows as they arrive
-  /// on the accelerator side (a genuine encode/decode round).
-  Result<std::vector<Row>> SendRowsToAccelerator(const std::vector<Row>& rows);
+  /// on the accelerator side (a genuine encode/decode round). With a trace
+  /// context, records an `xfer.to_accel` span (encode/decode children,
+  /// rows + bytes) and accumulates the trace's boundary byte count.
+  Result<std::vector<Row>> SendRowsToAccelerator(const std::vector<Row>& rows,
+                                                 TraceContext tc = {});
 
-  /// Ship a result set accelerator -> DB2.
-  Result<ResultSet> FetchResultFromAccelerator(const ResultSet& result);
+  /// Ship a result set accelerator -> DB2 (`xfer.from_accel` span).
+  Result<ResultSet> FetchResultFromAccelerator(const ResultSet& result,
+                                               TraceContext tc = {});
 
   /// Ship a statement string DB2 -> accelerator (metered, tiny).
-  void SendStatement(const std::string& sql);
+  void SendStatement(const std::string& sql, TraceContext tc = {});
 
   uint64_t bytes_to_accelerator() const {
     return metrics_->Get(metric::kFederationBytesToAccel);

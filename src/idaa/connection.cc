@@ -59,12 +59,12 @@ void Connection::EndAutoTxn(Transaction* txn, bool success) {
 }
 
 Result<federation::ExecResult> Connection::ExecuteParsed(
-    const sql::Statement& stmt) {
+    const sql::Statement& stmt, TraceContext tc) {
   if (explicit_txn_) {
-    return system_->federation().Execute(stmt, session_, txn_);
+    return system_->federation().Execute(stmt, session_, txn_, tc);
   }
   Transaction* txn = system_->txn_manager().Begin();
-  auto result = system_->federation().Execute(stmt, session_, txn);
+  auto result = system_->federation().Execute(stmt, session_, txn, tc);
   EndAutoTxn(txn, result.ok());
   return result;
 }
@@ -124,8 +124,31 @@ Result<federation::ExecResult> Connection::ExecuteSql(const std::string& sql) {
   if (auto control = TryControlStatement(sql)) {
     return std::move(*control);
   }
-  IDAA_ASSIGN_OR_RETURN(sql::StatementPtr stmt, sql::ParseStatement(sql));
-  return ExecuteParsed(*stmt);
+  QueryTrace trace;
+  TraceSpan root(&trace, "statement");
+  const uint64_t start_ns = TraceNowNs();
+  sql::StatementPtr stmt;
+  {
+    TraceSpan parse_span(root.context(), "parse");
+    IDAA_ASSIGN_OR_RETURN(stmt, sql::ParseStatement(sql));
+  }
+  auto result = ExecuteParsed(*stmt, root.context());
+  if (result.ok()) {
+    root.Attr("rows", static_cast<uint64_t>(result->result_set.NumRows()));
+    root.Attr("affected", static_cast<uint64_t>(result->affected_rows));
+  }
+  root.End();
+  const uint64_t duration_us = (TraceNowNs() - start_ns) / 1000;
+  system_->histograms()
+      .GetOrCreate(std::string(histo::kSqlLatencyPrefix) +
+                   sql::StatementKindToString(stmt->kind()))
+      .Record(duration_us);
+  if (system_->slow_query_log().enabled()) {
+    system_->slow_query_log().MaybeRecord(sql, duration_us,
+                                          trace.boundary_bytes(),
+                                          trace.Render());
+  }
+  return result;
 }
 
 Result<ResultSet> Connection::Query(const std::string& sql) {

@@ -12,6 +12,7 @@
 
 #include "analytics/pipeline.h"
 #include "common/result.h"
+#include "common/trace.h"
 #include "federation/federation.h"
 
 namespace idaa {
@@ -29,7 +30,10 @@ class Connection {
 
   /// Parse and execute one SQL statement. Handles BEGIN/COMMIT/ROLLBACK and
   /// SET CURRENT QUERY ACCELERATION here; everything else goes through the
-  /// federation engine under this connection's transaction.
+  /// federation engine under this connection's transaction. Every regular
+  /// statement is traced (parse/route/execute spans), its latency recorded
+  /// in the system's per-statement-kind histogram, and — past the slow-query
+  /// threshold — logged with its rendered trace.
   Result<federation::ExecResult> ExecuteSql(const std::string& sql);
 
   /// Convenience: execute and return the result set.
@@ -55,7 +59,8 @@ class Connection {
   analytics::SqlExecutor MakeSqlExecutor();
 
  private:
-  Result<federation::ExecResult> ExecuteParsed(const sql::Statement& stmt);
+  Result<federation::ExecResult> ExecuteParsed(const sql::Statement& stmt,
+                                               TraceContext tc = {});
   void EndAutoTxn(Transaction* txn, bool success);
   /// Intercepts transaction control and SET statements; returns nullopt if
   /// the text is a regular statement.

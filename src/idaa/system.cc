@@ -32,7 +32,8 @@ IdaaSystem::IdaaSystem(const SystemOptions& options) : options_(options) {
                               federation_->AcceleratorForTable(*info));
         return a->GetTable(table_name);
       },
-      channel_.get(), &metrics_);
+      channel_.get(), &metrics_,
+      &histograms_.GetOrCreate(histo::kReplicationBatchApplyUs));
   replication_->set_batch_size(options_.replication_batch_size);
   replication_->Attach();
   federation_ = std::make_unique<federation::FederationEngine>(

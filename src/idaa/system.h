@@ -19,6 +19,7 @@
 #include "analytics/registry.h"
 #include "catalog/catalog.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "db2/db2_engine.h"
 #include "federation/federation.h"
 #include "governance/audit_log.h"
@@ -103,6 +104,12 @@ class IdaaSystem {
 
   Catalog& catalog() { return catalog_; }
   MetricsRegistry& metrics() { return metrics_; }
+  /// Per-statement-kind and subsystem latency histograms (exportable next
+  /// to MetricsRegistry::Snapshot()).
+  HistogramRegistry& histograms() { return histograms_; }
+  /// Statements slower than the configured threshold are recorded here with
+  /// their rendered trace (see SlowQueryLog::set_threshold_us).
+  SlowQueryLog& slow_query_log() { return slow_query_log_; }
   TransactionManager& txn_manager() { return tm_; }
   db2::Db2Engine& db2() { return *db2_; }
   /// The i-th attached accelerator (0 = ACCEL1).
@@ -128,6 +135,8 @@ class IdaaSystem {
  private:
   SystemOptions options_;
   MetricsRegistry metrics_;
+  HistogramRegistry histograms_;
+  SlowQueryLog slow_query_log_;
   TransactionManager tm_;
   Catalog catalog_;
   std::unique_ptr<db2::Db2Engine> db2_;

@@ -6,6 +6,7 @@ Result<ApplyStats> ApplyWorker::ApplyBatch(
     const std::vector<CommittedChange>& batch) {
   ApplyStats stats;
   if (batch.empty()) return stats;
+  const uint64_t start_ns = TraceNowNs();
 
   // Meter the batch crossing the boundary (old+new images, like a real
   // log-shipping pipeline).
@@ -63,6 +64,9 @@ Result<ApplyStats> ApplyWorker::ApplyBatch(
   size_t bytes = 0;
   for (const Row& r : wire_rows) bytes += RowByteSize(r);
   metrics_->Add(metric::kReplicationBytesApplied, bytes);
+  if (apply_latency_ != nullptr) {
+    apply_latency_->Record((TraceNowNs() - start_ns) / 1000);
+  }
   return stats;
 }
 

@@ -8,6 +8,7 @@
 
 #include "accel/accelerator.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "federation/transfer_channel.h"
 #include "replication/change_capture.h"
 #include "txn/transaction_manager.h"
@@ -30,10 +31,13 @@ struct ApplyStats {
 
 class ApplyWorker {
  public:
+  /// `apply_latency`, when non-null, receives one sample (microseconds) per
+  /// successfully applied batch.
   ApplyWorker(TransactionManager* tm, ReplicaResolver resolver,
-              federation::TransferChannel* channel, MetricsRegistry* metrics)
+              federation::TransferChannel* channel, MetricsRegistry* metrics,
+              LatencyHistogram* apply_latency = nullptr)
       : tm_(tm), resolver_(std::move(resolver)), channel_(channel),
-        metrics_(metrics) {}
+        metrics_(metrics), apply_latency_(apply_latency) {}
 
   /// Apply one batch atomically (single replication transaction; rolled
   /// back entirely on failure).
@@ -44,6 +48,7 @@ class ApplyWorker {
   ReplicaResolver resolver_;
   federation::TransferChannel* channel_;
   MetricsRegistry* metrics_;
+  LatencyHistogram* apply_latency_;
 };
 
 }  // namespace idaa::replication

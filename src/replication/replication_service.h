@@ -16,8 +16,10 @@ class ReplicationService {
  public:
   ReplicationService(TransactionManager* tm, ReplicaResolver resolver,
                      federation::TransferChannel* channel,
-                     MetricsRegistry* metrics)
-      : capture_(), worker_(tm, std::move(resolver), channel, metrics),
+                     MetricsRegistry* metrics,
+                     LatencyHistogram* apply_latency = nullptr)
+      : capture_(),
+        worker_(tm, std::move(resolver), channel, metrics, apply_latency),
         tm_(tm) {}
 
   /// Register the commit listener with the transaction manager. Call once.

@@ -313,7 +313,23 @@ std::string RevokeStatement::ToSql() const {
 }
 
 std::string ExplainStatement::ToSql() const {
-  return "EXPLAIN " + select->ToSql();
+  return (analyze ? "EXPLAIN ANALYZE " : "EXPLAIN ") + select->ToSql();
+}
+
+const char* StatementKindToString(StatementKind kind) {
+  switch (kind) {
+    case StatementKind::kSelect: return "select";
+    case StatementKind::kInsert: return "insert";
+    case StatementKind::kUpdate: return "update";
+    case StatementKind::kDelete: return "delete";
+    case StatementKind::kCreateTable: return "create_table";
+    case StatementKind::kDropTable: return "drop_table";
+    case StatementKind::kGrant: return "grant";
+    case StatementKind::kRevoke: return "revoke";
+    case StatementKind::kCall: return "call";
+    case StatementKind::kExplain: return "explain";
+  }
+  return "unknown";
 }
 
 std::string CallStatement::ToSql() const {

@@ -115,6 +115,10 @@ enum class StatementKind : uint8_t {
   kExplain,
 };
 
+/// Lower-case statement kind name ("select", "insert", ...), used e.g. for
+/// per-statement-kind latency histogram names.
+const char* StatementKindToString(StatementKind kind);
+
 struct Statement {
   virtual ~Statement() = default;
   virtual StatementKind kind() const = 0;
@@ -242,8 +246,11 @@ struct RevokeStatement : Statement {
 };
 
 /// EXPLAIN <select>: routing decision + access-path report.
+/// EXPLAIN ANALYZE <select>: executes the statement and reports the traced
+/// stage tree (per-stage timings, row counts, boundary bytes).
 struct ExplainStatement : Statement {
   std::unique_ptr<SelectStatement> select;
+  bool analyze = false;
 
   StatementKind kind() const override { return StatementKind::kExplain; }
   std::string ToSql() const override;

@@ -102,8 +102,9 @@ class Parser {
     if (CheckKeyword("REVOKE")) return ParseGrantRevoke(/*is_grant=*/false);
     if (CheckKeyword("CALL")) return ParseCall();
     if (AcceptKeyword("EXPLAIN")) {
-      if (!CheckKeyword("SELECT")) return Err("EXPLAIN supports SELECT only");
       auto stmt = std::make_unique<ExplainStatement>();
+      stmt->analyze = AcceptKeyword("ANALYZE");
+      if (!CheckKeyword("SELECT")) return Err("EXPLAIN supports SELECT only");
       IDAA_ASSIGN_OR_RETURN(stmt->select, ParseSelect());
       return StatementPtr(std::move(stmt));
     }

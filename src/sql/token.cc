@@ -47,7 +47,7 @@ bool IsReservedKeyword(const std::string& upper_word) {
       "DELETE", "PRIMARY", "KEY", "ACCELERATOR", "DISTRIBUTE", "TRUE",
       "FALSE", "GRANT", "REVOKE", "TO", "CALL", "EXECUTE", "COMMIT",
       "ROLLBACK", "BEGIN", "TRANSACTION", "EXISTS", "IF", "UNION", "ALL",
-      "DATE", "TIMESTAMP", "REPLICATION", "EXPLAIN",
+      "DATE", "TIMESTAMP", "REPLICATION", "EXPLAIN", "ANALYZE",
   };
   return kKeywords.count(upper_word) > 0;
 }

@@ -1,0 +1,211 @@
+// Concurrent-session stress suite: several connections hammer one
+// IdaaSystem with mixed DML on an accelerated table, AOT writes, reads,
+// concurrent GROOM passes and replication batch applies. Invariants:
+// no lost updates (final counts equal the number of successful writes on
+// both the DB2 and the accelerator route) and snapshot-consistent reads
+// (two COUNT(*) in one transaction agree). Built to run clean under
+// -DIDAA_SANITIZE=thread.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "idaa/system.h"
+
+namespace idaa {
+namespace {
+
+using federation::AccelerationMode;
+
+// Retry kConflict (lock timeouts under contention); anything else is fatal.
+// Returns whether the statement eventually succeeded.
+bool ExecuteWithRetry(Connection* conn, const std::string& sql,
+                      int max_attempts = 20) {
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    auto result = conn->ExecuteSql(sql);
+    if (result.ok()) return true;
+    if (result.status().code() != StatusCode::kConflict) {
+      ADD_FAILURE() << "unexpected failure for '" << sql
+                    << "': " << result.status().ToString();
+      return false;
+    }
+  }
+  return false;
+}
+
+TEST(ConcurrentStressTest, MixedWorkloadKeepsCountsAndSnapshots) {
+  SystemOptions options;
+  options.accelerator.num_slices = 4;
+  options.replication_batch_size = 8;  // frequent auto-applies under load
+  IdaaSystem system(options);
+
+  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE acc (id INT, v INT)").ok());
+  ASSERT_TRUE(system.ExecuteSql("INSERT INTO acc VALUES (0, 0)").ok());
+  ASSERT_TRUE(system.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('acc')").ok());
+  ASSERT_TRUE(
+      system.ExecuteSql("CREATE TABLE aot (id INT, v INT) IN ACCELERATOR")
+          .ok());
+  ASSERT_TRUE(system.ExecuteSql("INSERT INTO aot VALUES (0, 0)").ok());
+
+  constexpr int kWriters = 2;
+  constexpr int kInsertsPerWriter = 40;
+  constexpr int kAotInserts = 60;
+  constexpr int kReaderIterations = 25;
+
+  std::atomic<size_t> acc_inserted{0};
+  std::atomic<size_t> aot_inserted{0};
+  std::atomic<size_t> acc_updates{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+
+  // Writers: disjoint id ranges into the accelerated (DB2-resident) table.
+  // Lock contention surfaces as kConflict and is retried; only successful
+  // statements count toward the invariant.
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&system, &acc_inserted, &acc_updates, w] {
+      auto conn = system.NewConnection();
+      for (int i = 0; i < kInsertsPerWriter; ++i) {
+        int id = 1000 * (w + 1) + i;
+        if (ExecuteWithRetry(conn.get(),
+                             "INSERT INTO acc VALUES (" + std::to_string(id) +
+                                 ", " + std::to_string(i) + ")")) {
+          acc_inserted.fetch_add(1);
+        }
+        if (i % 8 == 0 &&
+            ExecuteWithRetry(conn.get(),
+                             "UPDATE acc SET v = v + 1 WHERE id = " +
+                                 std::to_string(id))) {
+          acc_updates.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  // AOT writer: slice-parallel MVCC path, no DB2 locks involved.
+  threads.emplace_back([&system, &aot_inserted] {
+    auto conn = system.NewConnection();
+    for (int i = 0; i < kAotInserts; ++i) {
+      if (ExecuteWithRetry(conn.get(),
+                           "INSERT INTO aot VALUES (" + std::to_string(i + 1) +
+                               ", " + std::to_string(i) + ")")) {
+        aot_inserted.fetch_add(1);
+      }
+    }
+  });
+
+  // Readers: snapshot consistency — two COUNT(*) inside one transaction
+  // must agree no matter what commits in between.
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&system] {
+      auto conn = system.NewConnection();
+      for (int i = 0; i < kReaderIterations; ++i) {
+        ASSERT_TRUE(conn->Begin().ok());
+        auto first = conn->Query("SELECT COUNT(*) FROM aot");
+        auto second = conn->Query("SELECT COUNT(*) FROM aot");
+        ASSERT_TRUE(first.ok()) << first.status().ToString();
+        ASSERT_TRUE(second.ok()) << second.status().ToString();
+        EXPECT_EQ(first->At(0, 0).AsInteger(), second->At(0, 0).AsInteger())
+            << "snapshot moved inside one transaction";
+        ASSERT_TRUE(conn->Commit().ok());
+      }
+    });
+  }
+
+  // Groomer: space reclamation races the scans and the replication applies.
+  threads.emplace_back([&system, &stop] {
+    auto conn = system.NewConnection();
+    while (!stop.load()) {
+      ASSERT_TRUE(conn->ExecuteSql("CALL SYSPROC.ACCEL_GROOM()").ok());
+      std::this_thread::yield();
+    }
+  });
+
+  // Flusher: drains captured changes concurrently with the auto-applies
+  // triggered from commit listeners.
+  threads.emplace_back([&system, &stop] {
+    while (!stop.load()) {
+      auto stats = system.replication().Flush();
+      ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+      std::this_thread::yield();
+    }
+  });
+
+  for (size_t t = 0; t + 2 < threads.size(); ++t) threads[t].join();
+  stop.store(true);
+  threads[threads.size() - 2].join();
+  threads[threads.size() - 1].join();
+
+  // Everything the writers managed to commit (no retries exhausted).
+  EXPECT_EQ(acc_inserted.load(), size_t{kWriters * kInsertsPerWriter});
+  EXPECT_EQ(aot_inserted.load(), size_t{kAotInserts});
+
+  // Drain replication fully, then check both routes agree with the
+  // successful-write counts: no lost updates on either side.
+  ASSERT_TRUE(system.replication().Flush().ok());
+  EXPECT_EQ(system.replication().PendingChanges(), 0u);
+
+  const auto expected_acc =
+      static_cast<int64_t>(1 + acc_inserted.load());  // seed row + inserts
+  system.SetAccelerationMode(AccelerationMode::kNone);
+  auto db2_count = system.Query("SELECT COUNT(*) FROM acc");
+  ASSERT_TRUE(db2_count.ok()) << db2_count.status().ToString();
+  EXPECT_EQ(db2_count->At(0, 0).AsInteger(), expected_acc);
+
+  system.SetAccelerationMode(AccelerationMode::kAll);
+  auto accel_count = system.Query("SELECT COUNT(*) FROM acc");
+  ASSERT_TRUE(accel_count.ok()) << accel_count.status().ToString();
+  EXPECT_EQ(accel_count->At(0, 0).AsInteger(), expected_acc);
+
+  // The update increments survived replication too: v sums agree.
+  system.SetAccelerationMode(AccelerationMode::kNone);
+  auto db2_sum = system.Query("SELECT SUM(v) FROM acc");
+  system.SetAccelerationMode(AccelerationMode::kAll);
+  auto accel_sum = system.Query("SELECT SUM(v) FROM acc");
+  ASSERT_TRUE(db2_sum.ok() && accel_sum.ok());
+  EXPECT_EQ(db2_sum->At(0, 0).AsInteger(), accel_sum->At(0, 0).AsInteger());
+
+  auto aot_count = system.Query("SELECT COUNT(*) FROM aot");
+  ASSERT_TRUE(aot_count.ok());
+  EXPECT_EQ(aot_count->At(0, 0).AsInteger(),
+            static_cast<int64_t>(1 + aot_inserted.load()));
+}
+
+TEST(ConcurrentStressTest, ParallelTracedQueriesShareHistograms) {
+  // Concurrent traced statements from separate sessions: slice workers
+  // write spans into per-statement traces while every session records into
+  // the shared histogram registry.
+  IdaaSystem system;
+  ASSERT_TRUE(
+      system.ExecuteSql("CREATE TABLE hot (id INT, v DOUBLE) IN ACCELERATOR")
+          .ok());
+  ASSERT_TRUE(system
+                  .ExecuteSql("INSERT INTO hot VALUES (1, 1.0), (2, 2.0), "
+                              "(3, 3.0), (4, 4.0)")
+                  .ok());
+  system.slow_query_log().set_threshold_us(0);  // record every statement
+
+  constexpr int kThreads = 4;
+  constexpr int kQueries = 25;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&system] {
+      auto conn = system.NewConnection();
+      for (int i = 0; i < kQueries; ++i) {
+        auto rs = conn->Query("SELECT SUM(v) FROM hot");
+        ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+        EXPECT_EQ(rs->At(0, 0).AsDouble(), 10.0);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_GE(system.histograms().GetOrCreate("sql.latency.select").Count(),
+            size_t{kThreads * kQueries});
+  EXPECT_GE(system.slow_query_log().Size(), size_t{1});
+}
+
+}  // namespace
+}  // namespace idaa

@@ -309,5 +309,49 @@ TEST(HeuristicTest, LargeScanOffloadsUnderEnable) {
   EXPECT_EQ(point->executed_on, Target::kDb2);
 }
 
+// ---------------------------------------------------------------------------
+// Slow-query log
+// ---------------------------------------------------------------------------
+
+TEST(SlowQueryLogFeatureTest, FiresExactlyAtOrAboveThreshold) {
+  // Deterministic threshold semantics, independent of wall-clock timing:
+  // duration < threshold is skipped, duration == threshold and above are
+  // recorded.
+  IdaaSystem system;
+  auto& log = system.slow_query_log();
+  EXPECT_FALSE(log.enabled());
+  log.set_threshold_us(100);
+  EXPECT_FALSE(log.MaybeRecord("below", 99, 0, ""));
+  EXPECT_TRUE(log.MaybeRecord("exact", 100, 0, ""));
+  EXPECT_TRUE(log.MaybeRecord("above", 101, 0, ""));
+  auto entries = log.Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].sql, "exact");
+  EXPECT_EQ(entries[1].sql, "above");
+}
+
+TEST(SlowQueryLogFeatureTest, RecordsTraceAndBoundaryBytesEndToEnd) {
+  IdaaSystem system;
+  ASSERT_TRUE(
+      system.ExecuteSql("CREATE TABLE slow (a INT, b DOUBLE) IN ACCELERATOR")
+          .ok());
+  ASSERT_TRUE(
+      system.ExecuteSql("INSERT INTO slow VALUES (1, 1.0), (2, 2.5)").ok());
+  // Threshold 0: every statement qualifies, so the test is deterministic.
+  system.slow_query_log().set_threshold_us(0);
+  ASSERT_TRUE(system.ExecuteSql("SELECT SUM(b) FROM slow").ok());
+
+  auto entries = system.slow_query_log().Entries();
+  ASSERT_GE(entries.size(), 1u);
+  const auto& entry = entries.back();
+  EXPECT_EQ(entry.sql, "SELECT SUM(b) FROM slow");
+  // The AOT select moved its statement text and result across the
+  // DB2 <-> accelerator boundary.
+  EXPECT_GT(entry.boundary_bytes, 0u);
+  EXPECT_NE(entry.trace.find("statement"), std::string::npos);
+  EXPECT_NE(entry.trace.find("xfer"), std::string::npos);
+  EXPECT_NE(entry.trace.find("accel.execute"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace idaa
