@@ -50,24 +50,32 @@ void PrintTable() {
               "Claim: the accelerator wins on analytical shapes (scans, "
               "grouping, joins);\nshort point lookups are better off in "
               "DB2 (the ENABLE heuristic's crossover).");
+  BenchJson json("offload");
   for (size_t rows : {20000u, 100000u, 400000u}) {
     IdaaSystem system;
     SeedOrders(system, rows, /*accelerate=*/true);
     SeedCustomers(system, 1000, /*accelerate=*/true);
     std::printf("rows = %zu\n", rows);
-    std::printf("  %-22s %12s %12s %9s\n", "query", "db2 ms", "accel ms",
-                "speedup");
+    std::printf("  %-22s %12s %12s %12s %9s %9s\n", "query", "db2 ms",
+                "accel ms", "row-path ms", "vs db2", "vs row");
     for (const QueryDef& q : kQueries) {
       int reps = rows > 100000 ? 3 : 5;
       double db2 = TimeQuery(system, q.sql,
                              federation::AccelerationMode::kNone, reps);
       double accel = TimeQuery(
           system, q.sql, federation::AccelerationMode::kEligible, reps);
-      std::printf("  %-22s %12.3f %12.3f %8.2fx\n", q.name, db2, accel,
-                  db2 / accel);
+      SetBatchPath(system, false);
+      double row_path = TimeQuery(
+          system, q.sql, federation::AccelerationMode::kEligible, reps);
+      SetBatchPath(system, true);
+      std::printf("  %-22s %12.3f %12.3f %12.3f %8.2fx %8.2fx\n", q.name, db2,
+                  accel, row_path, db2 / accel, row_path / accel);
+      json.Add(std::string(q.name) + " @" + std::to_string(rows), rows, db2,
+               accel, row_path);
     }
     std::printf("\n");
   }
+  json.Write();
 }
 
 void BM_OffloadQuery(benchmark::State& state) {

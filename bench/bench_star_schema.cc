@@ -92,22 +92,30 @@ void PrintTable() {
   PrintHeader("E7: star-schema reporting workload",
               "Dimensional BI queries (the paper's read-only reporting "
               "baseline use case),\nDB2 row engine vs accelerator.");
+  BenchJson json("star_schema");
   for (size_t rows : {50000u, 200000u}) {
     IdaaSystem system;
     SeedStarSchema(system, rows);
     std::printf("fact rows = %zu\n", rows);
-    std::printf("  %-24s %12s %12s %9s\n", "query", "db2 ms", "accel ms",
-                "speedup");
+    std::printf("  %-24s %12s %12s %12s %9s %9s\n", "query", "db2 ms",
+                "accel ms", "row-path ms", "vs db2", "vs row");
     for (const auto& q : kQueries) {
       double db2 =
           TimeQuery(system, q.sql, federation::AccelerationMode::kNone, 3);
       double accel =
           TimeQuery(system, q.sql, federation::AccelerationMode::kEligible, 3);
-      std::printf("  %-24s %12.3f %12.3f %8.2fx\n", q.name, db2, accel,
-                  db2 / accel);
+      SetBatchPath(system, false);
+      double row_path =
+          TimeQuery(system, q.sql, federation::AccelerationMode::kEligible, 3);
+      SetBatchPath(system, true);
+      std::printf("  %-24s %12.3f %12.3f %12.3f %8.2fx %8.2fx\n", q.name, db2,
+                  accel, row_path, db2 / accel, row_path / accel);
+      json.Add(std::string(q.name) + " @" + std::to_string(rows), rows, db2,
+               accel, row_path);
     }
     std::printf("\n");
   }
+  json.Write();
 }
 
 void BM_StarQuery(benchmark::State& state) {

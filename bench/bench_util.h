@@ -101,4 +101,72 @@ inline void PrintHeader(const std::string& experiment,
   std::cout << "\n=== " << experiment << " ===\n" << claim << "\n\n";
 }
 
+/// Toggle the accelerator's vectorized batch path (all attached
+/// accelerators) — lets a bench time the row-at-a-time fallback on the
+/// same seeded system.
+inline void SetBatchPath(IdaaSystem& system, bool enabled) {
+  for (size_t i = 0; i < system.num_accelerators(); ++i) {
+    system.accelerator(i).SetBatchPathEnabled(enabled);
+  }
+}
+
+/// Accumulates per-query timings and writes `BENCH_<name>.json` — the
+/// machine-readable perf trajectory tracked across PRs (CI uploads it as
+/// an artifact). `accel_row_ms` is the accelerator's row-at-a-time
+/// fallback, so batch_speedup isolates the vectorized engine's win.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void Add(const std::string& query, size_t table_rows, double db2_ms,
+           double accel_ms, double accel_row_ms) {
+    entries_.push_back({query, table_rows, db2_ms, accel_ms, accel_row_ms});
+  }
+
+  /// Write BENCH_<name>.json into $IDAA_BENCH_JSON_DIR (default: cwd).
+  void Write() const {
+    const char* dir = std::getenv("IDAA_BENCH_JSON_DIR");
+    std::string path = (dir != nullptr && *dir != '\0'
+                            ? std::string(dir) + "/"
+                            : std::string()) +
+                       "BENCH_" + name_ + ".json";
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::cerr << "cannot write " << path << "\n";
+      return;
+    }
+    std::fprintf(f, "{\n  \"experiment\": \"%s\",\n  \"entries\": [\n",
+                 name_.c_str());
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      double accel_rows_per_sec =
+          e.accel_ms > 0 ? e.table_rows / (e.accel_ms / 1000.0) : 0.0;
+      std::fprintf(
+          f,
+          "    {\"query\": \"%s\", \"rows\": %zu, \"db2_ms\": %.3f, "
+          "\"accel_ms\": %.3f, \"accel_row_path_ms\": %.3f, "
+          "\"accel_rows_per_sec\": %.0f, \"speedup_vs_db2\": %.2f, "
+          "\"batch_speedup\": %.2f}%s\n",
+          e.query.c_str(), e.table_rows, e.db2_ms, e.accel_ms, e.accel_row_ms,
+          accel_rows_per_sec, e.accel_ms > 0 ? e.db2_ms / e.accel_ms : 0.0,
+          e.accel_ms > 0 ? e.accel_row_ms / e.accel_ms : 0.0,
+          i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::cout << "wrote " << path << "\n";
+  }
+
+ private:
+  struct Entry {
+    std::string query;
+    size_t table_rows;
+    double db2_ms;
+    double accel_ms;
+    double accel_row_ms;
+  };
+  std::string name_;
+  std::vector<Entry> entries_;
+};
+
 }  // namespace idaa::bench

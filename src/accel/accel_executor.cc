@@ -1,6 +1,9 @@
 #include "accel/accel_executor.h"
 
+#include <atomic>
+#include <cstdio>
 #include <cstring>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 
@@ -203,6 +206,339 @@ Result<std::vector<Row>> MergePartials(const sql::BoundSelect& plan,
     post_rows.push_back(std::move(row));
   }
   return post_rows;
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized batch execution: morsel-driven scans over raw column arrays
+// with selection vectors, bulk visibility, compiled predicates and late
+// materialization. Taken whenever the scan predicate converts exactly to
+// column ranges that compile against every slice; anything else falls back
+// to the row-at-a-time path below with identical results.
+// ---------------------------------------------------------------------------
+
+/// A scan predicate compiled for every slice of one table (dictionary
+/// codes are slice-local, so each slice gets its own compilation).
+struct BatchScanPlan {
+  std::vector<ColumnRange> ranges;
+  std::vector<BatchPredicate> per_slice;
+};
+
+/// True when `predicate` (nullable) converts exactly to column ranges that
+/// compile to a batch predicate on every slice of `table`.
+bool PrepareBatchScan(const ColumnTable& table, const sql::BoundExpr* predicate,
+                      BatchScanPlan* out) {
+  if (predicate != nullptr) {
+    bool exact = false;
+    out->ranges = ExtractColumnRanges(*predicate, &exact);
+    if (!exact) return false;
+  }
+  out->per_slice.reserve(table.num_slices());
+  for (size_t s = 0; s < table.num_slices(); ++s) {
+    auto compiled = table.CompilePredicateForSlice(s, out->ranges);
+    if (!compiled.has_value()) return false;
+    out->per_slice.push_back(std::move(*compiled));
+  }
+  return true;
+}
+
+size_t MorselWorkerCount(ThreadPool* pool, size_t num_morsels) {
+  size_t cap = pool != nullptr ? pool->num_threads() : 1;
+  return std::max<size_t>(1, std::min(cap, std::max<size_t>(num_morsels, 1)));
+}
+
+/// Emit the per-morsel scan accounting as an accel.slice_scan span (the
+/// same stage name the row path uses, so EXPLAIN ANALYZE consumers see a
+/// uniform shape).
+void RecordMorselSpan(TraceSpan& span, const Morsel& morsel,
+                      const BatchScanStats& before,
+                      const BatchScanStats& after) {
+  span.Attr("slice", static_cast<uint64_t>(morsel.slice));
+  span.Attr("rows_scanned",
+            static_cast<uint64_t>(after.rows_scanned - before.rows_scanned));
+  span.Attr("zone_map_skipped",
+            static_cast<uint64_t>(after.rows_skipped_zone_map -
+                                  before.rows_skipped_zone_map));
+}
+
+void RecordBatchAttrs(TraceSpan& span, const BatchScanStats& total) {
+  span.Attr("batch_path", "true");
+  span.Attr("morsels", static_cast<uint64_t>(total.morsels));
+  span.Attr("batches", static_cast<uint64_t>(total.batches));
+  char buf[32];
+  double selectivity =
+      total.rows_scanned > 0
+          ? static_cast<double>(total.rows_selected) / total.rows_scanned
+          : 0.0;
+  std::snprintf(buf, sizeof(buf), "%.3f", selectivity);
+  span.Attr("selectivity", buf);
+}
+
+void AddScanMetrics(MetricsRegistry* metrics, const BatchScanStats& total) {
+  if (metrics == nullptr) return;
+  metrics->Add(metric::kAccelRowsScanned, total.rows_scanned);
+  metrics->Add(metric::kAccelRowsSkippedZoneMap, total.rows_skipped_zone_map);
+}
+
+/// Morsel-driven gather: scan morsels pulled from a shared cursor, late-
+/// materializing only projected columns of surviving rows, concatenated in
+/// morsel (= slice) order. With `limit_cap`, stops pulling morsels once the
+/// processed prefix already holds that many rows; because the cursor is
+/// monotonic, every morsel pulled before the stop flag completes, so the
+/// processed set is a prefix and the first-N trim is deterministic.
+Result<std::vector<Row>> BatchGather(
+    const ColumnTable& table, const BatchScanPlan& bp, TxnId reader,
+    Csn snapshot, const TransactionManager& tm, ThreadPool* pool,
+    MetricsRegistry* metrics, const std::vector<uint8_t>* projection,
+    std::optional<size_t> limit_cap, const BatchOptions& batch,
+    TraceContext tc) {
+  TraceSpan span(tc, "accel.batch_scan");
+  auto pin = table.PinForScan();
+  const std::vector<Morsel> morsels = table.PlanMorsels(batch.morsel_size);
+  const size_t width = table.schema().NumColumns();
+  const size_t num_workers = MorselWorkerCount(pool, morsels.size());
+
+  struct Worker {
+    TransactionManager::VisibilityChecker visibility;
+    std::vector<uint32_t> sel;
+    BatchScanStats stats;
+  };
+  std::vector<Worker> workers;
+  workers.reserve(num_workers);
+  for (size_t w = 0; w < num_workers; ++w) {
+    workers.push_back(
+        Worker{TransactionManager::VisibilityChecker(&tm, reader, snapshot),
+               {},
+               {}});
+  }
+
+  std::vector<std::vector<Row>> morsel_rows(morsels.size());
+  std::mutex progress_mu;
+  std::vector<int64_t> done(morsels.size(), -1);
+  size_t prefix = 0;
+  size_t prefix_rows = 0;
+  std::atomic<bool> stop{false};
+
+  auto run = [&](size_t w, size_t mi) {
+    if (stop.load(std::memory_order_relaxed)) return;
+    Worker& wk = workers[w];
+    const Morsel& m = morsels[mi];
+    const BatchScanStats before = wk.stats;
+    TraceSpan morsel_span(span.context(), "accel.slice_scan");
+    table.ScanMorsel(
+        m, bp.ranges, &bp.per_slice[m.slice], wk.visibility, &wk.sel,
+        &wk.stats, [&](const ColumnBatch& b) {
+          std::vector<Row>& rows = morsel_rows[mi];
+          rows.reserve(b.sel_count);
+          for (size_t k = 0; k < b.sel_count; ++k) {
+            const size_t i = b.AbsoluteRow(k);
+            Row row(width);
+            for (size_t c = 0; c < width; ++c) {
+              if (projection == nullptr || (*projection)[c]) {
+                row[c] = (*b.columns)[c]->Get(i);
+              }
+            }
+            rows.push_back(std::move(row));
+          }
+        });
+    RecordMorselSpan(morsel_span, m, before, wk.stats);
+    if (limit_cap.has_value()) {
+      std::lock_guard<std::mutex> lock(progress_mu);
+      done[mi] = static_cast<int64_t>(morsel_rows[mi].size());
+      while (prefix < done.size() && done[prefix] >= 0) {
+        prefix_rows += static_cast<size_t>(done[prefix]);
+        ++prefix;
+      }
+      if (prefix_rows >= *limit_cap) {
+        stop.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+  if (pool != nullptr && morsels.size() > 1) {
+    pool->ParallelForDynamic(morsels.size(), num_workers, run);
+  } else {
+    for (size_t mi = 0; mi < morsels.size(); ++mi) run(0, mi);
+  }
+
+  BatchScanStats total;
+  for (const Worker& wk : workers) total.Merge(wk.stats);
+  AddScanMetrics(metrics, total);
+
+  std::vector<Row> out;
+  out.reserve(limit_cap.has_value()
+                  ? std::min(total.rows_selected, *limit_cap)
+                  : total.rows_selected);
+  for (auto& rows : morsel_rows) {
+    for (Row& row : rows) {
+      if (limit_cap.has_value() && out.size() >= *limit_cap) break;
+      out.push_back(std::move(row));
+    }
+  }
+  RecordBatchAttrs(span, total);
+  span.Attr("rows", static_cast<uint64_t>(out.size()));
+  return out;
+}
+
+/// Morsel-driven GROUP BY / aggregation: each worker accumulates into its
+/// own raw-keyed partial (dictionary codes qualified by slice id when a
+/// group key is VARCHAR), merged afterwards through the same
+/// MergePartials as the row path.
+Result<std::vector<Row>> BatchAggregate(
+    const sql::BoundSelect& plan, const ColumnTable& table,
+    const BatchScanPlan& bp, TxnId reader, Csn snapshot,
+    const TransactionManager& tm, ThreadPool* pool, MetricsRegistry* metrics,
+    const BatchOptions& batch, TraceSpan& agg_span) {
+  // How each aggregate consumes its argument: raw int64/double fast paths
+  // for INTEGER/DOUBLE columns, counter-only for COUNT, and the boxed
+  // Value path for types whose min/max must keep their logical type
+  // (DATE/TIMESTAMP/BOOLEAN/VARCHAR).
+  enum class ArgMode { kRow, kCount, kInt64, kDouble, kValue };
+  const Schema& schema = table.schema();
+  std::vector<ArgMode> modes(plan.aggregates.size(), ArgMode::kRow);
+  std::vector<size_t> arg_cols(plan.aggregates.size(), 0);
+  for (size_t a = 0; a < plan.aggregates.size(); ++a) {
+    const auto& agg = plan.aggregates[a];
+    if (agg.func == sql::AggFunc::kCountStar) continue;
+    arg_cols[a] = agg.arg->index;
+    if (agg.func == sql::AggFunc::kCount) {
+      modes[a] = ArgMode::kCount;
+    } else {
+      switch (schema.Column(arg_cols[a]).type) {
+        case DataType::kInteger:
+          modes[a] = ArgMode::kInt64;
+          break;
+        case DataType::kDouble:
+          modes[a] = ArgMode::kDouble;
+          break;
+        default:
+          modes[a] = ArgMode::kValue;
+      }
+    }
+  }
+  bool varchar_key = false;
+  for (const auto& key : plan.group_keys) {
+    if (schema.Column(key->index).type == DataType::kVarchar) {
+      varchar_key = true;
+    }
+  }
+  const size_t key_base = varchar_key ? 1 : 0;
+
+  auto pin = table.PinForScan();
+  const std::vector<Morsel> morsels = table.PlanMorsels(batch.morsel_size);
+  const size_t num_workers = MorselWorkerCount(pool, morsels.size());
+
+  struct Worker {
+    TransactionManager::VisibilityChecker visibility;
+    std::vector<uint32_t> sel;
+    BatchScanStats stats;
+    std::unordered_map<std::vector<uint64_t>, size_t, RawKeyHash> index;
+    SlicePartial partial;
+    std::vector<uint64_t> raw_key;
+  };
+  std::vector<Worker> workers;
+  workers.reserve(num_workers);
+  for (size_t w = 0; w < num_workers; ++w) {
+    workers.push_back(
+        Worker{TransactionManager::VisibilityChecker(&tm, reader, snapshot),
+               {},
+               {},
+               {},
+               {},
+               std::vector<uint64_t>(key_base + plan.group_keys.size() * 2)});
+  }
+
+  auto run = [&](size_t w, size_t mi) {
+    Worker& wk = workers[w];
+    const Morsel& m = morsels[mi];
+    const BatchScanStats before = wk.stats;
+    TraceSpan morsel_span(agg_span.context(), "accel.slice_scan");
+    table.ScanMorsel(
+        m, bp.ranges, &bp.per_slice[m.slice], wk.visibility, &wk.sel,
+        &wk.stats, [&](const ColumnBatch& b) {
+          const auto& columns = *b.columns;
+          for (size_t k = 0; k < b.sel_count; ++k) {
+            const size_t i = b.AbsoluteRow(k);
+            if (varchar_key) wk.raw_key[0] = m.slice;
+            for (size_t g = 0; g < plan.group_keys.size(); ++g) {
+              RawKeyOf(*columns[plan.group_keys[g]->index], i,
+                       &wk.raw_key[key_base + 2 * g],
+                       &wk.raw_key[key_base + 2 * g + 1]);
+            }
+            auto it = wk.index.find(wk.raw_key);
+            size_t group;
+            if (it == wk.index.end()) {
+              group = wk.partial.keys.size();
+              wk.index.emplace(wk.raw_key, group);
+              std::vector<Value> key_values;
+              key_values.reserve(plan.group_keys.size());
+              for (const auto& key : plan.group_keys) {
+                key_values.push_back(columns[key->index]->Get(i));
+              }
+              wk.partial.keys.push_back(std::move(key_values));
+              std::vector<sql::AggregateAccumulator> accs;
+              accs.reserve(plan.aggregates.size());
+              for (const auto& agg : plan.aggregates) accs.emplace_back(agg);
+              wk.partial.accumulators.push_back(std::move(accs));
+            } else {
+              group = it->second;
+            }
+            auto& accs = wk.partial.accumulators[group];
+            for (size_t a = 0; a < plan.aggregates.size(); ++a) {
+              switch (modes[a]) {
+                case ArgMode::kRow:
+                  accs[a].AccumulateRow();
+                  break;
+                case ArgMode::kCount: {
+                  const Column& col = *columns[arg_cols[a]];
+                  if (col.IsNull(i)) {
+                    accs[a].AccumulateNull();
+                  } else {
+                    accs[a].AccumulateCountNonNull();
+                  }
+                  break;
+                }
+                case ArgMode::kInt64: {
+                  const Column& col = *columns[arg_cols[a]];
+                  if (col.IsNull(i)) {
+                    accs[a].AccumulateNull();
+                  } else {
+                    accs[a].AccumulateInt64(col.RawInt(i));
+                  }
+                  break;
+                }
+                case ArgMode::kDouble: {
+                  const Column& col = *columns[arg_cols[a]];
+                  if (col.IsNull(i)) {
+                    accs[a].AccumulateNull();
+                  } else {
+                    accs[a].AccumulateDouble(col.RawDouble(i));
+                  }
+                  break;
+                }
+                case ArgMode::kValue:
+                  accs[a].Accumulate(columns[arg_cols[a]]->Get(i));
+                  break;
+              }
+            }
+          }
+        });
+    RecordMorselSpan(morsel_span, m, before, wk.stats);
+  };
+  if (pool != nullptr && morsels.size() > 1) {
+    pool->ParallelForDynamic(morsels.size(), num_workers, run);
+  } else {
+    for (size_t mi = 0; mi < morsels.size(); ++mi) run(0, mi);
+  }
+
+  BatchScanStats total;
+  std::vector<SlicePartial> partials;
+  partials.reserve(workers.size());
+  for (Worker& wk : workers) {
+    total.Merge(wk.stats);
+    partials.push_back(std::move(wk.partial));
+  }
+  AddScanMetrics(metrics, total);
+  RecordBatchAttrs(agg_span, total);
+  return MergePartials(plan, &partials);
 }
 
 // ---------------------------------------------------------------------------
@@ -450,11 +786,26 @@ Result<std::optional<ResultSet>> TrySliceJoin(
 Result<std::optional<std::vector<Row>>> TrySliceAggregation(
     const sql::BoundSelect& plan, const ColumnTable& table, TxnId reader,
     Csn snapshot, const TransactionManager& tm, ThreadPool* pool,
-    MetricsRegistry* metrics, TraceContext tc = {}) {
+    MetricsRegistry* metrics, TraceContext tc = {},
+    const BatchOptions& batch = {}) {
   if (!EligibleForSliceAggregation(plan)) {
     return std::optional<std::vector<Row>>();
   }
   TraceSpan agg_span(tc, "accel.slice_aggregation");
+  if (batch.enabled) {
+    BatchScanPlan bp;
+    if (PrepareBatchScan(table, plan.tables[0].scan_predicate.get(), &bp)) {
+      IDAA_ASSIGN_OR_RETURN(
+          std::vector<Row> post_rows,
+          BatchAggregate(plan, table, bp, reader, snapshot, tm, pool, metrics,
+                         batch, agg_span));
+      agg_span.End();
+      TraceSpan merge_span(tc, "accel.coordinator_merge");
+      merge_span.Attr("groups", static_cast<uint64_t>(post_rows.size()));
+      return std::optional<std::vector<Row>>(std::move(post_rows));
+    }
+  }
+  agg_span.Attr("batch_path", "false");
   const size_t num_slices = table.num_slices();
   std::vector<SlicePartial> partials(num_slices);
   std::vector<Status> statuses(num_slices);
@@ -495,7 +846,15 @@ Result<std::vector<Row>> ParallelScan(
     const ColumnTable& table, const sql::BoundExpr* predicate, TxnId reader,
     Csn snapshot, const TransactionManager& tm, ThreadPool* pool,
     MetricsRegistry* metrics, const std::vector<uint8_t>* projection,
-    TraceContext tc) {
+    TraceContext tc, const BatchOptions& batch,
+    std::optional<size_t> limit_cap) {
+  if (batch.enabled) {
+    BatchScanPlan bp;
+    if (PrepareBatchScan(table, predicate, &bp)) {
+      return BatchGather(table, bp, reader, snapshot, tm, pool, metrics,
+                         projection, limit_cap, batch, tc);
+    }
+  }
   const size_t num_slices = table.num_slices();
   std::vector<Result<std::vector<Row>>> partials(
       num_slices, Result<std::vector<Row>>(std::vector<Row>{}));
@@ -504,6 +863,7 @@ Result<std::vector<Row>> ParallelScan(
     SliceScanStats stats;
     partials[s] = table.ScanSlice(s, predicate, reader, snapshot, tm, metrics,
                                   projection, &stats);
+    slice_span.Attr("batch_path", "false");
     slice_span.Attr("slice", static_cast<uint64_t>(s));
     slice_span.Attr("rows_scanned", static_cast<uint64_t>(stats.rows_scanned));
     slice_span.Attr("zone_map_skipped",
@@ -530,14 +890,15 @@ Result<ResultSet> ExecuteAccelSelect(const sql::BoundSelect& plan,
                                      const TransactionManager& tm,
                                      ThreadPool* pool,
                                      MetricsRegistry* metrics,
-                                     TraceContext tc) {
+                                     TraceContext tc,
+                                     const BatchOptions& batch) {
   // Columnar fast paths. Single table: aggregation computed at the slices.
   // Star joins: dimensions broadcast to the slices, probe during the scan.
   if (EligibleForSliceAggregation(plan) && plan.tables.size() == 1) {
     IDAA_ASSIGN_OR_RETURN(const ColumnTable* table, resolver(plan.tables[0]));
     IDAA_ASSIGN_OR_RETURN(
         auto post_rows, TrySliceAggregation(plan, *table, reader, snapshot, tm,
-                                            pool, metrics, tc));
+                                            pool, metrics, tc, batch));
     if (post_rows.has_value()) {
       return exec::FinalizeSelect(plan, std::move(*post_rows));
     }
@@ -549,12 +910,16 @@ Result<ResultSet> ExecuteAccelSelect(const sql::BoundSelect& plan,
     if (joined.has_value()) return std::move(*joined);
   }
 
+  // Single-table scans whose result only passes through projection + LIMIT
+  // can stop early: the scan needs to produce at most `limit_cap` rows.
+  const std::optional<size_t> limit_cap = exec::ScanOutputCap(plan);
   std::vector<std::vector<uint8_t>> projections = ComputeProjections(plan);
   exec::TableSource source = [&](size_t index) -> Result<std::vector<Row>> {
     const sql::BoundTable& bt = plan.tables[index];
     IDAA_ASSIGN_OR_RETURN(const ColumnTable* table, resolver(bt));
     return ParallelScan(*table, bt.scan_predicate.get(), reader, snapshot, tm,
-                        pool, metrics, &projections[index], tc);
+                        pool, metrics, &projections[index], tc, batch,
+                        limit_cap);
   };
   exec::ExecutorOptions options;
   options.metrics = nullptr;  // slice scans account their own rows

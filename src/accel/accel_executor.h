@@ -13,15 +13,31 @@
 
 namespace idaa::accel {
 
-/// Scan all slices of a table in parallel (one task per data slice),
-/// applying `predicate` inside the scan, and concatenate the results in
-/// slice order (deterministic). With a trace context, each slice records a
-/// span with its scan/zone-map accounting.
+/// Runtime knobs for the vectorized batch path, resolved per statement
+/// from AcceleratorOptions (the enable flag is toggleable at runtime for
+/// differential testing).
+struct BatchOptions {
+  bool enabled = true;
+  size_t morsel_size = kDefaultMorselSize;
+};
+
+/// Scan all slices of a table in parallel, applying `predicate` inside the
+/// scan, and concatenate the results in slice order (deterministic). When
+/// the predicate compiles to an exact batch form and `batch.enabled`, the
+/// scan is morsel-driven (fixed row ranges pulled from a shared cursor)
+/// with selection-vector filtering and late materialization, and honors
+/// `limit_cap` (stop pulling morsels once the first `limit_cap` surviving
+/// rows are known); otherwise one task per slice runs the row-at-a-time
+/// path and `limit_cap` is ignored (the runtime's LIMIT still applies).
+/// With a trace context, each slice/morsel records a span with its
+/// scan/zone-map accounting.
 Result<std::vector<Row>> ParallelScan(
     const ColumnTable& table, const sql::BoundExpr* predicate, TxnId reader,
     Csn snapshot, const TransactionManager& tm, ThreadPool* pool,
     MetricsRegistry* metrics,
-    const std::vector<uint8_t>* projection = nullptr, TraceContext tc = {});
+    const std::vector<uint8_t>* projection = nullptr, TraceContext tc = {},
+    const BatchOptions& batch = {},
+    std::optional<size_t> limit_cap = std::nullopt);
 
 /// True when the plan's aggregation can run at the data slices (one
 /// table, no residual predicate, plain-column keys and arguments, no
@@ -42,6 +58,7 @@ Result<ResultSet> ExecuteAccelSelect(const sql::BoundSelect& plan,
                                      const TransactionManager& tm,
                                      ThreadPool* pool,
                                      MetricsRegistry* metrics,
-                                     TraceContext tc = {});
+                                     TraceContext tc = {},
+                                     const BatchOptions& batch = {});
 
 }  // namespace idaa::accel

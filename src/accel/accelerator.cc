@@ -5,7 +5,8 @@ namespace idaa::accel {
 Accelerator::Accelerator(const AcceleratorOptions& options,
                          TransactionManager* tm, MetricsRegistry* metrics,
                          std::string name)
-    : options_(options), name_(Catalog::NormalizeName(name)), tm_(tm),
+    : options_(options), name_(Catalog::NormalizeName(name)),
+      batch_path_enabled_(options.enable_batch_path), tm_(tm),
       metrics_(metrics), pool_(options.num_threads) {}
 
 size_t Accelerator::NumTables() const {
@@ -69,8 +70,11 @@ Result<ResultSet> Accelerator::ExecuteSelect(const sql::BoundSelect& plan,
       [this](const sql::BoundTable& bt) -> Result<const ColumnTable*> {
     return static_cast<const Accelerator*>(this)->GetTable(bt.info->name);
   };
+  BatchOptions batch;
+  batch.enabled = batch_path_enabled_.load(std::memory_order_relaxed);
+  batch.morsel_size = options_.morsel_size;
   return ExecuteAccelSelect(plan, resolver, reader, snapshot, *tm_, &pool_,
-                            metrics_, tc);
+                            metrics_, tc, batch);
 }
 
 Result<size_t> Accelerator::ExecuteUpdate(const sql::BoundUpdate& plan,

@@ -34,6 +34,12 @@ class Accelerator {
   void SetAvailable(bool available) { available_ = available; }
   bool available() const { return available_; }
 
+  /// Runtime toggle for the vectorized batch path (differential testing /
+  /// benchmarking against the row-at-a-time fallback; results are
+  /// identical either way).
+  void SetBatchPathEnabled(bool enabled) { batch_path_enabled_ = enabled; }
+  bool batch_path_enabled() const { return batch_path_enabled_; }
+
   /// Number of tables currently hosted (placement balancing).
   size_t NumTables() const;
 
@@ -76,6 +82,7 @@ class Accelerator {
   AcceleratorOptions options_;
   std::string name_;
   std::atomic<bool> available_{true};
+  std::atomic<bool> batch_path_enabled_;
   TransactionManager* tm_;
   MetricsRegistry* metrics_;
   ThreadPool pool_;

@@ -1,0 +1,238 @@
+#include "accel/batch.h"
+
+namespace idaa::accel {
+
+namespace {
+
+// Compact `sel` to the offsets whose element passes `op` against `lit`,
+// skipping NULLs. `get(i)` reads the raw value at absolute row i; the
+// comparison semantics mirror Value::Compare for the representation the
+// caller compiled (see CompileBatchPredicate).
+template <typename GetFn, typename T>
+size_t FilterCompare(std::vector<uint32_t>& sel, size_t sel_base,
+                     const uint8_t* nulls, sql::BinaryOp op, GetFn get,
+                     T lit) {
+  size_t kept = 0;
+  switch (op) {
+    case sql::BinaryOp::kEq:
+      for (uint32_t off : sel) {
+        size_t i = sel_base + off;
+        if (!nulls[i] && get(i) == lit) sel[kept++] = off;
+      }
+      break;
+    case sql::BinaryOp::kLt:
+      for (uint32_t off : sel) {
+        size_t i = sel_base + off;
+        if (!nulls[i] && get(i) < lit) sel[kept++] = off;
+      }
+      break;
+    case sql::BinaryOp::kLtEq:
+      for (uint32_t off : sel) {
+        size_t i = sel_base + off;
+        if (!nulls[i] && get(i) <= lit) sel[kept++] = off;
+      }
+      break;
+    case sql::BinaryOp::kGt:
+      for (uint32_t off : sel) {
+        size_t i = sel_base + off;
+        if (!nulls[i] && get(i) > lit) sel[kept++] = off;
+      }
+      break;
+    case sql::BinaryOp::kGtEq:
+      for (uint32_t off : sel) {
+        size_t i = sel_base + off;
+        if (!nulls[i] && get(i) >= lit) sel[kept++] = off;
+      }
+      break;
+    default:
+      // Non-range operators never reach the batch path
+      // (ExtractColumnRanges only emits the five above).
+      break;
+  }
+  return kept;
+}
+
+// True when the op holds for a three-way comparison result `c`
+// (c = compare(element, literal)).
+bool OpHolds(sql::BinaryOp op, int c) {
+  switch (op) {
+    case sql::BinaryOp::kEq:
+      return c == 0;
+    case sql::BinaryOp::kLt:
+      return c < 0;
+    case sql::BinaryOp::kLtEq:
+      return c <= 0;
+    case sql::BinaryOp::kGt:
+      return c > 0;
+    case sql::BinaryOp::kGtEq:
+      return c >= 0;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::optional<BatchPredicate> CompileBatchPredicate(
+    const std::vector<ColumnRange>& ranges,
+    const std::vector<std::unique_ptr<Column>>& columns) {
+  BatchPredicate out;
+  for (const ColumnRange& r : ranges) {
+    if (r.column >= columns.size()) return std::nullopt;
+    const Column& col = *columns[r.column];
+    const Value& lit = r.literal;
+    if (lit.is_null()) {
+      // Value::Compare errors on NULL; the row-at-a-time scan drops every
+      // row for such a conjunct.
+      out.never_matches = true;
+      return out;
+    }
+    CompiledCompare cc;
+    cc.column = r.column;
+    cc.op = r.op;
+    switch (col.type()) {
+      case DataType::kBoolean:
+        // Compare admits only boolean-vs-boolean here.
+        if (!lit.is_boolean()) {
+          out.never_matches = true;
+          return out;
+        }
+        cc.rep = CompiledCompare::Rep::kInt;
+        cc.int_literal = lit.AsBoolean() ? 1 : 0;
+        break;
+      case DataType::kInteger:
+      case DataType::kDate:
+      case DataType::kTimestamp: {
+        if (lit.is_varchar() || lit.is_boolean()) {
+          out.never_matches = true;
+          return out;
+        }
+        if (col.type() == DataType::kInteger && lit.is_integer()) {
+          // Same-kind integers take Value::Compare's exact path.
+          cc.rep = CompiledCompare::Rep::kInt;
+          cc.int_literal = lit.AsInteger();
+        } else {
+          // Numeric cross-type comparison goes through double, exactly as
+          // Value::Compare does.
+          auto d = lit.ToDouble();
+          if (!d.ok()) {
+            out.never_matches = true;
+            return out;
+          }
+          cc.rep = CompiledCompare::Rep::kIntAsDouble;
+          cc.double_literal = *d;
+        }
+        break;
+      }
+      case DataType::kDouble: {
+        if (lit.is_varchar() || lit.is_boolean()) {
+          out.never_matches = true;
+          return out;
+        }
+        auto d = lit.ToDouble();
+        if (!d.ok()) {
+          out.never_matches = true;
+          return out;
+        }
+        cc.rep = CompiledCompare::Rep::kDouble;
+        cc.double_literal = *d;
+        break;
+      }
+      case DataType::kVarchar: {
+        if (!lit.is_varchar()) {
+          out.never_matches = true;
+          return out;
+        }
+        if (r.op == sql::BinaryOp::kEq) {
+          int64_t code = col.LookupCode(lit.AsVarchar());
+          if (code < 0) {
+            out.never_matches = true;
+            return out;
+          }
+          cc.rep = CompiledCompare::Rep::kCode;
+          cc.code_literal = static_cast<uint32_t>(code);
+        } else {
+          // Ordering on VARCHAR: evaluate the string comparison once per
+          // dictionary entry instead of once per row.
+          cc.rep = CompiledCompare::Rep::kCodeTable;
+          cc.pass_table.resize(col.DictSize());
+          for (uint32_t code = 0; code < cc.pass_table.size(); ++code) {
+            int c = col.DictEntry(code).compare(lit.AsVarchar());
+            cc.pass_table[code] = OpHolds(r.op, c < 0 ? -1 : (c > 0 ? 1 : 0));
+          }
+        }
+        break;
+      }
+    }
+    out.compares.push_back(std::move(cc));
+  }
+  return out;
+}
+
+void FilterVisibility(const TxnId* createxid, const TxnId* deletexid,
+                      size_t range_begin, size_t range_end, size_t sel_base,
+                      const TransactionManager::VisibilityChecker& visibility,
+                      std::vector<uint32_t>* sel) {
+  for (size_t i = range_begin; i < range_end; ++i) {
+    if (visibility.IsVisible(createxid[i], deletexid[i])) {
+      sel->push_back(static_cast<uint32_t>(i - sel_base));
+    }
+  }
+}
+
+void ApplyBatchPredicate(const BatchPredicate& predicate,
+                         const std::vector<std::unique_ptr<Column>>& columns,
+                         size_t sel_base, std::vector<uint32_t>* sel) {
+  for (const CompiledCompare& cmp : predicate.compares) {
+    if (sel->empty()) return;
+    const Column& col = *columns[cmp.column];
+    const uint8_t* nulls = col.NullsData();
+    size_t kept = 0;
+    switch (cmp.rep) {
+      case CompiledCompare::Rep::kInt: {
+        const int64_t* data = col.IntsData();
+        kept = FilterCompare(
+            *sel, sel_base, nulls, cmp.op,
+            [data](size_t i) { return data[i]; }, cmp.int_literal);
+        break;
+      }
+      case CompiledCompare::Rep::kIntAsDouble: {
+        const int64_t* data = col.IntsData();
+        kept = FilterCompare(
+            *sel, sel_base, nulls, cmp.op,
+            [data](size_t i) { return static_cast<double>(data[i]); },
+            cmp.double_literal);
+        break;
+      }
+      case CompiledCompare::Rep::kDouble: {
+        const double* data = col.DoublesData();
+        kept = FilterCompare(
+            *sel, sel_base, nulls, cmp.op,
+            [data](size_t i) { return data[i]; }, cmp.double_literal);
+        break;
+      }
+      case CompiledCompare::Rep::kCode: {
+        const uint32_t* data = col.CodesData();
+        for (uint32_t off : *sel) {
+          size_t i = sel_base + off;
+          if (!nulls[i] && data[i] == cmp.code_literal) (*sel)[kept++] = off;
+        }
+        break;
+      }
+      case CompiledCompare::Rep::kCodeTable: {
+        const uint32_t* data = col.CodesData();
+        const std::vector<uint8_t>& pass = cmp.pass_table;
+        for (uint32_t off : *sel) {
+          size_t i = sel_base + off;
+          if (!nulls[i] && data[i] < pass.size() && pass[data[i]]) {
+            (*sel)[kept++] = off;
+          }
+        }
+        break;
+      }
+    }
+    sel->resize(kept);
+  }
+}
+
+}  // namespace idaa::accel

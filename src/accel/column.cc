@@ -4,6 +4,20 @@
 
 namespace idaa::accel {
 
+void Column::Reserve(size_t n) {
+  nulls_.reserve(n);
+  switch (type_) {
+    case DataType::kDouble:
+      doubles_.reserve(n);
+      break;
+    case DataType::kVarchar:
+      codes_.reserve(n);
+      break;
+    default:
+      ints_.reserve(n);
+  }
+}
+
 Status Column::Append(const Value& v) {
   if (v.is_null()) {
     nulls_.push_back(1);

@@ -21,6 +21,9 @@ class Column {
   DataType type() const { return type_; }
   size_t size() const { return nulls_.size(); }
 
+  /// Pre-size the backing arrays for `n` total elements (bulk ingest).
+  void Reserve(size_t n);
+
   /// Append a value (must match the column type or be NULL).
   Status Append(const Value& v);
 
@@ -40,6 +43,14 @@ class Column {
   /// Dictionary code for `s`, or -1 if the string never occurs in the
   /// column (lets equality predicates skip the column entirely).
   int64_t LookupCode(const std::string& s) const;
+
+  /// Raw array views for the batch engine (valid until the next Append /
+  /// reallocation; callers hold the table lock while reading them). Only
+  /// the array matching type() is populated.
+  const uint8_t* NullsData() const { return nulls_.data(); }
+  const int64_t* IntsData() const { return ints_.data(); }
+  const double* DoublesData() const { return doubles_.data(); }
+  const uint32_t* CodesData() const { return codes_.data(); }
 
   /// Approximate compressed footprint in bytes.
   size_t ByteSize() const;

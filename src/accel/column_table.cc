@@ -18,6 +18,12 @@ ColumnTable::Slice::Slice(const Schema& schema, size_t zone_size)
   }
 }
 
+void ColumnTable::Slice::Reserve(size_t n) {
+  for (auto& col : columns) col->Reserve(n);
+  createxid.reserve(n);
+  deletexid.reserve(n);
+}
+
 Status ColumnTable::Slice::Append(const Row& row, TxnId txn) {
   size_t row_index = NumRows();
   for (size_t c = 0; c < columns.size(); ++c) {
@@ -66,6 +72,13 @@ size_t ColumnTable::SliceFor(const Row& row) {
 
 Status ColumnTable::Insert(const std::vector<Row>& rows, TxnId txn) {
   std::unique_lock<std::shared_mutex> lock(mu_);
+  if (rows.size() > 1) {
+    // Bulk ingest (loader / replication apply): pre-size every slice for
+    // its share so per-row appends stop reallocating. Hashed distribution
+    // is roughly uniform; round-robin exactly so.
+    size_t per_slice = rows.size() / slices_.size() + 1;
+    for (Slice& slice : slices_) slice.Reserve(slice.NumRows() + per_slice);
+  }
   for (const Row& row : rows) {
     IDAA_ASSIGN_OR_RETURN(Row coerced, CoerceRowToSchema(row, schema_));
     IDAA_RETURN_IF_ERROR(schema_.ValidateRow(coerced));
@@ -188,11 +201,19 @@ Result<std::vector<Row>> ColumnTable::ScanSlice(
     size_t slice_index, const BoundExpr* predicate, TxnId reader, Csn snapshot,
     const TransactionManager& tm, MetricsRegistry* metrics,
     const std::vector<uint8_t>* projection, SliceScanStats* stats) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  // Pin the layout (blocks Groom's index-shifting rebuilds, not writers),
+  // then take the data lock per zone so a long scan never stalls writers
+  // for more than one zone's worth of work.
+  std::shared_lock<std::shared_mutex> groom_pin(groom_mu_);
   TransactionManager::VisibilityChecker visibility(&tm, reader, snapshot);
   const Slice& slice = slices_[slice_index];
-  const size_t num_rows = slice.NumRows();
+  size_t num_rows;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    num_rows = slice.NumRows();
+  }
   std::vector<Row> out;
+  out.reserve(std::min<size_t>(num_rows, 1024));
 
   std::vector<ColumnRange> ranges;
   bool exact_ranges = false;
@@ -203,10 +224,12 @@ Result<std::vector<Row>> ColumnTable::ScanSlice(
   const size_t zone_size = options_.zone_size;
   size_t rows_scanned = 0;
   size_t rows_skipped = 0;
+  std::vector<Row> candidates;
 
   for (size_t zone_start = 0; zone_start < num_rows; zone_start += zone_size) {
     size_t zone = zone_start / zone_size;
     size_t zone_end = std::min(zone_start + zone_size, num_rows);
+    std::shared_lock<std::shared_mutex> lock(mu_);
     if (options_.enable_zone_maps && !ranges.empty() &&
         !slice.zone_map.ZoneCanMatch(zone, ranges)) {
       rows_skipped += zone_end - zone_start;
@@ -244,15 +267,21 @@ Result<std::vector<Row>> ColumnTable::ScanSlice(
       }
     }
 
+    candidates.clear();
     for (size_t i = zone_start; i < zone_end; ++i) {
       ++rows_scanned;
       if (!selected[i - zone_start]) continue;
       if (!visibility.IsVisible(slice.createxid[i], slice.deletexid[i])) {
         continue;
       }
-      Row row = projection != nullptr
-                    ? slice.MaterializeProjected(i, *projection)
-                    : slice.MaterializeRow(i);
+      candidates.push_back(projection != nullptr
+                               ? slice.MaterializeProjected(i, *projection)
+                               : slice.MaterializeRow(i));
+    }
+    // Residual predicate evaluation runs on materialized copies, outside
+    // the data lock — arbitrary expression work must not stall writers.
+    lock.unlock();
+    for (Row& row : candidates) {
       if (predicate != nullptr && !exact_ranges) {
         IDAA_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*predicate, row));
         if (!pass) continue;
@@ -278,7 +307,6 @@ Status ColumnTable::VisitVisible(size_t slice_index,
                                  MetricsRegistry* metrics,
                                  const ColumnVisitor& visitor,
                                  SliceScanStats* stats) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<ColumnRange> ranges;
   if (predicate != nullptr) {
     bool exact = false;
@@ -288,9 +316,17 @@ Status ColumnTable::VisitVisible(size_t slice_index,
           "predicate not expressible as column ranges");
     }
   }
+  // As in ScanSlice: pin the layout for the whole visit, hold the data
+  // lock only per zone so the visitor (which may feed a slow coordinator)
+  // cannot stall Groom or writers for the whole slice.
+  std::shared_lock<std::shared_mutex> groom_pin(groom_mu_);
   TransactionManager::VisibilityChecker visibility(&tm, reader, snapshot);
   const Slice& slice = slices_[slice_index];
-  const size_t num_rows = slice.NumRows();
+  size_t num_rows;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    num_rows = slice.NumRows();
+  }
   const size_t zone_size = options_.zone_size;
   size_t rows_scanned = 0;
   size_t rows_skipped = 0;
@@ -298,6 +334,7 @@ Status ColumnTable::VisitVisible(size_t slice_index,
   for (size_t zone_start = 0; zone_start < num_rows; zone_start += zone_size) {
     size_t zone = zone_start / zone_size;
     size_t zone_end = std::min(zone_start + zone_size, num_rows);
+    std::shared_lock<std::shared_mutex> lock(mu_);
     if (options_.enable_zone_maps && !ranges.empty() &&
         !slice.zone_map.ZoneCanMatch(zone, ranges)) {
       rows_skipped += zone_end - zone_start;
@@ -361,6 +398,9 @@ Result<size_t> ColumnTable::CountVisible(TxnId reader, Csn snapshot,
 }
 
 GroomStats ColumnTable::Groom(Csn horizon, const TransactionManager& tm) {
+  // Rebuilding a slice shifts row indexes, so wait out pinned scans first
+  // (lock order: groom_mu_ then mu_, matching the scan paths).
+  std::unique_lock<std::shared_mutex> groom_lock(groom_mu_);
   std::unique_lock<std::shared_mutex> lock(mu_);
   GroomStats stats;
   for (Slice& slice : slices_) {
@@ -400,6 +440,69 @@ GroomStats ColumnTable::Groom(Csn horizon, const TransactionManager& tm) {
     slice = std::move(rebuilt);
   }
   return stats;
+}
+
+std::vector<Morsel> ColumnTable::PlanMorsels(size_t morsel_size) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const size_t zone = options_.zone_size;
+  // Zone-align the morsel size so zone-map pruning stays whole-zone.
+  const size_t step =
+      std::max(zone, (std::max<size_t>(morsel_size, 1) + zone - 1) / zone * zone);
+  std::vector<Morsel> morsels;
+  for (size_t s = 0; s < slices_.size(); ++s) {
+    const size_t n = slices_[s].NumRows();
+    for (size_t b = 0; b < n; b += step) {
+      morsels.push_back({s, b, std::min(b + step, n)});
+    }
+  }
+  return morsels;
+}
+
+std::optional<BatchPredicate> ColumnTable::CompilePredicateForSlice(
+    size_t slice_index, const std::vector<ColumnRange>& ranges) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return CompileBatchPredicate(ranges, slices_[slice_index].columns);
+}
+
+void ColumnTable::ScanMorsel(const Morsel& morsel,
+                             const std::vector<ColumnRange>& ranges,
+                             const BatchPredicate* predicate,
+                             const TransactionManager::VisibilityChecker& visibility,
+                             std::vector<uint32_t>* sel, BatchScanStats* stats,
+                             const BatchConsumer& consumer) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const Slice& slice = slices_[morsel.slice];
+  ++stats->morsels;
+  sel->clear();
+  if (predicate != nullptr && predicate->never_matches) return;
+  const size_t zone_size = options_.zone_size;
+  const size_t end = std::min(morsel.row_end, slice.NumRows());
+  // morsel.row_begin is zone-aligned by PlanMorsels.
+  for (size_t zone_start = morsel.row_begin; zone_start < end;
+       zone_start += zone_size) {
+    const size_t zone_end = std::min(zone_start + zone_size, end);
+    if (options_.enable_zone_maps && !ranges.empty() &&
+        !slice.zone_map.ZoneCanMatch(zone_start / zone_size, ranges)) {
+      stats->rows_skipped_zone_map += zone_end - zone_start;
+      continue;
+    }
+    stats->rows_scanned += zone_end - zone_start;
+    FilterVisibility(slice.createxid.data(), slice.deletexid.data(),
+                     zone_start, zone_end, morsel.row_begin, visibility, sel);
+  }
+  if (predicate != nullptr && !sel->empty()) {
+    ApplyBatchPredicate(*predicate, slice.columns, morsel.row_begin, sel);
+  }
+  stats->rows_selected += sel->size();
+  if (sel->empty()) return;
+  ++stats->batches;
+  ColumnBatch batch;
+  batch.columns = &slice.columns;
+  batch.row_begin = morsel.row_begin;
+  batch.row_count = end - morsel.row_begin;
+  batch.sel = sel->data();
+  batch.sel_count = sel->size();
+  consumer(batch);
 }
 
 size_t ColumnTable::NumVersions() const {

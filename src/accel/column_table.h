@@ -14,6 +14,7 @@
 #include <shared_mutex>
 #include <vector>
 
+#include "accel/batch.h"
 #include "accel/column.h"
 #include "accel/zone_map.h"
 #include "common/metrics.h"
@@ -31,6 +32,11 @@ struct AcceleratorOptions {
   size_t zone_size = 1024;    ///< rows per zone-map extent
   bool enable_zone_maps = true;
   size_t num_threads = 4;     ///< worker threads for slice parallelism
+  /// Vectorized batch execution (selection-vector scans over raw column
+  /// arrays). When off — or when a query is not batchable — the
+  /// row-at-a-time path runs instead; results are identical.
+  bool enable_batch_path = true;
+  size_t morsel_size = kDefaultMorselSize;  ///< rows per scan morsel
 };
 
 /// Result of a groom (space reclamation) pass.
@@ -114,6 +120,43 @@ class ColumnTable {
                       MetricsRegistry* metrics, const ColumnVisitor& visitor,
                       SliceScanStats* stats = nullptr) const;
 
+  // ---- Vectorized batch scan interface ----------------------------------
+
+  const AcceleratorOptions& options() const { return options_; }
+
+  /// Pin the physical layout for a multi-acquisition scan: while held,
+  /// Groom cannot rebuild slices (which would shift row indexes), but
+  /// writers still append and mark deletes freely. Scans that release and
+  /// re-take the data lock between morsels must hold a pin for their whole
+  /// duration. Lock order: groom pin before the data lock, always.
+  std::shared_lock<std::shared_mutex> PinForScan() const {
+    return std::shared_lock<std::shared_mutex>(groom_mu_);
+  }
+
+  /// Split every slice's current rows into zone-aligned morsels of about
+  /// `morsel_size` rows, in slice order (so morsel-order concatenation
+  /// equals slice-order concatenation). Rows appended after planning are
+  /// not covered — they postdate the scan snapshot.
+  std::vector<Morsel> PlanMorsels(size_t morsel_size) const;
+
+  /// Compile `ranges` against one slice's dictionaries (codes are
+  /// slice-local). nullopt → not batchable, use the row path.
+  std::optional<BatchPredicate> CompilePredicateForSlice(
+      size_t slice_index, const std::vector<ColumnRange>& ranges) const;
+
+  /// Scan one morsel: bulk visibility over createxid/deletexid, zone-map
+  /// pruning, compiled predicate column-at-a-time, then hand the surviving
+  /// selection to `consumer` as a ColumnBatch. The data lock is held only
+  /// for the duration of this call (callers hold a PinForScan across the
+  /// whole morsel loop); `sel` is caller-owned scratch so workers reuse
+  /// the allocation across morsels.
+  using BatchConsumer = std::function<void(const ColumnBatch& batch)>;
+  void ScanMorsel(const Morsel& morsel, const std::vector<ColumnRange>& ranges,
+                  const BatchPredicate* predicate,
+                  const TransactionManager::VisibilityChecker& visibility,
+                  std::vector<uint32_t>* sel, BatchScanStats* stats,
+                  const BatchConsumer& consumer) const;
+
   /// Reclaim rows whose deletion committed at csn <= horizon and rows
   /// created by aborted transactions; clears aborted deletexids.
   GroomStats Groom(Csn horizon, const TransactionManager& tm);
@@ -133,6 +176,8 @@ class ColumnTable {
 
     Slice(const Schema& schema, size_t zone_size);
     size_t NumRows() const { return createxid.size(); }
+    /// Pre-size all per-row arrays for `n` total rows (bulk ingest).
+    void Reserve(size_t n);
     Status Append(const Row& row, TxnId txn);
     Row MaterializeRow(size_t i) const;
     /// Materialize only the flagged columns (others stay NULL).
@@ -145,6 +190,12 @@ class ColumnTable {
   Schema schema_;
   std::optional<size_t> distribution_column_;
   AcceleratorOptions options_;
+  // Two-level locking: mu_ protects all per-slice data and is held only
+  // briefly (per zone / per morsel) by scans so writers interleave;
+  // groom_mu_ is taken shared by scans for their whole duration (PinForScan)
+  // and unique by Groom, whose slice rebuilds shift row indexes. Order:
+  // groom_mu_ then mu_.
+  mutable std::shared_mutex groom_mu_;
   mutable std::shared_mutex mu_;
   std::vector<Slice> slices_;
   size_t round_robin_next_ = 0;

@@ -1,6 +1,8 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 
 namespace idaa {
 
@@ -37,6 +39,29 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   futures.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     futures.push_back(Submit([&fn, i] { fn(i); }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+void ThreadPool::ParallelForDynamic(
+    size_t n, size_t workers, const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  workers = std::max<size_t>(1, std::min(workers, n));
+  if (workers == 1) {
+    for (size_t i = 0; i < n; ++i) fn(0, i);
+    return;
+  }
+  auto cursor = std::make_shared<std::atomic<size_t>>(0);
+  std::vector<std::future<void>> futures;
+  futures.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    futures.push_back(Submit([cursor, n, w, &fn] {
+      while (true) {
+        size_t i = cursor->fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        fn(w, i);
+      }
+    }));
   }
   for (auto& f : futures) f.get();
 }

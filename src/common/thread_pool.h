@@ -31,6 +31,16 @@ class ThreadPool {
   /// Run fn(i) for i in [0, n) across the pool and wait for all.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Morsel-driven scheduling: `workers` pullers (clamped to [1, n]) each
+  /// draw the next index from a shared atomic cursor until [0, n) is
+  /// drained, then blocks until every index completed. A puller finishing
+  /// a cheap index immediately takes the next, so skewed per-index costs
+  /// no longer bound wall-clock the way one-task-per-shard fan-out does.
+  /// fn(worker, index): `worker` < min(workers, n) lets callers keep
+  /// per-worker state (partial aggregates, scratch buffers) lock-free.
+  void ParallelForDynamic(size_t n, size_t workers,
+                          const std::function<void(size_t, size_t)>& fn);
+
  private:
   void WorkerLoop();
 

@@ -443,4 +443,13 @@ Result<ResultSet> ExecuteBoundSelect(const BoundSelect& plan,
   return FinishSelect(plan, std::move(combined));
 }
 
+std::optional<size_t> ScanOutputCap(const sql::BoundSelect& plan) {
+  if (plan.tables.size() != 1) return std::nullopt;
+  if (plan.has_aggregation || plan.distinct) return std::nullopt;
+  if (!plan.order_by.empty()) return std::nullopt;
+  if (plan.where || plan.having) return std::nullopt;
+  if (!plan.limit || *plan.limit < 0) return std::nullopt;
+  return static_cast<size_t>(*plan.limit);
+}
+
 }  // namespace idaa::exec

@@ -64,4 +64,12 @@ void ExtractEquiKeys(const sql::BoundExpr& on, size_t right_offset,
 Result<ResultSet> FinalizeSelect(const sql::BoundSelect& plan,
                                  std::vector<Row> post_rows);
 
+/// Rows a single-table scan must produce before LIMIT alone truncates the
+/// result: plan.limit when no post-scan operator can reorder, merge or
+/// drop rows (no join, aggregation, DISTINCT, ORDER BY, HAVING or residual
+/// WHERE). nullopt → the scan must be exhaustive. Lets a scan that applies
+/// its predicates in-storage stop early (late materialization of at most
+/// LIMIT rows).
+std::optional<size_t> ScanOutputCap(const sql::BoundSelect& plan);
+
 }  // namespace idaa::exec

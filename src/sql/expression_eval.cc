@@ -427,6 +427,40 @@ void AggregateAccumulator::Accumulate(const Value& v) {
   }
 }
 
+void AggregateAccumulator::AccumulateInt64(int64_t v) {
+  ++row_count_;
+  ++non_null_count_;
+  if (min_.is_null()) {
+    min_ = Value::Integer(v);
+    max_ = Value::Integer(v);
+  } else {
+    // The batch path feeds one column, so min_/max_ are integers too and
+    // Value::Compare's exact integer path applies.
+    if (v < min_.AsInteger()) min_ = Value::Integer(v);
+    if (v > max_.AsInteger()) max_ = Value::Integer(v);
+  }
+  int_sum_ += v;
+  sum_ += static_cast<double>(v);
+  sum_sq_ += static_cast<double>(v) * v;
+}
+
+void AggregateAccumulator::AccumulateDouble(double v) {
+  ++row_count_;
+  ++non_null_count_;
+  if (min_.is_null()) {
+    min_ = Value::Double(v);
+    max_ = Value::Double(v);
+  } else {
+    // NaN fails both comparisons, exactly like Value::Compare's
+    // three-way result of 0.
+    if (v < min_.AsDouble()) min_ = Value::Double(v);
+    if (v > max_.AsDouble()) max_ = Value::Double(v);
+  }
+  int_exact_ = false;
+  sum_ += v;
+  sum_sq_ += v * v;
+}
+
 Status AggregateAccumulator::Merge(const AggregateAccumulator& other) {
   if (distinct_ || other.distinct_) {
     return Status::NotSupported("DISTINCT aggregates cannot be merged");

@@ -29,6 +29,18 @@ class AggregateAccumulator {
   /// Feed one row for COUNT(*).
   void AccumulateRow() { ++row_count_; }
 
+  // Batch-path fast paths (callers guarantee !distinct). Each is exactly
+  // equivalent to Accumulate(...) of the stated Value without the boxing.
+  void AccumulateInt64(int64_t v);             // Accumulate(Value::Integer(v))
+  void AccumulateDouble(double v);             // Accumulate(Value::Double(v))
+  void AccumulateNull() { ++row_count_; }      // Accumulate(Value::Null())
+  /// COUNT(x) over a non-null argument: Finalize only reads the counters,
+  /// so min/max/sum bookkeeping is skipped.
+  void AccumulateCountNonNull() {
+    ++row_count_;
+    ++non_null_count_;
+  }
+
   /// Final aggregate value (SQL semantics: SUM/AVG/... of no rows is NULL,
   /// COUNT is 0).
   Value Finalize() const;

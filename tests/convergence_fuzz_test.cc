@@ -78,6 +78,177 @@ TEST_P(ConvergenceFuzz, ReplicaMatchesDb2AfterRandomDml) {
   ASSERT_TRUE(accel.ok());
   EXPECT_EQ(CanonicalRows(*db2), CanonicalRows(*accel))
       << "seed " << GetParam();
+  // The vectorized batch path and the row-at-a-time fallback must agree
+  // on the replica contents too.
+  system.accelerator().SetBatchPathEnabled(false);
+  auto row_path = system.Query("SELECT id, grp, v FROM t");
+  system.accelerator().SetBatchPathEnabled(true);
+  ASSERT_TRUE(row_path.ok());
+  EXPECT_EQ(CanonicalRows(*accel), CanonicalRows(*row_path))
+      << "seed " << GetParam();
+}
+
+// Differential harness: on a randomized schema with NULL-riddled data, the
+// vectorized batch engine, the row-at-a-time accelerator fallback and DB2
+// must return identical results for randomized predicate / aggregation /
+// DISTINCT queries.
+TEST_P(ConvergenceFuzz, BatchAndRowPathsAgreeOnRandomSchemas) {
+  Rng rng(GetParam() + 5000);
+  SystemOptions options;
+  options.accelerator.num_slices = 1 + GetParam() % 4;
+  options.accelerator.zone_size = 16;
+  options.accelerator.morsel_size = 16 + 16 * (GetParam() % 3);
+  IdaaSystem system(options);
+
+  // Random schema: id plus 2–4 columns drawn from INT / DOUBLE / VARCHAR.
+  static const char* kTypes[] = {"INT", "DOUBLE", "VARCHAR"};
+  int num_cols = 2 + static_cast<int>(rng.Uniform(0, 2));
+  std::vector<int> col_type(num_cols);
+  std::string ddl = "CREATE TABLE f (id INT NOT NULL";
+  for (int c = 0; c < num_cols; ++c) {
+    col_type[c] = static_cast<int>(rng.Uniform(0, 2));
+    ddl += StrFormat(", c%d %s", c, kTypes[col_type[c]]);
+  }
+  ddl += ")";
+  ASSERT_TRUE(system.ExecuteSql(ddl).ok());
+  ASSERT_TRUE(system.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('f')").ok());
+
+  static const char* kWords[] = {"ALPHA", "BETA", "GAMMA", "DELTA", "OMEGA"};
+  for (int i = 0; i < 150; ++i) {
+    std::string insert = StrFormat("INSERT INTO f VALUES (%d", i);
+    for (int c = 0; c < num_cols; ++c) {
+      insert += ", ";
+      if (rng.Bernoulli(0.15)) {
+        insert += "NULL";
+      } else if (col_type[c] == 0) {
+        insert += StrFormat("%d", static_cast<int>(rng.Uniform(0, 50)) - 10);
+      } else if (col_type[c] == 1) {
+        insert += StrFormat("%d.25", static_cast<int>(rng.Uniform(0, 400)));
+      } else {
+        insert += StrFormat("'%s'", kWords[rng.Uniform(0, 4)]);
+      }
+    }
+    insert += ")";
+    ASSERT_TRUE(system.ExecuteSql(insert).ok());
+  }
+  ASSERT_TRUE(system.replication().Flush().ok());
+
+  auto random_predicate = [&]() {
+    std::string pred;
+    int conjuncts = 1 + static_cast<int>(rng.Uniform(0, 1));
+    static const char* kOps[] = {"<", "<=", ">", ">=", "=", "<>"};
+    for (int k = 0; k < conjuncts; ++k) {
+      if (k > 0) pred += " AND ";
+      int c = static_cast<int>(rng.Uniform(0, num_cols - 1));
+      const char* op = kOps[rng.Uniform(0, 5)];
+      if (col_type[c] == 2) {
+        // Sometimes a literal no slice dictionary contains.
+        const char* lit =
+            rng.Bernoulli(0.2) ? "ZZZ_MISSING" : kWords[rng.Uniform(0, 4)];
+        pred += StrFormat("c%d %s '%s'", c, op, lit);
+      } else if (rng.Bernoulli(0.3)) {
+        // Cross-type: int column vs double literal and vice versa.
+        pred += StrFormat("c%d %s %d.5", c,
+                          op, static_cast<int>(rng.Uniform(0, 60)) - 10);
+      } else {
+        pred += StrFormat("c%d %s %d", c, op,
+                          static_cast<int>(rng.Uniform(0, 300)) - 10);
+      }
+    }
+    return pred;
+  };
+
+  std::vector<std::string> queries;
+  for (int q = 0; q < 12; ++q) {
+    queries.push_back("SELECT * FROM f WHERE " + random_predicate());
+  }
+  for (int q = 0; q < 6; ++q) {
+    int c = static_cast<int>(rng.Uniform(0, num_cols - 1));
+    int g = static_cast<int>(rng.Uniform(0, num_cols - 1));
+    const char* agg = col_type[c] == 2 ? "MIN" : "SUM";
+    queries.push_back(StrFormat(
+        "SELECT c%d, COUNT(*), COUNT(c%d), %s(c%d) FROM f WHERE %s "
+        "GROUP BY c%d",
+        g, c, agg, c, random_predicate().c_str(), g));
+  }
+  for (int c = 0; c < num_cols; ++c) {
+    queries.push_back(StrFormat("SELECT DISTINCT c%d FROM f", c));
+    queries.push_back(
+        StrFormat("SELECT COUNT(*) FROM f WHERE c%d IS NULL", c));
+  }
+
+  for (const std::string& sql : queries) {
+    system.SetAccelerationMode(federation::AccelerationMode::kNone);
+    auto db2 = system.Query(sql);
+    ASSERT_TRUE(db2.ok()) << sql << ": " << db2.status().ToString();
+    system.SetAccelerationMode(federation::AccelerationMode::kEligible);
+    auto batch = system.Query(sql);
+    ASSERT_TRUE(batch.ok()) << sql << ": " << batch.status().ToString();
+    system.accelerator().SetBatchPathEnabled(false);
+    auto row_path = system.Query(sql);
+    system.accelerator().SetBatchPathEnabled(true);
+    ASSERT_TRUE(row_path.ok()) << sql << ": " << row_path.status().ToString();
+    EXPECT_EQ(CanonicalRows(*db2), CanonicalRows(*batch))
+        << "seed " << GetParam() << ": " << sql;
+    EXPECT_EQ(CanonicalRows(*row_path), CanonicalRows(*batch))
+        << "batch vs row path, seed " << GetParam() << ": " << sql;
+  }
+}
+
+// Mid-transaction reads on an accelerator-only table: own uncommitted
+// inserts/deletes must be visible identically on the batch and row paths.
+TEST_P(ConvergenceFuzz, UncommittedWritesAgreeOnBothPaths) {
+  SystemOptions options;
+  options.accelerator.num_slices = 2;
+  options.accelerator.zone_size = 16;
+  options.accelerator.morsel_size = 32;
+  IdaaSystem system(options);
+  ASSERT_TRUE(system
+                  .ExecuteSql("CREATE TABLE u (id INT NOT NULL, v INT, "
+                              "w VARCHAR) IN ACCELERATOR")
+                  .ok());
+  Rng rng(GetParam() + 9000);
+  static const char* kWords[] = {"A", "B", "C"};
+  int next_id = 0;
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(system
+                    .ExecuteSql(StrFormat("INSERT INTO u VALUES (%d, %d, "
+                                          "'%s')",
+                                          next_id++, (int)rng.Uniform(0, 9),
+                                          kWords[rng.Uniform(0, 2)]))
+                    .ok());
+  }
+  ASSERT_TRUE(system.Begin().ok());
+  for (int op = 0; op < 12; ++op) {
+    std::string sql;
+    if (rng.Bernoulli(0.5)) {
+      sql = StrFormat("INSERT INTO u VALUES (%d, %d, '%s')", next_id++,
+                      (int)rng.Uniform(0, 9), kWords[rng.Uniform(0, 2)]);
+    } else if (rng.Bernoulli(0.5)) {
+      sql = StrFormat("DELETE FROM u WHERE id %% 5 = %d",
+                      (int)rng.Uniform(0, 4));
+    } else {
+      sql = StrFormat("UPDATE u SET v = v + 10 WHERE v = %d",
+                      (int)rng.Uniform(0, 9));
+    }
+    ASSERT_TRUE(system.ExecuteSql(sql).ok()) << sql;
+
+    // Compare mid-transaction on every mutation.
+    for (const char* probe :
+         {"SELECT id, v, w FROM u WHERE v >= 3",
+          "SELECT w, COUNT(*), SUM(v) FROM u GROUP BY w",
+          "SELECT COUNT(*) FROM u"}) {
+      auto batch = system.Query(probe);
+      ASSERT_TRUE(batch.ok()) << probe;
+      system.accelerator().SetBatchPathEnabled(false);
+      auto row_path = system.Query(probe);
+      system.accelerator().SetBatchPathEnabled(true);
+      ASSERT_TRUE(row_path.ok()) << probe;
+      EXPECT_EQ(CanonicalRows(*row_path), CanonicalRows(*batch))
+          << "seed " << GetParam() << " op " << op << ": " << probe;
+    }
+  }
+  ASSERT_TRUE(system.Rollback().ok());
 }
 
 TEST_P(ConvergenceFuzz, GroomNeverChangesVisibleResults) {

@@ -94,7 +94,10 @@ class EquivalenceTest : public ::testing::Test {
     ASSERT_TRUE(flushed.ok());
   }
 
-  /// Runs the query on both engines and expects identical results.
+  /// Runs the query on both engines — and on the accelerator a second time
+  /// with the vectorized batch path disabled — and expects identical
+  /// results from all three. Every query in the suite is therefore also a
+  /// batch-vs-row-at-a-time differential.
   void ExpectEquivalent(const std::string& sql) {
     bool ordered = ToUpper(sql).find("ORDER BY") != std::string::npos;
 
@@ -108,9 +111,18 @@ class EquivalenceTest : public ::testing::Test {
     ASSERT_TRUE(accel.ok()) << sql << "\nACCEL: " << accel.status().ToString();
     EXPECT_EQ(accel->executed_on, federation::Target::kAccelerator) << sql;
 
+    system_->accelerator().SetBatchPathEnabled(false);
+    auto row_path = system_->ExecuteSql(sql);
+    system_->accelerator().SetBatchPathEnabled(true);
+    ASSERT_TRUE(row_path.ok())
+        << sql << "\nROW: " << row_path.status().ToString();
+
     EXPECT_EQ(Canonical(db2->result_set, ordered),
               Canonical(accel->result_set, ordered))
         << sql;
+    EXPECT_EQ(Canonical(row_path->result_set, ordered),
+              Canonical(accel->result_set, ordered))
+        << "batch path diverged from row path: " << sql;
     EXPECT_EQ(db2->result_set.schema().NumColumns(),
               accel->result_set.schema().NumColumns());
   }
