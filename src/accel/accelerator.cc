@@ -2,6 +2,38 @@
 
 namespace idaa::accel {
 
+const char* AcceleratorStateToString(AcceleratorState state) {
+  switch (state) {
+    case AcceleratorState::kOnline:
+      return "ONLINE";
+    case AcceleratorState::kOffline:
+      return "OFFLINE";
+    case AcceleratorState::kRecovering:
+      return "RECOVERING";
+  }
+  return "UNKNOWN";
+}
+
+Status Accelerator::CheckReady(const char* op) const {
+  AcceleratorState s = state();
+  if (s != AcceleratorState::kOnline) {
+    return Status::Unavailable(std::string(op) + ": accelerator " + name_ +
+                               " is " +
+                               (s == AcceleratorState::kOffline
+                                    ? "offline"
+                                    : "recovering (replaying replication "
+                                      "backlog)"));
+  }
+  if (injector_ != nullptr) {
+    Status st = injector_->MaybeFail(FaultInjector::AcceleratorSite(name_));
+    if (!st.ok()) {
+      metrics_->Increment(metric::kFaultsInjected);
+      return st;
+    }
+  }
+  return Status::OK();
+}
+
 Accelerator::Accelerator(const AcceleratorOptions& options,
                          TransactionManager* tm, MetricsRegistry* metrics,
                          std::string name)
@@ -59,6 +91,7 @@ Result<const ColumnTable*> Accelerator::GetTable(
 
 Status Accelerator::LoadRows(const std::string& name,
                              const std::vector<Row>& rows, TxnId txn) {
+  IDAA_RETURN_IF_ERROR(CheckReady("LOAD"));
   IDAA_ASSIGN_OR_RETURN(ColumnTable * table, GetTable(name));
   return table->Insert(rows, txn);
 }
@@ -66,6 +99,7 @@ Status Accelerator::LoadRows(const std::string& name,
 Result<ResultSet> Accelerator::ExecuteSelect(const sql::BoundSelect& plan,
                                              TxnId reader, Csn snapshot,
                                              TraceContext tc) {
+  IDAA_RETURN_IF_ERROR(CheckReady("SELECT"));
   AccelTableResolver resolver =
       [this](const sql::BoundTable& bt) -> Result<const ColumnTable*> {
     return static_cast<const Accelerator*>(this)->GetTable(bt.info->name);
@@ -79,6 +113,7 @@ Result<ResultSet> Accelerator::ExecuteSelect(const sql::BoundSelect& plan,
 
 Result<size_t> Accelerator::ExecuteUpdate(const sql::BoundUpdate& plan,
                                           TxnId txn, Csn snapshot) {
+  IDAA_RETURN_IF_ERROR(CheckReady("UPDATE"));
   IDAA_ASSIGN_OR_RETURN(ColumnTable * table, GetTable(plan.table->name));
   std::vector<std::pair<size_t, const sql::BoundExpr*>> assignments;
   assignments.reserve(plan.assignments.size());
@@ -90,6 +125,7 @@ Result<size_t> Accelerator::ExecuteUpdate(const sql::BoundUpdate& plan,
 
 Result<size_t> Accelerator::ExecuteDelete(const sql::BoundDelete& plan,
                                           TxnId txn, Csn snapshot) {
+  IDAA_RETURN_IF_ERROR(CheckReady("DELETE"));
   IDAA_ASSIGN_OR_RETURN(ColumnTable * table, GetTable(plan.table->name));
   return table->DeleteWhere(plan.where.get(), txn, snapshot, *tm_);
 }

@@ -13,11 +13,23 @@
 
 #include "accel/accel_executor.h"
 #include "accel/column_table.h"
+#include "common/fault_injector.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "txn/transaction_manager.h"
 
 namespace idaa::accel {
+
+/// Lifecycle state of an accelerator, the single source of truth read by
+/// the router, the replication service, and EXPLAIN.
+///   kOnline     — serving queries and replication.
+///   kOffline    — outage/maintenance; all delegated work is rejected
+///                 with kUnavailable.
+///   kRecovering — back up but replaying the replication backlog; applies
+///                 land, queries are still rejected until catch-up.
+enum class AcceleratorState : uint8_t { kOnline, kOffline, kRecovering };
+
+const char* AcceleratorStateToString(AcceleratorState state);
 
 class Accelerator {
  public:
@@ -29,10 +41,23 @@ class Accelerator {
   /// This accelerator's name as known to DB2 (e.g. "ACCEL1").
   const std::string& name() const { return name_; }
 
-  /// Availability toggle (maintenance / outage simulation). Statements
-  /// against an offline accelerator fail at the federation layer.
-  void SetAvailable(bool available) { available_ = available; }
-  bool available() const { return available_; }
+  /// Lifecycle state (outage simulation / maintenance / catch-up).
+  /// Delegated statements against a non-Online accelerator fail with
+  /// kUnavailable; replication apply is allowed while Recovering.
+  void SetState(AcceleratorState state) { state_ = state; }
+  AcceleratorState state() const { return state_; }
+
+  /// Deprecated shims over SetState()/state(); kept so pre-state callers
+  /// keep compiling. true <=> kOnline (false maps to kOffline).
+  void SetAvailable(bool available) {
+    SetState(available ? AcceleratorState::kOnline
+                       : AcceleratorState::kOffline);
+  }
+  bool available() const { return state() == AcceleratorState::kOnline; }
+
+  /// Inject faults at this accelerator's entry points (site
+  /// "accel.<name>"; nullptr disables; default).
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
   /// Runtime toggle for the vectorized batch path (differential testing /
   /// benchmarking against the row-at-a-time fallback; results are
@@ -79,9 +104,14 @@ class Accelerator {
   MetricsRegistry* metrics() { return metrics_; }
 
  private:
+  /// kUnavailable unless Online, then the injector's draw for this
+  /// accelerator's site. `op` names the rejected operation in the message.
+  Status CheckReady(const char* op) const;
+
   AcceleratorOptions options_;
   std::string name_;
-  std::atomic<bool> available_{true};
+  std::atomic<AcceleratorState> state_{AcceleratorState::kOnline};
+  FaultInjector* injector_ = nullptr;
   std::atomic<bool> batch_path_enabled_;
   TransactionManager* tm_;
   MetricsRegistry* metrics_;

@@ -1,0 +1,69 @@
+#include "common/fault_injector.h"
+
+#include <chrono>
+#include <thread>
+
+namespace idaa {
+
+void FaultInjector::Arm(const std::string& site, const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& s = sites_[site];
+  s.spec = spec;
+  s.injected = 0;
+}
+
+void FaultInjector::ArmChannel(const FaultSpec& spec) {
+  Arm(fault_site::kChannelToAccel, spec);
+  Arm(fault_site::kChannelFromAccel, spec);
+  Arm(fault_site::kChannelStatement, spec);
+}
+
+void FaultInjector::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it != sites_.end()) it->second.spec = FaultSpec{};
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  total_injected_ = 0;
+}
+
+Status FaultInjector::MaybeFail(const std::string& site) {
+  uint64_t latency_us = 0;
+  StatusCode code = StatusCode::kOk;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sites_.find(site);
+    if (it == sites_.end()) return Status::OK();
+    Site& s = it->second;
+    latency_us = s.spec.latency_us;
+    if (s.spec.probability > 0.0 &&
+        (s.spec.max_failures == 0 || s.injected < s.spec.max_failures) &&
+        rng_.Bernoulli(s.spec.probability)) {
+      code = s.spec.code;
+      ++s.injected;
+      ++total_injected_;
+    }
+  }
+  // Sleep outside the lock so a slow site does not serialize other sites.
+  if (latency_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(latency_us));
+  }
+  if (code == StatusCode::kOk) return Status::OK();
+  return Status(code, "injected fault at " + site);
+}
+
+uint64_t FaultInjector::InjectedCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.injected;
+}
+
+uint64_t FaultInjector::TotalInjected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_injected_;
+}
+
+}  // namespace idaa

@@ -1,0 +1,88 @@
+// FaultInjector: deterministic, scriptable boundary faults. Tests and
+// benches arm per-site fault specs (probability, error code, added latency)
+// and the transfer channel / accelerator entry points consult the injector
+// on every crossing. Seeded, so a failing run replays exactly.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace idaa {
+
+/// Well-known fault sites. Accelerator entry points use "accel.<NAME>"
+/// (see FaultInjector::AcceleratorSite).
+namespace fault_site {
+inline constexpr const char* kChannelToAccel = "channel.to_accel";
+inline constexpr const char* kChannelFromAccel = "channel.from_accel";
+inline constexpr const char* kChannelStatement = "channel.statement";
+}  // namespace fault_site
+
+/// What to inject at a site when armed.
+struct FaultSpec {
+  /// Chance each crossing fails, in [0, 1].
+  double probability = 0.0;
+  /// Error code of the injected failure (must be retryable to model a
+  /// transient fault; terminal codes are allowed for targeted tests).
+  StatusCode code = StatusCode::kChannelError;
+  /// Extra latency added to every crossing at the site, even when the
+  /// crossing succeeds — models a slow link.
+  uint64_t latency_us = 0;
+  /// Stop failing after this many injected failures (0 = unlimited).
+  /// Lets tests script "fails twice, then recovers".
+  uint64_t max_failures = 0;
+};
+
+/// Thread-safe, seeded fault injector. Disarmed sites cost one mutex
+/// acquisition per crossing; the hot path carries no injector when the
+/// pointer wired into the channel/accelerator is null.
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed = 42) : rng_(seed) {}
+
+  /// Site name for an accelerator's entry points: "accel.<name>".
+  static std::string AcceleratorSite(const std::string& accel_name) {
+    return "accel." + accel_name;
+  }
+
+  /// Arm (or re-arm) a site with `spec`. Resets the site's failure count.
+  void Arm(const std::string& site, const FaultSpec& spec);
+
+  /// Arm all three transfer-channel sites with the same spec.
+  void ArmChannel(const FaultSpec& spec);
+
+  /// Stop injecting at `site` (keeps its injected-failure count).
+  void Disarm(const std::string& site);
+
+  /// Disarm every site and zero all counts.
+  void Reset();
+
+  /// Called by instrumented code at each crossing: sleeps the armed
+  /// latency, then fails with the armed code with the armed probability.
+  Status MaybeFail(const std::string& site);
+
+  /// Failures injected at `site` since it was last armed.
+  uint64_t InjectedCount(const std::string& site) const;
+
+  /// Failures injected across all sites since construction/Reset.
+  uint64_t TotalInjected() const;
+
+ private:
+  struct Site {
+    FaultSpec spec;
+    uint64_t injected = 0;
+  };
+
+  mutable std::mutex mu_;
+  Rng rng_;
+  std::map<std::string, Site> sites_;
+  uint64_t total_injected_ = 0;
+};
+
+}  // namespace idaa

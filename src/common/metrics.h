@@ -36,6 +36,11 @@ inline constexpr const char* kDb2RowsScanned = "db2.rows_scanned";
 inline constexpr const char* kGovernanceChecks = "governance.checks";
 inline constexpr const char* kQueriesRoutedToAccel = "router.queries_to_accel";
 inline constexpr const char* kQueriesRoutedToDb2 = "router.queries_to_db2";
+inline constexpr const char* kFederationRetries = "federation.retries";
+inline constexpr const char* kFederationFailbacks = "federation.failbacks";
+inline constexpr const char* kBreakerTrips = "federation.breaker_trips";
+inline constexpr const char* kBreakerProbes = "federation.breaker_probes";
+inline constexpr const char* kFaultsInjected = "fault.injected";
 }  // namespace metric
 
 /// Thread-safe registry of named uint64 counters.

@@ -1,0 +1,51 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+
+namespace idaa {
+
+RetryOutcome RetryWithBackoff(const RetryPolicy& policy, TraceContext tc,
+                              const std::function<Status()>& attempt) {
+  const uint64_t start_ns = TraceNowNs();
+  const uint64_t deadline_ns =
+      policy.deadline_us == 0 ? 0 : start_ns + policy.deadline_us * 1000;
+  uint64_t backoff_us = policy.initial_backoff_us;
+  RetryOutcome out;
+  const int max_attempts = std::max(policy.max_attempts, 1);
+  for (int attempt_no = 1;; ++attempt_no) {
+    out.status = attempt();
+    if (out.status.ok() || !out.status.retryable()) return out;
+    // kUnavailable means the target is known-down; retrying locally will
+    // not bring it back. Return so the caller can fail back immediately.
+    if (out.status.code() == StatusCode::kUnavailable) return out;
+    if (attempt_no >= max_attempts) return out;
+    uint64_t sleep_us = std::min(backoff_us, policy.max_backoff_us);
+    if (deadline_ns != 0) {
+      const uint64_t now_ns = TraceNowNs();
+      if (now_ns + sleep_us * 1000 >= deadline_ns) {
+        out.status = Status::Timeout(
+            "retry deadline exceeded after " + std::to_string(attempt_no) +
+            " attempt(s): " + out.status.ToString());
+        return out;
+      }
+    }
+    {
+      TraceSpan span(tc, "retry");
+      span.Attr("attempt", static_cast<uint64_t>(attempt_no));
+      span.Attr("backoff_us", sleep_us);
+      span.Attr("error", out.status.ToString());
+      if (sleep_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+      }
+    }
+    ++out.retries;
+    backoff_us = static_cast<uint64_t>(
+        static_cast<double>(backoff_us) * policy.backoff_multiplier);
+    if (backoff_us > policy.max_backoff_us) backoff_us = policy.max_backoff_us;
+  }
+}
+
+}  // namespace idaa

@@ -1,0 +1,45 @@
+// Bounded exponential-backoff retry around DB2 <-> accelerator boundary
+// crossings. Only retryable codes (see IsRetryableCode) are retried;
+// terminal errors return immediately. Each retry is visible in the query
+// trace as a "retry" span carrying the attempt number, the backoff slept
+// and the error that caused it.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+#include "common/trace.h"
+
+namespace idaa {
+
+/// Backoff schedule and bounds for RetryWithBackoff.
+struct RetryPolicy {
+  /// Total attempts, including the first (1 = no retries).
+  int max_attempts = 4;
+  /// Sleep before the first retry; multiplied per retry thereafter.
+  uint64_t initial_backoff_us = 200;
+  double backoff_multiplier = 4.0;
+  /// Cap on a single backoff sleep.
+  uint64_t max_backoff_us = 50000;
+  /// Overall wall-clock budget across attempts and sleeps (0 = none).
+  /// Exhaustion surfaces as kTimeout even if attempts remain.
+  uint64_t deadline_us = 0;
+};
+
+/// Terminal status of a retry loop plus how many retries it took.
+struct RetryOutcome {
+  Status status;
+  uint32_t retries = 0;
+};
+
+/// Runs `attempt` up to policy.max_attempts times, sleeping exponentially
+/// between tries, until it returns OK, a terminal error, or the deadline
+/// passes. kUnavailable short-circuits: it means the target is known to be
+/// down (offline state or open breaker), so burning the backoff schedule
+/// on it is pointless — the caller decides between failback and error.
+RetryOutcome RetryWithBackoff(const RetryPolicy& policy, TraceContext tc,
+                              const std::function<Status()>& attempt);
+
+}  // namespace idaa

@@ -28,9 +28,22 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kChannelError:
+      return "ChannelError";
+    case StatusCode::kTimeout:
+      return "Timeout";
   }
   return "Unknown";
 }
+
+bool IsRetryableCode(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kChannelError || code == StatusCode::kTimeout;
+}
+
+bool Status::retryable() const { return IsRetryableCode(code_); }
 
 std::string Status::ToString() const {
   if (ok()) return "OK";

@@ -24,10 +24,21 @@ enum class StatusCode {
   kConstraintViolation,  ///< NOT NULL or type constraint violated.
   kInternal,          ///< Invariant broken inside the library.
   kIoError,           ///< File/CSV level failure.
+  // -- retryable (transient) codes: boundary faults the federation layer
+  //    may retry with backoff and, for reads on accelerated tables, fail
+  //    back to DB2 (see IsRetryableCode).
+  kUnavailable,   ///< Accelerator offline/recovering or breaker open.
+  kChannelError,  ///< Transient DB2 <-> accelerator transfer failure.
+  kTimeout,       ///< Deadline exceeded (usually while retrying).
 };
 
 /// Human-readable name of a StatusCode (e.g. "NotFound").
 const char* StatusCodeToString(StatusCode code);
+
+/// True for codes representing transient faults at the DB2/accelerator
+/// boundary. The federation layer may retry these with backoff; under
+/// ENABLE WITH FAILBACK a read on an accelerated table re-executes on DB2.
+bool IsRetryableCode(StatusCode code);
 
 /// Result of a fallible operation: a code plus a context message.
 /// Cheap to copy in the OK case (no allocation).
@@ -72,6 +83,15 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ChannelError(std::string msg) {
+    return Status(StatusCode::kChannelError, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -80,6 +100,12 @@ class Status {
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsConflict() const { return code_ == StatusCode::kConflict; }
   bool IsNotAuthorized() const { return code_ == StatusCode::kNotAuthorized; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+
+  /// True for transient boundary faults (kUnavailable, kChannelError,
+  /// kTimeout) that a caller may retry or fail back to DB2.
+  bool retryable() const;
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -1,5 +1,7 @@
 #include "federation/federation.h"
 
+#include <algorithm>
+
 #include "accel/accel_executor.h"
 #include "common/string_util.h"
 #include "sql/parser.h"
@@ -19,7 +21,80 @@ void GrantAllToCreator(governance::AuthorizationManager* auth,
   }
 }
 
+/// Does the plan reference an accelerator-only table? AOTs have no DB2
+/// copy, so statements touching them can never fail back.
+bool PlanHasAot(const sql::BoundSelect& plan) {
+  for (const auto& bt : plan.tables) {
+    if (bt.info->kind == TableKind::kAcceleratorOnly) return true;
+  }
+  return false;
+}
+
+/// Annotate a retryable failure that cannot fail back with the reason.
+Status NoFailbackError(const Status& failure, const std::string& why) {
+  return Status(failure.code(), failure.message() + "; " + why);
+}
+
 }  // namespace
+
+RetryPolicy FederationEngine::PolicyFor(const Session& session) const {
+  RetryPolicy policy = retry_policy_;
+  if (session.deadline_us > 0) policy.deadline_us = session.deadline_us;
+  return policy;
+}
+
+Result<std::vector<Row>> FederationEngine::SendRowsRetry(
+    const std::vector<Row>& rows, const Session& session, TraceContext tc,
+    uint32_t* retries) {
+  std::vector<Row> delivered;
+  RetryOutcome outcome =
+      RetryWithBackoff(PolicyFor(session), tc, [&]() -> Status {
+        auto sent = channel_->SendRowsToAccelerator(rows, tc);
+        if (!sent.ok()) return sent.status();
+        delivered = std::move(*sent);
+        return Status::OK();
+      });
+  if (retries != nullptr) *retries += outcome.retries;
+  if (outcome.retries > 0) {
+    metrics_->Add(metric::kFederationRetries, outcome.retries);
+  }
+  if (!outcome.status.ok()) return outcome.status;
+  return delivered;
+}
+
+Result<ResultSet> FederationEngine::FetchResultRetry(const ResultSet& result,
+                                                     const Session& session,
+                                                     TraceContext tc,
+                                                     uint32_t* retries) {
+  ResultSet fetched;
+  RetryOutcome outcome =
+      RetryWithBackoff(PolicyFor(session), tc, [&]() -> Status {
+        auto got = channel_->FetchResultFromAccelerator(result, tc);
+        if (!got.ok()) return got.status();
+        fetched = std::move(*got);
+        return Status::OK();
+      });
+  if (retries != nullptr) *retries += outcome.retries;
+  if (outcome.retries > 0) {
+    metrics_->Add(metric::kFederationRetries, outcome.retries);
+  }
+  if (!outcome.status.ok()) return outcome.status;
+  return fetched;
+}
+
+Status FederationEngine::SendStatementRetry(const std::string& sql,
+                                            const Session& session,
+                                            TraceContext tc,
+                                            uint32_t* retries) {
+  RetryOutcome outcome = RetryWithBackoff(
+      PolicyFor(session), tc,
+      [&]() -> Status { return channel_->SendStatement(sql, tc); });
+  if (retries != nullptr) *retries += outcome.retries;
+  if (outcome.retries > 0) {
+    metrics_->Add(metric::kFederationRetries, outcome.retries);
+  }
+  return outcome.status;
+}
 
 Status FederationEngine::Authorize(const Session& session,
                                    const std::string& object,
@@ -54,26 +129,45 @@ Result<accel::Accelerator*> FederationEngine::AcceleratorByName(
   return Status::NotFound("no such accelerator: " + name);
 }
 
-Result<accel::Accelerator*> FederationEngine::AcceleratorForTable(
+Result<accel::Accelerator*> FederationEngine::AcceleratorHostingTable(
     const TableInfo& info) const {
   if (info.accelerator_name.empty()) {
     return Status::InvalidArgument("table " + info.name +
                                    " has no accelerator-side data");
   }
-  IDAA_ASSIGN_OR_RETURN(accel::Accelerator * a,
-                        AcceleratorByName(info.accelerator_name));
-  if (!a->available()) {
-    return Status::NotSupported("accelerator " + a->name() + " is offline");
+  return AcceleratorByName(info.accelerator_name);
+}
+
+Result<accel::Accelerator*> FederationEngine::AcceleratorForTable(
+    const TableInfo& info, const char* op) const {
+  IDAA_ASSIGN_OR_RETURN(accel::Accelerator * a, AcceleratorHostingTable(info));
+  accel::AcceleratorState state = a->state();
+  if (state != accel::AcceleratorState::kOnline) {
+    return Status::Unavailable(
+        std::string(op) + " on table " + info.name + ": accelerator " +
+        a->name() + " is " +
+        (state == accel::AcceleratorState::kOffline ? "offline"
+                                                    : "recovering"));
+  }
+  return a;
+}
+
+Result<accel::Accelerator*> FederationEngine::AcceleratorForReplication(
+    const TableInfo& info) const {
+  IDAA_ASSIGN_OR_RETURN(accel::Accelerator * a, AcceleratorHostingTable(info));
+  if (a->state() == accel::AcceleratorState::kOffline) {
+    return Status::Unavailable("replication apply on table " + info.name +
+                               ": accelerator " + a->name() + " is offline");
   }
   return a;
 }
 
 Result<accel::Accelerator*> FederationEngine::AcceleratorForPlan(
-    const sql::BoundSelect& plan) const {
+    const sql::BoundSelect& plan, const char* op) const {
   accel::Accelerator* chosen = nullptr;
   for (const auto& bt : plan.tables) {
     IDAA_ASSIGN_OR_RETURN(accel::Accelerator * a,
-                          AcceleratorForTable(*bt.info));
+                          AcceleratorForTable(*bt.info, op));
     if (chosen != nullptr && a != chosen) {
       return Status::SemanticError(
           "statement references tables on different accelerators (" +
@@ -139,7 +233,7 @@ Result<ResultSet> FederationEngine::RunSelectOn(Target target,
   if (target == Target::kAccelerator) {
     metrics_->Increment(metric::kQueriesRoutedToAccel);
     IDAA_ASSIGN_OR_RETURN(accel::Accelerator * accelerator,
-                          AcceleratorForPlan(plan));
+                          AcceleratorForPlan(plan, "SELECT"));
     TraceSpan exec_span(tc, "accel.execute");
     return accelerator->ExecuteSelect(plan, txn->id(), txn->snapshot_csn(),
                                       exec_span.context());
@@ -147,6 +241,52 @@ Result<ResultSet> FederationEngine::RunSelectOn(Target target,
   metrics_->Increment(metric::kQueriesRoutedToDb2);
   TraceSpan exec_span(tc, "db2.execute");
   return db2_->ExecuteSelect(plan, txn, exec_span.context());
+}
+
+Result<ResultSet> FederationEngine::AccelSelectWithRetry(
+    const std::string& sql_text, const sql::BoundSelect& plan,
+    const Session& session, Transaction* txn, TraceContext tc,
+    uint32_t* retries, bool fetch_result) {
+  // Resolve first: a known-down accelerator fails fast with kUnavailable
+  // (naming accelerator + statement kind) instead of burning the backoff
+  // schedule on it.
+  IDAA_ASSIGN_OR_RETURN(accel::Accelerator * accelerator,
+                        AcceleratorForPlan(plan, "SELECT"));
+  const std::string& name = accelerator->name();
+  if (!health_.AllowRequest(name)) {
+    return Status::Unavailable("SELECT rejected: accelerator " + name +
+                               " circuit breaker is open");
+  }
+  ResultSet result;
+  RetryOutcome outcome =
+      RetryWithBackoff(PolicyFor(session), tc, [&]() -> Status {
+        IDAA_RETURN_IF_ERROR(channel_->SendStatement(sql_text, tc));
+        auto executed = RunSelectOn(Target::kAccelerator, plan, txn, tc);
+        if (!executed.ok()) return executed.status();
+        if (!fetch_result) {
+          result = std::move(*executed);
+          return Status::OK();
+        }
+        // The result crosses the accelerator -> DB2 boundary to the client.
+        auto fetched = channel_->FetchResultFromAccelerator(*executed, tc);
+        if (!fetched.ok()) return fetched.status();
+        result = std::move(*fetched);
+        return Status::OK();
+      });
+  if (retries != nullptr) *retries += outcome.retries;
+  if (outcome.retries > 0) {
+    metrics_->Add(metric::kFederationRetries, outcome.retries);
+  }
+  // Breaker accounting is per statement, not per attempt: a statement that
+  // eventually succeeded is evidence of health, and only an exhausted
+  // retryable failure is evidence of sickness.
+  if (outcome.status.ok()) {
+    health_.RecordSuccess(name);
+  } else if (outcome.status.retryable()) {
+    health_.RecordFailure(name);
+  }
+  if (!outcome.status.ok()) return outcome.status;
+  return result;
 }
 
 Result<ExecResult> FederationEngine::ExecuteSelect(
@@ -172,17 +312,38 @@ Result<ExecResult> FederationEngine::ExecuteSelect(
   ExecResult out;
   out.executed_on = route.target;
   out.detail = route.reason;
-  if (route.target == Target::kAccelerator) {
-    channel_->SendStatement(stmt.ToSql(), tc);
-    IDAA_ASSIGN_OR_RETURN(ResultSet result,
-                          RunSelectOn(route.target, plan, txn, tc));
-    // The result crosses the accelerator -> DB2 boundary to the client.
-    IDAA_ASSIGN_OR_RETURN(out.result_set,
-                          channel_->FetchResultFromAccelerator(result, tc));
-  } else {
+  out.failed_back = route.failed_back;
+  if (route.target != Target::kAccelerator) {
     IDAA_ASSIGN_OR_RETURN(out.result_set,
                           RunSelectOn(route.target, plan, txn, tc));
+    return out;
   }
+  auto accelerated = AccelSelectWithRetry(stmt.ToSql(), plan, session, txn,
+                                          tc, &out.retries,
+                                          /*fetch_result=*/true);
+  if (accelerated.ok()) {
+    out.result_set = std::move(*accelerated);
+    return out;
+  }
+  Status failure = accelerated.status();
+  if (!failure.retryable()) return failure;
+  if (!AccelerationAllowsFailback(session.acceleration)) return failure;
+  if (PlanHasAot(plan)) {
+    return NoFailbackError(failure,
+                           "accelerator-only tables have no DB2 copy and "
+                           "cannot fail back");
+  }
+  // Transparent failback: re-execute on the DB2 copies of the accelerated
+  // tables. Same transaction, same plan — only the engine changes.
+  TraceSpan failback_span(tc, "failback");
+  failback_span.Attr("error", failure.ToString());
+  metrics_->Increment(metric::kFederationFailbacks);
+  out.executed_on = Target::kDb2;
+  out.failed_back = true;
+  out.detail = "failed back to DB2 (" + failure.ToString() + ")";
+  IDAA_ASSIGN_OR_RETURN(
+      out.result_set,
+      RunSelectOn(Target::kDb2, plan, txn, failback_span.context()));
   return out;
 }
 
@@ -215,11 +376,33 @@ Result<ExecResult> FederationEngine::ExecuteInsert(
                           router_.RouteSelect(*stmt.select,
                                               session.acceleration));
     source_target = route.target;
+    out.failed_back = out.failed_back || route.failed_back;
+    ResultSet source_result;
     if (source_target == Target::kAccelerator) {
-      channel_->SendStatement(stmt.select->ToSql(), tc);
+      auto src = AccelSelectWithRetry(stmt.select->ToSql(), *bound.select,
+                                      session, txn, tc, &out.retries,
+                                      /*fetch_result=*/false);
+      if (!src.ok() && src.status().retryable() &&
+          AccelerationAllowsFailback(session.acceleration)) {
+        if (PlanHasAot(*bound.select)) {
+          return NoFailbackError(src.status(),
+                                 "accelerator-only tables have no DB2 copy "
+                                 "and cannot fail back");
+        }
+        TraceSpan failback_span(tc, "failback");
+        failback_span.Attr("error", src.status().ToString());
+        metrics_->Increment(metric::kFederationFailbacks);
+        out.failed_back = true;
+        source_target = Target::kDb2;
+        src = RunSelectOn(Target::kDb2, *bound.select, txn,
+                          failback_span.context());
+      }
+      if (!src.ok()) return src.status();
+      source_result = std::move(*src);
+    } else {
+      IDAA_ASSIGN_OR_RETURN(
+          source_result, RunSelectOn(source_target, *bound.select, txn, tc));
     }
-    IDAA_ASSIGN_OR_RETURN(ResultSet source_result,
-                          RunSelectOn(source_target, *bound.select, txn, tc));
     rows = MapRows(source_result.rows(), bound.column_mapping, width);
   } else {
     rows = bound.values_rows;  // already full width
@@ -227,7 +410,7 @@ Result<ExecResult> FederationEngine::ExecuteInsert(
 
   if (target_aot) {
     IDAA_ASSIGN_OR_RETURN(accel::Accelerator * target_accel,
-                          AcceleratorForTable(target));
+                          AcceleratorForTable(target, "INSERT"));
     bool cross_accelerator = false;
     if (bound.select && source_target == Target::kAccelerator) {
       for (const std::string& table : sql::ReferencedTables(*stmt.select)) {
@@ -240,29 +423,49 @@ Result<ExecResult> FederationEngine::ExecuteInsert(
     }
     if (source_target == Target::kDb2 && bound.select) {
       // Data produced in DB2 must cross the boundary once.
-      IDAA_ASSIGN_OR_RETURN(rows, channel_->SendRowsToAccelerator(rows, tc));
+      IDAA_ASSIGN_OR_RETURN(rows,
+                            SendRowsRetry(rows, session, tc, &out.retries));
       out.detail = "INSERT into AOT from DB2 source (one boundary crossing)";
     } else if (!bound.select) {
-      IDAA_ASSIGN_OR_RETURN(rows, channel_->SendRowsToAccelerator(rows, tc));
+      IDAA_ASSIGN_OR_RETURN(rows,
+                            SendRowsRetry(rows, session, tc, &out.retries));
       out.detail = "INSERT VALUES into AOT";
     } else if (cross_accelerator) {
       // Source and target live on different accelerators: the rows come
       // back to DB2 and go out again (two boundary crossings).
       ResultSet shipped(Schema{}, std::move(rows));
       IDAA_ASSIGN_OR_RETURN(ResultSet fetched,
-                            channel_->FetchResultFromAccelerator(shipped, tc));
+                            FetchResultRetry(shipped, session, tc,
+                                             &out.retries));
       IDAA_ASSIGN_OR_RETURN(
-          rows, channel_->SendRowsToAccelerator(fetched.rows(), tc));
+          rows, SendRowsRetry(fetched.rows(), session, tc, &out.retries));
       out.detail = "INSERT ... SELECT across accelerators (two boundary "
                    "crossings)";
     } else {
       // Fully accelerator-side: no data movement at all — the paper's ELT
       // optimization.
-      channel_->SendStatement(stmt.ToSql(), tc);
+      IDAA_RETURN_IF_ERROR(
+          SendStatementRetry(stmt.ToSql(), session, tc, &out.retries));
       out.detail = "INSERT ... SELECT executed entirely on the accelerator";
     }
-    IDAA_RETURN_IF_ERROR(
-        target_accel->LoadRows(target.name, rows, txn->id()));
+    RetryOutcome loaded =
+        RetryWithBackoff(PolicyFor(session), tc, [&]() -> Status {
+          return target_accel->LoadRows(target.name, rows, txn->id());
+        });
+    out.retries += loaded.retries;
+    if (loaded.retries > 0) {
+      metrics_->Add(metric::kFederationRetries, loaded.retries);
+    }
+    if (loaded.status.ok()) {
+      health_.RecordSuccess(target_accel->name());
+    } else if (loaded.status.retryable()) {
+      health_.RecordFailure(target_accel->name());
+      // AOT writes have no DB2 fallback: surface a clear error.
+      return NoFailbackError(loaded.status,
+                             "accelerator-only tables have no DB2 copy and "
+                             "cannot fail back");
+    }
+    IDAA_RETURN_IF_ERROR(loaded.status);
     out.affected_rows = rows.size();
     return out;
   }
@@ -273,7 +476,8 @@ Result<ExecResult> FederationEngine::ExecuteInsert(
     // re-replicated if the target is an accelerated table).
     ResultSet shipped(Schema{}, std::move(rows));
     IDAA_ASSIGN_OR_RETURN(ResultSet fetched,
-                          channel_->FetchResultFromAccelerator(shipped, tc));
+                          FetchResultRetry(shipped, session, tc,
+                                           &out.retries));
     rows = fetched.rows();
     out.detail = "accelerator result materialized into DB2 table";
   }
@@ -291,15 +495,33 @@ Result<ExecResult> FederationEngine::ExecuteUpdate(
   IDAA_ASSIGN_OR_RETURN(sql::BoundUpdate bound, binder.BindUpdate(stmt));
   ExecResult out;
   if (bound.table->kind == TableKind::kAcceleratorOnly) {
-    channel_->SendStatement(stmt.ToSql(), tc);
     out.executed_on = Target::kAccelerator;
     out.detail = "UPDATE delegated to accelerator (AOT)";
     IDAA_ASSIGN_OR_RETURN(accel::Accelerator * accelerator,
-                          AcceleratorForTable(*bound.table));
+                          AcceleratorForTable(*bound.table, "UPDATE"));
     TraceSpan exec_span(tc, "accel.execute");
-    IDAA_ASSIGN_OR_RETURN(out.affected_rows,
-                          accelerator->ExecuteUpdate(bound, txn->id(),
-                                                     txn->snapshot_csn()));
+    RetryOutcome outcome =
+        RetryWithBackoff(PolicyFor(session), tc, [&]() -> Status {
+          IDAA_RETURN_IF_ERROR(channel_->SendStatement(stmt.ToSql(), tc));
+          auto updated = accelerator->ExecuteUpdate(bound, txn->id(),
+                                                    txn->snapshot_csn());
+          if (!updated.ok()) return updated.status();
+          out.affected_rows = *updated;
+          return Status::OK();
+        });
+    out.retries = outcome.retries;
+    if (outcome.retries > 0) {
+      metrics_->Add(metric::kFederationRetries, outcome.retries);
+    }
+    if (outcome.status.ok()) {
+      health_.RecordSuccess(accelerator->name());
+    } else if (outcome.status.retryable()) {
+      health_.RecordFailure(accelerator->name());
+      return NoFailbackError(outcome.status,
+                             "accelerator-only tables have no DB2 copy and "
+                             "cannot fail back");
+    }
+    IDAA_RETURN_IF_ERROR(outcome.status);
     return out;
   }
   out.executed_on = Target::kDb2;
@@ -317,15 +539,33 @@ Result<ExecResult> FederationEngine::ExecuteDelete(
   IDAA_ASSIGN_OR_RETURN(sql::BoundDelete bound, binder.BindDelete(stmt));
   ExecResult out;
   if (bound.table->kind == TableKind::kAcceleratorOnly) {
-    channel_->SendStatement(stmt.ToSql(), tc);
     out.executed_on = Target::kAccelerator;
     out.detail = "DELETE delegated to accelerator (AOT)";
     IDAA_ASSIGN_OR_RETURN(accel::Accelerator * accelerator,
-                          AcceleratorForTable(*bound.table));
+                          AcceleratorForTable(*bound.table, "DELETE"));
     TraceSpan exec_span(tc, "accel.execute");
-    IDAA_ASSIGN_OR_RETURN(out.affected_rows,
-                          accelerator->ExecuteDelete(bound, txn->id(),
-                                                     txn->snapshot_csn()));
+    RetryOutcome outcome =
+        RetryWithBackoff(PolicyFor(session), tc, [&]() -> Status {
+          IDAA_RETURN_IF_ERROR(channel_->SendStatement(stmt.ToSql(), tc));
+          auto deleted = accelerator->ExecuteDelete(bound, txn->id(),
+                                                    txn->snapshot_csn());
+          if (!deleted.ok()) return deleted.status();
+          out.affected_rows = *deleted;
+          return Status::OK();
+        });
+    out.retries = outcome.retries;
+    if (outcome.retries > 0) {
+      metrics_->Add(metric::kFederationRetries, outcome.retries);
+    }
+    if (outcome.status.ok()) {
+      health_.RecordSuccess(accelerator->name());
+    } else if (outcome.status.retryable()) {
+      health_.RecordFailure(accelerator->name());
+      return NoFailbackError(outcome.status,
+                             "accelerator-only tables have no DB2 copy and "
+                             "cannot fail back");
+    }
+    IDAA_RETURN_IF_ERROR(outcome.status);
     return out;
   }
   out.executed_on = Target::kDb2;
@@ -402,11 +642,12 @@ Result<ExecResult> FederationEngine::ExecuteCreateTable(
     }
     if (!placed->available()) {
       (void)catalog_->DropTable(stmt.table_name);
-      return Status::NotSupported("accelerator " + placed->name() +
-                                  " is offline");
+      return Status::Unavailable("CREATE TABLE " + stored->name +
+                                 ": accelerator " + placed->name() +
+                                 " is offline");
     }
-    channel_->SendStatement(stmt.ToSql());
-    storage_status = placed->AddTable(*stored);
+    storage_status = channel_->SendStatement(stmt.ToSql());
+    if (storage_status.ok()) storage_status = placed->AddTable(*stored);
     if (storage_status.ok()) {
       storage_status =
           catalog_->SetAcceleratorName(stored->name, placed->name());
@@ -656,17 +897,51 @@ Result<ExecResult> FederationEngine::ExecuteCall(const sql::CallStatement& stmt,
     IDAA_ASSIGN_OR_RETURN(accel::Accelerator * a,
                           AcceleratorByName(stmt.arguments[0].AsVarchar()));
     std::string command = ToUpper(stmt.arguments[1].AsVarchar());
+    ExecResult out;
     if (command == "ONLINE") {
-      a->SetAvailable(true);
+      // Recovery protocol: accept replication applies while the backlog
+      // drains (Recovering), then open for queries (Online). A failed
+      // catch-up leaves the backlog queued — the accelerator still goes
+      // Online and the next commit/Flush retries the apply.
+      a->SetState(accel::AcceleratorState::kRecovering);
+      size_t backlog = replication_->PendingChanges();
+      auto caught_up = replication_->Flush();
+      a->SetState(accel::AcceleratorState::kOnline);
+      health_.RecordSuccess(a->name());
+      out.detail = a->name() + " is now ONLINE (replayed " +
+                   std::to_string(backlog) + " pending change(s)" +
+                   (caught_up.ok() ? ")"
+                                   : "; catch-up incomplete: " +
+                                         caught_up.status().ToString() + ")");
     } else if (command == "OFFLINE") {
-      a->SetAvailable(false);
+      a->SetState(accel::AcceleratorState::kOffline);
+      out.detail = a->name() + " is now OFFLINE";
     } else {
       return Status::InvalidArgument("unknown ACCEL_CONTROL command: " +
                                      command);
     }
     audit_->Record(session.user, "ACCEL_CONTROL", a->name(), true, command);
+    return out;
+  }
+  if (name == "SYSPROC.ACCEL_VERIFY_TABLES") {
+    if (ToUpper(session.user) != governance::AuthorizationManager::kAdmin) {
+      return Status::NotAuthorized("only SYSADM may verify tables");
+    }
+    if (stmt.arguments.size() > 1 ||
+        (stmt.arguments.size() == 1 && !stmt.arguments[0].is_varchar())) {
+      return Status::InvalidArgument(
+          "ACCEL_VERIFY_TABLES expects an optional VARCHAR table name");
+    }
     ExecResult out;
-    out.detail = a->name() + " is now " + command;
+    IDAA_ASSIGN_OR_RETURN(
+        out.result_set,
+        VerifyAcceleratedTables(
+            stmt.arguments.empty() ? "" : stmt.arguments[0].AsVarchar(), txn));
+    audit_->Record(session.user, "ACCEL_VERIFY_TABLES",
+                   stmt.arguments.empty() ? "*"
+                                          : stmt.arguments[0].AsVarchar(),
+                   true);
+    out.detail = "replica content compared against DB2";
     return out;
   }
   // Analytics / user procedures: EXECUTE privilege, then delegate.
@@ -675,7 +950,8 @@ Result<ExecResult> FederationEngine::ExecuteCall(const sql::CallStatement& stmt,
   if (!procedure_handler_) {
     return Status::NotFound("procedure not found: " + name);
   }
-  channel_->SendStatement(stmt.ToSql(), tc);
+  IDAA_RETURN_IF_ERROR(
+      SendStatementRetry(stmt.ToSql(), session, tc, nullptr));
   ExecResult out;
   out.executed_on = Target::kAccelerator;
   TraceSpan exec_span(tc, "accel.execute");
@@ -738,6 +1014,28 @@ Result<ExecResult> FederationEngine::ExecuteExplain(
   add("REASON", route.reason);
   add("ACCELERATION MODE",
       AccelerationModeToString(session.acceleration));
+
+  // Health of every accelerator the plan would touch: accelerator state
+  // plus its circuit-breaker state (what the failback routing consults).
+  std::vector<std::string> accel_names;
+  for (const auto& bt : plan.tables) {
+    if (bt.info->kind == TableKind::kDb2Only ||
+        bt.info->accelerator_name.empty()) {
+      continue;
+    }
+    if (std::find(accel_names.begin(), accel_names.end(),
+                  bt.info->accelerator_name) == accel_names.end()) {
+      accel_names.push_back(bt.info->accelerator_name);
+    }
+  }
+  for (const std::string& name : accel_names) {
+    auto a = AcceleratorByName(name);
+    if (!a.ok()) continue;
+    add("ACCELERATOR " + name,
+        std::string(accel::AcceleratorStateToString((*a)->state())) +
+            ", breaker " +
+            std::string(BreakerStateToString(health_.state(name))));
+  }
 
   for (const auto& bt : plan.tables) {
     std::string detail = std::string(TableKindToString(bt.info->kind));
@@ -835,7 +1133,7 @@ Status FederationEngine::ReloadAcceleratedTable(const std::string& table_name,
   // Drop any queued changes (the fresh snapshot supersedes them), rebuild
   // the replica storage, and re-ship the current DB2 state.
   IDAA_ASSIGN_OR_RETURN(accel::Accelerator * host,
-                        AcceleratorForTable(*info));
+                        AcceleratorForTable(*info, "LOAD"));
   replication_->UnregisterTable(info->name);
   IDAA_RETURN_IF_ERROR(host->RemoveTable(info->name));
   IDAA_RETURN_IF_ERROR(host->AddTable(*info));
@@ -846,6 +1144,77 @@ Status FederationEngine::ReloadAcceleratedTable(const std::string& table_name,
   IDAA_RETURN_IF_ERROR(host->LoadRows(info->name, shipped, txn->id()));
   replication_->RegisterTable(info->name);
   return Status::OK();
+}
+
+Result<ResultSet> FederationEngine::VerifyAcceleratedTables(
+    const std::string& table_name, Transaction* txn) {
+  std::vector<std::string> names;
+  if (!table_name.empty()) {
+    IDAA_ASSIGN_OR_RETURN(const TableInfo* info,
+                          catalog_->GetTable(table_name));
+    if (info->kind != TableKind::kAccelerated) {
+      return Status::InvalidArgument("table is not accelerated: " +
+                                     info->name);
+    }
+    names.push_back(info->name);
+  } else {
+    for (const std::string& n : catalog_->ListTables()) {
+      auto info = catalog_->GetTable(n);
+      if (info.ok() && (*info)->kind == TableKind::kAccelerated) {
+        names.push_back(n);
+      }
+    }
+  }
+  ResultSet report{Schema({{"TABLE", DataType::kVarchar, false},
+                           {"DB2_ROWS", DataType::kInteger, false},
+                           {"ACCEL_ROWS", DataType::kInteger, false},
+                           {"CONVERGED", DataType::kBoolean, false}})};
+  // Order-insensitive multiset comparison over rendered row text. DB2
+  // reads latest-committed while the replica reads the txn snapshot, so
+  // this is meaningful only with writers quiesced and replication flushed.
+  auto canonical = [](const std::vector<Row>& rows) {
+    std::vector<std::string> lines;
+    lines.reserve(rows.size());
+    for (const Row& row : rows) {
+      std::string line;
+      for (const Value& v : row) {
+        line += v.ToString();
+        line += '|';
+      }
+      lines.push_back(std::move(line));
+    }
+    std::sort(lines.begin(), lines.end());
+    return lines;
+  };
+  for (const std::string& n : names) {
+    IDAA_ASSIGN_OR_RETURN(const TableInfo* info, catalog_->GetTable(n));
+    IDAA_ASSIGN_OR_RETURN(accel::Accelerator * host,
+                          AcceleratorHostingTable(*info));
+    if (host->state() == accel::AcceleratorState::kOffline) {
+      return Status::Unavailable("ACCEL_VERIFY_TABLES on table " +
+                                 info->name + ": accelerator " +
+                                 host->name() + " is offline");
+    }
+    IDAA_ASSIGN_OR_RETURN(std::vector<Row> db2_rows,
+                          db2_->TableSnapshot(*info, txn));
+    IDAA_ASSIGN_OR_RETURN(
+        const accel::ColumnTable* table,
+        static_cast<const accel::Accelerator*>(host)->GetTable(info->name));
+    std::vector<Row> accel_rows;
+    for (size_t s = 0; s < table->num_slices(); ++s) {
+      IDAA_ASSIGN_OR_RETURN(
+          std::vector<Row> slice_rows,
+          table->ScanSlice(s, nullptr, txn->id(), txn->snapshot_csn(), *tm_,
+                           metrics_));
+      for (Row& r : slice_rows) accel_rows.push_back(std::move(r));
+    }
+    bool converged = canonical(db2_rows) == canonical(accel_rows);
+    report.Append({Value::Varchar(info->name),
+                   Value::Integer(static_cast<int64_t>(db2_rows.size())),
+                   Value::Integer(static_cast<int64_t>(accel_rows.size())),
+                   Value::Boolean(converged)});
+  }
+  return report;
 }
 
 Status FederationEngine::RemoveTableFromAccelerator(

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -23,8 +24,10 @@
 #include "catalog/catalog.h"
 #include "common/metrics.h"
 #include "common/result.h"
+#include "common/retry.h"
 #include "common/trace.h"
 #include "db2/db2_engine.h"
+#include "federation/health_monitor.h"
 #include "federation/router.h"
 #include "federation/transfer_channel.h"
 #include "governance/audit_log.h"
@@ -40,6 +43,8 @@ namespace idaa::federation {
 struct Session {
   std::string user = governance::AuthorizationManager::kAdmin;
   AccelerationMode acceleration = AccelerationMode::kEligible;
+  /// Wall-clock budget for boundary retries (0 = engine default only).
+  uint64_t deadline_us = 0;
 };
 
 /// Outcome of one statement.
@@ -48,6 +53,28 @@ struct ExecResult {
   size_t affected_rows = 0;    ///< DML row count
   Target executed_on = Target::kDb2;
   std::string detail;          ///< routing reason etc.
+  uint32_t retries = 0;        ///< boundary retries this statement needed
+  bool failed_back = false;    ///< re-executed on DB2 after accelerator error
+};
+
+/// Per-statement options for the redesigned Connection::Execute API.
+struct ExecOptions {
+  /// Overrides the session's CURRENT QUERY ACCELERATION for this statement.
+  std::optional<QueryAcceleration> acceleration;
+  /// Overrides the session's retry deadline (microseconds, 0 = inherit).
+  uint64_t deadline_us = 0;
+};
+
+/// Outcome of one statement through the redesigned API: everything a
+/// caller needs to observe routing, data movement and fault handling.
+struct StatementResult {
+  ResultSet rows;              ///< SELECT / CALL output
+  size_t rows_affected = 0;    ///< DML row count
+  Target routed_to = Target::kDb2;
+  uint64_t boundary_bytes = 0;  ///< bytes moved DB2 <-> accelerator
+  uint32_t retries = 0;         ///< boundary retries
+  bool failed_back = false;     ///< re-executed on DB2 after accel failure
+  std::string detail;           ///< routing reason / failback cause
 };
 
 /// Hook for CALL statements the engine does not handle itself (the
@@ -71,7 +98,7 @@ class FederationEngine {
       : catalog_(catalog), db2_(db2), accelerators_(std::move(accelerators)),
         tm_(tm), replication_(replication), channel_(channel),
         auth_(authorization), audit_(audit), metrics_(metrics),
-        router_(catalog) {}
+        router_(catalog), health_(metrics) {}
 
   /// Execute one parsed statement in the given session and transaction.
   /// With a trace context, routing, binding, engine execution and boundary
@@ -89,9 +116,21 @@ class FederationEngine {
   /// Resolve an attached accelerator by name (error when unknown).
   Result<accel::Accelerator*> AcceleratorByName(const std::string& name) const;
 
-  /// The accelerator hosting a table's accelerator-side data; errors when
-  /// the table has none or its accelerator is offline.
-  Result<accel::Accelerator*> AcceleratorForTable(const TableInfo& info) const;
+  /// The accelerator hosting a table's accelerator-side data regardless of
+  /// state (pure placement lookup).
+  Result<accel::Accelerator*> AcceleratorHostingTable(
+      const TableInfo& info) const;
+
+  /// Like AcceleratorHostingTable, but errors with kUnavailable — naming
+  /// the accelerator, its state and the statement kind `op` — when the
+  /// accelerator is not Online.
+  Result<accel::Accelerator*> AcceleratorForTable(
+      const TableInfo& info, const char* op = "statement") const;
+
+  /// Replication apply target: accepts Online AND Recovering accelerators
+  /// (catch-up applies must land while queries are still rejected).
+  Result<accel::Accelerator*> AcceleratorForReplication(
+      const TableInfo& info) const;
 
   /// CALL SYSPROC.ACCEL_REMOVE_TABLES.
   Status RemoveTableFromAccelerator(const std::string& table_name);
@@ -105,6 +144,23 @@ class FederationEngine {
   void set_procedure_handler(ProcedureHandler handler) {
     procedure_handler_ = std::move(handler);
   }
+
+  /// Backoff schedule for boundary-crossing retries (session deadlines
+  /// override the policy's deadline per statement).
+  void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+
+  /// Per-accelerator circuit breakers consulted by routing and execution.
+  HealthMonitor& health() { return health_; }
+  const HealthMonitor& health() const { return health_; }
+
+  /// Content comparison DB2 vs accelerator replica for one accelerated
+  /// table (or all, when `table_name` is empty): the convergence check run
+  /// after an offline -> online cycle. Row multisets must match; the
+  /// caller should quiesce writers (or Flush) first, since DB2 reads
+  /// latest-committed while the accelerator reads the txn snapshot.
+  Result<ResultSet> VerifyAcceleratedTables(const std::string& table_name,
+                                            Transaction* txn);
 
   const Router& router() const { return router_; }
   Router& mutable_router() { return router_; }
@@ -142,10 +198,35 @@ class FederationEngine {
   Result<ResultSet> RunSelectOn(Target target, const sql::BoundSelect& plan,
                                 Transaction* txn, TraceContext tc = {});
 
+  /// Accelerated SELECT with the full fault-tolerance treatment: breaker
+  /// gate, statement shipping, execution, optional result fetch, all under
+  /// the retry policy. Accumulates retries into *retries and records the
+  /// statement outcome with the health monitor.
+  Result<ResultSet> AccelSelectWithRetry(const std::string& sql_text,
+                                         const sql::BoundSelect& plan,
+                                         const Session& session,
+                                         Transaction* txn, TraceContext tc,
+                                         uint32_t* retries, bool fetch_result);
+
+  /// Effective retry policy for a session (deadline override applied).
+  RetryPolicy PolicyFor(const Session& session) const;
+
+  /// Individual boundary crossings under the retry policy (DML / load
+  /// paths). Each accumulates its retries into *retries when non-null.
+  Result<std::vector<Row>> SendRowsRetry(const std::vector<Row>& rows,
+                                         const Session& session,
+                                         TraceContext tc, uint32_t* retries);
+  Result<ResultSet> FetchResultRetry(const ResultSet& result,
+                                     const Session& session, TraceContext tc,
+                                     uint32_t* retries);
+  Status SendStatementRetry(const std::string& sql, const Session& session,
+                            TraceContext tc, uint32_t* retries);
+
   /// The single accelerator all of the plan's tables live on (error when
-  /// they span accelerators or it is offline).
-  Result<accel::Accelerator*> AcceleratorForPlan(
-      const sql::BoundSelect& plan) const;
+  /// they span accelerators or it is not Online).
+  Result<accel::Accelerator*> AcceleratorForPlan(const sql::BoundSelect& plan,
+                                                 const char* op
+                                                 = "statement") const;
 
   /// Placement choice for new accelerator-side tables.
   accel::Accelerator* LeastLoadedAccelerator() const;
@@ -169,6 +250,8 @@ class FederationEngine {
   governance::AuditLog* audit_;
   MetricsRegistry* metrics_;
   Router router_;
+  HealthMonitor health_;
+  RetryPolicy retry_policy_;
   ProcedureHandler procedure_handler_;
 };
 

@@ -1,0 +1,129 @@
+#include "federation/health_monitor.h"
+
+namespace idaa {
+namespace federation {
+
+const char* BreakerStateToString(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "CLOSED";
+    case BreakerState::kOpen:
+      return "OPEN";
+    case BreakerState::kHalfOpen:
+      return "HALF_OPEN";
+  }
+  return "UNKNOWN";
+}
+
+void HealthMonitor::set_trip_threshold(uint32_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  trip_threshold_ = n == 0 ? 1 : n;
+}
+
+void HealthMonitor::set_cooldown_us(uint64_t us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cooldown_us_ = us;
+}
+
+void HealthMonitor::RecordSuccess(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Breaker& b = breakers_[site];
+  b.consecutive_failures = 0;
+  b.probe_outstanding = false;
+  b.state = BreakerState::kClosed;
+}
+
+void HealthMonitor::RecordFailure(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Breaker& b = breakers_[site];
+  ++b.consecutive_failures;
+  if (b.state == BreakerState::kHalfOpen) {
+    // Probe failed: straight back to Open, restart the cooldown.
+    b.state = BreakerState::kOpen;
+    b.opened_at_ns = TraceNowNs();
+    b.probe_outstanding = false;
+    ++b.trips;
+    if (metrics_) metrics_->Increment(metric::kBreakerTrips);
+  } else if (b.state == BreakerState::kClosed &&
+             b.consecutive_failures >= trip_threshold_) {
+    b.state = BreakerState::kOpen;
+    b.opened_at_ns = TraceNowNs();
+    ++b.trips;
+    if (metrics_) metrics_->Increment(metric::kBreakerTrips);
+  }
+}
+
+bool HealthMonitor::CooldownElapsed(const Breaker& b) const {
+  return TraceNowNs() - b.opened_at_ns >= cooldown_us_ * 1000;
+}
+
+bool HealthMonitor::AllowRequest(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = breakers_.find(site);
+  if (it == breakers_.end()) return true;
+  Breaker& b = it->second;
+  switch (b.state) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (CooldownElapsed(b)) {
+        b.state = BreakerState::kHalfOpen;
+        b.probe_outstanding = true;
+        if (metrics_) metrics_->Increment(metric::kBreakerProbes);
+        return true;
+      }
+      return false;
+    case BreakerState::kHalfOpen:
+      if (!b.probe_outstanding) {
+        b.probe_outstanding = true;
+        if (metrics_) metrics_->Increment(metric::kBreakerProbes);
+        return true;
+      }
+      return false;
+  }
+  return true;
+}
+
+bool HealthMonitor::Probeable(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = breakers_.find(site);
+  if (it == breakers_.end()) return true;
+  const Breaker& b = it->second;
+  switch (b.state) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      return CooldownElapsed(b);
+    case BreakerState::kHalfOpen:
+      // While the single probe is outstanding AllowRequest would reject,
+      // so routing there would only fail — mirror the gate.
+      return !b.probe_outstanding;
+  }
+  return true;
+}
+
+BreakerState HealthMonitor::state(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = breakers_.find(site);
+  return it == breakers_.end() ? BreakerState::kClosed : it->second.state;
+}
+
+uint32_t HealthMonitor::consecutive_failures(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = breakers_.find(site);
+  return it == breakers_.end() ? 0 : it->second.consecutive_failures;
+}
+
+uint64_t HealthMonitor::trips(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = breakers_.find(site);
+  return it == breakers_.end() ? 0 : it->second.trips;
+}
+
+void HealthMonitor::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  breakers_.clear();
+}
+
+}  // namespace federation
+}  // namespace idaa

@@ -1,0 +1,78 @@
+// HealthMonitor: per-accelerator circuit breaker. Consecutive statement
+// failures trip the breaker Open; after a cooldown a single probe request
+// is let through (HalfOpen) — success closes the breaker, failure re-opens
+// it. The router consults Probeable() (non-mutating) to steer work away
+// from sick accelerators; the execution path consults AllowRequest()
+// (which consumes the half-open probe slot) right before crossing.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace idaa {
+namespace federation {
+
+enum class BreakerState : uint8_t { kClosed, kOpen, kHalfOpen };
+
+const char* BreakerStateToString(BreakerState state);
+
+/// Thread-safe breaker registry keyed by accelerator name. Failures are
+/// recorded once per *statement* (after retries are exhausted), not per
+/// attempt — a statement that eventually succeeds is a success.
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(MetricsRegistry* metrics = nullptr)
+      : metrics_(metrics) {}
+
+  /// Consecutive failures before the breaker opens (default 3).
+  void set_trip_threshold(uint32_t n);
+  /// How long an open breaker waits before letting a probe through
+  /// (default 100ms; tests set 0 for immediate half-open).
+  void set_cooldown_us(uint64_t us);
+
+  void RecordSuccess(const std::string& site);
+  void RecordFailure(const std::string& site);
+
+  /// Execution-path gate. Closed -> true. Open -> true only once the
+  /// cooldown elapsed (transitions to HalfOpen and consumes the probe
+  /// slot). HalfOpen -> false while the probe is outstanding.
+  bool AllowRequest(const std::string& site);
+
+  /// Routing-path gate: like AllowRequest but never mutates state or
+  /// consumes the probe slot — "would a request be worth sending?".
+  bool Probeable(const std::string& site) const;
+
+  BreakerState state(const std::string& site) const;
+  uint32_t consecutive_failures(const std::string& site) const;
+  /// Times the breaker transitioned Closed/HalfOpen -> Open.
+  uint64_t trips(const std::string& site) const;
+
+  /// Forget all breaker state (tests).
+  void Reset();
+
+ private:
+  struct Breaker {
+    BreakerState state = BreakerState::kClosed;
+    uint32_t consecutive_failures = 0;
+    uint64_t opened_at_ns = 0;
+    uint64_t trips = 0;
+    bool probe_outstanding = false;
+  };
+
+  bool CooldownElapsed(const Breaker& b) const;
+
+  mutable std::mutex mu_;
+  MetricsRegistry* metrics_ = nullptr;
+  std::map<std::string, Breaker> breakers_;
+  uint32_t trip_threshold_ = 3;
+  uint64_t cooldown_us_ = 100000;
+};
+
+}  // namespace federation
+}  // namespace idaa

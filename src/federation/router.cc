@@ -1,5 +1,7 @@
 #include "federation/router.h"
 
+#include <algorithm>
+
 #include "common/string_util.h"
 
 #include "sql/binder.h"
@@ -12,6 +14,7 @@ const char* AccelerationModeToString(AccelerationMode mode) {
     case AccelerationMode::kEnable: return "ENABLE";
     case AccelerationMode::kEligible: return "ELIGIBLE";
     case AccelerationMode::kAll: return "ALL";
+    case AccelerationMode::kEnableWithFailback: return "ENABLE WITH FAILBACK";
   }
   return "?";
 }
@@ -32,6 +35,13 @@ Result<TableClassification> Router::Classify(
       case TableKind::kDb2Only:
         out.any_db2_only = true;
         break;
+    }
+    if (info->kind != TableKind::kDb2Only && !info->accelerator_name.empty()) {
+      auto& names = out.accelerator_names;
+      if (std::find(names.begin(), names.end(), info->accelerator_name) ==
+          names.end()) {
+        names.push_back(info->accelerator_name);
+      }
     }
   }
   return out;
@@ -126,13 +136,26 @@ Result<RoutingDecision> Router::RouteSelect(const sql::SelectStatement& stmt,
                                        : "acceleration disabled"};
   }
   // All tables are accelerated.
+  // Pre-execution failback: when the mode allows falling back to the DB2
+  // copies and the hosting accelerator is known-unhealthy (offline or
+  // breaker open), do not even try — route straight to DB2.
+  if (AccelerationAllowsFailback(mode) && accel_health_fn_) {
+    for (const std::string& accel : cls.accelerator_names) {
+      if (!accel_health_fn_(accel)) {
+        return RoutingDecision{
+            Target::kDb2,
+            "failback: accelerator " + accel + " is unhealthy", true};
+      }
+    }
+  }
   switch (mode) {
     case AccelerationMode::kEligible:
     case AccelerationMode::kAll:
       return RoutingDecision{Target::kAccelerator,
                              "all tables accelerated, mode " +
                                  std::string(AccelerationModeToString(mode))};
-    case AccelerationMode::kEnable: {
+    case AccelerationMode::kEnable:
+    case AccelerationMode::kEnableWithFailback: {
       if (LooksAnalytical(stmt)) {
         return RoutingDecision{Target::kAccelerator,
                                "heuristic: analytical query shape"};

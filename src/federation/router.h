@@ -21,15 +21,31 @@ enum class AccelerationMode : uint8_t {
   kEnable,    ///< offload when the heuristic says the query is analytical
   kEligible,  ///< offload whenever all referenced tables are on the accelerator
   kAll,       ///< like kEligible, but fail instead of running on DB2
+  /// Like kEnable, but reads on *accelerated* tables transparently
+  /// re-execute on DB2 when the accelerator fails with a retryable error
+  /// (DB2's ENABLE WITH FAILBACK). AOTs have no DB2 copy and still fail.
+  kEnableWithFailback,
 };
 
+/// Typed name the redesigned execution API (ExecOptions) uses for the
+/// register value; same domain as the session register.
+using QueryAcceleration = AccelerationMode;
+
 const char* AccelerationModeToString(AccelerationMode mode);
+
+/// True for modes under which an accelerated-table read may fail back.
+inline bool AccelerationAllowsFailback(AccelerationMode mode) {
+  return mode == AccelerationMode::kEnableWithFailback;
+}
 
 enum class Target : uint8_t { kDb2, kAccelerator };
 
 struct RoutingDecision {
   Target target = Target::kDb2;
   std::string reason;
+  /// True when the decision routed to DB2 only because the accelerator is
+  /// unhealthy and the mode allows failback (pre-execution failback).
+  bool failed_back = false;
 };
 
 /// Classification of the tables a statement touches.
@@ -38,6 +54,8 @@ struct TableClassification {
   bool any_accelerated = false;
   bool any_db2_only = false;
   size_t num_tables = 0;
+  /// Distinct accelerators hosting the touched accelerator-side tables.
+  std::vector<std::string> accelerator_names;
 };
 
 class Router {
@@ -53,6 +71,15 @@ class Router {
   /// Scan-size threshold above which ENABLE offloads non-analytical
   /// queries (default 50'000 rows).
   void set_enable_row_threshold(size_t rows) { enable_row_threshold_ = rows; }
+
+  /// Optional health source: "is this accelerator worth sending work to?"
+  /// (Online state + circuit breaker). Under ENABLE WITH FAILBACK the
+  /// router pre-fails-back to DB2 when the hosting accelerator is
+  /// unhealthy instead of letting the statement fail first.
+  using AccelHealthFn = std::function<bool(const std::string&)>;
+  void set_accel_health_fn(AccelHealthFn fn) {
+    accel_health_fn_ = std::move(fn);
+  }
 
   /// Classify the referenced tables of any statement.
   Result<TableClassification> Classify(
@@ -76,6 +103,7 @@ class Router {
  private:
   const Catalog* catalog_;
   RowCountFn row_count_fn_;
+  AccelHealthFn accel_health_fn_;
   size_t enable_row_threshold_ = 50000;
 };
 

@@ -140,8 +140,23 @@ Result<Row> DecodeRow(const std::vector<uint8_t>& buffer, size_t* offset) {
   return row;
 }
 
+Status TransferChannel::MaybeInject(const char* site, TraceContext tc) {
+  if (injector_ == nullptr) return Status::OK();
+  Status st = injector_->MaybeFail(site);
+  if (!st.ok()) {
+    metrics_->Increment(metric::kFaultsInjected);
+    if (tc.trace != nullptr) {
+      TraceSpan fault_span(tc, "fault");
+      fault_span.Attr("site", site);
+      fault_span.Attr("error", st.ToString());
+    }
+  }
+  return st;
+}
+
 Result<std::vector<Row>> TransferChannel::SendRowsToAccelerator(
     const std::vector<Row>& rows, TraceContext tc) {
+  IDAA_RETURN_IF_ERROR(MaybeInject(fault_site::kChannelToAccel, tc));
   TraceSpan xfer_span(tc, "xfer.to_accel");
   std::vector<uint8_t> wire;
   {
@@ -168,6 +183,7 @@ Result<std::vector<Row>> TransferChannel::SendRowsToAccelerator(
 
 Result<ResultSet> TransferChannel::FetchResultFromAccelerator(
     const ResultSet& result, TraceContext tc) {
+  IDAA_RETURN_IF_ERROR(MaybeInject(fault_site::kChannelFromAccel, tc));
   TraceSpan xfer_span(tc, "xfer.from_accel");
   std::vector<uint8_t> wire;
   {
@@ -191,12 +207,15 @@ Result<ResultSet> TransferChannel::FetchResultFromAccelerator(
   return out;
 }
 
-void TransferChannel::SendStatement(const std::string& sql, TraceContext tc) {
+Status TransferChannel::SendStatement(const std::string& sql,
+                                      TraceContext tc) {
+  IDAA_RETURN_IF_ERROR(MaybeInject(fault_site::kChannelStatement, tc));
   TraceSpan xfer_span(tc, "xfer.statement");
   metrics_->Add(metric::kFederationBytesToAccel, sql.size());
   metrics_->Increment(metric::kFederationRoundTrips);
   xfer_span.Attr("bytes", static_cast<uint64_t>(sql.size()));
   if (tc.trace != nullptr) tc.trace->AddBoundaryBytes(sql.size());
+  return Status::OK();
 }
 
 }  // namespace idaa::federation

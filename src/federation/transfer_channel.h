@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault_injector.h"
 #include "common/metrics.h"
 #include "common/result.h"
 #include "common/row.h"
@@ -39,8 +40,12 @@ class TransferChannel {
   Result<ResultSet> FetchResultFromAccelerator(const ResultSet& result,
                                                TraceContext tc = {});
 
-  /// Ship a statement string DB2 -> accelerator (metered, tiny).
-  void SendStatement(const std::string& sql, TraceContext tc = {});
+  /// Ship a statement string DB2 -> accelerator (metered, tiny). Fails
+  /// only when the fault injector is armed on the statement site.
+  Status SendStatement(const std::string& sql, TraceContext tc = {});
+
+  /// Inject faults on this channel's sites (nullptr disables; default).
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
   uint64_t bytes_to_accelerator() const {
     return metrics_->Get(metric::kFederationBytesToAccel);
@@ -50,7 +55,12 @@ class TransferChannel {
   }
 
  private:
+  /// OK when no injector is wired or the site draw passes; otherwise the
+  /// injected fault, metered and trace-visible.
+  Status MaybeInject(const char* site, TraceContext tc);
+
   MetricsRegistry* metrics_;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace idaa::federation

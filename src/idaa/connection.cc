@@ -59,12 +59,13 @@ void Connection::EndAutoTxn(Transaction* txn, bool success) {
 }
 
 Result<federation::ExecResult> Connection::ExecuteParsed(
-    const sql::Statement& stmt, TraceContext tc) {
+    const sql::Statement& stmt, const federation::Session& session,
+    TraceContext tc) {
   if (explicit_txn_) {
-    return system_->federation().Execute(stmt, session_, txn_, tc);
+    return system_->federation().Execute(stmt, session, txn_, tc);
   }
   Transaction* txn = system_->txn_manager().Begin();
-  auto result = system_->federation().Execute(stmt, session_, txn, tc);
+  auto result = system_->federation().Execute(stmt, session, txn, tc);
   EndAutoTxn(txn, result.ok());
   return result;
 }
@@ -95,7 +96,8 @@ std::optional<Result<federation::ExecResult>> Connection::TryControlStatement(
     if (!st.ok()) return Result<federation::ExecResult>(st);
     return done("rolled back");
   }
-  // SET CURRENT QUERY ACCELERATION = NONE | ENABLE | ELIGIBLE | ALL
+  // SET CURRENT QUERY ACCELERATION =
+  //   NONE | ENABLE | ENABLE WITH FAILBACK | ELIGIBLE | ALL
   // (DB2's special register; session-local, so handled here).
   const std::string kPrefix = "SET CURRENT QUERY ACCELERATION";
   if (StartsWith(trimmed, kPrefix)) {
@@ -104,6 +106,8 @@ std::optional<Result<federation::ExecResult>> Connection::TryControlStatement(
     federation::AccelerationMode mode;
     if (rest == "NONE") {
       mode = federation::AccelerationMode::kNone;
+    } else if (rest == "ENABLE WITH FAILBACK") {
+      mode = federation::AccelerationMode::kEnableWithFailback;
     } else if (rest == "ENABLE") {
       mode = federation::AccelerationMode::kEnable;
     } else if (rest == "ELIGIBLE") {
@@ -112,7 +116,8 @@ std::optional<Result<federation::ExecResult>> Connection::TryControlStatement(
       mode = federation::AccelerationMode::kAll;
     } else {
       return Result<federation::ExecResult>(Status::SyntaxError(
-          "expected NONE, ENABLE, ELIGIBLE or ALL, got: '" + rest + "'"));
+          "expected NONE, ENABLE, ENABLE WITH FAILBACK, ELIGIBLE or ALL, "
+          "got: '" + rest + "'"));
     }
     session_.acceleration = mode;
     return done(std::string("CURRENT QUERY ACCELERATION = ") + rest);
@@ -120,10 +125,15 @@ std::optional<Result<federation::ExecResult>> Connection::TryControlStatement(
   return std::nullopt;
 }
 
-Result<federation::ExecResult> Connection::ExecuteSql(const std::string& sql) {
+Result<federation::ExecResult> Connection::ExecuteCore(
+    const std::string& sql, const federation::ExecOptions& opts,
+    uint64_t* boundary_bytes) {
   if (auto control = TryControlStatement(sql)) {
     return std::move(*control);
   }
+  federation::Session session = session_;
+  if (opts.acceleration) session.acceleration = *opts.acceleration;
+  if (opts.deadline_us != 0) session.deadline_us = opts.deadline_us;
   QueryTrace trace;
   TraceSpan root(&trace, "statement");
   const uint64_t start_ns = TraceNowNs();
@@ -132,12 +142,13 @@ Result<federation::ExecResult> Connection::ExecuteSql(const std::string& sql) {
     TraceSpan parse_span(root.context(), "parse");
     IDAA_ASSIGN_OR_RETURN(stmt, sql::ParseStatement(sql));
   }
-  auto result = ExecuteParsed(*stmt, root.context());
+  auto result = ExecuteParsed(*stmt, session, root.context());
   if (result.ok()) {
     root.Attr("rows", static_cast<uint64_t>(result->result_set.NumRows()));
     root.Attr("affected", static_cast<uint64_t>(result->affected_rows));
   }
   root.End();
+  if (boundary_bytes != nullptr) *boundary_bytes = trace.boundary_bytes();
   const uint64_t duration_us = (TraceNowNs() - start_ns) / 1000;
   system_->histograms()
       .GetOrCreate(std::string(histo::kSqlLatencyPrefix) +
@@ -149,6 +160,26 @@ Result<federation::ExecResult> Connection::ExecuteSql(const std::string& sql) {
                                           trace.Render());
   }
   return result;
+}
+
+Result<federation::ExecResult> Connection::ExecuteSql(const std::string& sql) {
+  return ExecuteCore(sql, {}, nullptr);
+}
+
+Result<federation::StatementResult> Connection::Execute(
+    const std::string& sql, const federation::ExecOptions& opts) {
+  uint64_t boundary_bytes = 0;
+  IDAA_ASSIGN_OR_RETURN(federation::ExecResult result,
+                        ExecuteCore(sql, opts, &boundary_bytes));
+  federation::StatementResult out;
+  out.rows = std::move(result.result_set);
+  out.rows_affected = result.affected_rows;
+  out.routed_to = result.executed_on;
+  out.boundary_bytes = boundary_bytes;
+  out.retries = result.retries;
+  out.failed_back = result.failed_back;
+  out.detail = std::move(result.detail);
+  return out;
 }
 
 Result<ResultSet> Connection::Query(const std::string& sql) {

@@ -36,6 +36,13 @@ class Connection {
   /// threshold — logged with its rendered trace.
   Result<federation::ExecResult> ExecuteSql(const std::string& sql);
 
+  /// The redesigned execution API: per-statement options (acceleration
+  /// override, retry deadline) in, a StatementResult out that surfaces
+  /// routing, boundary bytes, retry count and failback. ExecuteSql remains
+  /// as a shim over the same path.
+  Result<federation::StatementResult> Execute(
+      const std::string& sql, const federation::ExecOptions& opts = {});
+
   /// Convenience: execute and return the result set.
   Result<ResultSet> Query(const std::string& sql);
 
@@ -59,8 +66,14 @@ class Connection {
   analytics::SqlExecutor MakeSqlExecutor();
 
  private:
-  Result<federation::ExecResult> ExecuteParsed(const sql::Statement& stmt,
-                                               TraceContext tc = {});
+  Result<federation::ExecResult> ExecuteParsed(
+      const sql::Statement& stmt, const federation::Session& session,
+      TraceContext tc = {});
+  /// Shared path behind ExecuteSql and Execute: control-statement
+  /// interception, per-statement session overrides, tracing, histograms.
+  Result<federation::ExecResult> ExecuteCore(const std::string& sql,
+                                             const federation::ExecOptions& opts,
+                                             uint64_t* boundary_bytes);
   void EndAutoTxn(Transaction* txn, bool success);
   /// Intercepts transaction control and SET statements; returns nullopt if
   /// the text is a regular statement.

@@ -5,7 +5,8 @@
 
 namespace idaa {
 
-IdaaSystem::IdaaSystem(const SystemOptions& options) : options_(options) {
+IdaaSystem::IdaaSystem(const SystemOptions& options)
+    : options_(options), fault_injector_(options.fault_seed) {
   db2_ = std::make_unique<db2::Db2Engine>(&catalog_, &tm_, &metrics_);
   size_t num_accelerators = std::max<size_t>(1, options_.num_accelerators);
   std::vector<accel::Accelerator*> accel_ptrs;
@@ -13,23 +14,28 @@ IdaaSystem::IdaaSystem(const SystemOptions& options) : options_(options) {
     accelerators_.push_back(std::make_unique<accel::Accelerator>(
         options_.accelerator, &tm_, &metrics_,
         "ACCEL" + std::to_string(i + 1)));
+    accelerators_.back()->set_fault_injector(&fault_injector_);
     accel_ptrs.push_back(accelerators_.back().get());
   }
   channel_ = std::make_unique<federation::TransferChannel>(&metrics_);
+  channel_->set_fault_injector(&fault_injector_);
 
   // Replication and the loader find a table's accelerator through the
   // catalog's placement record.
   auto accel_for_info =
       [this](const TableInfo& info) -> Result<accel::Accelerator*> {
-    return federation_->AcceleratorForTable(info);
+    return federation_->AcceleratorForTable(info, "LOAD");
   };
   replication_ = std::make_unique<replication::ReplicationService>(
       &tm_,
       [this](const std::string& table_name) -> Result<accel::ColumnTable*> {
         IDAA_ASSIGN_OR_RETURN(const TableInfo* info,
                               catalog_.GetTable(table_name));
+        // Catch-up applies must land while the accelerator is Recovering
+        // (queries still rejected), so this resolver is laxer than the
+        // query path's AcceleratorForTable.
         IDAA_ASSIGN_OR_RETURN(accel::Accelerator * a,
-                              federation_->AcceleratorForTable(*info));
+                              federation_->AcceleratorForReplication(*info));
         return a->GetTable(table_name);
       },
       channel_.get(), &metrics_,
@@ -49,6 +55,16 @@ IdaaSystem::IdaaSystem(const SystemOptions& options) : options_(options) {
       [this](const TableInfo& info) -> size_t {
         auto table = db2_->row_store().GetTable(info.table_id);
         return table.ok() ? (*table)->NumLiveRows() : 0;
+      });
+  // Health feed for ENABLE WITH FAILBACK pre-execution routing: an
+  // accelerator is worth sending work to only when Online with a breaker
+  // that would let a request through (non-mutating probe check).
+  federation_->mutable_router().set_accel_health_fn(
+      [this](const std::string& name) -> bool {
+        auto a = federation_->AcceleratorByName(name);
+        if (!a.ok()) return false;
+        return (*a)->state() == accel::AcceleratorState::kOnline &&
+               federation_->health().Probeable(name);
       });
 
   // Wire the analytics framework into CALL dispatch: EXECUTE privilege was

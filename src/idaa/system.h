@@ -18,6 +18,7 @@
 #include "analytics/pipeline.h"
 #include "analytics/registry.h"
 #include "catalog/catalog.h"
+#include "common/fault_injector.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "db2/db2_engine.h"
@@ -40,6 +41,9 @@ struct SystemOptions {
   /// Default acceleration mode for new sessions.
   federation::AccelerationMode acceleration_mode =
       federation::AccelerationMode::kEligible;
+  /// Seed for the deterministic fault injector (disarmed by default; tests
+  /// and benchmarks arm sites through fault_injector()).
+  uint64_t fault_seed = 42;
 };
 
 /// One embedded IDAA deployment: DB2 + accelerator + glue.
@@ -67,6 +71,14 @@ class IdaaSystem {
   /// handled as session control.
   Result<federation::ExecResult> ExecuteSql(const std::string& sql) {
     return default_connection_->ExecuteSql(sql);
+  }
+
+  /// Redesigned execution API on the default connection: per-statement
+  /// options in, a StatementResult (routing, boundary bytes, retries,
+  /// failback) out.
+  Result<federation::StatementResult> Execute(
+      const std::string& sql, const federation::ExecOptions& opts = {}) {
+    return default_connection_->Execute(sql, opts);
   }
 
   /// Convenience: execute and return the result set (for SELECT/CALL).
@@ -125,6 +137,9 @@ class IdaaSystem {
   loader::IdaaLoader& loader() { return *loader_; }
   governance::AuthorizationManager& authorization() { return auth_; }
   governance::AuditLog& audit() { return audit_; }
+  /// Deterministic fault injector wired into the transfer channel and every
+  /// accelerator entry point (disarmed unless a site is armed).
+  FaultInjector& fault_injector() { return fault_injector_; }
   analytics::OperatorRegistry& analytics_registry() { return *registry_; }
 
   /// SQL executor adapter for analytics::Pipeline (default connection).
@@ -134,6 +149,7 @@ class IdaaSystem {
 
  private:
   SystemOptions options_;
+  FaultInjector fault_injector_;
   MetricsRegistry metrics_;
   HistogramRegistry histograms_;
   SlowQueryLog slow_query_log_;

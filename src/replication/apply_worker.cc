@@ -8,6 +8,17 @@ Result<ApplyStats> ApplyWorker::ApplyBatch(
   if (batch.empty()) return stats;
   const uint64_t start_ns = TraceNowNs();
 
+  // Resolve every target replica before shipping anything: an unreachable
+  // accelerator must fail the batch *before* the boundary crossing so the
+  // caller can requeue it without having metered phantom bytes.
+  std::vector<accel::ColumnTable*> targets;
+  targets.reserve(batch.size());
+  for (const auto& cc : batch) {
+    auto table_r = resolver_(cc.change.table_name);
+    if (!table_r.ok()) return table_r.status();
+    targets.push_back(*table_r);
+  }
+
   // Meter the batch crossing the boundary (old+new images, like a real
   // log-shipping pipeline).
   std::vector<Row> wire_rows;
@@ -25,11 +36,10 @@ Result<ApplyStats> ApplyWorker::ApplyBatch(
     return status;
   };
 
-  for (const auto& cc : batch) {
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const auto& cc = batch[i];
     const CapturedChange& change = cc.change;
-    auto table_r = resolver_(change.table_name);
-    if (!table_r.ok()) return fail(table_r.status());
-    accel::ColumnTable* table = *table_r;
+    accel::ColumnTable* table = targets[i];
     switch (change.op) {
       case CapturedChange::Op::kInsert: {
         Status st = table->Insert({change.row}, txn->id());

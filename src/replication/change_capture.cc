@@ -44,6 +44,13 @@ std::vector<CommittedChange> ChangeCapture::Drain(size_t max) {
   return out;
 }
 
+void ChangeCapture::Requeue(std::vector<CommittedChange> batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = batch.rbegin(); it != batch.rend(); ++it) {
+    pending_.push_front(std::move(*it));
+  }
+}
+
 size_t ChangeCapture::PendingCount() const {
   std::lock_guard<std::mutex> lock(mu_);
   return pending_.size();

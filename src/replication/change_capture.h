@@ -33,6 +33,11 @@ class ChangeCapture {
   /// Drain up to `max` pending changes (FIFO).
   std::vector<CommittedChange> Drain(size_t max);
 
+  /// Put a drained batch back at the FRONT of the queue, preserving order
+  /// (apply failed — e.g. accelerator offline — so nothing is lost and the
+  /// next Flush retries from the same point).
+  void Requeue(std::vector<CommittedChange> batch);
+
   size_t PendingCount() const;
 
   /// Highest commit CSN ever enqueued (staleness tracking).

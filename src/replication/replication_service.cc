@@ -47,7 +47,15 @@ Result<ApplyStats> ReplicationService::Flush() {
     if (batch.empty()) break;
     Csn batch_high = 0;
     for (const auto& cc : batch) batch_high = std::max(batch_high, cc.commit_csn);
-    IDAA_ASSIGN_OR_RETURN(ApplyStats stats, worker_.ApplyBatch(batch));
+    auto applied = worker_.ApplyBatch(batch);
+    if (!applied.ok()) {
+      // Apply is all-or-nothing per batch (single rolled-back txn), so the
+      // drained changes must go back on the queue: an accelerator outage
+      // pauses replication, it must not lose the backlog.
+      capture_.Requeue(std::move(batch));
+      return applied.status();
+    }
+    const ApplyStats& stats = *applied;
     total.changes_applied += stats.changes_applied;
     total.inserts += stats.inserts;
     total.deletes += stats.deletes;

@@ -20,18 +20,22 @@ namespace {
 
 using federation::AccelerationMode;
 
-// Retry kConflict (lock timeouts under contention); anything else is fatal.
-// Returns whether the statement eventually succeeded.
+// Retry kConflict (lock timeouts under contention) and the retryable fault
+// codes (kUnavailable/kChannelError/kTimeout — accelerator outages); any
+// terminal error is fatal. Returns whether the statement eventually
+// succeeded.
 bool ExecuteWithRetry(Connection* conn, const std::string& sql,
                       int max_attempts = 20) {
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     auto result = conn->ExecuteSql(sql);
     if (result.ok()) return true;
-    if (result.status().code() != StatusCode::kConflict) {
+    if (result.status().code() != StatusCode::kConflict &&
+        !result.status().retryable()) {
       ADD_FAILURE() << "unexpected failure for '" << sql
                     << "': " << result.status().ToString();
       return false;
     }
+    std::this_thread::yield();
   }
   return false;
 }
@@ -171,6 +175,119 @@ TEST(ConcurrentStressTest, MixedWorkloadKeepsCountsAndSnapshots) {
   ASSERT_TRUE(aot_count.ok());
   EXPECT_EQ(aot_count->At(0, 0).AsInteger(),
             static_cast<int64_t>(1 + aot_inserted.load()));
+}
+
+TEST(ConcurrentStressTest, RandomOutagesUnderFailbackNeverSurfaceErrors) {
+  // An outage thread flips the accelerator OFFLINE/ONLINE while writers
+  // keep inserting into the DB2 side of an accelerated table and readers
+  // run under ENABLE WITH FAILBACK. Invariants: failback readers never see
+  // an error, replication never loses the backlog, and after the final
+  // ONLINE + Flush both routes agree and ACCEL_VERIFY_TABLES converges.
+  SystemOptions options;
+  options.accelerator.num_slices = 4;
+  options.replication_batch_size = 8;
+  IdaaSystem system(options);
+
+  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE acc (id INT, v INT)").ok());
+  ASSERT_TRUE(system.ExecuteSql("INSERT INTO acc VALUES (0, 0)").ok());
+  ASSERT_TRUE(system.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('acc')").ok());
+
+  constexpr int kWriters = 2;
+  constexpr int kInsertsPerWriter = 40;
+  constexpr int kReaderIterations = 40;
+  constexpr int kOutageCycles = 12;
+
+  std::atomic<size_t> acc_inserted{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+
+  // Writers: the DB2 side stays writable through every outage.
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&system, &acc_inserted, w] {
+      auto conn = system.NewConnection();
+      for (int i = 0; i < kInsertsPerWriter; ++i) {
+        int id = 1000 * (w + 1) + i;
+        if (ExecuteWithRetry(conn.get(),
+                             "INSERT INTO acc VALUES (" + std::to_string(id) +
+                                 ", " + std::to_string(i) + ")")) {
+          acc_inserted.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  // Failback readers: ENABLE WITH FAILBACK must absorb every outage — an
+  // error here is a test failure, not a retry.
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&system] {
+      auto conn = system.NewConnection();
+      conn->SetAccelerationMode(AccelerationMode::kEnableWithFailback);
+      for (int i = 0; i < kReaderIterations; ++i) {
+        auto rs = conn->Query("SELECT COUNT(*), SUM(v) FROM acc");
+        ASSERT_TRUE(rs.ok()) << "failback reader saw an error: "
+                             << rs.status().ToString();
+      }
+    });
+  }
+
+  // Flusher: replication apply may fail with a retryable error while the
+  // accelerator is away, but must never lose changes or fail terminally.
+  threads.emplace_back([&system, &stop] {
+    while (!stop.load()) {
+      auto stats = system.replication().Flush();
+      if (!stats.ok()) {
+        ASSERT_TRUE(stats.status().retryable())
+            << "replication failed terminally: " << stats.status().ToString();
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  // Outage thread: OFFLINE, let the workload run into it, ONLINE (which
+  // replays the backlog through the Recovering state), repeat.
+  threads.emplace_back([&system] {
+    auto conn = system.NewConnection();
+    for (int c = 0; c < kOutageCycles; ++c) {
+      ASSERT_TRUE(
+          conn->ExecuteSql("CALL SYSPROC.ACCEL_CONTROL('ACCEL1', 'OFFLINE')")
+              .ok());
+      std::this_thread::yield();
+      ASSERT_TRUE(
+          conn->ExecuteSql("CALL SYSPROC.ACCEL_CONTROL('ACCEL1', 'ONLINE')")
+              .ok());
+      std::this_thread::yield();
+    }
+  });
+
+  for (size_t t = 0; t + 2 < threads.size(); ++t) threads[t].join();
+  threads.back().join();  // outage thread
+  stop.store(true);
+  threads[threads.size() - 2].join();  // flusher
+
+  EXPECT_EQ(acc_inserted.load(), size_t{kWriters * kInsertsPerWriter});
+
+  // Final recovery: accelerator online, backlog drained, replica converged.
+  ASSERT_TRUE(
+      system.ExecuteSql("CALL SYSPROC.ACCEL_CONTROL('ACCEL1', 'ONLINE')")
+          .ok());
+  ASSERT_TRUE(system.replication().Flush().ok());
+  EXPECT_EQ(system.replication().PendingChanges(), 0u);
+
+  const auto expected = static_cast<int64_t>(1 + acc_inserted.load());
+  system.SetAccelerationMode(AccelerationMode::kNone);
+  auto db2_count = system.Query("SELECT COUNT(*) FROM acc");
+  ASSERT_TRUE(db2_count.ok()) << db2_count.status().ToString();
+  EXPECT_EQ(db2_count->At(0, 0).AsInteger(), expected);
+
+  system.SetAccelerationMode(AccelerationMode::kAll);
+  auto accel_count = system.Query("SELECT COUNT(*) FROM acc");
+  ASSERT_TRUE(accel_count.ok()) << accel_count.status().ToString();
+  EXPECT_EQ(accel_count->At(0, 0).AsInteger(), expected);
+
+  auto verify = system.Query("CALL SYSPROC.ACCEL_VERIFY_TABLES('acc')");
+  ASSERT_TRUE(verify.ok()) << verify.status().ToString();
+  ASSERT_EQ(verify->NumRows(), 1u);
+  EXPECT_TRUE(verify->At(0, 3).AsBoolean()) << "replica diverged from DB2";
 }
 
 TEST(ConcurrentStressTest, ParallelTracedQueriesShareHistograms) {
