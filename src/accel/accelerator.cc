@@ -52,7 +52,7 @@ Status Accelerator::AddTable(const TableInfo& info) {
   if (tables_.count(name)) {
     return Status::AlreadyExists("accelerator table already exists: " + name);
   }
-  tables_[name] = std::make_unique<ColumnTable>(
+  tables_[name] = std::make_shared<ColumnTable>(
       info.schema, info.distribution_column, options_);
   return Status::OK();
 }
@@ -96,6 +96,13 @@ Status Accelerator::LoadRows(const std::string& name,
   return table->Insert(rows, txn);
 }
 
+Status Accelerator::LoadColumnar(const std::string& name,
+                                 const ColumnarRows& rows, TxnId txn) {
+  IDAA_RETURN_IF_ERROR(CheckReady("LOAD"));
+  IDAA_ASSIGN_OR_RETURN(ColumnTable * table, GetTable(name));
+  return table->InsertColumnar(rows, txn);
+}
+
 Result<ResultSet> Accelerator::ExecuteSelect(const sql::BoundSelect& plan,
                                              TxnId reader, Csn snapshot,
                                              TraceContext tc) {
@@ -133,12 +140,14 @@ Result<size_t> Accelerator::ExecuteDelete(const sql::BoundDelete& plan,
 GroomStats Accelerator::GroomAll() {
   Csn horizon = tm_->OldestActiveSnapshot();
   GroomStats total;
-  std::vector<ColumnTable*> tables;
+  // Keep the snapshot alive by ownership: a concurrent DROP TABLE or AOT
+  // re-create may erase entries from tables_ while we groom.
+  std::vector<std::shared_ptr<ColumnTable>> tables;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (auto& [name, table] : tables_) tables.push_back(table.get());
+    for (auto& [name, table] : tables_) tables.push_back(table);
   }
-  for (ColumnTable* table : tables) {
+  for (const std::shared_ptr<ColumnTable>& table : tables) {
     GroomStats stats = table->Groom(horizon, *tm_);
     total.rows_examined += stats.rows_examined;
     total.rows_reclaimed += stats.rows_reclaimed;

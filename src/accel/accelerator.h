@@ -82,6 +82,12 @@ class Accelerator {
   Status LoadRows(const std::string& name, const std::vector<Row>& rows,
                   TxnId txn);
 
+  /// Columnar bulk append from the vectorized engine; same transactional
+  /// semantics and stored state as LoadRows of the equivalent rows (see
+  /// ColumnTable::InsertColumnar).
+  Status LoadColumnar(const std::string& name, const ColumnarRows& rows,
+                      TxnId txn);
+
   /// Delegated SELECT under (reader, snapshot) visibility. With a trace
   /// context, slice scans and merges are recorded as spans.
   Result<ResultSet> ExecuteSelect(const sql::BoundSelect& plan, TxnId reader,
@@ -117,7 +123,10 @@ class Accelerator {
   MetricsRegistry* metrics_;
   ThreadPool pool_;
   mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<ColumnTable>> tables_;
+  // shared_ptr so maintenance passes (GroomAll) can keep a table alive
+  // across their per-table work while a concurrent DROP / AOT re-create
+  // removes it from the map.
+  std::map<std::string, std::shared_ptr<ColumnTable>> tables_;
 };
 
 }  // namespace idaa::accel

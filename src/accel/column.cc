@@ -72,6 +72,34 @@ Status Column::Append(const Value& v) {
   return Status::OK();
 }
 
+void Column::AppendRawNull() {
+  nulls_.push_back(1);
+  switch (type_) {
+    case DataType::kDouble:
+      doubles_.push_back(0.0);
+      break;
+    case DataType::kVarchar:
+      codes_.push_back(0);
+      break;
+    default:
+      ints_.push_back(0);
+  }
+}
+
+void Column::AppendRawVarchar(const std::string& s) {
+  nulls_.push_back(0);
+  auto it = dict_index_.find(s);
+  uint32_t code;
+  if (it == dict_index_.end()) {
+    code = static_cast<uint32_t>(dict_.size());
+    dict_.push_back(s);
+    dict_index_.emplace(s, code);
+  } else {
+    code = it->second;
+  }
+  codes_.push_back(code);
+}
+
 Value Column::Get(size_t i) const {
   if (nulls_[i]) return Value::Null();
   switch (type_) {

@@ -27,6 +27,22 @@ class Column {
   /// Append a value (must match the column type or be NULL).
   Status Append(const Value& v);
 
+  /// Non-validating fast appends for the columnar bulk-insert path
+  /// (ColumnTable::InsertColumnar): the table has already checked the
+  /// staged column against the schema, so these skip the per-Value type
+  /// dispatch. Stored state is identical to Append() of the equivalent
+  /// Value.
+  void AppendRawNull();
+  void AppendRawDouble(double d) {
+    nulls_.push_back(0);
+    doubles_.push_back(d);
+  }
+  void AppendRawInt(int64_t v) {
+    nulls_.push_back(0);
+    ints_.push_back(v);
+  }
+  void AppendRawVarchar(const std::string& s);
+
   /// Materialize element i as a Value.
   Value Get(size_t i) const;
 

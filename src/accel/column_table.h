@@ -39,6 +39,23 @@ struct AcceleratorOptions {
   size_t morsel_size = kDefaultMorselSize;  ///< rows per scan morsel
 };
 
+/// Column-major staging buffer for bulk appends from the vectorized
+/// engine: per column, exactly the typed vector matching the schema type
+/// is populated (sized num_rows; `nulls` is optional — empty means no
+/// NULLs, and values at NULL positions are ignored). Only DOUBLE, INTEGER
+/// and VARCHAR columns are supported; writers of other types use the
+/// row-at-a-time Insert.
+struct ColumnarRows {
+  struct Col {
+    std::vector<double> doubles;       ///< DataType::kDouble
+    std::vector<int64_t> ints;         ///< DataType::kInteger
+    std::vector<std::string> strings;  ///< DataType::kVarchar
+    std::vector<uint8_t> nulls;        ///< optional; 1 = NULL at that row
+  };
+  size_t num_rows = 0;
+  std::vector<Col> columns;
+};
+
 /// Result of a groom (space reclamation) pass.
 struct GroomStats {
   size_t rows_examined = 0;
@@ -63,6 +80,12 @@ class ColumnTable {
   /// Append rows with createxid = txn (uncommitted until the transaction
   /// manager publishes the commit).
   Status Insert(const std::vector<Row>& rows, TxnId txn);
+
+  /// Columnar bulk append: same transactional semantics and identical
+  /// stored state as Insert() of the equivalent rows, but values move
+  /// straight from the staged column vectors into the column arrays —
+  /// no Row materialization or per-cell Value boxing on the hot path.
+  Status InsertColumnar(const ColumnarRows& rows, TxnId txn);
 
   /// Mark all rows visible to `txn` that satisfy `predicate` (nullable) as
   /// deleted by `txn`. Snapshot-isolation first-writer-wins: deleting a row

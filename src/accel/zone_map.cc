@@ -93,6 +93,28 @@ void ZoneMap::Observe(size_t row_index, size_t column, const Value& v) {
   if (cmp_max.ok() && *cmp_max > 0) stats.max = v;
 }
 
+void ZoneMap::ObserveRun(size_t row_index, size_t column, size_t count,
+                         const Value& min, const Value& max, bool has_null) {
+  if (count == 0) return;
+  if (zones_per_column_.empty()) zones_per_column_.resize(num_columns_);
+  size_t zone = row_index / zone_size_;
+  auto& zones = zones_per_column_[column];
+  if (zones.size() <= zone) zones.resize(zone + 1);
+  ZoneStats& stats = zones[zone];
+  stats.count += count;
+  if (has_null) stats.has_null = true;
+  if (min.is_null()) return;  // all-null run
+  if (stats.min.is_null()) {
+    stats.min = min;
+    stats.max = max;
+    return;
+  }
+  auto cmp_min = min.Compare(stats.min);
+  if (cmp_min.ok() && *cmp_min < 0) stats.min = min;
+  auto cmp_max = max.Compare(stats.max);
+  if (cmp_max.ok() && *cmp_max > 0) stats.max = max;
+}
+
 bool ZoneMap::ZoneCanMatch(size_t zone,
                            const std::vector<ColumnRange>& ranges) const {
   for (const ColumnRange& range : ranges) {

@@ -43,6 +43,14 @@ class ZoneMap {
   /// Record the value of `column` for the row at `row_index`.
   void Observe(size_t row_index, size_t column, const Value& v);
 
+  /// Bulk form of Observe for `count` consecutive rows of `column`
+  /// starting at `row_index` — the caller guarantees the run stays inside
+  /// one zone and passes the extrema of the run's non-null values (NULL
+  /// Values for an all-null run). Final zone stats are identical to
+  /// observing every row individually.
+  void ObserveRun(size_t row_index, size_t column, size_t count,
+                  const Value& min, const Value& max, bool has_null);
+
   size_t NumZones() const { return zones_per_column_.empty() ? 0 : zones_per_column_[0].size(); }
 
   /// Can any row in `zone` possibly satisfy all `ranges`?

@@ -3,13 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include "analytics/batch_input.h"
+#include "analytics/parallel.h"
 #include "common/string_util.h"
 
 namespace idaa::analytics {
 
 std::vector<FrequentItemset> RunApriori(
     const std::vector<std::set<std::string>>& transactions,
-    double min_support, size_t max_size) {
+    double min_support, size_t max_size, ThreadPool* pool) {
   std::vector<FrequentItemset> result;
   if (transactions.empty()) return result;
   const double n = static_cast<double>(transactions.size());
@@ -51,12 +53,17 @@ std::vector<FrequentItemset> RunApriori(
         if (candidate.size() == k) candidates.insert(std::move(candidate));
       }
     }
-    std::vector<std::vector<std::string>> next;
-    for (const auto& candidate : candidates) {
+    // Support counting is the hot loop: one independent task per candidate.
+    // Integer counts iterated in candidate (sorted-set) order make the
+    // parallel result exactly the serial one.
+    std::vector<std::vector<std::string>> ordered(candidates.begin(),
+                                                  candidates.end());
+    std::vector<size_t> counts_per_candidate(ordered.size(), 0);
+    auto count_candidate = [&](size_t c) {
       size_t count = 0;
       for (const auto& txn : transactions) {
         bool contains = true;
-        for (const auto& item : candidate) {
+        for (const auto& item : ordered[c]) {
           if (!txn.count(item)) {
             contains = false;
             break;
@@ -64,9 +71,21 @@ std::vector<FrequentItemset> RunApriori(
         }
         if (contains) ++count;
       }
-      if (count >= min_count && min_count > 0) {
-        next.push_back(candidate);
-        result.push_back({candidate, static_cast<double>(count) / n});
+      counts_per_candidate[c] = count;
+    };
+    if (pool != nullptr && ordered.size() > 1) {
+      pool->ParallelForDynamic(
+          ordered.size(), std::min(pool->num_threads(), ordered.size()),
+          [&](size_t, size_t c) { count_candidate(c); });
+    } else {
+      for (size_t c = 0; c < ordered.size(); ++c) count_candidate(c);
+    }
+    std::vector<std::vector<std::string>> next;
+    for (size_t c = 0; c < ordered.size(); ++c) {
+      if (counts_per_candidate[c] >= min_count && min_count > 0) {
+        next.push_back(ordered[c]);
+        result.push_back(
+            {ordered[c], static_cast<double>(counts_per_candidate[c]) / n});
       }
     }
     current = std::move(next);
@@ -102,19 +121,57 @@ class AprioriOperator : public AnalyticsOperator {
     IDAA_ASSIGN_OR_RETURN(Schema in_schema, ctx.TableSchema(input));
     IDAA_ASSIGN_OR_RETURN(size_t tid_col, in_schema.ColumnIndex(tid_name));
     IDAA_ASSIGN_OR_RETURN(size_t item_col, in_schema.ColumnIndex(item_name));
-    IDAA_ASSIGN_OR_RETURN(std::vector<Row> rows, ctx.ReadTable(input));
 
+    std::unique_ptr<AnalyticsInput> in;
+    if (ctx.batch_path_enabled()) {
+      auto opened = ctx.OpenInput(input);
+      if (opened.ok()) in = std::move(*opened);
+    }
+    // Grouping into per-tid item sets is set-union, so the per-morsel
+    // partial maps merged in ascending morsel order are exactly the map the
+    // serial row loop builds.
     std::map<std::string, std::set<std::string>> grouped;
-    for (const Row& row : rows) {
-      if (row[tid_col].is_null() || row[item_col].is_null()) continue;
-      grouped[row[tid_col].ToString()].insert(row[item_col].ToString());
+    if (in != nullptr) {
+      std::vector<std::map<std::string, std::set<std::string>>> partials(
+          in->num_morsels());
+      in->Scan(
+          [&](size_t, size_t mi, const accel::ColumnBatch& batch) {
+            auto& part = partials[mi];
+            const accel::Column& tid = *(*batch.columns)[tid_col];
+            const accel::Column& item = *(*batch.columns)[item_col];
+            for (size_t k = 0; k < batch.sel_count; ++k) {
+              const size_t i = batch.AbsoluteRow(k);
+              if (tid.IsNull(i) || item.IsNull(i)) continue;
+              part[tid.Get(i).ToString()].insert(item.Get(i).ToString());
+            }
+          },
+          ctx.trace(), "analytics.apriori.group");
+      for (auto& part : partials) {
+        for (auto& [tid, items] : part) {
+          grouped[tid].insert(items.begin(), items.end());
+        }
+      }
+    } else {
+      IDAA_ASSIGN_OR_RETURN(std::vector<Row> rows, ctx.ReadTable(input));
+      for (const Row& row : rows) {
+        if (row[tid_col].is_null() || row[item_col].is_null()) continue;
+        grouped[row[tid_col].ToString()].insert(row[item_col].ToString());
+      }
     }
     std::vector<std::set<std::string>> transactions;
     transactions.reserve(grouped.size());
     for (auto& [tid, items] : grouped) transactions.push_back(std::move(items));
 
-    std::vector<FrequentItemset> itemsets = RunApriori(
-        transactions, min_support, static_cast<size_t>(max_size));
+    std::vector<FrequentItemset> itemsets;
+    {
+      TraceSpan mine(ctx.trace(), "analytics.apriori.mine");
+      mine.Attr("batch_path", in != nullptr ? "true" : "false");
+      mine.Attr("transactions", static_cast<uint64_t>(transactions.size()));
+      itemsets = RunApriori(transactions, min_support,
+                            static_cast<size_t>(max_size),
+                            in != nullptr ? in->pool() : nullptr);
+    }
+    in.reset();  // release the scan pin before materializing output AOTs
 
     std::string output = GetParamOr(params, "output", "");
     if (!output.empty()) {

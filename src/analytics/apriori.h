@@ -23,9 +23,12 @@ struct FrequentItemset {
   double support = 0;
 };
 
-/// Classic Apriori over transactions (each a set of items).
+/// Classic Apriori over transactions (each a set of items). With a pool,
+/// candidate support counting (the hot loop) runs one task per candidate;
+/// counts are integers, so the result is exactly the serial one for any
+/// thread count.
 std::vector<FrequentItemset> RunApriori(
     const std::vector<std::set<std::string>>& transactions,
-    double min_support, size_t max_size);
+    double min_support, size_t max_size, ThreadPool* pool = nullptr);
 
 }  // namespace idaa::analytics

@@ -5,14 +5,19 @@
 #include <map>
 #include <set>
 
+#include "analytics/batch_input.h"
+#include "analytics/parallel.h"
 #include "common/string_util.h"
 
 namespace idaa::analytics {
 
 namespace {
 
-/// Common scaffolding: read input, validate output name, hand rows to a
-/// transform, write the produced rows into a fresh output AOT.
+/// Common scaffolding: read input (morsel-parallel on the batch path, with
+/// the scan pin held until the transform is done), validate output name,
+/// hand rows to a transform, write the produced rows into a fresh output
+/// AOT. Transforms receive a pool only on the batch path; with pool ==
+/// nullptr they must behave exactly like the original serial code.
 class TableToTableOperator : public AnalyticsOperator {
  public:
   Result<std::vector<std::string>> InputTables(
@@ -25,27 +30,90 @@ class TableToTableOperator : public AnalyticsOperator {
     IDAA_ASSIGN_OR_RETURN(std::string input, GetParam(params, "input"));
     IDAA_ASSIGN_OR_RETURN(std::string output, GetParam(params, "output"));
     IDAA_ASSIGN_OR_RETURN(Schema in_schema, ctx.TableSchema(input));
-    IDAA_ASSIGN_OR_RETURN(std::vector<Row> rows, ctx.ReadTable(input));
+
+    std::unique_ptr<AnalyticsInput> in;
+    if (ctx.batch_path_enabled()) {
+      auto opened = ctx.OpenInput(input);
+      if (opened.ok()) in = std::move(*opened);
+    }
+    // Columnar-capable transforms read the input as flat column vectors;
+    // everyone else (and any input with a non-columnar type) gets rows.
+    std::vector<Row> rows;
+    accel::ColumnarRows in_columnar;
+    bool have_columnar = false;
+    if (in != nullptr && WantsColumnarInput(params, in_schema)) {
+      auto gathered = in->GatherColumnar(ctx.trace());
+      if (gathered.ok()) {
+        in_columnar = std::move(*gathered);
+        have_columnar = true;
+      }
+    }
+    if (!have_columnar) {
+      if (in != nullptr) {
+        rows = in->GatherRows(ctx.trace());
+      } else {
+        IDAA_ASSIGN_OR_RETURN(rows, ctx.ReadTable(input));
+      }
+    }
+    const size_t in_count = have_columnar ? in_columnar.num_rows : rows.size();
 
     Schema out_schema;
     std::vector<Row> out_rows;
-    IDAA_ASSIGN_OR_RETURN(
-        ResultSet summary,
-        Transform(ctx, params, in_schema, rows, &out_schema, &out_rows));
+    accel::ColumnarRows out_columnar;
+    std::optional<Result<ResultSet>> summary;
+    {
+      TraceSpan span(ctx.trace(),
+                     "analytics." + ToLower(name()) + ".transform");
+      span.Attr("batch_path", in != nullptr ? "true" : "false");
+      span.Attr("rows", static_cast<uint64_t>(in_count));
+      if (in != nullptr) {
+        span.Attr("partial_merges",
+                  static_cast<uint64_t>(NumChunks(in_count)));
+      }
+      summary = Transform(ctx, params, in_schema, rows,
+                          in != nullptr ? in->pool() : nullptr, &out_schema,
+                          &out_rows, &out_columnar,
+                          have_columnar ? &in_columnar : nullptr);
+    }
+    if (!summary->ok()) return summary->status();
+    in.reset();  // release the scan pin before materializing the output AOT
 
     IDAA_RETURN_IF_ERROR(ctx.RecreateAot(output, out_schema));
-    IDAA_RETURN_IF_ERROR(ctx.AppendRows(output, out_rows));
-    return summary;
+    if (!out_columnar.columns.empty()) {
+      IDAA_RETURN_IF_ERROR(ctx.AppendColumnar(output, out_columnar));
+    } else {
+      IDAA_RETURN_IF_ERROR(ctx.AppendRows(output, out_rows));
+    }
+    return std::move(*summary);
   }
 
  protected:
-  /// Produce output schema + rows and a summary result set.
+  /// Produce output schema + rows and a summary result set. `pool` is
+  /// non-null only on the batch path; transforms keep per-chunk partial
+  /// states and merge them in ascending chunk order so the batch result is
+  /// identical for any thread count. A transform may stage its output in
+  /// `out_columnar` instead of `out_rows` (batch path only — stored state
+  /// must be identical to the rows the serial arm would produce); when
+  /// `out_columnar` has columns, Run appends it via the columnar path.
+  /// When the transform opted into columnar input (WantsColumnarInput) and
+  /// the gather succeeded, `in_columnar` is non-null and `rows` is empty;
+  /// its row order matches the serial row order exactly.
   virtual Result<ResultSet> Transform(AnalyticsContext& ctx,
                                       const ParamMap& params,
                                       const Schema& in_schema,
                                       const std::vector<Row>& rows,
-                                      Schema* out_schema,
-                                      std::vector<Row>* out_rows) = 0;
+                                      ThreadPool* pool, Schema* out_schema,
+                                      std::vector<Row>* out_rows,
+                                      accel::ColumnarRows* out_columnar,
+                                      accel::ColumnarRows* in_columnar) = 0;
+
+  /// Opt-in to a columnar input gather on the batch path. Implementations
+  /// must only accept parameter/schema combinations their columnar arm
+  /// fully handles (including surfacing the same errors as the row arm).
+  virtual bool WantsColumnarInput(const ParamMap& /*params*/,
+                                  const Schema& /*in_schema*/) const {
+    return false;
+  }
 
   static ResultSet SummaryRow(std::vector<std::string> names,
                               std::vector<Value> values) {
@@ -60,6 +128,14 @@ class TableToTableOperator : public AnalyticsOperator {
     out.Append(std::move(values));
     return out;
   }
+
+  /// Non-null, non-VARCHAR values always convert; transforms gate their
+  /// parallel arms on "no VARCHAR column selected" so this never fails
+  /// inside a chunk task (the serial fallback owns the error surface).
+  static double MustDouble(const Value& v) {
+    auto d = v.ToDouble();
+    return d.ok() ? *d : 0.0;
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -72,10 +148,27 @@ class NormalizeOperator : public TableToTableOperator {
   }
 
  protected:
+  bool WantsColumnarInput(const ParamMap& params,
+                          const Schema& in_schema) const override {
+    // Only when every selected column is numeric — VARCHAR selections must
+    // flow through the serial row loop, which owns the error message.
+    auto columns_list = GetParam(params, "columns");
+    if (!columns_list.ok()) return false;
+    auto columns = ResolveColumns(in_schema, *columns_list);
+    if (!columns.ok()) return false;
+    for (size_t c : *columns) {
+      if (in_schema.Column(c).type == DataType::kVarchar) return false;
+    }
+    return true;
+  }
+
   Result<ResultSet> Transform(AnalyticsContext&, const ParamMap& params,
                               const Schema& in_schema,
-                              const std::vector<Row>& rows, Schema* out_schema,
-                              std::vector<Row>* out_rows) override {
+                              const std::vector<Row>& rows, ThreadPool* pool,
+                              Schema* out_schema,
+                              std::vector<Row>* out_rows,
+                              accel::ColumnarRows* out_columnar,
+                              accel::ColumnarRows* in_columnar) override {
     IDAA_ASSIGN_OR_RETURN(std::string columns_list,
                           GetParam(params, "columns"));
     IDAA_ASSIGN_OR_RETURN(std::vector<size_t> columns,
@@ -84,19 +177,26 @@ class NormalizeOperator : public TableToTableOperator {
     if (method != "zscore" && method != "minmax") {
       return Status::InvalidArgument("unknown normalization method: " + method);
     }
+    for (size_t c : columns) {
+      if (in_schema.Column(c).type == DataType::kVarchar) {
+        pool = nullptr;  // serial loop below reports the ToDouble error
+      }
+    }
 
-    // Column statistics.
+    // Column statistics: per-chunk min/max/sum/sum-sq partials merged in
+    // ascending chunk order (batch path), or the original row loop.
     struct Stats {
       double sum = 0, sum_sq = 0, min = 0, max = 0;
       size_t n = 0;
     };
     std::map<size_t, Stats> stats;
     for (size_t c : columns) stats[c] = Stats{};
-    for (const Row& row : rows) {
-      for (size_t c : columns) {
-        if (row[c].is_null()) continue;
-        IDAA_ASSIGN_OR_RETURN(double d, row[c].ToDouble());
-        Stats& s = stats[c];
+    if (pool != nullptr) {
+      const size_t n =
+          in_columnar != nullptr ? in_columnar->num_rows : rows.size();
+      std::vector<std::vector<Stats>> partials(
+          NumChunks(n), std::vector<Stats>(columns.size()));
+      auto observe = [](Stats& s, double d) {
         if (s.n == 0) {
           s.min = d;
           s.max = d;
@@ -106,6 +206,68 @@ class NormalizeOperator : public TableToTableOperator {
         s.sum += d;
         s.sum_sq += d * d;
         ++s.n;
+      };
+      if (in_columnar != nullptr) {
+        // Flat-vector accumulation: per column, rows ascend within each
+        // fixed chunk exactly as in the row loop, so partials are
+        // bit-identical to the rows-based batch arm.
+        ParallelChunks(pool, n, [&](size_t chunk, size_t begin, size_t end) {
+          std::vector<Stats>& part = partials[chunk];
+          for (size_t j = 0; j < columns.size(); ++j) {
+            const accel::ColumnarRows::Col& col =
+                in_columnar->columns[columns[j]];
+            const bool dbl =
+                in_schema.Column(columns[j]).type == DataType::kDouble;
+            for (size_t r = begin; r < end; ++r) {
+              if (!col.nulls.empty() && col.nulls[r]) continue;
+              observe(part[j],
+                      dbl ? col.doubles[r] : static_cast<double>(col.ints[r]));
+            }
+          }
+        });
+      } else {
+        ParallelChunks(pool, n, [&](size_t chunk, size_t begin, size_t end) {
+          std::vector<Stats>& part = partials[chunk];
+          for (size_t r = begin; r < end; ++r) {
+            for (size_t j = 0; j < columns.size(); ++j) {
+              const Value& v = rows[r][columns[j]];
+              if (v.is_null()) continue;
+              observe(part[j], MustDouble(v));
+            }
+          }
+        });
+      }
+      for (const std::vector<Stats>& part : partials) {
+        for (size_t j = 0; j < columns.size(); ++j) {
+          if (part[j].n == 0) continue;
+          Stats& s = stats[columns[j]];
+          if (s.n == 0) {
+            s.min = part[j].min;
+            s.max = part[j].max;
+          }
+          s.min = std::min(s.min, part[j].min);
+          s.max = std::max(s.max, part[j].max);
+          s.sum += part[j].sum;
+          s.sum_sq += part[j].sum_sq;
+          s.n += part[j].n;
+        }
+      }
+    } else {
+      for (const Row& row : rows) {
+        for (size_t c : columns) {
+          if (row[c].is_null()) continue;
+          IDAA_ASSIGN_OR_RETURN(double d, row[c].ToDouble());
+          Stats& s = stats[c];
+          if (s.n == 0) {
+            s.min = d;
+            s.max = d;
+          }
+          s.min = std::min(s.min, d);
+          s.max = std::max(s.max, d);
+          s.sum += d;
+          s.sum_sq += d * d;
+          ++s.n;
+        }
       }
     }
 
@@ -120,29 +282,137 @@ class NormalizeOperator : public TableToTableOperator {
     }
     *out_schema = Schema(std::move(out_cols));
 
-    out_rows->reserve(rows.size());
-    for (const Row& row : rows) {
-      Row out = row;
-      for (size_t c : columns) {
-        if (out[c].is_null()) continue;
-        IDAA_ASSIGN_OR_RETURN(double d, out[c].ToDouble());
-        const Stats& s = stats[c];
-        double scaled = 0.0;
-        if (method == "zscore") {
-          double mean = s.n ? s.sum / s.n : 0.0;
-          double var = s.n ? s.sum_sq / s.n - mean * mean : 0.0;
-          double sd = var > 0 ? std::sqrt(var) : 1.0;
-          scaled = (d - mean) / sd;
-        } else {
-          double span = s.max - s.min;
-          scaled = span > 0 ? (d - s.min) / span : 0.0;
-        }
-        out[c] = Value::Double(scaled);
+    // Each output row depends only on its input row and the final stats, so
+    // the chunked rewrite is exact (not just epsilon) per stats value.
+    auto scale = [&](const Stats& s, double d) {
+      if (method == "zscore") {
+        double mean = s.n ? s.sum / s.n : 0.0;
+        double var = s.n ? s.sum_sq / s.n - mean * mean : 0.0;
+        double sd = var > 0 ? std::sqrt(var) : 1.0;
+        return (d - mean) / sd;
       }
-      out_rows->push_back(std::move(out));
+      double span = s.max - s.min;
+      return span > 0 ? (d - s.min) / span : 0.0;
+    };
+    // Batch path: stage the output column-major when every output column
+    // has a columnar-insert representation — values go straight from the
+    // chunk workers into flat typed vectors, no per-row Row/Value boxing.
+    bool columnar_ok = pool != nullptr;
+    for (const ColumnDef& def : out_schema->columns()) {
+      if (def.type != DataType::kDouble && def.type != DataType::kInteger &&
+          def.type != DataType::kVarchar) {
+        columnar_ok = false;
+      }
     }
+    if (in_columnar != nullptr) {
+      // Columnar in, columnar out: pass-through columns move wholesale;
+      // normalized columns are rescaled flat-vector to flat-vector.
+      const size_t n = in_columnar->num_rows;
+      const size_t ncols = out_schema->NumColumns();
+      std::vector<uint8_t> is_norm(ncols, 0);
+      for (size_t c : columns) is_norm[c] = 1;
+      out_columnar->num_rows = n;
+      out_columnar->columns.resize(ncols);
+      for (size_t c = 0; c < ncols; ++c) {
+        if (!is_norm[c]) {
+          out_columnar->columns[c] = std::move(in_columnar->columns[c]);
+          continue;
+        }
+        accel::ColumnarRows::Col& dst = out_columnar->columns[c];
+        dst.nulls = in_columnar->columns[c].nulls;
+        dst.doubles.resize(n);
+      }
+      ParallelChunks(pool, n, [&](size_t, size_t begin, size_t end) {
+        for (size_t c : columns) {
+          const accel::ColumnarRows::Col& src = in_columnar->columns[c];
+          accel::ColumnarRows::Col& dst = out_columnar->columns[c];
+          const bool dbl = in_schema.Column(c).type == DataType::kDouble;
+          for (size_t r = begin; r < end; ++r) {
+            if (!src.nulls.empty() && src.nulls[r]) continue;
+            dst.doubles[r] = scale(
+                stats.at(c),
+                dbl ? src.doubles[r] : static_cast<double>(src.ints[r]));
+          }
+        }
+      });
+    } else if (columnar_ok) {
+      const size_t ncols = out_schema->NumColumns();
+      std::vector<uint8_t> is_norm(ncols, 0);
+      for (size_t c : columns) is_norm[c] = 1;
+      out_columnar->num_rows = rows.size();
+      out_columnar->columns.resize(ncols);
+      for (size_t c = 0; c < ncols; ++c) {
+        accel::ColumnarRows::Col& col = out_columnar->columns[c];
+        col.nulls.assign(rows.size(), 0);
+        switch (out_schema->Column(c).type) {
+          case DataType::kDouble:
+            col.doubles.resize(rows.size());
+            break;
+          case DataType::kInteger:
+            col.ints.resize(rows.size());
+            break;
+          default:
+            col.strings.resize(rows.size());
+        }
+      }
+      // Chunks write disjoint index ranges of each staged vector.
+      ParallelChunks(pool, rows.size(), [&](size_t, size_t begin, size_t end) {
+        for (size_t r = begin; r < end; ++r) {
+          for (size_t c = 0; c < ncols; ++c) {
+            const Value& v = rows[r][c];
+            accel::ColumnarRows::Col& col = out_columnar->columns[c];
+            if (v.is_null()) {
+              col.nulls[r] = 1;
+              continue;
+            }
+            if (is_norm[c]) {
+              col.doubles[r] = scale(stats.at(c), MustDouble(v));
+              continue;
+            }
+            switch (out_schema->Column(c).type) {
+              case DataType::kDouble:
+                col.doubles[r] = v.AsDouble();
+                break;
+              case DataType::kInteger:
+                col.ints[r] = v.AsInteger();
+                break;
+              default:
+                col.strings[r] = v.AsVarchar();
+            }
+          }
+        }
+      });
+    } else if (pool != nullptr) {
+      out_rows->assign(rows.size(), Row());
+      ParallelChunks(pool, rows.size(),
+                     [&](size_t, size_t begin, size_t end) {
+                       for (size_t r = begin; r < end; ++r) {
+                         Row out = rows[r];
+                         for (size_t c : columns) {
+                           if (out[c].is_null()) continue;
+                           out[c] = Value::Double(
+                               scale(stats.at(c), MustDouble(out[c])));
+                         }
+                         (*out_rows)[r] = std::move(out);
+                       }
+                     });
+    } else {
+      out_rows->reserve(rows.size());
+      for (const Row& row : rows) {
+        Row out = row;
+        for (size_t c : columns) {
+          if (out[c].is_null()) continue;
+          IDAA_ASSIGN_OR_RETURN(double d, out[c].ToDouble());
+          out[c] = Value::Double(scale(stats[c], d));
+        }
+        out_rows->push_back(std::move(out));
+      }
+    }
+    size_t out_count = in_columnar != nullptr
+                           ? in_columnar->num_rows
+                           : (columnar_ok ? rows.size() : out_rows->size());
     return SummaryRow({"ROWS", "COLUMNS", "METHOD"},
-                      {Value::Integer(static_cast<int64_t>(out_rows->size())),
+                      {Value::Integer(static_cast<int64_t>(out_count)),
                        Value::Integer(static_cast<int64_t>(columns.size())),
                        Value::Varchar(method)});
   }
@@ -160,24 +430,64 @@ class DiscretizeOperator : public TableToTableOperator {
  protected:
   Result<ResultSet> Transform(AnalyticsContext&, const ParamMap& params,
                               const Schema& in_schema,
-                              const std::vector<Row>& rows, Schema* out_schema,
-                              std::vector<Row>* out_rows) override {
+                              const std::vector<Row>& rows, ThreadPool* pool,
+                              Schema* out_schema,
+                              std::vector<Row>* out_rows,
+                              accel::ColumnarRows* /*out_columnar*/,
+                              accel::ColumnarRows* /*in_columnar*/) override {
     IDAA_ASSIGN_OR_RETURN(std::string column, GetParam(params, "column"));
     IDAA_ASSIGN_OR_RETURN(size_t col, in_schema.ColumnIndex(column));
     IDAA_ASSIGN_OR_RETURN(int64_t bins, GetIntParam(params, "bins", 10));
     if (bins < 1) return Status::InvalidArgument("bins must be >= 1");
+    if (in_schema.Column(col).type == DataType::kVarchar) {
+      pool = nullptr;  // serial loop below reports the ToDouble error
+    }
 
+    // Min/max: per-chunk partials merge exactly, so the batch-path range
+    // (and therefore every bin) is bit-identical to the serial scan.
     double lo = 0, hi = 0;
     bool first = true;
-    for (const Row& row : rows) {
-      if (row[col].is_null()) continue;
-      IDAA_ASSIGN_OR_RETURN(double d, row[col].ToDouble());
-      if (first) {
-        lo = hi = d;
-        first = false;
+    if (pool != nullptr) {
+      struct Range {
+        double lo = 0, hi = 0;
+        bool any = false;
+      };
+      std::vector<Range> partials(NumChunks(rows.size()));
+      ParallelChunks(pool, rows.size(),
+                     [&](size_t chunk, size_t begin, size_t end) {
+                       Range& part = partials[chunk];
+                       for (size_t r = begin; r < end; ++r) {
+                         if (rows[r][col].is_null()) continue;
+                         double d = MustDouble(rows[r][col]);
+                         if (!part.any) {
+                           part.lo = part.hi = d;
+                           part.any = true;
+                         }
+                         part.lo = std::min(part.lo, d);
+                         part.hi = std::max(part.hi, d);
+                       }
+                     });
+      for (const auto& part : partials) {
+        if (!part.any) continue;
+        if (first) {
+          lo = part.lo;
+          hi = part.hi;
+          first = false;
+        }
+        lo = std::min(lo, part.lo);
+        hi = std::max(hi, part.hi);
       }
-      lo = std::min(lo, d);
-      hi = std::max(hi, d);
+    } else {
+      for (const Row& row : rows) {
+        if (row[col].is_null()) continue;
+        IDAA_ASSIGN_OR_RETURN(double d, row[col].ToDouble());
+        if (first) {
+          lo = hi = d;
+          first = false;
+        }
+        lo = std::min(lo, d);
+        hi = std::max(hi, d);
+      }
     }
     double width = (hi - lo) / static_cast<double>(bins);
     if (width <= 0) width = 1.0;
@@ -187,18 +497,37 @@ class DiscretizeOperator : public TableToTableOperator {
         {Catalog::NormalizeName(column) + "_BIN", DataType::kInteger, true});
     *out_schema = Schema(std::move(out_cols));
 
-    out_rows->reserve(rows.size());
-    for (const Row& row : rows) {
-      Row out = row;
-      if (row[col].is_null()) {
-        out.push_back(Value::Null());
-      } else {
-        IDAA_ASSIGN_OR_RETURN(double d, row[col].ToDouble());
-        int64_t bin = static_cast<int64_t>((d - lo) / width);
-        bin = std::clamp<int64_t>(bin, 0, bins - 1);
-        out.push_back(Value::Integer(bin));
+    auto bin_of = [&](double d) {
+      int64_t bin = static_cast<int64_t>((d - lo) / width);
+      return std::clamp<int64_t>(bin, 0, bins - 1);
+    };
+    if (pool != nullptr) {
+      out_rows->assign(rows.size(), Row());
+      ParallelChunks(pool, rows.size(),
+                     [&](size_t, size_t begin, size_t end) {
+                       for (size_t r = begin; r < end; ++r) {
+                         Row out = rows[r];
+                         if (rows[r][col].is_null()) {
+                           out.push_back(Value::Null());
+                         } else {
+                           out.push_back(Value::Integer(
+                               bin_of(MustDouble(rows[r][col]))));
+                         }
+                         (*out_rows)[r] = std::move(out);
+                       }
+                     });
+    } else {
+      out_rows->reserve(rows.size());
+      for (const Row& row : rows) {
+        Row out = row;
+        if (row[col].is_null()) {
+          out.push_back(Value::Null());
+        } else {
+          IDAA_ASSIGN_OR_RETURN(double d, row[col].ToDouble());
+          out.push_back(Value::Integer(bin_of(d)));
+        }
+        out_rows->push_back(std::move(out));
       }
-      out_rows->push_back(std::move(out));
     }
     return SummaryRow(
         {"ROWS", "BINS", "LOW", "HIGH"},
@@ -219,20 +548,43 @@ class ImputeOperator : public TableToTableOperator {
  protected:
   Result<ResultSet> Transform(AnalyticsContext&, const ParamMap& params,
                               const Schema& in_schema,
-                              const std::vector<Row>& rows, Schema* out_schema,
-                              std::vector<Row>* out_rows) override {
+                              const std::vector<Row>& rows, ThreadPool* pool,
+                              Schema* out_schema,
+                              std::vector<Row>* out_rows,
+                              accel::ColumnarRows* /*out_columnar*/,
+                              accel::ColumnarRows* /*in_columnar*/) override {
     IDAA_ASSIGN_OR_RETURN(std::string columns_list,
                           GetParam(params, "columns"));
     IDAA_ASSIGN_OR_RETURN(std::vector<size_t> columns,
                           ResolveColumns(in_schema, columns_list));
 
+    // Replacement values: VARCHAR mode counts are additive, so the chunked
+    // merge is exact; numeric means merge per-chunk sums (epsilon vs the
+    // serial row-order sum, identical across thread counts).
     std::map<size_t, Value> replacement;
     for (size_t c : columns) {
       const ColumnDef& def = in_schema.Column(c);
       if (def.type == DataType::kVarchar) {
         std::map<std::string, size_t> counts;
-        for (const Row& row : rows) {
-          if (!row[c].is_null()) ++counts[row[c].AsVarchar()];
+        if (pool != nullptr) {
+          std::vector<std::map<std::string, size_t>> partials(
+              NumChunks(rows.size()));
+          ParallelChunks(pool, rows.size(),
+                         [&](size_t chunk, size_t begin, size_t end) {
+                           auto& part = partials[chunk];
+                           for (size_t r = begin; r < end; ++r) {
+                             if (!rows[r][c].is_null()) {
+                               ++part[rows[r][c].AsVarchar()];
+                             }
+                           }
+                         });
+          for (const auto& part : partials) {
+            for (const auto& [value, count] : part) counts[value] += count;
+          }
+        } else {
+          for (const Row& row : rows) {
+            if (!row[c].is_null()) ++counts[row[c].AsVarchar()];
+          }
         }
         std::string mode;
         size_t best = 0;
@@ -246,11 +598,32 @@ class ImputeOperator : public TableToTableOperator {
       } else {
         double sum = 0;
         size_t n = 0;
-        for (const Row& row : rows) {
-          if (row[c].is_null()) continue;
-          IDAA_ASSIGN_OR_RETURN(double d, row[c].ToDouble());
-          sum += d;
-          ++n;
+        if (pool != nullptr) {
+          struct Partial {
+            double sum = 0;
+            size_t n = 0;
+          };
+          std::vector<Partial> partials(NumChunks(rows.size()));
+          ParallelChunks(pool, rows.size(),
+                         [&](size_t chunk, size_t begin, size_t end) {
+                           Partial& part = partials[chunk];
+                           for (size_t r = begin; r < end; ++r) {
+                             if (rows[r][c].is_null()) continue;
+                             part.sum += MustDouble(rows[r][c]);
+                             ++part.n;
+                           }
+                         });
+          for (const Partial& part : partials) {
+            sum += part.sum;
+            n += part.n;
+          }
+        } else {
+          for (const Row& row : rows) {
+            if (row[c].is_null()) continue;
+            IDAA_ASSIGN_OR_RETURN(double d, row[c].ToDouble());
+            sum += d;
+            ++n;
+          }
         }
         double mean = n ? sum / n : 0.0;
         Value v = Value::Double(mean);
@@ -263,16 +636,37 @@ class ImputeOperator : public TableToTableOperator {
 
     *out_schema = in_schema;
     size_t imputed = 0;
-    out_rows->reserve(rows.size());
-    for (const Row& row : rows) {
-      Row out = row;
-      for (size_t c : columns) {
-        if (out[c].is_null()) {
-          out[c] = replacement[c];
-          ++imputed;
+    if (pool != nullptr) {
+      out_rows->assign(rows.size(), Row());
+      std::vector<size_t> imputed_per_chunk(NumChunks(rows.size()), 0);
+      ParallelChunks(pool, rows.size(),
+                     [&](size_t chunk, size_t begin, size_t end) {
+                       size_t count = 0;
+                       for (size_t r = begin; r < end; ++r) {
+                         Row out = rows[r];
+                         for (size_t c : columns) {
+                           if (out[c].is_null()) {
+                             out[c] = replacement.at(c);
+                             ++count;
+                           }
+                         }
+                         (*out_rows)[r] = std::move(out);
+                       }
+                       imputed_per_chunk[chunk] = count;
+                     });
+      for (size_t count : imputed_per_chunk) imputed += count;
+    } else {
+      out_rows->reserve(rows.size());
+      for (const Row& row : rows) {
+        Row out = row;
+        for (size_t c : columns) {
+          if (out[c].is_null()) {
+            out[c] = replacement[c];
+            ++imputed;
+          }
         }
+        out_rows->push_back(std::move(out));
       }
-      out_rows->push_back(std::move(out));
     }
     return SummaryRow({"ROWS", "IMPUTED_VALUES"},
                       {Value::Integer(static_cast<int64_t>(out_rows->size())),
@@ -292,23 +686,60 @@ class OneHotOperator : public TableToTableOperator {
  protected:
   Result<ResultSet> Transform(AnalyticsContext&, const ParamMap& params,
                               const Schema& in_schema,
-                              const std::vector<Row>& rows, Schema* out_schema,
-                              std::vector<Row>* out_rows) override {
+                              const std::vector<Row>& rows, ThreadPool* pool,
+                              Schema* out_schema,
+                              std::vector<Row>* out_rows,
+                              accel::ColumnarRows* /*out_columnar*/,
+                              accel::ColumnarRows* /*in_columnar*/) override {
     IDAA_ASSIGN_OR_RETURN(std::string column, GetParam(params, "column"));
     IDAA_ASSIGN_OR_RETURN(size_t col, in_schema.ColumnIndex(column));
     IDAA_ASSIGN_OR_RETURN(int64_t max_values,
                           GetIntParam(params, "max_values", 32));
 
+    // Category discovery in first-appearance order. Per-chunk appearance
+    // lists concatenated in ascending chunk order reproduce the serial
+    // first-appearance order exactly; the max_values check runs on the
+    // merged set, so both paths accept/reject identically.
     std::map<std::string, size_t> categories;  // value -> indicator index
-    for (const Row& row : rows) {
-      if (row[col].is_null()) continue;
-      std::string key = row[col].ToString();
-      if (!categories.count(key)) {
-        if (static_cast<int64_t>(categories.size()) >= max_values) {
-          return Status::InvalidArgument(
-              "column has more than max_values distinct values");
+    if (pool != nullptr) {
+      struct Partial {
+        std::vector<std::string> order;
+        std::set<std::string> seen;
+      };
+      std::vector<Partial> partials(NumChunks(rows.size()));
+      ParallelChunks(pool, rows.size(),
+                     [&](size_t chunk, size_t begin, size_t end) {
+                       Partial& part = partials[chunk];
+                       for (size_t r = begin; r < end; ++r) {
+                         if (rows[r][col].is_null()) continue;
+                         std::string key = rows[r][col].ToString();
+                         if (part.seen.insert(key).second) {
+                           part.order.push_back(std::move(key));
+                         }
+                       }
+                     });
+      for (const Partial& part : partials) {
+        for (const std::string& key : part.order) {
+          if (!categories.count(key)) {
+            if (static_cast<int64_t>(categories.size()) >= max_values) {
+              return Status::InvalidArgument(
+                  "column has more than max_values distinct values");
+            }
+            categories.emplace(key, categories.size());
+          }
         }
-        categories.emplace(key, categories.size());
+      }
+    } else {
+      for (const Row& row : rows) {
+        if (row[col].is_null()) continue;
+        std::string key = row[col].ToString();
+        if (!categories.count(key)) {
+          if (static_cast<int64_t>(categories.size()) >= max_values) {
+            return Status::InvalidArgument(
+                "column has more than max_values distinct values");
+          }
+          categories.emplace(key, categories.size());
+        }
       }
     }
 
@@ -325,14 +756,25 @@ class OneHotOperator : public TableToTableOperator {
     }
     *out_schema = Schema(std::move(out_cols));
 
-    out_rows->reserve(rows.size());
-    for (const Row& row : rows) {
+    auto expand = [&](const Row& row) {
       Row out = row;
       std::string key = row[col].is_null() ? "" : row[col].ToString();
       for (const std::string& value : ordered) {
         out.push_back(Value::Integer(!row[col].is_null() && key == value));
       }
-      out_rows->push_back(std::move(out));
+      return out;
+    };
+    if (pool != nullptr) {
+      out_rows->assign(rows.size(), Row());
+      ParallelChunks(pool, rows.size(),
+                     [&](size_t, size_t begin, size_t end) {
+                       for (size_t r = begin; r < end; ++r) {
+                         (*out_rows)[r] = expand(rows[r]);
+                       }
+                     });
+    } else {
+      out_rows->reserve(rows.size());
+      for (const Row& row : rows) out_rows->push_back(expand(row));
     }
     return SummaryRow({"ROWS", "CATEGORIES"},
                       {Value::Integer(static_cast<int64_t>(out_rows->size())),
@@ -352,8 +794,14 @@ class SampleOperator : public TableToTableOperator {
  protected:
   Result<ResultSet> Transform(AnalyticsContext&, const ParamMap& params,
                               const Schema& in_schema,
-                              const std::vector<Row>& rows, Schema* out_schema,
-                              std::vector<Row>* out_rows) override {
+                              const std::vector<Row>& rows, ThreadPool* pool,
+                              Schema* out_schema,
+                              std::vector<Row>* out_rows,
+                              accel::ColumnarRows* /*out_columnar*/,
+                              accel::ColumnarRows* /*in_columnar*/) override {
+    (void)pool;  // the seeded RNG stream is sequential by construction; the
+                 // batch path still parallelizes the input gather, and the
+                 // serial draw keeps output bit-identical to the row path
     IDAA_ASSIGN_OR_RETURN(double fraction,
                           GetDoubleParam(params, "fraction", 0.1));
     IDAA_ASSIGN_OR_RETURN(int64_t seed, GetIntParam(params, "seed", 42));
@@ -397,7 +845,18 @@ class SummarizeOperator : public AnalyticsOperator {
     } else {
       IDAA_ASSIGN_OR_RETURN(columns, ResolveColumns(in_schema, columns_list));
     }
-    IDAA_ASSIGN_OR_RETURN(std::vector<Row> rows, ctx.ReadTable(input));
+
+    std::unique_ptr<AnalyticsInput> in;
+    if (ctx.batch_path_enabled()) {
+      auto opened = ctx.OpenInput(input);
+      if (opened.ok()) in = std::move(*opened);
+    }
+    std::vector<Row> rows;
+    if (in != nullptr) {
+      rows = in->GatherRows(ctx.trace());
+    } else {
+      IDAA_ASSIGN_OR_RETURN(rows, ctx.ReadTable(input));
+    }
 
     Schema out_schema({{"COLUMN", DataType::kVarchar, false},
                        {"TYPE", DataType::kVarchar, false},
@@ -408,8 +867,12 @@ class SummarizeOperator : public AnalyticsOperator {
                        {"MAX", DataType::kVarchar, true},
                        {"MEAN", DataType::kDouble, true},
                        {"STDDEV", DataType::kDouble, true}});
-    std::vector<Row> out_rows;
-    for (size_t c : columns) {
+
+    // One independent task per audited column; within a column the scan is
+    // the serial row loop, so the batch result is exactly the serial one.
+    std::vector<Row> out_rows(columns.size());
+    auto audit = [&](size_t j) {
+      size_t c = columns[j];
       const ColumnDef& def = in_schema.Column(c);
       size_t nulls = 0, n = 0;
       double sum = 0, sum_sq = 0;
@@ -448,15 +911,29 @@ class SummarizeOperator : public AnalyticsOperator {
         mean = Value::Double(mu);
         stddev = Value::Double(std::sqrt(std::max(0.0, var)));
       }
-      out_rows.push_back(
+      out_rows[j] =
           {Value::Varchar(def.name), Value::Varchar(DataTypeToString(def.type)),
            Value::Integer(static_cast<int64_t>(n)),
            Value::Integer(static_cast<int64_t>(nulls)),
            Value::Integer(static_cast<int64_t>(distinct.size())),
            min_v.is_null() ? Value::Null() : Value::Varchar(min_v.ToString()),
            max_v.is_null() ? Value::Null() : Value::Varchar(max_v.ToString()),
-           mean, stddev});
+           mean, stddev};
+    };
+    {
+      TraceSpan span(ctx.trace(), "analytics.summarize.audit");
+      span.Attr("batch_path", in != nullptr ? "true" : "false");
+      span.Attr("rows", static_cast<uint64_t>(rows.size()));
+      ThreadPool* pool = in != nullptr ? in->pool() : nullptr;
+      if (pool != nullptr && columns.size() > 1) {
+        pool->ParallelForDynamic(
+            columns.size(), std::min(pool->num_threads(), columns.size()),
+            [&](size_t, size_t j) { audit(j); });
+      } else {
+        for (size_t j = 0; j < columns.size(); ++j) audit(j);
+      }
     }
+    in.reset();  // release the scan pin before materializing the output AOT
 
     std::string output = GetParamOr(params, "output", "");
     if (!output.empty()) {
@@ -475,11 +952,11 @@ std::unique_ptr<AnalyticsOperator> MakeNormalizeOperator() {
 std::unique_ptr<AnalyticsOperator> MakeDiscretizeOperator() {
   return std::make_unique<DiscretizeOperator>();
 }
-std::unique_ptr<AnalyticsOperator> MakeImputeOperator() {
-  return std::make_unique<ImputeOperator>();
-}
 std::unique_ptr<AnalyticsOperator> MakeOneHotOperator() {
   return std::make_unique<OneHotOperator>();
+}
+std::unique_ptr<AnalyticsOperator> MakeImputeOperator() {
+  return std::make_unique<ImputeOperator>();
 }
 std::unique_ptr<AnalyticsOperator> MakeSampleOperator() {
   return std::make_unique<SampleOperator>();

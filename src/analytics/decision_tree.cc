@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <map>
 
+#include "analytics/batch_input.h"
+#include "analytics/parallel.h"
+
 namespace idaa::analytics {
 
 namespace {
@@ -53,14 +56,23 @@ int DecisionTreeModel::Build(const std::vector<std::vector<double>>& features,
   }
 
   // Best split: exhaustive over features, thresholds at midpoints of sorted
-  // unique values.
+  // unique values. Each feature's search is independent, so with a pool the
+  // features are scanned in parallel; the ascending-feature reduction below
+  // keeps the serial loop's first-best tie-breaking, so the chosen split is
+  // exactly the serial one regardless of thread count.
   double parent_gini = Gini(counts, indices.size());
   double best_gain = 1e-9;
   size_t best_feature = 0;
   double best_threshold = 0;
   const size_t dims = features[indices[0]].size();
 
-  for (size_t f = 0; f < dims; ++f) {
+  struct FeatureBest {
+    double gain = 1e-9;
+    double threshold = 0;
+  };
+  std::vector<FeatureBest> feature_best(dims);
+  auto search_feature = [&](size_t f) {
+    FeatureBest& fb = feature_best[f];
     std::vector<double> values;
     values.reserve(indices.size());
     for (size_t i : indices) values.push_back(features[i][f]);
@@ -85,11 +97,23 @@ int DecisionTreeModel::Build(const std::vector<std::vector<double>>& features,
            static_cast<double>(nr) * Gini(right_counts, nr)) /
           static_cast<double>(indices.size());
       double gain = parent_gini - weighted;
-      if (gain > best_gain) {
-        best_gain = gain;
-        best_feature = f;
-        best_threshold = threshold;
+      if (gain > fb.gain) {
+        fb.gain = gain;
+        fb.threshold = threshold;
       }
+    }
+  };
+  if (pool_ != nullptr && dims > 1 && indices.size() >= 256) {
+    pool_->ParallelForDynamic(dims, std::min(pool_->num_threads(), dims),
+                              [&](size_t, size_t f) { search_feature(f); });
+  } else {
+    for (size_t f = 0; f < dims; ++f) search_feature(f);
+  }
+  for (size_t f = 0; f < dims; ++f) {
+    if (feature_best[f].gain > best_gain) {
+      best_gain = feature_best[f].gain;
+      best_feature = f;
+      best_threshold = feature_best[f].threshold;
     }
   }
 
@@ -125,14 +149,16 @@ int DecisionTreeModel::Build(const std::vector<std::vector<double>>& features,
 Result<DecisionTreeModel> DecisionTreeModel::Fit(
     const std::vector<std::vector<double>>& features,
     const std::vector<std::string>& labels, size_t max_depth,
-    size_t min_samples) {
+    size_t min_samples, ThreadPool* pool) {
   if (features.size() != labels.size() || features.empty()) {
     return Status::InvalidArgument("tree: empty or mismatched inputs");
   }
   DecisionTreeModel model;
+  model.pool_ = pool;
   std::vector<size_t> indices(features.size());
   for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
   model.Build(features, labels, indices, 0, max_depth, min_samples);
+  model.pool_ = nullptr;
   return model;
 }
 
@@ -182,40 +208,74 @@ class DecisionTreeOperator : public AnalyticsOperator {
     IDAA_ASSIGN_OR_RETURN(std::vector<size_t> feature_cols,
                           ResolveColumns(in_schema, columns_list));
     IDAA_ASSIGN_OR_RETURN(size_t label_col, in_schema.ColumnIndex(label_name));
-    IDAA_ASSIGN_OR_RETURN(std::vector<Row> rows, ctx.ReadTable(input));
 
+    std::unique_ptr<AnalyticsInput> in;
+    if (ctx.batch_path_enabled()) {
+      auto opened = ctx.OpenInput(input);
+      if (opened.ok()) in = std::move(*opened);
+    }
     std::vector<std::vector<double>> features;
     std::vector<std::string> labels;
-    for (const Row& row : rows) {
-      if (row[label_col].is_null()) continue;
-      std::vector<double> feature;
-      bool skip = false;
-      for (size_t c : feature_cols) {
-        if (row[c].is_null()) {
-          skip = true;
-          break;
-        }
-        auto d = row[c].ToDouble();
-        if (!d.ok()) return d.status();
-        feature.push_back(*d);
+    if (in != nullptr) {
+      auto extracted =
+          in->ExtractLabeledFeatures(feature_cols, label_col, ctx.trace());
+      if (extracted.ok()) {
+        features = std::move(extracted->features);
+        labels = std::move(extracted->labels);
+      } else {
+        in.reset();  // non-numeric column: serial path owns the error
       }
-      if (skip) continue;
-      features.push_back(std::move(feature));
-      labels.push_back(row[label_col].ToString());
+    }
+    if (in == nullptr) {
+      IDAA_ASSIGN_OR_RETURN(std::vector<Row> rows, ctx.ReadTable(input));
+      for (const Row& row : rows) {
+        if (row[label_col].is_null()) continue;
+        std::vector<double> feature;
+        bool skip = false;
+        for (size_t c : feature_cols) {
+          if (row[c].is_null()) {
+            skip = true;
+            break;
+          }
+          auto d = row[c].ToDouble();
+          if (!d.ok()) return d.status();
+          feature.push_back(*d);
+        }
+        if (skip) continue;
+        features.push_back(std::move(feature));
+        labels.push_back(row[label_col].ToString());
+      }
     }
 
-    IDAA_ASSIGN_OR_RETURN(
-        DecisionTreeModel model,
-        DecisionTreeModel::Fit(features, labels,
-                               static_cast<size_t>(max_depth),
-                               static_cast<size_t>(min_samples)));
+    DecisionTreeModel model;
+    {
+      TraceSpan fit(ctx.trace(), "analytics.decisiontree.fit");
+      fit.Attr("batch_path", in != nullptr ? "true" : "false");
+      fit.Attr("rows", static_cast<uint64_t>(features.size()));
+      IDAA_ASSIGN_OR_RETURN(
+          model,
+          DecisionTreeModel::Fit(features, labels,
+                                 static_cast<size_t>(max_depth),
+                                 static_cast<size_t>(min_samples),
+                                 in != nullptr ? in->pool() : nullptr));
+      fit.Attr("nodes", static_cast<uint64_t>(model.NumNodes()));
+    }
 
+    std::vector<std::string> predictions(features.size());
+    {
+      TraceSpan score(ctx.trace(), "analytics.decisiontree.score");
+      score.Attr("batch_path", in != nullptr ? "true" : "false");
+      ParallelChunks(in != nullptr ? in->pool() : nullptr, features.size(),
+                     [&](size_t, size_t begin, size_t end) {
+                       for (size_t r = begin; r < end; ++r) {
+                         predictions[r] = model.Predict(features[r]);
+                       }
+                     });
+    }
+    in.reset();  // release the scan pin before materializing output AOTs
     size_t correct = 0;
-    std::vector<std::string> predictions;
-    predictions.reserve(features.size());
     for (size_t r = 0; r < features.size(); ++r) {
-      predictions.push_back(model.Predict(features[r]));
-      if (predictions.back() == labels[r]) ++correct;
+      if (predictions[r] == labels[r]) ++correct;
     }
     double accuracy = features.empty()
                           ? 0.0

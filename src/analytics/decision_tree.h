@@ -18,10 +18,15 @@ std::unique_ptr<AnalyticsOperator> MakeDecisionTreeOperator();
 /// Trained classification tree, usable directly from C++.
 class DecisionTreeModel {
  public:
+  /// With a pool, the per-feature best-split search at each node runs
+  /// morsel-parallel (one task per feature); each feature's scan is
+  /// self-contained and the ascending-feature reduction replicates the
+  /// serial loop's tie-breaking, so the fitted tree is *exactly* the tree
+  /// the serial search builds, for any thread count.
   static Result<DecisionTreeModel> Fit(
       const std::vector<std::vector<double>>& features,
       const std::vector<std::string>& labels, size_t max_depth,
-      size_t min_samples);
+      size_t min_samples, ThreadPool* pool = nullptr);
 
   const std::string& Predict(const std::vector<double>& features) const;
 
@@ -45,6 +50,7 @@ class DecisionTreeModel {
             size_t min_samples);
 
   std::vector<Node> nodes_;
+  ThreadPool* pool_ = nullptr;  // split-search parallelism (may be null)
 };
 
 }  // namespace idaa::analytics

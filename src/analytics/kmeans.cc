@@ -3,10 +3,51 @@
 #include <cmath>
 #include <limits>
 
+#include "analytics/batch_input.h"
+#include "analytics/parallel.h"
 #include "common/rng.h"
 #include "common/string_util.h"
 
 namespace idaa::analytics {
+
+namespace {
+
+/// Deterministic distinct-point centroid seeding shared by both kernels.
+std::vector<std::vector<double>> InitCentroids(
+    const std::vector<std::vector<double>>& points, size_t k, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<size_t> chosen;
+  while (chosen.size() < k) {
+    size_t idx = rng.Index(points.size());
+    bool dup = false;
+    for (size_t c : chosen) dup |= (c == idx);
+    if (!dup) chosen.push_back(idx);
+  }
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(k);
+  for (size_t c : chosen) centroids.push_back(points[c]);
+  return centroids;
+}
+
+size_t NearestCentroid(const std::vector<std::vector<double>>& centroids,
+                       const std::vector<double>& point) {
+  double best = std::numeric_limits<double>::max();
+  size_t best_c = 0;
+  for (size_t c = 0; c < centroids.size(); ++c) {
+    double dist = 0;
+    for (size_t d = 0; d < point.size(); ++d) {
+      double diff = point[d] - centroids[c][d];
+      dist += diff * diff;
+    }
+    if (dist < best) {
+      best = dist;
+      best_c = c;
+    }
+  }
+  return best_c;
+}
+
+}  // namespace
 
 KMeansResult RunKMeans(const std::vector<std::vector<double>>& points,
                        size_t k, size_t max_iters, uint64_t seed) {
@@ -16,34 +57,14 @@ KMeansResult RunKMeans(const std::vector<std::vector<double>>& points,
   k = std::min(k, points.size());
 
   // Initialize centroids by sampling distinct points (deterministic).
-  Rng rng(seed);
-  std::vector<size_t> chosen;
-  while (chosen.size() < k) {
-    size_t idx = rng.Index(points.size());
-    bool dup = false;
-    for (size_t c : chosen) dup |= (c == idx);
-    if (!dup) chosen.push_back(idx);
-  }
-  for (size_t c : chosen) result.centroids.push_back(points[c]);
+  result.centroids = InitCentroids(points, k, seed);
 
   result.assignments.assign(points.size(), 0);
   for (size_t iter = 0; iter < max_iters; ++iter) {
     bool changed = false;
     // Assignment step.
     for (size_t p = 0; p < points.size(); ++p) {
-      double best = std::numeric_limits<double>::max();
-      size_t best_c = 0;
-      for (size_t c = 0; c < k; ++c) {
-        double dist = 0;
-        for (size_t d = 0; d < dims; ++d) {
-          double diff = points[p][d] - result.centroids[c][d];
-          dist += diff * diff;
-        }
-        if (dist < best) {
-          best = dist;
-          best_c = c;
-        }
-      }
+      size_t best_c = NearestCentroid(result.centroids, points[p]);
       if (result.assignments[p] != best_c) {
         result.assignments[p] = best_c;
         changed = true;
@@ -78,6 +99,82 @@ KMeansResult RunKMeans(const std::vector<std::vector<double>>& points,
   return result;
 }
 
+KMeansResult RunKMeansParallel(const std::vector<std::vector<double>>& points,
+                               size_t k, size_t max_iters, uint64_t seed,
+                               ThreadPool* pool) {
+  KMeansResult result;
+  if (points.empty() || k == 0) return result;
+  const size_t dims = points[0].size();
+  k = std::min(k, points.size());
+  const size_t n = points.size();
+
+  result.centroids = InitCentroids(points, k, seed);
+  result.assignments.assign(n, 0);
+
+  // Per-chunk partial state for one Lloyd iteration; chunks are fixed-size
+  // so the ascending-chunk merge below is independent of the thread count.
+  struct Partial {
+    std::vector<std::vector<double>> sums;
+    std::vector<size_t> counts;
+    bool changed = false;
+  };
+  std::vector<Partial> partials(NumChunks(n));
+
+  for (size_t iter = 0; iter < max_iters; ++iter) {
+    ParallelChunks(pool, n, [&](size_t chunk, size_t begin, size_t end) {
+      Partial& part = partials[chunk];
+      part.sums.assign(k, std::vector<double>(dims, 0.0));
+      part.counts.assign(k, 0);
+      part.changed = false;
+      for (size_t p = begin; p < end; ++p) {
+        size_t best_c = NearestCentroid(result.centroids, points[p]);
+        if (result.assignments[p] != best_c) {
+          result.assignments[p] = best_c;
+          part.changed = true;
+        }
+        ++part.counts[best_c];
+        for (size_t d = 0; d < dims; ++d) part.sums[best_c][d] += points[p][d];
+      }
+    });
+    result.iterations = iter + 1;
+
+    // Coordinator merge in ascending chunk order — deterministic.
+    bool changed = false;
+    std::vector<std::vector<double>> sums(k, std::vector<double>(dims, 0.0));
+    std::vector<size_t> counts(k, 0);
+    for (const Partial& part : partials) {
+      changed |= part.changed;
+      for (size_t c = 0; c < k; ++c) {
+        counts[c] += part.counts[c];
+        for (size_t d = 0; d < dims; ++d) sums[c][d] += part.sums[c][d];
+      }
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // keep old centroid for empty cluster
+      for (size_t d = 0; d < dims; ++d) {
+        result.centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+    if (!changed) break;
+  }
+
+  std::vector<double> inertia(partials.size(), 0.0);
+  ParallelChunks(pool, n, [&](size_t chunk, size_t begin, size_t end) {
+    double acc = 0;
+    for (size_t p = begin; p < end; ++p) {
+      const auto& centroid = result.centroids[result.assignments[p]];
+      for (size_t d = 0; d < dims; ++d) {
+        double diff = points[p][d] - centroid[d];
+        acc += diff * diff;
+      }
+    }
+    inertia[chunk] = acc;
+  });
+  result.inertia = 0;
+  for (double part : inertia) result.inertia += part;
+  return result;
+}
+
 namespace {
 
 class KMeansOperator : public AnalyticsOperator {
@@ -107,13 +204,52 @@ class KMeansOperator : public AnalyticsOperator {
     IDAA_ASSIGN_OR_RETURN(Schema in_schema, ctx.TableSchema(input));
     IDAA_ASSIGN_OR_RETURN(std::vector<size_t> columns,
                           ResolveColumns(in_schema, columns_list));
-    IDAA_ASSIGN_OR_RETURN(std::vector<Row> rows, ctx.ReadTable(input));
-    std::vector<size_t> kept;
-    IDAA_ASSIGN_OR_RETURN(auto points, ExtractFeatures(rows, columns, &kept));
 
-    KMeansResult km = RunKMeans(points, static_cast<size_t>(k),
-                                static_cast<size_t>(max_iters),
-                                static_cast<uint64_t>(seed));
+    // Batch path: pinned morsel-parallel feature extraction; the serial
+    // row path remains the automatic fallback.
+    std::unique_ptr<AnalyticsInput> in;
+    if (ctx.batch_path_enabled()) {
+      auto opened = ctx.OpenInput(input);
+      if (opened.ok()) in = std::move(*opened);
+    }
+    std::vector<std::vector<double>> points;
+    size_t skipped = 0;
+    if (in != nullptr) {
+      auto extracted =
+          in->ExtractFeatures(columns, ctx.trace(), nullptr, &skipped);
+      if (extracted.ok()) {
+        points = std::move(*extracted);
+      } else {
+        in.reset();  // e.g. non-numeric column: serial path owns the error
+      }
+    }
+    if (in == nullptr) {
+      IDAA_ASSIGN_OR_RETURN(std::vector<Row> rows, ctx.ReadTable(input));
+      std::vector<size_t> kept;
+      IDAA_ASSIGN_OR_RETURN(points, ExtractFeatures(rows, columns, &kept));
+      skipped = rows.size() - kept.size();
+    }
+
+    KMeansResult km;
+    {
+      TraceSpan fit(ctx.trace(), "analytics.kmeans.fit");
+      km = in != nullptr
+               ? RunKMeansParallel(points, static_cast<size_t>(k),
+                                   static_cast<size_t>(max_iters),
+                                   static_cast<uint64_t>(seed), in->pool())
+               : RunKMeans(points, static_cast<size_t>(k),
+                           static_cast<size_t>(max_iters),
+                           static_cast<uint64_t>(seed));
+      fit.Attr("batch_path", in != nullptr ? "true" : "false");
+      fit.Attr("rows", static_cast<uint64_t>(points.size()));
+      fit.Attr("iterations", static_cast<uint64_t>(km.iterations));
+      if (in != nullptr) {
+        fit.Attr("partial_merges",
+                 static_cast<uint64_t>(NumChunks(points.size())));
+      }
+    }
+    const bool batch_used = in != nullptr;
+    in.reset();  // release the scan pin before materializing output AOTs
 
     // Assignments AOT: features + CLUSTER.
     std::vector<ColumnDef> out_cols;
@@ -125,15 +261,35 @@ class KMeansOperator : public AnalyticsOperator {
     out_cols.push_back({"CLUSTER", DataType::kInteger, false});
     Schema out_schema(std::move(out_cols));
     IDAA_RETURN_IF_ERROR(ctx.RecreateAot(output, out_schema));
-    std::vector<Row> out_rows;
-    out_rows.reserve(points.size());
-    for (size_t p = 0; p < points.size(); ++p) {
-      Row row;
-      for (double d : points[p]) row.push_back(Value::Double(d));
-      row.push_back(Value::Integer(static_cast<int64_t>(km.assignments[p])));
-      out_rows.push_back(std::move(row));
+    if (batch_used) {
+      // Stage the output column-major and append without Row/Value boxing
+      // — the write of an 80k-row assignments AOT otherwise dominates the
+      // whole CALL. Stored state is identical to the serial path's rows.
+      accel::ColumnarRows out;
+      out.num_rows = points.size();
+      out.columns.resize(columns.size() + 1);
+      for (size_t j = 0; j < columns.size(); ++j) {
+        std::vector<double>& dst = out.columns[j].doubles;
+        dst.resize(points.size());
+        for (size_t p = 0; p < points.size(); ++p) dst[p] = points[p][j];
+      }
+      std::vector<int64_t>& clus = out.columns[columns.size()].ints;
+      clus.resize(points.size());
+      for (size_t p = 0; p < points.size(); ++p) {
+        clus[p] = static_cast<int64_t>(km.assignments[p]);
+      }
+      IDAA_RETURN_IF_ERROR(ctx.AppendColumnar(output, out));
+    } else {
+      std::vector<Row> out_rows;
+      out_rows.reserve(points.size());
+      for (size_t p = 0; p < points.size(); ++p) {
+        Row row;
+        for (double d : points[p]) row.push_back(Value::Double(d));
+        row.push_back(Value::Integer(static_cast<int64_t>(km.assignments[p])));
+        out_rows.push_back(std::move(row));
+      }
+      IDAA_RETURN_IF_ERROR(ctx.AppendRows(output, out_rows));
     }
-    IDAA_RETURN_IF_ERROR(ctx.AppendRows(output, out_rows));
 
     // Optional centroids AOT.
     std::string centroids_output = GetParamOr(params, "centroids_output", "");
@@ -164,8 +320,7 @@ class KMeansOperator : public AnalyticsOperator {
                     Value::Integer(static_cast<int64_t>(km.iterations)),
                     Value::Double(km.inertia),
                     Value::Integer(static_cast<int64_t>(points.size())),
-                    Value::Integer(
-                        static_cast<int64_t>(rows.size() - kept.size()))});
+                    Value::Integer(static_cast<int64_t>(skipped))});
     return summary;
   }
 };

@@ -25,4 +25,12 @@ struct KMeansResult {
 KMeansResult RunKMeans(const std::vector<std::vector<double>>& points,
                        size_t k, size_t max_iters, uint64_t seed);
 
+/// Morsel-parallel Lloyd's: assignment and accumulation run over fixed-size
+/// chunks on `pool`, per-chunk centroid sums/counts merged in ascending
+/// chunk order — bit-identical for any thread count (including pool ==
+/// nullptr), epsilon-close to the serial RunKMeans row-order accumulation.
+KMeansResult RunKMeansParallel(const std::vector<std::vector<double>>& points,
+                               size_t k, size_t max_iters, uint64_t seed,
+                               ThreadPool* pool);
+
 }  // namespace idaa::analytics

@@ -2,9 +2,43 @@
 
 #include <cmath>
 
+#include "analytics/batch_input.h"
+#include "analytics/parallel.h"
 #include "common/string_util.h"
 
 namespace idaa::analytics {
+
+namespace {
+
+/// Solve (X'X) beta = X'y by Gaussian elimination with partial pivoting;
+/// shared by the serial and morsel-parallel kernels.
+Result<std::vector<double>> SolveNormalEquations(
+    std::vector<std::vector<double>> a, std::vector<double> b) {
+  const size_t p = b.size();
+  for (size_t col = 0; col < p; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < p; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-12) {
+      return Status::InvalidArgument(
+          "OLS: singular system (collinear features?)");
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (size_t r = 0; r < p; ++r) {
+      if (r == col) continue;
+      double factor = a[r][col] / a[col][col];
+      for (size_t c = col; c < p; ++c) a[r][c] -= factor * a[col][c];
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> coefficients(p);
+  for (size_t i = 0; i < p; ++i) coefficients[i] = b[i] / a[i][i];
+  return coefficients;
+}
+
+}  // namespace
 
 Result<OlsResult> SolveOls(const std::vector<std::vector<double>>& features,
                            const std::vector<double>& target) {
@@ -30,30 +64,9 @@ Result<OlsResult> SolveOls(const std::vector<std::vector<double>>& features,
     }
   }
 
-  // Gaussian elimination with partial pivoting.
-  std::vector<std::vector<double>> a = xtx;
-  std::vector<double> b = xty;
-  for (size_t col = 0; col < p; ++col) {
-    size_t pivot = col;
-    for (size_t r = col + 1; r < p; ++r) {
-      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
-    }
-    if (std::fabs(a[pivot][col]) < 1e-12) {
-      return Status::InvalidArgument(
-          "OLS: singular system (collinear features?)");
-    }
-    std::swap(a[col], a[pivot]);
-    std::swap(b[col], b[pivot]);
-    for (size_t r = 0; r < p; ++r) {
-      if (r == col) continue;
-      double factor = a[r][col] / a[col][col];
-      for (size_t c = col; c < p; ++c) a[r][c] -= factor * a[col][c];
-      b[r] -= factor * b[col];
-    }
-  }
   OlsResult result;
-  result.coefficients.resize(p);
-  for (size_t i = 0; i < p; ++i) result.coefficients[i] = b[i] / a[i][i];
+  IDAA_ASSIGN_OR_RETURN(result.coefficients,
+                        SolveNormalEquations(xtx, xty));
 
   // Fit statistics.
   double y_mean = 0;
@@ -67,6 +80,81 @@ Result<OlsResult> SolveOls(const std::vector<std::vector<double>>& features,
     }
     ss_res += (target[r] - pred) * (target[r] - pred);
     ss_tot += (target[r] - y_mean) * (target[r] - y_mean);
+  }
+  result.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  result.rmse = std::sqrt(ss_res / static_cast<double>(n));
+  return result;
+}
+
+Result<OlsResult> SolveOlsParallel(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<double>& target, ThreadPool* pool) {
+  if (features.size() != target.size() || features.empty()) {
+    return Status::InvalidArgument("OLS: empty or mismatched inputs");
+  }
+  const size_t n = features.size();
+  const size_t p = features[0].size() + 1;  // + intercept
+  if (n < p) {
+    return Status::InvalidArgument("OLS: fewer rows than parameters");
+  }
+
+  // Per-chunk X'X / X'y / y-sum partials, merged in ascending chunk order.
+  struct Partial {
+    std::vector<std::vector<double>> xtx;
+    std::vector<double> xty;
+    double y_sum = 0;
+  };
+  std::vector<Partial> partials(NumChunks(n));
+  ParallelChunks(pool, n, [&](size_t chunk, size_t begin, size_t end) {
+    Partial& part = partials[chunk];
+    part.xtx.assign(p, std::vector<double>(p, 0.0));
+    part.xty.assign(p, 0.0);
+    std::vector<double> x(p);
+    for (size_t r = begin; r < end; ++r) {
+      x[0] = 1.0;
+      for (size_t j = 1; j < p; ++j) x[j] = features[r][j - 1];
+      for (size_t i = 0; i < p; ++i) {
+        part.xty[i] += x[i] * target[r];
+        for (size_t j = 0; j < p; ++j) part.xtx[i][j] += x[i] * x[j];
+      }
+      part.y_sum += target[r];
+    }
+  });
+  std::vector<std::vector<double>> xtx(p, std::vector<double>(p, 0.0));
+  std::vector<double> xty(p, 0.0);
+  double y_sum = 0;
+  for (const Partial& part : partials) {
+    y_sum += part.y_sum;
+    for (size_t i = 0; i < p; ++i) {
+      xty[i] += part.xty[i];
+      for (size_t j = 0; j < p; ++j) xtx[i][j] += part.xtx[i][j];
+    }
+  }
+
+  OlsResult result;
+  IDAA_ASSIGN_OR_RETURN(result.coefficients,
+                        SolveNormalEquations(xtx, xty));
+
+  const double y_mean = y_sum / static_cast<double>(n);
+  struct StatsPartial {
+    double ss_res = 0, ss_tot = 0;
+  };
+  std::vector<StatsPartial> stats(partials.size());
+  ParallelChunks(pool, n, [&](size_t chunk, size_t begin, size_t end) {
+    StatsPartial& part = stats[chunk];
+    for (size_t r = begin; r < end; ++r) {
+      double pred = result.coefficients[0];
+      for (size_t j = 1; j < p; ++j) {
+        pred += result.coefficients[j] * features[r][j - 1];
+      }
+      part.ss_res += (target[r] - pred) * (target[r] - pred);
+      part.ss_tot += (target[r] - y_mean) * (target[r] - y_mean);
+    }
+  });
+  double ss_res = 0, ss_tot = 0;
+  for (const StatsPartial& part : stats) {
+    ss_res += part.ss_res;
+    ss_tot += part.ss_tot;
   }
   result.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
   result.rmse = std::sqrt(ss_res / static_cast<double>(n));
@@ -99,13 +187,29 @@ class LinearRegressionOperator : public AnalyticsOperator {
                           ResolveColumns(in_schema, columns_list));
     IDAA_ASSIGN_OR_RETURN(size_t target_col,
                           in_schema.ColumnIndex(target_name));
-    IDAA_ASSIGN_OR_RETURN(std::vector<Row> rows, ctx.ReadTable(input));
 
     // Rows with NULL in target or any feature are skipped.
     std::vector<size_t> all_cols = feature_cols;
     all_cols.push_back(target_col);
-    std::vector<size_t> kept;
-    IDAA_ASSIGN_OR_RETURN(auto matrix, ExtractFeatures(rows, all_cols, &kept));
+
+    std::unique_ptr<AnalyticsInput> in;
+    if (ctx.batch_path_enabled()) {
+      auto opened = ctx.OpenInput(input);
+      if (opened.ok()) in = std::move(*opened);
+    }
+    std::vector<std::vector<double>> matrix;
+    if (in != nullptr) {
+      auto extracted = in->ExtractFeatures(all_cols, ctx.trace());
+      if (extracted.ok()) {
+        matrix = std::move(*extracted);
+      } else {
+        in.reset();  // non-numeric column: serial path owns the error
+      }
+    }
+    if (in == nullptr) {
+      IDAA_ASSIGN_OR_RETURN(std::vector<Row> rows, ctx.ReadTable(input));
+      IDAA_ASSIGN_OR_RETURN(matrix, ExtractFeatures(rows, all_cols));
+    }
     std::vector<std::vector<double>> features;
     std::vector<double> target;
     features.reserve(matrix.size());
@@ -116,7 +220,21 @@ class LinearRegressionOperator : public AnalyticsOperator {
       features.push_back(std::move(row));
     }
 
-    IDAA_ASSIGN_OR_RETURN(OlsResult ols, SolveOls(features, target));
+    OlsResult ols;
+    {
+      TraceSpan fit(ctx.trace(), "analytics.linreg.fit");
+      fit.Attr("batch_path", in != nullptr ? "true" : "false");
+      fit.Attr("rows", static_cast<uint64_t>(features.size()));
+      if (in != nullptr) {
+        fit.Attr("partial_merges",
+                 static_cast<uint64_t>(NumChunks(features.size())));
+        IDAA_ASSIGN_OR_RETURN(ols,
+                              SolveOlsParallel(features, target, in->pool()));
+      } else {
+        IDAA_ASSIGN_OR_RETURN(ols, SolveOls(features, target));
+      }
+    }
+    in.reset();  // release the scan pin before materializing output AOTs
 
     // Optional predictions AOT.
     std::string output = GetParamOr(params, "output", "");

@@ -24,4 +24,12 @@ struct OlsResult {
 Result<OlsResult> SolveOls(const std::vector<std::vector<double>>& features,
                            const std::vector<double>& target);
 
+/// Morsel-parallel OLS: X'X / X'y / sum-of-squares accumulators are built
+/// per fixed-size chunk on `pool` and merged in ascending chunk order, so
+/// the solution is bit-identical for any thread count and epsilon-close to
+/// the serial SolveOls row-order accumulation.
+Result<OlsResult> SolveOlsParallel(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<double>& target, ThreadPool* pool);
+
 }  // namespace idaa::analytics

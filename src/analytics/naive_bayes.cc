@@ -3,6 +3,9 @@
 #include <cmath>
 #include <limits>
 
+#include "analytics/batch_input.h"
+#include "analytics/parallel.h"
+
 namespace idaa::analytics {
 
 Result<GaussianNbModel> GaussianNbModel::Fit(
@@ -41,6 +44,81 @@ Result<GaussianNbModel> GaussianNbModel::Fit(
     double n = static_cast<double>(counts[label]);
     for (size_t d = 0; d < dims; ++d) {
       stats.variance[d] = stats.variance[d] / n + 1e-9;  // smoothed
+    }
+  }
+  return model;
+}
+
+Result<GaussianNbModel> GaussianNbModel::FitParallel(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<std::string>& labels, ThreadPool* pool) {
+  if (features.size() != labels.size() || features.empty()) {
+    return Status::InvalidArgument("NB: empty or mismatched inputs");
+  }
+  const size_t dims = features[0].size();
+  const size_t n = features.size();
+  GaussianNbModel model;
+
+  // Pass 1: per-chunk class counts and mean sums (std::map keeps classes in
+  // sorted order, so the ascending-chunk merge is deterministic).
+  struct MeanPartial {
+    size_t count = 0;
+    std::vector<double> sum;
+  };
+  std::vector<std::map<std::string, MeanPartial>> mean_partials(NumChunks(n));
+  ParallelChunks(pool, n, [&](size_t chunk, size_t begin, size_t end) {
+    auto& part = mean_partials[chunk];
+    for (size_t r = begin; r < end; ++r) {
+      MeanPartial& cls = part[labels[r]];
+      if (cls.sum.empty()) cls.sum.assign(dims, 0.0);
+      ++cls.count;
+      for (size_t d = 0; d < dims; ++d) cls.sum[d] += features[r][d];
+    }
+  });
+  std::map<std::string, size_t> counts;
+  for (const auto& part : mean_partials) {
+    for (const auto& [label, cls] : part) {
+      ClassStats& stats = model.classes_[label];
+      if (stats.mean.empty()) {
+        stats.mean.assign(dims, 0.0);
+        stats.variance.assign(dims, 0.0);
+      }
+      counts[label] += cls.count;
+      for (size_t d = 0; d < dims; ++d) stats.mean[d] += cls.sum[d];
+    }
+  }
+  for (auto& [label, stats] : model.classes_) {
+    double cls_n = static_cast<double>(counts[label]);
+    for (size_t d = 0; d < dims; ++d) stats.mean[d] /= cls_n;
+    stats.prior = cls_n / static_cast<double>(n);
+    model.priors_[label] = stats.prior;
+  }
+
+  // Pass 2: per-chunk variance sums against the final means.
+  std::vector<std::map<std::string, std::vector<double>>> var_partials(
+      NumChunks(n));
+  ParallelChunks(pool, n, [&](size_t chunk, size_t begin, size_t end) {
+    auto& part = var_partials[chunk];
+    for (size_t r = begin; r < end; ++r) {
+      const ClassStats& stats = model.classes_.at(labels[r]);
+      std::vector<double>& acc = part[labels[r]];
+      if (acc.empty()) acc.assign(dims, 0.0);
+      for (size_t d = 0; d < dims; ++d) {
+        double diff = features[r][d] - stats.mean[d];
+        acc[d] += diff * diff;
+      }
+    }
+  });
+  for (const auto& part : var_partials) {
+    for (const auto& [label, acc] : part) {
+      ClassStats& stats = model.classes_[label];
+      for (size_t d = 0; d < dims; ++d) stats.variance[d] += acc[d];
+    }
+  }
+  for (auto& [label, stats] : model.classes_) {
+    double cls_n = static_cast<double>(counts[label]);
+    for (size_t d = 0; d < dims; ++d) {
+      stats.variance[d] = stats.variance[d] / cls_n + 1e-9;  // smoothed
     }
   }
   return model;
@@ -90,37 +168,77 @@ class NaiveBayesOperator : public AnalyticsOperator {
     IDAA_ASSIGN_OR_RETURN(std::vector<size_t> feature_cols,
                           ResolveColumns(in_schema, columns_list));
     IDAA_ASSIGN_OR_RETURN(size_t label_col, in_schema.ColumnIndex(label_name));
-    IDAA_ASSIGN_OR_RETURN(std::vector<Row> rows, ctx.ReadTable(input));
 
+    std::unique_ptr<AnalyticsInput> in;
+    if (ctx.batch_path_enabled()) {
+      auto opened = ctx.OpenInput(input);
+      if (opened.ok()) in = std::move(*opened);
+    }
     std::vector<std::vector<double>> features;
     std::vector<std::string> labels;
-    for (const Row& row : rows) {
-      if (row[label_col].is_null()) continue;
-      std::vector<double> feature;
-      bool skip = false;
-      for (size_t c : feature_cols) {
-        if (row[c].is_null()) {
-          skip = true;
-          break;
-        }
-        auto d = row[c].ToDouble();
-        if (!d.ok()) return d.status();
-        feature.push_back(*d);
+    if (in != nullptr) {
+      auto extracted =
+          in->ExtractLabeledFeatures(feature_cols, label_col, ctx.trace());
+      if (extracted.ok()) {
+        features = std::move(extracted->features);
+        labels = std::move(extracted->labels);
+      } else {
+        in.reset();  // non-numeric column: serial path owns the error
       }
-      if (skip) continue;
-      features.push_back(std::move(feature));
-      labels.push_back(row[label_col].ToString());
+    }
+    if (in == nullptr) {
+      IDAA_ASSIGN_OR_RETURN(std::vector<Row> rows, ctx.ReadTable(input));
+      for (const Row& row : rows) {
+        if (row[label_col].is_null()) continue;
+        std::vector<double> feature;
+        bool skip = false;
+        for (size_t c : feature_cols) {
+          if (row[c].is_null()) {
+            skip = true;
+            break;
+          }
+          auto d = row[c].ToDouble();
+          if (!d.ok()) return d.status();
+          feature.push_back(*d);
+        }
+        if (skip) continue;
+        features.push_back(std::move(feature));
+        labels.push_back(row[label_col].ToString());
+      }
     }
 
-    IDAA_ASSIGN_OR_RETURN(GaussianNbModel model,
-                          GaussianNbModel::Fit(features, labels));
+    GaussianNbModel model;
+    {
+      TraceSpan fit(ctx.trace(), "analytics.naivebayes.fit");
+      fit.Attr("batch_path", in != nullptr ? "true" : "false");
+      fit.Attr("rows", static_cast<uint64_t>(features.size()));
+      if (in != nullptr) {
+        fit.Attr("partial_merges",
+                 static_cast<uint64_t>(NumChunks(features.size())));
+        IDAA_ASSIGN_OR_RETURN(
+            model, GaussianNbModel::FitParallel(features, labels, in->pool()));
+      } else {
+        IDAA_ASSIGN_OR_RETURN(model, GaussianNbModel::Fit(features, labels));
+      }
+    }
 
+    // Training-set predictions; each row is independent, so the chunked
+    // parallel scoring is exact (not just epsilon-equal) vs the serial loop.
+    std::vector<std::string> predictions(features.size());
+    {
+      TraceSpan score(ctx.trace(), "analytics.naivebayes.score");
+      score.Attr("batch_path", in != nullptr ? "true" : "false");
+      ParallelChunks(in != nullptr ? in->pool() : nullptr, features.size(),
+                     [&](size_t, size_t begin, size_t end) {
+                       for (size_t r = begin; r < end; ++r) {
+                         predictions[r] = model.Predict(features[r]);
+                       }
+                     });
+    }
+    in.reset();  // release the scan pin before materializing output AOTs
     size_t correct = 0;
-    std::vector<std::string> predictions;
-    predictions.reserve(features.size());
     for (size_t r = 0; r < features.size(); ++r) {
-      predictions.push_back(model.Predict(features[r]));
-      if (predictions.back() == labels[r]) ++correct;
+      if (predictions[r] == labels[r]) ++correct;
     }
     double accuracy = features.empty()
                           ? 0.0

@@ -22,6 +22,13 @@ class GaussianNbModel {
       const std::vector<std::vector<double>>& features,
       const std::vector<std::string>& labels);
 
+  /// Morsel-parallel fit: per-chunk class histograms (count / mean-sum /
+  /// variance-sum) merged in ascending chunk order — bit-identical for any
+  /// thread count, epsilon-close to the serial Fit.
+  static Result<GaussianNbModel> FitParallel(
+      const std::vector<std::vector<double>>& features,
+      const std::vector<std::string>& labels, ThreadPool* pool);
+
   /// Most probable class for one feature vector.
   const std::string& Predict(const std::vector<double>& features) const;
 

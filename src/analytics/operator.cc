@@ -120,6 +120,11 @@ Status AnalyticsContext::AppendRows(const std::string& name,
   return accelerator_->LoadRows(name, rows, txn_->id());
 }
 
+Status AnalyticsContext::AppendColumnar(const std::string& name,
+                                        const accel::ColumnarRows& rows) {
+  return accelerator_->LoadColumnar(name, rows, txn_->id());
+}
+
 Result<std::vector<size_t>> ResolveColumns(const Schema& schema,
                                            const std::string& comma_list) {
   std::vector<size_t> out;

@@ -10,6 +10,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -18,9 +19,12 @@
 #include "common/metrics.h"
 #include "common/result.h"
 #include "common/rng.h"
+#include "common/trace.h"
 #include "txn/transaction_manager.h"
 
 namespace idaa::analytics {
+
+class AnalyticsInput;
 
 /// Operator parameters, parsed from CALL arguments of the form 'key=value'.
 using ParamMap = std::map<std::string, std::string>;
@@ -56,6 +60,28 @@ class AnalyticsContext {
   /// (parallel slice scan). Errors if the table is not on the accelerator.
   Result<std::vector<Row>> ReadTable(const std::string& name);
 
+  /// Open an accelerator-resident table as a pinned, morsel-parallel batch
+  /// input (see AnalyticsInput). The input holds the table's scan pin until
+  /// destroyed, so GROOM cannot reclaim rows mid-model-fit; operators must
+  /// release the input before recreating an AOT of the same name.
+  Result<std::unique_ptr<AnalyticsInput>> OpenInput(const std::string& name);
+
+  /// Batch-path toggle, mirroring Accelerator::SetBatchPathEnabled: when
+  /// unset, the hosting accelerator's setting decides; operators fall back
+  /// to the serial row path automatically when the batch path is off or an
+  /// input cannot be batch-scanned.
+  void SetBatchPathEnabled(bool enabled) { batch_path_override_ = enabled; }
+  bool batch_path_enabled() const {
+    return batch_path_override_.value_or(accelerator_->batch_path_enabled());
+  }
+
+  /// Trace context the hosting CALL threads through the operator; spans
+  /// created under it appear in EXPLAIN ANALYZE with per-morsel timings.
+  void set_trace(TraceContext tc) { trace_ = tc; }
+  TraceContext trace() const { return trace_; }
+
+  ThreadPool* thread_pool() { return accelerator_->thread_pool(); }
+
   /// Schema of a table.
   Result<Schema> TableSchema(const std::string& name) const;
 
@@ -65,6 +91,12 @@ class AnalyticsContext {
 
   /// Append rows to an accelerator table under the current transaction.
   Status AppendRows(const std::string& name, const std::vector<Row>& rows);
+
+  /// Columnar fast path for large batch-path outputs: appends staged
+  /// column vectors without materializing Row/Value objects. Stored state
+  /// is identical to AppendRows of the equivalent rows.
+  Status AppendColumnar(const std::string& name,
+                        const accel::ColumnarRows& rows);
 
   /// Drop-and-recreate helper for idempotent operator reruns.
   Status RecreateAot(const std::string& name, const Schema& schema);
@@ -80,6 +112,8 @@ class AnalyticsContext {
   Transaction* txn_;
   MetricsRegistry* metrics_;
   std::vector<std::string> created_tables_;
+  std::optional<bool> batch_path_override_;
+  TraceContext trace_;
 };
 
 /// Base class of deployable analytics operators.

@@ -956,7 +956,8 @@ Result<ExecResult> FederationEngine::ExecuteCall(const sql::CallStatement& stmt,
   out.executed_on = Target::kAccelerator;
   TraceSpan exec_span(tc, "accel.execute");
   IDAA_ASSIGN_OR_RETURN(out.result_set,
-                        procedure_handler_(name, stmt.arguments, txn, session));
+                        procedure_handler_(name, stmt.arguments, txn, session,
+                                           exec_span.context()));
   out.detail = "procedure executed on accelerator";
   return out;
 }

@@ -78,10 +78,12 @@ struct StatementResult {
 };
 
 /// Hook for CALL statements the engine does not handle itself (the
-/// in-database analytics framework registers here).
+/// in-database analytics framework registers here). `tc` is the statement's
+/// trace context, parented under the accel.execute span, so operator stages
+/// show up in EXPLAIN ANALYZE.
 using ProcedureHandler = std::function<Result<ResultSet>(
     const std::string& name, const std::vector<Value>& args, Transaction* txn,
-    const Session& session)>;
+    const Session& session, TraceContext tc)>;
 
 class FederationEngine {
  public:

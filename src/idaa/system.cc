@@ -73,8 +73,8 @@ IdaaSystem::IdaaSystem(const SystemOptions& options)
   // produced AOTs.
   federation_->set_procedure_handler(
       [this](const std::string& name, const std::vector<Value>& args,
-             Transaction* txn,
-             const federation::Session& session) -> Result<ResultSet> {
+             Transaction* txn, const federation::Session& session,
+             TraceContext tc) -> Result<ResultSet> {
         std::string op_name = name;
         if (StartsWith(op_name, "IDAA.")) op_name = op_name.substr(5);
         IDAA_ASSIGN_OR_RETURN(analytics::AnalyticsOperator * op,
@@ -102,6 +102,9 @@ IdaaSystem::IdaaSystem(const SystemOptions& options)
         }
         analytics::AnalyticsContext ctx(&catalog_, host, &tm_, txn,
                                         &metrics_);
+        TraceSpan op_span(tc, "analytics." + ToLower(op_name));
+        op_span.Attr("operator", op_name);
+        ctx.set_trace(op_span.context());
         IDAA_ASSIGN_OR_RETURN(ResultSet result, op->Run(ctx, params));
         for (const std::string& created : ctx.created_tables()) {
           for (governance::Privilege p :

@@ -290,6 +290,146 @@ TEST(ConcurrentStressTest, RandomOutagesUnderFailbackNeverSurfaceErrors) {
   EXPECT_TRUE(verify->At(0, 3).AsBoolean()) << "replica diverged from DB2";
 }
 
+TEST(ConcurrentStressTest, ParallelAnalyticsSessionsShareInputsWithWriters) {
+  // Several sessions run CALL IDAA.* concurrently on one shared accelerated
+  // input while writers keep mutating the DB2 side (replication applying
+  // into the replica mid-scan), a groomer reclaims space, and every analyst
+  // materializes its own output AOTs. The morsel-parallel operators pin the
+  // input for each fit, so no CALL may ever fail terminally or observe a
+  // torn row set. Built to run clean under -DIDAA_SANITIZE=thread.
+  SystemOptions options;
+  options.accelerator.num_slices = 4;
+  options.accelerator.zone_size = 64;
+  options.accelerator.morsel_size = 128;  // many morsels on small data
+  options.replication_batch_size = 8;
+  IdaaSystem system(options);
+
+  ASSERT_TRUE(system
+                  .ExecuteSql("CREATE TABLE feats (id INT NOT NULL, "
+                              "x DOUBLE, y DOUBLE, lbl VARCHAR)")
+                  .ok());
+  static const char* kLabels[] = {"A", "B", "C"};
+  for (int base = 0; base < 600; base += 50) {
+    std::string insert = "INSERT INTO feats VALUES ";
+    for (int i = base; i < base + 50; ++i) {
+      if (i > base) insert += ", ";
+      insert += "(" + std::to_string(i) + ", " + std::to_string(i % 40) +
+                ".5, " + std::to_string(i % 25) + ".25, '" +
+                kLabels[i % 3] + "')";
+    }
+    ASSERT_TRUE(system.ExecuteSql(insert).ok());
+  }
+  ASSERT_TRUE(
+      system.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('feats')").ok());
+
+  constexpr int kAnalysts = 4;
+  constexpr int kCallsPerAnalyst = 5;
+  constexpr int kWriters = 2;
+  constexpr int kInsertsPerWriter = 60;
+
+  std::atomic<size_t> calls_succeeded{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+
+  // Analysts: every session fits models off the same shared input, each
+  // into its own output AOTs (per-session names, so re-creates never race
+  // another session's reads of the same output).
+  for (int a = 0; a < kAnalysts; ++a) {
+    threads.emplace_back([&system, &calls_succeeded, a] {
+      auto conn = system.NewConnection();
+      const std::string suffix = "_s" + std::to_string(a);
+      const std::string calls[] = {
+          "CALL IDAA.NORMALIZE('input=feats', 'output=norm" + suffix +
+              "', 'columns=x,y')",
+          "CALL IDAA.KMEANS('input=feats', 'output=clus" + suffix +
+              "', 'columns=x,y', 'k=3', 'seed=" + std::to_string(a) + "')",
+          "CALL IDAA.NAIVEBAYES('input=feats', 'label=lbl', "
+          "'columns=x,y', 'output=nb" + suffix + "')",
+          "CALL IDAA.SUMMARIZE('input=feats')",
+      };
+      for (int i = 0; i < kCallsPerAnalyst; ++i) {
+        for (const std::string& call : calls) {
+          if (ExecuteWithRetry(conn.get(), call)) {
+            calls_succeeded.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+
+  // Writers: the shared input keeps growing underneath the running fits.
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&system, w] {
+      auto conn = system.NewConnection();
+      for (int i = 0; i < kInsertsPerWriter; ++i) {
+        int id = 10000 * (w + 1) + i;
+        ExecuteWithRetry(conn.get(),
+                         "INSERT INTO feats VALUES (" + std::to_string(id) +
+                             ", " + std::to_string(i % 31) + ".5, " +
+                             std::to_string(i % 13) + ".25, '" +
+                             kLabels[i % 3] + "')");
+      }
+    });
+  }
+
+  // Groomer: races the pinned analytics scans and output re-creates.
+  threads.emplace_back([&system, &stop] {
+    auto conn = system.NewConnection();
+    while (!stop.load()) {
+      ASSERT_TRUE(conn->ExecuteSql("CALL SYSPROC.ACCEL_GROOM()").ok());
+      std::this_thread::yield();
+    }
+  });
+
+  // Flusher: replication applies land in the replica mid-fit.
+  threads.emplace_back([&system, &stop] {
+    while (!stop.load()) {
+      auto stats = system.replication().Flush();
+      ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+      std::this_thread::yield();
+    }
+  });
+
+  for (size_t t = 0; t + 2 < threads.size(); ++t) threads[t].join();
+  stop.store(true);
+  threads[threads.size() - 2].join();
+  threads[threads.size() - 1].join();
+
+  EXPECT_EQ(calls_succeeded.load(), size_t{kAnalysts * kCallsPerAnalyst * 4});
+
+  // Quiesced differential check: with writers stopped and replication
+  // drained, the batch and serial paths agree on the final state.
+  ASSERT_TRUE(system.replication().Flush().ok());
+  auto batch = system.Query(
+      "CALL IDAA.KMEANS('input=feats', 'output=final_k', 'columns=x,y', "
+      "'k=3', 'seed=9')");
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  system.accelerator().SetBatchPathEnabled(false);
+  auto serial = system.Query(
+      "CALL IDAA.KMEANS('input=feats', 'output=final_k', 'columns=x,y', "
+      "'k=3', 'seed=9')");
+  system.accelerator().SetBatchPathEnabled(true);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_EQ(batch->NumRows(), 1u);
+  ASSERT_EQ(serial->NumRows(), 1u);
+  for (size_t c : {0u, 1u, 3u, 4u}) {  // K, ITERATIONS, ROWS, SKIPPED
+    EXPECT_EQ(batch->At(0, c).AsInteger(), serial->At(0, c).AsInteger());
+  }
+  EXPECT_NEAR(batch->At(0, 2).AsDouble(), serial->At(0, 2).AsDouble(),
+              1e-6 * std::max(1.0, serial->At(0, 2).AsDouble()));
+
+  // Every analyst's outputs are present and consistent with one snapshot.
+  for (int a = 0; a < kAnalysts; ++a) {
+    const std::string suffix = "_s" + std::to_string(a);
+    auto clus = system.Query("SELECT COUNT(*) FROM clus" + suffix);
+    auto norm = system.Query("SELECT COUNT(*) FROM norm" + suffix);
+    ASSERT_TRUE(clus.ok()) << clus.status().ToString();
+    ASSERT_TRUE(norm.ok()) << norm.status().ToString();
+    EXPECT_GE(clus->At(0, 0).AsInteger(), int64_t{600});
+    EXPECT_GE(norm->At(0, 0).AsInteger(), int64_t{600});
+  }
+}
+
 TEST(ConcurrentStressTest, ParallelTracedQueriesShareHistograms) {
   // Concurrent traced statements from separate sessions: slice workers
   // write spans into per-statement traces while every session records into

@@ -8,7 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 
+#include "common/fault_injector.h"
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "idaa/system.h"
@@ -291,6 +294,195 @@ TEST_P(ConvergenceFuzz, GroomNeverChangesVisibleResults) {
   size_t versions_after = (*system.accelerator().GetTable("g"))->NumVersions();
   EXPECT_LE(versions_after, versions_before);
   EXPECT_EQ(versions_after, after->NumRows());  // only live versions remain
+}
+
+// Analytics-pipeline arm: a randomized data-prep -> mining pipeline over a
+// stable AOT input runs on the morsel-parallel batch path while (a) the
+// fault injector fails 10% of accelerator/channel crossings with retryable
+// errors and (b) a concurrent writer keeps replication busy on another
+// table. Invariants: no CALL ever fails terminally (transient faults are
+// absorbed by retrying the idempotent operator), and the final summaries
+// and every produced table match a clean serial-row-path reference system.
+TEST_P(ConvergenceFuzz, AnalyticsPipelineMatchesSerialUnderFaults) {
+  Rng rng(GetParam() + 7000);
+
+  // Deterministic input rows, rendered once so both systems load byte-for-
+  // byte identical data.
+  static const char* kWords[] = {"RED", "GREEN", "BLUE"};
+  std::vector<std::string> row_literals;
+  {
+    Rng data(GetParam() * 31 + 7);
+    for (int i = 0; i < 240; ++i) {
+      std::string a = data.Bernoulli(0.1)
+                          ? "NULL"
+                          : StrFormat("%d.25", (int)data.Uniform(0, 100));
+      std::string c = data.Bernoulli(0.1)
+                          ? "NULL"
+                          : StrFormat("'%s'", kWords[data.Uniform(0, 2)]);
+      row_literals.push_back(StrFormat("(%d, %s, %d.5, %s)", i, a.c_str(),
+                                       (int)data.Uniform(0, 50), c.c_str()));
+    }
+  }
+
+  // One randomized pipeline, shared verbatim by both systems: 1-2 prep
+  // stages chained, then a mining operator.
+  std::vector<std::string> calls;
+  std::vector<std::string> tables;  // produced AOTs to diff at the end
+  std::string current = "af";
+  int preps = 1 + (int)rng.Uniform(0, 1);
+  for (int s = 0; s < preps; ++s) {
+    std::string out = StrFormat("p%d", s + 1);
+    switch (rng.Uniform(0, 3)) {
+      case 0:
+        calls.push_back(StrFormat(
+            "CALL IDAA.NORMALIZE('input=%s', 'output=%s', 'columns=a,b'%s)",
+            current.c_str(), out.c_str(),
+            rng.Bernoulli(0.5) ? ", 'method=minmax'" : ""));
+        break;
+      case 1:
+        calls.push_back(StrFormat(
+            "CALL IDAA.DISCRETIZE('input=%s', 'output=%s', 'column=a', "
+            "'bins=%d')",
+            current.c_str(), out.c_str(), 3 + (int)rng.Uniform(0, 4)));
+        break;
+      case 2:
+        calls.push_back(StrFormat(
+            "CALL IDAA.IMPUTE('input=%s', 'output=%s', 'columns=a,c')",
+            current.c_str(), out.c_str()));
+        break;
+      default:
+        calls.push_back(StrFormat(
+            "CALL IDAA.SAMPLE('input=%s', 'output=%s', 'fraction=0.6', "
+            "'seed=%d')",
+            current.c_str(), out.c_str(), (int)(GetParam() + 3)));
+    }
+    tables.push_back(out);
+    current = out;
+  }
+  switch (rng.Uniform(0, 3)) {
+    case 0:
+      calls.push_back(StrFormat(
+          "CALL IDAA.KMEANS('input=%s', 'output=model', 'columns=a,b', "
+          "'k=3', 'seed=%d')",
+          current.c_str(), (int)GetParam()));
+      break;
+    case 1:
+      calls.push_back(StrFormat(
+          "CALL IDAA.LINREG('input=%s', 'target=b', 'columns=a', "
+          "'output=model')",
+          current.c_str()));
+      break;
+    case 2:
+      calls.push_back(StrFormat(
+          "CALL IDAA.NAIVEBAYES('input=%s', 'label=c', 'columns=a,b', "
+          "'output=model')",
+          current.c_str()));
+      break;
+    default:
+      calls.push_back(StrFormat(
+          "CALL IDAA.DECISIONTREE('input=%s', 'label=c', 'columns=a,b', "
+          "'max_depth=3', 'output=model')",
+          current.c_str()));
+  }
+  tables.push_back("model");
+
+  auto setup = [&row_literals](IdaaSystem& system) {
+    ASSERT_TRUE(system
+                    .ExecuteSql("CREATE TABLE af (id INT NOT NULL, a DOUBLE, "
+                                "b DOUBLE, c VARCHAR) IN ACCELERATOR")
+                    .ok());
+    for (size_t i = 0; i < row_literals.size(); i += 40) {
+      std::string insert = "INSERT INTO af VALUES ";
+      for (size_t j = i; j < std::min(i + 40, row_literals.size()); ++j) {
+        if (j > i) insert += ", ";
+        insert += row_literals[j];
+      }
+      ASSERT_TRUE(system.ExecuteSql(insert).ok()) << insert;
+    }
+  };
+
+  // Clean reference: serial row path end to end, no faults, no load.
+  IdaaSystem reference;
+  setup(reference);
+  reference.accelerator().SetBatchPathEnabled(false);
+  std::vector<std::string> ref_summaries;
+  for (const std::string& call : calls) {
+    auto rs = reference.Query(call);
+    ASSERT_TRUE(rs.ok()) << call << ": " << rs.status().ToString();
+    for (const std::string& line : CanonicalRows(*rs)) {
+      ref_summaries.push_back(line);
+    }
+  }
+
+  // System under test: batch path (default), 10% faults, busy replication.
+  SystemOptions options;
+  options.replication_batch_size = 16;
+  IdaaSystem faulty(options);
+  setup(faulty);
+  ASSERT_TRUE(
+      faulty.ExecuteSql("CREATE TABLE noise (id INT NOT NULL, v INT)").ok());
+  ASSERT_TRUE(
+      faulty.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('noise')").ok());
+  FaultSpec spec;
+  spec.probability = 0.1;
+  faulty.fault_injector().ArmChannel(spec);
+  faulty.fault_injector().Arm(FaultInjector::AcceleratorSite("ACCEL1"), spec);
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&faulty, &stop] {
+    auto conn = faulty.NewConnection();
+    int id = 0;
+    while (!stop.load()) {
+      auto r = conn->ExecuteSql(
+          StrFormat("INSERT INTO noise VALUES (%d, %d)", id, id % 7));
+      if (!r.ok()) {
+        ASSERT_TRUE(r.status().retryable() ||
+                    r.status().code() == StatusCode::kConflict)
+            << r.status().ToString();
+      }
+      ++id;
+      auto flushed = faulty.replication().Flush();
+      if (!flushed.ok()) {
+        ASSERT_TRUE(flushed.status().retryable())
+            << flushed.status().ToString();
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::string> got_summaries;
+  for (const std::string& call : calls) {
+    bool done = false;
+    for (int attempt = 0; attempt < 200 && !done; ++attempt) {
+      auto rs = faulty.Query(call);
+      if (rs.ok()) {
+        for (const std::string& line : CanonicalRows(*rs)) {
+          got_summaries.push_back(line);
+        }
+        done = true;
+      } else {
+        ASSERT_TRUE(rs.status().retryable() ||
+                    rs.status().code() == StatusCode::kConflict)
+            << "user-visible terminal error from " << call << ": "
+            << rs.status().ToString();
+        std::this_thread::yield();
+      }
+    }
+    ASSERT_TRUE(done) << "retries exhausted for " << call;
+  }
+  stop.store(true);
+  writer.join();
+  faulty.fault_injector().Reset();
+
+  EXPECT_EQ(got_summaries, ref_summaries) << "seed " << GetParam();
+  for (const std::string& table : tables) {
+    auto got = faulty.Query("SELECT * FROM " + table);
+    auto want = reference.Query("SELECT * FROM " + table);
+    ASSERT_TRUE(got.ok()) << table << ": " << got.status().ToString();
+    ASSERT_TRUE(want.ok()) << table << ": " << want.status().ToString();
+    EXPECT_EQ(CanonicalRows(*got), CanonicalRows(*want))
+        << "seed " << GetParam() << " table " << table;
+  }
 }
 
 TEST_P(ConvergenceFuzz, RollbackRestoresBothEngines) {
