@@ -239,21 +239,43 @@ Status ColumnTable::InsertColumnar(const ColumnarRows& data, TxnId txn) {
               [](Column& d, int64_t v) { d.AppendRawInt(v); },
               [](int64_t v) { return Value::Integer(v); });
           break;
-        default:
-          // Dictionary-encoded strings keep per-cell observation: tracking
-          // string extrema would copy, and VARCHAR analytics outputs are
-          // rare on this path.
-          for (size_t j = 0; j < sel.size(); ++j) {
-            const uint32_t r = sel[j];
-            if (cell_is_null(col, r)) {
-              dst.AppendRawNull();
-              slice.zone_map.Observe(base + j, c, Value::Null());
-            } else {
-              dst.AppendRawVarchar(col.strings[r]);
-              slice.zone_map.Observe(base + j, c,
-                                     Value::Varchar(col.strings[r]));
+        default: {
+          // Dictionary-encoded strings: track run extrema by reference
+          // against the staged vector (no per-cell Value boxing), then fold
+          // zone-map maintenance into one ObserveRun per zone-sized run —
+          // two boxed extrema per run instead of one per cell. Final zone
+          // stats are identical to per-cell Observe.
+          size_t k = 0;
+          while (k < sel.size()) {
+            const size_t abs = base + k;
+            const size_t seg =
+                std::min(sel.size() - k, zone_size - abs % zone_size);
+            const std::string* lo = nullptr;
+            const std::string* hi = nullptr;
+            bool null_seen = false;
+            for (size_t j = k; j < k + seg; ++j) {
+              const uint32_t r = sel[j];
+              if (cell_is_null(col, r)) {
+                dst.AppendRawNull();
+                null_seen = true;
+                continue;
+              }
+              const std::string& v = col.strings[r];
+              dst.AppendRawVarchar(v);
+              if (lo == nullptr) {
+                lo = hi = &v;
+              } else if (v < *lo) {
+                lo = &v;
+              } else if (*hi < v) {
+                hi = &v;
+              }
             }
+            slice.zone_map.ObserveRun(
+                abs, c, seg, lo != nullptr ? Value::Varchar(*lo) : Value::Null(),
+                hi != nullptr ? Value::Varchar(*hi) : Value::Null(), null_seen);
+            k += seg;
           }
+        }
       }
     }
     for (size_t j = 0; j < sel.size(); ++j) {
@@ -687,6 +709,22 @@ size_t ColumnTable::NumVersions() const {
   size_t total = 0;
   for (const Slice& slice : slices_) total += slice.NumRows();
   return total;
+}
+
+std::string ColumnTable::SliceContentString(size_t slice_index) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (slice_index >= slices_.size()) return std::string();
+  const Slice& slice = slices_[slice_index];
+  std::string out;
+  for (size_t i = 0; i < slice.NumRows(); ++i) {
+    Row row = slice.MaterializeRow(i);
+    for (const Value& v : row) {
+      out += v.is_null() ? "<null>" : v.ToString();
+      out += '|';
+    }
+    out += '\n';
+  }
+  return out;
 }
 
 size_t ColumnTable::ByteSize() const {

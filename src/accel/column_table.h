@@ -187,6 +187,13 @@ class ColumnTable {
   /// Total stored row versions (live + not yet groomed).
   size_t NumVersions() const;
 
+  /// Physical-layout fingerprint of one slice: every stored row version in
+  /// storage order, values rendered with NULLs marked, independent of
+  /// transaction ids. Two tables loaded with the same data are physically
+  /// identical iff all slice fingerprints match — the loader's
+  /// bit-identical-across-worker-counts tests assert exactly this.
+  std::string SliceContentString(size_t slice_index) const;
+
   /// Approximate compressed bytes across all slices.
   size_t ByteSize() const;
 

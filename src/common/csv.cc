@@ -1,76 +1,130 @@
 #include "common/csv.h"
 
-#include <sstream>
-
 namespace idaa {
+
+Status ParseCsvFieldsInto(const std::string& record, char delim,
+                          std::vector<CsvField>* out) {
+  size_t used = 0;
+  auto next_slot = [&]() -> CsvField* {
+    if (used == out->size()) out->emplace_back();
+    CsvField& f = (*out)[used++];
+    f.text.clear();
+    f.quoted = false;
+    return &f;
+  };
+  CsvField* current = next_slot();
+  bool in_quotes = false;
+  size_t i = 0;
+  // Chars are consumed a whole span at a time (up to the next structural
+  // char for the current state) instead of one by one — same field texts,
+  // much cheaper on long unquoted runs.
+  while (i < record.size()) {
+    if (in_quotes) {
+      // Everything up to the next quote is literal.
+      size_t q = record.find('"', i);
+      if (q == std::string::npos) {
+        current->text.append(record, i, record.size() - i);
+        i = record.size();
+        break;  // leaves in_quotes set -> unterminated error below
+      }
+      current->text.append(record, i, q - i);
+      if (q + 1 < record.size() && record[q + 1] == '"') {
+        current->text += '"';
+        i = q + 2;
+      } else {
+        in_quotes = false;
+        i = q + 1;
+      }
+      continue;
+    }
+    if (record[i] == '"' && current->text.empty() && !current->quoted) {
+      // Opening quote (only legal before any field text).
+      in_quotes = true;
+      current->quoted = true;
+      ++i;
+      continue;
+    }
+    // Unquoted span: runs to the next delimiter ('"' past the field start
+    // is a literal character).
+    size_t d = record.find(delim, i);
+    if (d == std::string::npos) d = record.size();
+    current->text.append(record, i, d - i);
+    i = d;
+    if (i < record.size()) {
+      current = next_slot();
+      ++i;
+    }
+  }
+  out->resize(used);
+  if (in_quotes) {
+    return Status::IoError("unterminated quoted CSV field in record: " +
+                           record);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<CsvField>> ParseCsvFields(const std::string& record,
+                                             char delim) {
+  std::vector<CsvField> fields;
+  IDAA_RETURN_IF_ERROR(ParseCsvFieldsInto(record, delim, &fields));
+  return fields;
+}
 
 Result<std::vector<std::string>> ParseCsvLine(const std::string& line,
                                               char delim) {
-  std::vector<std::string> fields;
-  std::string current;
-  bool in_quotes = false;
-  size_t i = 0;
-  while (i < line.size()) {
-    char c = line[i];
-    if (in_quotes) {
-      if (c == '"') {
-        if (i + 1 < line.size() && line[i + 1] == '"') {
-          current += '"';
-          i += 2;
-          continue;
-        }
-        in_quotes = false;
-        ++i;
-        continue;
-      }
-      current += c;
-      ++i;
-      continue;
-    }
-    if (c == '"' && current.empty()) {
-      in_quotes = true;
-      ++i;
-      continue;
-    }
-    if (c == delim) {
-      fields.push_back(std::move(current));
-      current.clear();
-      ++i;
-      continue;
-    }
-    current += c;
-    ++i;
-  }
-  if (in_quotes) {
-    return Status::IoError("unterminated quoted CSV field in line: " + line);
-  }
-  fields.push_back(std::move(current));
-  return fields;
+  IDAA_ASSIGN_OR_RETURN(std::vector<CsvField> fields,
+                        ParseCsvFields(line, delim));
+  std::vector<std::string> out;
+  out.reserve(fields.size());
+  for (CsvField& f : fields) out.push_back(std::move(f.text));
+  return out;
 }
+
+namespace {
+
+void AppendCsvField(const std::string& f, bool force_quote, char delim,
+                    std::string* out) {
+  bool needs_quote = force_quote || f.find(delim) != std::string::npos ||
+                     f.find('"') != std::string::npos ||
+                     f.find('\n') != std::string::npos ||
+                     f.find('\r') != std::string::npos;
+  if (!needs_quote) {
+    *out += f;
+    return;
+  }
+  *out += '"';
+  for (char c : f) {
+    if (c == '"') *out += '"';
+    *out += c;
+  }
+  *out += '"';
+}
+
+}  // namespace
 
 std::string FormatCsvLine(const std::vector<std::string>& fields, char delim) {
   std::string out;
   for (size_t i = 0; i < fields.size(); ++i) {
     if (i > 0) out += delim;
-    const std::string& f = fields[i];
-    bool needs_quote = f.find(delim) != std::string::npos ||
-                       f.find('"') != std::string::npos ||
-                       f.find('\n') != std::string::npos;
-    if (!needs_quote) {
-      out += f;
-      continue;
-    }
-    out += '"';
-    for (char c : f) {
-      if (c == '"') out += '"';
-      out += c;
-    }
-    out += '"';
+    AppendCsvField(fields[i], /*force_quote=*/false, delim, &out);
   }
   return out;
 }
 
-Result<Row> CsvFieldsToRow(const std::vector<std::string>& fields,
+std::string FormatCsvRow(const Row& row, char delim) {
+  std::string out;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += delim;
+    const Value& v = row[i];
+    if (v.is_null()) continue;  // NULL = empty unquoted field
+    std::string text = v.ToString();
+    // "" distinguishes the empty string from NULL.
+    AppendCsvField(text, /*force_quote=*/text.empty(), delim, &out);
+  }
+  return out;
+}
+
+Result<Row> QuotedCsvFieldsToRow(const std::vector<CsvField>& fields,
                            const Schema& schema) {
   if (fields.size() != schema.NumColumns()) {
     return Status::IoError("CSV field count mismatch: got " +
@@ -80,27 +134,97 @@ Result<Row> CsvFieldsToRow(const std::vector<std::string>& fields,
   Row row;
   row.reserve(fields.size());
   for (size_t i = 0; i < fields.size(); ++i) {
-    if (fields[i].empty()) {
+    if (fields[i].text.empty() && !fields[i].quoted) {
       row.push_back(Value::Null());
       continue;
     }
     IDAA_ASSIGN_OR_RETURN(
-        Value v, Value::Varchar(fields[i]).CastTo(schema.Column(i).type));
+        Value v, Value::Varchar(fields[i].text).CastTo(schema.Column(i).type));
     row.push_back(std::move(v));
   }
   return row;
 }
 
+Result<Row> CsvFieldsToRow(const std::vector<std::string>& fields,
+                           const Schema& schema) {
+  std::vector<CsvField> wrapped;
+  wrapped.reserve(fields.size());
+  for (const std::string& f : fields) wrapped.push_back({f, false});
+  return QuotedCsvFieldsToRow(wrapped, schema);
+}
+
+Result<std::optional<std::string>> CsvRecordScanner::Next() {
+  const std::string& body = *body_;
+  while (pos_ < body.size()) {
+    size_t start = pos_;
+    bool in_quotes = false;
+    size_t end = std::string::npos;
+    size_t i = pos_;
+    // Jump between structural chars instead of walking every byte: outside
+    // quotes only '\n' and '"' matter (a quote opens a field only directly
+    // after the record start or a delimiter; elsewhere it is literal), and
+    // inside quotes only the next '"'.
+    while (i < body.size()) {
+      if (in_quotes) {
+        size_t q = body.find('"', i);
+        if (q == std::string::npos) {
+          i = body.size();
+          break;  // unterminated; error below
+        }
+        if (q + 1 < body.size() && body[q + 1] == '"') {
+          i = q + 2;  // doubled quote, stay in quotes
+          continue;
+        }
+        in_quotes = false;
+        i = q + 1;
+        continue;
+      }
+      // memchr-backed finds; the next-quote position is cached across
+      // records (scan positions only move forward) so quote-free bodies
+      // pay one linear pass, not one find per record.
+      if (!quote_valid_ || (next_quote_ != std::string::npos &&
+                            next_quote_ < i)) {
+        next_quote_ = body.find('"', i);
+        quote_valid_ = true;
+      }
+      size_t nl = body.find('\n', i);
+      if (next_quote_ == std::string::npos ||
+          (nl != std::string::npos && nl < next_quote_)) {
+        end = nl;  // may be npos: record runs to end of input
+        break;
+      }
+      size_t q = next_quote_;
+      if (q == start || body[q - 1] == delim_) in_quotes = true;
+      i = q + 1;
+    }
+    if (in_quotes) {
+      return Status::IoError("unterminated quoted CSV field at end of input");
+    }
+    std::string record;
+    if (end == std::string::npos) {
+      record = body.substr(start);
+      pos_ = body.size();
+    } else {
+      record = body.substr(start, end - start);
+      pos_ = end + 1;
+    }
+    // CRLF: the CR belongs to the line terminator, not the record.
+    if (!record.empty() && record.back() == '\r') record.pop_back();
+    if (record.empty()) continue;  // skip blank records
+    return std::optional<std::string>(std::move(record));
+  }
+  return std::optional<std::string>();
+}
+
 Result<std::vector<Row>> ParseCsvDocument(const std::string& body,
                                           const Schema& schema, char delim) {
   std::vector<Row> rows;
-  std::istringstream in(body);
-  std::string line;
-  while (std::getline(in, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty()) continue;
-    IDAA_ASSIGN_OR_RETURN(auto fields, ParseCsvLine(line, delim));
-    IDAA_ASSIGN_OR_RETURN(Row row, CsvFieldsToRow(fields, schema));
+  CsvRecordScanner scanner(&body, delim);
+  while (true) {
+    IDAA_ASSIGN_OR_RETURN(std::optional<std::string> record, scanner.Next());
+    if (!record.has_value()) break;
+    IDAA_ASSIGN_OR_RETURN(auto fields, ParseCsvFields(*record, delim));
+    IDAA_ASSIGN_OR_RETURN(Row row, QuotedCsvFieldsToRow(fields, schema));
     rows.push_back(std::move(row));
   }
   return rows;

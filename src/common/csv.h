@@ -1,7 +1,17 @@
 // Minimal RFC-4180-ish CSV codec used by the IDAA Loader simulator.
+//
+// Two layers:
+//   * Record layer — CsvRecordScanner splits a document body into raw
+//     records, respecting quotes (a quoted field may contain the delimiter,
+//     doubled quotes, and embedded CR/LF) and treating CRLF and LF line
+//     ends identically. Blank records are skipped.
+//   * Field layer — ParseCsvFields splits one record into fields and
+//     remembers which fields were quoted, so an unquoted empty field (SQL
+//     NULL) is distinguishable from a quoted empty string ("").
 
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -11,21 +21,80 @@
 
 namespace idaa {
 
-/// Parse one CSV line into fields. Supports double-quoted fields with
-/// embedded commas and doubled quotes. Errors on unterminated quotes.
+/// One parsed CSV field: its text plus whether it was quoted in the input.
+/// An empty unquoted field is SQL NULL; an empty quoted field ("") is the
+/// empty string.
+struct CsvField {
+  std::string text;
+  bool quoted = false;
+
+  bool operator==(const CsvField&) const = default;
+};
+
+/// Parse one CSV record into fields. Supports double-quoted fields with
+/// embedded delimiters, doubled quotes and embedded newlines. Errors on
+/// unterminated quotes.
+Result<std::vector<CsvField>> ParseCsvFields(const std::string& record,
+                                             char delim = ',');
+
+/// Allocation-reusing variant of ParseCsvFields: parses into `*out`,
+/// recycling its slots (and their string capacity) across calls. The hot
+/// path for the parallel loader, where one scratch vector serves a whole
+/// chunk of records.
+Status ParseCsvFieldsInto(const std::string& record, char delim,
+                          std::vector<CsvField>* out);
+
+/// Legacy string-only view of ParseCsvFields (drops the quoted flags).
 Result<std::vector<std::string>> ParseCsvLine(const std::string& line,
                                               char delim = ',');
 
-/// Format fields as one CSV line (quoting where needed).
+/// Format fields as one CSV line (quoting where needed, including fields
+/// containing CR or LF so the line round-trips through the record scanner).
 std::string FormatCsvLine(const std::vector<std::string>& fields,
                           char delim = ',');
+
+/// Format one typed row as a CSV record that round-trips through
+/// ParseCsvFields + CsvFieldsToRow: NULL renders as an empty unquoted
+/// field, an empty VARCHAR as "", and text is quoted when it contains the
+/// delimiter, a quote, CR or LF.
+std::string FormatCsvRow(const Row& row, char delim = ',');
 
 /// Convert textual CSV fields into typed values per `schema`.
 /// Empty fields become NULL. Errors on unparseable values.
 Result<Row> CsvFieldsToRow(const std::vector<std::string>& fields,
                            const Schema& schema);
 
-/// Parse an entire CSV document body (no header) into rows.
+/// Quote-aware conversion: empty *unquoted* fields become NULL, empty
+/// quoted fields become the empty string (a cast error for non-VARCHAR
+/// columns). Errors on arity mismatch or unparseable values. (Named
+/// distinctly from CsvFieldsToRow so braced initializer lists stay
+/// unambiguous at legacy call sites.)
+Result<Row> QuotedCsvFieldsToRow(const std::vector<CsvField>& fields,
+                                 const Schema& schema);
+
+/// Splits a CSV document body into raw records. Quote-aware: a quoted
+/// field may span lines, so an embedded newline does not end the record.
+/// CRLF and LF both terminate records; blank records are skipped. The
+/// body must outlive the scanner.
+class CsvRecordScanner {
+ public:
+  explicit CsvRecordScanner(const std::string* body, char delim = ',')
+      : body_(body), delim_(delim) {}
+
+  /// Next raw record (without its terminating newline), or nullopt at end
+  /// of input. Errors on a quote left open at end of input.
+  Result<std::optional<std::string>> Next();
+
+ private:
+  const std::string* body_;
+  char delim_;
+  size_t pos_ = 0;
+  size_t next_quote_ = 0;     // cached body_->find('"') result
+  bool quote_valid_ = false;  // whether next_quote_ is current
+};
+
+/// Parse an entire CSV document body (no header) into rows. Records may
+/// contain quoted embedded newlines.
 Result<std::vector<Row>> ParseCsvDocument(const std::string& body,
                                           const Schema& schema,
                                           char delim = ',');

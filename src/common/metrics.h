@@ -27,6 +27,10 @@ inline constexpr const char* kReplicationChangesApplied =
 inline constexpr const char* kReplicationBatches = "replication.batches";
 inline constexpr const char* kLoaderBytesIngested = "loader.bytes_ingested";
 inline constexpr const char* kLoaderRowsIngested = "loader.rows_ingested";
+inline constexpr const char* kLoaderRowsRejected = "loader.rows_rejected";
+inline constexpr const char* kLoaderBatchesCommitted =
+    "loader.batches_committed";
+inline constexpr const char* kLoaderRetries = "loader.retries";
 inline constexpr const char* kDb2RowsMaterialized = "db2.rows_materialized";
 inline constexpr const char* kDb2BytesMaterialized = "db2.bytes_materialized";
 inline constexpr const char* kAccelRowsScanned = "accel.rows_scanned";

@@ -140,6 +140,104 @@ Result<Row> DecodeRow(const std::vector<uint8_t>& buffer, size_t* offset) {
   return row;
 }
 
+Status EncodeColumnar(const accel::ColumnarRows& rows, const Schema& schema,
+                      std::vector<uint8_t>* out) {
+  if (rows.columns.size() != schema.NumColumns()) {
+    return Status::InvalidArgument("columnar encode: column count mismatch");
+  }
+  PutU64(rows.num_rows, out);
+  for (size_t c = 0; c < rows.columns.size(); ++c) {
+    const accel::ColumnarRows::Col& col = rows.columns[c];
+    const bool has_nulls = !col.nulls.empty();
+    out->push_back(has_nulls ? 1 : 0);
+    if (has_nulls) {
+      out->insert(out->end(), col.nulls.begin(), col.nulls.end());
+    }
+    switch (schema.Column(c).type) {
+      case DataType::kDouble:
+        for (double d : col.doubles) {
+          uint64_t bits;
+          std::memcpy(&bits, &d, sizeof(bits));
+          PutU64(bits, out);
+        }
+        break;
+      case DataType::kInteger:
+        for (int64_t v : col.ints) PutU64(static_cast<uint64_t>(v), out);
+        break;
+      case DataType::kVarchar:
+        for (const std::string& s : col.strings) {
+          PutU32(static_cast<uint32_t>(s.size()), out);
+          out->insert(out->end(), s.begin(), s.end());
+        }
+        break;
+      default:
+        return Status::InvalidArgument(
+            "columnar wire format supports DOUBLE/INTEGER/VARCHAR only");
+    }
+  }
+  return Status::OK();
+}
+
+Result<accel::ColumnarRows> DecodeColumnar(const std::vector<uint8_t>& buffer,
+                                           const Schema& schema,
+                                           size_t* offset) {
+  accel::ColumnarRows rows;
+  IDAA_ASSIGN_OR_RETURN(uint64_t num_rows, GetU64(buffer, offset));
+  rows.num_rows = static_cast<size_t>(num_rows);
+  rows.columns.resize(schema.NumColumns());
+  for (size_t c = 0; c < schema.NumColumns(); ++c) {
+    accel::ColumnarRows::Col& col = rows.columns[c];
+    if (*offset >= buffer.size()) {
+      return Status::Internal("wire format underflow (null flag)");
+    }
+    const bool has_nulls = buffer[(*offset)++] != 0;
+    if (has_nulls) {
+      if (*offset + rows.num_rows > buffer.size()) {
+        return Status::Internal("wire format underflow (null bitmap)");
+      }
+      col.nulls.assign(buffer.begin() + static_cast<long>(*offset),
+                       buffer.begin() + static_cast<long>(*offset) +
+                           static_cast<long>(rows.num_rows));
+      *offset += rows.num_rows;
+    }
+    switch (schema.Column(c).type) {
+      case DataType::kDouble:
+        col.doubles.reserve(rows.num_rows);
+        for (size_t r = 0; r < rows.num_rows; ++r) {
+          IDAA_ASSIGN_OR_RETURN(uint64_t bits, GetU64(buffer, offset));
+          double d;
+          std::memcpy(&d, &bits, sizeof(d));
+          col.doubles.push_back(d);
+        }
+        break;
+      case DataType::kInteger:
+        col.ints.reserve(rows.num_rows);
+        for (size_t r = 0; r < rows.num_rows; ++r) {
+          IDAA_ASSIGN_OR_RETURN(uint64_t v, GetU64(buffer, offset));
+          col.ints.push_back(static_cast<int64_t>(v));
+        }
+        break;
+      case DataType::kVarchar:
+        col.strings.reserve(rows.num_rows);
+        for (size_t r = 0; r < rows.num_rows; ++r) {
+          IDAA_ASSIGN_OR_RETURN(uint32_t len, GetU32(buffer, offset));
+          if (*offset + len > buffer.size()) {
+            return Status::Internal("wire format underflow (string)");
+          }
+          col.strings.emplace_back(
+              buffer.begin() + static_cast<long>(*offset),
+              buffer.begin() + static_cast<long>(*offset + len));
+          *offset += len;
+        }
+        break;
+      default:
+        return Status::Internal(
+            "columnar wire format supports DOUBLE/INTEGER/VARCHAR only");
+    }
+  }
+  return rows;
+}
+
 Status TransferChannel::MaybeInject(const char* site, TraceContext tc) {
   if (injector_ == nullptr) return Status::OK();
   Status st = injector_->MaybeFail(site);
@@ -176,6 +274,29 @@ Result<std::vector<Row>> TransferChannel::SendRowsToAccelerator(
     }
   }
   xfer_span.Attr("rows", static_cast<uint64_t>(rows.size()));
+  xfer_span.Attr("bytes", static_cast<uint64_t>(wire.size()));
+  if (tc.trace != nullptr) tc.trace->AddBoundaryBytes(wire.size());
+  return decoded;
+}
+
+Result<accel::ColumnarRows> TransferChannel::SendColumnarToAccelerator(
+    const accel::ColumnarRows& rows, const Schema& schema, TraceContext tc) {
+  IDAA_RETURN_IF_ERROR(MaybeInject(fault_site::kChannelToAccel, tc));
+  TraceSpan xfer_span(tc, "xfer.columnar_to_accel");
+  std::vector<uint8_t> wire;
+  {
+    TraceSpan encode_span(xfer_span.context(), "encode");
+    IDAA_RETURN_IF_ERROR(EncodeColumnar(rows, schema, &wire));
+  }
+  metrics_->Add(metric::kFederationBytesToAccel, wire.size());
+  metrics_->Increment(metric::kFederationRoundTrips);
+  accel::ColumnarRows decoded;
+  {
+    TraceSpan decode_span(xfer_span.context(), "decode");
+    size_t offset = 0;
+    IDAA_ASSIGN_OR_RETURN(decoded, DecodeColumnar(wire, schema, &offset));
+  }
+  xfer_span.Attr("rows", static_cast<uint64_t>(rows.num_rows));
   xfer_span.Attr("bytes", static_cast<uint64_t>(wire.size()));
   if (tc.trace != nullptr) tc.trace->AddBoundaryBytes(wire.size());
   return decoded;

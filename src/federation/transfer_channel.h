@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "accel/column_table.h"
 #include "common/fault_injector.h"
 #include "common/metrics.h"
 #include "common/result.h"
@@ -25,6 +26,20 @@ void EncodeRow(const Row& row, std::vector<uint8_t>* out);
 /// Deserialize one row; advances *offset. Errors on malformed input.
 Result<Row> DecodeRow(const std::vector<uint8_t>& buffer, size_t* offset);
 
+/// Serialize a columnar batch (the loader's bulk wire format): the schema
+/// fixes each column's type, so values travel as packed typed vectors with
+/// a null bitmap instead of per-value tags — no Value boxing on either
+/// side. Only DOUBLE/INTEGER/VARCHAR columns are supported (matching
+/// ColumnarRows).
+Status EncodeColumnar(const accel::ColumnarRows& rows, const Schema& schema,
+                      std::vector<uint8_t>* out);
+
+/// Deserialize a columnar batch; advances *offset. Errors on malformed
+/// input or a schema mismatch.
+Result<accel::ColumnarRows> DecodeColumnar(const std::vector<uint8_t>& buffer,
+                                           const Schema& schema,
+                                           size_t* offset);
+
 class TransferChannel {
  public:
   explicit TransferChannel(MetricsRegistry* metrics) : metrics_(metrics) {}
@@ -35,6 +50,13 @@ class TransferChannel {
   /// rows + bytes) and accumulates the trace's boundary byte count.
   Result<std::vector<Row>> SendRowsToAccelerator(const std::vector<Row>& rows,
                                                  TraceContext tc = {});
+
+  /// Ship a columnar batch DB2/loader -> accelerator over the packed
+  /// columnar wire format (`xfer.columnar_to_accel` span). Same metering
+  /// and fault site as SendRowsToAccelerator, a fraction of the CPU cost.
+  Result<accel::ColumnarRows> SendColumnarToAccelerator(
+      const accel::ColumnarRows& rows, const Schema& schema,
+      TraceContext tc = {});
 
   /// Ship a result set accelerator -> DB2 (`xfer.from_accel` span).
   Result<ResultSet> FetchResultFromAccelerator(const ResultSet& result,

@@ -1,0 +1,449 @@
+#include "loader/load_pipeline.h"
+
+#include <algorithm>
+#include <charconv>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+
+#include "common/thread_pool.h"
+#include "common/trace.h"
+
+namespace idaa::loader {
+
+namespace {
+
+/// One reader-produced unit of work: up to batch_size consecutive records,
+/// raw (unparsed text) or typed depending on the source flavor.
+struct Chunk {
+  uint64_t seq = 0;
+  uint64_t first_record = 0;
+  bool is_raw = false;
+  std::vector<std::string> raw;
+  std::vector<Row> rows;
+
+  size_t num_records() const { return is_raw ? raw.size() : rows.size(); }
+};
+
+/// Everything the stages share, under one mutex / one condition variable.
+struct Shared {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Chunk> chunks;                // reader -> workers (FIFO)
+  std::map<uint64_t, ParsedBatch> parsed;  // workers -> commit (reorder)
+  uint64_t next_commit = 0;
+  bool reader_done = false;
+  size_t active_workers = 0;
+  Status error;  // first error wins; all stages drain once set
+  size_t peak_chunks = 0;
+  size_t peak_parsed = 0;
+
+  void SetError(Status st) {
+    std::lock_guard<std::mutex> lk(mu);
+    if (error.ok()) error = std::move(st);
+    cv.notify_all();
+  }
+  bool HasError() {
+    std::lock_guard<std::mutex> lk(mu);
+    return !error.ok();
+  }
+};
+
+void StageColumnar(const Schema& schema, const Row& row,
+                   accel::ColumnarRows* out) {
+  for (size_t i = 0; i < schema.NumColumns(); ++i) {
+    accel::ColumnarRows::Col& col = out->columns[i];
+    const Value& v = row[i];
+    const bool is_null = v.is_null();
+    col.nulls.push_back(is_null ? 1 : 0);
+    switch (schema.Column(i).type) {
+      case DataType::kInteger:
+        col.ints.push_back(is_null ? 0 : v.AsInteger());
+        break;
+      case DataType::kDouble:
+        col.doubles.push_back(is_null ? 0.0 : v.AsDouble());
+        break;
+      case DataType::kVarchar:
+        col.strings.push_back(is_null ? std::string() : v.AsVarchar());
+        break;
+      default:
+        // Caller gates columnar staging on column types; unreachable.
+        break;
+    }
+  }
+  ++out->num_rows;
+}
+
+/// Stages CSV fields straight into a columnar batch — the fast path for
+/// raw sources feeding columnar-capable schemas. Skips the Row/Value
+/// boxing of the generic path (fields -> Row -> coerce -> validate ->
+/// columnar) but reproduces its semantics exactly: the same records are
+/// accepted/rejected with the same error texts, and accepted records
+/// stage the same typed values and byte counts, so direct loads stay
+/// bit-identical with via-DB2 loads of the same input.
+class FieldStager {
+ public:
+  explicit FieldStager(const Schema& schema) : schema_(schema) {
+    nulls_.resize(schema.NumColumns());
+    ints_.resize(schema.NumColumns());
+    doubles_.resize(schema.NumColumns());
+  }
+
+  /// Validate-then-append: the batch is only touched once the whole record
+  /// parsed, so a reject never leaves partial column appends behind.
+  /// Consumes the VARCHAR field texts on success.
+  Status Stage(std::vector<CsvField>& fields, accel::ColumnarRows* out,
+               size_t* bytes) {
+    if (fields.size() != schema_.NumColumns()) {
+      // Same text as QuotedCsvFieldsToRow's arity error.
+      return Status::IoError(
+          "CSV field count mismatch: got " + std::to_string(fields.size()) +
+          ", expected " + std::to_string(schema_.NumColumns()));
+    }
+    size_t record_bytes = 0;
+    for (size_t i = 0; i < fields.size(); ++i) {
+      const CsvField& f = fields[i];
+      const ColumnDef& def = schema_.Column(i);
+      if (f.text.empty() && !f.quoted) {
+        if (!def.nullable) {
+          // Same text as Schema::ValidateRow.
+          return Status::ConstraintViolation("NULL in NOT NULL column " +
+                                             def.name);
+        }
+        nulls_[i] = 1;
+        record_bytes += 1;
+        continue;
+      }
+      nulls_[i] = 0;
+      switch (def.type) {
+        case DataType::kInteger: {
+          int64_t v = 0;
+          auto [ptr, ec] =
+              std::from_chars(f.text.data(), f.text.data() + f.text.size(), v);
+          if (ec != std::errc() || ptr != f.text.data() + f.text.size()) {
+            // Same parse rule and text as Value::CastTo(kInteger).
+            return Status::InvalidArgument("cannot cast '" + f.text +
+                                           "' to INTEGER");
+          }
+          ints_[i] = v;
+          record_bytes += 8;
+          break;
+        }
+        case DataType::kDouble: {
+          bool ok = false;
+          double v = 0;
+          // Common case first: from_chars handles plain decimal/scientific
+          // text without locale machinery, and rounds identically to stod.
+          auto [ptr, ec] =
+              std::from_chars(f.text.data(), f.text.data() + f.text.size(), v);
+          if (ec == std::errc() && ptr == f.text.data() + f.text.size()) {
+            ok = true;
+          } else {
+            // Fall back to the exact CastTo(kDouble) rule for the forms
+            // from_chars rejects (leading whitespace/'+', hex floats).
+            try {
+              size_t pos = 0;
+              v = std::stod(f.text, &pos);
+              ok = pos == f.text.size();
+            } catch (...) {
+            }
+          }
+          if (!ok) {
+            // Same parse rule and text as Value::CastTo(kDouble).
+            return Status::InvalidArgument("cannot cast '" + f.text +
+                                           "' to DOUBLE");
+          }
+          doubles_[i] = v;
+          record_bytes += 8;
+          break;
+        }
+        case DataType::kVarchar:
+          record_bytes += f.text.size() + 4;  // Value::ByteSize length prefix
+          break;
+        default:
+          // Callers gate the fast path on ColumnarCapable schemas.
+          return Status::Internal("field staging for unsupported type");
+      }
+    }
+    for (size_t i = 0; i < fields.size(); ++i) {
+      accel::ColumnarRows::Col& col = out->columns[i];
+      const bool is_null = nulls_[i] != 0;
+      col.nulls.push_back(nulls_[i]);
+      switch (schema_.Column(i).type) {
+        case DataType::kInteger:
+          col.ints.push_back(is_null ? 0 : ints_[i]);
+          break;
+        case DataType::kDouble:
+          col.doubles.push_back(is_null ? 0.0 : doubles_[i]);
+          break;
+        default:
+          col.strings.push_back(is_null ? std::string()
+                                        : std::move(fields[i].text));
+          break;
+      }
+    }
+    ++out->num_rows;
+    *bytes += record_bytes;
+    return Status::OK();
+  }
+
+ private:
+  const Schema& schema_;
+  std::vector<uint8_t> nulls_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+};
+
+/// Parse/convert/validate one chunk. Pure function of the chunk (plus the
+/// source's const ParseRawRecord), so workers run it lock-free.
+ParsedBatch ParseChunk(Chunk&& chunk, const RecordSource* source,
+                       const Schema& table_schema, bool build_columnar,
+                       TraceContext tc) {
+  TraceSpan span(tc, "load.parse");
+  span.Attr("batch", chunk.seq);
+
+  ParsedBatch batch;
+  batch.seq = chunk.seq;
+  batch.first_record = chunk.first_record;
+  batch.num_records = chunk.num_records();
+  batch.use_columnar = build_columnar;
+  if (build_columnar) {
+    batch.columnar.columns.resize(table_schema.NumColumns());
+    for (size_t c = 0; c < table_schema.NumColumns(); ++c) {
+      accel::ColumnarRows::Col& col = batch.columnar.columns[c];
+      col.nulls.reserve(batch.num_records);
+      switch (table_schema.Column(c).type) {
+        case DataType::kInteger:
+          col.ints.reserve(batch.num_records);
+          break;
+        case DataType::kDouble:
+          col.doubles.reserve(batch.num_records);
+          break;
+        case DataType::kVarchar:
+          col.strings.reserve(batch.num_records);
+          break;
+        default:
+          break;
+      }
+    }
+  } else {
+    batch.rows.reserve(batch.num_records);
+  }
+
+  auto process = [&](size_t i, Result<Row> parsed, const std::string* raw) {
+    Row row;
+    Status st;
+    if (!parsed.ok()) {
+      st = parsed.status();
+    } else {
+      Result<Row> coerced = CoerceRowToSchema(*parsed, table_schema);
+      if (!coerced.ok()) {
+        st = coerced.status();
+      } else {
+        row = std::move(*coerced);
+        st = table_schema.ValidateRow(row);
+      }
+    }
+    if (!st.ok()) {
+      RejectedRecord reject;
+      reject.record_index = chunk.first_record + i;
+      reject.error = st.ToString();
+      if (raw != nullptr) reject.raw = *raw;
+      batch.rejects.push_back(std::move(reject));
+      return;
+    }
+    batch.bytes += RowByteSize(row);
+    if (build_columnar) {
+      StageColumnar(table_schema, row, &batch.columnar);
+    } else {
+      batch.rows.push_back(std::move(row));
+    }
+  };
+
+  if (chunk.is_raw && build_columnar && source->SupportsRawFields()) {
+    FieldStager stager(table_schema);
+    std::vector<CsvField> fields;
+    for (size_t i = 0; i < chunk.raw.size(); ++i) {
+      Status st = source->ParseRawFields(chunk.raw[i], &fields);
+      if (st.ok()) st = stager.Stage(fields, &batch.columnar, &batch.bytes);
+      if (!st.ok()) {
+        RejectedRecord reject;
+        reject.record_index = chunk.first_record + i;
+        reject.error = st.ToString();
+        reject.raw = chunk.raw[i];
+        batch.rejects.push_back(std::move(reject));
+      }
+    }
+  } else if (chunk.is_raw) {
+    for (size_t i = 0; i < chunk.raw.size(); ++i) {
+      process(i, source->ParseRawRecord(chunk.raw[i]), &chunk.raw[i]);
+    }
+  } else {
+    for (size_t i = 0; i < chunk.rows.size(); ++i) {
+      process(i, std::move(chunk.rows[i]), nullptr);
+    }
+  }
+  span.Attr("rows", batch.use_columnar ? batch.columnar.num_rows
+                                       : batch.rows.size());
+  if (!batch.rejects.empty()) span.Attr("rejects", batch.rejects.size());
+  return batch;
+}
+
+}  // namespace
+
+Status RunLoadPipeline(RecordSource* source, const Schema& table_schema,
+                       bool build_columnar, const LoadOptions& options,
+                       const BatchCommitFn& commit, PipelineStats* stats) {
+  const size_t batch_size = options.batch_size == 0 ? 1024 : options.batch_size;
+  const size_t queue_depth = std::max<size_t>(1, options.queue_depth);
+  const size_t num_workers = std::max<size_t>(1, options.num_workers);
+
+  Shared s;
+  s.active_workers = num_workers;
+
+  // One slot per worker plus a dedicated slot for the commit task (submitted
+  // first so it can never be starved behind worker tasks).
+  ThreadPool pool(num_workers + 1);
+  std::vector<std::future<void>> done;
+  done.reserve(num_workers + 1);
+
+  done.push_back(pool.Submit([&] {
+    while (true) {
+      ParsedBatch batch;
+      {
+        std::unique_lock<std::mutex> lk(s.mu);
+        s.cv.wait(lk, [&] {
+          return !s.error.ok() || s.parsed.count(s.next_commit) > 0 ||
+                 (s.reader_done && s.active_workers == 0 &&
+                  s.chunks.empty() && s.parsed.empty());
+        });
+        if (!s.error.ok()) return;
+        auto it = s.parsed.find(s.next_commit);
+        if (it == s.parsed.end()) return;  // fully drained
+        batch = std::move(it->second);
+        s.parsed.erase(it);
+        ++s.next_commit;
+        s.cv.notify_all();  // admission window moved: wake waiting workers
+      }
+      Status st = commit(std::move(batch));
+      if (!st.ok()) {
+        s.SetError(std::move(st));
+        return;
+      }
+    }
+  }));
+
+  for (size_t w = 0; w < num_workers; ++w) {
+    done.push_back(pool.Submit([&] {
+      while (true) {
+        Chunk chunk;
+        {
+          std::unique_lock<std::mutex> lk(s.mu);
+          s.cv.wait(lk, [&] {
+            return !s.error.ok() || !s.chunks.empty() || s.reader_done;
+          });
+          if (!s.error.ok() || s.chunks.empty()) break;
+          chunk = std::move(s.chunks.front());
+          s.chunks.pop_front();
+          s.cv.notify_all();  // reader may refill
+        }
+        ParsedBatch batch = ParseChunk(std::move(chunk), source, table_schema,
+                                       build_columnar, options.trace);
+        {
+          std::unique_lock<std::mutex> lk(s.mu);
+          // Reorder-buffer admission: keep at most queue_depth batches
+          // ahead of the commit cursor.
+          s.cv.wait(lk, [&] {
+            return !s.error.ok() ||
+                   batch.seq < s.next_commit + queue_depth;
+          });
+          if (!s.error.ok()) break;
+          s.peak_parsed = std::max(s.peak_parsed, s.parsed.size() + 1);
+          s.parsed.emplace(batch.seq, std::move(batch));
+          s.cv.notify_all();
+        }
+      }
+      std::lock_guard<std::mutex> lk(s.mu);
+      --s.active_workers;
+      s.cv.notify_all();
+    }));
+  }
+
+  // Reader stage on the calling thread. Typed sources (e.g. generators with
+  // stateful closures) are only ever pulled from here, serially.
+  const bool raw = source->SupportsRawRecords();
+  uint64_t seq = 0;
+  uint64_t ordinal = 0;
+  while (true) {
+    Chunk chunk;
+    chunk.seq = seq;
+    chunk.first_record = ordinal;
+    chunk.is_raw = raw;
+    if (raw) {
+      chunk.raw.reserve(batch_size);
+    } else {
+      chunk.rows.reserve(batch_size);
+    }
+    bool end = false;
+    Status read_status;
+    for (size_t i = 0; i < batch_size; ++i) {
+      if (raw) {
+        Result<std::optional<std::string>> rec = source->NextRawRecord();
+        if (!rec.ok()) {
+          read_status = rec.status();
+          break;
+        }
+        if (!rec->has_value()) {
+          end = true;
+          break;
+        }
+        chunk.raw.push_back(std::move(**rec));
+      } else {
+        Result<std::optional<Row>> row = source->Next();
+        if (!row.ok()) {
+          read_status = row.status();
+          break;
+        }
+        if (!row->has_value()) {
+          end = true;
+          break;
+        }
+        chunk.rows.push_back(std::move(**row));
+      }
+    }
+    if (!read_status.ok()) {
+      s.SetError(std::move(read_status));
+      break;
+    }
+    if (chunk.num_records() > 0) {
+      ordinal += chunk.num_records();
+      ++seq;
+      std::unique_lock<std::mutex> lk(s.mu);
+      s.cv.wait(lk, [&] {
+        return !s.error.ok() || s.chunks.size() < queue_depth;
+      });
+      if (!s.error.ok()) break;
+      s.peak_chunks = std::max(s.peak_chunks, s.chunks.size() + 1);
+      s.chunks.push_back(std::move(chunk));
+      s.cv.notify_all();
+    }
+    if (end) break;
+    if (s.HasError()) break;
+  }
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.reader_done = true;
+    s.cv.notify_all();
+  }
+
+  for (std::future<void>& f : done) f.wait();
+
+  if (stats != nullptr) {
+    stats->peak_queued_batches = std::max(s.peak_chunks, s.peak_parsed);
+    stats->records_read = ordinal;
+  }
+  return s.error;
+}
+
+}  // namespace idaa::loader

@@ -1,0 +1,71 @@
+// The loader's parallel pipeline machinery: a reader stage (caller thread)
+// splits the source into record chunks, N pool workers parse/convert/
+// validate them into typed or columnar batches, and a single commit task
+// consumes the batches strictly in input order. Both hand-off queues are
+// bounded by LoadOptions::queue_depth, so the pipeline holds O(queue depth)
+// batches in memory regardless of input size and the reader backpressures
+// against a slow commit stage.
+//
+// Ordering & determinism contract: chunk boundaries are fixed by record
+// count alone (records that later get rejected still occupy their slot), a
+// worker's output depends only on its chunk, and the commit callback runs
+// on one thread in strictly ascending `seq`. Loaded table state is
+// therefore bit-identical for any worker count >= 1.
+//
+// Deadlock freedom: the chunk queue is FIFO, so the worker holding the
+// lowest outstanding seq was admitted before any higher seq and the commit
+// stage can always make progress; the reorder-buffer admission rule
+// (seq < next_commit + queue_depth) can only delay workers holding
+// higher seqs.
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "accel/column_table.h"
+#include "loader/loader.h"
+#include "loader/record_source.h"
+
+namespace idaa::loader {
+
+/// Worker output: one input-order batch ready for the commit stage.
+/// Exactly one of `rows` / `columnar` is populated (per `use_columnar`);
+/// records that failed parse/convert/validation are diverted to `rejects`
+/// instead and do not appear in the payload.
+struct ParsedBatch {
+  uint64_t seq = 0;           ///< 0-based batch ordinal in input order
+  uint64_t first_record = 0;  ///< stream ordinal of the chunk's first record
+  size_t num_records = 0;     ///< accepted + rejected
+  bool use_columnar = false;
+  std::vector<Row> rows;
+  accel::ColumnarRows columnar;
+  size_t bytes = 0;  ///< payload bytes of the accepted rows
+  std::vector<RejectedRecord> rejects;  ///< in record order within the chunk
+};
+
+/// Pipeline-level accounting surfaced into the LoadReport.
+struct PipelineStats {
+  /// High-water mark across the bounded queues (chunk queue and reorder
+  /// buffer, each bounded by queue_depth) — the backpressure proof.
+  size_t peak_queued_batches = 0;
+  uint64_t records_read = 0;
+};
+
+/// Applies one batch. Invoked from the single commit thread, strictly in
+/// ascending seq order with no gaps. A non-OK return aborts the pipeline
+/// (all stages drain and RunLoadPipeline returns that status).
+using BatchCommitFn = std::function<Status(ParsedBatch&&)>;
+
+/// Run the full pipeline over `source` with options.num_workers parse
+/// workers (must be >= 1). The calling thread acts as the reader stage and
+/// blocks until the load finishes or fails. `table_schema` is the target
+/// table's schema (rows are coerced and validated against it, not the
+/// source schema); `build_columnar` selects columnar staging (caller
+/// guarantees every column type is columnar-capable).
+Status RunLoadPipeline(RecordSource* source, const Schema& table_schema,
+                       bool build_columnar, const LoadOptions& options,
+                       const BatchCommitFn& commit, PipelineStats* stats);
+
+}  // namespace idaa::loader

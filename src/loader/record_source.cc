@@ -1,41 +1,51 @@
 #include "loader/record_source.h"
 
 #include <fstream>
+#include <sstream>
 
 namespace idaa::loader {
 
 Result<std::optional<Row>> CsvStringSource::Next() {
-  std::string line;
-  while (std::getline(stream_, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty()) continue;
-    IDAA_ASSIGN_OR_RETURN(auto fields, ParseCsvLine(line, delim_));
-    IDAA_ASSIGN_OR_RETURN(Row row, CsvFieldsToRow(fields, schema_));
-    return std::optional<Row>(std::move(row));
+  IDAA_ASSIGN_OR_RETURN(std::optional<std::string> record, scanner_.Next());
+  if (!record.has_value()) return std::optional<Row>();
+  IDAA_ASSIGN_OR_RETURN(Row row, ParseRawRecord(*record));
+  return std::optional<Row>(std::move(row));
+}
+
+Result<Row> CsvStringSource::ParseRawRecord(const std::string& record) const {
+  IDAA_ASSIGN_OR_RETURN(auto fields, ParseCsvFields(record, delim_));
+  return QuotedCsvFieldsToRow(fields, schema_);
+}
+
+Status CsvFileSource::EnsureOpen() {
+  if (opened_) return Status::OK();
+  std::ifstream file(path_);
+  if (!file) {
+    return Status::IoError("cannot open file: " + path_);
   }
-  return std::optional<Row>();
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  body_ = buffer.str();
+  scanner_ = std::make_unique<CsvRecordScanner>(&body_, delim_);
+  opened_ = true;
+  return Status::OK();
+}
+
+Result<std::optional<std::string>> CsvFileSource::NextRawRecord() {
+  IDAA_RETURN_IF_ERROR(EnsureOpen());
+  return scanner_->Next();
 }
 
 Result<std::optional<Row>> CsvFileSource::Next() {
-  if (!opened_) {
-    std::ifstream file(path_);
-    if (!file) {
-      return Status::IoError("cannot open file: " + path_);
-    }
-    std::ostringstream buffer;
-    buffer << file.rdbuf();
-    stream_ = std::make_unique<std::istringstream>(buffer.str());
-    opened_ = true;
-  }
-  std::string line;
-  while (std::getline(*stream_, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty()) continue;
-    IDAA_ASSIGN_OR_RETURN(auto fields, ParseCsvLine(line, delim_));
-    IDAA_ASSIGN_OR_RETURN(Row row, CsvFieldsToRow(fields, schema_));
-    return std::optional<Row>(std::move(row));
-  }
-  return std::optional<Row>();
+  IDAA_ASSIGN_OR_RETURN(std::optional<std::string> record, NextRawRecord());
+  if (!record.has_value()) return std::optional<Row>();
+  IDAA_ASSIGN_OR_RETURN(Row row, ParseRawRecord(*record));
+  return std::optional<Row>(std::move(row));
+}
+
+Result<Row> CsvFileSource::ParseRawRecord(const std::string& record) const {
+  IDAA_ASSIGN_OR_RETURN(auto fields, ParseCsvFields(record, delim_));
+  return QuotedCsvFieldsToRow(fields, schema_);
 }
 
 Result<std::optional<Row>> GeneratorSource::Next() {

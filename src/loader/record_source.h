@@ -2,13 +2,19 @@
 // data to be loaded can originate from a variety of sources, even from
 // applications not running on System z" — e.g. CSV extracts or streaming
 // feeds such as social-media data.
+//
+// Sources come in two flavors for the parallel load pipeline:
+//   * raw-record sources (CSV text/file) — the reader stage splits the
+//     input into cheap unparsed records and N workers parse them in
+//     parallel via ParseRawRecord (const + thread-safe);
+//   * typed sources (generator) — rows are produced serially by Next()
+//     and workers only validate/stage them.
 
 #pragma once
 
 #include <functional>
 #include <memory>
 #include <optional>
-#include <sstream>
 #include <string>
 
 #include "common/csv.h"
@@ -23,44 +29,107 @@ class RecordSource {
  public:
   virtual ~RecordSource() = default;
   virtual const Schema& schema() const = 0;
-  /// Next row, or nullopt at end of stream.
+
+  /// Next typed row, or nullopt at end of stream.
   virtual Result<std::optional<Row>> Next() = 0;
+
+  /// Whether this source can hand out unparsed records (NextRawRecord /
+  /// ParseRawRecord), letting the load pipeline parallelize parsing.
+  virtual bool SupportsRawRecords() const { return false; }
+
+  /// Next raw (unparsed) record, or nullopt at end of stream. Called from
+  /// the single reader stage only.
+  virtual Result<std::optional<std::string>> NextRawRecord() {
+    return Status::Internal("source does not support raw records");
+  }
+
+  /// Parse one raw record into a typed row against schema(). MUST be
+  /// const and thread-safe: the pipeline calls it from parallel workers.
+  virtual Result<Row> ParseRawRecord(const std::string& record) const {
+    (void)record;
+    return Status::Internal("source does not support raw records");
+  }
+
+  /// Whether ParseRawFields is available: records split into quote-aware
+  /// CSV fields, letting the pipeline stage columnar batches straight from
+  /// field text without boxing a typed Row per record.
+  virtual bool SupportsRawFields() const { return false; }
+
+  /// Split one raw record into CSV fields, reusing `*out`'s capacity.
+  /// MUST be const and thread-safe, like ParseRawRecord.
+  virtual Status ParseRawFields(const std::string& record,
+                                std::vector<CsvField>* out) const {
+    (void)record;
+    (void)out;
+    return Status::Internal("source does not support raw fields");
+  }
 };
 
-/// CSV text (no header) parsed against a schema.
+/// CSV records (no header) parsed against a schema. Quoted fields may
+/// contain the delimiter, doubled quotes and embedded newlines.
 class CsvStringSource : public RecordSource {
  public:
   CsvStringSource(std::string body, Schema schema, char delim = ',')
-      : schema_(std::move(schema)), stream_(std::move(body)), delim_(delim) {}
+      : schema_(std::move(schema)),
+        body_(std::move(body)),
+        delim_(delim),
+        scanner_(&body_, delim) {}
 
   const Schema& schema() const override { return schema_; }
   Result<std::optional<Row>> Next() override;
 
+  bool SupportsRawRecords() const override { return true; }
+  Result<std::optional<std::string>> NextRawRecord() override {
+    return scanner_.Next();
+  }
+  Result<Row> ParseRawRecord(const std::string& record) const override;
+
+  bool SupportsRawFields() const override { return true; }
+  Status ParseRawFields(const std::string& record,
+                        std::vector<CsvField>* out) const override {
+    return ParseCsvFieldsInto(record, delim_, out);
+  }
+
  private:
   Schema schema_;
-  std::istringstream stream_;
+  std::string body_;
   char delim_;
+  CsvRecordScanner scanner_;
 };
 
 /// CSV file on disk (no header).
 class CsvFileSource : public RecordSource {
  public:
-  /// Opens lazily on first Next().
+  /// Opens lazily on first read.
   CsvFileSource(std::string path, Schema schema, char delim = ',')
       : schema_(std::move(schema)), path_(std::move(path)), delim_(delim) {}
 
   const Schema& schema() const override { return schema_; }
   Result<std::optional<Row>> Next() override;
 
+  bool SupportsRawRecords() const override { return true; }
+  Result<std::optional<std::string>> NextRawRecord() override;
+  Result<Row> ParseRawRecord(const std::string& record) const override;
+
+  bool SupportsRawFields() const override { return true; }
+  Status ParseRawFields(const std::string& record,
+                        std::vector<CsvField>* out) const override {
+    return ParseCsvFieldsInto(record, delim_, out);
+  }
+
  private:
+  Status EnsureOpen();
+
   Schema schema_;
   std::string path_;
   char delim_;
-  std::unique_ptr<std::istringstream> stream_;  // whole-file buffer
+  std::string body_;  // whole-file buffer
+  std::unique_ptr<CsvRecordScanner> scanner_;
   bool opened_ = false;
 };
 
-/// Synthetic generator: fn(i) for i in [0, count).
+/// Synthetic generator: fn(i) for i in [0, count). Typed-only: fn may
+/// capture stateful helpers (e.g. an Rng), so rows are produced serially.
 class GeneratorSource : public RecordSource {
  public:
   GeneratorSource(Schema schema, size_t count, std::function<Row(size_t)> fn)

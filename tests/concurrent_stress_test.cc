@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "idaa/system.h"
+#include "loader/record_source.h"
 
 namespace idaa {
 namespace {
@@ -462,6 +463,112 @@ TEST(ConcurrentStressTest, ParallelTracedQueriesShareHistograms) {
   EXPECT_GE(system.histograms().GetOrCreate("sql.latency.select").Count(),
             size_t{kThreads * kQueries});
   EXPECT_GE(system.slow_query_log().Size(), size_t{1});
+}
+
+TEST(ConcurrentStressTest, ParallelLoadsShareAcceleratorWithReadersAndGroom) {
+  // Several pipelined loads run simultaneously into distinct AOTs on one
+  // accelerator — each load spinning up its own reader/worker/commit
+  // pipeline — while reader sessions scan both a quiescent table and the
+  // tables being loaded, and a maintenance thread grooms continuously.
+  // Invariants: every load lands exactly its input (count + id checksum),
+  // readers only ever observe committed prefixes, and the whole dance is
+  // data-race-free under -DIDAA_SANITIZE=thread.
+  SystemOptions options;
+  options.accelerator.num_slices = 4;
+  options.replication_batch_size = 0;
+  IdaaSystem system(options);
+
+  static constexpr int kLoaders = 3;
+  static constexpr int kRowsPerLoad = 1500;
+  ASSERT_TRUE(system
+                  .ExecuteSql("CREATE TABLE warm (id INT NOT NULL, v DOUBLE) "
+                              "IN ACCELERATOR")
+                  .ok());
+  ASSERT_TRUE(system
+                  .ExecuteSql("INSERT INTO warm VALUES (1, 1.5), (2, 2.5), "
+                              "(3, 3.5)")
+                  .ok());
+  std::vector<std::string> bodies(kLoaders);
+  for (int t = 0; t < kLoaders; ++t) {
+    ASSERT_TRUE(system
+                    .ExecuteSql("CREATE TABLE ld" + std::to_string(t) +
+                                " (id INT NOT NULL, tag VARCHAR, "
+                                "score DOUBLE) IN ACCELERATOR")
+                    .ok());
+    std::string body;
+    for (int i = 0; i < kRowsPerLoad; ++i) {
+      body += std::to_string(i) + "," +
+              (i % 9 == 0 ? std::string() : "tag" + std::to_string(t)) + "," +
+              std::to_string(i) + ".25\n";
+    }
+    bodies[t] = std::move(body);
+  }
+  const Schema schema({{"ID", DataType::kInteger, false},
+                       {"TAG", DataType::kVarchar, true},
+                       {"SCORE", DataType::kDouble, true}});
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+
+  for (int t = 0; t < kLoaders; ++t) {
+    threads.emplace_back([&system, &bodies, &schema, t] {
+      loader::CsvStringSource source(bodies[t], schema);
+      loader::LoadOptions lo;
+      lo.batch_size = 64;
+      lo.num_workers = 3;
+      lo.queue_depth = 4;
+      auto report =
+          system.loader().Load("ld" + std::to_string(t), &source, lo);
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+      EXPECT_EQ(report->rows_loaded, size_t{kRowsPerLoad});
+      EXPECT_EQ(report->rows_rejected, 0u);
+    });
+  }
+
+  // Readers: scan the quiescent table (stable answer) and the in-flight
+  // tables (must see a committed prefix, never a torn batch).
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&system, &stop, r] {
+      auto conn = system.NewConnection();
+      while (!stop.load()) {
+        auto warm = conn->Query("SELECT COUNT(*) FROM warm");
+        ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+        EXPECT_EQ(warm->At(0, 0).AsInteger(), 3);
+        const std::string table = "ld" + std::to_string(r);
+        auto rs = conn->Query("SELECT COUNT(*), COUNT(tag) FROM " + table);
+        ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+        int64_t count = rs->At(0, 0).AsInteger();
+        EXPECT_GE(count, 0);
+        EXPECT_LE(count, kRowsPerLoad);
+        // Loads commit whole 64-row batches; a torn read would surface as
+        // a partial batch.
+        EXPECT_EQ(count % 64 == 0 || count == kRowsPerLoad, true)
+            << "reader saw a partially committed batch: " << count;
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  // Maintenance: groom the shared accelerator the whole time.
+  threads.emplace_back([&system, &stop] {
+    while (!stop.load()) {
+      system.accelerator().GroomAll();
+      std::this_thread::yield();
+    }
+  });
+
+  for (int t = 0; t < kLoaders; ++t) threads[t].join();
+  stop.store(true);
+  for (size_t i = kLoaders; i < threads.size(); ++i) threads[i].join();
+
+  for (int t = 0; t < kLoaders; ++t) {
+    auto rs = system.Query("SELECT COUNT(*), SUM(id) FROM ld" +
+                           std::to_string(t));
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+    EXPECT_EQ(rs->At(0, 0).AsInteger(), kRowsPerLoad);
+    EXPECT_EQ(rs->At(0, 1).AsInteger(),
+              int64_t{kRowsPerLoad} * (kRowsPerLoad - 1) / 2);
+  }
 }
 
 }  // namespace

@@ -485,6 +485,144 @@ TEST_P(ConvergenceFuzz, AnalyticsPipelineMatchesSerialUnderFaults) {
   }
 }
 
+// Loader arm: a randomized CSV document (quoting, embedded delimiters and
+// newlines, NULLs vs quoted empties, scattered type errors) is loaded twice
+// — direct-to-AOT over the columnar wire, and via DB2 + replication — with
+// 10% of channel/accelerator crossings failing retryably. Invariants: both
+// loads absorb the faults via retry/backoff, reject exactly the same
+// records, and converge to identical visible contents (and the via-DB2
+// replica matches DB2 row for row).
+TEST_P(ConvergenceFuzz, LoaderDirectAndViaDb2ConvergeUnderFaults) {
+  Rng rng(GetParam() + 11000);
+  static const char* kWords[] = {"alpha", "beta,comma", "line\nbreak",
+                                 "quote\"inside", "plain", "x,y\nz"};
+
+  // Random CSV body. Record shapes are chosen per field; ~7% of records
+  // carry a type error or NOT NULL violation and must be rejected by BOTH
+  // load paths at the same record index.
+  std::ostringstream body;
+  const int num_records = 250 + (int)rng.Uniform(0, 100);
+  for (int i = 0; i < num_records; ++i) {
+    // id INT NOT NULL: occasionally malformed or missing.
+    if (rng.Bernoulli(0.03)) {
+      body << (rng.Bernoulli(0.5) ? "notanint" : "");
+    } else {
+      body << i;
+    }
+    body << ",";
+    // s VARCHAR: plain / quoted with delimiter / embedded newline /
+    // doubled quote / unquoted empty (NULL) / quoted empty ("").
+    if (rng.Bernoulli(0.15)) {
+      body << (rng.Bernoulli(0.5) ? "" : "\"\"");
+    } else {
+      const std::string word = kWords[rng.Uniform(0, 5)];
+      bool needs_quote = word.find(',') != std::string::npos ||
+                         word.find('\n') != std::string::npos ||
+                         word.find('"') != std::string::npos;
+      if (needs_quote) {
+        body << '"';
+        for (char c : word) {
+          body << c;
+          if (c == '"') body << '"';
+        }
+        body << '"';
+      } else {
+        body << word;
+      }
+    }
+    body << ",";
+    // v DOUBLE: numeric, NULL, or malformed.
+    if (rng.Bernoulli(0.04)) {
+      body << "oops";
+    } else if (rng.Bernoulli(0.1)) {
+      // NULL
+    } else {
+      body << StrFormat("%d.%d", (int)rng.Uniform(0, 500),
+                        (int)rng.Uniform(0, 9));
+    }
+    body << (rng.Bernoulli(0.2) ? "\r\n" : "\n");
+  }
+  const std::string csv = body.str();
+  Schema schema({{"ID", DataType::kInteger, false},
+                 {"S", DataType::kVarchar, true},
+                 {"V", DataType::kDouble, true}});
+
+  SystemOptions options;
+  options.replication_batch_size = 0;
+  IdaaSystem system(options);
+  ASSERT_TRUE(system
+                  .ExecuteSql("CREATE TABLE direct_t (id INT NOT NULL, "
+                              "s VARCHAR, v DOUBLE) IN ACCELERATOR")
+                  .ok());
+  ASSERT_TRUE(system
+                  .ExecuteSql("CREATE TABLE via_t (id INT NOT NULL, "
+                              "s VARCHAR, v DOUBLE)")
+                  .ok());
+  ASSERT_TRUE(
+      system.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('via_t')").ok());
+
+  // 10% of every boundary crossing fails with a retryable fault.
+  FaultSpec spec;
+  spec.probability = 0.1;
+  system.fault_injector().ArmChannel(spec);
+  system.fault_injector().Arm(FaultInjector::AcceleratorSite("ACCEL1"), spec);
+
+  loader::LoadOptions lo;
+  lo.max_rejects = loader::kUnlimitedRejects;
+  lo.retry.max_attempts = 10;  // absorb p=0.1 faults with certainty
+  lo.retry.initial_backoff_us = 20;
+
+  lo.num_workers = 1 + rng.Uniform(0, 7);
+  lo.batch_size = 16 + (size_t)rng.Uniform(0, 64);
+  loader::CsvStringSource direct_source(csv, schema);
+  auto direct = system.loader().Load("direct_t", &direct_source, lo);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  EXPECT_TRUE(direct->columnar);
+
+  lo.num_workers = 1 + rng.Uniform(0, 7);
+  lo.batch_size = 16 + (size_t)rng.Uniform(0, 64);
+  loader::CsvStringSource via_source(csv, schema);
+  auto via = system.loader().Load("via_t", &via_source, lo);
+  ASSERT_TRUE(via.ok()) << via.status().ToString();
+
+  // Replication to the via_t replica, retrying through injected faults.
+  bool flushed = false;
+  for (int attempt = 0; attempt < 200 && !flushed; ++attempt) {
+    auto r = system.replication().Flush();
+    if (r.ok()) {
+      flushed = r->misses == 0;
+    } else {
+      ASSERT_TRUE(r.status().retryable()) << r.status().ToString();
+    }
+  }
+  ASSERT_TRUE(flushed);
+  system.fault_injector().Reset();
+
+  // Rejects accounted identically: same count, same record indices.
+  EXPECT_EQ(direct->rows_rejected, via->rows_rejected) << "seed " << GetParam();
+  EXPECT_EQ(direct->rows_loaded, via->rows_loaded);
+  ASSERT_EQ(direct->reject_samples.size(), via->reject_samples.size());
+  for (size_t i = 0; i < direct->reject_samples.size(); ++i) {
+    EXPECT_EQ(direct->reject_samples[i].record_index,
+              via->reject_samples[i].record_index);
+    EXPECT_EQ(direct->reject_samples[i].raw, via->reject_samples[i].raw);
+  }
+
+  // Visible contents converge: AOT == DB2 rows == replica rows.
+  auto aot = system.Query("SELECT id, s, v FROM direct_t");
+  ASSERT_TRUE(aot.ok()) << aot.status().ToString();
+  system.SetAccelerationMode(federation::AccelerationMode::kNone);
+  auto db2 = system.Query("SELECT id, s, v FROM via_t");
+  ASSERT_TRUE(db2.ok());
+  system.SetAccelerationMode(federation::AccelerationMode::kEligible);
+  auto replica = system.Query("SELECT id, s, v FROM via_t");
+  ASSERT_TRUE(replica.ok());
+  EXPECT_EQ(CanonicalRows(*aot), CanonicalRows(*db2)) << "seed " << GetParam();
+  EXPECT_EQ(CanonicalRows(*db2), CanonicalRows(*replica))
+      << "seed " << GetParam();
+  EXPECT_EQ(aot->NumRows(), direct->rows_loaded);
+}
+
 TEST_P(ConvergenceFuzz, RollbackRestoresBothEngines) {
   IdaaSystem system;
   ASSERT_TRUE(system.ExecuteSql("CREATE TABLE r1 (id INT NOT NULL, v INT)")
