@@ -37,12 +37,20 @@ double TimeQuery(IdaaSystem& system, const std::string& sql,
     std::cerr << "query failed: " << sql << ": " << warm.status() << "\n";
     std::exit(1);
   }
-  WallTimer timer;
-  for (int i = 0; i < reps; ++i) {
-    auto r = system.ExecuteSql(sql);
-    if (!r.ok()) std::exit(1);
+  // Best-of-three groups: the single shared CPU makes any one group
+  // vulnerable to a scheduling hiccup inflating the mean; the fastest
+  // group is the least-disturbed measurement of the same work.
+  double best = 0;
+  for (int group = 0; group < 3; ++group) {
+    WallTimer timer;
+    for (int i = 0; i < reps; ++i) {
+      auto r = system.ExecuteSql(sql);
+      if (!r.ok()) std::exit(1);
+    }
+    double ms = timer.Millis() / reps;
+    if (group == 0 || ms < best) best = ms;
   }
-  return timer.Millis() / reps;
+  return best;
 }
 
 void PrintTable() {
@@ -62,11 +70,14 @@ void PrintTable() {
       int reps = rows > 100000 ? 3 : 5;
       double db2 = TimeQuery(system, q.sql,
                              federation::AccelerationMode::kNone, reps);
+      // The accelerator paths are orders of magnitude faster than DB2;
+      // more reps keep the batch-vs-row ratio from jittering with the host.
+      int accel_reps = rows > 100000 ? 10 : 15;
       double accel = TimeQuery(
-          system, q.sql, federation::AccelerationMode::kEligible, reps);
+          system, q.sql, federation::AccelerationMode::kEligible, accel_reps);
       SetBatchPath(system, false);
       double row_path = TimeQuery(
-          system, q.sql, federation::AccelerationMode::kEligible, reps);
+          system, q.sql, federation::AccelerationMode::kEligible, accel_reps);
       SetBatchPath(system, true);
       std::printf("  %-22s %12.3f %12.3f %12.3f %8.2fx %8.2fx\n", q.name, db2,
                   accel, row_path, db2 / accel, row_path / accel);

@@ -83,9 +83,17 @@ double TimeQuery(IdaaSystem& system, const char* sql,
                  federation::AccelerationMode mode, int reps) {
   system.SetAccelerationMode(mode);
   Must(system, sql);
-  WallTimer timer;
-  for (int i = 0; i < reps; ++i) Must(system, sql);
-  return timer.Millis() / reps;
+  // Best-of-three groups: the single shared CPU makes any one group
+  // vulnerable to a scheduling hiccup inflating the mean; the fastest
+  // group is the least-disturbed measurement of the same work.
+  double best = 0;
+  for (int group = 0; group < 3; ++group) {
+    WallTimer timer;
+    for (int i = 0; i < reps; ++i) Must(system, sql);
+    double ms = timer.Millis() / reps;
+    if (group == 0 || ms < best) best = ms;
+  }
+  return best;
 }
 
 void PrintTable() {
@@ -102,11 +110,13 @@ void PrintTable() {
     for (const auto& q : kQueries) {
       double db2 =
           TimeQuery(system, q.sql, federation::AccelerationMode::kNone, 3);
-      double accel =
-          TimeQuery(system, q.sql, federation::AccelerationMode::kEligible, 3);
+      // The accelerator paths are sub-millisecond at these scales; more
+      // reps keep the batch-vs-row ratio from jittering with the host.
+      double accel = TimeQuery(system, q.sql,
+                               federation::AccelerationMode::kEligible, 15);
       SetBatchPath(system, false);
-      double row_path =
-          TimeQuery(system, q.sql, federation::AccelerationMode::kEligible, 3);
+      double row_path = TimeQuery(
+          system, q.sql, federation::AccelerationMode::kEligible, 15);
       SetBatchPath(system, true);
       std::printf("  %-24s %12.3f %12.3f %12.3f %8.2fx %8.2fx\n", q.name, db2,
                   accel, row_path, db2 / accel, row_path / accel);

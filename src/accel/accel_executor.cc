@@ -1,60 +1,17 @@
 #include "accel/accel_executor.h"
 
 #include <atomic>
-#include <cstdio>
 #include <cstring>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
 
+#include "accel/batch_join.h"
+#include "accel/morsel_scan.h"
+#include "accel/partial_agg.h"
 #include "sql/expression_eval.h"
 
 namespace idaa::accel {
-
-namespace {
-
-/// Gather combined-layout column indexes referenced by a bound tree.
-void CollectColumns(const sql::BoundExpr& expr, std::vector<uint8_t>* flags) {
-  if (expr.kind == sql::BoundExprKind::kColumn && expr.index < flags->size()) {
-    (*flags)[expr.index] = 1;
-  }
-  for (const auto& child : expr.children) CollectColumns(*child, flags);
-}
-
-/// Per-table projection masks: which columns the plan actually touches.
-/// Scan predicates are table-local and handled per table; everything else
-/// addresses the combined layout.
-std::vector<std::vector<uint8_t>> ComputeProjections(
-    const sql::BoundSelect& plan) {
-  size_t combined_width = 0;
-  for (const auto& bt : plan.tables) {
-    combined_width += bt.info->schema.NumColumns();
-  }
-  std::vector<uint8_t> combined(combined_width, 0);
-  auto collect = [&](const sql::BoundExprPtr& e) {
-    if (e) CollectColumns(*e, &combined);
-  };
-  collect(plan.where);
-  for (const auto& bt : plan.tables) collect(bt.join_on);
-  for (const auto& g : plan.group_keys) CollectColumns(*g, &combined);
-  for (const auto& agg : plan.aggregates) collect(agg.arg);
-  for (const auto& e : plan.select_exprs) CollectColumns(*e, &combined);
-  collect(plan.having);
-  for (const auto& ob : plan.order_by) CollectColumns(*ob.expr, &combined);
-
-  std::vector<std::vector<uint8_t>> per_table;
-  per_table.reserve(plan.tables.size());
-  for (const auto& bt : plan.tables) {
-    size_t width = bt.info->schema.NumColumns();
-    std::vector<uint8_t> flags(width, 0);
-    for (size_t c = 0; c < width; ++c) flags[c] = combined[bt.offset + c];
-    if (bt.scan_predicate) CollectColumns(*bt.scan_predicate, &flags);
-    per_table.push_back(std::move(flags));
-  }
-  return per_table;
-}
-
-}  // namespace
 
 /// Plans whose aggregation can run at the slices (SPU-side): one table,
 /// no residual predicate, plain-column group keys, plain-column (or
@@ -74,20 +31,8 @@ bool EligibleForSliceAggregation(const sql::BoundSelect& plan) {
 
 namespace {
 
-/// Raw (slice-local) group key: per key column a (null flag, bits) pair.
-struct RawKeyHash {
-  size_t operator()(const std::vector<uint64_t>& key) const {
-    size_t h = 0x9e3779b97f4a7c15ULL;
-    for (uint64_t v : key) h = h * 1315423911ULL + std::hash<uint64_t>()(v);
-    return h;
-  }
-};
-
 /// Partial aggregation state for one slice.
-struct SlicePartial {
-  std::vector<std::vector<Value>> keys;
-  std::vector<std::vector<sql::AggregateAccumulator>> accumulators;
-};
+using SlicePartial = AggPartial;
 
 /// Aggregate one slice without materializing rows (the columnar fast path).
 Status AggregateSlice(const ColumnTable& table, size_t slice_index,
@@ -160,124 +105,15 @@ Status AggregateSlice(const ColumnTable& table, size_t slice_index,
       stats);
 }
 
-/// Hash for Value-vector group/join keys.
-struct ValueKeyHash {
-  size_t operator()(const std::vector<Value>& key) const {
-    size_t h = 0x9e3779b97f4a7c15ULL;
-    for (const Value& v : key) h = h * 1315423911ULL + v.Hash();
-    return h;
-  }
-};
-
-/// Merge per-slice partial aggregations into post-aggregation rows
-/// [keys..., finalized aggregates...].
-Result<std::vector<Row>> MergePartials(const sql::BoundSelect& plan,
-                                       std::vector<SlicePartial>* partials) {
-  std::unordered_map<std::vector<Value>, size_t, ValueKeyHash> merged_index;
-  std::vector<std::vector<Value>> keys;
-  std::vector<std::vector<sql::AggregateAccumulator>> merged;
-  for (SlicePartial& partial : *partials) {
-    for (size_t g = 0; g < partial.keys.size(); ++g) {
-      auto it = merged_index.find(partial.keys[g]);
-      if (it == merged_index.end()) {
-        merged_index.emplace(partial.keys[g], keys.size());
-        keys.push_back(std::move(partial.keys[g]));
-        merged.push_back(std::move(partial.accumulators[g]));
-      } else {
-        auto& accs = merged[it->second];
-        for (size_t a = 0; a < accs.size(); ++a) {
-          IDAA_RETURN_IF_ERROR(accs[a].Merge(partial.accumulators[g][a]));
-        }
-      }
-    }
-  }
-  // Global aggregation over empty input still yields one row.
-  if (keys.empty() && plan.group_keys.empty()) {
-    keys.push_back({});
-    std::vector<sql::AggregateAccumulator> accs;
-    for (const auto& agg : plan.aggregates) accs.emplace_back(agg);
-    merged.push_back(std::move(accs));
-  }
-  std::vector<Row> post_rows;
-  post_rows.reserve(keys.size());
-  for (size_t g = 0; g < keys.size(); ++g) {
-    Row row = std::move(keys[g]);
-    for (const auto& acc : merged[g]) row.push_back(acc.Finalize());
-    post_rows.push_back(std::move(row));
-  }
-  return post_rows;
-}
-
 // ---------------------------------------------------------------------------
 // Vectorized batch execution: morsel-driven scans over raw column arrays
 // with selection vectors, bulk visibility, compiled predicates and late
 // materialization. Taken whenever the scan predicate converts exactly to
 // column ranges that compile against every slice; anything else falls back
-// to the row-at-a-time path below with identical results.
+// to the row-at-a-time path below with identical results. The shared scan
+// plumbing (BatchScanPlan, worker sizing, span accounting) lives in
+// morsel_scan.h, also used by the batch join.
 // ---------------------------------------------------------------------------
-
-/// A scan predicate compiled for every slice of one table (dictionary
-/// codes are slice-local, so each slice gets its own compilation).
-struct BatchScanPlan {
-  std::vector<ColumnRange> ranges;
-  std::vector<BatchPredicate> per_slice;
-};
-
-/// True when `predicate` (nullable) converts exactly to column ranges that
-/// compile to a batch predicate on every slice of `table`.
-bool PrepareBatchScan(const ColumnTable& table, const sql::BoundExpr* predicate,
-                      BatchScanPlan* out) {
-  if (predicate != nullptr) {
-    bool exact = false;
-    out->ranges = ExtractColumnRanges(*predicate, &exact);
-    if (!exact) return false;
-  }
-  out->per_slice.reserve(table.num_slices());
-  for (size_t s = 0; s < table.num_slices(); ++s) {
-    auto compiled = table.CompilePredicateForSlice(s, out->ranges);
-    if (!compiled.has_value()) return false;
-    out->per_slice.push_back(std::move(*compiled));
-  }
-  return true;
-}
-
-size_t MorselWorkerCount(ThreadPool* pool, size_t num_morsels) {
-  size_t cap = pool != nullptr ? pool->num_threads() : 1;
-  return std::max<size_t>(1, std::min(cap, std::max<size_t>(num_morsels, 1)));
-}
-
-/// Emit the per-morsel scan accounting as an accel.slice_scan span (the
-/// same stage name the row path uses, so EXPLAIN ANALYZE consumers see a
-/// uniform shape).
-void RecordMorselSpan(TraceSpan& span, const Morsel& morsel,
-                      const BatchScanStats& before,
-                      const BatchScanStats& after) {
-  span.Attr("slice", static_cast<uint64_t>(morsel.slice));
-  span.Attr("rows_scanned",
-            static_cast<uint64_t>(after.rows_scanned - before.rows_scanned));
-  span.Attr("zone_map_skipped",
-            static_cast<uint64_t>(after.rows_skipped_zone_map -
-                                  before.rows_skipped_zone_map));
-}
-
-void RecordBatchAttrs(TraceSpan& span, const BatchScanStats& total) {
-  span.Attr("batch_path", "true");
-  span.Attr("morsels", static_cast<uint64_t>(total.morsels));
-  span.Attr("batches", static_cast<uint64_t>(total.batches));
-  char buf[32];
-  double selectivity =
-      total.rows_scanned > 0
-          ? static_cast<double>(total.rows_selected) / total.rows_scanned
-          : 0.0;
-  std::snprintf(buf, sizeof(buf), "%.3f", selectivity);
-  span.Attr("selectivity", buf);
-}
-
-void AddScanMetrics(MetricsRegistry* metrics, const BatchScanStats& total) {
-  if (metrics == nullptr) return;
-  metrics->Add(metric::kAccelRowsScanned, total.rows_scanned);
-  metrics->Add(metric::kAccelRowsSkippedZoneMap, total.rows_skipped_zone_map);
-}
 
 /// Morsel-driven gather: scan morsels pulled from a shared cursor, late-
 /// materializing only projected columns of surviving rows, concatenated in
@@ -538,7 +374,7 @@ Result<std::vector<Row>> BatchAggregate(
   }
   AddScanMetrics(metrics, total);
   RecordBatchAttrs(agg_span, total);
-  return MergePartials(plan, &partials);
+  return MergeAggPartials(plan, &partials);
 }
 
 // ---------------------------------------------------------------------------
@@ -764,7 +600,7 @@ Result<std::optional<ResultSet>> TrySliceJoin(
   TraceSpan merge_span(tc, "accel.coordinator_merge");
   if (aggregate_at_slices) {
     IDAA_ASSIGN_OR_RETURN(std::vector<Row> post,
-                          MergePartials(plan, &partials));
+                          MergeAggPartials(plan, &partials));
     merge_span.Attr("groups", static_cast<uint64_t>(post.size()));
     IDAA_ASSIGN_OR_RETURN(ResultSet out,
                           exec::FinalizeSelect(plan, std::move(post)));
@@ -835,7 +671,7 @@ Result<std::optional<std::vector<Row>>> TrySliceAggregation(
 
   TraceSpan merge_span(tc, "accel.coordinator_merge");
   IDAA_ASSIGN_OR_RETURN(std::vector<Row> post_rows,
-                        MergePartials(plan, &partials));
+                        MergeAggPartials(plan, &partials));
   merge_span.Attr("groups", static_cast<uint64_t>(post_rows.size()));
   return std::optional<std::vector<Row>>(std::move(post_rows));
 }
@@ -904,6 +740,13 @@ Result<ResultSet> ExecuteAccelSelect(const sql::BoundSelect& plan,
     }
   }
   if (plan.tables.size() >= 2) {
+    // Vectorized hash join first (build over raw columns, morsel-parallel
+    // probe, dictionary-code keys, sideways zone pruning); the slice-side
+    // broadcast join and the coordinator JoinIterator remain as fallbacks.
+    IDAA_ASSIGN_OR_RETURN(
+        auto batch_joined, TryBatchJoin(plan, resolver, reader, snapshot, tm,
+                                        pool, metrics, tc, batch));
+    if (batch_joined.has_value()) return std::move(*batch_joined);
     IDAA_ASSIGN_OR_RETURN(
         auto joined,
         TrySliceJoin(plan, resolver, reader, snapshot, tm, pool, metrics, tc));

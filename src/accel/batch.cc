@@ -52,6 +52,24 @@ size_t FilterCompare(std::vector<uint32_t>& sel, size_t sel_base,
   return kept;
 }
 
+// Single-pass variant for a fused lower+upper range (BETWEEN): keeps the
+// offsets whose element lies within [lo, hi] with per-bound strictness.
+template <typename GetFn, typename T>
+size_t FilterRange(std::vector<uint32_t>& sel, size_t sel_base,
+                   const uint8_t* nulls, bool lo_strict, T lo, bool hi_strict,
+                   T hi, GetFn get) {
+  size_t kept = 0;
+  for (uint32_t off : sel) {
+    size_t i = sel_base + off;
+    if (nulls[i]) continue;
+    T v = get(i);
+    if ((lo_strict ? v > lo : v >= lo) && (hi_strict ? v < hi : v <= hi)) {
+      sel[kept++] = off;
+    }
+  }
+  return kept;
+}
+
 // True when the op holds for a three-way comparison result `c`
 // (c = compare(element, literal)).
 bool OpHolds(sql::BinaryOp op, int c) {
@@ -166,6 +184,43 @@ std::optional<BatchPredicate> CompileBatchPredicate(
     }
     out.compares.push_back(std::move(cc));
   }
+  // Fuse a lower and an upper bound on the same numeric column (the shape
+  // BETWEEN produces) into one range compare so the scan makes a single
+  // pass over the data instead of two.
+  auto is_lower = [](sql::BinaryOp op) {
+    return op == sql::BinaryOp::kGt || op == sql::BinaryOp::kGtEq;
+  };
+  auto is_upper = [](sql::BinaryOp op) {
+    return op == sql::BinaryOp::kLt || op == sql::BinaryOp::kLtEq;
+  };
+  auto numeric = [](CompiledCompare::Rep rep) {
+    return rep == CompiledCompare::Rep::kInt ||
+           rep == CompiledCompare::Rep::kIntAsDouble ||
+           rep == CompiledCompare::Rep::kDouble;
+  };
+  for (size_t i = 0; i < out.compares.size(); ++i) {
+    CompiledCompare& a = out.compares[i];
+    if (a.has_upper || !numeric(a.rep)) continue;
+    if (!is_lower(a.op) && !is_upper(a.op)) continue;
+    for (size_t j = i + 1; j < out.compares.size(); ++j) {
+      CompiledCompare& b = out.compares[j];
+      if (b.has_upper || b.column != a.column || b.rep != a.rep) continue;
+      const bool a_lower = is_lower(a.op);
+      if (a_lower ? !is_upper(b.op) : !is_lower(b.op)) continue;
+      if (!a_lower) {
+        // Normalize so `op` holds the lower bound.
+        std::swap(a.op, b.op);
+        std::swap(a.int_literal, b.int_literal);
+        std::swap(a.double_literal, b.double_literal);
+      }
+      a.has_upper = true;
+      a.upper_op = b.op;
+      a.upper_int = b.int_literal;
+      a.upper_double = b.double_literal;
+      out.compares.erase(out.compares.begin() + j);
+      break;
+    }
+  }
   return out;
 }
 
@@ -173,11 +228,31 @@ void FilterVisibility(const TxnId* createxid, const TxnId* deletexid,
                       size_t range_begin, size_t range_end, size_t sel_base,
                       const TransactionManager::VisibilityChecker& visibility,
                       std::vector<uint32_t>* sel) {
+  // Bulk loads leave long runs of identical (createxid, deletexid) pairs;
+  // memoizing the previous pair turns the per-row hash-map probes inside
+  // IsVisible into a pair of integer compares for those runs. IsVisible is
+  // stable for a given pair within one checker (it caches per-xid verdicts),
+  // so the memo cannot diverge from a direct call.
+  const size_t old_size = sel->size();
+  sel->resize(old_size + (range_end - range_begin));
+  uint32_t* out = sel->data() + old_size;
+  bool have_last = false;
+  TxnId last_create = 0;
+  TxnId last_delete = 0;
+  bool last_visible = false;
   for (size_t i = range_begin; i < range_end; ++i) {
-    if (visibility.IsVisible(createxid[i], deletexid[i])) {
-      sel->push_back(static_cast<uint32_t>(i - sel_base));
+    const TxnId c = createxid[i];
+    const TxnId d = deletexid[i];
+    if (!have_last || c != last_create || d != last_delete) {
+      last_visible = visibility.IsVisible(c, d);
+      last_create = c;
+      last_delete = d;
+      have_last = true;
     }
+    *out = static_cast<uint32_t>(i - sel_base);
+    out += last_visible ? 1 : 0;
   }
+  sel->resize(static_cast<size_t>(out - sel->data()));
 }
 
 void ApplyBatchPredicate(const BatchPredicate& predicate,
@@ -191,24 +266,40 @@ void ApplyBatchPredicate(const BatchPredicate& predicate,
     switch (cmp.rep) {
       case CompiledCompare::Rep::kInt: {
         const int64_t* data = col.IntsData();
-        kept = FilterCompare(
-            *sel, sel_base, nulls, cmp.op,
-            [data](size_t i) { return data[i]; }, cmp.int_literal);
+        auto get = [data](size_t i) { return data[i]; };
+        kept = cmp.has_upper
+                   ? FilterRange(*sel, sel_base, nulls,
+                                 cmp.op == sql::BinaryOp::kGt, cmp.int_literal,
+                                 cmp.upper_op == sql::BinaryOp::kLt,
+                                 cmp.upper_int, get)
+                   : FilterCompare(*sel, sel_base, nulls, cmp.op, get,
+                                   cmp.int_literal);
         break;
       }
       case CompiledCompare::Rep::kIntAsDouble: {
         const int64_t* data = col.IntsData();
-        kept = FilterCompare(
-            *sel, sel_base, nulls, cmp.op,
-            [data](size_t i) { return static_cast<double>(data[i]); },
-            cmp.double_literal);
+        auto get = [data](size_t i) { return static_cast<double>(data[i]); };
+        kept = cmp.has_upper
+                   ? FilterRange(*sel, sel_base, nulls,
+                                 cmp.op == sql::BinaryOp::kGt,
+                                 cmp.double_literal,
+                                 cmp.upper_op == sql::BinaryOp::kLt,
+                                 cmp.upper_double, get)
+                   : FilterCompare(*sel, sel_base, nulls, cmp.op, get,
+                                   cmp.double_literal);
         break;
       }
       case CompiledCompare::Rep::kDouble: {
         const double* data = col.DoublesData();
-        kept = FilterCompare(
-            *sel, sel_base, nulls, cmp.op,
-            [data](size_t i) { return data[i]; }, cmp.double_literal);
+        auto get = [data](size_t i) { return data[i]; };
+        kept = cmp.has_upper
+                   ? FilterRange(*sel, sel_base, nulls,
+                                 cmp.op == sql::BinaryOp::kGt,
+                                 cmp.double_literal,
+                                 cmp.upper_op == sql::BinaryOp::kLt,
+                                 cmp.upper_double, get)
+                   : FilterCompare(*sel, sel_base, nulls, cmp.op, get,
+                                   cmp.double_literal);
         break;
       }
       case CompiledCompare::Rep::kCode: {

@@ -60,6 +60,13 @@ struct CompiledCompare {
   int64_t int_literal = 0;
   double double_literal = 0.0;
   uint32_t code_literal = 0;
+  // Fused range (e.g. BETWEEN): when has_upper is true, op/int_literal/
+  // double_literal hold the lower bound and upper_op/upper_int/upper_double
+  // the upper bound; both are applied in a single pass over the column.
+  bool has_upper = false;
+  sql::BinaryOp upper_op = sql::BinaryOp::kLtEq;
+  int64_t upper_int = 0;
+  double upper_double = 0.0;
   // kCodeTable: pass_table[code] != 0 iff the dictionary entry satisfies
   // the comparison. Codes minted after compilation (concurrent appends)
   // index past the end and fail, which is correct: their rows postdate the

@@ -1,0 +1,30 @@
+// Batch-native hash join: partitioned build over the dimension tables'
+// raw column arrays (no Row materialization), morsel-parallel probe that
+// consumes the base scan's selection vectors, dictionary-code comparison
+// for VARCHAR equi-keys, and sideways information passing (join-key
+// min/max + Bloom filters pushed into the probe scan's zone-map pruning).
+// The row-path JoinIterator remains the automatic fallback for anything
+// this path declines.
+
+#pragma once
+
+#include <optional>
+
+#include "accel/accel_executor.h"
+
+namespace idaa::accel {
+
+/// Execute a multi-table SELECT with the vectorized batch join. Returns
+/// nullopt (fallback to the slice/coordinator join) when the plan shape is
+/// ineligible: a join key does not probe the base table, key types differ
+/// across a key pair, a key is DOUBLE-typed (bit-pattern equality would
+/// diverge from SQL equality on -0.0/0.0), or a scan predicate does not
+/// convert exactly to batch form. Inner, left-outer and cross joins with
+/// residual non-equi conjuncts are handled; results are identical to the
+/// row path.
+Result<std::optional<ResultSet>> TryBatchJoin(
+    const sql::BoundSelect& plan, const AccelTableResolver& resolver,
+    TxnId reader, Csn snapshot, const TransactionManager& tm, ThreadPool* pool,
+    MetricsRegistry* metrics, TraceContext tc, const BatchOptions& batch);
+
+}  // namespace idaa::accel

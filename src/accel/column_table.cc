@@ -663,12 +663,25 @@ std::optional<BatchPredicate> ColumnTable::CompilePredicateForSlice(
   return CompileBatchPredicate(ranges, slices_[slice_index].columns);
 }
 
+std::vector<uint32_t> ColumnTable::MapDictionaryCodes(
+    size_t slice_index, size_t column, const Column& target) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const Column& col = *slices_[slice_index].columns[column];
+  std::vector<uint32_t> map(col.DictSize(), 0);
+  for (size_t code = 0; code < map.size(); ++code) {
+    int64_t t = target.LookupCode(col.DictEntry(static_cast<uint32_t>(code)));
+    if (t >= 0) map[code] = static_cast<uint32_t>(t) + 1;
+  }
+  return map;
+}
+
 void ColumnTable::ScanMorsel(const Morsel& morsel,
                              const std::vector<ColumnRange>& ranges,
                              const BatchPredicate* predicate,
                              const TransactionManager::VisibilityChecker& visibility,
                              std::vector<uint32_t>* sel, BatchScanStats* stats,
-                             const BatchConsumer& consumer) const {
+                             const BatchConsumer& consumer,
+                             const ZoneFilter* zone_filter) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   const Slice& slice = slices_[morsel.slice];
   ++stats->morsels;
@@ -682,6 +695,11 @@ void ColumnTable::ScanMorsel(const Morsel& morsel,
     const size_t zone_end = std::min(zone_start + zone_size, end);
     if (options_.enable_zone_maps && !ranges.empty() &&
         !slice.zone_map.ZoneCanMatch(zone_start / zone_size, ranges)) {
+      stats->rows_skipped_zone_map += zone_end - zone_start;
+      continue;
+    }
+    if (options_.enable_zone_maps && zone_filter != nullptr &&
+        !(*zone_filter)(slice.zone_map, zone_start / zone_size)) {
       stats->rows_skipped_zone_map += zone_end - zone_start;
       continue;
     }

@@ -174,11 +174,25 @@ class ColumnTable {
   /// whole morsel loop); `sel` is caller-owned scratch so workers reuse
   /// the allocation across morsels.
   using BatchConsumer = std::function<void(const ColumnBatch& batch)>;
+  /// `zone_filter` (optional) is an extra zone-granular pruning hook
+  /// consulted after the range-based zone-map check: return false to skip
+  /// the zone (sideways information passing, e.g. join-key Bloom filters).
+  /// It must be conservative — pruning a zone that could match is a
+  /// correctness bug, keeping one that cannot is only a missed skip.
+  using ZoneFilter = std::function<bool(const ZoneMap& zone_map, size_t zone)>;
   void ScanMorsel(const Morsel& morsel, const std::vector<ColumnRange>& ranges,
                   const BatchPredicate* predicate,
                   const TransactionManager::VisibilityChecker& visibility,
                   std::vector<uint32_t>* sel, BatchScanStats* stats,
-                  const BatchConsumer& consumer) const;
+                  const BatchConsumer& consumer,
+                  const ZoneFilter* zone_filter = nullptr) const;
+
+  /// Translate the slice-local dictionary codes of VARCHAR `column` in
+  /// slice `slice_index` into 1-based codes of `target` (0 = the string
+  /// does not occur in `target`). Used by the batch join to compare
+  /// dictionary codes instead of strings across tables.
+  std::vector<uint32_t> MapDictionaryCodes(size_t slice_index, size_t column,
+                                           const Column& target) const;
 
   /// Reclaim rows whose deletion committed at csn <= horizon and rows
   /// created by aborted transactions; clears aborted deletexids.

@@ -1,0 +1,44 @@
+#include "accel/partial_agg.h"
+
+#include <unordered_map>
+
+namespace idaa::accel {
+
+Result<std::vector<Row>> MergeAggPartials(const sql::BoundSelect& plan,
+                                          std::vector<AggPartial>* partials) {
+  std::unordered_map<std::vector<Value>, size_t, ValueKeyHash> merged_index;
+  std::vector<std::vector<Value>> keys;
+  std::vector<std::vector<sql::AggregateAccumulator>> merged;
+  for (AggPartial& partial : *partials) {
+    for (size_t g = 0; g < partial.keys.size(); ++g) {
+      auto it = merged_index.find(partial.keys[g]);
+      if (it == merged_index.end()) {
+        merged_index.emplace(partial.keys[g], keys.size());
+        keys.push_back(std::move(partial.keys[g]));
+        merged.push_back(std::move(partial.accumulators[g]));
+      } else {
+        auto& accs = merged[it->second];
+        for (size_t a = 0; a < accs.size(); ++a) {
+          IDAA_RETURN_IF_ERROR(accs[a].Merge(partial.accumulators[g][a]));
+        }
+      }
+    }
+  }
+  // Global aggregation over empty input still yields one row.
+  if (keys.empty() && plan.group_keys.empty()) {
+    keys.push_back({});
+    std::vector<sql::AggregateAccumulator> accs;
+    for (const auto& agg : plan.aggregates) accs.emplace_back(agg);
+    merged.push_back(std::move(accs));
+  }
+  std::vector<Row> post_rows;
+  post_rows.reserve(keys.size());
+  for (size_t g = 0; g < keys.size(); ++g) {
+    Row row = std::move(keys[g]);
+    for (const auto& acc : merged[g]) row.push_back(acc.Finalize());
+    post_rows.push_back(std::move(row));
+  }
+  return post_rows;
+}
+
+}  // namespace idaa::accel

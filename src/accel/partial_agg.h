@@ -1,0 +1,49 @@
+// Partial aggregation state shared by the accelerator's parallel
+// execution paths (slice aggregation, slice join, batch aggregation and
+// the batch hash join): each worker accumulates into its own partial and
+// the coordinator merges them into post-aggregation rows.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/row.h"
+#include "common/value.h"
+#include "sql/binder.h"
+#include "sql/expression_eval.h"
+
+namespace idaa::accel {
+
+/// Hash for raw (word-encoded) group keys: per key column a
+/// (null flag, bits) pair, optionally prefixed with a slice qualifier.
+struct RawKeyHash {
+  size_t operator()(const std::vector<uint64_t>& key) const {
+    size_t h = 0x9e3779b97f4a7c15ULL;
+    for (uint64_t v : key) h = h * 1315423911ULL + std::hash<uint64_t>()(v);
+    return h;
+  }
+};
+
+/// Hash for Value-vector group/join keys.
+struct ValueKeyHash {
+  size_t operator()(const std::vector<Value>& key) const {
+    size_t h = 0x9e3779b97f4a7c15ULL;
+    for (const Value& v : key) h = h * 1315423911ULL + v.Hash();
+    return h;
+  }
+};
+
+/// Partial aggregation state of one worker (slice, morsel worker, ...).
+struct AggPartial {
+  std::vector<std::vector<Value>> keys;
+  std::vector<std::vector<sql::AggregateAccumulator>> accumulators;
+};
+
+/// Merge per-worker partial aggregations into post-aggregation rows
+/// [keys..., finalized aggregates...]. A global aggregation over empty
+/// input still yields one row.
+Result<std::vector<Row>> MergeAggPartials(const sql::BoundSelect& plan,
+                                          std::vector<AggPartial>* partials);
+
+}  // namespace idaa::accel

@@ -115,6 +115,19 @@ void ZoneMap::ObserveRun(size_t row_index, size_t column, size_t count,
   if (cmp_max.ok() && *cmp_max > 0) stats.max = max;
 }
 
+bool ZoneMap::ZoneStatsFor(size_t zone, size_t column, Value* min, Value* max,
+                           bool* has_null) const {
+  if (column >= zones_per_column_.size()) return false;
+  const auto& zones = zones_per_column_[column];
+  if (zone >= zones.size()) return false;
+  const ZoneStats& stats = zones[zone];
+  if (stats.count == 0) return false;
+  *min = stats.min;
+  *max = stats.max;
+  *has_null = stats.has_null;
+  return true;
+}
+
 bool ZoneMap::ZoneCanMatch(size_t zone,
                            const std::vector<ColumnRange>& ranges) const {
   for (const ColumnRange& range : ranges) {

@@ -56,6 +56,13 @@ class ZoneMap {
   /// Can any row in `zone` possibly satisfy all `ranges`?
   bool ZoneCanMatch(size_t zone, const std::vector<ColumnRange>& ranges) const;
 
+  /// Per-zone extrema of one column, for sideways-information consumers
+  /// (e.g. Bloom-filter zone pruning in the batch join). Returns false when
+  /// the zone holds no observed rows for `column`; `min`/`max` stay NULL
+  /// when every row in the zone is NULL.
+  bool ZoneStatsFor(size_t zone, size_t column, Value* min, Value* max,
+                    bool* has_null) const;
+
  private:
   struct ZoneStats {
     Value min;        // NULL until a non-null value observed

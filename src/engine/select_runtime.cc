@@ -166,17 +166,18 @@ class JoinIterator : public RowIterator {
         current_left_ = std::move(row);
         matched_ = false;
         if (!equi_keys_.empty()) {
-          std::vector<Value> key;
-          key.reserve(equi_keys_.size());
+          // Reuse the scratch key buffer across probe rows (the per-row
+          // vector allocation dominated the probe loop).
+          probe_key_.clear();
           bool has_null = false;
           for (const EquiKey& k : equi_keys_) {
             const Value& v = (*current_left_)[k.left_index];
             if (v.is_null()) has_null = true;
-            key.push_back(v);
+            probe_key_.push_back(v);
           }
           candidates_ = nullptr;
           if (!has_null) {
-            auto it = hash_table_.find(key);
+            auto it = hash_table_.find(probe_key_);
             if (it != hash_table_.end()) candidates_ = &it->second;
           }
           candidate_pos_ = 0;
@@ -246,6 +247,7 @@ class JoinIterator : public RowIterator {
   const std::vector<size_t>* candidates_ = nullptr;
   size_t candidate_pos_ = 0;
   bool matched_ = false;
+  std::vector<Value> probe_key_;  // scratch, reused across Next() calls
 };
 
 /// Drain an iterator into a vector.
@@ -257,29 +259,6 @@ Result<std::vector<Row>> Drain(RowIterator* it) {
     out.push_back(std::move(*row));
   }
   return out;
-}
-
-/// NULLs sort high (DB2 semantics): last ascending, first descending.
-Result<bool> CompareRows(const std::vector<sql::BoundOrderBy>& order_by,
-                         const Row& a, const Row& b, bool* less) {
-  for (const auto& ob : order_by) {
-    IDAA_ASSIGN_OR_RETURN(Value va, EvalExpr(*ob.expr, a));
-    IDAA_ASSIGN_OR_RETURN(Value vb, EvalExpr(*ob.expr, b));
-    if (va.is_null() && vb.is_null()) continue;
-    int cmp;
-    if (va.is_null()) {
-      cmp = 1;  // NULL is high
-    } else if (vb.is_null()) {
-      cmp = -1;
-    } else {
-      IDAA_ASSIGN_OR_RETURN(cmp, va.Compare(vb));
-    }
-    if (cmp == 0) continue;
-    *less = ob.ascending ? cmp < 0 : cmp > 0;
-    return true;
-  }
-  *less = false;
-  return false;  // equal
 }
 
 }  // namespace
@@ -350,21 +329,68 @@ Result<ResultSet> FinalizeSelect(const BoundSelect& plan,
     post_rows = std::move(kept);
   }
 
-  // ORDER BY over the pre-projection layout.
+  // ORDER BY over the pre-projection layout. Sort keys are evaluated once
+  // per row (decorate-sort-undecorate), so an N-row sort costs N expression
+  // evaluations instead of 2N log N; comparisons touch only cached Values.
+  // NULLs sort high (DB2 semantics): last ascending, first descending.
   if (!plan.order_by.empty()) {
+    const size_t nk = plan.order_by.size();
+    std::vector<Value> keys;
+    keys.reserve(post_rows.size() * nk);
+    for (const Row& row : post_rows) {
+      for (const auto& ob : plan.order_by) {
+        IDAA_ASSIGN_OR_RETURN(Value v, EvalExpr(*ob.expr, row));
+        keys.push_back(std::move(v));
+      }
+    }
+    std::vector<size_t> order(post_rows.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
     Status sort_error = Status::OK();
-    std::stable_sort(post_rows.begin(), post_rows.end(),
-                     [&](const Row& a, const Row& b) {
-                       if (!sort_error.ok()) return false;
-                       bool less = false;
-                       auto r = CompareRows(plan.order_by, a, b, &less);
-                       if (!r.ok()) {
-                         sort_error = r.status();
-                         return false;
-                       }
-                       return less;
-                     });
+    // Ties break on the original index, which makes this a total order; a
+    // full sort of it is exactly what stable_sort produces, and it lets a
+    // LIMIT query select just the top rows below.
+    auto cmp = [&](size_t a, size_t b) {
+      if (!sort_error.ok()) return false;
+      for (size_t k = 0; k < nk; ++k) {
+        const Value& va = keys[a * nk + k];
+        const Value& vb = keys[b * nk + k];
+        if (va.is_null() && vb.is_null()) continue;
+        int c;
+        if (va.is_null()) {
+          c = 1;  // NULL is high
+        } else if (vb.is_null()) {
+          c = -1;
+        } else {
+          auto r = va.Compare(vb);
+          if (!r.ok()) {
+            sort_error = r.status();
+            return false;
+          }
+          c = *r;
+        }
+        if (c == 0) continue;
+        return plan.order_by[k].ascending ? c < 0 : c > 0;
+      }
+      return a < b;
+    };
+    // With LIMIT and no DISTINCT only the top rows survive, so a partial
+    // sort suffices and the rows beyond the limit are dropped before
+    // projection.
+    const bool top_k = plan.limit && !plan.distinct &&
+                       static_cast<size_t>(*plan.limit) < order.size();
+    if (top_k) {
+      std::partial_sort(order.begin(),
+                        order.begin() + static_cast<size_t>(*plan.limit),
+                        order.end(), cmp);
+      order.resize(static_cast<size_t>(*plan.limit));
+    } else {
+      std::sort(order.begin(), order.end(), cmp);
+    }
     IDAA_RETURN_IF_ERROR(sort_error);
+    std::vector<Row> sorted;
+    sorted.reserve(order.size());
+    for (size_t i : order) sorted.push_back(std::move(post_rows[i]));
+    post_rows = std::move(sorted);
   }
 
   // Project.

@@ -674,6 +674,154 @@ TEST_P(ConvergenceFuzz, RollbackRestoresBothEngines) {
       << "seed " << GetParam();
 }
 
+// Join arm: randomized star-join pipelines over replicated tables while 10%
+// of accelerator/channel crossings fail with retryable faults and a writer
+// keeps replication busy. For every query shape (inner / left-outer / cross,
+// INT and dictionary-coded VARCHAR keys, residual non-equi conjuncts,
+// GROUP BY through the join) the batch hash join, the row-path join and the
+// DB2 reference must return identical rows; transient faults may only delay
+// an answer, never change it.
+TEST_P(ConvergenceFuzz, JoinPipelinesAgreeUnderFaults) {
+  Rng rng(GetParam() + 9000);
+  SystemOptions options;
+  options.accelerator.num_slices = 1 + GetParam() % 3;
+  options.accelerator.zone_size = 16;
+  options.accelerator.morsel_size = 32;
+  IdaaSystem system(options);
+
+  ASSERT_TRUE(system
+                  .ExecuteSql("CREATE TABLE jf (id INT NOT NULL, ik INT, "
+                              "vk VARCHAR, m INT, w DOUBLE)")
+                  .ok());
+  ASSERT_TRUE(
+      system.ExecuteSql("CREATE TABLE jd1 (ik INT, tag VARCHAR, boost INT)")
+          .ok());
+  ASSERT_TRUE(
+      system.ExecuteSql("CREATE TABLE jd2 (vk VARCHAR, score INT)").ok());
+
+  static const char* kKeys[] = {"RED", "GREEN", "BLUE", "CYAN", "PINK"};
+  for (int i = 0; i < 120; ++i) {
+    std::string ik = rng.Bernoulli(0.15)
+                         ? "NULL"
+                         : StrFormat("%d", (int)rng.Uniform(0, 12));
+    std::string vk = rng.Bernoulli(0.15)
+                         ? "NULL"
+                         : StrFormat("'%s'", kKeys[rng.Uniform(0, 4)]);
+    auto r = system.ExecuteSql(
+        StrFormat("INSERT INTO jf VALUES (%d, %s, %s, %d, %d.25)", i,
+                  ik.c_str(), vk.c_str(), (int)rng.Uniform(0, 9),
+                  (int)rng.Uniform(0, 100)));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  // Duplicate-heavy dimension keys, a NULL key, and keys matching nothing.
+  for (int k = 0; k < 15; ++k) {
+    auto r = system.ExecuteSql(
+        StrFormat("INSERT INTO jd1 VALUES (%d, '%s', %d)",
+                  (int)rng.Uniform(0, 9), kKeys[rng.Uniform(0, 4)],
+                  (int)rng.Uniform(0, 5)));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  ASSERT_TRUE(system.ExecuteSql("INSERT INTO jd1 VALUES (NULL, 'VOID', 9), "
+                                "(99, 'LONELY', 9)")
+                  .ok());
+  for (const char* k : kKeys) {
+    auto r = system.ExecuteSql(StrFormat("INSERT INTO jd2 VALUES ('%s', %d)",
+                                         k, (int)rng.Uniform(0, 50)));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  ASSERT_TRUE(
+      system.ExecuteSql("INSERT INTO jd2 VALUES (NULL, -1), ('MAUVE', -2)")
+          .ok());
+  for (const char* t : {"jf", "jd1", "jd2"}) {
+    ASSERT_TRUE(
+        system.ExecuteSql(StrFormat("CALL SYSPROC.ACCEL_ADD_TABLES('%s')", t))
+            .ok());
+  }
+  ASSERT_TRUE(system.replication().Flush().ok());
+
+  // Random join pipelines. The joined tables stay static, so answers are
+  // deterministic even while the writer below churns another table.
+  std::vector<std::string> queries;
+  for (int q = 0; q < 10; ++q) {
+    const bool int_key = rng.Bernoulli(0.5);
+    const char* join = rng.Bernoulli(0.3) ? "LEFT JOIN" : "JOIN";
+    std::string on = int_key ? "f.ik = d.ik" : "f.vk = d.vk";
+    const char* dim = int_key ? "jd1" : "jd2";
+    if (rng.Bernoulli(0.3)) {
+      on += StrFormat(" AND f.m > %d", (int)rng.Uniform(0, 5));
+    }
+    std::string sql;
+    if (rng.Bernoulli(0.4)) {
+      const char* val = int_key ? "d.tag" : "d.score";
+      sql = StrFormat(
+          "SELECT %s, COUNT(*), SUM(f.m) FROM jf f %s %s d ON %s GROUP BY %s",
+          val, join, dim, on.c_str(), val);
+    } else {
+      const char* proj = int_key ? "d.boost" : "d.score";
+      sql = StrFormat("SELECT f.id, %s FROM jf f %s %s d ON %s", proj, join,
+                      dim, on.c_str());
+      if (rng.Bernoulli(0.4)) {
+        sql += StrFormat(" WHERE f.m <= %d", (int)rng.Uniform(2, 7));
+      }
+    }
+    queries.push_back(std::move(sql));
+  }
+  queries.push_back("SELECT COUNT(*) FROM jf f CROSS JOIN jd2 d");
+
+  // 10% of boundary crossings fail; a writer keeps replication busy on an
+  // unrelated table throughout.
+  ASSERT_TRUE(
+      system.ExecuteSql("CREATE TABLE jnoise (id INT NOT NULL, v INT)").ok());
+  ASSERT_TRUE(
+      system.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('jnoise')").ok());
+  FaultSpec spec;
+  spec.probability = 0.1;
+  system.fault_injector().ArmChannel(spec);
+  system.fault_injector().Arm(FaultInjector::AcceleratorSite("ACCEL1"), spec);
+  std::atomic<bool> stop{false};
+  std::thread writer([&system, &stop] {
+    auto conn = system.NewConnection();
+    int n = 0;
+    while (!stop.load()) {
+      (void)conn->ExecuteSql(
+          StrFormat("INSERT INTO jnoise VALUES (%d, %d)", n, n % 5));
+      ++n;
+      (void)system.replication().Flush();
+      std::this_thread::yield();
+    }
+  });
+
+  auto query_with_retry = [&](const std::string& sql) {
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      auto rs = system.Query(sql);
+      if (rs.ok()) return CanonicalRows(*rs);
+      EXPECT_TRUE(rs.status().retryable() ||
+                  rs.status().code() == StatusCode::kConflict)
+          << "terminal error from " << sql << ": " << rs.status().ToString();
+      std::this_thread::yield();
+    }
+    ADD_FAILURE() << "retries exhausted for " << sql;
+    return std::vector<std::string>();
+  };
+
+  for (const std::string& sql : queries) {
+    system.SetAccelerationMode(federation::AccelerationMode::kNone);
+    auto db2 = query_with_retry(sql);
+    system.SetAccelerationMode(federation::AccelerationMode::kEligible);
+    system.accelerator().SetBatchPathEnabled(true);
+    auto batch = query_with_retry(sql);
+    system.accelerator().SetBatchPathEnabled(false);
+    auto row_path = query_with_retry(sql);
+    system.accelerator().SetBatchPathEnabled(true);
+    EXPECT_EQ(db2, batch) << "seed " << GetParam() << ": " << sql;
+    EXPECT_EQ(row_path, batch)
+        << "batch vs row path, seed " << GetParam() << ": " << sql;
+  }
+  stop.store(true);
+  writer.join();
+  system.fault_injector().Reset();
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ConvergenceFuzz,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
 

@@ -359,11 +359,19 @@ TEST(ExplainAnalyzeTest, StarJoinReportsSliceAndZoneMapDetail) {
     ASSERT_TRUE(system.ExecuteSql(insert).ok());
   }
 
-  auto rs = system.Query(
+  const std::string query =
       "EXPLAIN ANALYZE SELECT d.label, SUM(f.v) FROM fact f "
-      "JOIN dim d ON f.k = d.k WHERE f.id < 50 GROUP BY d.label");
+      "JOIN dim d ON f.k = d.k WHERE f.id < 50 GROUP BY d.label";
+  auto rs = system.Query(query);
   ASSERT_TRUE(rs.ok()) << rs.status().ToString();
   auto rows = StageRows(*rs);
+
+  // The default plan is the batch join: build + probe phases with their
+  // own accounting.
+  EXPECT_TRUE(HasStage(rows, "accel.batch_join_build"));
+  EXPECT_TRUE(HasStage(rows, "accel.batch_join_probe"));
+  EXPECT_GT(SumAttr(rows, "accel.batch_join_build", "build_rows"), 0u);
+  EXPECT_GT(SumAttr(rows, "accel.batch_join_probe", "matches"), 0u);
 
   // Per-slice scans with zone-map accounting.
   size_t slice_scans = 0;
@@ -384,8 +392,16 @@ TEST(ExplainAnalyzeTest, StarJoinReportsSliceAndZoneMapDetail) {
   // Boundary transfer with byte counts, and the coordinator merge.
   EXPECT_GT(SumAttr(rows, "xfer", "bytes"), 0u);
   EXPECT_TRUE(HasStage(rows, "accel.coordinator_merge"));
-  EXPECT_TRUE(HasStage(rows, "accel.broadcast_dims"));
   EXPECT_GT(SumAttr(rows, "statement", "boundary_bytes"), 0u);
+
+  // With the batch path disabled the slice join takes over and reports its
+  // dimension broadcast.
+  system.accelerator().SetBatchPathEnabled(false);
+  auto row_rs = system.Query(query);
+  ASSERT_TRUE(row_rs.ok()) << row_rs.status().ToString();
+  auto row_rows = StageRows(*row_rs);
+  EXPECT_TRUE(HasStage(row_rows, "accel.broadcast_dims"));
+  EXPECT_FALSE(HasStage(row_rows, "accel.batch_join_probe"));
 }
 
 // ---------------------------------------------------------------------------
