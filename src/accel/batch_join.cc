@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstring>
 #include <memory>
+#include <shared_mutex>
 #include <unordered_map>
 
 #include "accel/morsel_scan.h"
@@ -285,7 +286,8 @@ bool JoinAggregateMode(const sql::BoundSelect& plan,
 /// Scan one dimension into global columns (no Row materialization: raw
 /// appends straight from the slice arrays, VARCHAR re-interned into the
 /// build dictionary), then encode key words and build the hash table,
-/// Bloom filter and sideways min/max ranges.
+/// Bloom filter and sideways min/max ranges. The caller holds the table's
+/// scan pin (taken before `bp` was compiled, held through the probe).
 void BuildDim(const ColumnTable& table, const BatchScanPlan& bp, TxnId reader,
               Csn snapshot, const TransactionManager& tm, ThreadPool* pool,
               const BatchOptions& batch, BuildSide* dim) {
@@ -297,7 +299,6 @@ void BuildDim(const ColumnTable& table, const BatchScanPlan& bp, TxnId reader,
     }
   }
 
-  auto pin = table.PinForScan();
   const std::vector<Morsel> morsels = table.PlanMorsels(batch.morsel_size);
   TransactionManager::VisibilityChecker visibility(&tm, reader, snapshot);
   std::vector<uint32_t> sel;
@@ -427,15 +428,36 @@ Result<std::optional<ResultSet>> TryBatchJoin(
   }
 
   IDAA_ASSIGN_OR_RETURN(const ColumnTable* base, resolver(plan.tables[0]));
+  std::vector<const ColumnTable*> dim_tables(dims.size());
+  for (size_t d = 0; d < dims.size(); ++d) {
+    IDAA_ASSIGN_OR_RETURN(dim_tables[d], resolver(*dims[d].bt));
+  }
+
+  // Pin every involved table's physical layout before anything bakes in
+  // slice-local state: compiled per-slice predicates and the probe-side
+  // dictionary-code maps both hold dictionary codes that a Groom rebuild
+  // re-interns. The pins are held through build and probe so the codes the
+  // probe compares are the codes that were compiled. Deduplicated by table
+  // because a self-join must not shared-lock the same mutex twice.
+  std::vector<const ColumnTable*> pinned_tables;
+  std::vector<std::shared_lock<std::shared_mutex>> pins;
+  auto pin_once = [&](const ColumnTable* t) {
+    for (const ColumnTable* p : pinned_tables) {
+      if (p == t) return;
+    }
+    pinned_tables.push_back(t);
+    pins.push_back(t->PinForScan());
+  };
+  pin_once(base);
+  for (const ColumnTable* t : dim_tables) pin_once(t);
+
   BatchScanPlan base_bp;
   if (!PrepareBatchScan(*base, plan.tables[0].scan_predicate.get(),
                         &base_bp)) {
     return std::optional<ResultSet>();
   }
-  std::vector<const ColumnTable*> dim_tables(dims.size());
   std::vector<BatchScanPlan> dim_bps(dims.size());
   for (size_t d = 0; d < dims.size(); ++d) {
-    IDAA_ASSIGN_OR_RETURN(dim_tables[d], resolver(*dims[d].bt));
     if (!PrepareBatchScan(*dim_tables[d], dims[d].bt->scan_predicate.get(),
                           &dim_bps[d])) {
       return std::optional<ResultSet>();
@@ -566,10 +588,17 @@ Result<std::optional<ResultSet>> TryBatchJoin(
       }
       int64_t lo, hi;
       if (!IntFamilyRaw(zmin, &lo) || !IntFamilyRaw(zmax, &hi)) continue;
-      if (hi < lo || hi - lo > kZoneBloomSpanLimit) continue;
+      // Unsigned span: hi - lo on arbitrary int64 stats can exceed
+      // INT64_MAX (signed overflow), and the offset loop sidesteps the
+      // ++v overflow when hi == INT64_MAX.
+      const uint64_t span =
+          static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+      if (hi < lo || span > static_cast<uint64_t>(kZoneBloomSpanLimit)) {
+        continue;
+      }
       bool any = false;
-      for (int64_t v = lo; v <= hi; ++v) {
-        uint64_t w = static_cast<uint64_t>(v);
+      for (uint64_t off = 0; off <= span; ++off) {
+        uint64_t w = static_cast<uint64_t>(lo) + off;
         if (dim->bloom.MayContain(HashKeyWords(&w, 1))) {
           any = true;
           break;
@@ -585,7 +614,6 @@ Result<std::optional<ResultSet>> TryBatchJoin(
   const ColumnTable::ZoneFilter* zone_filter_ptr =
       zone_bloom_dims.empty() ? nullptr : &zone_filter;
 
-  auto pin = base->PinForScan();
   const std::vector<Morsel> morsels =
       empty_inner ? std::vector<Morsel>() : base->PlanMorsels(batch.morsel_size);
   const size_t num_workers = MorselWorkerCount(pool, morsels.size());

@@ -578,9 +578,12 @@ TEST(ConcurrentStressTest, ConcurrentJoinsSurviveGroomAndWriters) {
   // row set: the dimension covers every non-NULL key, so an inner join
   // returns exactly COUNT(dk) rows, a LEFT JOIN exactly COUNT(*) rows, and
   // a duplicate-heavy dimension (two rows per key) exactly 2 * COUNT(dk).
-  // A torn scan, a groom moving rows mid-probe, or a stale Bloom filter
-  // would break the equalities. Built to run clean under
-  // -DIDAA_SANITIZE=thread.
+  // VARCHAR equi-keys and VARCHAR scan predicates ride along because they
+  // bake slice-local dictionary codes into the probe's dict-code maps and
+  // compiled predicates — a groom re-interning dictionaries between
+  // compilation and the probe scan would silently corrupt them. A torn
+  // scan, a groom moving rows mid-probe, or a stale Bloom filter would
+  // break the equalities. Built to run clean under -DIDAA_SANITIZE=thread.
   SystemOptions options;
   options.accelerator.num_slices = 4;
   options.accelerator.zone_size = 64;
@@ -590,7 +593,7 @@ TEST(ConcurrentStressTest, ConcurrentJoinsSurviveGroomAndWriters) {
   constexpr int kDimKeys = 12;
   ASSERT_TRUE(system
                   .ExecuteSql("CREATE TABLE jfact (id INT NOT NULL, dk INT, "
-                              "v DOUBLE) IN ACCELERATOR")
+                              "dn VARCHAR, v DOUBLE) IN ACCELERATOR")
                   .ok());
   ASSERT_TRUE(system
                   .ExecuteSql("CREATE TABLE jdim (k INT NOT NULL, "
@@ -599,6 +602,12 @@ TEST(ConcurrentStressTest, ConcurrentJoinsSurviveGroomAndWriters) {
   ASSERT_TRUE(system
                   .ExecuteSql("CREATE TABLE jtag (k INT NOT NULL, "
                               "t VARCHAR) IN ACCELERATOR")
+                  .ok());
+  // VARCHAR-keyed dimension: the probe compares dictionary codes via the
+  // per-slice code maps, never strings.
+  ASSERT_TRUE(system
+                  .ExecuteSql("CREATE TABLE jname (n VARCHAR NOT NULL, "
+                              "label VARCHAR) IN ACCELERATOR")
                   .ok());
   for (int k = 0; k < kDimKeys; ++k) {
     ASSERT_TRUE(system
@@ -612,13 +621,26 @@ TEST(ConcurrentStressTest, ConcurrentJoinsSurviveGroomAndWriters) {
                                 std::to_string(k) + ", 'a'), (" +
                                 std::to_string(k) + ", 'b')")
                     .ok());
+    ASSERT_TRUE(system
+                    .ExecuteSql("INSERT INTO jname VALUES ('k" +
+                                std::to_string(k) + "', 'name" +
+                                std::to_string(k) + "')")
+                    .ok());
   }
+  // dn mirrors dk as 'k<dk>' (NULL together), so COUNT(dn) == COUNT(dk)
+  // and jname covers every non-NULL dn.
   for (int i = 0; i < 200; ++i) {
+    const bool null_key = i % 11 == 0;
     ASSERT_TRUE(system
                     .ExecuteSql("INSERT INTO jfact VALUES (" +
                                 std::to_string(i) + ", " +
-                                (i % 11 == 0 ? std::string("NULL")
-                                             : std::to_string(i % kDimKeys)) +
+                                (null_key ? std::string("NULL")
+                                          : std::to_string(i % kDimKeys)) +
+                                ", " +
+                                (null_key
+                                     ? std::string("NULL")
+                                     : "'k" + std::to_string(i % kDimKeys) +
+                                           "'") +
                                 ", " + std::to_string(i % 7) + ".5)")
                     .ok());
   }
@@ -637,12 +659,16 @@ TEST(ConcurrentStressTest, ConcurrentJoinsSurviveGroomAndWriters) {
       auto conn = system.NewConnection();
       for (int i = 0; i < kInsertsPerWriter; ++i) {
         int id = 10000 * (w + 1) + i;
+        const bool null_key = i % 13 == 0;
         ExecuteWithRetry(conn.get(),
                          "INSERT INTO jfact VALUES (" + std::to_string(id) +
                              ", " +
-                             (i % 13 == 0
+                             (null_key ? std::string("NULL")
+                                       : std::to_string(i % kDimKeys)) +
+                             ", " +
+                             (null_key
                                   ? std::string("NULL")
-                                  : std::to_string(i % kDimKeys)) +
+                                  : "'k" + std::to_string(i % kDimKeys) + "'") +
                              ", " + std::to_string(i % 5) + ".25)");
       }
     });
@@ -673,6 +699,43 @@ TEST(ConcurrentStressTest, ConcurrentJoinsSurviveGroomAndWriters) {
         ASSERT_TRUE(dup.ok()) << dup.status().ToString();
         EXPECT_EQ(dup->At(0, 0).AsInteger(), 2 * nonnull)
             << "duplicate build chain walked incorrectly";
+        // VARCHAR equi-key: jname covers every non-NULL dn and dn is NULL
+        // exactly when dk is, so the code-mapped probe must agree with the
+        // INT-keyed count. A groom re-interning a slice dictionary after
+        // the probe-code maps were built would break this.
+        auto vkey = conn->Query(
+            "SELECT COUNT(*) FROM jfact f JOIN jname n ON f.dn = n.n");
+        ASSERT_TRUE(vkey.ok()) << vkey.status().ToString();
+        EXPECT_EQ(vkey->At(0, 0).AsInteger(), nonnull)
+            << "dictionary-code key map went stale under groom";
+        // VARCHAR scan predicate on the probe side: the compiled per-slice
+        // predicate bakes in the dictionary code of 'k3'; the single-table
+        // count and the joined count (jdim has one row per key) must match
+        // within one snapshot.
+        auto pred_scan =
+            conn->Query("SELECT COUNT(*) FROM jfact WHERE dn = 'k3'");
+        ASSERT_TRUE(pred_scan.ok()) << pred_scan.status().ToString();
+        auto pred_join = conn->Query(
+            "SELECT COUNT(*) FROM jfact f JOIN jdim d ON f.dk = d.k "
+            "WHERE f.dn = 'k3'");
+        ASSERT_TRUE(pred_join.ok()) << pred_join.status().ToString();
+        EXPECT_EQ(pred_join->At(0, 0).AsInteger(),
+                  pred_scan->At(0, 0).AsInteger())
+            << "compiled VARCHAR predicate went stale under groom";
+        // VARCHAR scan predicate on the build side: the three g-partitions
+        // tile the key space, so the filtered joins must sum to the
+        // unfiltered inner count.
+        int64_t by_g = 0;
+        for (int g = 0; g < 3; ++g) {
+          auto part = conn->Query(
+              "SELECT COUNT(*) FROM jfact f JOIN jdim d ON f.dk = d.k "
+              "WHERE d.g = 'g" +
+              std::to_string(g) + "'");
+          ASSERT_TRUE(part.ok()) << part.status().ToString();
+          by_g += part->At(0, 0).AsInteger();
+        }
+        EXPECT_EQ(by_g, nonnull)
+            << "build-side VARCHAR scan predicate went stale under groom";
         auto grouped = conn->Query(
             "SELECT d.g, COUNT(*) FROM jfact f JOIN jdim d ON f.dk = d.k "
             "GROUP BY d.g");
@@ -702,22 +765,26 @@ TEST(ConcurrentStressTest, ConcurrentJoinsSurviveGroomAndWriters) {
   threads.back().join();
 
   // Quiesced differential: batch join and the row-path fallback agree on
-  // the final state.
-  auto batch = system.Query(
+  // the final state, on both the INT-keyed and the VARCHAR-keyed joins.
+  const std::vector<std::string> differential_queries = {
       "SELECT d.g, COUNT(*), SUM(f.v) FROM jfact f "
-      "JOIN jdim d ON f.dk = d.k GROUP BY d.g ORDER BY d.g");
-  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
-  system.accelerator().SetBatchPathEnabled(false);
-  auto row_path = system.Query(
-      "SELECT d.g, COUNT(*), SUM(f.v) FROM jfact f "
-      "JOIN jdim d ON f.dk = d.k GROUP BY d.g ORDER BY d.g");
-  system.accelerator().SetBatchPathEnabled(true);
-  ASSERT_TRUE(row_path.ok()) << row_path.status().ToString();
-  ASSERT_EQ(batch->NumRows(), row_path->NumRows());
-  for (size_t r = 0; r < batch->NumRows(); ++r) {
-    EXPECT_EQ(batch->At(r, 0).AsVarchar(), row_path->At(r, 0).AsVarchar());
-    EXPECT_EQ(batch->At(r, 1).AsInteger(), row_path->At(r, 1).AsInteger());
-    EXPECT_DOUBLE_EQ(batch->At(r, 2).AsDouble(), row_path->At(r, 2).AsDouble());
+      "JOIN jdim d ON f.dk = d.k GROUP BY d.g ORDER BY d.g",
+      "SELECT n.label, COUNT(*), SUM(f.v) FROM jfact f "
+      "JOIN jname n ON f.dn = n.n GROUP BY n.label ORDER BY n.label"};
+  for (const std::string& query : differential_queries) {
+    auto batch = system.Query(query);
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    system.accelerator().SetBatchPathEnabled(false);
+    auto row_path = system.Query(query);
+    system.accelerator().SetBatchPathEnabled(true);
+    ASSERT_TRUE(row_path.ok()) << row_path.status().ToString();
+    ASSERT_EQ(batch->NumRows(), row_path->NumRows()) << query;
+    for (size_t r = 0; r < batch->NumRows(); ++r) {
+      EXPECT_EQ(batch->At(r, 0).AsVarchar(), row_path->At(r, 0).AsVarchar());
+      EXPECT_EQ(batch->At(r, 1).AsInteger(), row_path->At(r, 1).AsInteger());
+      EXPECT_DOUBLE_EQ(batch->At(r, 2).AsDouble(),
+                       row_path->At(r, 2).AsDouble());
+    }
   }
 }
 
