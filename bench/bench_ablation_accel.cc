@@ -118,8 +118,9 @@ void BM_SelectiveScanZoneMaps(benchmark::State& state) {
     SeedOrders(*system, 100000, true);
   }
   for (auto _ : state) {
-    auto r = system->ExecuteSql(
-        "SELECT COUNT(*) FROM orders WHERE id BETWEEN 500 AND 600");
+    auto r = system->Execute(
+        "SELECT COUNT(*) FROM orders WHERE id BETWEEN 500 AND 600",
+        RawExecOptions());
     if (!r.ok()) state.SkipWithError("query failed");
   }
   state.SetLabel(state.range(0) ? "zone maps on" : "zone maps off");

@@ -103,7 +103,7 @@ void PrintTable() {
     uint64_t errors = 0;
     for (int i = 0; i < kReps; ++i) {
       WallTimer timer;
-      auto r = system.ExecuteSql(kQuery);
+      auto r = system.Execute(kQuery, RawExecOptions());
       latencies.push_back(timer.Millis());
       if (!r.ok()) ++errors;
     }

@@ -139,7 +139,7 @@ void BM_StarQuery(benchmark::State& state) {
                                   ? federation::AccelerationMode::kEligible
                                   : federation::AccelerationMode::kNone);
   for (auto _ : state) {
-    auto r = system->ExecuteSql(q.sql);
+    auto r = system->Execute(q.sql, RawExecOptions());
     if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
   }
   state.SetLabel(std::string(q.name) + (state.range(1) ? " accel" : " db2"));

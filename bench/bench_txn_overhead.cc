@@ -123,7 +123,7 @@ void BM_VisibilityCheckedScan(benchmark::State& state) {
     return s;
   }();
   for (auto _ : state) {
-    auto r = system->ExecuteSql("SELECT SUM(v) FROM t");
+    auto r = system->Execute("SELECT SUM(v) FROM t", RawExecOptions());
     if (!r.ok()) state.SkipWithError("query failed");
     benchmark::DoNotOptimize(r);
   }

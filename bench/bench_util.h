@@ -17,10 +17,24 @@
 
 namespace idaa::bench {
 
+/// Statement options for measurement loops: both statement caches off, so a
+/// repeated query times the engine (parse + route + execute), not a cache
+/// hit. Benches that measure the caches themselves (bench_wlm) opt back in.
+inline federation::ExecOptions RawExecOptions() {
+  federation::ExecOptions opts;
+  opts.use_plan_cache = false;
+  opts.use_result_cache = false;
+  return opts;
+}
+
+/// Execute-or-die. Used for both setup and timing loops, so it runs with
+/// the statement caches off (RawExecOptions) — a bench repeating the same
+/// SELECT must measure the engine, not the result cache.
 inline void Must(IdaaSystem& system, const std::string& sql) {
-  auto r = system.ExecuteSql(sql);
+  auto r = system.Execute(sql, RawExecOptions());
   if (!r.ok()) {
-    std::cerr << "bench setup failed: " << sql << "\n  " << r.status() << "\n";
+    std::cerr << "bench statement failed: " << sql << "\n  " << r.status()
+              << "\n";
     std::exit(1);
   }
 }
@@ -141,15 +155,22 @@ class BenchJson {
       const Entry& e = entries_[i];
       double accel_rows_per_sec =
           e.accel_ms > 0 ? e.table_rows / (e.accel_ms / 1000.0) : 0.0;
+      // Sub-0.1ms accelerator timings are dominated by per-statement fixed
+      // cost (parse + route + snapshot), not scan throughput: zone-map
+      // pruning can finish a "scan" in microseconds, making ratio metrics
+      // (batch_speedup, speedup_vs_db2) noise. Label them so consumers —
+      // including the CI perf gate — treat the ratios as non-significant.
+      bool fixed_cost_dominated = e.accel_ms > 0 && e.accel_ms < 0.1;
       std::fprintf(
           f,
           "    {\"query\": \"%s\", \"rows\": %zu, \"db2_ms\": %.3f, "
           "\"accel_ms\": %.3f, \"accel_row_path_ms\": %.3f, "
           "\"accel_rows_per_sec\": %.0f, \"speedup_vs_db2\": %.2f, "
-          "\"batch_speedup\": %.2f}%s\n",
+          "\"batch_speedup\": %.2f, \"fixed_cost_dominated\": %s}%s\n",
           e.query.c_str(), e.table_rows, e.db2_ms, e.accel_ms, e.accel_row_ms,
           accel_rows_per_sec, e.accel_ms > 0 ? e.db2_ms / e.accel_ms : 0.0,
           e.accel_ms > 0 ? e.accel_row_ms / e.accel_ms : 0.0,
+          fixed_cost_dominated ? "true" : "false",
           i + 1 < entries_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");

@@ -1,0 +1,414 @@
+// E9 — Workload management: plan cache, result cache and admission control
+// under a many-session mixed workload. Three phases:
+//   1. Point-lookup latency, cold (both caches off) vs warm (plan cache on)
+//      vs prepared statements vs plan+result caches — the per-statement
+//      parse cost the plan cache removes and the execution cost the result
+//      cache removes.
+//   2. Sustained mixed workload: 100 OLTP sessions + 20 analytics sessions
+//      for a fixed wall budget per cache configuration; per-class QPS and
+//      tail latency plus observed cache hit rates.
+//   3. Overload: a deliberately tiny slot pool under a 64-session analytics
+//      storm — shed statements must fail fast with a retryable Status.
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace idaa::bench {
+namespace {
+
+double Percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(p * (v.size() - 1));
+  return v[idx];
+}
+
+struct LookupStats {
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+LookupStats TimeLookups(IdaaSystem& system, const federation::ExecOptions& opts,
+                        int reps) {
+  std::vector<double> lat;
+  lat.reserve(reps);
+  for (int i = 0; i < reps; ++i) {
+    std::string sql =
+        "SELECT amount FROM orders WHERE id = " + std::to_string(i % 500);
+    WallTimer t;
+    auto r = system.Execute(sql, opts);
+    if (!r.ok()) {
+      std::cerr << "lookup failed: " << r.status() << "\n";
+      std::exit(1);
+    }
+    lat.push_back(t.Millis() * 1000.0);
+  }
+  return {Percentile(lat, 0.5), Percentile(lat, 0.99)};
+}
+
+LookupStats TimePreparedLookups(IdaaSystem& system, int reps) {
+  auto prepared = system.Prepare("SELECT amount FROM orders WHERE id = ?");
+  if (!prepared.ok()) {
+    std::cerr << "prepare failed: " << prepared.status() << "\n";
+    std::exit(1);
+  }
+  std::vector<double> lat;
+  lat.reserve(reps);
+  for (int i = 0; i < reps; ++i) {
+    WallTimer t;
+    auto r = prepared->Execute({Value::Integer(i % 500)});
+    if (!r.ok()) std::exit(1);
+    lat.push_back(t.Millis() * 1000.0);
+  }
+  return {Percentile(lat, 0.5), Percentile(lat, 0.99)};
+}
+
+struct MixedResult {
+  double oltp_qps = 0;
+  double oltp_p99_us = 0;
+  double analytics_qps = 0;
+  double analytics_p99_us = 0;
+  double plan_hit_rate = 0;
+  double result_hit_rate = 0;
+};
+
+MixedResult RunMixed(bool use_plan_cache, bool use_result_cache) {
+  SystemOptions options;
+  options.wlm.total_slots = 8;
+  options.wlm.max_queue_depth = 512;
+  options.wlm.default_queue_deadline_us = 5'000'000;
+  options.wlm.result_cache_entries = 1024;
+  IdaaSystem system(options);
+  SeedOrders(system, 20'000, /*accelerate=*/true);
+  SeedCustomers(system, 1'000, /*accelerate=*/true);
+
+  constexpr int kOltpSessions = 100;
+  constexpr int kAnalyticsSessions = 20;
+  constexpr double kBudgetMs = 400.0;
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> oltp_done{0};
+  std::atomic<uint64_t> analytics_done{0};
+  std::mutex lat_mu;
+  std::vector<double> oltp_lat, analytics_lat;
+
+  federation::ExecOptions opts;
+  opts.use_plan_cache = use_plan_cache;
+  opts.use_result_cache = use_result_cache;
+
+  MetricsDelta delta(system.metrics());
+
+  std::vector<std::thread> threads;
+  for (int s = 0; s < kOltpSessions; ++s) {
+    threads.emplace_back([&, s] {
+      auto conn = system.NewConnection();
+      conn->SetTenant("oltp");
+      std::vector<double> local;
+      int i = s;
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Small id pool so repeated lookups actually re-hit cache entries.
+        std::string sql = "SELECT amount FROM orders WHERE id = " +
+                          std::to_string(i++ % 200);
+        WallTimer t;
+        auto r = conn->Execute(sql, opts);
+        if (r.ok()) {
+          local.push_back(t.Millis() * 1000.0);
+          oltp_done.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      std::lock_guard<std::mutex> lock(lat_mu);
+      oltp_lat.insert(oltp_lat.end(), local.begin(), local.end());
+    });
+  }
+  static const char* kAnalytics[] = {
+      "SELECT region, COUNT(*), SUM(amount) FROM orders GROUP BY region",
+      "SELECT c.tier, COUNT(*), SUM(o.amount) FROM orders o "
+      "JOIN customers c ON o.cust = c.cid GROUP BY c.tier",
+      "SELECT COUNT(*), AVG(amount) FROM orders WHERE qty > 25",
+  };
+  for (int s = 0; s < kAnalyticsSessions; ++s) {
+    threads.emplace_back([&, s] {
+      auto conn = system.NewConnection();
+      conn->SetTenant("analytics");
+      std::vector<double> local;
+      int i = s;
+      while (!stop.load(std::memory_order_relaxed)) {
+        WallTimer t;
+        auto r = conn->Execute(kAnalytics[i++ % 3], opts);
+        if (r.ok()) {
+          local.push_back(t.Millis() * 1000.0);
+          analytics_done.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      std::lock_guard<std::mutex> lock(lat_mu);
+      analytics_lat.insert(analytics_lat.end(), local.begin(), local.end());
+    });
+  }
+
+  WallTimer budget;
+  while (budget.Millis() < kBudgetMs) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  double secs = budget.Millis() / 1000.0;
+
+  MixedResult out;
+  out.oltp_qps = oltp_done.load() / secs;
+  out.analytics_qps = analytics_done.load() / secs;
+  out.oltp_p99_us = Percentile(oltp_lat, 0.99);
+  out.analytics_p99_us = Percentile(analytics_lat, 0.99);
+  uint64_t plan_hits = delta.Delta(metric::kPlanCacheHits);
+  uint64_t plan_misses = delta.Delta(metric::kPlanCacheMisses);
+  uint64_t result_hits = delta.Delta(metric::kResultCacheHits);
+  uint64_t result_misses = delta.Delta(metric::kResultCacheMisses);
+  if (plan_hits + plan_misses > 0) {
+    out.plan_hit_rate =
+        static_cast<double>(plan_hits) / (plan_hits + plan_misses);
+  }
+  if (result_hits + result_misses > 0) {
+    out.result_hit_rate =
+        static_cast<double>(result_hits) / (result_hits + result_misses);
+  }
+  return out;
+}
+
+struct OverloadResult {
+  int ok = 0;
+  int shed = 0;
+  int non_retryable = 0;
+  double shed_p99_us = 0;  ///< how fast a shed statement fails
+};
+
+OverloadResult RunOverload() {
+  SystemOptions options;
+  options.wlm.total_slots = 2;
+  options.wlm.max_queue_depth = 4;
+  options.wlm.default_queue_deadline_us = 50'000;
+  IdaaSystem system(options);
+  SeedOrders(system, 20'000, /*accelerate=*/true);
+
+  constexpr int kSessions = 64;
+  OverloadResult out;
+  std::mutex mu;
+  std::vector<double> shed_lat;
+  std::vector<std::thread> threads;
+  for (int s = 0; s < kSessions; ++s) {
+    threads.emplace_back([&] {
+      auto conn = system.NewConnection();
+      federation::ExecOptions opts;
+      opts.use_result_cache = false;  // force real execution per statement
+      for (int q = 0; q < 10; ++q) {
+        WallTimer t;
+        auto r = conn->Execute(
+            "SELECT region, COUNT(*), SUM(amount) FROM orders "
+            "GROUP BY region",
+            opts);
+        double us = t.Millis() * 1000.0;
+        std::lock_guard<std::mutex> lock(mu);
+        if (r.ok()) {
+          ++out.ok;
+        } else {
+          ++out.shed;
+          shed_lat.push_back(us);
+          if (!r.status().retryable()) ++out.non_retryable;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  out.shed_p99_us = Percentile(shed_lat, 0.99);
+  return out;
+}
+
+void RunExperiment() {
+  PrintHeader(
+      "E9: workload management — plan cache, result cache, admission",
+      "Claim: a shared-nothing accelerator deployment serves many "
+      "concurrent sessions;\nthe plan cache removes per-statement parse "
+      "cost, the result cache removes repeat\nexecution, and admission "
+      "control sheds overload fast with retryable errors.");
+
+  // Phase 1: point lookups, one session. The id pool (500) must fit the
+  // result cache or LRU cycling drops the hit rate to zero.
+  SystemOptions options;
+  options.wlm.result_cache_entries = 1024;
+  IdaaSystem system(options);
+  SeedOrders(system, 50'000, /*accelerate=*/true);
+  constexpr int kReps = 2'000;
+
+  federation::ExecOptions cold;
+  cold.use_plan_cache = false;
+  cold.use_result_cache = false;
+  federation::ExecOptions plan_only;
+  plan_only.use_result_cache = false;
+  federation::ExecOptions both;
+
+  LookupStats cold_s = TimeLookups(system, cold, kReps);
+  LookupStats plan_s = TimeLookups(system, plan_only, kReps);
+  LookupStats prepared_s = TimePreparedLookups(system, kReps);
+  // "Warm" = the default statement path (plan + result cache) in steady
+  // state — what a repeated dashboard / OLTP lookup actually pays.
+  LookupStats warm_s = TimeLookups(system, both, kReps);
+
+  double plan_only_speedup =
+      plan_s.p50_us > 0 ? cold_s.p50_us / plan_s.p50_us : 0;
+  double prepared_speedup =
+      prepared_s.p50_us > 0 ? cold_s.p50_us / prepared_s.p50_us : 0;
+  double warm_speedup = warm_s.p50_us > 0 ? cold_s.p50_us / warm_s.p50_us : 0;
+  std::printf("%-34s %10s %10s %10s\n", "point lookup (50k rows)", "p50 us",
+              "p99 us", "speedup");
+  std::printf("%-34s %10.1f %10.1f %10s\n", "  cold (no caches)", cold_s.p50_us,
+              cold_s.p99_us, "1.00x");
+  std::printf("%-34s %10.1f %10.1f %9.2fx\n", "  plan cache only",
+              plan_s.p50_us, plan_s.p99_us, plan_only_speedup);
+  std::printf("%-34s %10.1f %10.1f %9.2fx\n", "  prepared statement",
+              prepared_s.p50_us, prepared_s.p99_us, prepared_speedup);
+  std::printf("%-34s %10.1f %10.1f %9.2fx\n", "  warm (plan + result cache)",
+              warm_s.p50_us, warm_s.p99_us, warm_speedup);
+
+  // Phase 2: mixed 120-session workload across cache configurations.
+  std::printf("\n%-26s %10s %12s %12s %14s %9s %9s\n", "mixed 120 sessions",
+              "oltp qps", "oltp p99 us", "analyt qps", "analyt p99 us",
+              "plan hit", "res hit");
+  MixedResult none = RunMixed(false, false);
+  MixedResult plan = RunMixed(true, false);
+  MixedResult full = RunMixed(true, true);
+  auto print_mixed = [](const char* label, const MixedResult& m) {
+    std::printf("%-26s %10.0f %12.1f %12.1f %14.1f %8.1f%% %8.1f%%\n", label,
+                m.oltp_qps, m.oltp_p99_us, m.analytics_qps, m.analytics_p99_us,
+                m.plan_hit_rate * 100, m.result_hit_rate * 100);
+  };
+  print_mixed("  no caches", none);
+  print_mixed("  plan cache", plan);
+  print_mixed("  plan + result cache", full);
+
+  // Phase 3: overload shedding.
+  OverloadResult overload = RunOverload();
+  std::printf(
+      "\noverload (2 slots, 64 analytics sessions): ok=%d shed=%d "
+      "non_retryable=%d shed_p99=%.0fus\n",
+      overload.ok, overload.shed, overload.non_retryable,
+      overload.shed_p99_us);
+  if (overload.non_retryable > 0) {
+    std::cerr << "FATAL: shed statements must be retryable\n";
+    std::exit(1);
+  }
+
+  // JSON artifact (schema differs from the scan benches — WLM metrics).
+  const char* dir = std::getenv("IDAA_BENCH_JSON_DIR");
+  std::string path =
+      (dir != nullptr && *dir != '\0' ? std::string(dir) + "/"
+                                      : std::string()) +
+      "BENCH_wlm.json";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::cerr << "cannot write " << path << "\n";
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"experiment\": \"wlm\",\n");
+  std::fprintf(f,
+               "  \"point_lookup\": {\"cold_p50_us\": %.1f, "
+               "\"plan_only_p50_us\": %.1f, \"prepared_p50_us\": %.1f, "
+               "\"warm_p50_us\": %.1f, \"plan_only_speedup\": %.2f, "
+               "\"prepared_speedup\": %.2f, \"warm_speedup\": %.2f},\n",
+               cold_s.p50_us, plan_s.p50_us, prepared_s.p50_us, warm_s.p50_us,
+               plan_only_speedup, prepared_speedup, warm_speedup);
+  auto mixed_json = [f](const char* name, const MixedResult& m, bool comma) {
+    std::fprintf(f,
+                 "    {\"config\": \"%s\", \"oltp_qps\": %.0f, "
+                 "\"oltp_p99_us\": %.1f, \"analytics_qps\": %.1f, "
+                 "\"analytics_p99_us\": %.1f, \"plan_cache_hit_rate\": %.3f, "
+                 "\"result_cache_hit_rate\": %.3f}%s\n",
+                 name, m.oltp_qps, m.oltp_p99_us, m.analytics_qps,
+                 m.analytics_p99_us, m.plan_hit_rate, m.result_hit_rate,
+                 comma ? "," : "");
+  };
+  std::fprintf(f, "  \"mixed_workload\": [\n");
+  mixed_json("no_caches", none, true);
+  mixed_json("plan_cache", plan, true);
+  mixed_json("plan_and_result_cache", full, false);
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"overload\": {\"sessions\": 64, \"slots\": 2, \"ok\": %d, "
+               "\"shed\": %d, \"non_retryable\": %d, \"shed_p99_us\": %.0f}\n",
+               overload.ok, overload.shed, overload.non_retryable,
+               overload.shed_p99_us);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::cout << "wrote " << path << "\n";
+}
+
+// Micro benchmarks: per-statement cost of each cache layer.
+void BM_PointLookupNoCaches(benchmark::State& state) {
+  IdaaSystem system;
+  SeedOrders(system, 10'000, true);
+  federation::ExecOptions opts;
+  opts.use_plan_cache = false;
+  opts.use_result_cache = false;
+  int i = 0;
+  for (auto _ : state) {
+    auto r = system.Execute(
+        "SELECT amount FROM orders WHERE id = " + std::to_string(i++ % 100),
+        opts);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_PointLookupNoCaches);
+
+void BM_PointLookupPlanCache(benchmark::State& state) {
+  IdaaSystem system;
+  SeedOrders(system, 10'000, true);
+  federation::ExecOptions opts;
+  opts.use_result_cache = false;
+  int i = 0;
+  for (auto _ : state) {
+    auto r = system.Execute(
+        "SELECT amount FROM orders WHERE id = " + std::to_string(i++ % 100),
+        opts);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_PointLookupPlanCache);
+
+void BM_PointLookupPrepared(benchmark::State& state) {
+  IdaaSystem system;
+  SeedOrders(system, 10'000, true);
+  auto prepared = system.Prepare("SELECT amount FROM orders WHERE id = ?");
+  if (!prepared.ok()) std::exit(1);
+  int i = 0;
+  for (auto _ : state) {
+    auto r = prepared->Execute({Value::Integer(i++ % 100)});
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_PointLookupPrepared);
+
+void BM_PointLookupResultCache(benchmark::State& state) {
+  IdaaSystem system;
+  SeedOrders(system, 10'000, true);
+  int i = 0;
+  for (auto _ : state) {
+    auto r = system.Execute(
+        "SELECT amount FROM orders WHERE id = " + std::to_string(i++ % 100));
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_PointLookupResultCache);
+
+}  // namespace
+}  // namespace idaa::bench
+
+int main(int argc, char** argv) {
+  idaa::bench::RunExperiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -18,7 +18,7 @@ using idaa::IdaaSystem;
 namespace {
 
 void Must(Connection& conn, const std::string& sql, const char* who) {
-  auto r = conn.ExecuteSql(sql);
+  auto r = conn.Execute(sql);
   if (!r.ok()) {
     std::cerr << who << " FAILED: " << sql << "\n  " << r.status() << "\n";
     std::exit(1);
@@ -85,5 +85,24 @@ int main() {
   Count(*dashboard, "staging", "dashboard");
   auto rs = dashboard->Query("SELECT kind, total FROM staging ORDER BY kind");
   std::cout << "\nfinal staging contents:\n" << rs->ToString();
+
+  std::cout << "\n-- the dashboard's repeated query is a prepared statement;\n"
+               "-- after the first execution the result cache serves it --\n";
+  auto panel = dashboard->Prepare(
+      "SELECT total FROM staging WHERE kind = ?");
+  if (!panel.ok()) {
+    std::cerr << "prepare failed: " << panel.status() << "\n";
+    return 1;
+  }
+  for (int refresh = 0; refresh < 3; ++refresh) {
+    auto r = panel->Execute({idaa::Value::Varchar("order")});
+    if (!r.ok()) {
+      std::cerr << "panel refresh failed: " << r.status() << "\n";
+      return 1;
+    }
+    std::cout << "[dashboard] refresh " << refresh << ": total="
+              << r->rows.At(0, 0).AsDouble()
+              << " (result_cache=" << r->result_cache << ")\n";
+  }
   return 0;
 }

@@ -15,7 +15,7 @@ using idaa::IdaaSystem;
 namespace {
 
 void Run(IdaaSystem& system, const std::string& sql) {
-  auto r = system.ExecuteSql(sql);
+  auto r = system.Execute(sql);
   if (!r.ok()) {
     std::cout << "   !! " << sql << "\n      -> " << r.status() << "\n";
     return;
@@ -23,7 +23,7 @@ void Run(IdaaSystem& system, const std::string& sql) {
   std::cout << "   ok " << sql;
   if (!r->detail.empty()) std::cout << "   [" << r->detail << "]";
   std::cout << "\n";
-  if (r->result_set.NumRows() > 0) std::cout << r->result_set.ToString();
+  if (r->rows.NumRows() > 0) std::cout << r->rows.ToString();
 }
 
 }  // namespace

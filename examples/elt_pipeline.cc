@@ -25,7 +25,7 @@ using idaa::StrFormat;
 namespace {
 
 void Must(IdaaSystem& system, const std::string& sql) {
-  auto r = system.ExecuteSql(sql);
+  auto r = system.Execute(sql);
   if (!r.ok()) {
     std::cerr << "FAILED: " << sql << "\n  " << r.status() << "\n";
     std::exit(1);

@@ -21,13 +21,13 @@ namespace {
 
 void Must(IdaaSystem& system, const std::string& sql,
           bool print_result = false) {
-  auto r = system.ExecuteSql(sql);
+  auto r = system.Execute(sql);
   if (!r.ok()) {
     std::cerr << "FAILED: " << sql << "\n  " << r.status() << "\n";
     std::exit(1);
   }
-  if (print_result && r->result_set.NumRows() > 0) {
-    std::cout << r->result_set.ToString() << "\n";
+  if (print_result && r->rows.NumRows() > 0) {
+    std::cout << r->rows.ToString() << "\n";
   }
 }
 
@@ -96,7 +96,7 @@ int main() {
 
   // --- the analyst cannot escape governance --------------------------------
   std::cout << "governance check: analyst reading an unauthorized table\n";
-  auto denied = system.ExecuteSql("SELECT * FROM centers");
+  auto denied = system.Execute("SELECT * FROM centers");
   if (denied.ok()) {
     // centers was created by the analyst via KMEANS, so this succeeds;
     // try a table the analyst never got access to instead.
@@ -104,7 +104,7 @@ int main() {
   system.SetUser(idaa::governance::AuthorizationManager::kAdmin);
   Must(system, "CREATE TABLE payroll (cid INT, salary DOUBLE)");
   system.SetUser("analyst");
-  auto forbidden = system.ExecuteSql("SELECT * FROM payroll");
+  auto forbidden = system.Execute("SELECT * FROM payroll");
   std::cout << "  SELECT * FROM payroll -> "
             << forbidden.status().ToString() << "\n\n";
 

@@ -12,18 +12,18 @@
 namespace {
 
 void Run(idaa::IdaaSystem& system, const std::string& sql) {
-  auto result = system.ExecuteSql(sql);
+  auto result = system.Execute(sql);
   if (!result.ok()) {
     std::cerr << "FAILED: " << sql << "\n  " << result.status() << "\n";
     std::exit(1);
   }
   const char* where =
-      result->executed_on == idaa::federation::Target::kAccelerator
+      result->routed_to == idaa::federation::Target::kAccelerator
           ? "[accelerator]"
           : "[DB2]       ";
   std::cout << where << " " << sql << "\n";
-  if (result->result_set.NumRows() > 0) {
-    std::cout << result->result_set.ToString() << "\n";
+  if (result->rows.NumRows() > 0) {
+    std::cout << result->rows.ToString() << "\n";
   }
 }
 
@@ -68,7 +68,27 @@ int main() {
   Run(system, "ROLLBACK");
   Run(system, "SELECT COUNT(*) AS visible_after_rollback FROM region_totals");
 
-  std::cout << "\n== 5. Data-movement accounting ==\n";
+  std::cout << "\n== 5. Prepared statements and the statement caches ==\n";
+  // Prepare parses once; every Execute binds new parameters against the
+  // cached template. Repeated SELECTs are also served from the result cache
+  // until a write to the table evicts them.
+  auto lookup = system.Prepare("SELECT amount FROM sales WHERE id = ?");
+  if (!lookup.ok()) {
+    std::cerr << "prepare failed: " << lookup.status() << "\n";
+    return 1;
+  }
+  for (int id : {1, 3, 5, 3}) {
+    auto r = lookup->Execute({idaa::Value::Integer(id)});
+    if (!r.ok()) {
+      std::cerr << "execute failed: " << r.status() << "\n";
+      return 1;
+    }
+    std::cout << "  id=" << id << " amount=" << r->rows.At(0, 0).AsDouble()
+              << "  (plan_cache=" << r->plan_cache
+              << ", result_cache=" << r->result_cache << ")\n";
+  }
+
+  std::cout << "\n== 6. Data-movement accounting ==\n";
   std::cout << system.metrics().ToString();
   return 0;
 }

@@ -45,6 +45,18 @@ inline constexpr const char* kFederationFailbacks = "federation.failbacks";
 inline constexpr const char* kBreakerTrips = "federation.breaker_trips";
 inline constexpr const char* kBreakerProbes = "federation.breaker_probes";
 inline constexpr const char* kFaultsInjected = "fault.injected";
+// Workload management (admission control + statement caches).
+inline constexpr const char* kWlmAdmitted = "wlm.admitted";
+inline constexpr const char* kWlmQueued = "wlm.queued";
+inline constexpr const char* kWlmShedQueueFull = "wlm.shed_queue_full";
+inline constexpr const char* kWlmShedDeadline = "wlm.shed_deadline";
+inline constexpr const char* kPlanCacheHits = "wlm.plan_cache_hits";
+inline constexpr const char* kPlanCacheMisses = "wlm.plan_cache_misses";
+inline constexpr const char* kResultCacheHits = "wlm.result_cache_hits";
+inline constexpr const char* kResultCacheMisses = "wlm.result_cache_misses";
+inline constexpr const char* kResultCacheStores = "wlm.result_cache_stores";
+inline constexpr const char* kResultCacheInvalidations =
+    "wlm.result_cache_invalidations";
 }  // namespace metric
 
 /// Thread-safe registry of named uint64 counters.

@@ -36,6 +36,7 @@ namespace histo {
 inline constexpr const char* kReplicationBatchApplyUs =
     "replication.batch_apply_us";
 inline constexpr const char* kSqlLatencyPrefix = "sql.latency.";
+inline constexpr const char* kWlmQueuedUs = "wlm.queued_us";
 }  // namespace histo
 
 /// One statement's trace: a tree of timed spans. Spans are identified by

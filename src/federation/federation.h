@@ -30,6 +30,7 @@
 #include "federation/health_monitor.h"
 #include "federation/router.h"
 #include "federation/transfer_channel.h"
+#include "federation/wlm.h"
 #include "governance/audit_log.h"
 #include "governance/authorization.h"
 #include "replication/replication_service.h"
@@ -43,8 +44,11 @@ namespace idaa::federation {
 struct Session {
   std::string user = governance::AuthorizationManager::kAdmin;
   AccelerationMode acceleration = AccelerationMode::kEligible;
-  /// Wall-clock budget for boundary retries (0 = engine default only).
+  /// Wall-clock budget for boundary retries and WLM queue waits
+  /// (0 = engine default only).
   uint64_t deadline_us = 0;
+  /// WLM tenant this session's statements are accounted against.
+  std::string tenant_id = "default";
 };
 
 /// Outcome of one statement.
@@ -55,14 +59,30 @@ struct ExecResult {
   std::string detail;          ///< routing reason etc.
   uint32_t retries = 0;        ///< boundary retries this statement needed
   bool failed_back = false;    ///< re-executed on DB2 after accelerator error
+  // --- workload management observability (filled by Connection) ---
+  std::string plan_cache;      ///< "hit" | "miss" | "bypass"
+  std::string result_cache;    ///< "hit" | "miss" | "store" | "bypass"
+  uint64_t queued_us = 0;      ///< WLM admission queue wait
+  std::string tenant;          ///< tenant the statement was accounted to
+  uint64_t slot = 0;           ///< admission slot grant id (0 = not gated)
 };
 
 /// Per-statement options for the redesigned Connection::Execute API.
 struct ExecOptions {
   /// Overrides the session's CURRENT QUERY ACCELERATION for this statement.
   std::optional<QueryAcceleration> acceleration;
-  /// Overrides the session's retry deadline (microseconds, 0 = inherit).
+  /// Overrides the session's retry + WLM queue deadline (microseconds,
+  /// 0 = inherit).
   uint64_t deadline_us = 0;
+  /// Overrides the session's WLM tenant (empty = inherit).
+  std::string tenant_id;
+  /// Overrides the router's interactive-vs-batch classification.
+  std::optional<Priority> priority;
+  /// Consult / populate the normalized-SQL plan cache.
+  bool use_plan_cache = true;
+  /// Serve from and store into the replication-aware result cache
+  /// (auto-commit SELECTs only; never inside an explicit transaction).
+  bool use_result_cache = true;
 };
 
 /// Outcome of one statement through the redesigned API: everything a
@@ -75,6 +95,12 @@ struct StatementResult {
   uint32_t retries = 0;         ///< boundary retries
   bool failed_back = false;     ///< re-executed on DB2 after accel failure
   std::string detail;           ///< routing reason / failback cause
+  // --- workload management observability ---
+  std::string plan_cache;       ///< "hit" | "miss" | "bypass"
+  std::string result_cache;     ///< "hit" | "miss" | "store" | "bypass"
+  uint64_t queued_us = 0;       ///< WLM admission queue wait
+  std::string tenant;           ///< tenant the statement was accounted to
+  uint64_t slot = 0;            ///< admission slot grant id (0 = not gated)
 };
 
 /// Hook for CALL statements the engine does not handle itself (the

@@ -1,0 +1,312 @@
+#include "federation/wlm.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace idaa::federation {
+
+const char* PriorityToString(Priority p) {
+  return p == Priority::kInteractive ? "interactive" : "batch";
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionController
+// ---------------------------------------------------------------------------
+
+AdmissionController::AdmissionController(const WlmOptions& options,
+                                         MetricsRegistry* metrics,
+                                         HistogramRegistry* histograms)
+    : options_(options), metrics_(metrics), histograms_(histograms) {}
+
+AdmissionController::~AdmissionController() = default;
+
+bool AdmissionController::CanGrantLocked(const std::string& tenant,
+                                         Priority priority) const {
+  if (in_use_ >= options_.total_slots) return false;
+  if (options_.per_tenant_slots > 0) {
+    auto it = tenant_in_use_.find(tenant);
+    if (it != tenant_in_use_.end() && it->second >= options_.per_tenant_slots) {
+      return false;
+    }
+  }
+  // Batch statements yield to any waiting interactive statement; an
+  // interactive arrival may overtake queued batch work (that is the point
+  // of the two-class scheme).
+  if (priority == Priority::kBatch &&
+      waiting_[static_cast<size_t>(Priority::kInteractive)] > 0) {
+    return false;
+  }
+  return true;
+}
+
+Result<AdmissionController::Ticket> AdmissionController::Admit(
+    const std::string& tenant, Priority priority, uint64_t deadline_us) {
+  Ticket ticket;
+  ticket.tenant = tenant;
+  ticket.priority = priority;
+  if (!options_.enabled) return ticket;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!CanGrantLocked(tenant, priority)) {
+    size_t waiting_total = waiting_[0] + waiting_[1];
+    if (waiting_total >= options_.max_queue_depth) {
+      ++shed_queue_full_;
+      if (metrics_) metrics_->Increment(metric::kWlmShedQueueFull);
+      return Status::Unavailable(
+          "WLM: admission queue full (" + std::to_string(waiting_total) +
+          " waiting, " + std::to_string(options_.total_slots) +
+          " slots); statement shed, retry later");
+    }
+    uint64_t budget_us =
+        deadline_us > 0 ? deadline_us : options_.default_queue_deadline_us;
+    auto give_up_at = std::chrono::steady_clock::now() +
+                      std::chrono::microseconds(budget_us);
+    uint64_t started_ns = TraceNowNs();
+    ++waiting_[static_cast<size_t>(priority)];
+    bool granted = cv_.wait_until(lock, give_up_at, [&] {
+      return CanGrantLocked(tenant, priority);
+    });
+    --waiting_[static_cast<size_t>(priority)];
+    // Our departure may unblock a batch waiter held back only by the
+    // interactive-waiters-first rule.
+    cv_.notify_all();
+    ticket.queued_us = (TraceNowNs() - started_ns) / 1000;
+    if (!granted) {
+      ++shed_deadline_;
+      if (metrics_) metrics_->Increment(metric::kWlmShedDeadline);
+      if (histograms_) {
+        histograms_->GetOrCreate(histo::kWlmQueuedUs).Record(ticket.queued_us);
+      }
+      return Status::Timeout(
+          "WLM: admission deadline (" + std::to_string(budget_us) +
+          "us) expired after " + std::to_string(ticket.queued_us) +
+          "us queued; statement shed, retry later");
+    }
+    ++queued_grants_;
+    if (metrics_) metrics_->Increment(metric::kWlmQueued);
+  }
+  ++in_use_;
+  if (options_.per_tenant_slots > 0) ++tenant_in_use_[tenant];
+  ticket.slot = next_slot_++;
+  ++admitted_;
+  if (metrics_) metrics_->Increment(metric::kWlmAdmitted);
+  if (histograms_) {
+    histograms_->GetOrCreate(histo::kWlmQueuedUs).Record(ticket.queued_us);
+  }
+  return ticket;
+}
+
+void AdmissionController::Release(const Ticket& ticket) {
+  if (!options_.enabled || ticket.slot == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (in_use_ > 0) --in_use_;
+    if (options_.per_tenant_slots > 0) {
+      auto it = tenant_in_use_.find(ticket.tenant);
+      if (it != tenant_in_use_.end() && it->second > 0) {
+        if (--it->second == 0) tenant_in_use_.erase(it);
+      }
+    }
+  }
+  cv_.notify_all();
+}
+
+AdmissionController::Stats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.admitted = admitted_;
+  s.queued = queued_grants_;
+  s.shed_queue_full = shed_queue_full_;
+  s.shed_deadline = shed_deadline_;
+  s.in_use = in_use_;
+  s.waiting = waiting_[0] + waiting_[1];
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// ResultCache
+// ---------------------------------------------------------------------------
+
+namespace {
+
+char ValueTypeTag(const Value& v) {
+  if (v.is_null()) return 'n';
+  if (v.is_boolean()) return 'b';
+  if (v.is_integer()) return 'i';
+  if (v.is_double()) return 'd';
+  if (v.is_varchar()) return 'v';
+  return 'x';  // date / timestamp / anything else: ToString disambiguates
+}
+
+}  // namespace
+
+ResultCache::ResultCache(const WlmOptions& options, MetricsRegistry* metrics)
+    : options_(options), metrics_(metrics) {}
+
+std::string ResultCache::MakeKey(const std::string& normalized_sql,
+                                 const std::vector<Value>& params,
+                                 AccelerationMode mode) {
+  std::string key = normalized_sql;
+  key += '\x1f';
+  key += std::to_string(static_cast<int>(mode));
+  for (const Value& v : params) {
+    std::string s = v.ToString();
+    key += '\x1f';
+    key += ValueTypeTag(v);
+    // Length prefix keeps a separator byte inside a VARCHAR param from
+    // colliding with the field framing.
+    key += std::to_string(s.size());
+    key += ':';
+    key += s;
+  }
+  return key;
+}
+
+std::optional<ResultCache::Served> ResultCache::Lookup(const std::string& key) {
+  if (!options_.enabled) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    if (metrics_) metrics_->Increment(metric::kResultCacheMisses);
+    return std::nullopt;
+  }
+  ++hits_;
+  if (metrics_) metrics_->Increment(metric::kResultCacheHits);
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  Served served;
+  served.rows = it->second.rows;
+  served.routed_to = it->second.routed_to;
+  served.detail = it->second.detail;
+  return served;
+}
+
+bool ResultCache::Peek(const std::string& key) const {
+  if (!options_.enabled) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.find(key) != map_.end();
+}
+
+std::vector<uint64_t> ResultCache::SnapshotGenerations(
+    const std::vector<std::string>& tables) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> gens;
+  gens.reserve(tables.size());
+  for (const auto& t : tables) {
+    auto it = generations_.find(t);
+    gens.push_back(it == generations_.end() ? 0 : it->second);
+  }
+  gens.push_back(epoch_);
+  return gens;
+}
+
+bool ResultCache::Store(const std::string& key,
+                        const std::vector<std::string>& tables,
+                        const std::vector<uint64_t>& generations,
+                        const ResultSet& rows, Target routed_to,
+                        const std::string& detail) {
+  if (!options_.enabled) return false;
+  if (rows.NumRows() > options_.result_cache_max_rows) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  // A concurrent commit on any referenced table since the statement began
+  // would make this entry stale on arrival — drop it.
+  if (generations.size() != tables.size() + 1) return false;
+  if (generations.back() != epoch_) return false;
+  for (size_t i = 0; i < tables.size(); ++i) {
+    auto it = generations_.find(tables[i]);
+    uint64_t now_gen = it == generations_.end() ? 0 : it->second;
+    if (now_gen != generations[i]) return false;
+  }
+  if (map_.count(key)) EraseLocked(key);
+  lru_.push_front(key);
+  Entry entry;
+  entry.rows = rows;
+  entry.routed_to = routed_to;
+  entry.detail = detail;
+  entry.tables = tables;
+  entry.lru_it = lru_.begin();
+  map_[key] = std::move(entry);
+  for (const auto& t : tables) by_table_[t].push_back(key);
+  ++stores_;
+  if (metrics_) metrics_->Increment(metric::kResultCacheStores);
+  while (map_.size() > options_.result_cache_entries) {
+    EraseLocked(lru_.back());
+  }
+  return true;
+}
+
+void ResultCache::EraseLocked(const std::string& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return;
+  for (const auto& t : it->second.tables) {
+    auto bt = by_table_.find(t);
+    if (bt == by_table_.end()) continue;
+    auto& keys = bt->second;
+    keys.erase(std::remove(keys.begin(), keys.end(), key), keys.end());
+    if (keys.empty()) by_table_.erase(bt);
+  }
+  lru_.erase(it->second.lru_it);
+  map_.erase(it);
+}
+
+void ResultCache::InvalidateTables(const std::vector<std::string>& tables) {
+  if (tables.empty()) return;
+  uint64_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& t : tables) {
+      ++generations_[t];
+      auto bt = by_table_.find(t);
+      if (bt == by_table_.end()) continue;
+      // EraseLocked mutates by_table_; detach the key list first.
+      std::vector<std::string> keys = std::move(bt->second);
+      by_table_.erase(bt);
+      for (const auto& key : keys) {
+        if (map_.count(key)) {
+          EraseLocked(key);
+          ++evicted;
+        }
+      }
+    }
+    invalidated_entries_ += evicted;
+  }
+  if (metrics_ && evicted > 0) {
+    metrics_->Add(metric::kResultCacheInvalidations, evicted);
+  }
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Bump the epoch (and known table generations) so in-flight Store()
+  // calls that snapshotted before the clear cannot resurrect dropped state.
+  ++epoch_;
+  for (auto& [table, gen] : generations_) ++gen;
+  invalidated_entries_ += map_.size();
+  map_.clear();
+  lru_.clear();
+  by_table_.clear();
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.stores = stores_;
+  s.invalidated_entries = invalidated_entries_;
+  s.size = map_.size();
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// WorkloadManager
+// ---------------------------------------------------------------------------
+
+WorkloadManager::WorkloadManager(const WlmOptions& options,
+                                 MetricsRegistry* metrics,
+                                 HistogramRegistry* histograms)
+    : options_(options),
+      admission_(options, metrics, histograms),
+      result_cache_(options, metrics) {}
+
+}  // namespace idaa::federation

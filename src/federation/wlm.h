@@ -1,0 +1,227 @@
+// Workload management: admission control and a replication-aware result
+// cache for the many-session deployments the paper's IDAA installations
+// serve.
+//
+//   * AdmissionController — a fixed pool of execution slots with optional
+//     per-tenant caps, a bounded wait queue, two priority classes
+//     (interactive OLTP ahead of batch analytics) and deadline-based
+//     shedding. Shed statements fail fast with a *retryable* Status
+//     (kUnavailable on queue overflow, kTimeout on queue deadline), the same
+//     taxonomy boundary faults use, so clients re-drive them exactly like a
+//     transient accelerator outage.
+//   * ResultCache — caches SELECT result sets keyed on (normalized SQL,
+//     parameter values, acceleration mode) and invalidates them precisely by
+//     table: every commit's captured change set, every replication apply
+//     batch and every front-door DML/DDL statement evicts the written
+//     tables' entries. Per-table generation counters close the
+//     snapshot-vs-store race: a store whose tables changed since the
+//     statement began is dropped instead of inserted.
+//
+// WorkloadManager bundles both with their shared options and is owned by
+// IdaaSystem; Connection consults it around every statement.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/result.h"
+#include "common/row.h"
+#include "common/status.h"
+#include "common/trace.h"
+#include "federation/router.h"
+
+namespace idaa::federation {
+
+/// Two-class statement priority. Interactive statements (OLTP point lookups,
+/// DML) are granted slots ahead of any waiting batch statement (long
+/// analytics); within a class, FIFO wakeup order applies.
+enum class Priority : uint8_t { kInteractive = 0, kBatch = 1 };
+
+const char* PriorityToString(Priority p);
+
+struct WlmOptions {
+  /// Master switch; disabled means Admit() always grants immediately and the
+  /// result cache neither serves nor stores.
+  bool enabled = true;
+  /// Statements executing concurrently across all sessions.
+  size_t total_slots = 8;
+  /// Per-tenant concurrent-statement cap (0 = no per-tenant cap).
+  size_t per_tenant_slots = 0;
+  /// Waiting statements (both classes) before new arrivals are shed.
+  size_t max_queue_depth = 64;
+  /// Queue-wait budget when neither the statement nor the session sets
+  /// deadline_us.
+  uint64_t default_queue_deadline_us = 2'000'000;
+  /// Result-cache entry count cap (LRU beyond it).
+  size_t result_cache_entries = 256;
+  /// Results with more rows than this are not cached.
+  size_t result_cache_max_rows = 4096;
+};
+
+/// Grants concurrency slots. Thread-safe; waiters block on a condition
+/// variable and are shed on queue overflow or deadline expiry.
+class AdmissionController {
+ public:
+  AdmissionController(const WlmOptions& options, MetricsRegistry* metrics,
+                      HistogramRegistry* histograms);
+  ~AdmissionController();
+
+  /// A granted slot. Release() (or destruction of the owning Ticket) must be
+  /// called exactly once per successful Admit.
+  struct Ticket {
+    uint64_t slot = 0;        ///< monotonically increasing grant id
+    uint64_t queued_us = 0;   ///< wall time spent waiting for the grant
+    std::string tenant;
+    Priority priority = Priority::kInteractive;
+  };
+
+  /// Blocks until a slot is granted or the statement is shed.
+  /// `deadline_us` bounds the queue wait (0 = options default). Shedding
+  /// returns kUnavailable (queue full — never waited) or kTimeout (deadline
+  /// expired while queued); both are Status::retryable().
+  Result<Ticket> Admit(const std::string& tenant, Priority priority,
+                       uint64_t deadline_us);
+
+  /// Return the slot. Safe to call from any thread.
+  void Release(const Ticket& ticket);
+
+  struct Stats {
+    uint64_t admitted = 0;
+    uint64_t queued = 0;        ///< grants that had to wait
+    uint64_t shed_queue_full = 0;
+    uint64_t shed_deadline = 0;
+    size_t in_use = 0;
+    size_t waiting = 0;
+  };
+  Stats stats() const;
+
+ private:
+  bool CanGrantLocked(const std::string& tenant, Priority priority) const;
+
+  const WlmOptions options_;
+  MetricsRegistry* metrics_;
+  HistogramRegistry* histograms_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t in_use_ = 0;
+  std::unordered_map<std::string, size_t> tenant_in_use_;
+  size_t waiting_[2] = {0, 0};  ///< per Priority class
+  uint64_t next_slot_ = 1;
+  uint64_t admitted_ = 0;
+  uint64_t queued_grants_ = 0;
+  uint64_t shed_queue_full_ = 0;
+  uint64_t shed_deadline_ = 0;
+};
+
+/// SELECT result cache with per-table precise invalidation.
+class ResultCache {
+ public:
+  ResultCache(const WlmOptions& options, MetricsRegistry* metrics);
+
+  /// Cache key for a statement: normalized SQL key + parameter fingerprint +
+  /// acceleration mode (mode changes routing, errors and therefore results).
+  static std::string MakeKey(const std::string& normalized_sql,
+                             const std::vector<Value>& params,
+                             AccelerationMode mode);
+
+  struct Served {
+    ResultSet rows;
+    Target routed_to = Target::kDb2;
+    std::string detail;
+  };
+
+  /// Returns a copy of the entry for `key`, or nullopt.
+  std::optional<Served> Lookup(const std::string& key);
+
+  /// True when an entry for `key` exists. Unlike Lookup this neither counts
+  /// a hit/miss nor touches LRU order — diagnostics only (EXPLAIN ANALYZE
+  /// reports what a bare execution of the statement would see).
+  bool Peek(const std::string& key) const;
+
+  /// Snapshot of the generation counters for `tables` (normalized names),
+  /// taken *before* the statement executes. The returned vector carries one
+  /// extra trailing element (a global epoch bumped by Clear()).
+  std::vector<uint64_t> SnapshotGenerations(
+      const std::vector<std::string>& tables);
+
+  /// Insert the result unless any of `tables` changed since `generations`
+  /// was snapshotted (the entry would be stale on arrival) or the result is
+  /// larger than the configured row cap. Returns true when stored.
+  bool Store(const std::string& key, const std::vector<std::string>& tables,
+             const std::vector<uint64_t>& generations, const ResultSet& rows,
+             Target routed_to, const std::string& detail);
+
+  /// Evict every entry referencing any of `tables` (normalized names) and
+  /// bump their generations. The replication apply path, the commit
+  /// listener and the DML statement path all funnel here.
+  void InvalidateTables(const std::vector<std::string>& tables);
+
+  /// Drop everything (DDL on unknown scope, CALL procedures, tests).
+  void Clear();
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t stores = 0;
+    uint64_t invalidated_entries = 0;
+    size_t size = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    ResultSet rows;
+    Target routed_to = Target::kDb2;
+    std::string detail;
+    std::vector<std::string> tables;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  void EraseLocked(const std::string& key);
+
+  const WlmOptions options_;
+  MetricsRegistry* metrics_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> map_;
+  std::list<std::string> lru_;  ///< front = most recently used
+  /// table -> keys of entries referencing it.
+  std::unordered_map<std::string, std::vector<std::string>> by_table_;
+  /// table -> generation, bumped on every invalidation.
+  std::unordered_map<std::string, uint64_t> generations_;
+  /// Bumped by Clear() so in-flight stores that began before a full clear
+  /// are dropped even for tables with no per-table generation yet.
+  uint64_t epoch_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t stores_ = 0;
+  uint64_t invalidated_entries_ = 0;
+};
+
+/// Owner facade: one per IdaaSystem.
+class WorkloadManager {
+ public:
+  WorkloadManager(const WlmOptions& options, MetricsRegistry* metrics,
+                  HistogramRegistry* histograms);
+
+  bool enabled() const { return options_.enabled; }
+  const WlmOptions& options() const { return options_; }
+  AdmissionController& admission() { return admission_; }
+  ResultCache& result_cache() { return result_cache_; }
+
+ private:
+  const WlmOptions options_;
+  AdmissionController admission_;
+  ResultCache result_cache_;
+};
+
+}  // namespace idaa::federation

@@ -1,12 +1,15 @@
 #include "idaa/system.h"
 
+#include <algorithm>
+
 #include "common/string_util.h"
 #include "sql/parser.h"
 
 namespace idaa {
 
 IdaaSystem::IdaaSystem(const SystemOptions& options)
-    : options_(options), fault_injector_(options.fault_seed) {
+    : options_(options), fault_injector_(options.fault_seed),
+      plan_cache_(options.plan_cache_capacity) {
   db2_ = std::make_unique<db2::Db2Engine>(&catalog_, &tm_, &metrics_);
   size_t num_accelerators = std::max<size_t>(1, options_.num_accelerators);
   std::vector<accel::Accelerator*> accel_ptrs;
@@ -117,6 +120,28 @@ IdaaSystem::IdaaSystem(const SystemOptions& options)
         return result;
       });
 
+  wlm_ = std::make_unique<federation::WorkloadManager>(options_.wlm, &metrics_,
+                                                       &histograms_);
+  // Result-cache invalidation rides the same change streams replication
+  // uses: (a) every committed transaction with captured changes (covers
+  // component-API writes that bypass the Connection front door), (b) every
+  // replication batch applied to a replica (covers the accelerator-visible
+  // side of ENABLE-mode routing).
+  tm_.AddCommitListener([this](const Transaction& txn) {
+    if (txn.captured_changes().empty()) return;
+    std::vector<std::string> tables;
+    for (const auto& change : txn.captured_changes()) {
+      if (std::find(tables.begin(), tables.end(), change.table_name) ==
+          tables.end()) {
+        tables.push_back(change.table_name);
+      }
+    }
+    wlm_->result_cache().InvalidateTables(tables);
+  });
+  replication_->set_invalidation_listener(
+      [this](const std::vector<std::string>& tables) {
+        wlm_->result_cache().InvalidateTables(tables);
+      });
   default_connection_ = NewConnection();
 }
 

@@ -25,9 +25,11 @@
 #include "federation/federation.h"
 #include "governance/audit_log.h"
 #include "governance/authorization.h"
+#include "federation/wlm.h"
 #include "idaa/connection.h"
 #include "loader/loader.h"
 #include "replication/replication_service.h"
+#include "sql/plan_cache.h"
 #include "txn/transaction_manager.h"
 
 namespace idaa {
@@ -44,6 +46,10 @@ struct SystemOptions {
   /// Seed for the deterministic fault injector (disarmed by default; tests
   /// and benchmarks arm sites through fault_injector()).
   uint64_t fault_seed = 42;
+  /// Workload management: admission slots, queue depth, result cache sizing.
+  federation::WlmOptions wlm;
+  /// Plan-cache capacity (entries; normalized statement templates).
+  size_t plan_cache_capacity = 512;
 };
 
 /// One embedded IDAA deployment: DB2 + accelerator + glue.
@@ -79,6 +85,12 @@ class IdaaSystem {
   Result<federation::StatementResult> Execute(
       const std::string& sql, const federation::ExecOptions& opts = {}) {
     return default_connection_->Execute(sql, opts);
+  }
+
+  /// Prepare a statement on the default connection (parse + plan-cache once;
+  /// Bind/Execute many times — see PreparedStatement).
+  Result<PreparedStatement> Prepare(const std::string& sql) {
+    return default_connection_->Prepare(sql);
   }
 
   /// Convenience: execute and return the result set (for SELECT/CALL).
@@ -141,6 +153,10 @@ class IdaaSystem {
   /// accelerator entry point (disarmed unless a site is armed).
   FaultInjector& fault_injector() { return fault_injector_; }
   analytics::OperatorRegistry& analytics_registry() { return *registry_; }
+  /// Normalized-SQL statement cache shared by every connection.
+  sql::PlanCache& plan_cache() { return plan_cache_; }
+  /// Workload manager: admission control + replication-aware result cache.
+  federation::WorkloadManager& wlm() { return *wlm_; }
 
   /// SQL executor adapter for analytics::Pipeline (default connection).
   analytics::SqlExecutor MakeSqlExecutor() {
@@ -164,6 +180,8 @@ class IdaaSystem {
   std::unique_ptr<federation::FederationEngine> federation_;
   std::unique_ptr<loader::IdaaLoader> loader_;
   std::unique_ptr<analytics::OperatorRegistry> registry_;
+  sql::PlanCache plan_cache_;
+  std::unique_ptr<federation::WorkloadManager> wlm_;
   std::unique_ptr<Connection> default_connection_;
 };
 

@@ -55,6 +55,16 @@ Result<ApplyStats> ReplicationService::Flush() {
       capture_.Requeue(std::move(batch));
       return applied.status();
     }
+    if (invalidation_listener_) {
+      std::vector<std::string> tables;
+      for (const auto& cc : batch) {
+        if (std::find(tables.begin(), tables.end(), cc.change.table_name) ==
+            tables.end()) {
+          tables.push_back(cc.change.table_name);
+        }
+      }
+      invalidation_listener_(tables);
+    }
     const ApplyStats& stats = *applied;
     total.changes_applied += stats.changes_applied;
     total.inserts += stats.inserts;

@@ -5,7 +5,10 @@
 
 #pragma once
 
+#include <functional>
 #include <mutex>
+#include <string>
+#include <vector>
 
 #include "replication/apply_worker.h"
 #include "replication/change_capture.h"
@@ -46,11 +49,22 @@ class ReplicationService {
   Csn HighestCapturedCsn() const { return capture_.HighestCapturedCsn(); }
   Csn HighestAppliedCsn() const;
 
+  /// Fan-out hook: called after each successfully applied batch with the
+  /// distinct (normalized) table names it touched. The workload manager's
+  /// result cache registers here so replica-visible changes evict exactly
+  /// the affected tables' cached results.
+  using InvalidationListener =
+      std::function<void(const std::vector<std::string>& tables)>;
+  void set_invalidation_listener(InvalidationListener listener) {
+    invalidation_listener_ = std::move(listener);
+  }
+
  private:
   ChangeCapture capture_;
   ApplyWorker worker_;
   TransactionManager* tm_;
   size_t batch_size_ = 256;
+  InvalidationListener invalidation_listener_;
   mutable std::mutex mu_;
   Csn highest_applied_ = 0;
   bool flushing_ = false;

@@ -101,6 +101,8 @@ std::string Expr::ToSql() const {
     case ExprKind::kCast:
       return "CAST(" + children[0]->ToSql() + " AS " +
              DataTypeToString(cast_type) + ")";
+    case ExprKind::kParam:
+      return "?";
   }
   return "?";
 }
@@ -118,6 +120,7 @@ ExprPtr Expr::Clone() const {
   copy->has_else = has_else;
   copy->negated = negated;
   copy->cast_type = cast_type;
+  copy->param_index = param_index;
   copy->children.reserve(children.size());
   for (const auto& child : children) copy->children.push_back(child->Clone());
   return copy;
@@ -176,6 +179,13 @@ ExprPtr MakeCast(ExprPtr operand, DataType type) {
   e->kind = ExprKind::kCast;
   e->cast_type = type;
   e->children.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr MakeParam(size_t index) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kParam;
+  e->param_index = index;
   return e;
 }
 

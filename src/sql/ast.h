@@ -41,6 +41,7 @@ enum class ExprKind : uint8_t {
   kIsNull,
   kLike,
   kCast,
+  kParam,       ///< ? parameter marker; must be substituted before binding
 };
 
 /// Single variant-style AST node; `kind` selects which members are valid.
@@ -73,6 +74,10 @@ struct Expr {
   // kCast
   DataType cast_type = DataType::kInteger;
 
+  // kParam: 0-based position among the statement's parameter markers,
+  // in source-text order.
+  size_t param_index = 0;
+
   /// Operands; meaning depends on kind:
   ///  kUnary: [operand]; kBinary: [lhs, rhs]; kFunctionCall: args;
   ///  kInList: [probe, item...]; kBetween: [probe, lo, hi];
@@ -94,6 +99,7 @@ ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
 ExprPtr MakeFunctionCall(std::string name, std::vector<ExprPtr> args,
                          bool distinct = false);
 ExprPtr MakeCast(ExprPtr operand, DataType type);
+ExprPtr MakeParam(size_t index);
 
 /// True for COUNT/SUM/AVG/MIN/MAX/STDDEV/VARIANCE by (upper-case) name.
 bool IsAggregateFunction(const std::string& upper_name);

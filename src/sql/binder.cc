@@ -314,6 +314,10 @@ Result<BoundExprPtr> BindExprScoped(const Expr& expr, const Scope& scope) {
       out->children.push_back(std::move(child));
       return out;
     }
+    case ExprKind::kParam:
+      return Status::SemanticError(
+          "unbound parameter marker '?'; bind values via "
+          "Connection::Prepare/Bind before executing");
   }
   return Status::Internal("unhandled expression kind in binder");
 }

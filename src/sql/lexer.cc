@@ -145,6 +145,7 @@ Result<std::vector<Token>> Tokenize(const std::string& sql) {
       case '%': push(TokenType::kPercent, "%", start); ++i; break;
       case '.': push(TokenType::kDot, ".", start); ++i; break;
       case ';': push(TokenType::kSemicolon, ";", start); ++i; break;
+      case '?': push(TokenType::kParam, "?", start); ++i; break;
       case '=': push(TokenType::kEq, "=", start); ++i; break;
       case '!':
         if (i + 1 < n && sql[i + 1] == '=') {

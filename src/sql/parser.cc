@@ -582,6 +582,9 @@ class Parser {
         return MakeLiteral(Value::Double(Advance().double_value));
       case TokenType::kStringLit:
         return MakeLiteral(Value::Varchar(Advance().text));
+      case TokenType::kParam:
+        Advance();
+        return MakeParam(next_param_index_++);
       case TokenType::kStar:
         Advance();
         return MakeStar();
@@ -689,6 +692,8 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  /// Running count of `?` markers, assigned in source order.
+  size_t next_param_index_ = 0;
 };
 
 }  // namespace

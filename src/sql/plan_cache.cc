@@ -1,0 +1,363 @@
+#include "sql/plan_cache.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/string_util.h"
+#include "sql/lexer.h"
+
+namespace idaa::sql {
+namespace {
+
+std::string QuoteIdent(const std::string& name) {
+  // Always re-render identifiers quoted so `FROM t x` and `FROM "t x"`
+  // cannot collide on the same key.
+  return "\"" + name + "\"";
+}
+
+std::string QuoteString(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') out += "''";
+    else out += c;
+  }
+  out += "'";
+  return out;
+}
+
+/// True when the literal at `i` sits in a structural position the parser
+/// consumes directly (not through ParsePrimary), so it must stay inline:
+///   LIMIT <int>, DATE '<str>', TIMESTAMP <int>, <type> ( <int> ).
+bool IsStructuralLiteral(const std::vector<Token>& toks, size_t i) {
+  if (i == 0) return false;
+  const Token& prev = toks[i - 1];
+  const Token& tok = toks[i];
+  if (prev.type == TokenType::kKeyword) {
+    if (prev.text == "LIMIT" && tok.type == TokenType::kIntegerLit) return true;
+    if (prev.text == "DATE" && tok.type == TokenType::kStringLit) return true;
+    if (prev.text == "TIMESTAMP" && tok.type == TokenType::kIntegerLit) {
+      return true;
+    }
+  }
+  // Type length: CAST(x AS VARCHAR(10)) — VARCHAR lexes as an identifier.
+  if (prev.type == TokenType::kLParen && i >= 2 &&
+      tok.type == TokenType::kIntegerLit) {
+    const Token& before = toks[i - 2];
+    if (before.type == TokenType::kIdentifier ||
+        before.type == TokenType::kKeyword) {
+      if (DataTypeFromString(ToUpper(before.text)).ok()) return true;
+    }
+  }
+  return false;
+}
+
+std::string RenderInline(const Token& tok) {
+  switch (tok.type) {
+    case TokenType::kIntegerLit:
+    case TokenType::kDoubleLit:
+      // Raw spelling: keeps 1.50 and 1.5 distinct rather than guessing at
+      // a canonical float rendering.
+      return tok.text;
+    case TokenType::kStringLit:
+      return QuoteString(tok.text);
+    default:
+      return tok.text;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AST walking
+// ---------------------------------------------------------------------------
+
+/// Pre-order visit of every expression node under `root`, children in source
+/// order. `fn` may replace the node it is handed.
+void WalkExpr(ExprPtr& root, const std::function<void(ExprPtr&)>& fn) {
+  if (!root) return;
+  fn(root);
+  for (ExprPtr& child : root->children) WalkExpr(child, fn);
+}
+
+/// Visits every root expression slot of a DML statement in clause order —
+/// the same order the clauses appear in the statement text, which is what
+/// makes AST parameter order line up with token order.
+void WalkStatementExprs(Statement& stmt,
+                        const std::function<void(ExprPtr&)>& fn) {
+  switch (stmt.kind()) {
+    case StatementKind::kSelect: {
+      auto& s = static_cast<SelectStatement&>(stmt);
+      for (auto& item : s.items) WalkExpr(item.expr, fn);
+      for (auto& join : s.joins) WalkExpr(join.on, fn);
+      WalkExpr(s.where, fn);
+      for (auto& g : s.group_by) WalkExpr(g, fn);
+      WalkExpr(s.having, fn);
+      for (auto& o : s.order_by) WalkExpr(o.expr, fn);
+      return;
+    }
+    case StatementKind::kInsert: {
+      auto& s = static_cast<InsertStatement&>(stmt);
+      for (auto& row : s.values_rows) {
+        for (auto& e : row) WalkExpr(e, fn);
+      }
+      if (s.select) WalkStatementExprs(*s.select, fn);
+      return;
+    }
+    case StatementKind::kUpdate: {
+      auto& s = static_cast<UpdateStatement&>(stmt);
+      for (auto& [col, e] : s.assignments) WalkExpr(e, fn);
+      WalkExpr(s.where, fn);
+      return;
+    }
+    case StatementKind::kDelete: {
+      auto& s = static_cast<DeleteStatement&>(stmt);
+      WalkExpr(s.where, fn);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+bool IsParameterizableLiteral(const Expr& e) {
+  if (e.kind != ExprKind::kLiteral) return false;
+  // NULL / booleans lex as keywords; DATE / TIMESTAMP literals stay inline
+  // in the normalized key, so the AST side must skip them symmetrically.
+  return e.literal.is_integer() || e.literal.is_double() ||
+         e.literal.is_varchar();
+}
+
+std::unique_ptr<SelectStatement> CloneSelect(const SelectStatement& s) {
+  auto out = std::make_unique<SelectStatement>();
+  out->distinct = s.distinct;
+  for (const auto& item : s.items) {
+    SelectItem copy;
+    copy.expr = item.expr ? item.expr->Clone() : nullptr;
+    copy.alias = item.alias;
+    out->items.push_back(std::move(copy));
+  }
+  out->from = s.from;
+  for (const auto& join : s.joins) {
+    JoinClause jc;
+    jc.type = join.type;
+    jc.table = join.table;
+    jc.on = join.on ? join.on->Clone() : nullptr;
+    out->joins.push_back(std::move(jc));
+  }
+  out->where = s.where ? s.where->Clone() : nullptr;
+  for (const auto& g : s.group_by) {
+    out->group_by.push_back(g ? g->Clone() : nullptr);
+  }
+  out->having = s.having ? s.having->Clone() : nullptr;
+  for (const auto& o : s.order_by) {
+    OrderByItem copy;
+    copy.expr = o.expr ? o.expr->Clone() : nullptr;
+    copy.ascending = o.ascending;
+    out->order_by.push_back(std::move(copy));
+  }
+  out->limit = s.limit;
+  return out;
+}
+
+}  // namespace
+
+Result<NormalizedStatement> NormalizeForCache(const std::string& sql,
+                                              bool parameterize_literals) {
+  IDAA_ASSIGN_OR_RETURN(std::vector<Token> toks, Tokenize(sql));
+  NormalizedStatement out;
+  if (toks.empty() || toks[0].type != TokenType::kKeyword) return out;
+  const std::string& head = toks[0].text;
+  if (head != "SELECT" && head != "INSERT" && head != "UPDATE" &&
+      head != "DELETE") {
+    return out;
+  }
+  out.cacheable = true;
+  std::string key;
+  key.reserve(sql.size() + 16);
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& tok = toks[i];
+    if (tok.type == TokenType::kEof) break;
+    if (tok.type == TokenType::kSemicolon) continue;
+    if (!key.empty()) key += ' ';
+    switch (tok.type) {
+      case TokenType::kIdentifier:
+        key += QuoteIdent(tok.text);
+        break;
+      case TokenType::kParam:
+        out.has_explicit_params = true;
+        key += '?';
+        break;
+      case TokenType::kIntegerLit:
+      case TokenType::kDoubleLit:
+      case TokenType::kStringLit:
+        if (parameterize_literals && !IsStructuralLiteral(toks, i)) {
+          key += '?';
+          if (tok.type == TokenType::kIntegerLit) {
+            out.params.push_back(Value::Integer(tok.int_value));
+          } else if (tok.type == TokenType::kDoubleLit) {
+            out.params.push_back(Value::Double(tok.double_value));
+          } else {
+            out.params.push_back(Value::Varchar(tok.text));
+          }
+        } else {
+          key += RenderInline(tok);
+        }
+        break;
+      default:
+        key += tok.text;
+        break;
+    }
+  }
+  out.key = std::move(key);
+  return out;
+}
+
+size_t ParameterizeStatement(Statement& stmt, std::vector<Value>* values) {
+  size_t next = 0;
+  WalkStatementExprs(stmt, [&](ExprPtr& e) {
+    if (e->kind == ExprKind::kParam) {
+      e->param_index = next++;
+    } else if (IsParameterizableLiteral(*e)) {
+      if (values) values->push_back(e->literal);
+      e = MakeParam(next++);
+    }
+  });
+  return next;
+}
+
+Status SubstituteParams(Statement& stmt, const std::vector<Value>& params) {
+  // Validate first so a mismatch leaves the statement untouched.
+  size_t markers = 0;
+  size_t max_index = 0;
+  WalkStatementExprs(stmt, [&](ExprPtr& e) {
+    if (e->kind != ExprKind::kParam) return;
+    ++markers;
+    max_index = std::max(max_index, e->param_index);
+  });
+  if (markers != params.size()) {
+    return Status::InvalidArgument(
+        "statement has " + std::to_string(markers) +
+        " parameter markers but " + std::to_string(params.size()) +
+        " values were bound");
+  }
+  if (markers > 0 && max_index >= params.size()) {
+    return Status::InvalidArgument(
+        "parameter marker " + std::to_string(max_index + 1) +
+        " has no bound value (" + std::to_string(params.size()) + " bound)");
+  }
+  WalkStatementExprs(stmt, [&](ExprPtr& e) {
+    if (e->kind != ExprKind::kParam) return;
+    e = MakeLiteral(params[e->param_index]);
+  });
+  return Status::OK();
+}
+
+size_t CountParams(const Statement& stmt) {
+  size_t n = 0;
+  WalkStatementExprs(const_cast<Statement&>(stmt), [&](ExprPtr& e) {
+    if (e->kind == ExprKind::kParam) ++n;
+  });
+  return n;
+}
+
+StatementPtr CloneStatement(const Statement& stmt) {
+  switch (stmt.kind()) {
+    case StatementKind::kSelect:
+      return CloneSelect(static_cast<const SelectStatement&>(stmt));
+    case StatementKind::kInsert: {
+      const auto& s = static_cast<const InsertStatement&>(stmt);
+      auto out = std::make_unique<InsertStatement>();
+      out->table_name = s.table_name;
+      out->columns = s.columns;
+      for (const auto& row : s.values_rows) {
+        std::vector<ExprPtr> copy;
+        copy.reserve(row.size());
+        for (const auto& e : row) copy.push_back(e ? e->Clone() : nullptr);
+        out->values_rows.push_back(std::move(copy));
+      }
+      if (s.select) out->select = CloneSelect(*s.select);
+      return out;
+    }
+    case StatementKind::kUpdate: {
+      const auto& s = static_cast<const UpdateStatement&>(stmt);
+      auto out = std::make_unique<UpdateStatement>();
+      out->table_name = s.table_name;
+      for (const auto& [col, e] : s.assignments) {
+        out->assignments.emplace_back(col, e ? e->Clone() : nullptr);
+      }
+      out->where = s.where ? s.where->Clone() : nullptr;
+      return out;
+    }
+    case StatementKind::kDelete: {
+      const auto& s = static_cast<const DeleteStatement&>(stmt);
+      auto out = std::make_unique<DeleteStatement>();
+      out->table_name = s.table_name;
+      out->where = s.where ? s.where->Clone() : nullptr;
+      return out;
+    }
+    default:
+      return nullptr;
+  }
+}
+
+Result<StatementPtr> CachedPlan::Instantiate(
+    const std::vector<Value>& params) const {
+  if (!template_stmt) return Status::Internal("cached plan has no template");
+  StatementPtr copy = CloneStatement(*template_stmt);
+  if (!copy) return Status::Internal("cached plan kind is not cloneable");
+  IDAA_RETURN_IF_ERROR(SubstituteParams(*copy, params));
+  return copy;
+}
+
+// ---------------------------------------------------------------------------
+// PlanCache
+// ---------------------------------------------------------------------------
+
+PlanCache::PlanCache(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::shared_ptr<const CachedPlan> PlanCache::Get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return it->second.plan;
+}
+
+void PlanCache::Put(std::shared_ptr<const CachedPlan> plan) {
+  if (!plan || plan->key.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(plan->key);
+  if (it != map_.end()) {
+    it->second.plan = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;
+  }
+  lru_.push_front(plan->key);
+  const std::string& key = lru_.front();
+  map_[key] = Entry{std::move(plan), lru_.begin()};
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  lru_.clear();
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PlanCacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.size = map_.size();
+  return s;
+}
+
+}  // namespace idaa::sql

@@ -1,0 +1,127 @@
+// Plan cache: normalized-SQL keyed LRU of parsed statement templates.
+//
+// Two cooperating halves keep cache hits provably equivalent to a fresh parse:
+//
+//  1. A token-level normalizer (NormalizeForCache) runs on every statement.
+//     It renders the token stream into a canonical key, turning integer /
+//     double / string literals in expression position into `?` placeholders
+//     and collecting their values in token order. Literals whose position is
+//     structural rather than data (LIMIT counts, CAST type lengths, DATE /
+//     TIMESTAMP literal bodies) stay inline in the key, because the parser
+//     folds or consumes them in ways a parameter marker cannot express.
+//  2. On a cache miss the statement is parsed once and the AST is
+//     parameterized (ParameterizeStatement): literal nodes are replaced by
+//     kParam markers in clause order, collecting values. The miss path
+//     cross-validates the AST-collected values against the token-collected
+//     ones; any disagreement marks the statement non-cacheable and execution
+//     falls back to the freshly parsed tree. Statements that share a key
+//     therefore share a token structure, hence an AST shape, hence identical
+//     parameter positions — substituting a hit's token-extracted values into
+//     the template reproduces exactly what parsing the hit's text would have.
+//
+// Prepared statements reuse the same machinery with parameterize_literals =
+// false: only explicit `?` markers become parameters and literals render
+// inline, so a prepared statement's key is stable across Bind calls.
+
+#pragma once
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "sql/ast.h"
+
+namespace idaa::sql {
+
+/// Output of token-level normalization.
+struct NormalizedStatement {
+  /// True only for SELECT/INSERT/UPDATE/DELETE (the kinds with a clone path).
+  bool cacheable = false;
+  /// Statement text contained explicit `?` markers (prepared-only traffic).
+  bool has_explicit_params = false;
+  /// Canonical key: token stream re-rendered with quoted identifiers and
+  /// parameterized literals. Empty when !cacheable.
+  std::string key;
+  /// Extracted literal / marker values in token order. Explicit `?` markers
+  /// contribute no value here (they are bound later).
+  std::vector<Value> params;
+};
+
+/// Tokenizes `sql` and renders the canonical cache key. Never parses.
+/// `parameterize_literals` selects ad-hoc mode (true: literals become params)
+/// vs prepared mode (false: literals inline, only `?` markers count).
+Result<NormalizedStatement> NormalizeForCache(const std::string& sql,
+                                              bool parameterize_literals);
+
+/// Replaces parameterizable literal nodes (non-null integer/double/varchar)
+/// with kParam markers in clause order, appending their values to `values`.
+/// Returns the number of parameters the statement now carries (pre-existing
+/// kParam nodes are re-indexed into the same ordering).
+size_t ParameterizeStatement(Statement& stmt, std::vector<Value>* values);
+
+/// Replaces every kParam node with the literal at its index. Fails if any
+/// index is out of range or the marker count differs from params.size().
+Status SubstituteParams(Statement& stmt, const std::vector<Value>& params);
+
+/// Number of kParam markers in the statement.
+size_t CountParams(const Statement& stmt);
+
+/// Deep copy. Supports kSelect/kInsert/kUpdate/kDelete; null otherwise.
+StatementPtr CloneStatement(const Statement& stmt);
+
+/// An immutable parsed template shared across sessions. Thread-safe to read
+/// concurrently (Instantiate only clones).
+struct CachedPlan {
+  std::string key;
+  StatementPtr template_stmt;  ///< may contain kParam markers
+  size_t num_params = 0;
+  StatementKind stmt_kind = StatementKind::kSelect;
+  std::vector<std::string> tables;  ///< normalized referenced table names
+
+  /// Clone the template and substitute `params`.
+  Result<StatementPtr> Instantiate(const std::vector<Value>& params) const;
+};
+
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  size_t size = 0;
+};
+
+/// Thread-safe LRU cache of CachedPlan templates keyed on normalized SQL.
+class PlanCache {
+ public:
+  explicit PlanCache(size_t capacity = 512);
+
+  /// Returns the plan for `key` (touching LRU order) or nullptr.
+  std::shared_ptr<const CachedPlan> Get(const std::string& key);
+
+  /// Inserts (or replaces) the plan under plan->key, evicting LRU overflow.
+  void Put(std::shared_ptr<const CachedPlan> plan);
+
+  void Clear();
+  PlanCacheStats stats() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const CachedPlan> plan;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::list<std::string> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, Entry> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace idaa::sql

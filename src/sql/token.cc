@@ -33,6 +33,7 @@ const char* TokenTypeToString(TokenType type) {
     case TokenType::kDot: return ".";
     case TokenType::kSemicolon: return ";";
     case TokenType::kConcat: return "||";
+    case TokenType::kParam: return "?";
   }
   return "?";
 }

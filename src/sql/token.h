@@ -32,6 +32,7 @@ enum class TokenType : uint8_t {
   kDot,
   kSemicolon,
   kConcat,   ///< ||
+  kParam,    ///< ? parameter marker (prepared statements)
 };
 
 /// One lexed token with its source position (for error messages).

@@ -44,7 +44,7 @@ SystemOptions AnalyticsOptions(size_t threads) {
 /// classifiers, and NULLs sprinkled into x.
 void SeedFeatures(IdaaSystem& system, size_t rows) {
   ASSERT_TRUE(system
-                  .ExecuteSql("CREATE TABLE feats (id INT NOT NULL, x DOUBLE, "
+                  .Execute("CREATE TABLE feats (id INT NOT NULL, x DOUBLE, "
                               "y DOUBLE, z DOUBLE, cat VARCHAR, "
                               "label VARCHAR)")
                   .ok());
@@ -72,7 +72,7 @@ void SeedFeatures(IdaaSystem& system, size_t rows) {
   options.batch_size = 4096;
   auto report = system.loader().Load("feats", &source, options);
   ASSERT_TRUE(report.ok()) << report.status().ToString();
-  ASSERT_TRUE(system.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('feats')").ok());
+  ASSERT_TRUE(system.Execute("CALL SYSPROC.ACCEL_ADD_TABLES('feats')").ok());
 }
 
 /// Market-basket table for APRIORI: three items per transaction drawn from
@@ -80,7 +80,7 @@ void SeedFeatures(IdaaSystem& system, size_t rows) {
 void SeedBasket(IdaaSystem& system, size_t tids) {
   ASSERT_TRUE(
       system
-          .ExecuteSql("CREATE TABLE basket (tid INT NOT NULL, item VARCHAR)")
+          .Execute("CREATE TABLE basket (tid INT NOT NULL, item VARCHAR)")
           .ok());
   Schema schema({{"TID", DataType::kInteger, false},
                  {"ITEM", DataType::kVarchar, true}});
@@ -96,7 +96,7 @@ void SeedBasket(IdaaSystem& system, size_t tids) {
   auto report = system.loader().Load("basket", &source);
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   ASSERT_TRUE(
-      system.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('basket')").ok());
+      system.Execute("CALL SYSPROC.ACCEL_ADD_TABLES('basket')").ok());
 }
 
 std::string CanonicalValue(const Value& v) {
@@ -407,7 +407,7 @@ TEST(AnalyticsPinTest, OpenInputBlocksGroomUntilReleased) {
   IdaaSystem system(AnalyticsOptions(4));
   SeedFeatures(system, 1200);
   // Make reclaimable garbage: committed deletes older than any snapshot.
-  ASSERT_TRUE(system.ExecuteSql("DELETE FROM feats WHERE id % 3 = 0").ok());
+  ASSERT_TRUE(system.Execute("DELETE FROM feats WHERE id % 3 = 0").ok());
   ASSERT_TRUE(system.replication().Flush().ok());
 
   ASSERT_TRUE(system.Begin().ok());
@@ -452,7 +452,7 @@ TEST(AnalyticsPinTest, GroomRacesLongKMeansCall) {
   // every repetition (the input can never shrink mid-extraction).
   IdaaSystem system(AnalyticsOptions(4));
   SeedFeatures(system, kRows);
-  ASSERT_TRUE(system.ExecuteSql("DELETE FROM feats WHERE id % 5 = 0").ok());
+  ASSERT_TRUE(system.Execute("DELETE FROM feats WHERE id % 5 = 0").ok());
   ASSERT_TRUE(system.replication().Flush().ok());
   auto live = system.Query("SELECT COUNT(*) FROM feats WHERE x IS NOT NULL");
   ASSERT_TRUE(live.ok());

@@ -171,7 +171,7 @@ class OperatorTest : public ::testing::Test {
  protected:
   void SetUp() override {
     ASSERT_TRUE(system_
-                    .ExecuteSql("CREATE TABLE data (x DOUBLE, y DOUBLE, "
+                    .Execute("CREATE TABLE data (x DOUBLE, y DOUBLE, "
                                 "cat VARCHAR, label VARCHAR) IN ACCELERATOR")
                     .ok());
     Rng rng(5);
@@ -183,7 +183,7 @@ class OperatorTest : public ::testing::Test {
       std::string label = big ? "big" : "small";
       std::string x_text = i % 15 == 14 ? "NULL" : StrFormat("%.4f", x);
       ASSERT_TRUE(system_
-                      .ExecuteSql(StrFormat(
+                      .Execute(StrFormat(
                           "INSERT INTO data VALUES (%s, %.4f, '%s', '%s')",
                           x_text.c_str(), y, cat.c_str(), label.c_str()))
                       .ok());
@@ -194,7 +194,7 @@ class OperatorTest : public ::testing::Test {
 };
 
 TEST_F(OperatorTest, NormalizeZscore) {
-  auto r = system_.ExecuteSql(
+  auto r = system_.Execute(
       "CALL IDAA.NORMALIZE('input=data', 'output=norm', 'columns=x,y')");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   auto rs = system_.Query("SELECT AVG(x), STDDEV(x) FROM norm");
@@ -205,7 +205,7 @@ TEST_F(OperatorTest, NormalizeZscore) {
 
 TEST_F(OperatorTest, NormalizeMinMaxBounds) {
   ASSERT_TRUE(system_
-                  .ExecuteSql("CALL IDAA.NORMALIZE('input=data', "
+                  .Execute("CALL IDAA.NORMALIZE('input=data', "
                               "'output=norm', 'columns=y', 'method=minmax')")
                   .ok());
   auto rs = system_.Query("SELECT MIN(y), MAX(y) FROM norm");
@@ -215,13 +215,13 @@ TEST_F(OperatorTest, NormalizeMinMaxBounds) {
 
 TEST_F(OperatorTest, NormalizeNonNumericFails) {
   EXPECT_FALSE(system_
-                   .ExecuteSql("CALL IDAA.NORMALIZE('input=data', "
+                   .Execute("CALL IDAA.NORMALIZE('input=data', "
                                "'output=norm', 'columns=cat')")
                    .ok());
 }
 
 TEST_F(OperatorTest, DiscretizeBins) {
-  auto r = system_.ExecuteSql(
+  auto r = system_.Execute(
       "CALL IDAA.DISCRETIZE('input=data', 'output=binned', 'column=y', "
       "'bins=4')");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
@@ -233,7 +233,7 @@ TEST_F(OperatorTest, DiscretizeBins) {
 }
 
 TEST_F(OperatorTest, ImputeFillsNulls) {
-  auto r = system_.ExecuteSql(
+  auto r = system_.Execute(
       "CALL IDAA.IMPUTE('input=data', 'output=filled', 'columns=x')");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   auto rs = system_.Query("SELECT COUNT(*) FROM filled WHERE x IS NULL");
@@ -244,7 +244,7 @@ TEST_F(OperatorTest, ImputeFillsNulls) {
 }
 
 TEST_F(OperatorTest, OneHotCreatesIndicators) {
-  auto r = system_.ExecuteSql(
+  auto r = system_.Execute(
       "CALL IDAA.ONEHOT('input=data', 'output=encoded', 'column=cat')");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   auto rs = system_.Query(
@@ -256,7 +256,7 @@ TEST_F(OperatorTest, OneHotCreatesIndicators) {
 }
 
 TEST_F(OperatorTest, SampleFraction) {
-  auto r = system_.ExecuteSql(
+  auto r = system_.Execute(
       "CALL IDAA.SAMPLE('input=data', 'output=sampled', 'fraction=0.5', "
       "'seed=11')");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
@@ -267,12 +267,12 @@ TEST_F(OperatorTest, SampleFraction) {
 }
 
 TEST_F(OperatorTest, LinRegRecoversSlope) {
-  auto r = system_.ExecuteSql(
+  auto r = system_.Execute(
       "CALL IDAA.LINREG('input=data', 'target=y', 'columns=x', "
       "'output=preds')");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   // Summary rows: INTERCEPT, X, R2, RMSE, ROWS.
-  const ResultSet& summary = r->result_set;
+  const ResultSet& summary = r->rows;
   ASSERT_GE(summary.NumRows(), 4u);
   double slope = 0, r2 = 0;
   for (const Row& row : summary.rows()) {
@@ -287,31 +287,31 @@ TEST_F(OperatorTest, LinRegRecoversSlope) {
 }
 
 TEST_F(OperatorTest, NaiveBayesAccuracy) {
-  auto r = system_.ExecuteSql(
+  auto r = system_.Execute(
       "CALL IDAA.NAIVEBAYES('input=data', 'label=label', 'columns=x', "
       "'output=nb_preds')");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   double accuracy = 0;
-  for (const Row& row : r->result_set.rows()) {
+  for (const Row& row : r->rows.rows()) {
     if (row[0].AsVarchar() == "TRAIN_ACCURACY") accuracy = row[1].AsDouble();
   }
   EXPECT_GT(accuracy, 0.95);
 }
 
 TEST_F(OperatorTest, DecisionTreeAccuracy) {
-  auto r = system_.ExecuteSql(
+  auto r = system_.Execute(
       "CALL IDAA.DECISIONTREE('input=data', 'label=label', 'columns=x,y', "
       "'max_depth=4')");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   double accuracy = 0;
-  for (const Row& row : r->result_set.rows()) {
+  for (const Row& row : r->rows.rows()) {
     if (row[0].AsVarchar() == "TRAIN_ACCURACY") accuracy = row[1].AsDouble();
   }
   EXPECT_GT(accuracy, 0.95);
 }
 
 TEST_F(OperatorTest, KMeansCentroidsOutput) {
-  auto r = system_.ExecuteSql(
+  auto r = system_.Execute(
       "CALL IDAA.KMEANS('input=data', 'output=clusters', 'columns=x', "
       "'k=2', 'centroids_output=centers', 'seed=3')");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
@@ -321,14 +321,14 @@ TEST_F(OperatorTest, KMeansCentroidsOutput) {
 
 TEST_F(OperatorTest, AprioriOverAotTable) {
   ASSERT_TRUE(system_
-                  .ExecuteSql("CREATE TABLE basket (tid INT, item VARCHAR) "
+                  .Execute("CREATE TABLE basket (tid INT, item VARCHAR) "
                               "IN ACCELERATOR")
                   .ok());
   ASSERT_TRUE(system_
-                  .ExecuteSql("INSERT INTO basket VALUES (1,'a'),(1,'b'),"
+                  .Execute("INSERT INTO basket VALUES (1,'a'),(1,'b'),"
                               "(2,'a'),(2,'b'),(3,'a'),(4,'c')")
                   .ok());
-  auto r = system_.ExecuteSql(
+  auto r = system_.Execute(
       "CALL IDAA.APRIORI('input=basket', 'tid_column=tid', "
       "'item_column=item', 'min_support=0.5', 'output=freq')");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
@@ -343,11 +343,11 @@ TEST_F(OperatorTest, AprioriOverAotTable) {
 
 TEST_F(OperatorTest, OperatorRerunReplacesOutput) {
   ASSERT_TRUE(system_
-                  .ExecuteSql("CALL IDAA.SAMPLE('input=data', "
+                  .Execute("CALL IDAA.SAMPLE('input=data', "
                               "'output=s1', 'fraction=1.0')")
                   .ok());
   ASSERT_TRUE(system_
-                  .ExecuteSql("CALL IDAA.SAMPLE('input=data', "
+                  .Execute("CALL IDAA.SAMPLE('input=data', "
                               "'output=s1', 'fraction=1.0')")
                   .ok());
   auto rs = system_.Query("SELECT COUNT(*) FROM s1");
@@ -355,18 +355,18 @@ TEST_F(OperatorTest, OperatorRerunReplacesOutput) {
 }
 
 TEST_F(OperatorTest, MissingParamFails) {
-  auto r = system_.ExecuteSql("CALL IDAA.KMEANS('input=data')");
+  auto r = system_.Execute("CALL IDAA.KMEANS('input=data')");
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST_F(OperatorTest, MalformedParamFails) {
-  EXPECT_FALSE(system_.ExecuteSql("CALL IDAA.KMEANS('no_equals_sign')").ok());
+  EXPECT_FALSE(system_.Execute("CALL IDAA.KMEANS('no_equals_sign')").ok());
 }
 
 TEST_F(OperatorTest, InputMustBeOnAccelerator) {
-  ASSERT_TRUE(system_.ExecuteSql("CREATE TABLE db2only (x DOUBLE)").ok());
-  auto r = system_.ExecuteSql(
+  ASSERT_TRUE(system_.Execute("CREATE TABLE db2only (x DOUBLE)").ok());
+  auto r = system_.Execute(
       "CALL IDAA.SAMPLE('input=db2only', 'output=out', 'fraction=0.5')");
   ASSERT_FALSE(r.ok());
   EXPECT_NE(r.status().message().find("ACCEL_ADD_TABLES"), std::string::npos);

@@ -18,6 +18,15 @@
 namespace idaa {
 namespace {
 
+/// The differentials below re-run the same SELECT with only the batch path
+/// toggled; the result cache would serve the re-run from the first
+/// execution and make the comparison vacuous, so it stays off here.
+federation::ExecOptions NoResultCache() {
+  federation::ExecOptions opts;
+  opts.use_result_cache = false;
+  return opts;
+}
+
 std::vector<std::string> CanonicalRows(const ResultSet& rs, bool keep_order) {
   std::vector<std::string> lines;
   for (const Row& row : rs.rows()) {
@@ -77,7 +86,7 @@ uint64_t SumAttr(const std::vector<StageRow>& rows, const std::string& stage,
 /// zone/morsel sizes in `options` force multi-zone, multi-morsel scans.
 void SeedOrders(IdaaSystem& system, int rows, bool aot = true) {
   ASSERT_TRUE(system
-                  .ExecuteSql(std::string("CREATE TABLE orders (id INT "
+                  .Execute(std::string("CREATE TABLE orders (id INT "
                                           "NOT NULL, cust INT, amount DOUBLE, "
                                           "region VARCHAR)") +
                               (aot ? " IN ACCELERATOR" : ""))
@@ -93,11 +102,11 @@ void SeedOrders(IdaaSystem& system, int rows, bool aot = true) {
       insert += StrFormat("(%d, %d, %s, '%s')", i, i % 23, amount.c_str(),
                           kRegions[i % 4]);
     }
-    ASSERT_TRUE(system.ExecuteSql(insert).ok());
+    ASSERT_TRUE(system.Execute(insert).ok());
   }
   if (!aot) {
     ASSERT_TRUE(
-        system.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('orders')").ok());
+        system.Execute("CALL SYSPROC.ACCEL_ADD_TABLES('orders')").ok());
     auto flushed = system.replication().Flush();
     ASSERT_TRUE(flushed.ok());
   }
@@ -193,25 +202,25 @@ class BatchDifferentialTest : public ::testing::Test {
   void ExpectSame(const std::string& sql) {
     bool ordered = ToUpper(sql).find("ORDER BY") != std::string::npos;
     system_->SetAccelerationMode(federation::AccelerationMode::kNone);
-    auto db2 = system_->ExecuteSql(sql);
+    auto db2 = system_->Execute(sql, NoResultCache());
     ASSERT_TRUE(db2.ok()) << sql << "\n" << db2.status().ToString();
 
     system_->SetAccelerationMode(federation::AccelerationMode::kEligible);
     system_->accelerator().SetBatchPathEnabled(true);
-    auto batch = system_->ExecuteSql(sql);
+    auto batch = system_->Execute(sql, NoResultCache());
     ASSERT_TRUE(batch.ok()) << sql << "\n" << batch.status().ToString();
-    EXPECT_EQ(batch->executed_on, federation::Target::kAccelerator) << sql;
+    EXPECT_EQ(batch->routed_to, federation::Target::kAccelerator) << sql;
 
     system_->accelerator().SetBatchPathEnabled(false);
-    auto row = system_->ExecuteSql(sql);
+    auto row = system_->Execute(sql, NoResultCache());
     system_->accelerator().SetBatchPathEnabled(true);
     ASSERT_TRUE(row.ok()) << sql << "\n" << row.status().ToString();
 
-    EXPECT_EQ(CanonicalRows(db2->result_set, ordered),
-              CanonicalRows(batch->result_set, ordered))
+    EXPECT_EQ(CanonicalRows(db2->rows, ordered),
+              CanonicalRows(batch->rows, ordered))
         << sql;
-    EXPECT_EQ(CanonicalRows(row->result_set, ordered),
-              CanonicalRows(batch->result_set, ordered))
+    EXPECT_EQ(CanonicalRows(row->rows, ordered),
+              CanonicalRows(batch->rows, ordered))
         << sql;
   }
 
@@ -297,17 +306,17 @@ TEST_F(BatchDifferentialTest, LimitEarlyStopIsDeterministic) {
          }) {
       system_->SetAccelerationMode(federation::AccelerationMode::kEligible);
       system_->accelerator().SetBatchPathEnabled(true);
-      auto batch = system_->ExecuteSql(sql);
+      auto batch = system_->Execute(sql, NoResultCache());
       ASSERT_TRUE(batch.ok()) << sql;
       system_->accelerator().SetBatchPathEnabled(false);
-      auto row = system_->ExecuteSql(sql);
+      auto row = system_->Execute(sql, NoResultCache());
       system_->accelerator().SetBatchPathEnabled(true);
       ASSERT_TRUE(row.ok()) << sql;
       // keep_order: LIMIT without ORDER BY is only deterministic because
       // both paths emit rows in slice order — that is the property under
       // test.
-      EXPECT_EQ(CanonicalRows(row->result_set, /*keep_order=*/true),
-                CanonicalRows(batch->result_set, /*keep_order=*/true))
+      EXPECT_EQ(CanonicalRows(row->rows, /*keep_order=*/true),
+                CanonicalRows(batch->rows, /*keep_order=*/true))
           << sql << " rep " << rep;
     }
   }
@@ -318,10 +327,10 @@ TEST_F(BatchDifferentialTest, UncommittedOwnWritesVisibleOnBatchPath) {
   system_->SetAccelerationMode(federation::AccelerationMode::kAll);
   ASSERT_TRUE(system_->Begin().ok());
   ASSERT_TRUE(
-      system_->ExecuteSql("INSERT INTO orders VALUES (9001, 1, 42.5, 'MOON')")
+      system_->Execute("INSERT INTO orders VALUES (9001, 1, 42.5, 'MOON')")
           .ok());
   ASSERT_TRUE(
-      system_->ExecuteSql("DELETE FROM orders WHERE id = 3").ok());
+      system_->Execute("DELETE FROM orders WHERE id = 3").ok());
 
   auto own = system_->Query("SELECT id FROM orders WHERE id = 9001");
   ASSERT_TRUE(own.ok());
@@ -345,14 +354,14 @@ TEST_F(BatchDifferentialTest, UncommittedOwnWritesVisibleOnBatchPath) {
 TEST_F(BatchDifferentialTest, SurvivesGroomAndUpdates) {
   SeedSmall();
   ASSERT_TRUE(
-      system_->ExecuteSql("UPDATE orders SET amount = amount + 1 "
+      system_->Execute("UPDATE orders SET amount = amount + 1 "
                           "WHERE cust < 5")
           .ok());
   ASSERT_TRUE(
-      system_->ExecuteSql("DELETE FROM orders WHERE id % 9 = 2").ok());
+      system_->Execute("DELETE FROM orders WHERE id % 9 = 2").ok());
   ASSERT_TRUE(system_->replication().Flush().ok());
   ExpectSame("SELECT id, cust, amount, region FROM orders WHERE id < 150");
-  ASSERT_TRUE(system_->ExecuteSql("CALL SYSPROC.ACCEL_GROOM()").ok());
+  ASSERT_TRUE(system_->Execute("CALL SYSPROC.ACCEL_GROOM()").ok());
   ExpectSame("SELECT id, cust, amount, region FROM orders WHERE id < 150");
   ExpectSame("SELECT region, COUNT(*), SUM(amount) FROM orders "
              "GROUP BY region");
@@ -361,15 +370,15 @@ TEST_F(BatchDifferentialTest, SurvivesGroomAndUpdates) {
 TEST_F(BatchDifferentialTest, SingleRowAndEmptyTables) {
   system_ = std::make_unique<IdaaSystem>(SmallBatchOptions());
   ASSERT_TRUE(system_
-                  ->ExecuteSql("CREATE TABLE orders (id INT NOT NULL, "
+                  ->Execute("CREATE TABLE orders (id INT NOT NULL, "
                                "cust INT, amount DOUBLE, region VARCHAR)")
                   .ok());
   ASSERT_TRUE(
-      system_->ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('orders')").ok());
+      system_->Execute("CALL SYSPROC.ACCEL_ADD_TABLES('orders')").ok());
   ExpectSame("SELECT * FROM orders");
   ExpectSame("SELECT COUNT(*), SUM(amount) FROM orders");
   ASSERT_TRUE(
-      system_->ExecuteSql("INSERT INTO orders VALUES (1, 2, 3.5, 'X')").ok());
+      system_->Execute("INSERT INTO orders VALUES (1, 2, 3.5, 'X')").ok());
   ASSERT_TRUE(system_->replication().Flush().ok());
   ExpectSame("SELECT * FROM orders WHERE id = 1");
   ExpectSame("SELECT region, COUNT(*) FROM orders GROUP BY region");
@@ -398,7 +407,7 @@ TEST_F(BatchDifferentialTest, CrossTypeLiteralComparisons) {
 TEST_F(BatchDifferentialTest, JoinShapesMatchRowPathAndDb2) {
   SeedSmall();
   ASSERT_TRUE(system_
-                  ->ExecuteSql("CREATE TABLE custdim (cid INT NOT NULL, "
+                  ->Execute("CREATE TABLE custdim (cid INT NOT NULL, "
                                "tier VARCHAR, credit DOUBLE)")
                   .ok());
   static const char* kTiers[] = {"GOLD", "SILVER", "BRONZE"};
@@ -409,16 +418,16 @@ TEST_F(BatchDifferentialTest, JoinShapesMatchRowPathAndDb2) {
     std::string tier = c % 7 == 0 ? "NULL"
                                   : "'" + std::string(kTiers[c % 3]) + "'";
     ASSERT_TRUE(system_
-                    ->ExecuteSql(StrFormat(
+                    ->Execute(StrFormat(
                         "INSERT INTO custdim VALUES (%d, %s, %d.5)", c,
                         tier.c_str(), c * 10))
                     .ok());
   }
   ASSERT_TRUE(
-      system_->ExecuteSql("INSERT INTO custdim VALUES (5, 'DUP', 999.5)")
+      system_->Execute("INSERT INTO custdim VALUES (5, 'DUP', 999.5)")
           .ok());
   ASSERT_TRUE(
-      system_->ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('custdim')").ok());
+      system_->Execute("CALL SYSPROC.ACCEL_ADD_TABLES('custdim')").ok());
   ASSERT_TRUE(system_->replication().Flush().ok());
 
   for (const char* sql : {

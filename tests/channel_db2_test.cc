@@ -142,14 +142,14 @@ TEST(RowStoreTest, DoubleDeleteFails) {
 
 TEST(Db2EngineTest, RollbackUndoesAllDmlKinds) {
   IdaaSystem system;
-  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE t (a INT, b VARCHAR)").ok());
+  ASSERT_TRUE(system.Execute("CREATE TABLE t (a INT, b VARCHAR)").ok());
   ASSERT_TRUE(
-      system.ExecuteSql("INSERT INTO t VALUES (1, 'one'), (2, 'two')").ok());
+      system.Execute("INSERT INTO t VALUES (1, 'one'), (2, 'two')").ok());
 
   ASSERT_TRUE(system.Begin().ok());
-  ASSERT_TRUE(system.ExecuteSql("INSERT INTO t VALUES (3, 'three')").ok());
-  ASSERT_TRUE(system.ExecuteSql("UPDATE t SET b = 'ONE' WHERE a = 1").ok());
-  ASSERT_TRUE(system.ExecuteSql("DELETE FROM t WHERE a = 2").ok());
+  ASSERT_TRUE(system.Execute("INSERT INTO t VALUES (3, 'three')").ok());
+  ASSERT_TRUE(system.Execute("UPDATE t SET b = 'ONE' WHERE a = 1").ok());
+  ASSERT_TRUE(system.Execute("DELETE FROM t WHERE a = 2").ok());
   auto mid = system.Query("SELECT COUNT(*) FROM t");
   EXPECT_EQ(mid->At(0, 0).AsInteger(), 2);
   ASSERT_TRUE(system.Rollback().ok());
@@ -163,21 +163,21 @@ TEST(Db2EngineTest, RollbackUndoesAllDmlKinds) {
 
 TEST(Db2EngineTest, ExplicitTransactionCommitPersists) {
   IdaaSystem system;
-  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE t (a INT)").ok());
+  ASSERT_TRUE(system.Execute("CREATE TABLE t (a INT)").ok());
   ASSERT_TRUE(system.Begin().ok());
-  ASSERT_TRUE(system.ExecuteSql("INSERT INTO t VALUES (1)").ok());
-  ASSERT_TRUE(system.ExecuteSql("COMMIT").ok());
+  ASSERT_TRUE(system.Execute("INSERT INTO t VALUES (1)").ok());
+  ASSERT_TRUE(system.Execute("COMMIT").ok());
   auto rs = system.Query("SELECT COUNT(*) FROM t");
   EXPECT_EQ(rs->At(0, 0).AsInteger(), 1);
 }
 
 TEST(Db2EngineTest, WriteLocksBlockConcurrentWriters) {
   IdaaSystem system;
-  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE t (a INT)").ok());
-  ASSERT_TRUE(system.ExecuteSql("INSERT INTO t VALUES (1)").ok());
+  ASSERT_TRUE(system.Execute("CREATE TABLE t (a INT)").ok());
+  ASSERT_TRUE(system.Execute("INSERT INTO t VALUES (1)").ok());
   // Open transaction holds an X lock after its update.
   ASSERT_TRUE(system.Begin().ok());
-  ASSERT_TRUE(system.ExecuteSql("UPDATE t SET a = 2").ok());
+  ASSERT_TRUE(system.Execute("UPDATE t SET a = 2").ok());
   // A second "connection" (its own transaction via the component API).
   Transaction* other = system.txn_manager().Begin();
   auto parsed = sql::ParseStatement("DELETE FROM t");
@@ -196,7 +196,7 @@ TEST(Db2EngineTest, WriteLocksBlockConcurrentWriters) {
 
 TEST(Db2EngineTest, CursorStabilityReleasesReadLocks) {
   IdaaSystem system;
-  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE t (a INT)").ok());
+  ASSERT_TRUE(system.Execute("CREATE TABLE t (a INT)").ok());
   ASSERT_TRUE(system.Begin().ok());
   ASSERT_TRUE(system.Query("SELECT * FROM t").ok());
   // S lock released at end of statement: another txn may write.
@@ -214,9 +214,9 @@ TEST(Db2EngineTest, CursorStabilityReleasesReadLocks) {
 
 TEST(Db2EngineTest, UpdateWithTypeCoercion) {
   IdaaSystem system;
-  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE t (a DOUBLE)").ok());
-  ASSERT_TRUE(system.ExecuteSql("INSERT INTO t VALUES (1.5)").ok());
-  ASSERT_TRUE(system.ExecuteSql("UPDATE t SET a = 3").ok());  // int -> double
+  ASSERT_TRUE(system.Execute("CREATE TABLE t (a DOUBLE)").ok());
+  ASSERT_TRUE(system.Execute("INSERT INTO t VALUES (1.5)").ok());
+  ASSERT_TRUE(system.Execute("UPDATE t SET a = 3").ok());  // int -> double
   auto rs = system.Query("SELECT a FROM t");
   EXPECT_TRUE(rs->At(0, 0).is_double());
   EXPECT_DOUBLE_EQ(rs->At(0, 0).AsDouble(), 3.0);
@@ -224,18 +224,18 @@ TEST(Db2EngineTest, UpdateWithTypeCoercion) {
 
 TEST(Db2EngineTest, NotNullViolationOnUpdateFails) {
   IdaaSystem system;
-  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE t (a INT NOT NULL)").ok());
-  ASSERT_TRUE(system.ExecuteSql("INSERT INTO t VALUES (1)").ok());
-  auto r = system.ExecuteSql("UPDATE t SET a = NULL");
+  ASSERT_TRUE(system.Execute("CREATE TABLE t (a INT NOT NULL)").ok());
+  ASSERT_TRUE(system.Execute("INSERT INTO t VALUES (1)").ok());
+  auto r = system.Execute("UPDATE t SET a = NULL");
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kConstraintViolation);
 }
 
 TEST(Db2EngineTest, FailedAutoCommitStatementRollsBack) {
   IdaaSystem system;
-  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE t (a INT NOT NULL)").ok());
+  ASSERT_TRUE(system.Execute("CREATE TABLE t (a INT NOT NULL)").ok());
   // Multi-row insert where a later row violates NOT NULL: nothing persists.
-  auto r = system.ExecuteSql("INSERT INTO t VALUES (1), (NULL)");
+  auto r = system.Execute("INSERT INTO t VALUES (1), (NULL)");
   ASSERT_FALSE(r.ok());
   auto rs = system.Query("SELECT COUNT(*) FROM t");
   EXPECT_EQ(rs->At(0, 0).AsInteger(), 0);

@@ -28,7 +28,7 @@ using federation::AccelerationMode;
 bool ExecuteWithRetry(Connection* conn, const std::string& sql,
                       int max_attempts = 20) {
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
-    auto result = conn->ExecuteSql(sql);
+    auto result = conn->Execute(sql);
     if (result.ok()) return true;
     if (result.status().code() != StatusCode::kConflict &&
         !result.status().retryable()) {
@@ -47,13 +47,13 @@ TEST(ConcurrentStressTest, MixedWorkloadKeepsCountsAndSnapshots) {
   options.replication_batch_size = 8;  // frequent auto-applies under load
   IdaaSystem system(options);
 
-  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE acc (id INT, v INT)").ok());
-  ASSERT_TRUE(system.ExecuteSql("INSERT INTO acc VALUES (0, 0)").ok());
-  ASSERT_TRUE(system.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('acc')").ok());
+  ASSERT_TRUE(system.Execute("CREATE TABLE acc (id INT, v INT)").ok());
+  ASSERT_TRUE(system.Execute("INSERT INTO acc VALUES (0, 0)").ok());
+  ASSERT_TRUE(system.Execute("CALL SYSPROC.ACCEL_ADD_TABLES('acc')").ok());
   ASSERT_TRUE(
-      system.ExecuteSql("CREATE TABLE aot (id INT, v INT) IN ACCELERATOR")
+      system.Execute("CREATE TABLE aot (id INT, v INT) IN ACCELERATOR")
           .ok());
-  ASSERT_TRUE(system.ExecuteSql("INSERT INTO aot VALUES (0, 0)").ok());
+  ASSERT_TRUE(system.Execute("INSERT INTO aot VALUES (0, 0)").ok());
 
   constexpr int kWriters = 2;
   constexpr int kInsertsPerWriter = 40;
@@ -123,7 +123,7 @@ TEST(ConcurrentStressTest, MixedWorkloadKeepsCountsAndSnapshots) {
   threads.emplace_back([&system, &stop] {
     auto conn = system.NewConnection();
     while (!stop.load()) {
-      ASSERT_TRUE(conn->ExecuteSql("CALL SYSPROC.ACCEL_GROOM()").ok());
+      ASSERT_TRUE(conn->Execute("CALL SYSPROC.ACCEL_GROOM()").ok());
       std::this_thread::yield();
     }
   });
@@ -189,9 +189,9 @@ TEST(ConcurrentStressTest, RandomOutagesUnderFailbackNeverSurfaceErrors) {
   options.replication_batch_size = 8;
   IdaaSystem system(options);
 
-  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE acc (id INT, v INT)").ok());
-  ASSERT_TRUE(system.ExecuteSql("INSERT INTO acc VALUES (0, 0)").ok());
-  ASSERT_TRUE(system.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('acc')").ok());
+  ASSERT_TRUE(system.Execute("CREATE TABLE acc (id INT, v INT)").ok());
+  ASSERT_TRUE(system.Execute("INSERT INTO acc VALUES (0, 0)").ok());
+  ASSERT_TRUE(system.Execute("CALL SYSPROC.ACCEL_ADD_TABLES('acc')").ok());
 
   constexpr int kWriters = 2;
   constexpr int kInsertsPerWriter = 40;
@@ -250,11 +250,11 @@ TEST(ConcurrentStressTest, RandomOutagesUnderFailbackNeverSurfaceErrors) {
     auto conn = system.NewConnection();
     for (int c = 0; c < kOutageCycles; ++c) {
       ASSERT_TRUE(
-          conn->ExecuteSql("CALL SYSPROC.ACCEL_CONTROL('ACCEL1', 'OFFLINE')")
+          conn->Execute("CALL SYSPROC.ACCEL_CONTROL('ACCEL1', 'OFFLINE')")
               .ok());
       std::this_thread::yield();
       ASSERT_TRUE(
-          conn->ExecuteSql("CALL SYSPROC.ACCEL_CONTROL('ACCEL1', 'ONLINE')")
+          conn->Execute("CALL SYSPROC.ACCEL_CONTROL('ACCEL1', 'ONLINE')")
               .ok());
       std::this_thread::yield();
     }
@@ -269,7 +269,7 @@ TEST(ConcurrentStressTest, RandomOutagesUnderFailbackNeverSurfaceErrors) {
 
   // Final recovery: accelerator online, backlog drained, replica converged.
   ASSERT_TRUE(
-      system.ExecuteSql("CALL SYSPROC.ACCEL_CONTROL('ACCEL1', 'ONLINE')")
+      system.Execute("CALL SYSPROC.ACCEL_CONTROL('ACCEL1', 'ONLINE')")
           .ok());
   ASSERT_TRUE(system.replication().Flush().ok());
   EXPECT_EQ(system.replication().PendingChanges(), 0u);
@@ -306,7 +306,7 @@ TEST(ConcurrentStressTest, ParallelAnalyticsSessionsShareInputsWithWriters) {
   IdaaSystem system(options);
 
   ASSERT_TRUE(system
-                  .ExecuteSql("CREATE TABLE feats (id INT NOT NULL, "
+                  .Execute("CREATE TABLE feats (id INT NOT NULL, "
                               "x DOUBLE, y DOUBLE, lbl VARCHAR)")
                   .ok());
   static const char* kLabels[] = {"A", "B", "C"};
@@ -318,10 +318,10 @@ TEST(ConcurrentStressTest, ParallelAnalyticsSessionsShareInputsWithWriters) {
                 ".5, " + std::to_string(i % 25) + ".25, '" +
                 kLabels[i % 3] + "')";
     }
-    ASSERT_TRUE(system.ExecuteSql(insert).ok());
+    ASSERT_TRUE(system.Execute(insert).ok());
   }
   ASSERT_TRUE(
-      system.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('feats')").ok());
+      system.Execute("CALL SYSPROC.ACCEL_ADD_TABLES('feats')").ok());
 
   constexpr int kAnalysts = 4;
   constexpr int kCallsPerAnalyst = 5;
@@ -377,7 +377,7 @@ TEST(ConcurrentStressTest, ParallelAnalyticsSessionsShareInputsWithWriters) {
   threads.emplace_back([&system, &stop] {
     auto conn = system.NewConnection();
     while (!stop.load()) {
-      ASSERT_TRUE(conn->ExecuteSql("CALL SYSPROC.ACCEL_GROOM()").ok());
+      ASSERT_TRUE(conn->Execute("CALL SYSPROC.ACCEL_GROOM()").ok());
       std::this_thread::yield();
     }
   });
@@ -437,10 +437,10 @@ TEST(ConcurrentStressTest, ParallelTracedQueriesShareHistograms) {
   // the shared histogram registry.
   IdaaSystem system;
   ASSERT_TRUE(
-      system.ExecuteSql("CREATE TABLE hot (id INT, v DOUBLE) IN ACCELERATOR")
+      system.Execute("CREATE TABLE hot (id INT, v DOUBLE) IN ACCELERATOR")
           .ok());
   ASSERT_TRUE(system
-                  .ExecuteSql("INSERT INTO hot VALUES (1, 1.0), (2, 2.0), "
+                  .Execute("INSERT INTO hot VALUES (1, 1.0), (2, 2.0), "
                               "(3, 3.0), (4, 4.0)")
                   .ok());
   system.slow_query_log().set_threshold_us(0);  // record every statement
@@ -481,17 +481,17 @@ TEST(ConcurrentStressTest, ParallelLoadsShareAcceleratorWithReadersAndGroom) {
   static constexpr int kLoaders = 3;
   static constexpr int kRowsPerLoad = 1500;
   ASSERT_TRUE(system
-                  .ExecuteSql("CREATE TABLE warm (id INT NOT NULL, v DOUBLE) "
+                  .Execute("CREATE TABLE warm (id INT NOT NULL, v DOUBLE) "
                               "IN ACCELERATOR")
                   .ok());
   ASSERT_TRUE(system
-                  .ExecuteSql("INSERT INTO warm VALUES (1, 1.5), (2, 2.5), "
+                  .Execute("INSERT INTO warm VALUES (1, 1.5), (2, 2.5), "
                               "(3, 3.5)")
                   .ok());
   std::vector<std::string> bodies(kLoaders);
   for (int t = 0; t < kLoaders; ++t) {
     ASSERT_TRUE(system
-                    .ExecuteSql("CREATE TABLE ld" + std::to_string(t) +
+                    .Execute("CREATE TABLE ld" + std::to_string(t) +
                                 " (id INT NOT NULL, tag VARCHAR, "
                                 "score DOUBLE) IN ACCELERATOR")
                     .ok());
@@ -592,37 +592,37 @@ TEST(ConcurrentStressTest, ConcurrentJoinsSurviveGroomAndWriters) {
 
   constexpr int kDimKeys = 12;
   ASSERT_TRUE(system
-                  .ExecuteSql("CREATE TABLE jfact (id INT NOT NULL, dk INT, "
+                  .Execute("CREATE TABLE jfact (id INT NOT NULL, dk INT, "
                               "dn VARCHAR, v DOUBLE) IN ACCELERATOR")
                   .ok());
   ASSERT_TRUE(system
-                  .ExecuteSql("CREATE TABLE jdim (k INT NOT NULL, "
+                  .Execute("CREATE TABLE jdim (k INT NOT NULL, "
                               "g VARCHAR) IN ACCELERATOR")
                   .ok());
   ASSERT_TRUE(system
-                  .ExecuteSql("CREATE TABLE jtag (k INT NOT NULL, "
+                  .Execute("CREATE TABLE jtag (k INT NOT NULL, "
                               "t VARCHAR) IN ACCELERATOR")
                   .ok());
   // VARCHAR-keyed dimension: the probe compares dictionary codes via the
   // per-slice code maps, never strings.
   ASSERT_TRUE(system
-                  .ExecuteSql("CREATE TABLE jname (n VARCHAR NOT NULL, "
+                  .Execute("CREATE TABLE jname (n VARCHAR NOT NULL, "
                               "label VARCHAR) IN ACCELERATOR")
                   .ok());
   for (int k = 0; k < kDimKeys; ++k) {
     ASSERT_TRUE(system
-                    .ExecuteSql("INSERT INTO jdim VALUES (" +
+                    .Execute("INSERT INTO jdim VALUES (" +
                                 std::to_string(k) + ", 'g" +
                                 std::to_string(k % 3) + "')")
                     .ok());
     // Two tag rows per key: probes must walk duplicate chains correctly.
     ASSERT_TRUE(system
-                    .ExecuteSql("INSERT INTO jtag VALUES (" +
+                    .Execute("INSERT INTO jtag VALUES (" +
                                 std::to_string(k) + ", 'a'), (" +
                                 std::to_string(k) + ", 'b')")
                     .ok());
     ASSERT_TRUE(system
-                    .ExecuteSql("INSERT INTO jname VALUES ('k" +
+                    .Execute("INSERT INTO jname VALUES ('k" +
                                 std::to_string(k) + "', 'name" +
                                 std::to_string(k) + "')")
                     .ok());
@@ -632,7 +632,7 @@ TEST(ConcurrentStressTest, ConcurrentJoinsSurviveGroomAndWriters) {
   for (int i = 0; i < 200; ++i) {
     const bool null_key = i % 11 == 0;
     ASSERT_TRUE(system
-                    .ExecuteSql("INSERT INTO jfact VALUES (" +
+                    .Execute("INSERT INTO jfact VALUES (" +
                                 std::to_string(i) + ", " +
                                 (null_key ? std::string("NULL")
                                           : std::to_string(i % kDimKeys)) +
@@ -755,7 +755,7 @@ TEST(ConcurrentStressTest, ConcurrentJoinsSurviveGroomAndWriters) {
   threads.emplace_back([&system, &stop] {
     auto conn = system.NewConnection();
     while (!stop.load()) {
-      ASSERT_TRUE(conn->ExecuteSql("CALL SYSPROC.ACCEL_GROOM()").ok());
+      ASSERT_TRUE(conn->Execute("CALL SYSPROC.ACCEL_GROOM()").ok());
       std::this_thread::yield();
     }
   });

@@ -40,10 +40,10 @@ TEST_P(ConvergenceFuzz, ReplicaMatchesDb2AfterRandomDml) {
   options.replication_batch_size = 0;
   IdaaSystem system(options);
   ASSERT_TRUE(system
-                  .ExecuteSql("CREATE TABLE t (id INT NOT NULL, grp INT, "
+                  .Execute("CREATE TABLE t (id INT NOT NULL, grp INT, "
                               "v DOUBLE)")
                   .ok());
-  ASSERT_TRUE(system.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('t')").ok());
+  ASSERT_TRUE(system.Execute("CALL SYSPROC.ACCEL_ADD_TABLES('t')").ok());
 
   Rng rng(GetParam());
   int next_id = 0;
@@ -66,7 +66,7 @@ TEST_P(ConvergenceFuzz, ReplicaMatchesDb2AfterRandomDml) {
       ASSERT_TRUE(system.replication().Flush().ok());
       continue;
     }
-    auto r = system.ExecuteSql(sql);
+    auto r = system.Execute(sql);
     ASSERT_TRUE(r.ok()) << sql << ": " << r.status().ToString();
   }
   auto flushed = system.replication().Flush();
@@ -113,8 +113,8 @@ TEST_P(ConvergenceFuzz, BatchAndRowPathsAgreeOnRandomSchemas) {
     ddl += StrFormat(", c%d %s", c, kTypes[col_type[c]]);
   }
   ddl += ")";
-  ASSERT_TRUE(system.ExecuteSql(ddl).ok());
-  ASSERT_TRUE(system.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('f')").ok());
+  ASSERT_TRUE(system.Execute(ddl).ok());
+  ASSERT_TRUE(system.Execute("CALL SYSPROC.ACCEL_ADD_TABLES('f')").ok());
 
   static const char* kWords[] = {"ALPHA", "BETA", "GAMMA", "DELTA", "OMEGA"};
   for (int i = 0; i < 150; ++i) {
@@ -132,7 +132,7 @@ TEST_P(ConvergenceFuzz, BatchAndRowPathsAgreeOnRandomSchemas) {
       }
     }
     insert += ")";
-    ASSERT_TRUE(system.ExecuteSql(insert).ok());
+    ASSERT_TRUE(system.Execute(insert).ok());
   }
   ASSERT_TRUE(system.replication().Flush().ok());
 
@@ -207,7 +207,7 @@ TEST_P(ConvergenceFuzz, UncommittedWritesAgreeOnBothPaths) {
   options.accelerator.morsel_size = 32;
   IdaaSystem system(options);
   ASSERT_TRUE(system
-                  .ExecuteSql("CREATE TABLE u (id INT NOT NULL, v INT, "
+                  .Execute("CREATE TABLE u (id INT NOT NULL, v INT, "
                               "w VARCHAR) IN ACCELERATOR")
                   .ok());
   Rng rng(GetParam() + 9000);
@@ -215,7 +215,7 @@ TEST_P(ConvergenceFuzz, UncommittedWritesAgreeOnBothPaths) {
   int next_id = 0;
   for (int i = 0; i < 60; ++i) {
     ASSERT_TRUE(system
-                    .ExecuteSql(StrFormat("INSERT INTO u VALUES (%d, %d, "
+                    .Execute(StrFormat("INSERT INTO u VALUES (%d, %d, "
                                           "'%s')",
                                           next_id++, (int)rng.Uniform(0, 9),
                                           kWords[rng.Uniform(0, 2)]))
@@ -234,7 +234,7 @@ TEST_P(ConvergenceFuzz, UncommittedWritesAgreeOnBothPaths) {
       sql = StrFormat("UPDATE u SET v = v + 10 WHERE v = %d",
                       (int)rng.Uniform(0, 9));
     }
-    ASSERT_TRUE(system.ExecuteSql(sql).ok()) << sql;
+    ASSERT_TRUE(system.Execute(sql).ok()) << sql;
 
     // Compare mid-transaction on every mutation.
     for (const char* probe :
@@ -257,7 +257,7 @@ TEST_P(ConvergenceFuzz, UncommittedWritesAgreeOnBothPaths) {
 TEST_P(ConvergenceFuzz, GroomNeverChangesVisibleResults) {
   IdaaSystem system;
   ASSERT_TRUE(system
-                  .ExecuteSql("CREATE TABLE g (id INT NOT NULL, v INT) "
+                  .Execute("CREATE TABLE g (id INT NOT NULL, v INT) "
                               "IN ACCELERATOR")
                   .ok());
   Rng rng(GetParam() + 1000);
@@ -265,19 +265,19 @@ TEST_P(ConvergenceFuzz, GroomNeverChangesVisibleResults) {
   for (int op = 0; op < 80; ++op) {
     if (rng.Bernoulli(0.6) || next_id == 0) {
       ASSERT_TRUE(system
-                      .ExecuteSql(StrFormat("INSERT INTO g VALUES (%d, %d)",
+                      .Execute(StrFormat("INSERT INTO g VALUES (%d, %d)",
                                             next_id++,
                                             (int)rng.Uniform(0, 9)))
                       .ok());
     } else if (rng.Bernoulli(0.5)) {
       ASSERT_TRUE(system
-                      .ExecuteSql(StrFormat(
+                      .Execute(StrFormat(
                           "UPDATE g SET v = v * 2 WHERE id %% 5 = %d",
                           (int)rng.Uniform(0, 4)))
                       .ok());
     } else {
       ASSERT_TRUE(system
-                      .ExecuteSql(StrFormat("DELETE FROM g WHERE v = %d",
+                      .Execute(StrFormat("DELETE FROM g WHERE v = %d",
                                             (int)rng.Uniform(0, 9)))
                       .ok());
     }
@@ -286,7 +286,7 @@ TEST_P(ConvergenceFuzz, GroomNeverChangesVisibleResults) {
   ASSERT_TRUE(before.ok());
   size_t versions_before =
       (*system.accelerator().GetTable("g"))->NumVersions();
-  ASSERT_TRUE(system.ExecuteSql("CALL SYSPROC.ACCEL_GROOM()").ok());
+  ASSERT_TRUE(system.Execute("CALL SYSPROC.ACCEL_GROOM()").ok());
   auto after = system.Query("SELECT id, v FROM g");
   ASSERT_TRUE(after.ok());
   EXPECT_EQ(CanonicalRows(*before), CanonicalRows(*after))
@@ -388,7 +388,7 @@ TEST_P(ConvergenceFuzz, AnalyticsPipelineMatchesSerialUnderFaults) {
 
   auto setup = [&row_literals](IdaaSystem& system) {
     ASSERT_TRUE(system
-                    .ExecuteSql("CREATE TABLE af (id INT NOT NULL, a DOUBLE, "
+                    .Execute("CREATE TABLE af (id INT NOT NULL, a DOUBLE, "
                                 "b DOUBLE, c VARCHAR) IN ACCELERATOR")
                     .ok());
     for (size_t i = 0; i < row_literals.size(); i += 40) {
@@ -397,7 +397,7 @@ TEST_P(ConvergenceFuzz, AnalyticsPipelineMatchesSerialUnderFaults) {
         if (j > i) insert += ", ";
         insert += row_literals[j];
       }
-      ASSERT_TRUE(system.ExecuteSql(insert).ok()) << insert;
+      ASSERT_TRUE(system.Execute(insert).ok()) << insert;
     }
   };
 
@@ -420,9 +420,9 @@ TEST_P(ConvergenceFuzz, AnalyticsPipelineMatchesSerialUnderFaults) {
   IdaaSystem faulty(options);
   setup(faulty);
   ASSERT_TRUE(
-      faulty.ExecuteSql("CREATE TABLE noise (id INT NOT NULL, v INT)").ok());
+      faulty.Execute("CREATE TABLE noise (id INT NOT NULL, v INT)").ok());
   ASSERT_TRUE(
-      faulty.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('noise')").ok());
+      faulty.Execute("CALL SYSPROC.ACCEL_ADD_TABLES('noise')").ok());
   FaultSpec spec;
   spec.probability = 0.1;
   faulty.fault_injector().ArmChannel(spec);
@@ -433,7 +433,7 @@ TEST_P(ConvergenceFuzz, AnalyticsPipelineMatchesSerialUnderFaults) {
     auto conn = faulty.NewConnection();
     int id = 0;
     while (!stop.load()) {
-      auto r = conn->ExecuteSql(
+      auto r = conn->Execute(
           StrFormat("INSERT INTO noise VALUES (%d, %d)", id, id % 7));
       if (!r.ok()) {
         ASSERT_TRUE(r.status().retryable() ||
@@ -551,15 +551,15 @@ TEST_P(ConvergenceFuzz, LoaderDirectAndViaDb2ConvergeUnderFaults) {
   options.replication_batch_size = 0;
   IdaaSystem system(options);
   ASSERT_TRUE(system
-                  .ExecuteSql("CREATE TABLE direct_t (id INT NOT NULL, "
+                  .Execute("CREATE TABLE direct_t (id INT NOT NULL, "
                               "s VARCHAR, v DOUBLE) IN ACCELERATOR")
                   .ok());
   ASSERT_TRUE(system
-                  .ExecuteSql("CREATE TABLE via_t (id INT NOT NULL, "
+                  .Execute("CREATE TABLE via_t (id INT NOT NULL, "
                               "s VARCHAR, v DOUBLE)")
                   .ok());
   ASSERT_TRUE(
-      system.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('via_t')").ok());
+      system.Execute("CALL SYSPROC.ACCEL_ADD_TABLES('via_t')").ok());
 
   // 10% of every boundary crossing fails with a retryable fault.
   FaultSpec spec;
@@ -625,20 +625,20 @@ TEST_P(ConvergenceFuzz, LoaderDirectAndViaDb2ConvergeUnderFaults) {
 
 TEST_P(ConvergenceFuzz, RollbackRestoresBothEngines) {
   IdaaSystem system;
-  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE r1 (id INT NOT NULL, v INT)")
+  ASSERT_TRUE(system.Execute("CREATE TABLE r1 (id INT NOT NULL, v INT)")
                   .ok());
   ASSERT_TRUE(system
-                  .ExecuteSql("CREATE TABLE r2 (id INT NOT NULL, v INT) "
+                  .Execute("CREATE TABLE r2 (id INT NOT NULL, v INT) "
                               "IN ACCELERATOR")
                   .ok());
   Rng rng(GetParam() + 2000);
   for (int i = 0; i < 20; ++i) {
     ASSERT_TRUE(system
-                    .ExecuteSql(StrFormat("INSERT INTO r1 VALUES (%d, %d)", i,
+                    .Execute(StrFormat("INSERT INTO r1 VALUES (%d, %d)", i,
                                           (int)rng.Uniform(0, 9)))
                     .ok());
     ASSERT_TRUE(system
-                    .ExecuteSql(StrFormat("INSERT INTO r2 VALUES (%d, %d)", i,
+                    .Execute(StrFormat("INSERT INTO r2 VALUES (%d, %d)", i,
                                           (int)rng.Uniform(0, 9)))
                     .ok());
   }
@@ -661,7 +661,7 @@ TEST_P(ConvergenceFuzz, RollbackRestoresBothEngines) {
         sql = StrFormat("DELETE FROM %s WHERE id %% 4 = %d", table,
                         (int)rng.Uniform(0, 3));
     }
-    auto r = system.ExecuteSql(sql);
+    auto r = system.Execute(sql);
     ASSERT_TRUE(r.ok()) << sql << ": " << r.status().ToString();
   }
   ASSERT_TRUE(system.Rollback().ok());
@@ -690,14 +690,14 @@ TEST_P(ConvergenceFuzz, JoinPipelinesAgreeUnderFaults) {
   IdaaSystem system(options);
 
   ASSERT_TRUE(system
-                  .ExecuteSql("CREATE TABLE jf (id INT NOT NULL, ik INT, "
+                  .Execute("CREATE TABLE jf (id INT NOT NULL, ik INT, "
                               "vk VARCHAR, m INT, w DOUBLE)")
                   .ok());
   ASSERT_TRUE(
-      system.ExecuteSql("CREATE TABLE jd1 (ik INT, tag VARCHAR, boost INT)")
+      system.Execute("CREATE TABLE jd1 (ik INT, tag VARCHAR, boost INT)")
           .ok());
   ASSERT_TRUE(
-      system.ExecuteSql("CREATE TABLE jd2 (vk VARCHAR, score INT)").ok());
+      system.Execute("CREATE TABLE jd2 (vk VARCHAR, score INT)").ok());
 
   static const char* kKeys[] = {"RED", "GREEN", "BLUE", "CYAN", "PINK"};
   for (int i = 0; i < 120; ++i) {
@@ -707,7 +707,7 @@ TEST_P(ConvergenceFuzz, JoinPipelinesAgreeUnderFaults) {
     std::string vk = rng.Bernoulli(0.15)
                          ? "NULL"
                          : StrFormat("'%s'", kKeys[rng.Uniform(0, 4)]);
-    auto r = system.ExecuteSql(
+    auto r = system.Execute(
         StrFormat("INSERT INTO jf VALUES (%d, %s, %s, %d, %d.25)", i,
                   ik.c_str(), vk.c_str(), (int)rng.Uniform(0, 9),
                   (int)rng.Uniform(0, 100)));
@@ -715,26 +715,26 @@ TEST_P(ConvergenceFuzz, JoinPipelinesAgreeUnderFaults) {
   }
   // Duplicate-heavy dimension keys, a NULL key, and keys matching nothing.
   for (int k = 0; k < 15; ++k) {
-    auto r = system.ExecuteSql(
+    auto r = system.Execute(
         StrFormat("INSERT INTO jd1 VALUES (%d, '%s', %d)",
                   (int)rng.Uniform(0, 9), kKeys[rng.Uniform(0, 4)],
                   (int)rng.Uniform(0, 5)));
     ASSERT_TRUE(r.ok()) << r.status().ToString();
   }
-  ASSERT_TRUE(system.ExecuteSql("INSERT INTO jd1 VALUES (NULL, 'VOID', 9), "
+  ASSERT_TRUE(system.Execute("INSERT INTO jd1 VALUES (NULL, 'VOID', 9), "
                                 "(99, 'LONELY', 9)")
                   .ok());
   for (const char* k : kKeys) {
-    auto r = system.ExecuteSql(StrFormat("INSERT INTO jd2 VALUES ('%s', %d)",
+    auto r = system.Execute(StrFormat("INSERT INTO jd2 VALUES ('%s', %d)",
                                          k, (int)rng.Uniform(0, 50)));
     ASSERT_TRUE(r.ok()) << r.status().ToString();
   }
   ASSERT_TRUE(
-      system.ExecuteSql("INSERT INTO jd2 VALUES (NULL, -1), ('MAUVE', -2)")
+      system.Execute("INSERT INTO jd2 VALUES (NULL, -1), ('MAUVE', -2)")
           .ok());
   for (const char* t : {"jf", "jd1", "jd2"}) {
     ASSERT_TRUE(
-        system.ExecuteSql(StrFormat("CALL SYSPROC.ACCEL_ADD_TABLES('%s')", t))
+        system.Execute(StrFormat("CALL SYSPROC.ACCEL_ADD_TABLES('%s')", t))
             .ok());
   }
   ASSERT_TRUE(system.replication().Flush().ok());
@@ -771,9 +771,9 @@ TEST_P(ConvergenceFuzz, JoinPipelinesAgreeUnderFaults) {
   // 10% of boundary crossings fail; a writer keeps replication busy on an
   // unrelated table throughout.
   ASSERT_TRUE(
-      system.ExecuteSql("CREATE TABLE jnoise (id INT NOT NULL, v INT)").ok());
+      system.Execute("CREATE TABLE jnoise (id INT NOT NULL, v INT)").ok());
   ASSERT_TRUE(
-      system.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('jnoise')").ok());
+      system.Execute("CALL SYSPROC.ACCEL_ADD_TABLES('jnoise')").ok());
   FaultSpec spec;
   spec.probability = 0.1;
   system.fault_injector().ArmChannel(spec);
@@ -783,7 +783,7 @@ TEST_P(ConvergenceFuzz, JoinPipelinesAgreeUnderFaults) {
     auto conn = system.NewConnection();
     int n = 0;
     while (!stop.load()) {
-      (void)conn->ExecuteSql(
+      (void)conn->Execute(
           StrFormat("INSERT INTO jnoise VALUES (%d, %d)", n, n % 5));
       ++n;
       (void)system.replication().Flush();

@@ -16,7 +16,7 @@ namespace {
 TEST(LoaderExtraTest, SingleTransactionMode) {
   IdaaSystem system;
   ASSERT_TRUE(
-      system.ExecuteSql("CREATE TABLE t (n INT) IN ACCELERATOR").ok());
+      system.Execute("CREATE TABLE t (n INT) IN ACCELERATOR").ok());
   Schema schema({{"N", DataType::kInteger, true}});
   loader::GeneratorSource source(schema, 100, [](size_t i) {
     return Row{Value::Integer(static_cast<int64_t>(i))};
@@ -35,7 +35,7 @@ TEST(LoaderExtraTest, SingleTransactionMode) {
 TEST(LoaderExtraTest, CsvFileSourceHappyPath) {
   IdaaSystem system;
   ASSERT_TRUE(system
-                  .ExecuteSql("CREATE TABLE f (id INT NOT NULL, s VARCHAR) "
+                  .Execute("CREATE TABLE f (id INT NOT NULL, s VARCHAR) "
                               "IN ACCELERATOR")
                   .ok());
   std::string path = ::testing::TempDir() + "/idaa_loader_test.csv";
@@ -57,10 +57,10 @@ TEST(LoaderExtraTest, CsvFileSourceHappyPath) {
 
 TEST(JoinEdgeTest, LeftJoinAgainstFullyFilteredRight) {
   IdaaSystem system;
-  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE l (a INT)").ok());
-  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE r (a INT, b INT)").ok());
-  ASSERT_TRUE(system.ExecuteSql("INSERT INTO l VALUES (1), (2)").ok());
-  ASSERT_TRUE(system.ExecuteSql("INSERT INTO r VALUES (1, 10)").ok());
+  ASSERT_TRUE(system.Execute("CREATE TABLE l (a INT)").ok());
+  ASSERT_TRUE(system.Execute("CREATE TABLE r (a INT, b INT)").ok());
+  ASSERT_TRUE(system.Execute("INSERT INTO l VALUES (1), (2)").ok());
+  ASSERT_TRUE(system.Execute("INSERT INTO r VALUES (1, 10)").ok());
   // WHERE on the right table of a LEFT JOIN must not drop unmatched rows
   // prematurely (pushdown is disabled for left joins).
   auto rs = system.Query(
@@ -73,9 +73,9 @@ TEST(JoinEdgeTest, LeftJoinAgainstFullyFilteredRight) {
 
 TEST(JoinEdgeTest, CrossJoinWithEmptySide) {
   IdaaSystem system;
-  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE a (x INT)").ok());
-  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE b (y INT)").ok());
-  ASSERT_TRUE(system.ExecuteSql("INSERT INTO a VALUES (1)").ok());
+  ASSERT_TRUE(system.Execute("CREATE TABLE a (x INT)").ok());
+  ASSERT_TRUE(system.Execute("CREATE TABLE b (y INT)").ok());
+  ASSERT_TRUE(system.Execute("INSERT INTO a VALUES (1)").ok());
   auto rs = system.Query("SELECT COUNT(*) FROM a CROSS JOIN b");
   ASSERT_TRUE(rs.ok());
   EXPECT_EQ(rs->At(0, 0).AsInteger(), 0);
@@ -84,16 +84,16 @@ TEST(JoinEdgeTest, CrossJoinWithEmptySide) {
 TEST(GroomExtraTest, UpdateVersionsReclaimed) {
   IdaaSystem system;
   ASSERT_TRUE(
-      system.ExecuteSql("CREATE TABLE u (id INT NOT NULL, v INT) "
+      system.Execute("CREATE TABLE u (id INT NOT NULL, v INT) "
                         "IN ACCELERATOR")
           .ok());
-  ASSERT_TRUE(system.ExecuteSql("INSERT INTO u VALUES (1, 0)").ok());
+  ASSERT_TRUE(system.Execute("INSERT INTO u VALUES (1, 0)").ok());
   for (int i = 0; i < 5; ++i) {
-    ASSERT_TRUE(system.ExecuteSql("UPDATE u SET v = v + 1").ok());
+    ASSERT_TRUE(system.Execute("UPDATE u SET v = v + 1").ok());
   }
   auto table = system.accelerator().GetTable("u");
   EXPECT_EQ((*table)->NumVersions(), 6u);  // 1 live + 5 superseded
-  ASSERT_TRUE(system.ExecuteSql("CALL SYSPROC.ACCEL_GROOM()").ok());
+  ASSERT_TRUE(system.Execute("CALL SYSPROC.ACCEL_GROOM()").ok());
   EXPECT_EQ((*table)->NumVersions(), 1u);
   auto rs = system.Query("SELECT v FROM u");
   EXPECT_EQ(rs->At(0, 0).AsInteger(), 5);
@@ -124,13 +124,13 @@ TEST(ChannelExtraTest, StatementTextIsMetered) {
 TEST(AccelExtraTest, TableByteSizeGrowsWithData) {
   IdaaSystem system;
   ASSERT_TRUE(
-      system.ExecuteSql("CREATE TABLE s (v VARCHAR) IN ACCELERATOR").ok());
+      system.Execute("CREATE TABLE s (v VARCHAR) IN ACCELERATOR").ok());
   auto table = system.accelerator().GetTable("s");
   size_t empty = (*table)->ByteSize();
   ASSERT_TRUE(system.Begin().ok());
   for (int i = 0; i < 100; ++i) {
     ASSERT_TRUE(system
-                    .ExecuteSql("INSERT INTO s VALUES ('value_" +
+                    .Execute("INSERT INTO s VALUES ('value_" +
                                 std::to_string(i) + "')")
                     .ok());
   }
@@ -141,9 +141,9 @@ TEST(AccelExtraTest, TableByteSizeGrowsWithData) {
 TEST(RouterExtraTest, TableLessSelectAlwaysLocal) {
   IdaaSystem system;
   system.SetAccelerationMode(federation::AccelerationMode::kAll);
-  auto r = system.ExecuteSql("SELECT 1 + 1");
+  auto r = system.Execute("SELECT 1 + 1");
   ASSERT_TRUE(r.ok());
-  EXPECT_EQ(r->executed_on, federation::Target::kDb2);
+  EXPECT_EQ(r->routed_to, federation::Target::kDb2);
 }
 
 TEST(ConnectionExtraTest, BeginTwiceFails) {
@@ -158,7 +158,7 @@ TEST(ConnectionExtraTest, BeginTwiceFails) {
 TEST(ConnectionExtraTest, SetRegisterWithSemicolonAndCase) {
   IdaaSystem system;
   EXPECT_TRUE(
-      system.ExecuteSql("set current query acceleration = none;").ok());
+      system.Execute("set current query acceleration = none;").ok());
   EXPECT_EQ(system.acceleration_mode(), federation::AccelerationMode::kNone);
 }
 

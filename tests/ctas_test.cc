@@ -12,26 +12,26 @@ class CtasTest : public ::testing::Test {
  protected:
   void SetUp() override {
     ASSERT_TRUE(system_
-                    .ExecuteSql("CREATE TABLE src (id INT NOT NULL, "
+                    .Execute("CREATE TABLE src (id INT NOT NULL, "
                                 "grp VARCHAR, v DOUBLE)")
                     .ok());
     ASSERT_TRUE(system_
-                    .ExecuteSql("INSERT INTO src VALUES (1, 'a', 1.0), "
+                    .Execute("INSERT INTO src VALUES (1, 'a', 1.0), "
                                 "(2, 'a', 2.0), (3, 'b', 3.0)")
                     .ok());
     ASSERT_TRUE(
-        system_.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('src')").ok());
+        system_.Execute("CALL SYSPROC.ACCEL_ADD_TABLES('src')").ok());
   }
 
   IdaaSystem system_;
 };
 
 TEST_F(CtasTest, CreatesAotFromQueryOnAccelerator) {
-  auto r = system_.ExecuteSql(
+  auto r = system_.Execute(
       "CREATE TABLE totals IN ACCELERATOR AS "
       "SELECT grp, SUM(v) AS total FROM src GROUP BY grp");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
-  EXPECT_EQ(r->affected_rows, 2u);
+  EXPECT_EQ(r->rows_affected, 2u);
   EXPECT_NE(r->detail.find("CTAS"), std::string::npos);
 
   auto info = system_.catalog().GetTable("totals");
@@ -51,7 +51,7 @@ TEST_F(CtasTest, CreatesAotFromQueryOnAccelerator) {
 TEST_F(CtasTest, AotCtasMovesNoData) {
   MetricsDelta delta(system_.metrics());
   ASSERT_TRUE(system_
-                  .ExecuteSql("CREATE TABLE big_ids IN ACCELERATOR AS "
+                  .Execute("CREATE TABLE big_ids IN ACCELERATOR AS "
                               "SELECT id, v FROM src WHERE id >= 2")
                   .ok());
   EXPECT_EQ(delta.Delta(metric::kDb2RowsMaterialized), 0u);
@@ -60,7 +60,7 @@ TEST_F(CtasTest, AotCtasMovesNoData) {
 
 TEST_F(CtasTest, Db2Ctas) {
   system_.SetAccelerationMode(federation::AccelerationMode::kNone);
-  auto r = system_.ExecuteSql(
+  auto r = system_.Execute(
       "CREATE TABLE copy AS SELECT id, v FROM src WHERE id <= 2");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   auto info = system_.catalog().GetTable("copy");
@@ -72,7 +72,7 @@ TEST_F(CtasTest, Db2Ctas) {
 
 TEST_F(CtasTest, FailedPopulationRollsBackDdl) {
   // Division by zero during population: the table must not survive.
-  auto r = system_.ExecuteSql(
+  auto r = system_.Execute(
       "CREATE TABLE broken IN ACCELERATOR AS SELECT 1 / (id - id) FROM src");
   ASSERT_FALSE(r.ok());
   EXPECT_FALSE(system_.catalog().HasTable("broken"));
@@ -81,7 +81,7 @@ TEST_F(CtasTest, FailedPopulationRollsBackDdl) {
 
 TEST_F(CtasTest, RequiresSourcePrivileges) {
   system_.SetUser("intruder");
-  auto r = system_.ExecuteSql(
+  auto r = system_.Execute(
       "CREATE TABLE steal IN ACCELERATOR AS SELECT * FROM src");
   ASSERT_FALSE(r.ok());
   EXPECT_TRUE(r.status().IsNotAuthorized());
@@ -90,9 +90,9 @@ TEST_F(CtasTest, RequiresSourcePrivileges) {
 
 TEST_F(CtasTest, ColumnsAndAsSelectAreExclusive) {
   EXPECT_FALSE(system_
-                   .ExecuteSql("CREATE TABLE x (a INT) AS SELECT id FROM src")
+                   .Execute("CREATE TABLE x (a INT) AS SELECT id FROM src")
                    .ok());
-  EXPECT_FALSE(system_.ExecuteSql("CREATE TABLE x").ok());
+  EXPECT_FALSE(system_.Execute("CREATE TABLE x").ok());
 }
 
 TEST_F(CtasTest, RoundTripsThroughToSql) {

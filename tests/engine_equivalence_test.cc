@@ -19,6 +19,15 @@ namespace {
 /// rounded to 9 significant digits: SUM/AVG over doubles legitimately
 /// differ in the last bits between the two engines (different accumulation
 /// order across data slices).
+/// The equivalence runs re-execute the same SELECT with only the batch
+/// path toggled; the result cache would serve the re-run from the first
+/// execution and make the comparison vacuous, so it stays off here.
+federation::ExecOptions NoResultCache() {
+  federation::ExecOptions opts;
+  opts.use_result_cache = false;
+  return opts;
+}
+
 std::vector<std::string> Canonical(const ResultSet& rs, bool keep_order) {
   std::vector<std::string> lines;
   lines.reserve(rs.NumRows());
@@ -51,12 +60,12 @@ class EquivalenceTest : public ::testing::Test {
 
   static void Seed(IdaaSystem& system) {
     ASSERT_TRUE(system
-                    .ExecuteSql("CREATE TABLE orders (id INT NOT NULL, "
+                    .Execute("CREATE TABLE orders (id INT NOT NULL, "
                                 "cust INT, amount DOUBLE, region VARCHAR, "
                                 "odate DATE)")
                     .ok());
     ASSERT_TRUE(system
-                    .ExecuteSql("CREATE TABLE customers (cid INT NOT NULL, "
+                    .Execute("CREATE TABLE customers (cid INT NOT NULL, "
                                 "name VARCHAR, tier VARCHAR)")
                     .ok());
     Rng rng(2016);
@@ -65,7 +74,7 @@ class EquivalenceTest : public ::testing::Test {
     for (int c = 0; c < 20; ++c) {
       std::string name = c % 7 == 0 ? "NULL" : "'cust_" + std::to_string(c) + "'";
       ASSERT_TRUE(system
-                      .ExecuteSql(StrFormat(
+                      .Execute(StrFormat(
                           "INSERT INTO customers VALUES (%d, %s, '%s')", c,
                           name.c_str(), tiers[c % 3]))
                       .ok());
@@ -77,7 +86,7 @@ class EquivalenceTest : public ::testing::Test {
           i % 11 == 0 ? "NULL" : StrFormat("%.2f", amount);
       ASSERT_TRUE(
           system
-              .ExecuteSql(StrFormat(
+              .Execute(StrFormat(
                   "INSERT INTO orders VALUES (%d, %d, %s, '%s', DATE "
                   "'2016-0%d-1%d')",
                   i, cust, amount_text.c_str(),
@@ -87,9 +96,9 @@ class EquivalenceTest : public ::testing::Test {
               .ok());
     }
     ASSERT_TRUE(
-        system.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('orders')").ok());
+        system.Execute("CALL SYSPROC.ACCEL_ADD_TABLES('orders')").ok());
     ASSERT_TRUE(
-        system.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('customers')").ok());
+        system.Execute("CALL SYSPROC.ACCEL_ADD_TABLES('customers')").ok());
     auto flushed = system.replication().Flush();
     ASSERT_TRUE(flushed.ok());
   }
@@ -102,29 +111,29 @@ class EquivalenceTest : public ::testing::Test {
     bool ordered = ToUpper(sql).find("ORDER BY") != std::string::npos;
 
     system_->SetAccelerationMode(federation::AccelerationMode::kNone);
-    auto db2 = system_->ExecuteSql(sql);
+    auto db2 = system_->Execute(sql, NoResultCache());
     ASSERT_TRUE(db2.ok()) << sql << "\nDB2: " << db2.status().ToString();
-    EXPECT_EQ(db2->executed_on, federation::Target::kDb2) << sql;
+    EXPECT_EQ(db2->routed_to, federation::Target::kDb2) << sql;
 
     system_->SetAccelerationMode(federation::AccelerationMode::kEligible);
-    auto accel = system_->ExecuteSql(sql);
+    auto accel = system_->Execute(sql, NoResultCache());
     ASSERT_TRUE(accel.ok()) << sql << "\nACCEL: " << accel.status().ToString();
-    EXPECT_EQ(accel->executed_on, federation::Target::kAccelerator) << sql;
+    EXPECT_EQ(accel->routed_to, federation::Target::kAccelerator) << sql;
 
     system_->accelerator().SetBatchPathEnabled(false);
-    auto row_path = system_->ExecuteSql(sql);
+    auto row_path = system_->Execute(sql, NoResultCache());
     system_->accelerator().SetBatchPathEnabled(true);
     ASSERT_TRUE(row_path.ok())
         << sql << "\nROW: " << row_path.status().ToString();
 
-    EXPECT_EQ(Canonical(db2->result_set, ordered),
-              Canonical(accel->result_set, ordered))
+    EXPECT_EQ(Canonical(db2->rows, ordered),
+              Canonical(accel->rows, ordered))
         << sql;
-    EXPECT_EQ(Canonical(row_path->result_set, ordered),
-              Canonical(accel->result_set, ordered))
+    EXPECT_EQ(Canonical(row_path->rows, ordered),
+              Canonical(accel->rows, ordered))
         << "batch path diverged from row path: " << sql;
-    EXPECT_EQ(db2->result_set.schema().NumColumns(),
-              accel->result_set.schema().NumColumns());
+    EXPECT_EQ(db2->rows.schema().NumColumns(),
+              accel->rows.schema().NumColumns());
   }
 
   static IdaaSystem* system_;

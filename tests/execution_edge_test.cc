@@ -23,7 +23,7 @@ TEST(ExecutionEdgeTest, TableLessSelect) {
 
 TEST(ExecutionEdgeTest, EmptyTableQueries) {
   IdaaSystem system;
-  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE e (a INT, b VARCHAR)").ok());
+  ASSERT_TRUE(system.Execute("CREATE TABLE e (a INT, b VARCHAR)").ok());
   auto rs = system.Query("SELECT * FROM e");
   EXPECT_EQ(rs->NumRows(), 0u);
   // Global aggregate over empty input: one row, COUNT 0, SUM NULL.
@@ -38,9 +38,9 @@ TEST(ExecutionEdgeTest, EmptyTableQueries) {
 
 TEST(ExecutionEdgeTest, NullsSortHigh) {
   IdaaSystem system;
-  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE n (a INT)").ok());
+  ASSERT_TRUE(system.Execute("CREATE TABLE n (a INT)").ok());
   ASSERT_TRUE(
-      system.ExecuteSql("INSERT INTO n VALUES (2), (NULL), (1)").ok());
+      system.Execute("INSERT INTO n VALUES (2), (NULL), (1)").ok());
   auto asc = system.Query("SELECT a FROM n ORDER BY a ASC");
   ASSERT_EQ(asc->NumRows(), 3u);
   EXPECT_EQ(asc->At(0, 0).AsInteger(), 1);
@@ -51,26 +51,26 @@ TEST(ExecutionEdgeTest, NullsSortHigh) {
 
 TEST(ExecutionEdgeTest, LimitZeroAndOversized) {
   IdaaSystem system;
-  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE l (a INT)").ok());
-  ASSERT_TRUE(system.ExecuteSql("INSERT INTO l VALUES (1), (2)").ok());
+  ASSERT_TRUE(system.Execute("CREATE TABLE l (a INT)").ok());
+  ASSERT_TRUE(system.Execute("INSERT INTO l VALUES (1), (2)").ok());
   EXPECT_EQ(system.Query("SELECT a FROM l LIMIT 0")->NumRows(), 0u);
   EXPECT_EQ(system.Query("SELECT a FROM l LIMIT 100")->NumRows(), 2u);
 }
 
 TEST(ExecutionEdgeTest, DistinctOnNulls) {
   IdaaSystem system;
-  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE d (a INT)").ok());
+  ASSERT_TRUE(system.Execute("CREATE TABLE d (a INT)").ok());
   ASSERT_TRUE(
-      system.ExecuteSql("INSERT INTO d VALUES (1), (NULL), (NULL), (1)").ok());
+      system.Execute("INSERT INTO d VALUES (1), (NULL), (NULL), (1)").ok());
   // SQL DISTINCT treats NULLs as one group.
   EXPECT_EQ(system.Query("SELECT DISTINCT a FROM d")->NumRows(), 2u);
 }
 
 TEST(ExecutionEdgeTest, GroupByNullKey) {
   IdaaSystem system;
-  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE g (k VARCHAR, v INT)").ok());
+  ASSERT_TRUE(system.Execute("CREATE TABLE g (k VARCHAR, v INT)").ok());
   ASSERT_TRUE(system
-                  .ExecuteSql("INSERT INTO g VALUES ('a', 1), (NULL, 2), "
+                  .Execute("INSERT INTO g VALUES ('a', 1), (NULL, 2), "
                               "(NULL, 3)")
                   .ok());
   auto rs = system.Query("SELECT k, SUM(v) FROM g GROUP BY k");
@@ -79,17 +79,17 @@ TEST(ExecutionEdgeTest, GroupByNullKey) {
 
 TEST(ExecutionEdgeTest, RuntimeErrorSurfacesNotCrashes) {
   IdaaSystem system;
-  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE z (a INT)").ok());
-  ASSERT_TRUE(system.ExecuteSql("INSERT INTO z VALUES (0)").ok());
-  auto r = system.ExecuteSql("SELECT 1 / a FROM z");
+  ASSERT_TRUE(system.Execute("CREATE TABLE z (a INT)").ok());
+  ASSERT_TRUE(system.Execute("INSERT INTO z VALUES (0)").ok());
+  auto r = system.Execute("SELECT 1 / a FROM z");
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(ExecutionEdgeTest, SelfJoinWithAliases) {
   IdaaSystem system;
-  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE s (a INT)").ok());
-  ASSERT_TRUE(system.ExecuteSql("INSERT INTO s VALUES (1), (2), (3)").ok());
+  ASSERT_TRUE(system.Execute("CREATE TABLE s (a INT)").ok());
+  ASSERT_TRUE(system.Execute("INSERT INTO s VALUES (1), (2), (3)").ok());
   auto rs = system.Query(
       "SELECT x.a, y.a FROM s x JOIN s y ON x.a + 1 = y.a ORDER BY x.a");
   ASSERT_TRUE(rs.ok()) << rs.status().ToString();
@@ -105,14 +105,14 @@ TEST(ExecutionEdgeTest, SelfJoinWithAliases) {
 TEST(GroomServiceTest, MaybeGroomRespectsThreshold) {
   IdaaSystem system;
   ASSERT_TRUE(
-      system.ExecuteSql("CREATE TABLE a (x INT) IN ACCELERATOR").ok());
+      system.Execute("CREATE TABLE a (x INT) IN ACCELERATOR").ok());
   for (int i = 0; i < 10; ++i) {
     ASSERT_TRUE(system
-                    .ExecuteSql("INSERT INTO a VALUES (" + std::to_string(i) +
+                    .Execute("INSERT INTO a VALUES (" + std::to_string(i) +
                                 ")")
                     .ok());
   }
-  ASSERT_TRUE(system.ExecuteSql("DELETE FROM a WHERE x < 5").ok());
+  ASSERT_TRUE(system.Execute("DELETE FROM a WHERE x < 5").ok());
   accel::GroomService groom(&system.accelerator(), /*trigger_versions=*/1000);
   // Below threshold: skipped.
   auto stats = groom.MaybeGroom();
@@ -135,11 +135,11 @@ TEST(GroomServiceTest, MaybeGroomRespectsThreshold) {
 TEST(ConcurrencyTest, ParallelAcceleratorScansAreSafe) {
   IdaaSystem system;
   ASSERT_TRUE(
-      system.ExecuteSql("CREATE TABLE big (x INT) IN ACCELERATOR").ok());
+      system.Execute("CREATE TABLE big (x INT) IN ACCELERATOR").ok());
   ASSERT_TRUE(system.Begin().ok());
   for (int i = 0; i < 50; ++i) {
     ASSERT_TRUE(system
-                    .ExecuteSql("INSERT INTO big VALUES (" +
+                    .Execute("INSERT INTO big VALUES (" +
                                 std::to_string(i) + ")")
                     .ok());
   }
@@ -170,7 +170,7 @@ TEST(ConcurrencyTest, ParallelAcceleratorScansAreSafe) {
 TEST(ConcurrencyTest, WritersAndReadersOnAot) {
   IdaaSystem system;
   ASSERT_TRUE(
-      system.ExecuteSql("CREATE TABLE c (x INT) IN ACCELERATOR").ok());
+      system.Execute("CREATE TABLE c (x INT) IN ACCELERATOR").ok());
   auto table = system.accelerator().GetTable("c");
   ASSERT_TRUE(table.ok());
   std::atomic<bool> failed{false};
@@ -212,8 +212,8 @@ TEST(ConcurrencyTest, WritersAndReadersOnAot) {
 TEST(ConcurrencyTest, SnapshotIsolationAcrossSessions) {
   IdaaSystem system;
   ASSERT_TRUE(
-      system.ExecuteSql("CREATE TABLE iso (x INT) IN ACCELERATOR").ok());
-  ASSERT_TRUE(system.ExecuteSql("INSERT INTO iso VALUES (1)").ok());
+      system.Execute("CREATE TABLE iso (x INT) IN ACCELERATOR").ok());
+  ASSERT_TRUE(system.Execute("INSERT INTO iso VALUES (1)").ok());
 
   // Session A opens a long transaction and reads.
   Transaction* a = system.txn_manager().Begin();
@@ -223,7 +223,7 @@ TEST(ConcurrencyTest, SnapshotIsolationAcrossSessions) {
   EXPECT_EQ(*before, 1u);
 
   // Session B (auto-commit through the facade) inserts meanwhile.
-  ASSERT_TRUE(system.ExecuteSql("INSERT INTO iso VALUES (2)").ok());
+  ASSERT_TRUE(system.Execute("INSERT INTO iso VALUES (2)").ok());
 
   // A still sees its snapshot; a fresh transaction sees both rows.
   auto after = (*table)->CountVisible(a->id(), a->snapshot_csn(),

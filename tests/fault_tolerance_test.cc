@@ -198,17 +198,17 @@ class FaultToleranceTest : public ::testing::Test {
  protected:
   void SeedAccelerated(IdaaSystem& system, int rows = 40) {
     ASSERT_TRUE(
-        system.ExecuteSql("CREATE TABLE t (id INT NOT NULL, v INT, "
+        system.Execute("CREATE TABLE t (id INT NOT NULL, v INT, "
                           "region VARCHAR)")
             .ok());
     for (int i = 0; i < rows; ++i) {
       ASSERT_TRUE(system
-                      .ExecuteSql(StrFormat(
+                      .Execute(StrFormat(
                           "INSERT INTO t VALUES (%d, %d, '%s')", i, i * 3,
                           i % 2 == 0 ? "EAST" : "WEST"))
                       .ok());
     }
-    ASSERT_TRUE(system.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('t')").ok());
+    ASSERT_TRUE(system.Execute("CALL SYSPROC.ACCEL_ADD_TABLES('t')").ok());
   }
 
   // Keep retry sleeps out of the test runtime.
@@ -271,7 +271,7 @@ TEST_F(FaultToleranceTest, OfflineErrorNamesAcceleratorAndStatement) {
   IdaaSystem system;
   SeedAccelerated(system);
   ASSERT_TRUE(
-      system.ExecuteSql("CALL SYSPROC.ACCEL_CONTROL('ACCEL1', 'OFFLINE')")
+      system.Execute("CALL SYSPROC.ACCEL_CONTROL('ACCEL1', 'OFFLINE')")
           .ok());
 
   // ELIGIBLE (no failback): the offline accelerator is a user-visible
@@ -290,11 +290,11 @@ TEST_F(FaultToleranceTest, FailbackToDb2WhenAcceleratorOffline) {
   IdaaSystem system;
   SeedAccelerated(system);
   ASSERT_TRUE(
-      system.ExecuteSql("CALL SYSPROC.ACCEL_CONTROL('ACCEL1', 'OFFLINE')")
+      system.Execute("CALL SYSPROC.ACCEL_CONTROL('ACCEL1', 'OFFLINE')")
           .ok());
 
   ASSERT_TRUE(system
-                  .ExecuteSql("SET CURRENT QUERY ACCELERATION = "
+                  .Execute("SET CURRENT QUERY ACCELERATION = "
                               "ENABLE WITH FAILBACK")
                   .ok());
   auto result = system.Execute(
@@ -338,9 +338,9 @@ TEST_F(FaultToleranceTest, AotCannotFailBack) {
   IdaaSystem system;
   FastRetries(system, /*max_attempts=*/2);
   ASSERT_TRUE(
-      system.ExecuteSql("CREATE TABLE stage (id INT, v INT) IN ACCELERATOR")
+      system.Execute("CREATE TABLE stage (id INT, v INT) IN ACCELERATOR")
           .ok());
-  ASSERT_TRUE(system.ExecuteSql("INSERT INTO stage VALUES (1, 1)").ok());
+  ASSERT_TRUE(system.Execute("INSERT INTO stage VALUES (1, 1)").ok());
 
   FaultSpec spec;
   spec.probability = 1.0;
@@ -439,23 +439,23 @@ TEST_F(FaultToleranceTest, OfflineOnlineCycleConvergesReplication) {
   SeedAccelerated(system, /*rows=*/10);
 
   ASSERT_TRUE(
-      system.ExecuteSql("CALL SYSPROC.ACCEL_CONTROL('ACCEL1', 'OFFLINE')")
+      system.Execute("CALL SYSPROC.ACCEL_CONTROL('ACCEL1', 'OFFLINE')")
           .ok());
   // Writes keep landing in DB2; replication cannot apply and must queue.
   for (int i = 100; i < 120; ++i) {
     ASSERT_TRUE(system
-                    .ExecuteSql(StrFormat(
+                    .Execute(StrFormat(
                         "INSERT INTO t VALUES (%d, %d, 'WEST')", i, i))
                     .ok());
   }
   ASSERT_TRUE(
-      system.ExecuteSql("UPDATE t SET v = v + 1000 WHERE id = 0").ok());
-  ASSERT_TRUE(system.ExecuteSql("DELETE FROM t WHERE id = 1").ok());
+      system.Execute("UPDATE t SET v = v + 1000 WHERE id = 0").ok());
+  ASSERT_TRUE(system.Execute("DELETE FROM t WHERE id = 1").ok());
   EXPECT_GT(system.replication().PendingChanges(), 0u);
 
   // ONLINE replays the backlog (Recovering) before accepting queries.
   auto online =
-      system.ExecuteSql("CALL SYSPROC.ACCEL_CONTROL('ACCEL1', 'ONLINE')");
+      system.Execute("CALL SYSPROC.ACCEL_CONTROL('ACCEL1', 'ONLINE')");
   ASSERT_TRUE(online.ok()) << online.status().ToString();
   EXPECT_NE(online->detail.find("pending change(s)"), std::string::npos);
   EXPECT_EQ(system.replication().PendingChanges(), 0u);

@@ -29,8 +29,8 @@ TEST(ConnectionTest, IndependentSessions) {
 TEST(ConnectionTest, SnapshotIsolationBetweenConnectionsViaSql) {
   IdaaSystem system;
   ASSERT_TRUE(
-      system.ExecuteSql("CREATE TABLE iso (x INT) IN ACCELERATOR").ok());
-  ASSERT_TRUE(system.ExecuteSql("INSERT INTO iso VALUES (1)").ok());
+      system.Execute("CREATE TABLE iso (x INT) IN ACCELERATOR").ok());
+  ASSERT_TRUE(system.Execute("INSERT INTO iso VALUES (1)").ok());
 
   auto reader = system.NewConnection();
   auto writer = system.NewConnection();
@@ -40,7 +40,7 @@ TEST(ConnectionTest, SnapshotIsolationBetweenConnectionsViaSql) {
   EXPECT_EQ(before->At(0, 0).AsInteger(), 1);
 
   // Writer commits while the reader transaction stays open.
-  ASSERT_TRUE(writer->ExecuteSql("INSERT INTO iso VALUES (2)").ok());
+  ASSERT_TRUE(writer->Execute("INSERT INTO iso VALUES (2)").ok());
 
   auto during = reader->Query("SELECT COUNT(*) FROM iso");
   ASSERT_TRUE(during.ok());
@@ -53,11 +53,11 @@ TEST(ConnectionTest, SnapshotIsolationBetweenConnectionsViaSql) {
 TEST(ConnectionTest, UncommittedWritesInvisibleToOtherConnection) {
   IdaaSystem system;
   ASSERT_TRUE(
-      system.ExecuteSql("CREATE TABLE w (x INT) IN ACCELERATOR").ok());
+      system.Execute("CREATE TABLE w (x INT) IN ACCELERATOR").ok());
   auto writer = system.NewConnection();
   auto reader = system.NewConnection();
   ASSERT_TRUE(writer->Begin().ok());
-  ASSERT_TRUE(writer->ExecuteSql("INSERT INTO w VALUES (1)").ok());
+  ASSERT_TRUE(writer->Execute("INSERT INTO w VALUES (1)").ok());
   // Writer sees its own uncommitted row; the reader does not.
   EXPECT_EQ(writer->Query("SELECT COUNT(*) FROM w")->At(0, 0).AsInteger(), 1);
   EXPECT_EQ(reader->Query("SELECT COUNT(*) FROM w")->At(0, 0).AsInteger(), 0);
@@ -68,11 +68,11 @@ TEST(ConnectionTest, UncommittedWritesInvisibleToOtherConnection) {
 TEST(ConnectionTest, DestructorRollsBackOpenTransaction) {
   IdaaSystem system;
   ASSERT_TRUE(
-      system.ExecuteSql("CREATE TABLE d (x INT) IN ACCELERATOR").ok());
+      system.Execute("CREATE TABLE d (x INT) IN ACCELERATOR").ok());
   {
     auto conn = system.NewConnection();
     ASSERT_TRUE(conn->Begin().ok());
-    ASSERT_TRUE(conn->ExecuteSql("INSERT INTO d VALUES (1)").ok());
+    ASSERT_TRUE(conn->Execute("INSERT INTO d VALUES (1)").ok());
     // Connection dropped without commit.
   }
   EXPECT_EQ(system.Query("SELECT COUNT(*) FROM d")->At(0, 0).AsInteger(), 0);
@@ -84,25 +84,25 @@ TEST(ConnectionTest, DestructorRollsBackOpenTransaction) {
 
 TEST(SetRegisterTest, ChangesRouting) {
   IdaaSystem system;
-  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE t (a INT)").ok());
-  ASSERT_TRUE(system.ExecuteSql("INSERT INTO t VALUES (1)").ok());
-  ASSERT_TRUE(system.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('t')").ok());
+  ASSERT_TRUE(system.Execute("CREATE TABLE t (a INT)").ok());
+  ASSERT_TRUE(system.Execute("INSERT INTO t VALUES (1)").ok());
+  ASSERT_TRUE(system.Execute("CALL SYSPROC.ACCEL_ADD_TABLES('t')").ok());
 
   ASSERT_TRUE(
-      system.ExecuteSql("SET CURRENT QUERY ACCELERATION = NONE").ok());
+      system.Execute("SET CURRENT QUERY ACCELERATION = NONE").ok());
   EXPECT_EQ(system.acceleration_mode(), AccelerationMode::kNone);
-  auto r = system.ExecuteSql("SELECT COUNT(*) FROM t");
-  EXPECT_EQ(r->executed_on, Target::kDb2);
+  auto r = system.Execute("SELECT COUNT(*) FROM t");
+  EXPECT_EQ(r->routed_to, Target::kDb2);
 
   ASSERT_TRUE(
-      system.ExecuteSql("SET CURRENT QUERY ACCELERATION = ALL").ok());
-  r = system.ExecuteSql("SELECT COUNT(*) FROM t");
-  EXPECT_EQ(r->executed_on, Target::kAccelerator);
+      system.Execute("SET CURRENT QUERY ACCELERATION = ALL").ok());
+  r = system.Execute("SELECT COUNT(*) FROM t");
+  EXPECT_EQ(r->routed_to, Target::kAccelerator);
 }
 
 TEST(SetRegisterTest, InvalidValueFails) {
   IdaaSystem system;
-  auto r = system.ExecuteSql("SET CURRENT QUERY ACCELERATION = SOMETIMES");
+  auto r = system.Execute("SET CURRENT QUERY ACCELERATION = SOMETIMES");
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kSyntaxError);
 }
@@ -115,10 +115,10 @@ class ExplainTest : public ::testing::Test {
  protected:
   void SetUp() override {
     ASSERT_TRUE(
-        system_.ExecuteSql("CREATE TABLE t (id INT NOT NULL, v DOUBLE)").ok());
-    ASSERT_TRUE(system_.ExecuteSql("INSERT INTO t VALUES (1, 1.0)").ok());
+        system_.Execute("CREATE TABLE t (id INT NOT NULL, v DOUBLE)").ok());
+    ASSERT_TRUE(system_.Execute("INSERT INTO t VALUES (1, 1.0)").ok());
     ASSERT_TRUE(
-        system_.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('t')").ok());
+        system_.Execute("CALL SYSPROC.ACCEL_ADD_TABLES('t')").ok());
   }
 
   std::string Aspect(const ResultSet& rs, const std::string& aspect) {
@@ -132,41 +132,41 @@ class ExplainTest : public ::testing::Test {
 };
 
 TEST_F(ExplainTest, ReportsTargetAndDoesNotExecute) {
-  auto r = system_.ExecuteSql("EXPLAIN SELECT SUM(v) FROM t");
+  auto r = system_.Execute("EXPLAIN SELECT SUM(v) FROM t");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
-  EXPECT_EQ(Aspect(r->result_set, "TARGET"), "ACCELERATOR");
+  EXPECT_EQ(Aspect(r->rows, "TARGET"), "ACCELERATOR");
   EXPECT_NE(r->detail.find("not executed"), std::string::npos);
 }
 
 TEST_F(ExplainTest, ReportsSliceAggregation) {
-  auto r = system_.ExecuteSql("EXPLAIN SELECT id, COUNT(*) FROM t GROUP BY id");
+  auto r = system_.Execute("EXPLAIN SELECT id, COUNT(*) FROM t GROUP BY id");
   ASSERT_TRUE(r.ok());
-  EXPECT_NE(Aspect(r->result_set, "AGGREGATION").find("data slices"),
+  EXPECT_NE(Aspect(r->rows, "AGGREGATION").find("data slices"),
             std::string::npos);
   // Expression keys force coordinator aggregation.
-  r = system_.ExecuteSql(
+  r = system_.Execute(
       "EXPLAIN SELECT id % 2, COUNT(*) FROM t GROUP BY id % 2");
   ASSERT_TRUE(r.ok());
-  EXPECT_NE(Aspect(r->result_set, "AGGREGATION").find("coordinator"),
+  EXPECT_NE(Aspect(r->rows, "AGGREGATION").find("coordinator"),
             std::string::npos);
 }
 
 TEST_F(ExplainTest, ReportsIndexAccessOnDb2) {
   system_.SetAccelerationMode(AccelerationMode::kNone);
-  auto r = system_.ExecuteSql("EXPLAIN SELECT v FROM t WHERE id = 1");
+  auto r = system_.Execute("EXPLAIN SELECT v FROM t WHERE id = 1");
   ASSERT_TRUE(r.ok());
-  EXPECT_EQ(Aspect(r->result_set, "TARGET"), "DB2");
-  EXPECT_NE(Aspect(r->result_set, "TABLE T").find("hash index"),
+  EXPECT_EQ(Aspect(r->rows, "TARGET"), "DB2");
+  EXPECT_NE(Aspect(r->rows, "TABLE T").find("hash index"),
             std::string::npos);
-  r = system_.ExecuteSql("EXPLAIN SELECT v FROM t WHERE v > 0.5");
+  r = system_.Execute("EXPLAIN SELECT v FROM t WHERE v > 0.5");
   ASSERT_TRUE(r.ok());
-  EXPECT_NE(Aspect(r->result_set, "TABLE T").find("table scan"),
+  EXPECT_NE(Aspect(r->rows, "TABLE T").find("table scan"),
             std::string::npos);
 }
 
 TEST_F(ExplainTest, RequiresSelectPrivilege) {
   system_.SetUser("nobody");
-  auto r = system_.ExecuteSql("EXPLAIN SELECT * FROM t");
+  auto r = system_.Execute("EXPLAIN SELECT * FROM t");
   ASSERT_FALSE(r.ok());
   EXPECT_TRUE(r.status().IsNotAuthorized());
 }
@@ -179,43 +179,43 @@ TEST(ProcedureTest, AccelLoadTablesRepairsDivergence) {
   SystemOptions options;
   options.replication_batch_size = 0;
   IdaaSystem system(options);
-  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE t (a INT)").ok());
-  ASSERT_TRUE(system.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('t')").ok());
+  ASSERT_TRUE(system.Execute("CREATE TABLE t (a INT)").ok());
+  ASSERT_TRUE(system.Execute("CALL SYSPROC.ACCEL_ADD_TABLES('t')").ok());
   // Diverge: DB2 gets rows the replica never sees (no flush), then pending
   // changes are superseded by a reload.
-  ASSERT_TRUE(system.ExecuteSql("INSERT INTO t VALUES (1), (2), (3)").ok());
+  ASSERT_TRUE(system.Execute("INSERT INTO t VALUES (1), (2), (3)").ok());
   EXPECT_EQ(system.replication().PendingChanges(), 3u);
   system.SetAccelerationMode(federation::AccelerationMode::kEligible);
   EXPECT_EQ(system.Query("SELECT COUNT(*) FROM t")->At(0, 0).AsInteger(), 0);
 
-  ASSERT_TRUE(system.ExecuteSql("CALL SYSPROC.ACCEL_LOAD_TABLES('t')").ok());
+  ASSERT_TRUE(system.Execute("CALL SYSPROC.ACCEL_LOAD_TABLES('t')").ok());
   EXPECT_EQ(system.Query("SELECT COUNT(*) FROM t")->At(0, 0).AsInteger(), 3);
   EXPECT_EQ(system.replication().PendingChanges(), 0u);
   // Incremental update keeps working afterwards.
-  ASSERT_TRUE(system.ExecuteSql("INSERT INTO t VALUES (4)").ok());
+  ASSERT_TRUE(system.Execute("INSERT INTO t VALUES (4)").ok());
   ASSERT_TRUE(system.replication().Flush().ok());
   EXPECT_EQ(system.Query("SELECT COUNT(*) FROM t")->At(0, 0).AsInteger(), 4);
 }
 
 TEST(ProcedureTest, AccelLoadTablesRejectsNonAccelerated) {
   IdaaSystem system;
-  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE plain (a INT)").ok());
+  ASSERT_TRUE(system.Execute("CREATE TABLE plain (a INT)").ok());
   EXPECT_FALSE(
-      system.ExecuteSql("CALL SYSPROC.ACCEL_LOAD_TABLES('plain')").ok());
+      system.Execute("CALL SYSPROC.ACCEL_LOAD_TABLES('plain')").ok());
   ASSERT_TRUE(
-      system.ExecuteSql("CREATE TABLE aot (a INT) IN ACCELERATOR").ok());
+      system.Execute("CREATE TABLE aot (a INT) IN ACCELERATOR").ok());
   EXPECT_FALSE(
-      system.ExecuteSql("CALL SYSPROC.ACCEL_LOAD_TABLES('aot')").ok());
+      system.Execute("CALL SYSPROC.ACCEL_LOAD_TABLES('aot')").ok());
 }
 
 TEST(ProcedureTest, GetTablesInfoListsEverything) {
   IdaaSystem system;
-  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE a (x INT)").ok());
-  ASSERT_TRUE(system.ExecuteSql("INSERT INTO a VALUES (1), (2)").ok());
-  ASSERT_TRUE(system.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('a')").ok());
+  ASSERT_TRUE(system.Execute("CREATE TABLE a (x INT)").ok());
+  ASSERT_TRUE(system.Execute("INSERT INTO a VALUES (1), (2)").ok());
+  ASSERT_TRUE(system.Execute("CALL SYSPROC.ACCEL_ADD_TABLES('a')").ok());
   ASSERT_TRUE(
-      system.ExecuteSql("CREATE TABLE b (x INT) IN ACCELERATOR").ok());
-  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE c (x INT)").ok());
+      system.Execute("CREATE TABLE b (x INT) IN ACCELERATOR").ok());
+  ASSERT_TRUE(system.Execute("CREATE TABLE c (x INT)").ok());
 
   auto rs = system.Query("CALL SYSPROC.ACCEL_GET_TABLES_INFO()");
   ASSERT_TRUE(rs.ok()) << rs.status().ToString();
@@ -240,18 +240,18 @@ TEST(ProcedureTest, GetTablesInfoListsEverything) {
 TEST(SummarizeTest, AuditsColumns) {
   IdaaSystem system;
   ASSERT_TRUE(system
-                  .ExecuteSql("CREATE TABLE d (n INT, s VARCHAR) "
+                  .Execute("CREATE TABLE d (n INT, s VARCHAR) "
                               "IN ACCELERATOR")
                   .ok());
   ASSERT_TRUE(system
-                  .ExecuteSql("INSERT INTO d VALUES (1, 'a'), (2, 'b'), "
+                  .Execute("INSERT INTO d VALUES (1, 'a'), (2, 'b'), "
                               "(3, 'a'), (NULL, NULL)")
                   .ok());
-  auto r = system.ExecuteSql("CALL IDAA.SUMMARIZE('input=d')");
+  auto r = system.Execute("CALL IDAA.SUMMARIZE('input=d')");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
-  ASSERT_EQ(r->result_set.NumRows(), 2u);
+  ASSERT_EQ(r->rows.NumRows(), 2u);
   // Column N: 3 values, 1 null, distinct 3, min 1 max 3, mean 2.
-  const Row& n_row = r->result_set.rows()[0];
+  const Row& n_row = r->rows.rows()[0];
   EXPECT_EQ(n_row[0].AsVarchar(), "N");
   EXPECT_EQ(n_row[2].AsInteger(), 3);
   EXPECT_EQ(n_row[3].AsInteger(), 1);
@@ -260,7 +260,7 @@ TEST(SummarizeTest, AuditsColumns) {
   EXPECT_EQ(n_row[6].AsVarchar(), "3");
   EXPECT_DOUBLE_EQ(n_row[7].AsDouble(), 2.0);
   // Column S: strings — mean/stddev are NULL, distinct 2.
-  const Row& s_row = r->result_set.rows()[1];
+  const Row& s_row = r->rows.rows()[1];
   EXPECT_EQ(s_row[4].AsInteger(), 2);
   EXPECT_TRUE(s_row[7].is_null());
 }
@@ -268,10 +268,10 @@ TEST(SummarizeTest, AuditsColumns) {
 TEST(SummarizeTest, MaterializesOutputAot) {
   IdaaSystem system;
   ASSERT_TRUE(
-      system.ExecuteSql("CREATE TABLE d (n INT) IN ACCELERATOR").ok());
-  ASSERT_TRUE(system.ExecuteSql("INSERT INTO d VALUES (5)").ok());
+      system.Execute("CREATE TABLE d (n INT) IN ACCELERATOR").ok());
+  ASSERT_TRUE(system.Execute("INSERT INTO d VALUES (5)").ok());
   ASSERT_TRUE(
-      system.ExecuteSql("CALL IDAA.SUMMARIZE('input=d', 'output=d_audit')")
+      system.Execute("CALL IDAA.SUMMARIZE('input=d', 'output=d_audit')")
           .ok());
   auto rs = system.Query("SELECT column, n FROM d_audit");
   ASSERT_TRUE(rs.ok()) << rs.status().ToString();
@@ -286,27 +286,27 @@ TEST(HeuristicTest, LargeScanOffloadsUnderEnable) {
   IdaaSystem system;
   system.federation().mutable_router().set_enable_row_threshold(100);
   ASSERT_TRUE(
-      system.ExecuteSql("CREATE TABLE big (id INT NOT NULL, v DOUBLE)").ok());
+      system.Execute("CREATE TABLE big (id INT NOT NULL, v DOUBLE)").ok());
   ASSERT_TRUE(system.Begin().ok());
   for (int i = 0; i < 200; ++i) {
     ASSERT_TRUE(system
-                    .ExecuteSql("INSERT INTO big VALUES (" +
+                    .Execute("INSERT INTO big VALUES (" +
                                 std::to_string(i) + ", 1.0)")
                     .ok());
   }
   ASSERT_TRUE(system.Commit().ok());
-  ASSERT_TRUE(system.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('big')").ok());
+  ASSERT_TRUE(system.Execute("CALL SYSPROC.ACCEL_ADD_TABLES('big')").ok());
   system.SetAccelerationMode(AccelerationMode::kEnable);
 
   // Non-analytical shape, but the scan is large: offload.
-  auto wide = system.ExecuteSql("SELECT v FROM big WHERE v > 0.5");
+  auto wide = system.Execute("SELECT v FROM big WHERE v > 0.5");
   ASSERT_TRUE(wide.ok());
-  EXPECT_EQ(wide->executed_on, Target::kAccelerator);
+  EXPECT_EQ(wide->routed_to, Target::kAccelerator);
   EXPECT_NE(wide->detail.find("large scan"), std::string::npos);
   // Point lookup still goes to DB2 — same table, same mode.
-  auto point = system.ExecuteSql("SELECT v FROM big WHERE id = 7");
+  auto point = system.Execute("SELECT v FROM big WHERE id = 7");
   ASSERT_TRUE(point.ok());
-  EXPECT_EQ(point->executed_on, Target::kDb2);
+  EXPECT_EQ(point->routed_to, Target::kDb2);
 }
 
 // ---------------------------------------------------------------------------
@@ -333,13 +333,13 @@ TEST(SlowQueryLogFeatureTest, FiresExactlyAtOrAboveThreshold) {
 TEST(SlowQueryLogFeatureTest, RecordsTraceAndBoundaryBytesEndToEnd) {
   IdaaSystem system;
   ASSERT_TRUE(
-      system.ExecuteSql("CREATE TABLE slow (a INT, b DOUBLE) IN ACCELERATOR")
+      system.Execute("CREATE TABLE slow (a INT, b DOUBLE) IN ACCELERATOR")
           .ok());
   ASSERT_TRUE(
-      system.ExecuteSql("INSERT INTO slow VALUES (1, 1.0), (2, 2.5)").ok());
+      system.Execute("INSERT INTO slow VALUES (1, 1.0), (2, 2.5)").ok());
   // Threshold 0: every statement qualifies, so the test is deterministic.
   system.slow_query_log().set_threshold_us(0);
-  ASSERT_TRUE(system.ExecuteSql("SELECT SUM(b) FROM slow").ok());
+  ASSERT_TRUE(system.Execute("SELECT SUM(b) FROM slow").ok());
 
   auto entries = system.slow_query_log().Entries();
   ASSERT_GE(entries.size(), 1u);

@@ -16,17 +16,17 @@ class FederationTest : public ::testing::Test {
  protected:
   void SetUp() override {
     ASSERT_TRUE(
-        system_.ExecuteSql("CREATE TABLE plain (a INT, b DOUBLE)").ok());
+        system_.Execute("CREATE TABLE plain (a INT, b DOUBLE)").ok());
     ASSERT_TRUE(
-        system_.ExecuteSql("CREATE TABLE repl (a INT, b DOUBLE)").ok());
+        system_.Execute("CREATE TABLE repl (a INT, b DOUBLE)").ok());
     ASSERT_TRUE(
         system_
-            .ExecuteSql("INSERT INTO repl VALUES (1, 1.0), (2, 2.0), (3, 3.0)")
+            .Execute("INSERT INTO repl VALUES (1, 1.0), (2, 2.0), (3, 3.0)")
             .ok());
     ASSERT_TRUE(
-        system_.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('repl')").ok());
+        system_.Execute("CALL SYSPROC.ACCEL_ADD_TABLES('repl')").ok());
     ASSERT_TRUE(
-        system_.ExecuteSql("CREATE TABLE aot (a INT, b DOUBLE) IN ACCELERATOR")
+        system_.Execute("CREATE TABLE aot (a INT, b DOUBLE) IN ACCELERATOR")
             .ok());
   }
 
@@ -52,79 +52,79 @@ TEST_F(FederationTest, AcceleratedTableExistsOnBothSides) {
 
 TEST_F(FederationTest, AotQueryAlwaysDelegated) {
   system_.SetAccelerationMode(AccelerationMode::kEnable);
-  auto r = system_.ExecuteSql("SELECT COUNT(*) FROM aot");
+  auto r = system_.Execute("SELECT COUNT(*) FROM aot");
   ASSERT_TRUE(r.ok());
-  EXPECT_EQ(r->executed_on, Target::kAccelerator);
+  EXPECT_EQ(r->routed_to, Target::kAccelerator);
 }
 
 TEST_F(FederationTest, AotWithAccelerationNoneFails) {
   system_.SetAccelerationMode(AccelerationMode::kNone);
-  auto r = system_.ExecuteSql("SELECT * FROM aot");
+  auto r = system_.Execute("SELECT * FROM aot");
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kSemanticError);
 }
 
 TEST_F(FederationTest, AotJoinedWithDb2OnlyFails) {
-  auto r = system_.ExecuteSql(
+  auto r = system_.Execute(
       "SELECT * FROM aot JOIN plain ON aot.a = plain.a");
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kSemanticError);
 }
 
 TEST_F(FederationTest, AotJoinedWithReplicaRunsOnAccelerator) {
-  ASSERT_TRUE(system_.ExecuteSql("INSERT INTO aot VALUES (1, 10.0)").ok());
-  auto r = system_.ExecuteSql(
+  ASSERT_TRUE(system_.Execute("INSERT INTO aot VALUES (1, 10.0)").ok());
+  auto r = system_.Execute(
       "SELECT repl.a, aot.b FROM repl JOIN aot ON repl.a = aot.a");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
-  EXPECT_EQ(r->executed_on, Target::kAccelerator);
-  EXPECT_EQ(r->result_set.NumRows(), 1u);
+  EXPECT_EQ(r->routed_to, Target::kAccelerator);
+  EXPECT_EQ(r->rows.NumRows(), 1u);
 }
 
 TEST_F(FederationTest, Db2OnlyTableStaysOnDb2) {
-  auto r = system_.ExecuteSql("SELECT COUNT(*) FROM plain");
+  auto r = system_.Execute("SELECT COUNT(*) FROM plain");
   ASSERT_TRUE(r.ok());
-  EXPECT_EQ(r->executed_on, Target::kDb2);
+  EXPECT_EQ(r->routed_to, Target::kDb2);
 }
 
 TEST_F(FederationTest, MixedReplicaAndPlainRunsOnDb2) {
-  auto r = system_.ExecuteSql(
+  auto r = system_.Execute(
       "SELECT COUNT(*) FROM repl JOIN plain ON repl.a = plain.a");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
-  EXPECT_EQ(r->executed_on, Target::kDb2);
+  EXPECT_EQ(r->routed_to, Target::kDb2);
 }
 
 TEST_F(FederationTest, EnableModeUsesHeuristic) {
   system_.SetAccelerationMode(AccelerationMode::kEnable);
   // Short lookup -> DB2.
-  auto lookup = system_.ExecuteSql("SELECT b FROM repl WHERE a = 1");
+  auto lookup = system_.Execute("SELECT b FROM repl WHERE a = 1");
   ASSERT_TRUE(lookup.ok());
-  EXPECT_EQ(lookup->executed_on, Target::kDb2);
+  EXPECT_EQ(lookup->routed_to, Target::kDb2);
   // Aggregation -> accelerator.
-  auto agg = system_.ExecuteSql("SELECT SUM(b) FROM repl");
+  auto agg = system_.Execute("SELECT SUM(b) FROM repl");
   ASSERT_TRUE(agg.ok());
-  EXPECT_EQ(agg->executed_on, Target::kAccelerator);
+  EXPECT_EQ(agg->routed_to, Target::kAccelerator);
 }
 
 TEST_F(FederationTest, AllModeFailsOnNonAcceleratedReference) {
   system_.SetAccelerationMode(AccelerationMode::kAll);
-  auto r = system_.ExecuteSql(
+  auto r = system_.Execute(
       "SELECT COUNT(*) FROM repl JOIN plain ON repl.a = plain.a");
   EXPECT_FALSE(r.ok());
 }
 
 TEST_F(FederationTest, InsertSelectAotToAotMovesNoData) {
   ASSERT_TRUE(
-      system_.ExecuteSql("INSERT INTO aot SELECT a, b FROM repl").ok());
+      system_.Execute("INSERT INTO aot SELECT a, b FROM repl").ok());
   MetricsDelta delta(system_.metrics());
   ASSERT_TRUE(system_
-                  .ExecuteSql("CREATE TABLE aot2 (a INT, b DOUBLE) "
+                  .Execute("CREATE TABLE aot2 (a INT, b DOUBLE) "
                               "IN ACCELERATOR")
                   .ok());
-  auto r = system_.ExecuteSql(
+  auto r = system_.Execute(
       "INSERT INTO aot2 SELECT a, b * 2 FROM aot WHERE a >= 2");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
-  EXPECT_EQ(r->executed_on, Target::kAccelerator);
-  EXPECT_EQ(r->affected_rows, 2u);
+  EXPECT_EQ(r->routed_to, Target::kAccelerator);
+  EXPECT_EQ(r->rows_affected, 2u);
   // Only statement text crossed the boundary (< 200 bytes), no row data.
   EXPECT_LT(delta.Delta(metric::kFederationBytesToAccel), 400u);
   EXPECT_EQ(delta.Delta(metric::kFederationBytesFromAccel), 0u);
@@ -133,19 +133,19 @@ TEST_F(FederationTest, InsertSelectAotToAotMovesNoData) {
 
 TEST_F(FederationTest, InsertSelectDb2ToAotCrossesOnce) {
   MetricsDelta delta(system_.metrics());
-  ASSERT_TRUE(system_.ExecuteSql("INSERT INTO plain VALUES (7, 7.0)").ok());
-  auto r = system_.ExecuteSql("INSERT INTO aot SELECT a, b FROM plain");
+  ASSERT_TRUE(system_.Execute("INSERT INTO plain VALUES (7, 7.0)").ok());
+  auto r = system_.Execute("INSERT INTO aot SELECT a, b FROM plain");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
-  EXPECT_EQ(r->affected_rows, 1u);
+  EXPECT_EQ(r->rows_affected, 1u);
   EXPECT_GT(delta.Delta(metric::kFederationBytesToAccel), 0u);
 }
 
 TEST_F(FederationTest, InsertSelectAotToDb2Materializes) {
-  ASSERT_TRUE(system_.ExecuteSql("INSERT INTO aot VALUES (9, 9.0)").ok());
+  ASSERT_TRUE(system_.Execute("INSERT INTO aot VALUES (9, 9.0)").ok());
   MetricsDelta delta(system_.metrics());
-  auto r = system_.ExecuteSql("INSERT INTO plain SELECT a, b FROM aot");
+  auto r = system_.Execute("INSERT INTO plain SELECT a, b FROM aot");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
-  EXPECT_EQ(r->affected_rows, 1u);
+  EXPECT_EQ(r->rows_affected, 1u);
   // Result crossed accelerator -> DB2 and was materialized in the row store.
   EXPECT_GT(delta.Delta(metric::kFederationBytesFromAccel), 0u);
   EXPECT_EQ(delta.Delta(metric::kDb2RowsMaterialized), 1u);
@@ -153,14 +153,14 @@ TEST_F(FederationTest, InsertSelectAotToDb2Materializes) {
 
 TEST_F(FederationTest, UpdateDeleteOnAotDelegated) {
   ASSERT_TRUE(
-      system_.ExecuteSql("INSERT INTO aot VALUES (1, 1.0), (2, 2.0)").ok());
-  auto up = system_.ExecuteSql("UPDATE aot SET b = b + 10 WHERE a = 1");
+      system_.Execute("INSERT INTO aot VALUES (1, 1.0), (2, 2.0)").ok());
+  auto up = system_.Execute("UPDATE aot SET b = b + 10 WHERE a = 1");
   ASSERT_TRUE(up.ok()) << up.status().ToString();
-  EXPECT_EQ(up->executed_on, Target::kAccelerator);
-  EXPECT_EQ(up->affected_rows, 1u);
-  auto del = system_.ExecuteSql("DELETE FROM aot WHERE a = 2");
+  EXPECT_EQ(up->routed_to, Target::kAccelerator);
+  EXPECT_EQ(up->rows_affected, 1u);
+  auto del = system_.Execute("DELETE FROM aot WHERE a = 2");
   ASSERT_TRUE(del.ok());
-  EXPECT_EQ(del->affected_rows, 1u);
+  EXPECT_EQ(del->rows_affected, 1u);
   auto rs = system_.Query("SELECT a, b FROM aot");
   ASSERT_TRUE(rs.ok());
   ASSERT_EQ(rs->NumRows(), 1u);
@@ -174,19 +174,19 @@ TEST_F(FederationTest, AddTablesLoadsSnapshot) {
 }
 
 TEST_F(FederationTest, AddTablesTwiceFails) {
-  auto r = system_.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('repl')");
+  auto r = system_.Execute("CALL SYSPROC.ACCEL_ADD_TABLES('repl')");
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kAlreadyExists);
 }
 
 TEST_F(FederationTest, AddAotFails) {
   EXPECT_FALSE(
-      system_.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('aot')").ok());
+      system_.Execute("CALL SYSPROC.ACCEL_ADD_TABLES('aot')").ok());
 }
 
 TEST_F(FederationTest, RemoveTablesRevertsToDb2Only) {
   ASSERT_TRUE(
-      system_.ExecuteSql("CALL SYSPROC.ACCEL_REMOVE_TABLES('repl')").ok());
+      system_.Execute("CALL SYSPROC.ACCEL_REMOVE_TABLES('repl')").ok());
   auto info = system_.catalog().GetTable("repl");
   EXPECT_EQ((*info)->kind, TableKind::kDb2Only);
   EXPECT_FALSE(system_.accelerator().HasTable("repl"));
@@ -197,37 +197,37 @@ TEST_F(FederationTest, RemoveTablesRevertsToDb2Only) {
 }
 
 TEST_F(FederationTest, DropAotRemovesProxyAndStorage) {
-  ASSERT_TRUE(system_.ExecuteSql("DROP TABLE aot").ok());
+  ASSERT_TRUE(system_.Execute("DROP TABLE aot").ok());
   EXPECT_FALSE(system_.catalog().HasTable("aot"));
   EXPECT_FALSE(system_.accelerator().HasTable("aot"));
-  EXPECT_FALSE(system_.ExecuteSql("SELECT * FROM aot").ok());
+  EXPECT_FALSE(system_.Execute("SELECT * FROM aot").ok());
 }
 
 TEST_F(FederationTest, DropAcceleratedTableCleansBothSides) {
-  ASSERT_TRUE(system_.ExecuteSql("DROP TABLE repl").ok());
+  ASSERT_TRUE(system_.Execute("DROP TABLE repl").ok());
   EXPECT_FALSE(system_.catalog().HasTable("repl"));
   EXPECT_FALSE(system_.accelerator().HasTable("repl"));
 }
 
 TEST_F(FederationTest, CreateTableIfNotExistsIdempotent) {
   EXPECT_TRUE(
-      system_.ExecuteSql("CREATE TABLE IF NOT EXISTS plain (a INT)").ok());
-  EXPECT_FALSE(system_.ExecuteSql("CREATE TABLE plain (a INT)").ok());
+      system_.Execute("CREATE TABLE IF NOT EXISTS plain (a INT)").ok());
+  EXPECT_FALSE(system_.Execute("CREATE TABLE plain (a INT)").ok());
 }
 
 TEST_F(FederationTest, DistributeByOnlyForAot) {
   EXPECT_FALSE(
-      system_.ExecuteSql("CREATE TABLE d (a INT) DISTRIBUTE BY (a)").ok());
+      system_.Execute("CREATE TABLE d (a INT) DISTRIBUTE BY (a)").ok());
   EXPECT_TRUE(system_
-                  .ExecuteSql("CREATE TABLE d (a INT) IN ACCELERATOR "
+                  .Execute("CREATE TABLE d (a INT) IN ACCELERATOR "
                               "DISTRIBUTE BY (a)")
                   .ok());
 }
 
 TEST_F(FederationTest, GroomProcedure) {
-  ASSERT_TRUE(system_.ExecuteSql("INSERT INTO aot VALUES (1, 1.0)").ok());
-  ASSERT_TRUE(system_.ExecuteSql("DELETE FROM aot").ok());
-  auto r = system_.ExecuteSql("CALL SYSPROC.ACCEL_GROOM()");
+  ASSERT_TRUE(system_.Execute("INSERT INTO aot VALUES (1, 1.0)").ok());
+  ASSERT_TRUE(system_.Execute("DELETE FROM aot").ok());
+  auto r = system_.Execute("CALL SYSPROC.ACCEL_GROOM()");
   ASSERT_TRUE(r.ok());
   EXPECT_NE(r->detail.find("reclaimed"), std::string::npos);
   auto table = system_.accelerator().GetTable("aot");
@@ -236,7 +236,7 @@ TEST_F(FederationTest, GroomProcedure) {
 }
 
 TEST_F(FederationTest, UnknownProcedureFails) {
-  auto r = system_.ExecuteSql("CALL IDAA.NOSUCH('x=y')");
+  auto r = system_.Execute("CALL IDAA.NOSUCH('x=y')");
   EXPECT_FALSE(r.ok());
 }
 

@@ -32,7 +32,7 @@ class LoaderTest : public ::testing::Test {
 
 TEST_F(LoaderTest, CsvIntoAotDirectly) {
   ASSERT_TRUE(system_
-                  ->ExecuteSql("CREATE TABLE tweets (id INT NOT NULL, "
+                  ->Execute("CREATE TABLE tweets (id INT NOT NULL, "
                                "username VARCHAR, sentiment DOUBLE) "
                                "IN ACCELERATOR")
                   .ok());
@@ -51,7 +51,7 @@ TEST_F(LoaderTest, CsvIntoAotDirectly) {
 }
 
 TEST_F(LoaderTest, GeneratorIntoDb2Table) {
-  ASSERT_TRUE(system_->ExecuteSql("CREATE TABLE nums (n INT)").ok());
+  ASSERT_TRUE(system_->Execute("CREATE TABLE nums (n INT)").ok());
   Schema schema({{"N", DataType::kInteger, true}});
   loader::GeneratorSource source(schema, 250, [](size_t i) {
     return Row{Value::Integer(static_cast<int64_t>(i))};
@@ -68,9 +68,9 @@ TEST_F(LoaderTest, GeneratorIntoDb2Table) {
 }
 
 TEST_F(LoaderTest, LoadIntoAcceleratedTableReplicates) {
-  ASSERT_TRUE(system_->ExecuteSql("CREATE TABLE facts (n INT)").ok());
+  ASSERT_TRUE(system_->Execute("CREATE TABLE facts (n INT)").ok());
   ASSERT_TRUE(
-      system_->ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('facts')").ok());
+      system_->Execute("CALL SYSPROC.ACCEL_ADD_TABLES('facts')").ok());
   Schema schema({{"N", DataType::kInteger, true}});
   loader::GeneratorSource source(schema, 10, [](size_t i) {
     return Row{Value::Integer(static_cast<int64_t>(i))};
@@ -93,7 +93,7 @@ TEST_F(LoaderTest, UnknownTableFails) {
 
 TEST_F(LoaderTest, MalformedCsvAborts) {
   ASSERT_TRUE(system_
-                  ->ExecuteSql(
+                  ->Execute(
                       "CREATE TABLE strict (id INT NOT NULL) IN ACCELERATOR")
                   .ok());
   Schema schema({{"ID", DataType::kInteger, false}});
@@ -104,7 +104,7 @@ TEST_F(LoaderTest, MalformedCsvAborts) {
 
 TEST_F(LoaderTest, MissingFileFails) {
   ASSERT_TRUE(
-      system_->ExecuteSql("CREATE TABLE f (id INT) IN ACCELERATOR").ok());
+      system_->Execute("CREATE TABLE f (id INT) IN ACCELERATOR").ok());
   Schema schema({{"ID", DataType::kInteger, true}});
   loader::CsvFileSource source("/nonexistent/file.csv", schema);
   auto report = system_->loader().Load("f", &source);
@@ -114,7 +114,7 @@ TEST_F(LoaderTest, MissingFileFails) {
 
 TEST_F(LoaderTest, LoaderMetricsAccumulate) {
   ASSERT_TRUE(
-      system_->ExecuteSql("CREATE TABLE m (id INT) IN ACCELERATOR").ok());
+      system_->Execute("CREATE TABLE m (id INT) IN ACCELERATOR").ok());
   Schema schema({{"ID", DataType::kInteger, true}});
   loader::GeneratorSource source(schema, 42, [](size_t i) {
     return Row{Value::Integer(static_cast<int64_t>(i))};
@@ -132,11 +132,11 @@ class GovernanceTest : public ::testing::Test {
  protected:
   void SetUp() override {
     // Admin sets up tables and a restricted user.
-    ASSERT_TRUE(system_.ExecuteSql("CREATE TABLE secret (v INT)").ok());
-    ASSERT_TRUE(system_.ExecuteSql("INSERT INTO secret VALUES (42)").ok());
+    ASSERT_TRUE(system_.Execute("CREATE TABLE secret (v INT)").ok());
+    ASSERT_TRUE(system_.Execute("INSERT INTO secret VALUES (42)").ok());
     ASSERT_TRUE(
-        system_.ExecuteSql("CREATE TABLE open (v INT) IN ACCELERATOR").ok());
-    ASSERT_TRUE(system_.ExecuteSql("GRANT SELECT ON open TO alice").ok());
+        system_.Execute("CREATE TABLE open (v INT) IN ACCELERATOR").ok());
+    ASSERT_TRUE(system_.Execute("GRANT SELECT ON open TO alice").ok());
   }
 
   IdaaSystem system_;
@@ -144,90 +144,90 @@ class GovernanceTest : public ::testing::Test {
 
 TEST_F(GovernanceTest, DeniedSelectWithoutGrant) {
   system_.SetUser("alice");
-  auto r = system_.ExecuteSql("SELECT * FROM secret");
+  auto r = system_.Execute("SELECT * FROM secret");
   ASSERT_FALSE(r.ok());
   EXPECT_TRUE(r.status().IsNotAuthorized());
 }
 
 TEST_F(GovernanceTest, GrantedSelectWorks) {
   system_.SetUser("alice");
-  EXPECT_TRUE(system_.ExecuteSql("SELECT * FROM open").ok());
+  EXPECT_TRUE(system_.Execute("SELECT * FROM open").ok());
 }
 
 TEST_F(GovernanceTest, InsertRequiresInsertPrivilege) {
   system_.SetUser("alice");
-  EXPECT_FALSE(system_.ExecuteSql("INSERT INTO open VALUES (1)").ok());
+  EXPECT_FALSE(system_.Execute("INSERT INTO open VALUES (1)").ok());
   system_.SetUser(governance::AuthorizationManager::kAdmin);
-  ASSERT_TRUE(system_.ExecuteSql("GRANT INSERT ON open TO alice").ok());
+  ASSERT_TRUE(system_.Execute("GRANT INSERT ON open TO alice").ok());
   system_.SetUser("alice");
-  EXPECT_TRUE(system_.ExecuteSql("INSERT INTO open VALUES (1)").ok());
+  EXPECT_TRUE(system_.Execute("INSERT INTO open VALUES (1)").ok());
 }
 
 TEST_F(GovernanceTest, RevokeRemovesAccess) {
   system_.SetUser(governance::AuthorizationManager::kAdmin);
-  ASSERT_TRUE(system_.ExecuteSql("REVOKE SELECT ON open FROM alice").ok());
+  ASSERT_TRUE(system_.Execute("REVOKE SELECT ON open FROM alice").ok());
   system_.SetUser("alice");
-  EXPECT_FALSE(system_.ExecuteSql("SELECT * FROM open").ok());
+  EXPECT_FALSE(system_.Execute("SELECT * FROM open").ok());
 }
 
 TEST_F(GovernanceTest, OnlyAdminGrants) {
   system_.SetUser("alice");
-  auto r = system_.ExecuteSql("GRANT SELECT ON secret TO alice");
+  auto r = system_.Execute("GRANT SELECT ON secret TO alice");
   ASSERT_FALSE(r.ok());
   EXPECT_TRUE(r.status().IsNotAuthorized());
 }
 
 TEST_F(GovernanceTest, CreatorGetsFullPrivileges) {
   system_.SetUser(governance::AuthorizationManager::kAdmin);
-  ASSERT_TRUE(system_.ExecuteSql("GRANT SELECT ON dummy TO bob").ok());
+  ASSERT_TRUE(system_.Execute("GRANT SELECT ON dummy TO bob").ok());
   system_.SetUser("bob");
   ASSERT_TRUE(
-      system_.ExecuteSql("CREATE TABLE mine (v INT) IN ACCELERATOR").ok());
-  EXPECT_TRUE(system_.ExecuteSql("INSERT INTO mine VALUES (1)").ok());
-  EXPECT_TRUE(system_.ExecuteSql("SELECT * FROM mine").ok());
-  EXPECT_TRUE(system_.ExecuteSql("DELETE FROM mine").ok());
-  EXPECT_TRUE(system_.ExecuteSql("DROP TABLE mine").ok());
+      system_.Execute("CREATE TABLE mine (v INT) IN ACCELERATOR").ok());
+  EXPECT_TRUE(system_.Execute("INSERT INTO mine VALUES (1)").ok());
+  EXPECT_TRUE(system_.Execute("SELECT * FROM mine").ok());
+  EXPECT_TRUE(system_.Execute("DELETE FROM mine").ok());
+  EXPECT_TRUE(system_.Execute("DROP TABLE mine").ok());
 }
 
 TEST_F(GovernanceTest, InsertSelectNeedsBothPrivileges) {
   system_.SetUser(governance::AuthorizationManager::kAdmin);
-  ASSERT_TRUE(system_.ExecuteSql("GRANT INSERT ON open TO carol").ok());
+  ASSERT_TRUE(system_.Execute("GRANT INSERT ON open TO carol").ok());
   system_.SetUser("carol");
   // Carol may INSERT into open but cannot read secret.
-  auto r = system_.ExecuteSql("INSERT INTO open SELECT v FROM secret");
+  auto r = system_.Execute("INSERT INTO open SELECT v FROM secret");
   ASSERT_FALSE(r.ok());
   EXPECT_TRUE(r.status().IsNotAuthorized());
 }
 
 TEST_F(GovernanceTest, AnalyticsRequiresExecuteAndInputSelect) {
   system_.SetUser(governance::AuthorizationManager::kAdmin);
-  ASSERT_TRUE(system_.ExecuteSql("INSERT INTO open VALUES (1), (2)").ok());
+  ASSERT_TRUE(system_.Execute("INSERT INTO open VALUES (1), (2)").ok());
   system_.SetUser("alice");  // has SELECT on open but no EXECUTE
-  auto r = system_.ExecuteSql(
+  auto r = system_.Execute(
       "CALL IDAA.SAMPLE('input=open', 'output=open_sample', 'fraction=1.0')");
   ASSERT_FALSE(r.ok());
   EXPECT_TRUE(r.status().IsNotAuthorized());
 
   system_.SetUser(governance::AuthorizationManager::kAdmin);
   ASSERT_TRUE(
-      system_.ExecuteSql("GRANT EXECUTE ON IDAA.SAMPLE TO alice").ok());
+      system_.Execute("GRANT EXECUTE ON IDAA.SAMPLE TO alice").ok());
   system_.SetUser("alice");
-  auto ok = system_.ExecuteSql(
+  auto ok = system_.Execute(
       "CALL IDAA.SAMPLE('input=open', 'output=open_sample', 'fraction=1.0')");
   ASSERT_TRUE(ok.ok()) << ok.status().ToString();
   // Caller receives privileges on the produced AOT.
-  EXPECT_TRUE(system_.ExecuteSql("SELECT * FROM open_sample").ok());
+  EXPECT_TRUE(system_.Execute("SELECT * FROM open_sample").ok());
 }
 
 TEST_F(GovernanceTest, AnalyticsDeniedWithoutInputSelect) {
   system_.SetUser(governance::AuthorizationManager::kAdmin);
-  ASSERT_TRUE(system_.ExecuteSql("GRANT EXECUTE ON IDAA.SAMPLE TO mallory")
+  ASSERT_TRUE(system_.Execute("GRANT EXECUTE ON IDAA.SAMPLE TO mallory")
                   .ok());
   ASSERT_TRUE(
-      system_.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('secret')").ok());
+      system_.Execute("CALL SYSPROC.ACCEL_ADD_TABLES('secret')").ok());
   system_.SetUser("mallory");
   // EXECUTE alone is not enough: SELECT on the input table is enforced.
-  auto r = system_.ExecuteSql(
+  auto r = system_.Execute(
       "CALL IDAA.SAMPLE('input=secret', 'output=leak', 'fraction=1.0')");
   ASSERT_FALSE(r.ok());
   EXPECT_TRUE(r.status().IsNotAuthorized());
@@ -237,8 +237,8 @@ TEST_F(GovernanceTest, AnalyticsDeniedWithoutInputSelect) {
 TEST_F(GovernanceTest, AuditTrailRecordsDecisions) {
   size_t before = system_.audit().Size();
   system_.SetUser("alice");
-  (void)system_.ExecuteSql("SELECT * FROM open");
-  (void)system_.ExecuteSql("SELECT * FROM secret");  // denied
+  (void)system_.Execute("SELECT * FROM open");
+  (void)system_.Execute("SELECT * FROM secret");  // denied
   auto entries = system_.audit().EntriesForUser("alice");
   ASSERT_GE(entries.size(), 2u);
   bool saw_allowed = false, saw_denied = false;
@@ -254,14 +254,14 @@ TEST_F(GovernanceTest, AuditTrailRecordsDecisions) {
 TEST_F(GovernanceTest, OnlyAdminManagesAccelerator) {
   system_.SetUser("alice");
   EXPECT_FALSE(
-      system_.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('open')").ok());
+      system_.Execute("CALL SYSPROC.ACCEL_ADD_TABLES('open')").ok());
   EXPECT_FALSE(
-      system_.ExecuteSql("CALL SYSPROC.ACCEL_REMOVE_TABLES('open')").ok());
+      system_.Execute("CALL SYSPROC.ACCEL_REMOVE_TABLES('open')").ok());
 }
 
 TEST_F(GovernanceTest, GovernanceChecksAreMetered) {
   MetricsDelta delta(system_.metrics());
-  (void)system_.ExecuteSql("SELECT * FROM open");
+  (void)system_.Execute("SELECT * FROM open");
   EXPECT_GT(delta.Delta(metric::kGovernanceChecks), 0u);
 }
 

@@ -95,7 +95,7 @@ TEST_F(LoadPipelineTest, BitIdenticalAcrossWorkerCounts) {
     SystemOptions options;
     options.replication_batch_size = 0;
     IdaaSystem sys(options);
-    ASSERT_TRUE(sys.ExecuteSql("CREATE TABLE ev (id INT NOT NULL, "
+    ASSERT_TRUE(sys.Execute("CREATE TABLE ev (id INT NOT NULL, "
                                "tag VARCHAR, score DOUBLE) IN ACCELERATOR")
                     .ok());
     loader::CsvStringSource source(csv, EventSchema());
@@ -122,7 +122,7 @@ TEST_F(LoadPipelineTest, BitIdenticalWithHashDistribution) {
     SystemOptions options;
     options.replication_batch_size = 0;
     IdaaSystem sys(options);
-    ASSERT_TRUE(sys.ExecuteSql("CREATE TABLE evd (id INT NOT NULL, "
+    ASSERT_TRUE(sys.Execute("CREATE TABLE evd (id INT NOT NULL, "
                                "tag VARCHAR, score DOUBLE) IN ACCELERATOR "
                                "DISTRIBUTE BY (id)")
                     .ok());
@@ -137,7 +137,7 @@ TEST_F(LoadPipelineTest, BitIdenticalWithHashDistribution) {
 }
 
 TEST_F(LoadPipelineTest, BackpressureBoundsQueuedBatches) {
-  ASSERT_TRUE(system_->ExecuteSql("CREATE TABLE bp (id INT NOT NULL, "
+  ASSERT_TRUE(system_->Execute("CREATE TABLE bp (id INT NOT NULL, "
                                   "tag VARCHAR, score DOUBLE) IN ACCELERATOR")
                   .ok());
   loader::CsvStringSource source(EventCsv(1000), EventSchema());
@@ -168,7 +168,7 @@ constexpr char kDirtyCsv[] =
     "6,e,1.5\n";
 
 TEST_F(LoadPipelineTest, RejectBudgetZeroAbortsOnFirstBadRecord) {
-  ASSERT_TRUE(system_->ExecuteSql("CREATE TABLE r0 (id INT NOT NULL, "
+  ASSERT_TRUE(system_->Execute("CREATE TABLE r0 (id INT NOT NULL, "
                                   "tag VARCHAR, score DOUBLE) IN ACCELERATOR")
                   .ok());
   loader::CsvStringSource source(kDirtyCsv, EventSchema());
@@ -178,7 +178,7 @@ TEST_F(LoadPipelineTest, RejectBudgetZeroAbortsOnFirstBadRecord) {
 }
 
 TEST_F(LoadPipelineTest, RejectBudgetDivertsUpToMax) {
-  ASSERT_TRUE(system_->ExecuteSql("CREATE TABLE r3 (id INT NOT NULL, "
+  ASSERT_TRUE(system_->Execute("CREATE TABLE r3 (id INT NOT NULL, "
                                   "tag VARCHAR, score DOUBLE) IN ACCELERATOR")
                   .ok());
   loader::CsvStringSource source(kDirtyCsv, EventSchema());
@@ -199,7 +199,7 @@ TEST_F(LoadPipelineTest, RejectBudgetDivertsUpToMax) {
 }
 
 TEST_F(LoadPipelineTest, RejectBudgetExceededAborts) {
-  ASSERT_TRUE(system_->ExecuteSql("CREATE TABLE r2 (id INT NOT NULL, "
+  ASSERT_TRUE(system_->Execute("CREATE TABLE r2 (id INT NOT NULL, "
                                   "tag VARCHAR, score DOUBLE) IN ACCELERATOR")
                   .ok());
   loader::CsvStringSource source(kDirtyCsv, EventSchema());
@@ -211,7 +211,7 @@ TEST_F(LoadPipelineTest, RejectBudgetExceededAborts) {
 }
 
 TEST_F(LoadPipelineTest, UnlimitedRejectsNeverAborts) {
-  ASSERT_TRUE(system_->ExecuteSql("CREATE TABLE ru (id INT NOT NULL, "
+  ASSERT_TRUE(system_->Execute("CREATE TABLE ru (id INT NOT NULL, "
                                   "tag VARCHAR, score DOUBLE) IN ACCELERATOR")
                   .ok());
   // Every record bad except one.
@@ -226,7 +226,7 @@ TEST_F(LoadPipelineTest, UnlimitedRejectsNeverAborts) {
 }
 
 TEST_F(LoadPipelineTest, RejectFileRecordsRawRecordsAndErrors) {
-  ASSERT_TRUE(system_->ExecuteSql("CREATE TABLE rf (id INT NOT NULL, "
+  ASSERT_TRUE(system_->Execute("CREATE TABLE rf (id INT NOT NULL, "
                                   "tag VARCHAR, score DOUBLE) IN ACCELERATOR")
                   .ok());
   const std::string path = "loader_pipeline_rejects.csv";
@@ -253,7 +253,7 @@ TEST_F(LoadPipelineTest, RejectFileRecordsRawRecordsAndErrors) {
 // ---------------------------------------------------------------------------
 
 TEST_F(LoadPipelineTest, AtomicModeRollsBackDirectLoad) {
-  ASSERT_TRUE(system_->ExecuteSql("CREATE TABLE at (id INT NOT NULL, "
+  ASSERT_TRUE(system_->Execute("CREATE TABLE at (id INT NOT NULL, "
                                   "tag VARCHAR, score DOUBLE) IN ACCELERATOR")
                   .ok());
   std::string csv = EventCsv(100);
@@ -269,7 +269,7 @@ TEST_F(LoadPipelineTest, AtomicModeRollsBackDirectLoad) {
 }
 
 TEST_F(LoadPipelineTest, AtomicModeRollsBackDb2Load) {
-  ASSERT_TRUE(system_->ExecuteSql("CREATE TABLE atd (n INT NOT NULL)").ok());
+  ASSERT_TRUE(system_->Execute("CREATE TABLE atd (n INT NOT NULL)").ok());
   Schema schema({{"N", DataType::kInteger, false}});
   loader::CsvStringSource source("1\n2\nnope\n4\n", schema);
   loader::LoadOptions lo;
@@ -281,7 +281,7 @@ TEST_F(LoadPipelineTest, AtomicModeRollsBackDb2Load) {
 }
 
 TEST_F(LoadPipelineTest, AtomicModeCommitsAllOnSuccess) {
-  ASSERT_TRUE(system_->ExecuteSql("CREATE TABLE ats (id INT NOT NULL, "
+  ASSERT_TRUE(system_->Execute("CREATE TABLE ats (id INT NOT NULL, "
                                   "tag VARCHAR, score DOUBLE) IN ACCELERATOR")
                   .ok());
   loader::CsvStringSource source(EventCsv(500), EventSchema());
@@ -300,7 +300,7 @@ TEST_F(LoadPipelineTest, AtomicModeCommitsAllOnSuccess) {
 
 TEST_F(LoadPipelineTest, ResumeTokenLoadsExactlyOnce) {
   ASSERT_TRUE(
-      system_->ExecuteSql("CREATE TABLE rs (n INT NOT NULL) IN ACCELERATOR")
+      system_->Execute("CREATE TABLE rs (n INT NOT NULL) IN ACCELERATOR")
           .ok());
   // 100 records, 10 per batch; record 35 (batch 3) is bad.
   std::ostringstream os;
@@ -350,7 +350,7 @@ TEST_F(LoadPipelineTest, ResumeTokenLoadsExactlyOnce) {
 
 TEST_F(LoadPipelineTest, ResumeRequiresRestartableMode) {
   ASSERT_TRUE(
-      system_->ExecuteSql("CREATE TABLE rr (n INT) IN ACCELERATOR").ok());
+      system_->Execute("CREATE TABLE rr (n INT) IN ACCELERATOR").ok());
   Schema schema({{"N", DataType::kInteger, true}});
   loader::CsvStringSource source("1\n", schema);
   loader::LoadOptions lo;
@@ -367,7 +367,7 @@ TEST_F(LoadPipelineTest, ResumeRequiresRestartableMode) {
 // ---------------------------------------------------------------------------
 
 TEST_F(LoadPipelineTest, RetriesRecoverFromTransientChannelFaults) {
-  ASSERT_TRUE(system_->ExecuteSql("CREATE TABLE rt (id INT NOT NULL, "
+  ASSERT_TRUE(system_->Execute("CREATE TABLE rt (id INT NOT NULL, "
                                   "tag VARCHAR, score DOUBLE) IN ACCELERATOR")
                   .ok());
   FaultSpec spec;
@@ -393,7 +393,7 @@ TEST_F(LoadPipelineTest, RetriesRecoverFromTransientChannelFaults) {
 TEST_F(LoadPipelineTest, NonColumnarTypesFallBackToRowPath) {
   // DATE is outside the columnar wire format; the load must fall back to
   // the row path and still succeed end to end.
-  ASSERT_TRUE(system_->ExecuteSql("CREATE TABLE dts (id INT NOT NULL, "
+  ASSERT_TRUE(system_->Execute("CREATE TABLE dts (id INT NOT NULL, "
                                   "d DATE) IN ACCELERATOR")
                   .ok());
   Schema schema(
@@ -408,7 +408,7 @@ TEST_F(LoadPipelineTest, NonColumnarTypesFallBackToRowPath) {
 }
 
 TEST_F(LoadPipelineTest, ReportRendersLoadSummary) {
-  ASSERT_TRUE(system_->ExecuteSql("CREATE TABLE rep (id INT NOT NULL, "
+  ASSERT_TRUE(system_->Execute("CREATE TABLE rep (id INT NOT NULL, "
                                   "tag VARCHAR, score DOUBLE) IN ACCELERATOR")
                   .ok());
   loader::CsvStringSource source(EventCsv(300), EventSchema());
@@ -424,9 +424,9 @@ TEST_F(LoadPipelineTest, ReportRendersLoadSummary) {
 }
 
 TEST_F(LoadPipelineTest, ViaDb2PipelineReplicatesLikeSerial) {
-  ASSERT_TRUE(system_->ExecuteSql("CREATE TABLE vr (n INT)").ok());
+  ASSERT_TRUE(system_->Execute("CREATE TABLE vr (n INT)").ok());
   ASSERT_TRUE(
-      system_->ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('vr')").ok());
+      system_->Execute("CALL SYSPROC.ACCEL_ADD_TABLES('vr')").ok());
   Schema schema({{"N", DataType::kInteger, true}});
   loader::CsvStringSource source("1\n2\n3\n4\n5\n", schema);
   loader::LoadOptions lo;

@@ -28,10 +28,10 @@ class MultiAccelTest : public ::testing::Test {
 
 TEST_F(MultiAccelTest, ExplicitPlacement) {
   ASSERT_TRUE(system_
-                  .ExecuteSql("CREATE TABLE a1 (x INT) IN ACCELERATOR accel1")
+                  .Execute("CREATE TABLE a1 (x INT) IN ACCELERATOR accel1")
                   .ok());
   ASSERT_TRUE(system_
-                  .ExecuteSql("CREATE TABLE a2 (x INT) IN ACCELERATOR accel2")
+                  .Execute("CREATE TABLE a2 (x INT) IN ACCELERATOR accel2")
                   .ok());
   EXPECT_TRUE(system_.accelerator(0).HasTable("a1"));
   EXPECT_FALSE(system_.accelerator(0).HasTable("a2"));
@@ -41,7 +41,7 @@ TEST_F(MultiAccelTest, ExplicitPlacement) {
 }
 
 TEST_F(MultiAccelTest, UnknownAcceleratorFails) {
-  auto r = system_.ExecuteSql("CREATE TABLE x (a INT) IN ACCELERATOR accel9");
+  auto r = system_.Execute("CREATE TABLE x (a INT) IN ACCELERATOR accel9");
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
   EXPECT_FALSE(system_.catalog().HasTable("x"));
@@ -51,7 +51,7 @@ TEST_F(MultiAccelTest, BalancedPlacement) {
   // Without explicit targets, AOTs spread across the two accelerators.
   for (int i = 0; i < 6; ++i) {
     ASSERT_TRUE(system_
-                    .ExecuteSql("CREATE TABLE t" + std::to_string(i) +
+                    .Execute("CREATE TABLE t" + std::to_string(i) +
                                 " (x INT) IN ACCELERATOR")
                     .ok());
   }
@@ -61,9 +61,9 @@ TEST_F(MultiAccelTest, BalancedPlacement) {
 
 TEST_F(MultiAccelTest, QueriesRouteToHostingAccelerator) {
   ASSERT_TRUE(system_
-                  .ExecuteSql("CREATE TABLE t (x INT) IN ACCELERATOR accel2")
+                  .Execute("CREATE TABLE t (x INT) IN ACCELERATOR accel2")
                   .ok());
-  ASSERT_TRUE(system_.ExecuteSql("INSERT INTO t VALUES (1), (2)").ok());
+  ASSERT_TRUE(system_.Execute("INSERT INTO t VALUES (1), (2)").ok());
   auto rs = system_.Query("SELECT COUNT(*) FROM t");
   ASSERT_TRUE(rs.ok()) << rs.status().ToString();
   EXPECT_EQ(rs->At(0, 0).AsInteger(), 2);
@@ -73,12 +73,12 @@ TEST_F(MultiAccelTest, QueriesRouteToHostingAccelerator) {
 
 TEST_F(MultiAccelTest, CrossAcceleratorJoinFails) {
   ASSERT_TRUE(system_
-                  .ExecuteSql("CREATE TABLE l (x INT) IN ACCELERATOR accel1")
+                  .Execute("CREATE TABLE l (x INT) IN ACCELERATOR accel1")
                   .ok());
   ASSERT_TRUE(system_
-                  .ExecuteSql("CREATE TABLE r (x INT) IN ACCELERATOR accel2")
+                  .Execute("CREATE TABLE r (x INT) IN ACCELERATOR accel2")
                   .ok());
-  auto q = system_.ExecuteSql("SELECT COUNT(*) FROM l JOIN r ON l.x = r.x");
+  auto q = system_.Execute("SELECT COUNT(*) FROM l JOIN r ON l.x = r.x");
   ASSERT_FALSE(q.ok());
   EXPECT_NE(q.status().message().find("different accelerators"),
             std::string::npos);
@@ -86,17 +86,17 @@ TEST_F(MultiAccelTest, CrossAcceleratorJoinFails) {
 
 TEST_F(MultiAccelTest, CrossAcceleratorInsertSelectMovesData) {
   ASSERT_TRUE(system_
-                  .ExecuteSql("CREATE TABLE src (x INT) IN ACCELERATOR accel1")
+                  .Execute("CREATE TABLE src (x INT) IN ACCELERATOR accel1")
                   .ok());
   ASSERT_TRUE(
-      system_.ExecuteSql("INSERT INTO src VALUES (1), (2), (3)").ok());
+      system_.Execute("INSERT INTO src VALUES (1), (2), (3)").ok());
   ASSERT_TRUE(system_
-                  .ExecuteSql("CREATE TABLE dst (x INT) IN ACCELERATOR accel2")
+                  .Execute("CREATE TABLE dst (x INT) IN ACCELERATOR accel2")
                   .ok());
   MetricsDelta delta(system_.metrics());
-  auto r = system_.ExecuteSql("INSERT INTO dst SELECT x FROM src");
+  auto r = system_.Execute("INSERT INTO dst SELECT x FROM src");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
-  EXPECT_EQ(r->affected_rows, 3u);
+  EXPECT_EQ(r->rows_affected, 3u);
   EXPECT_NE(r->detail.find("across accelerators"), std::string::npos);
   // Two boundary crossings: accel1 -> DB2 -> accel2.
   EXPECT_GT(delta.Delta(metric::kFederationBytesFromAccel), 0u);
@@ -107,38 +107,38 @@ TEST_F(MultiAccelTest, CrossAcceleratorInsertSelectMovesData) {
 
 TEST_F(MultiAccelTest, SameAcceleratorInsertSelectStaysLocal) {
   ASSERT_TRUE(system_
-                  .ExecuteSql("CREATE TABLE s1 (x INT) IN ACCELERATOR accel1")
+                  .Execute("CREATE TABLE s1 (x INT) IN ACCELERATOR accel1")
                   .ok());
-  ASSERT_TRUE(system_.ExecuteSql("INSERT INTO s1 VALUES (1)").ok());
+  ASSERT_TRUE(system_.Execute("INSERT INTO s1 VALUES (1)").ok());
   ASSERT_TRUE(system_
-                  .ExecuteSql("CREATE TABLE s2 (x INT) IN ACCELERATOR accel1")
+                  .Execute("CREATE TABLE s2 (x INT) IN ACCELERATOR accel1")
                   .ok());
   MetricsDelta delta(system_.metrics());
-  auto r = system_.ExecuteSql("INSERT INTO s2 SELECT x FROM s1");
+  auto r = system_.Execute("INSERT INTO s2 SELECT x FROM s1");
   ASSERT_TRUE(r.ok());
   EXPECT_NE(r->detail.find("entirely on the accelerator"), std::string::npos);
   EXPECT_EQ(delta.Delta(metric::kFederationBytesFromAccel), 0u);
 }
 
 TEST_F(MultiAccelTest, AddTablesWithExplicitTargetAndBalanced) {
-  ASSERT_TRUE(system_.ExecuteSql("CREATE TABLE d1 (x INT)").ok());
-  ASSERT_TRUE(system_.ExecuteSql("CREATE TABLE d2 (x INT)").ok());
+  ASSERT_TRUE(system_.Execute("CREATE TABLE d1 (x INT)").ok());
+  ASSERT_TRUE(system_.Execute("CREATE TABLE d2 (x INT)").ok());
   ASSERT_TRUE(
-      system_.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('d1', 'ACCEL2')")
+      system_.Execute("CALL SYSPROC.ACCEL_ADD_TABLES('d1', 'ACCEL2')")
           .ok());
   EXPECT_TRUE(system_.accelerator(1).HasTable("d1"));
   // Balanced: d2 goes to the emptier accel1.
   ASSERT_TRUE(
-      system_.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('d2')").ok());
+      system_.Execute("CALL SYSPROC.ACCEL_ADD_TABLES('d2')").ok());
   EXPECT_TRUE(system_.accelerator(0).HasTable("d2"));
 }
 
 TEST_F(MultiAccelTest, ReplicationAppliesToHostingAccelerator) {
-  ASSERT_TRUE(system_.ExecuteSql("CREATE TABLE t (x INT)").ok());
+  ASSERT_TRUE(system_.Execute("CREATE TABLE t (x INT)").ok());
   ASSERT_TRUE(
-      system_.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('t', 'ACCEL2')")
+      system_.Execute("CALL SYSPROC.ACCEL_ADD_TABLES('t', 'ACCEL2')")
           .ok());
-  ASSERT_TRUE(system_.ExecuteSql("INSERT INTO t VALUES (1), (2)").ok());
+  ASSERT_TRUE(system_.Execute("INSERT INTO t VALUES (1), (2)").ok());
   ASSERT_TRUE(system_.replication().Flush().ok());
   EXPECT_EQ((*system_.accelerator(1).GetTable("t"))->NumVersions(), 2u);
   auto rs = system_.Query("SELECT COUNT(*) FROM t");
@@ -147,22 +147,22 @@ TEST_F(MultiAccelTest, ReplicationAppliesToHostingAccelerator) {
 
 TEST_F(MultiAccelTest, OfflineAcceleratorRejectsWork) {
   ASSERT_TRUE(system_
-                  .ExecuteSql("CREATE TABLE t (x INT) IN ACCELERATOR accel2")
+                  .Execute("CREATE TABLE t (x INT) IN ACCELERATOR accel2")
                   .ok());
-  ASSERT_TRUE(system_.ExecuteSql("INSERT INTO t VALUES (1)").ok());
+  ASSERT_TRUE(system_.Execute("INSERT INTO t VALUES (1)").ok());
   ASSERT_TRUE(
-      system_.ExecuteSql("CALL SYSPROC.ACCEL_CONTROL('ACCEL2', 'OFFLINE')")
+      system_.Execute("CALL SYSPROC.ACCEL_CONTROL('ACCEL2', 'OFFLINE')")
           .ok());
-  auto q = system_.ExecuteSql("SELECT COUNT(*) FROM t");
+  auto q = system_.Execute("SELECT COUNT(*) FROM t");
   ASSERT_FALSE(q.ok());
   EXPECT_NE(q.status().message().find("offline"), std::string::npos);
   // New AOTs avoid the offline accelerator under balanced placement.
   ASSERT_TRUE(
-      system_.ExecuteSql("CREATE TABLE fresh (x INT) IN ACCELERATOR").ok());
+      system_.Execute("CREATE TABLE fresh (x INT) IN ACCELERATOR").ok());
   EXPECT_TRUE(system_.accelerator(0).HasTable("fresh"));
   // Back online: queries work again.
   ASSERT_TRUE(
-      system_.ExecuteSql("CALL SYSPROC.ACCEL_CONTROL('ACCEL2', 'ONLINE')")
+      system_.Execute("CALL SYSPROC.ACCEL_CONTROL('ACCEL2', 'ONLINE')")
           .ok());
   auto rs = system_.Query("SELECT COUNT(*) FROM t");
   ASSERT_TRUE(rs.ok());
@@ -171,17 +171,17 @@ TEST_F(MultiAccelTest, OfflineAcceleratorRejectsWork) {
 
 TEST_F(MultiAccelTest, AnalyticsRunOnHostingAccelerator) {
   ASSERT_TRUE(system_
-                  .ExecuteSql("CREATE TABLE feats (x DOUBLE) "
+                  .Execute("CREATE TABLE feats (x DOUBLE) "
                               "IN ACCELERATOR accel2")
                   .ok());
   for (int i = 0; i < 10; ++i) {
     ASSERT_TRUE(system_
-                    .ExecuteSql("INSERT INTO feats VALUES (" +
+                    .Execute("INSERT INTO feats VALUES (" +
                                 std::to_string(i) + ".0)")
                     .ok());
   }
   ASSERT_TRUE(system_
-                  .ExecuteSql("CALL IDAA.KMEANS('input=feats', "
+                  .Execute("CALL IDAA.KMEANS('input=feats', "
                               "'output=clusters', 'columns=x', 'k=2')")
                   .ok());
   // The output AOT lives next to its input on accel2.
@@ -193,7 +193,7 @@ TEST_F(MultiAccelTest, AnalyticsRunOnHostingAccelerator) {
 
 TEST_F(MultiAccelTest, TablesInfoShowsAccelerator) {
   ASSERT_TRUE(system_
-                  .ExecuteSql("CREATE TABLE t (x INT) IN ACCELERATOR accel2")
+                  .Execute("CREATE TABLE t (x INT) IN ACCELERATOR accel2")
                   .ok());
   auto rs = system_.Query("CALL SYSPROC.ACCEL_GET_TABLES_INFO()");
   ASSERT_TRUE(rs.ok());
@@ -203,16 +203,16 @@ TEST_F(MultiAccelTest, TablesInfoShowsAccelerator) {
 
 TEST_F(MultiAccelTest, GroomSweepsAllAccelerators) {
   ASSERT_TRUE(system_
-                  .ExecuteSql("CREATE TABLE g1 (x INT) IN ACCELERATOR accel1")
+                  .Execute("CREATE TABLE g1 (x INT) IN ACCELERATOR accel1")
                   .ok());
   ASSERT_TRUE(system_
-                  .ExecuteSql("CREATE TABLE g2 (x INT) IN ACCELERATOR accel2")
+                  .Execute("CREATE TABLE g2 (x INT) IN ACCELERATOR accel2")
                   .ok());
-  ASSERT_TRUE(system_.ExecuteSql("INSERT INTO g1 VALUES (1)").ok());
-  ASSERT_TRUE(system_.ExecuteSql("INSERT INTO g2 VALUES (1)").ok());
-  ASSERT_TRUE(system_.ExecuteSql("DELETE FROM g1").ok());
-  ASSERT_TRUE(system_.ExecuteSql("DELETE FROM g2").ok());
-  ASSERT_TRUE(system_.ExecuteSql("CALL SYSPROC.ACCEL_GROOM()").ok());
+  ASSERT_TRUE(system_.Execute("INSERT INTO g1 VALUES (1)").ok());
+  ASSERT_TRUE(system_.Execute("INSERT INTO g2 VALUES (1)").ok());
+  ASSERT_TRUE(system_.Execute("DELETE FROM g1").ok());
+  ASSERT_TRUE(system_.Execute("DELETE FROM g2").ok());
+  ASSERT_TRUE(system_.Execute("CALL SYSPROC.ACCEL_GROOM()").ok());
   EXPECT_EQ((*system_.accelerator(0).GetTable("g1"))->NumVersions(), 0u);
   EXPECT_EQ((*system_.accelerator(1).GetTable("g2"))->NumVersions(), 0u);
 }

@@ -1,0 +1,200 @@
+// Plan-cache normalization and template tests: the cache key must identify
+// exactly the statements that share a parse shape, string/numeric literal
+// edge cases must never leak into the key, and instantiating a cached
+// template must reproduce the fresh parse bit-for-bit.
+
+#include "sql/plan_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace idaa::sql {
+namespace {
+
+std::string KeyOf(const std::string& sql) {
+  auto norm = NormalizeForCache(sql, /*parameterize_literals=*/true);
+  EXPECT_TRUE(norm.ok()) << norm.status().ToString();
+  EXPECT_TRUE(norm->cacheable) << sql;
+  return norm->key;
+}
+
+TEST(PlanCacheTest, SameShapeDifferentLiteralsShareKey) {
+  EXPECT_EQ(KeyOf("SELECT a FROM t WHERE b = 5"),
+            KeyOf("SELECT a FROM t WHERE b = 99"));
+  EXPECT_EQ(KeyOf("SELECT a FROM t WHERE s = 'x'"),
+            KeyOf("SELECT a FROM t WHERE s = 'completely different'"));
+  EXPECT_EQ(KeyOf("SELECT a FROM t WHERE b = 1.5"),
+            KeyOf("SELECT a FROM t WHERE b = 2.25"));
+}
+
+TEST(PlanCacheTest, DifferentShapesGetDifferentKeys) {
+  EXPECT_NE(KeyOf("SELECT a FROM t WHERE b = 5"),
+            KeyOf("SELECT a FROM t WHERE b > 5"));
+  EXPECT_NE(KeyOf("SELECT a FROM t WHERE b = 5"),
+            KeyOf("SELECT a FROM u WHERE b = 5"));
+  EXPECT_NE(KeyOf("SELECT a FROM t WHERE b = 5"),
+            KeyOf("SELECT a, c FROM t WHERE b = 5"));
+}
+
+TEST(PlanCacheTest, CaseAndWhitespaceNormalize) {
+  EXPECT_EQ(KeyOf("select a from t where b = 5"),
+            KeyOf("SELECT   a\nFROM t\tWHERE b = 7"));
+}
+
+TEST(PlanCacheTest, StringLiteralContainingQuestionMarkIsData) {
+  // The '?' inside the string must be captured as a parameter *value*, not
+  // mistaken for a marker; both spellings share the template.
+  auto norm = NormalizeForCache("SELECT a FROM t WHERE s = 'what?'",
+                                /*parameterize_literals=*/true);
+  ASSERT_TRUE(norm.ok());
+  ASSERT_EQ(norm->params.size(), 1u);
+  EXPECT_EQ(norm->params[0].AsVarchar(), "what?");
+  EXPECT_FALSE(norm->has_explicit_params);
+  EXPECT_EQ(norm->key, KeyOf("SELECT a FROM t WHERE s = 'plain'"));
+}
+
+TEST(PlanCacheTest, StringLiteralWithEscapedQuotes) {
+  auto norm = NormalizeForCache("SELECT a FROM t WHERE s = 'it''s ?'",
+                                /*parameterize_literals=*/true);
+  ASSERT_TRUE(norm.ok());
+  ASSERT_EQ(norm->params.size(), 1u);
+  EXPECT_EQ(norm->params[0].AsVarchar(), "it's ?");
+}
+
+TEST(PlanCacheTest, NegativeLiteralsKeepTheUnaryMinusInTheKey) {
+  // The parser does not fold unary minus into the literal, so `-5` is
+  // (minus, param) while `5` is (param): different shapes, different keys —
+  // but two negative literals share one.
+  EXPECT_NE(KeyOf("SELECT a FROM t WHERE b = -5"),
+            KeyOf("SELECT a FROM t WHERE b = 5"));
+  EXPECT_EQ(KeyOf("SELECT a FROM t WHERE b = -5"),
+            KeyOf("SELECT a FROM t WHERE b = -7"));
+}
+
+TEST(PlanCacheTest, InListArityIsPartOfTheShape) {
+  EXPECT_EQ(KeyOf("SELECT a FROM t WHERE b IN (1, 2)"),
+            KeyOf("SELECT a FROM t WHERE b IN (3, 4)"));
+  EXPECT_NE(KeyOf("SELECT a FROM t WHERE b IN (1, 2)"),
+            KeyOf("SELECT a FROM t WHERE b IN (1, 2, 3)"));
+}
+
+TEST(PlanCacheTest, StructuralLiteralsStayInline) {
+  // LIMIT N is parsed structurally (not an expression), so it must stay in
+  // the key: LIMIT 5 and LIMIT 10 are different plans.
+  EXPECT_NE(KeyOf("SELECT a FROM t LIMIT 5"), KeyOf("SELECT a FROM t LIMIT 10"));
+  // DATE 'literal' folds into a Date value at parse time — inline too.
+  EXPECT_NE(KeyOf("SELECT a FROM t WHERE d = DATE '2020-01-01'"),
+            KeyOf("SELECT a FROM t WHERE d = DATE '2021-06-15'"));
+  // CAST type length is structure, not data.
+  EXPECT_NE(KeyOf("SELECT CAST(a AS VARCHAR(10)) FROM t"),
+            KeyOf("SELECT CAST(a AS VARCHAR(20)) FROM t"));
+}
+
+TEST(PlanCacheTest, QuotedIdentifiersCannotCollideWithSyntax) {
+  EXPECT_NE(KeyOf("SELECT a FROM t"), KeyOf("SELECT \"a from t\" FROM t"));
+}
+
+TEST(PlanCacheTest, NonDmlStatementsAreNotCacheable) {
+  for (const char* sql :
+       {"CREATE TABLE t (a INT)", "DROP TABLE t",
+        "CALL SYSPROC.ACCEL_ADD_TABLES('t')", "EXPLAIN SELECT a FROM t"}) {
+    auto norm = NormalizeForCache(sql, /*parameterize_literals=*/true);
+    ASSERT_TRUE(norm.ok()) << sql;
+    EXPECT_FALSE(norm->cacheable) << sql;
+  }
+}
+
+TEST(PlanCacheTest, ExplicitMarkersAreDetected) {
+  auto norm = NormalizeForCache("SELECT a FROM t WHERE b = ?",
+                                /*parameterize_literals=*/true);
+  ASSERT_TRUE(norm.ok());
+  EXPECT_TRUE(norm->has_explicit_params);
+  // But a '?' inside a string literal is not a marker.
+  auto data = NormalizeForCache("SELECT a FROM t WHERE s = '?'",
+                                /*parameterize_literals=*/true);
+  ASSERT_TRUE(data.ok());
+  EXPECT_FALSE(data->has_explicit_params);
+}
+
+TEST(PlanCacheTest, ParameterizeSubstituteRoundTrip) {
+  const std::string sql =
+      "SELECT a, b + 2 FROM t WHERE s = 'x' AND b IN (10, 20) AND c > 1.5";
+  auto fresh = ParseStatement(sql);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  StatementPtr tmpl = CloneStatement(**fresh);
+  ASSERT_NE(tmpl, nullptr);
+  std::vector<Value> params;
+  size_t n = ParameterizeStatement(*tmpl, &params);
+  EXPECT_EQ(n, 5u);
+  ASSERT_EQ(params.size(), 5u);
+  EXPECT_EQ(CountParams(*tmpl), 5u);
+  // Token-side extraction must agree with the AST walk.
+  auto norm = NormalizeForCache(sql, /*parameterize_literals=*/true);
+  ASSERT_TRUE(norm.ok());
+  ASSERT_EQ(norm->params.size(), params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    EXPECT_TRUE(params[i] == norm->params[i]) << "param " << i;
+  }
+  // Substituting the extracted values reproduces the original statement.
+  ASSERT_TRUE(SubstituteParams(*tmpl, params).ok());
+  EXPECT_EQ(tmpl->ToSql(), (*fresh)->ToSql());
+}
+
+TEST(PlanCacheTest, SubstituteRejectsCountMismatch) {
+  auto stmt = ParseStatement("SELECT a FROM t WHERE b = ? AND c = ?");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(CountParams(**stmt), 2u);
+  EXPECT_FALSE(SubstituteParams(**stmt, {Value::Integer(1)}).ok());
+  EXPECT_TRUE(
+      SubstituteParams(**stmt, {Value::Integer(1), Value::Integer(2)}).ok());
+}
+
+TEST(PlanCacheTest, CachedPlanInstantiateMatchesFreshParse) {
+  const std::string tmpl_sql = "SELECT a FROM t WHERE b = ? AND s = ?";
+  auto stmt = ParseStatement(tmpl_sql);
+  ASSERT_TRUE(stmt.ok());
+  CachedPlan plan;
+  plan.template_stmt = std::move(*stmt);
+  plan.num_params = 2;
+  auto inst = plan.Instantiate({Value::Integer(7), Value::Varchar("hi")});
+  ASSERT_TRUE(inst.ok()) << inst.status().ToString();
+  auto fresh = ParseStatement("SELECT a FROM t WHERE b = 7 AND s = 'hi'");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ((*inst)->ToSql(), (*fresh)->ToSql());
+  // The shared template must be untouched by instantiation.
+  auto tmpl_fresh = ParseStatement(tmpl_sql);
+  ASSERT_TRUE(tmpl_fresh.ok());
+  EXPECT_EQ(plan.template_stmt->ToSql(), (*tmpl_fresh)->ToSql());
+  auto again = plan.Instantiate({Value::Integer(8), Value::Varchar("yo")});
+  ASSERT_TRUE(again.ok());
+  EXPECT_NE((*again)->ToSql(), (*inst)->ToSql());
+}
+
+TEST(PlanCacheTest, LruEvictionAndStats) {
+  PlanCache cache(2);
+  for (int i = 0; i < 3; ++i) {
+    auto plan = std::make_shared<CachedPlan>();
+    plan->key = "k" + std::to_string(i);
+    cache.Put(plan);
+  }
+  EXPECT_EQ(cache.stats().size, 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.Get("k0"), nullptr);  // evicted (oldest)
+  EXPECT_NE(cache.Get("k2"), nullptr);
+  // Touch k1, insert k3: k2 is now the LRU victim.
+  EXPECT_NE(cache.Get("k1"), nullptr);
+  auto plan = std::make_shared<CachedPlan>();
+  plan->key = "k3";
+  cache.Put(plan);
+  EXPECT_EQ(cache.Get("k2"), nullptr);
+  EXPECT_NE(cache.Get("k1"), nullptr);
+  auto stats = cache.stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, 0u);
+  cache.Clear();
+  EXPECT_EQ(cache.stats().size, 0u);
+}
+
+}  // namespace
+}  // namespace idaa::sql

@@ -15,10 +15,10 @@ class ReplicationTest : public ::testing::Test {
     options.replication_batch_size = 0;  // manual Flush in these tests
     system_ = std::make_unique<IdaaSystem>(options);
     ASSERT_TRUE(
-        system_->ExecuteSql("CREATE TABLE t (id INT, v VARCHAR)").ok());
-    ASSERT_TRUE(system_->ExecuteSql("INSERT INTO t VALUES (1, 'a')").ok());
+        system_->Execute("CREATE TABLE t (id INT, v VARCHAR)").ok());
+    ASSERT_TRUE(system_->Execute("INSERT INTO t VALUES (1, 'a')").ok());
     ASSERT_TRUE(
-        system_->ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('t')").ok());
+        system_->Execute("CALL SYSPROC.ACCEL_ADD_TABLES('t')").ok());
   }
 
   /// COUNT(*) as seen by the accelerator replica.
@@ -34,7 +34,7 @@ class ReplicationTest : public ::testing::Test {
 
 TEST_F(ReplicationTest, InsertCapturedAndApplied) {
   ASSERT_TRUE(
-      system_->ExecuteSql("INSERT INTO t VALUES (2, 'b'), (3, 'c')").ok());
+      system_->Execute("INSERT INTO t VALUES (2, 'b'), (3, 'c')").ok());
   EXPECT_EQ(system_->replication().PendingChanges(), 2u);
   EXPECT_EQ(ReplicaCount(), 1);  // not yet applied
   auto stats = system_->replication().Flush();
@@ -44,9 +44,9 @@ TEST_F(ReplicationTest, InsertCapturedAndApplied) {
 }
 
 TEST_F(ReplicationTest, DeleteConverges) {
-  ASSERT_TRUE(system_->ExecuteSql("INSERT INTO t VALUES (2, 'b')").ok());
+  ASSERT_TRUE(system_->Execute("INSERT INTO t VALUES (2, 'b')").ok());
   ASSERT_TRUE(system_->replication().Flush().ok());
-  ASSERT_TRUE(system_->ExecuteSql("DELETE FROM t WHERE id = 1").ok());
+  ASSERT_TRUE(system_->Execute("DELETE FROM t WHERE id = 1").ok());
   auto stats = system_->replication().Flush();
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats->deletes, 1u);
@@ -59,7 +59,7 @@ TEST_F(ReplicationTest, DeleteConverges) {
 
 TEST_F(ReplicationTest, UpdateConverges) {
   ASSERT_TRUE(
-      system_->ExecuteSql("UPDATE t SET v = 'changed' WHERE id = 1").ok());
+      system_->Execute("UPDATE t SET v = 'changed' WHERE id = 1").ok());
   auto stats = system_->replication().Flush();
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats->updates, 1u);
@@ -73,7 +73,7 @@ TEST_F(ReplicationTest, UpdateConverges) {
 
 TEST_F(ReplicationTest, RolledBackChangesNotCaptured) {
   ASSERT_TRUE(system_->Begin().ok());
-  ASSERT_TRUE(system_->ExecuteSql("INSERT INTO t VALUES (99, 'x')").ok());
+  ASSERT_TRUE(system_->Execute("INSERT INTO t VALUES (99, 'x')").ok());
   ASSERT_TRUE(system_->Rollback().ok());
   EXPECT_EQ(system_->replication().PendingChanges(), 0u);
   ASSERT_TRUE(system_->replication().Flush().ok());
@@ -85,8 +85,8 @@ TEST_F(ReplicationTest, RolledBackChangesNotCaptured) {
 }
 
 TEST_F(ReplicationTest, NonReplicatedTableNotCaptured) {
-  ASSERT_TRUE(system_->ExecuteSql("CREATE TABLE other (x INT)").ok());
-  ASSERT_TRUE(system_->ExecuteSql("INSERT INTO other VALUES (1)").ok());
+  ASSERT_TRUE(system_->Execute("CREATE TABLE other (x INT)").ok());
+  ASSERT_TRUE(system_->Execute("INSERT INTO other VALUES (1)").ok());
   EXPECT_EQ(system_->replication().PendingChanges(), 0u);
 }
 
@@ -94,11 +94,11 @@ TEST_F(ReplicationTest, AutomaticFlushAtBatchSize) {
   SystemOptions options;
   options.replication_batch_size = 4;
   IdaaSystem system(options);
-  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE t (id INT)").ok());
-  ASSERT_TRUE(system.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('t')").ok());
+  ASSERT_TRUE(system.Execute("CREATE TABLE t (id INT)").ok());
+  ASSERT_TRUE(system.Execute("CALL SYSPROC.ACCEL_ADD_TABLES('t')").ok());
   for (int i = 0; i < 4; ++i) {
     ASSERT_TRUE(system
-                    .ExecuteSql("INSERT INTO t VALUES (" + std::to_string(i) +
+                    .Execute("INSERT INTO t VALUES (" + std::to_string(i) +
                                 ")")
                     .ok());
   }
@@ -111,7 +111,7 @@ TEST_F(ReplicationTest, AutomaticFlushAtBatchSize) {
 
 TEST_F(ReplicationTest, StalenessTracking) {
   EXPECT_EQ(system_->replication().HighestAppliedCsn(), 0u);
-  ASSERT_TRUE(system_->ExecuteSql("INSERT INTO t VALUES (5, 'e')").ok());
+  ASSERT_TRUE(system_->Execute("INSERT INTO t VALUES (5, 'e')").ok());
   Csn captured = system_->replication().HighestCapturedCsn();
   EXPECT_GT(captured, 0u);
   EXPECT_LT(system_->replication().HighestAppliedCsn(), captured);
@@ -121,7 +121,7 @@ TEST_F(ReplicationTest, StalenessTracking) {
 
 TEST_F(ReplicationTest, ApplyCountsBytesAndBatches) {
   MetricsDelta delta(system_->metrics());
-  ASSERT_TRUE(system_->ExecuteSql("INSERT INTO t VALUES (2, 'b')").ok());
+  ASSERT_TRUE(system_->Execute("INSERT INTO t VALUES (2, 'b')").ok());
   ASSERT_TRUE(system_->replication().Flush().ok());
   EXPECT_EQ(delta.Delta(metric::kReplicationChangesApplied), 1u);
   EXPECT_EQ(delta.Delta(metric::kReplicationBatches), 1u);
@@ -130,18 +130,18 @@ TEST_F(ReplicationTest, ApplyCountsBytesAndBatches) {
 
 TEST_F(ReplicationTest, RemoveTableStopsCapture) {
   ASSERT_TRUE(
-      system_->ExecuteSql("CALL SYSPROC.ACCEL_REMOVE_TABLES('t')").ok());
-  ASSERT_TRUE(system_->ExecuteSql("INSERT INTO t VALUES (7, 'g')").ok());
+      system_->Execute("CALL SYSPROC.ACCEL_REMOVE_TABLES('t')").ok());
+  ASSERT_TRUE(system_->Execute("INSERT INTO t VALUES (7, 'g')").ok());
   EXPECT_EQ(system_->replication().PendingChanges(), 0u);
 }
 
 TEST_F(ReplicationTest, DuplicateRowsDeleteOnlyOne) {
   ASSERT_TRUE(
-      system_->ExecuteSql("INSERT INTO t VALUES (8, 'dup'), (8, 'dup')").ok());
+      system_->Execute("INSERT INTO t VALUES (8, 'dup'), (8, 'dup')").ok());
   ASSERT_TRUE(system_->replication().Flush().ok());
   EXPECT_EQ(ReplicaCount(), 3);
   // DB2 deletes both duplicates (two change records); replica must too.
-  ASSERT_TRUE(system_->ExecuteSql("DELETE FROM t WHERE id = 8").ok());
+  ASSERT_TRUE(system_->Execute("DELETE FROM t WHERE id = 8").ok());
   auto stats = system_->replication().Flush();
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats->deletes, 2u);

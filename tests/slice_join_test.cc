@@ -15,6 +15,15 @@
 namespace idaa {
 namespace {
 
+/// The agreement checks re-run the same SELECT with only the batch join
+/// toggled; the result cache would serve the re-run from the first
+/// execution and make the comparison vacuous, so it stays off here.
+federation::ExecOptions NoResultCache() {
+  federation::ExecOptions opts;
+  opts.use_result_cache = false;
+  return opts;
+}
+
 std::vector<std::string> Canon(const ResultSet& rs, bool keep_order) {
   std::vector<std::string> lines;
   for (const Row& row : rs.rows()) {
@@ -34,13 +43,13 @@ std::vector<std::string> Canon(const ResultSet& rs, bool keep_order) {
 void ExpectBatchRowAgreement(IdaaSystem& system, const std::string& sql) {
   const bool ordered = sql.find("ORDER BY") != std::string::npos;
   system.accelerator().SetBatchPathEnabled(true);
-  auto batch = system.ExecuteSql(sql);
+  auto batch = system.Execute(sql, NoResultCache());
   ASSERT_TRUE(batch.ok()) << sql << "\n" << batch.status().ToString();
   system.accelerator().SetBatchPathEnabled(false);
-  auto row = system.ExecuteSql(sql);
+  auto row = system.Execute(sql, NoResultCache());
   system.accelerator().SetBatchPathEnabled(true);
   ASSERT_TRUE(row.ok()) << sql << "\n" << row.status().ToString();
-  EXPECT_EQ(Canon(row->result_set, ordered), Canon(batch->result_set, ordered))
+  EXPECT_EQ(Canon(row->rows, ordered), Canon(batch->rows, ordered))
       << sql;
 }
 
@@ -50,23 +59,23 @@ void ExpectBatchRowAgreement(IdaaSystem& system, const std::string& sql) {
 void ExpectThreeWayAgreement(IdaaSystem& system, const std::string& sql) {
   const bool ordered = sql.find("ORDER BY") != std::string::npos;
   system.SetAccelerationMode(federation::AccelerationMode::kNone);
-  auto db2 = system.ExecuteSql(sql);
+  auto db2 = system.Execute(sql, NoResultCache());
   ASSERT_TRUE(db2.ok()) << sql << "\n" << db2.status().ToString();
 
   system.SetAccelerationMode(federation::AccelerationMode::kEligible);
   system.accelerator().SetBatchPathEnabled(true);
-  auto batch = system.ExecuteSql(sql);
+  auto batch = system.Execute(sql, NoResultCache());
   ASSERT_TRUE(batch.ok()) << sql << "\n" << batch.status().ToString();
-  EXPECT_EQ(batch->executed_on, federation::Target::kAccelerator) << sql;
+  EXPECT_EQ(batch->routed_to, federation::Target::kAccelerator) << sql;
 
   system.accelerator().SetBatchPathEnabled(false);
-  auto row = system.ExecuteSql(sql);
+  auto row = system.Execute(sql, NoResultCache());
   system.accelerator().SetBatchPathEnabled(true);
   ASSERT_TRUE(row.ok()) << sql << "\n" << row.status().ToString();
 
-  EXPECT_EQ(Canon(db2->result_set, ordered), Canon(batch->result_set, ordered))
+  EXPECT_EQ(Canon(db2->rows, ordered), Canon(batch->rows, ordered))
       << sql;
-  EXPECT_EQ(Canon(row->result_set, ordered), Canon(batch->result_set, ordered))
+  EXPECT_EQ(Canon(row->rows, ordered), Canon(batch->rows, ordered))
       << sql;
 }
 
@@ -74,22 +83,22 @@ class SliceJoinTest : public ::testing::Test {
  protected:
   void SetUp() override {
     ASSERT_TRUE(system_
-                    .ExecuteSql("CREATE TABLE fact (id INT NOT NULL, k INT, "
+                    .Execute("CREATE TABLE fact (id INT NOT NULL, k INT, "
                                 "v DOUBLE) IN ACCELERATOR")
                     .ok());
     ASSERT_TRUE(system_
-                    .ExecuteSql("CREATE TABLE dim (k INT, label VARCHAR) "
+                    .Execute("CREATE TABLE dim (k INT, label VARCHAR) "
                                 "IN ACCELERATOR")
                     .ok());
     ASSERT_TRUE(system_
-                    .ExecuteSql("INSERT INTO fact VALUES (1, 10, 1.0), "
+                    .Execute("INSERT INTO fact VALUES (1, 10, 1.0), "
                                 "(2, 20, 2.0), (3, 10, 3.0), (4, NULL, 4.0), "
                                 "(5, 99, 5.0)")
                     .ok());
     // Key 10 appears TWICE in the dimension (cross product expected);
     // key 30 matches nothing; one dim row has a NULL key.
     ASSERT_TRUE(system_
-                    .ExecuteSql("INSERT INTO dim VALUES (10, 'ten-a'), "
+                    .Execute("INSERT INTO dim VALUES (10, 'ten-a'), "
                                 "(10, 'ten-b'), (20, 'twenty'), (30, 'lonely'), "
                                 "(NULL, 'void')")
                     .ok());
@@ -128,7 +137,7 @@ TEST_F(SliceJoinTest, AggregationThroughSliceJoin) {
 TEST_F(SliceJoinTest, UncommittedFactRowsVisibleToOwner) {
   ASSERT_TRUE(system_.Begin().ok());
   ASSERT_TRUE(
-      system_.ExecuteSql("INSERT INTO fact VALUES (6, 20, 6.0)").ok());
+      system_.Execute("INSERT INTO fact VALUES (6, 20, 6.0)").ok());
   auto inside = system_.Query(
       "SELECT COUNT(*) FROM fact f JOIN dim d ON f.k = d.k");
   ASSERT_TRUE(inside.ok());
@@ -179,7 +188,7 @@ TEST_F(SliceJoinTest, LeftOuterJoinPadsUnmatchedAndNullKeys) {
 
 TEST_F(SliceJoinTest, EmptyBuildSide) {
   ASSERT_TRUE(
-      system_.ExecuteSql("CREATE TABLE nodim (k INT, tag VARCHAR) "
+      system_.Execute("CREATE TABLE nodim (k INT, tag VARCHAR) "
                          "IN ACCELERATOR")
           .ok());
   auto inner = system_.Query(
@@ -205,7 +214,7 @@ TEST_F(SliceJoinTest, DuplicateHeavyBuildKeys) {
   // original 'ten' rows plus all 30 duplicates.
   for (int i = 0; i < 30; ++i) {
     ASSERT_TRUE(system_
-                    .ExecuteSql("INSERT INTO dim VALUES (10, 'dup-" +
+                    .Execute("INSERT INTO dim VALUES (10, 'dup-" +
                                 std::to_string(i) + "')")
                     .ok());
   }
@@ -236,25 +245,25 @@ class ReplicatedJoinTest : public ::testing::Test {
  protected:
   void SetUp() override {
     ASSERT_TRUE(
-        system_.ExecuteSql("CREATE TABLE fact (id INT NOT NULL, k INT, "
+        system_.Execute("CREATE TABLE fact (id INT NOT NULL, k INT, "
                            "v DOUBLE)")
             .ok());
     ASSERT_TRUE(
-        system_.ExecuteSql("CREATE TABLE dim (k INT, label VARCHAR)").ok());
+        system_.Execute("CREATE TABLE dim (k INT, label VARCHAR)").ok());
     ASSERT_TRUE(system_
-                    .ExecuteSql("INSERT INTO fact VALUES (1, 10, 1.0), "
+                    .Execute("INSERT INTO fact VALUES (1, 10, 1.0), "
                                 "(2, 20, 2.0), (3, 10, 3.0), (4, NULL, 4.0), "
                                 "(5, 99, 5.0)")
                     .ok());
     ASSERT_TRUE(system_
-                    .ExecuteSql("INSERT INTO dim VALUES (10, 'ten-a'), "
+                    .Execute("INSERT INTO dim VALUES (10, 'ten-a'), "
                                 "(10, 'ten-b'), (20, 'twenty'), (30, 'lonely'), "
                                 "(NULL, 'void')")
                     .ok());
     ASSERT_TRUE(
-        system_.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('fact')").ok());
+        system_.Execute("CALL SYSPROC.ACCEL_ADD_TABLES('fact')").ok());
     ASSERT_TRUE(
-        system_.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('dim')").ok());
+        system_.Execute("CALL SYSPROC.ACCEL_ADD_TABLES('dim')").ok());
   }
 
   IdaaSystem system_;
@@ -291,11 +300,11 @@ class VarcharKeyJoinTest : public ::testing::Test {
     options.accelerator.zone_size = 8;
     system_ = std::make_unique<IdaaSystem>(options);
     ASSERT_TRUE(system_
-                    ->ExecuteSql("CREATE TABLE sales (id INT NOT NULL, "
+                    ->Execute("CREATE TABLE sales (id INT NOT NULL, "
                                  "cat VARCHAR, amount INT)")
                     .ok());
     ASSERT_TRUE(system_
-                    ->ExecuteSql("CREATE TABLE cats (cat VARCHAR, boost INT)")
+                    ->Execute("CREATE TABLE cats (cat VARCHAR, boost INT)")
                     .ok());
     // Round-robin placement interleaves the categories across slices in
     // different first-seen orders, so slice-local codes disagree.
@@ -307,20 +316,20 @@ class VarcharKeyJoinTest : public ::testing::Test {
       ins += "(" + std::to_string(i) + ", '" +
              kCats[(i * 7 + i / 9) % 5] + "', " + std::to_string(i % 13) + ")";
     }
-    ASSERT_TRUE(system_->ExecuteSql(ins).ok());
+    ASSERT_TRUE(system_->Execute(ins).ok());
     ASSERT_TRUE(system_
-                    ->ExecuteSql("INSERT INTO sales VALUES (60, NULL, 1), "
+                    ->Execute("INSERT INTO sales VALUES (60, NULL, 1), "
                                  "(61, 'zulu', 2)")
                     .ok());
     ASSERT_TRUE(system_
-                    ->ExecuteSql("INSERT INTO cats VALUES ('alpha', 1), "
+                    ->Execute("INSERT INTO cats VALUES ('alpha', 1), "
                                  "('bravo', 2), ('charlie', 3), ('delta', 4), "
                                  "('foxtrot', 6), (NULL, 0)")
                     .ok());
     ASSERT_TRUE(
-        system_->ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('sales')").ok());
+        system_->Execute("CALL SYSPROC.ACCEL_ADD_TABLES('sales')").ok());
     ASSERT_TRUE(
-        system_->ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('cats')").ok());
+        system_->Execute("CALL SYSPROC.ACCEL_ADD_TABLES('cats')").ok());
   }
 
   std::unique_ptr<IdaaSystem> system_;

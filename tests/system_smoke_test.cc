@@ -9,9 +9,9 @@ namespace {
 
 TEST(SystemSmokeTest, CreateInsertSelectOnDb2) {
   IdaaSystem system;
-  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE t (a INT, b DOUBLE)").ok());
+  ASSERT_TRUE(system.Execute("CREATE TABLE t (a INT, b DOUBLE)").ok());
   ASSERT_TRUE(
-      system.ExecuteSql("INSERT INTO t VALUES (1, 1.5), (2, 2.5), (3, 3.5)")
+      system.Execute("INSERT INTO t VALUES (1, 1.5), (2, 2.5), (3, 3.5)")
           .ok());
   auto rs = system.Query("SELECT a, b FROM t WHERE a >= 2 ORDER BY a");
   ASSERT_TRUE(rs.ok()) << rs.status().ToString();
@@ -22,45 +22,45 @@ TEST(SystemSmokeTest, CreateInsertSelectOnDb2) {
 
 TEST(SystemSmokeTest, AcceleratedTableOffload) {
   IdaaSystem system;
-  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE sales (id INT, amount DOUBLE)")
+  ASSERT_TRUE(system.Execute("CREATE TABLE sales (id INT, amount DOUBLE)")
                   .ok());
-  ASSERT_TRUE(system.ExecuteSql(
+  ASSERT_TRUE(system.Execute(
                         "INSERT INTO sales VALUES (1, 10.0), (2, 20.0), "
                         "(3, 30.0), (4, 40.0)")
                   .ok());
-  auto add = system.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('sales')");
+  auto add = system.Execute("CALL SYSPROC.ACCEL_ADD_TABLES('sales')");
   ASSERT_TRUE(add.ok()) << add.status().ToString();
 
-  auto result = system.ExecuteSql(
+  auto result = system.Execute(
       "SELECT COUNT(*) AS n, SUM(amount) AS total FROM sales");
   ASSERT_TRUE(result.ok()) << result.status().ToString();
-  EXPECT_EQ(result->executed_on, federation::Target::kAccelerator);
-  ASSERT_EQ(result->result_set.NumRows(), 1u);
-  EXPECT_EQ(result->result_set.At(0, 0).AsInteger(), 4);
-  EXPECT_DOUBLE_EQ(result->result_set.At(0, 1).AsDouble(), 100.0);
+  EXPECT_EQ(result->routed_to, federation::Target::kAccelerator);
+  ASSERT_EQ(result->rows.NumRows(), 1u);
+  EXPECT_EQ(result->rows.At(0, 0).AsInteger(), 4);
+  EXPECT_DOUBLE_EQ(result->rows.At(0, 1).AsDouble(), 100.0);
 }
 
 TEST(SystemSmokeTest, AotElTPipelineStaysOnAccelerator) {
   IdaaSystem system;
-  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE src (k INT, v DOUBLE)").ok());
+  ASSERT_TRUE(system.Execute("CREATE TABLE src (k INT, v DOUBLE)").ok());
   for (int i = 0; i < 10; ++i) {
     ASSERT_TRUE(system
-                    .ExecuteSql("INSERT INTO src VALUES (" +
+                    .Execute("INSERT INTO src VALUES (" +
                                 std::to_string(i % 3) + ", " +
                                 std::to_string(i) + ".0)")
                     .ok());
   }
-  ASSERT_TRUE(system.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('src')").ok());
+  ASSERT_TRUE(system.Execute("CALL SYSPROC.ACCEL_ADD_TABLES('src')").ok());
 
-  ASSERT_TRUE(system.ExecuteSql(
+  ASSERT_TRUE(system.Execute(
                         "CREATE TABLE stage1 (k INT, total DOUBLE) "
                         "IN ACCELERATOR")
                   .ok());
-  auto insert = system.ExecuteSql(
+  auto insert = system.Execute(
       "INSERT INTO stage1 SELECT k, SUM(v) FROM src GROUP BY k");
   ASSERT_TRUE(insert.ok()) << insert.status().ToString();
-  EXPECT_EQ(insert->executed_on, federation::Target::kAccelerator);
-  EXPECT_EQ(insert->affected_rows, 3u);
+  EXPECT_EQ(insert->routed_to, federation::Target::kAccelerator);
+  EXPECT_EQ(insert->rows_affected, 3u);
 
   auto rs = system.Query("SELECT k, total FROM stage1 ORDER BY k");
   ASSERT_TRUE(rs.ok()) << rs.status().ToString();
@@ -74,10 +74,10 @@ TEST(SystemSmokeTest, AotElTPipelineStaysOnAccelerator) {
 TEST(SystemSmokeTest, TransactionRollbackOnAot) {
   IdaaSystem system;
   ASSERT_TRUE(
-      system.ExecuteSql("CREATE TABLE aot (x INT) IN ACCELERATOR").ok());
-  ASSERT_TRUE(system.ExecuteSql("INSERT INTO aot VALUES (1)").ok());
+      system.Execute("CREATE TABLE aot (x INT) IN ACCELERATOR").ok());
+  ASSERT_TRUE(system.Execute("INSERT INTO aot VALUES (1)").ok());
   ASSERT_TRUE(system.Begin().ok());
-  ASSERT_TRUE(system.ExecuteSql("INSERT INTO aot VALUES (2)").ok());
+  ASSERT_TRUE(system.Execute("INSERT INTO aot VALUES (2)").ok());
   // Own uncommitted insert is visible inside the transaction.
   auto inside = system.Query("SELECT COUNT(*) FROM aot");
   ASSERT_TRUE(inside.ok());
@@ -91,18 +91,18 @@ TEST(SystemSmokeTest, TransactionRollbackOnAot) {
 TEST(SystemSmokeTest, KMeansProcedure) {
   IdaaSystem system;
   ASSERT_TRUE(
-      system.ExecuteSql("CREATE TABLE pts (x DOUBLE, y DOUBLE) IN ACCELERATOR")
+      system.Execute("CREATE TABLE pts (x DOUBLE, y DOUBLE) IN ACCELERATOR")
           .ok());
   // Two obvious clusters.
   for (int i = 0; i < 10; ++i) {
     double off = i * 0.01;
     ASSERT_TRUE(system
-                    .ExecuteSql("INSERT INTO pts VALUES (" +
+                    .Execute("INSERT INTO pts VALUES (" +
                                 std::to_string(off) + ", 0.0), (" +
                                 std::to_string(10.0 + off) + ", 10.0)")
                     .ok());
   }
-  auto call = system.ExecuteSql(
+  auto call = system.Execute(
       "CALL IDAA.KMEANS('input=pts', 'output=pts_clusters', 'columns=x,y', "
       "'k=2', 'seed=7')");
   ASSERT_TRUE(call.ok()) << call.status().ToString();

@@ -249,8 +249,8 @@ uint64_t SumAttr(const std::vector<StageRow>& rows, const std::string& stage,
 
 TEST(ExplainAnalyzeTest, Db2RoutedStatement) {
   IdaaSystem system;
-  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE plain (a INT, b INT)").ok());
-  ASSERT_TRUE(system.ExecuteSql("INSERT INTO plain VALUES (1, 10), (2, 20)")
+  ASSERT_TRUE(system.Execute("CREATE TABLE plain (a INT, b INT)").ok());
+  ASSERT_TRUE(system.Execute("INSERT INTO plain VALUES (1, 10), (2, 20)")
                   .ok());
   auto rs = system.Query("EXPLAIN ANALYZE SELECT * FROM plain WHERE a = 1");
   ASSERT_TRUE(rs.ok()) << rs.status().ToString();
@@ -273,12 +273,12 @@ TEST(ExplainAnalyzeTest, Db2RoutedStatement) {
 
 TEST(ExplainAnalyzeTest, AcceleratorRoutedStatement) {
   IdaaSystem system;
-  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE sales (id INT, amount DOUBLE)")
+  ASSERT_TRUE(system.Execute("CREATE TABLE sales (id INT, amount DOUBLE)")
                   .ok());
   ASSERT_TRUE(
-      system.ExecuteSql("INSERT INTO sales VALUES (1, 5.0), (2, 7.5)").ok());
+      system.Execute("INSERT INTO sales VALUES (1, 5.0), (2, 7.5)").ok());
   ASSERT_TRUE(
-      system.ExecuteSql("CALL SYSPROC.ACCEL_ADD_TABLES('sales')").ok());
+      system.Execute("CALL SYSPROC.ACCEL_ADD_TABLES('sales')").ok());
   system.SetAccelerationMode(federation::AccelerationMode::kAll);
   auto rs = system.Query("EXPLAIN ANALYZE SELECT SUM(amount) FROM sales");
   ASSERT_TRUE(rs.ok()) << rs.status().ToString();
@@ -299,10 +299,10 @@ TEST(ExplainAnalyzeTest, AcceleratorRoutedStatement) {
 TEST(ExplainAnalyzeTest, AotDelegatedStatement) {
   IdaaSystem system;
   ASSERT_TRUE(
-      system.ExecuteSql("CREATE TABLE aot (x INT, y DOUBLE) IN ACCELERATOR")
+      system.Execute("CREATE TABLE aot (x INT, y DOUBLE) IN ACCELERATOR")
           .ok());
   ASSERT_TRUE(
-      system.ExecuteSql("INSERT INTO aot VALUES (1, 1.0), (2, 4.0)").ok());
+      system.Execute("INSERT INTO aot VALUES (1, 1.0), (2, 4.0)").ok());
   auto rs =
       system.Query("EXPLAIN ANALYZE SELECT x, SUM(y) FROM aot GROUP BY x");
   ASSERT_TRUE(rs.ok()) << rs.status().ToString();
@@ -315,7 +315,7 @@ TEST(ExplainAnalyzeTest, AotDelegatedStatement) {
 
 TEST(ExplainAnalyzeTest, PlainExplainStillStatic) {
   IdaaSystem system;
-  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE t (a INT)").ok());
+  ASSERT_TRUE(system.Execute("CREATE TABLE t (a INT)").ok());
   auto rs = system.Query("EXPLAIN SELECT * FROM t");
   ASSERT_TRUE(rs.ok()) << rs.status().ToString();
   // The static report keeps its ASPECT/DETAIL shape and does not execute.
@@ -336,15 +336,15 @@ TEST(ExplainAnalyzeTest, StarJoinReportsSliceAndZoneMapDetail) {
   options.accelerator.zone_size = 16;
   IdaaSystem system(options);
   ASSERT_TRUE(system
-                  .ExecuteSql("CREATE TABLE fact (id INT, k INT, v DOUBLE) "
+                  .Execute("CREATE TABLE fact (id INT, k INT, v DOUBLE) "
                               "IN ACCELERATOR")
                   .ok());
   ASSERT_TRUE(
-      system.ExecuteSql("CREATE TABLE dim (k INT, label VARCHAR) "
+      system.Execute("CREATE TABLE dim (k INT, label VARCHAR) "
                         "IN ACCELERATOR")
           .ok());
   ASSERT_TRUE(system
-                  .ExecuteSql("INSERT INTO dim VALUES (0, 'zero'), "
+                  .Execute("INSERT INTO dim VALUES (0, 'zero'), "
                               "(1, 'one'), (2, 'two'), (3, 'three')")
                   .ok());
   // 200 fact rows in ascending id order: round-robin slicing keeps each
@@ -356,7 +356,7 @@ TEST(ExplainAnalyzeTest, StarJoinReportsSliceAndZoneMapDetail) {
       insert += "(" + std::to_string(i) + ", " + std::to_string(i % 4) +
                 ", 1.5)";
     }
-    ASSERT_TRUE(system.ExecuteSql(insert).ok());
+    ASSERT_TRUE(system.Execute(insert).ok());
   }
 
   const std::string query =
@@ -410,10 +410,10 @@ TEST(ExplainAnalyzeTest, StarJoinReportsSliceAndZoneMapDetail) {
 
 TEST(SqlLatencyHistogramTest, RecordsPerStatementKind) {
   IdaaSystem system;
-  ASSERT_TRUE(system.ExecuteSql("CREATE TABLE t (a INT)").ok());
-  ASSERT_TRUE(system.ExecuteSql("INSERT INTO t VALUES (1), (2)").ok());
-  ASSERT_TRUE(system.ExecuteSql("SELECT * FROM t").ok());
-  ASSERT_TRUE(system.ExecuteSql("SELECT COUNT(*) FROM t").ok());
+  ASSERT_TRUE(system.Execute("CREATE TABLE t (a INT)").ok());
+  ASSERT_TRUE(system.Execute("INSERT INTO t VALUES (1), (2)").ok());
+  ASSERT_TRUE(system.Execute("SELECT * FROM t").ok());
+  ASSERT_TRUE(system.Execute("SELECT COUNT(*) FROM t").ok());
   auto& histograms = system.histograms();
   EXPECT_EQ(histograms.GetOrCreate("sql.latency.select").Count(), 2u);
   EXPECT_EQ(histograms.GetOrCreate("sql.latency.insert").Count(), 1u);
