@@ -1,0 +1,282 @@
+// E10 — Shard scale-out: one logical accelerator hash-partitioned across
+// N shard instances. The scan-aggregate mix is dominated by equality
+// predicates on the distribution column, which the coordinator prunes to
+// exactly one shard — each query touches ~1/N of the fact table, so
+// throughput scales with the shard count even on a single core (hash
+// placement defeats zone maps, so the 1-shard baseline scans everything).
+// The mix runs under the concurrent-stress load: a DB2 writer with
+// replication flushes plus a GROOM thread stay live throughout, exactly
+// like the concurrent_stress_test scenario. A final phase kills and
+// recovers individual shards of the 4-shard system under ENABLE WITH
+// FAILBACK and counts user-visible errors (must be zero).
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "accel/sharded_accelerator.h"
+#include "bench_util.h"
+
+namespace idaa::bench {
+namespace {
+
+constexpr size_t kRows = 120000;
+constexpr int kPrunedReps = 60;
+constexpr int kFullScanReps = 10;
+
+struct ShardPoint {
+  size_t shards;
+  double pruned_qps;
+  double pruned_ms;
+  double fullscan_ms;
+  double speedup_vs_1shard;  // pruned mix, filled in after the sweep
+};
+
+void WriteJson(const std::vector<ShardPoint>& points,
+               uint64_t shard_kill_errors) {
+  const char* dir = std::getenv("IDAA_BENCH_JSON_DIR");
+  std::string path =
+      (dir != nullptr && *dir != '\0' ? std::string(dir) + "/"
+                                      : std::string()) +
+      "BENCH_shard_scaleout.json";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::cerr << "cannot write " << path << "\n";
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"experiment\": \"shard_scaleout\",\n"
+               "  \"rows\": %zu,\n"
+               "  \"shard_kill_user_errors\": %llu,\n"
+               "  \"entries\": [\n",
+               kRows, static_cast<unsigned long long>(shard_kill_errors));
+  for (size_t i = 0; i < points.size(); ++i) {
+    const ShardPoint& e = points[i];
+    std::fprintf(f,
+                 "    {\"shards\": %zu, \"pruned_qps\": %.1f, "
+                 "\"pruned_ms_per_query\": %.3f, "
+                 "\"fullscan_ms_per_query\": %.3f, "
+                 "\"speedup_vs_1shard\": %.2f}%s\n",
+                 e.shards, e.pruned_qps, e.pruned_ms, e.fullscan_ms,
+                 e.speedup_vs_1shard, i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::cout << "wrote " << path << "\n";
+}
+
+/// Orders fact table hash-distributed on `cust`, loaded through the bulk
+/// loader and accelerated, plus a `noise` table for the concurrent writer.
+void SeedSharded(IdaaSystem& system) {
+  Must(system,
+       "CREATE TABLE orders (id INT NOT NULL, cust INT, amount DOUBLE, "
+       "region VARCHAR, qty INT) DISTRIBUTE BY (cust)");
+  Schema schema({{"ID", DataType::kInteger, false},
+                 {"CUST", DataType::kInteger, true},
+                 {"AMOUNT", DataType::kDouble, true},
+                 {"REGION", DataType::kVarchar, true},
+                 {"QTY", DataType::kInteger, true}});
+  static const char* kRegions[] = {"NORTH", "SOUTH", "EAST", "WEST"};
+  Rng rng(42);
+  loader::GeneratorSource source(schema, kRows, [&rng](size_t i) {
+    return Row{Value::Integer(static_cast<int64_t>(i)),
+               Value::Integer(rng.Uniform(0, 999)),
+               Value::Double(rng.UniformDouble(0, 1000)),
+               Value::Varchar(kRegions[rng.Uniform(0, 3)]),
+               Value::Integer(rng.Uniform(1, 50))};
+  });
+  loader::LoadOptions options;
+  options.batch_size = 8192;
+  auto report = system.loader().Load("orders", &source, options);
+  if (!report.ok()) {
+    std::cerr << "bench seed failed: " << report.status() << "\n";
+    std::exit(1);
+  }
+  Must(system, "CALL SYSPROC.ACCEL_ADD_TABLES('orders')");
+  Must(system, "CREATE TABLE noise (id INT NOT NULL, v INT)");
+  Must(system, "CALL SYSPROC.ACCEL_ADD_TABLES('noise')");
+}
+
+/// The concurrent-stress mix from the stress suite: a DB2 writer with
+/// replication flushes and a GROOM thread run for the whole measurement.
+class BackgroundLoad {
+ public:
+  explicit BackgroundLoad(IdaaSystem& system) : system_(system) {
+    writer_ = std::thread([this] {
+      auto conn = system_.NewConnection();
+      int id = 0;
+      while (!stop_.load(std::memory_order_relaxed)) {
+        (void)conn->Execute(
+            StrFormat("INSERT INTO noise VALUES (%d, %d)", id, id % 7));
+        ++id;
+        (void)system_.replication().Flush();
+        std::this_thread::yield();
+      }
+    });
+    groomer_ = std::thread([this] {
+      while (!stop_.load(std::memory_order_relaxed)) {
+        (void)system_.accelerator().GroomAll();
+        std::this_thread::yield();
+      }
+    });
+  }
+  ~BackgroundLoad() {
+    stop_.store(true);
+    writer_.join();
+    groomer_.join();
+  }
+
+ private:
+  IdaaSystem& system_;
+  std::atomic<bool> stop_{false};
+  std::thread writer_;
+  std::thread groomer_;
+};
+
+ShardPoint MeasureShards(size_t shards) {
+  SystemOptions options;
+  options.accelerator_shards = shards;
+  options.replication_batch_size = 64;
+  IdaaSystem system(options);
+  SeedSharded(system);
+  system.SetAccelerationMode(federation::AccelerationMode::kAll);
+
+  ShardPoint point;
+  point.shards = shards;
+  point.speedup_vs_1shard = 1.0;
+  {
+    BackgroundLoad load(system);
+    // Warm both shapes once (dictionary decode, morsel pool spin-up).
+    Must(system, "SELECT COUNT(*), SUM(amount) FROM orders WHERE cust = 1");
+    Must(system,
+         "SELECT region, COUNT(*), SUM(amount) FROM orders GROUP BY region");
+
+    WallTimer pruned_timer;
+    for (int i = 0; i < kPrunedReps; ++i) {
+      Must(system, StrFormat("SELECT COUNT(*), SUM(amount), MAX(qty) "
+                             "FROM orders WHERE cust = %d",
+                             (i * 37) % 1000));
+    }
+    point.pruned_ms = pruned_timer.Millis() / kPrunedReps;
+    point.pruned_qps =
+        point.pruned_ms > 0 ? 1000.0 / point.pruned_ms : 0.0;
+
+    WallTimer full_timer;
+    for (int i = 0; i < kFullScanReps; ++i) {
+      Must(system,
+           "SELECT region, COUNT(*), SUM(amount) FROM orders "
+           "GROUP BY region");
+    }
+    point.fullscan_ms = full_timer.Millis() / kFullScanReps;
+  }
+  return point;
+}
+
+/// Kill/recover shards of a 4-shard system while an ENABLE WITH FAILBACK
+/// reader runs the scan-aggregate mix; returns user-visible errors (the
+/// shard design promises zero: a dead shard fails back per-shard).
+uint64_t ShardKillPhase() {
+  SystemOptions options;
+  options.accelerator_shards = 4;
+  options.replication_batch_size = 64;
+  IdaaSystem system(options);
+  SeedSharded(system);
+  auto* shard_accel =
+      dynamic_cast<accel::ShardedAccelerator*>(&system.accelerator());
+  if (shard_accel == nullptr) {
+    std::cerr << "expected a sharded accelerator\n";
+    std::exit(1);
+  }
+  system.SetAccelerationMode(
+      federation::AccelerationMode::kEnableWithFailback);
+
+  std::atomic<bool> stop{false};
+  std::thread killer([&shard_accel, &stop] {
+    size_t victim = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      shard_accel->SetShardState(victim, accel::AcceleratorState::kOffline);
+      std::this_thread::yield();
+      shard_accel->SetShardState(victim, accel::AcceleratorState::kOnline);
+      victim = (victim + 1) % shard_accel->num_shards();
+      std::this_thread::yield();
+    }
+  });
+
+  uint64_t errors = 0;
+  for (int i = 0; i < 200; ++i) {
+    auto r = system.Execute(
+        StrFormat("SELECT COUNT(*), SUM(amount) FROM orders WHERE cust = %d",
+                  (i * 37) % 1000),
+        RawExecOptions());
+    if (!r.ok()) ++errors;
+  }
+  stop.store(true);
+  killer.join();
+  return errors;
+}
+
+void PrintTable() {
+  PrintHeader(
+      "E10: shard scale-out on the scan-aggregate mix",
+      "Claim: hash-partitioning one logical accelerator across N shards "
+      "scales partition-key-pruned scan-aggregate throughput with N (each "
+      "query touches ~1/N of the data), stays exact, and a dead shard is "
+      "invisible under ENABLE WITH FAILBACK.");
+
+  std::vector<ShardPoint> points;
+  std::printf("%7s | %12s %14s %16s %10s\n", "shards", "pruned qps",
+              "pruned ms/q", "fullscan ms/q", "speedup");
+  for (size_t shards : {1, 2, 4, 8}) {
+    ShardPoint point = MeasureShards(shards);
+    if (!points.empty() && points.front().pruned_ms > 0) {
+      point.speedup_vs_1shard = points.front().pruned_ms / point.pruned_ms;
+    }
+    points.push_back(point);
+    std::printf("%7zu | %12.1f %14.3f %16.3f %9.2fx\n", point.shards,
+                point.pruned_qps, point.pruned_ms, point.fullscan_ms,
+                point.speedup_vs_1shard);
+  }
+
+  uint64_t kill_errors = ShardKillPhase();
+  std::printf("\nshard-kill phase (4 shards, failback readers): "
+              "%llu user-visible errors\n",
+              static_cast<unsigned long long>(kill_errors));
+  WriteJson(points, kill_errors);
+}
+
+// Micro: a single pruned point-aggregate on a 4-shard system, no
+// background load — the floor for the coordinator + one-shard path.
+void BM_PrunedPointAggregate4Shards(benchmark::State& state) {
+  static IdaaSystem* system = [] {
+    auto* s = new IdaaSystem([] {
+      SystemOptions o;
+      o.accelerator_shards = 4;
+      return o;
+    }());
+    SeedSharded(*s);
+    s->SetAccelerationMode(federation::AccelerationMode::kAll);
+    return s;
+  }();
+  int k = 0;
+  for (auto _ : state) {
+    auto r = system->Execute(
+        StrFormat("SELECT COUNT(*), SUM(amount) FROM orders WHERE cust = %d",
+                  (k++ * 37) % 1000),
+        RawExecOptions());
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+  }
+}
+
+BENCHMARK(BM_PrunedPointAggregate4Shards);
+
+}  // namespace
+}  // namespace idaa::bench
+
+int main(int argc, char** argv) {
+  idaa::bench::PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -216,9 +216,9 @@ Result<std::vector<Row>> BatchGather(
 
 /// Morsel-driven GROUP BY / aggregation: each worker accumulates into its
 /// own raw-keyed partial (dictionary codes qualified by slice id when a
-/// group key is VARCHAR), merged afterwards through the same
-/// MergePartials as the row path.
-Result<std::vector<Row>> BatchAggregate(
+/// group key is VARCHAR), merged afterwards — unfinalized — through the
+/// same raw merge as the row path.
+Result<AggPartial> BatchAggregate(
     const sql::BoundSelect& plan, const ColumnTable& table,
     const BatchScanPlan& bp, TxnId reader, Csn snapshot,
     const TransactionManager& tm, ThreadPool* pool, MetricsRegistry* metrics,
@@ -374,7 +374,7 @@ Result<std::vector<Row>> BatchAggregate(
   }
   AddScanMetrics(metrics, total);
   RecordBatchAttrs(agg_span, total);
-  return MergeAggPartials(plan, &partials);
+  return MergeAggPartialsRaw(&partials);
 }
 
 // ---------------------------------------------------------------------------
@@ -437,10 +437,16 @@ bool JoinAggregationAtSlices(const sql::BoundSelect& plan) {
 /// Execute the slice-side join (optionally + aggregation). Returns nullopt
 /// when ineligible or when the base scan predicate cannot run column-wise
 /// (caller falls back to the coordinator join).
+/// `shard_partial` (sharded scatter mode): when non-null and the
+/// aggregation runs at the slices, the slice partials are merged
+/// UNFINALIZED into *shard_partial, *partial_done is set, and the returned
+/// ResultSet stays nullopt — the sharded coordinator finalizes after
+/// merging all shards.
 Result<std::optional<ResultSet>> TrySliceJoin(
     const sql::BoundSelect& plan, const AccelTableResolver& resolver,
     TxnId reader, Csn snapshot, const TransactionManager& tm, ThreadPool* pool,
-    MetricsRegistry* metrics, TraceContext tc = {}) {
+    MetricsRegistry* metrics, TraceContext tc = {},
+    AggPartial* shard_partial = nullptr, bool* partial_done = nullptr) {
   std::vector<BroadcastDim> dims;
   if (!SliceJoinEligible(plan, &dims)) {
     return std::optional<ResultSet>();
@@ -598,6 +604,13 @@ Result<std::optional<ResultSet>> TrySliceJoin(
   }
 
   TraceSpan merge_span(tc, "accel.coordinator_merge");
+  if (aggregate_at_slices && shard_partial != nullptr) {
+    IDAA_ASSIGN_OR_RETURN(*shard_partial, MergeAggPartialsRaw(&partials));
+    if (partial_done != nullptr) *partial_done = true;
+    merge_span.Attr("groups",
+                    static_cast<uint64_t>(shard_partial->keys.size()));
+    return std::optional<ResultSet>();
+  }
   if (aggregate_at_slices) {
     IDAA_ASSIGN_OR_RETURN(std::vector<Row> post,
                           MergeAggPartials(plan, &partials));
@@ -617,28 +630,29 @@ Result<std::optional<ResultSet>> TrySliceJoin(
   return std::optional<ResultSet>(std::move(out));
 }
 
-/// Run slice-parallel aggregation; returns post-aggregation rows
-/// [keys..., aggregate results...] or nullopt when the plan is ineligible.
-Result<std::optional<std::vector<Row>>> TrySliceAggregation(
+/// Run slice-parallel aggregation; returns one merged UNFINALIZED partial
+/// (slice/morsel partials merged in deterministic order) or nullopt when
+/// the plan is ineligible. Shared by the single-instance path (which
+/// finalizes immediately) and the sharded scatter path (which merges the
+/// per-shard partials first).
+Result<std::optional<AggPartial>> TrySliceAggregationRaw(
     const sql::BoundSelect& plan, const ColumnTable& table, TxnId reader,
     Csn snapshot, const TransactionManager& tm, ThreadPool* pool,
     MetricsRegistry* metrics, TraceContext tc = {},
     const BatchOptions& batch = {}) {
   if (!EligibleForSliceAggregation(plan)) {
-    return std::optional<std::vector<Row>>();
+    return std::optional<AggPartial>();
   }
   TraceSpan agg_span(tc, "accel.slice_aggregation");
   if (batch.enabled) {
     BatchScanPlan bp;
     if (PrepareBatchScan(table, plan.tables[0].scan_predicate.get(), &bp)) {
       IDAA_ASSIGN_OR_RETURN(
-          std::vector<Row> post_rows,
+          AggPartial merged,
           BatchAggregate(plan, table, bp, reader, snapshot, tm, pool, metrics,
                          batch, agg_span));
       agg_span.End();
-      TraceSpan merge_span(tc, "accel.coordinator_merge");
-      merge_span.Attr("groups", static_cast<uint64_t>(post_rows.size()));
-      return std::optional<std::vector<Row>>(std::move(post_rows));
+      return std::optional<AggPartial>(std::move(merged));
     }
   }
   agg_span.Attr("batch_path", "false");
@@ -663,15 +677,29 @@ Result<std::optional<std::vector<Row>>> TrySliceAggregation(
   }
   for (const Status& status : statuses) {
     if (status.code() == StatusCode::kNotSupported) {
-      return std::optional<std::vector<Row>>();  // fall back to row path
+      return std::optional<AggPartial>();  // fall back to row path
     }
     if (!status.ok()) return status;
   }
   agg_span.End();
+  IDAA_ASSIGN_OR_RETURN(AggPartial merged, MergeAggPartialsRaw(&partials));
+  return std::optional<AggPartial>(std::move(merged));
+}
 
+/// Run slice-parallel aggregation; returns post-aggregation rows
+/// [keys..., aggregate results...] or nullopt when the plan is ineligible.
+Result<std::optional<std::vector<Row>>> TrySliceAggregation(
+    const sql::BoundSelect& plan, const ColumnTable& table, TxnId reader,
+    Csn snapshot, const TransactionManager& tm, ThreadPool* pool,
+    MetricsRegistry* metrics, TraceContext tc = {},
+    const BatchOptions& batch = {}) {
+  IDAA_ASSIGN_OR_RETURN(
+      auto merged, TrySliceAggregationRaw(plan, table, reader, snapshot, tm,
+                                          pool, metrics, tc, batch));
+  if (!merged.has_value()) return std::optional<std::vector<Row>>();
   TraceSpan merge_span(tc, "accel.coordinator_merge");
   IDAA_ASSIGN_OR_RETURN(std::vector<Row> post_rows,
-                        MergeAggPartials(plan, &partials));
+                        FinalizeAggPartial(plan, std::move(*merged)));
   merge_span.Attr("groups", static_cast<uint64_t>(post_rows.size()));
   return std::optional<std::vector<Row>>(std::move(post_rows));
 }
@@ -768,6 +796,31 @@ Result<ResultSet> ExecuteAccelSelect(const sql::BoundSelect& plan,
   options.metrics = nullptr;  // slice scans account their own rows
   options.apply_scan_predicates = false;
   return exec::ExecuteBoundSelect(plan, source, options);
+}
+
+Result<std::optional<AggPartial>> ExecuteAccelSelectPartial(
+    const sql::BoundSelect& plan, const AccelTableResolver& resolver,
+    TxnId reader, Csn snapshot, const TransactionManager& tm, ThreadPool* pool,
+    MetricsRegistry* metrics, TraceContext tc, const BatchOptions& batch) {
+  if (EligibleForSliceAggregation(plan) && plan.tables.size() == 1) {
+    IDAA_ASSIGN_OR_RETURN(const ColumnTable* table, resolver(plan.tables[0]));
+    return TrySliceAggregationRaw(plan, *table, reader, snapshot, tm, pool,
+                                  metrics, tc, batch);
+  }
+  if (plan.tables.size() >= 2 && JoinAggregationAtSlices(plan)) {
+    // Broadcast-dimension join with aggregation at the slices: every shard
+    // holds full dimension copies, so the join builds locally and only the
+    // unfinalized group partials leave the shard.
+    AggPartial partial;
+    bool done = false;
+    IDAA_ASSIGN_OR_RETURN(
+        auto finished,
+        TrySliceJoin(plan, resolver, reader, snapshot, tm, pool, metrics, tc,
+                     &partial, &done));
+    (void)finished;  // nullopt by construction in partial mode
+    if (done) return std::optional<AggPartial>(std::move(partial));
+  }
+  return std::optional<AggPartial>();
 }
 
 }  // namespace idaa::accel

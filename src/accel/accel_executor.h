@@ -4,6 +4,7 @@
 #pragma once
 
 #include "accel/column_table.h"
+#include "accel/partial_agg.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
@@ -60,5 +61,21 @@ Result<ResultSet> ExecuteAccelSelect(const sql::BoundSelect& plan,
                                      MetricsRegistry* metrics,
                                      TraceContext tc = {},
                                      const BatchOptions& batch = {});
+
+/// Shard-scatter entry: run the local share of an aggregation plan and
+/// return ONE unfinalized partial for this accelerator instance — its
+/// slice/morsel partials merged in the same deterministic order the
+/// single-instance path uses, but not finalized. The sharded coordinator
+/// merges the shard partials in shard order through MergeAggPartials, so
+/// group contents are identical to running the whole table on one
+/// instance. Covers the single-table slice aggregation and the
+/// broadcast-dimension slice join with aggregation-at-slices; nullopt
+/// means the plan's shape cannot produce mergeable partials here and the
+/// caller must row-gather instead.
+Result<std::optional<AggPartial>> ExecuteAccelSelectPartial(
+    const sql::BoundSelect& plan, const AccelTableResolver& resolver,
+    TxnId reader, Csn snapshot, const TransactionManager& tm, ThreadPool* pool,
+    MetricsRegistry* metrics, TraceContext tc = {},
+    const BatchOptions& batch = {});
 
 }  // namespace idaa::accel

@@ -162,4 +162,59 @@ std::vector<std::string> Accelerator::ListTables() const {
   return names;
 }
 
+Result<size_t> Accelerator::TableVersions(const std::string& name) const {
+  IDAA_ASSIGN_OR_RETURN(const ColumnTable* table, GetTable(name));
+  return table->NumVersions();
+}
+
+Result<std::vector<Row>> Accelerator::SnapshotRows(const std::string& name,
+                                                   TxnId reader,
+                                                   Csn snapshot) const {
+  IDAA_ASSIGN_OR_RETURN(const ColumnTable* table, GetTable(name));
+  std::vector<Row> rows;
+  for (size_t s = 0; s < table->num_slices(); ++s) {
+    IDAA_ASSIGN_OR_RETURN(
+        std::vector<Row> slice_rows,
+        table->ScanSlice(s, nullptr, reader, snapshot, *tm_, metrics_));
+    rows.insert(rows.end(), std::make_move_iterator(slice_rows.begin()),
+                std::make_move_iterator(slice_rows.end()));
+  }
+  return rows;
+}
+
+Result<ReplicaRoute> Accelerator::ReplicaRouteFor(const std::string& table) {
+  IDAA_ASSIGN_OR_RETURN(ColumnTable * storage, GetTable(table));
+  ReplicaRoute route;
+  route.targets.push_back(storage);
+  return route;
+}
+
+Result<std::vector<Row>> Accelerator::ScanTable(
+    const std::string& name, const sql::BoundExpr* predicate, TxnId reader,
+    Csn snapshot, const std::vector<uint8_t>* projection, TraceContext tc,
+    std::optional<size_t> limit_cap) {
+  IDAA_RETURN_IF_ERROR(CheckReady("SELECT"));
+  IDAA_ASSIGN_OR_RETURN(const ColumnTable* table,
+                        static_cast<const Accelerator*>(this)->GetTable(name));
+  BatchOptions batch;
+  batch.enabled = batch_path_enabled_.load(std::memory_order_relaxed);
+  batch.morsel_size = options_.morsel_size;
+  return ParallelScan(*table, predicate, reader, snapshot, *tm_, &pool_,
+                      metrics_, projection, tc, batch, limit_cap);
+}
+
+Result<std::optional<AggPartial>> Accelerator::ExecuteSelectPartial(
+    const sql::BoundSelect& plan, TxnId reader, Csn snapshot, TraceContext tc) {
+  IDAA_RETURN_IF_ERROR(CheckReady("SELECT"));
+  AccelTableResolver resolver =
+      [this](const sql::BoundTable& bt) -> Result<const ColumnTable*> {
+    return static_cast<const Accelerator*>(this)->GetTable(bt.info->name);
+  };
+  BatchOptions batch;
+  batch.enabled = batch_path_enabled_.load(std::memory_order_relaxed);
+  batch.morsel_size = options_.morsel_size;
+  return ExecuteAccelSelectPartial(plan, resolver, reader, snapshot, *tm_,
+                                   &pool_, metrics_, tc, batch);
+}
+
 }  // namespace idaa::accel

@@ -2,10 +2,17 @@
 // (snapshot replicas of accelerated DB2 tables, and accelerator-only
 // tables), a worker pool for slice parallelism, and entry points for the
 // statements the federation layer delegates.
+//
+// The statement entry points are virtual: ShardedAccelerator presents N
+// instances behind this same API (hash-partitioned + broadcast tables,
+// scatter-gather with partial-aggregate merge), so the federation layer
+// and replication never know whether one appliance or a shard group is
+// attached.
 
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -31,10 +38,24 @@ enum class AcceleratorState : uint8_t { kOnline, kOffline, kRecovering };
 
 const char* AcceleratorStateToString(AcceleratorState state);
 
+/// Where replication applies one table's changes: every shard-resident
+/// storage of the table plus the partition-hash router. For a plain
+/// accelerator there is exactly one target and no router. `shard_of`
+/// null <=> broadcast: the change applies to every target.
+struct ReplicaRoute {
+  std::vector<ColumnTable*> targets;
+  std::function<size_t(const Row&)> shard_of;
+  /// Keeps the owning topology stable (sharded: blocks shard add /
+  /// rebalance) and, on release, advances the touched shards' apply
+  /// epochs. Hold until the batch is applied.
+  std::shared_ptr<void> pin;
+};
+
 class Accelerator {
  public:
   Accelerator(const AcceleratorOptions& options, TransactionManager* tm,
               MetricsRegistry* metrics, std::string name = "ACCEL1");
+  virtual ~Accelerator() = default;
 
   const AcceleratorOptions& options() const { return options_; }
 
@@ -57,59 +78,113 @@ class Accelerator {
 
   /// Inject faults at this accelerator's entry points (site
   /// "accel.<name>"; nullptr disables; default).
-  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  virtual void set_fault_injector(FaultInjector* injector) {
+    injector_ = injector;
+  }
 
   /// Runtime toggle for the vectorized batch path (differential testing /
   /// benchmarking against the row-at-a-time fallback; results are
   /// identical either way).
-  void SetBatchPathEnabled(bool enabled) { batch_path_enabled_ = enabled; }
+  virtual void SetBatchPathEnabled(bool enabled) {
+    batch_path_enabled_ = enabled;
+  }
   bool batch_path_enabled() const { return batch_path_enabled_; }
 
+  /// Number of physical shard instances behind this logical accelerator
+  /// (1 for a plain appliance).
+  virtual size_t num_shards() const { return 1; }
+
+  /// Per-shard lifecycle states, shard-index order (size num_shards()).
+  virtual std::vector<AcceleratorState> ShardStates() const {
+    return {state()};
+  }
+
   /// Number of tables currently hosted (placement balancing).
-  size_t NumTables() const;
+  virtual size_t NumTables() const;
 
   /// Create storage for a table (replica or AOT).
-  Status AddTable(const TableInfo& info);
+  virtual Status AddTable(const TableInfo& info);
 
-  Status RemoveTable(const std::string& name);
+  virtual Status RemoveTable(const std::string& name);
 
-  bool HasTable(const std::string& name) const;
+  virtual bool HasTable(const std::string& name) const;
 
-  Result<ColumnTable*> GetTable(const std::string& name);
-  Result<const ColumnTable*> GetTable(const std::string& name) const;
+  /// Direct storage access. On a sharded accelerator this resolves only
+  /// broadcast tables (every shard holds a full copy); hash-partitioned
+  /// tables have no single backing ColumnTable and fail kNotSupported.
+  virtual Result<ColumnTable*> GetTable(const std::string& name);
+  virtual Result<const ColumnTable*> GetTable(const std::string& name) const;
 
   /// Bulk-append rows under `txn` (replication apply, loader, INSERT).
-  Status LoadRows(const std::string& name, const std::vector<Row>& rows,
-                  TxnId txn);
+  virtual Status LoadRows(const std::string& name, const std::vector<Row>& rows,
+                          TxnId txn);
 
   /// Columnar bulk append from the vectorized engine; same transactional
   /// semantics and stored state as LoadRows of the equivalent rows (see
   /// ColumnTable::InsertColumnar).
-  Status LoadColumnar(const std::string& name, const ColumnarRows& rows,
-                      TxnId txn);
+  virtual Status LoadColumnar(const std::string& name, const ColumnarRows& rows,
+                              TxnId txn);
 
   /// Delegated SELECT under (reader, snapshot) visibility. With a trace
   /// context, slice scans and merges are recorded as spans.
-  Result<ResultSet> ExecuteSelect(const sql::BoundSelect& plan, TxnId reader,
-                                  Csn snapshot, TraceContext tc = {});
+  virtual Result<ResultSet> ExecuteSelect(const sql::BoundSelect& plan,
+                                          TxnId reader, Csn snapshot,
+                                          TraceContext tc = {});
 
   /// Delegated UPDATE/DELETE on an AOT.
-  Result<size_t> ExecuteUpdate(const sql::BoundUpdate& plan, TxnId txn,
-                               Csn snapshot);
-  Result<size_t> ExecuteDelete(const sql::BoundDelete& plan, TxnId txn,
-                               Csn snapshot);
+  virtual Result<size_t> ExecuteUpdate(const sql::BoundUpdate& plan, TxnId txn,
+                                       Csn snapshot);
+  virtual Result<size_t> ExecuteDelete(const sql::BoundDelete& plan, TxnId txn,
+                                       Csn snapshot);
 
   /// Groom every table up to the transaction manager's oldest active
-  /// snapshot; returns aggregate stats.
-  GroomStats GroomAll();
+  /// snapshot; returns aggregate stats. Sharded: per-shard groom on every
+  /// Online shard.
+  virtual GroomStats GroomAll();
 
-  std::vector<std::string> ListTables() const;
+  virtual std::vector<std::string> ListTables() const;
+
+  /// Total stored row versions of one table (sharded: summed across
+  /// shards). Maintenance/placement accounting.
+  virtual Result<size_t> TableVersions(const std::string& name) const;
+
+  /// All rows of `name` visible under (reader, snapshot), concatenated in
+  /// slice order (sharded: shard-major slice order). Verification and
+  /// rebalance path — not gated on lifecycle state.
+  virtual Result<std::vector<Row>> SnapshotRows(const std::string& name,
+                                                TxnId reader,
+                                                Csn snapshot) const;
+
+  /// Where replication applies `table`'s changes (see ReplicaRoute). A
+  /// plain accelerator returns its single ColumnTable; sharded, all shard
+  /// storages plus the partition-hash router. Fails kUnavailable
+  /// (retryable — the batch requeues) while any required shard is Offline.
+  virtual Result<ReplicaRoute> ReplicaRouteFor(const std::string& table);
+
+  // -- scatter support (called by ShardedAccelerator on its shards) --------
+
+  /// State/fault-gated parallel scan of one table with the scan predicate
+  /// applied (the per-shard leg of a scatter-gather row read). Rows come
+  /// back in deterministic slice order.
+  Result<std::vector<Row>> ScanTable(const std::string& name,
+                                     const sql::BoundExpr* predicate,
+                                     TxnId reader, Csn snapshot,
+                                     const std::vector<uint8_t>* projection,
+                                     TraceContext tc = {},
+                                     std::optional<size_t> limit_cap =
+                                         std::nullopt);
+
+  /// State/fault-gated local partial aggregation (the per-shard leg of a
+  /// scatter-gather aggregate; see ExecuteAccelSelectPartial).
+  Result<std::optional<AggPartial>> ExecuteSelectPartial(
+      const sql::BoundSelect& plan, TxnId reader, Csn snapshot,
+      TraceContext tc = {});
 
   ThreadPool* thread_pool() { return &pool_; }
   TransactionManager* txn_manager() { return tm_; }
   MetricsRegistry* metrics() { return metrics_; }
 
- private:
+ protected:
   /// kUnavailable unless Online, then the injector's draw for this
   /// accelerator's site. `op` names the rejected operation in the message.
   Status CheckReady(const char* op) const;
@@ -122,6 +197,8 @@ class Accelerator {
   TransactionManager* tm_;
   MetricsRegistry* metrics_;
   ThreadPool pool_;
+
+ private:
   mutable std::mutex mu_;
   // shared_ptr so maintenance passes (GroomAll) can keep a table alive
   // across their per-table work while a concurrent DROP / AOT re-create

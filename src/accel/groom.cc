@@ -12,8 +12,8 @@ GroomStats GroomService::RunOnce() {
 GroomStats GroomService::MaybeGroom() {
   size_t versions = 0;
   for (const auto& name : accelerator_->ListTables()) {
-    auto table = accelerator_->GetTable(name);
-    if (table.ok()) versions += (*table)->NumVersions();
+    auto table_versions = accelerator_->TableVersions(name);
+    if (table_versions.ok()) versions += *table_versions;
   }
   if (versions < trigger_versions_) return GroomStats{};
   return RunOnce();

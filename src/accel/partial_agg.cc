@@ -4,41 +4,50 @@
 
 namespace idaa::accel {
 
-Result<std::vector<Row>> MergeAggPartials(const sql::BoundSelect& plan,
-                                          std::vector<AggPartial>* partials) {
+Result<AggPartial> MergeAggPartialsRaw(std::vector<AggPartial>* partials) {
   std::unordered_map<std::vector<Value>, size_t, ValueKeyHash> merged_index;
-  std::vector<std::vector<Value>> keys;
-  std::vector<std::vector<sql::AggregateAccumulator>> merged;
+  AggPartial out;
   for (AggPartial& partial : *partials) {
     for (size_t g = 0; g < partial.keys.size(); ++g) {
       auto it = merged_index.find(partial.keys[g]);
       if (it == merged_index.end()) {
-        merged_index.emplace(partial.keys[g], keys.size());
-        keys.push_back(std::move(partial.keys[g]));
-        merged.push_back(std::move(partial.accumulators[g]));
+        merged_index.emplace(partial.keys[g], out.keys.size());
+        out.keys.push_back(std::move(partial.keys[g]));
+        out.accumulators.push_back(std::move(partial.accumulators[g]));
       } else {
-        auto& accs = merged[it->second];
+        auto& accs = out.accumulators[it->second];
         for (size_t a = 0; a < accs.size(); ++a) {
           IDAA_RETURN_IF_ERROR(accs[a].Merge(partial.accumulators[g][a]));
         }
       }
     }
   }
+  return out;
+}
+
+Result<std::vector<Row>> FinalizeAggPartial(const sql::BoundSelect& plan,
+                                            AggPartial partial) {
   // Global aggregation over empty input still yields one row.
-  if (keys.empty() && plan.group_keys.empty()) {
-    keys.push_back({});
+  if (partial.keys.empty() && plan.group_keys.empty()) {
+    partial.keys.push_back({});
     std::vector<sql::AggregateAccumulator> accs;
     for (const auto& agg : plan.aggregates) accs.emplace_back(agg);
-    merged.push_back(std::move(accs));
+    partial.accumulators.push_back(std::move(accs));
   }
   std::vector<Row> post_rows;
-  post_rows.reserve(keys.size());
-  for (size_t g = 0; g < keys.size(); ++g) {
-    Row row = std::move(keys[g]);
-    for (const auto& acc : merged[g]) row.push_back(acc.Finalize());
+  post_rows.reserve(partial.keys.size());
+  for (size_t g = 0; g < partial.keys.size(); ++g) {
+    Row row = std::move(partial.keys[g]);
+    for (const auto& acc : partial.accumulators[g]) row.push_back(acc.Finalize());
     post_rows.push_back(std::move(row));
   }
   return post_rows;
+}
+
+Result<std::vector<Row>> MergeAggPartials(const sql::BoundSelect& plan,
+                                          std::vector<AggPartial>* partials) {
+  IDAA_ASSIGN_OR_RETURN(AggPartial merged, MergeAggPartialsRaw(partials));
+  return FinalizeAggPartial(plan, std::move(merged));
 }
 
 }  // namespace idaa::accel

@@ -40,9 +40,26 @@ struct AggPartial {
   std::vector<std::vector<sql::AggregateAccumulator>> accumulators;
 };
 
-/// Merge per-worker partial aggregations into post-aggregation rows
+/// Merge per-worker partials into ONE unfinalized partial, preserving
+/// first-seen group order across `partials` (the deterministic slice /
+/// morsel-worker order). Used directly by the sharded scatter path: each
+/// shard reduces its slice partials to one partial, the coordinator merges
+/// the shard partials in shard order, and only then finalizes — so results
+/// are bit-identical to the single-shard merge of the same partials.
+/// Does NOT synthesize the empty-input global-aggregation row; that
+/// happens at finalization.
+Result<AggPartial> MergeAggPartialsRaw(std::vector<AggPartial>* partials);
+
+/// Finalize one merged partial into post-aggregation rows
 /// [keys..., finalized aggregates...]. A global aggregation over empty
 /// input still yields one row.
+Result<std::vector<Row>> FinalizeAggPartial(const sql::BoundSelect& plan,
+                                            AggPartial partial);
+
+/// Merge per-worker partial aggregations into post-aggregation rows
+/// [keys..., finalized aggregates...]. A global aggregation over empty
+/// input still yields one row. Equivalent to
+/// FinalizeAggPartial(plan, MergeAggPartialsRaw(partials)).
 Result<std::vector<Row>> MergeAggPartials(const sql::BoundSelect& plan,
                                           std::vector<AggPartial>* partials);
 

@@ -43,6 +43,21 @@ RetryPolicy FederationEngine::PolicyFor(const Session& session) const {
   return policy;
 }
 
+void FederationEngine::RecordShardHealth(const std::string& name,
+                                         bool success) {
+  auto a = AcceleratorByName(name);
+  if (!a.ok() || (*a)->num_shards() <= 1) return;
+  std::vector<accel::AcceleratorState> states = (*a)->ShardStates();
+  for (size_t i = 0; i < states.size(); ++i) {
+    std::string site = name + "#" + std::to_string(i);
+    if (states[i] == accel::AcceleratorState::kOnline) {
+      if (success) health_.RecordSuccess(site);
+    } else if (!success) {
+      health_.RecordFailure(site);
+    }
+  }
+}
+
 Result<std::vector<Row>> FederationEngine::SendRowsRetry(
     const std::vector<Row>& rows, const Session& session, TraceContext tc,
     uint32_t* retries) {
@@ -282,8 +297,10 @@ Result<ResultSet> FederationEngine::AccelSelectWithRetry(
   // retryable failure is evidence of sickness.
   if (outcome.status.ok()) {
     health_.RecordSuccess(name);
+    RecordShardHealth(name, /*success=*/true);
   } else if (outcome.status.retryable()) {
     health_.RecordFailure(name);
+    RecordShardHealth(name, /*success=*/false);
   }
   if (!outcome.status.ok()) return outcome.status;
   return result;
@@ -458,8 +475,10 @@ Result<ExecResult> FederationEngine::ExecuteInsert(
     }
     if (loaded.status.ok()) {
       health_.RecordSuccess(target_accel->name());
+      RecordShardHealth(target_accel->name(), /*success=*/true);
     } else if (loaded.status.retryable()) {
       health_.RecordFailure(target_accel->name());
+      RecordShardHealth(target_accel->name(), /*success=*/false);
       // AOT writes have no DB2 fallback: surface a clear error.
       return NoFailbackError(loaded.status,
                              "accelerator-only tables have no DB2 copy and "
@@ -515,8 +534,10 @@ Result<ExecResult> FederationEngine::ExecuteUpdate(
     }
     if (outcome.status.ok()) {
       health_.RecordSuccess(accelerator->name());
+      RecordShardHealth(accelerator->name(), /*success=*/true);
     } else if (outcome.status.retryable()) {
       health_.RecordFailure(accelerator->name());
+      RecordShardHealth(accelerator->name(), /*success=*/false);
       return NoFailbackError(outcome.status,
                              "accelerator-only tables have no DB2 copy and "
                              "cannot fail back");
@@ -559,8 +580,10 @@ Result<ExecResult> FederationEngine::ExecuteDelete(
     }
     if (outcome.status.ok()) {
       health_.RecordSuccess(accelerator->name());
+      RecordShardHealth(accelerator->name(), /*success=*/true);
     } else if (outcome.status.retryable()) {
       health_.RecordFailure(accelerator->name());
+      RecordShardHealth(accelerator->name(), /*success=*/false);
       return NoFailbackError(outcome.status,
                              "accelerator-only tables have no DB2 copy and "
                              "cannot fail back");
@@ -613,10 +636,10 @@ Result<ExecResult> FederationEngine::ExecuteCreateTable(
   info.kind = stmt.in_accelerator ? TableKind::kAcceleratorOnly
                                   : TableKind::kDb2Only;
   if (stmt.distribute_by) {
-    if (!stmt.in_accelerator) {
-      return Status::SemanticError(
-          "DISTRIBUTE BY is only valid with IN ACCELERATOR");
-    }
+    // Valid on any table: IN ACCELERATOR tables are placed by it
+    // immediately; for DB2 tables it is recorded in the catalog and takes
+    // effect when the table is accelerated (the replica hash-partitions
+    // across slices — and across shards on a sharded accelerator).
     IDAA_ASSIGN_OR_RETURN(size_t idx,
                           info.schema.ColumnIndex(*stmt.distribute_by));
     info.distribution_column = idx;
@@ -855,10 +878,9 @@ Result<ExecResult> FederationEngine::ExecuteCall(const sql::CallStatement& stmt,
       if (!info->accelerator_name.empty()) {
         auto host = AcceleratorByName(info->accelerator_name);
         if (host.ok()) {
-          auto accel_table = (*host)->GetTable(info->name);
-          if (accel_table.ok()) {
-            versions = Value::Integer(
-                static_cast<int64_t>((*accel_table)->NumVersions()));
+          auto accel_versions = (*host)->TableVersions(info->name);
+          if (accel_versions.ok()) {
+            versions = Value::Integer(static_cast<int64_t>(*accel_versions));
           }
         }
       }
@@ -1032,14 +1054,31 @@ Result<ExecResult> FederationEngine::ExecuteExplain(
   for (const std::string& name : accel_names) {
     auto a = AcceleratorByName(name);
     if (!a.ok()) continue;
-    add("ACCELERATOR " + name,
+    std::string detail =
         std::string(accel::AcceleratorStateToString((*a)->state())) +
-            ", breaker " +
-            std::string(BreakerStateToString(health_.state(name))));
+        ", breaker " + std::string(BreakerStateToString(health_.state(name)));
+    if ((*a)->num_shards() > 1) {
+      std::vector<accel::AcceleratorState> states = (*a)->ShardStates();
+      detail += StrFormat(", %zu shards [", states.size());
+      for (size_t i = 0; i < states.size(); ++i) {
+        if (i > 0) detail += ' ';
+        detail += accel::AcceleratorStateToString(states[i]);
+      }
+      detail += ']';
+    }
+    add("ACCELERATOR " + name, std::move(detail));
   }
 
   for (const auto& bt : plan.tables) {
     std::string detail = std::string(TableKindToString(bt.info->kind));
+    if (bt.info->distribution_column.has_value() &&
+        !bt.info->accelerator_name.empty()) {
+      auto host = AcceleratorByName(bt.info->accelerator_name);
+      if (host.ok() && (*host)->num_shards() > 1) {
+        detail += ", hash-distributed on " +
+                  bt.info->schema.Column(*bt.info->distribution_column).name;
+      }
+    }
     if (bt.scan_predicate) {
       bool exact = false;
       auto ranges = accel::ExtractColumnRanges(*bt.scan_predicate, &exact);
@@ -1199,16 +1238,8 @@ Result<ResultSet> FederationEngine::VerifyAcceleratedTables(
     IDAA_ASSIGN_OR_RETURN(std::vector<Row> db2_rows,
                           db2_->TableSnapshot(*info, txn));
     IDAA_ASSIGN_OR_RETURN(
-        const accel::ColumnTable* table,
-        static_cast<const accel::Accelerator*>(host)->GetTable(info->name));
-    std::vector<Row> accel_rows;
-    for (size_t s = 0; s < table->num_slices(); ++s) {
-      IDAA_ASSIGN_OR_RETURN(
-          std::vector<Row> slice_rows,
-          table->ScanSlice(s, nullptr, txn->id(), txn->snapshot_csn(), *tm_,
-                           metrics_));
-      for (Row& r : slice_rows) accel_rows.push_back(std::move(r));
-    }
+        std::vector<Row> accel_rows,
+        host->SnapshotRows(info->name, txn->id(), txn->snapshot_csn()));
     bool converged = canonical(db2_rows) == canonical(accel_rows);
     report.Append({Value::Varchar(info->name),
                    Value::Integer(static_cast<int64_t>(db2_rows.size())),

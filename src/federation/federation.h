@@ -239,6 +239,13 @@ class FederationEngine {
   /// Effective retry policy for a session (deadline override applied).
   RetryPolicy PolicyFor(const Session& session) const;
 
+  /// Shard-granular breaker accounting for a statement outcome against a
+  /// sharded accelerator: each non-Online shard's site ("<name>#<i>")
+  /// records the failure, Online shards record successes — so one dead
+  /// shard trips only its own breaker while the logical accelerator stays
+  /// attached. No-op for a plain (1-instance) accelerator.
+  void RecordShardHealth(const std::string& name, bool success);
+
   /// Individual boundary crossings under the retry policy (DML / load
   /// paths). Each accumulates its retries into *retries when non-null.
   Result<std::vector<Row>> SendRowsRetry(const std::vector<Row>& rows,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "accel/sharded_accelerator.h"
 #include "common/string_util.h"
 #include "sql/parser.h"
 
@@ -14,9 +15,15 @@ IdaaSystem::IdaaSystem(const SystemOptions& options)
   size_t num_accelerators = std::max<size_t>(1, options_.num_accelerators);
   std::vector<accel::Accelerator*> accel_ptrs;
   for (size_t i = 0; i < num_accelerators; ++i) {
-    accelerators_.push_back(std::make_unique<accel::Accelerator>(
-        options_.accelerator, &tm_, &metrics_,
-        "ACCEL" + std::to_string(i + 1)));
+    std::string name = "ACCEL" + std::to_string(i + 1);
+    if (options_.accelerator_shards > 1) {
+      accelerators_.push_back(std::make_unique<accel::ShardedAccelerator>(
+          options_.accelerator, options_.accelerator_shards, &tm_, &metrics_,
+          name));
+    } else {
+      accelerators_.push_back(std::make_unique<accel::Accelerator>(
+          options_.accelerator, &tm_, &metrics_, name));
+    }
     accelerators_.back()->set_fault_injector(&fault_injector_);
     accel_ptrs.push_back(accelerators_.back().get());
   }
@@ -31,7 +38,7 @@ IdaaSystem::IdaaSystem(const SystemOptions& options)
   };
   replication_ = std::make_unique<replication::ReplicationService>(
       &tm_,
-      [this](const std::string& table_name) -> Result<accel::ColumnTable*> {
+      [this](const std::string& table_name) -> Result<accel::ReplicaRoute> {
         IDAA_ASSIGN_OR_RETURN(const TableInfo* info,
                               catalog_.GetTable(table_name));
         // Catch-up applies must land while the accelerator is Recovering
@@ -39,7 +46,7 @@ IdaaSystem::IdaaSystem(const SystemOptions& options)
         // query path's AcceleratorForTable.
         IDAA_ASSIGN_OR_RETURN(accel::Accelerator * a,
                               federation_->AcceleratorForReplication(*info));
-        return a->GetTable(table_name);
+        return a->ReplicaRouteFor(table_name);
       },
       channel_.get(), &metrics_,
       &histograms_.GetOrCreate(histo::kReplicationBatchApplyUs));
@@ -142,6 +149,16 @@ IdaaSystem::IdaaSystem(const SystemOptions& options)
       [this](const std::vector<std::string>& tables) {
         wlm_->result_cache().InvalidateTables(tables);
       });
+  // A shard rebalance changes placement without a data change; cached
+  // results spanning the old topology must not outlive it.
+  for (auto& a : accelerators_) {
+    if (auto* sharded = dynamic_cast<accel::ShardedAccelerator*>(a.get())) {
+      sharded->set_topology_listener(
+          [this](const std::vector<std::string>& tables) {
+            wlm_->result_cache().InvalidateTables(tables);
+          });
+    }
+  }
   default_connection_ = NewConnection();
 }
 

@@ -38,6 +38,11 @@ struct SystemOptions {
   accel::AcceleratorOptions accelerator;
   /// Number of attached accelerators (named ACCEL1..ACCELn).
   size_t num_accelerators = 1;
+  /// Physical shard instances behind each logical accelerator. 1 = plain
+  /// appliance; >1 builds a ShardedAccelerator (hash-partitioned +
+  /// broadcast tables, scatter-gather, per-shard failure handling) behind
+  /// the same API — routing, replication and WLM are unaware.
+  size_t accelerator_shards = 1;
   /// Replication apply batch size (0 = manual Flush only).
   size_t replication_batch_size = 256;
   /// Default acceleration mode for new sessions.

@@ -1,6 +1,58 @@
 #include "replication/apply_worker.h"
 
+#include <map>
+
 namespace idaa::replication {
+
+namespace {
+
+/// Delete one row image along its route. Hash-partitioned: the home shard
+/// is tried first; the others only as a fallback (a row can sit off its
+/// home shard only transiently, e.g. mid-rebalance leftovers), so the
+/// common case touches 1/N of the topology. Broadcast: every copy must
+/// drop the image. Returns whether the image was found (broadcast: on
+/// every copy).
+Result<bool> RouteDelete(const accel::ReplicaRoute& route, const Row& image,
+                         TxnId txn, Csn snapshot,
+                         const TransactionManager& tm) {
+  if (route.shard_of != nullptr) {
+    size_t home = route.shard_of(image);
+    IDAA_ASSIGN_OR_RETURN(
+        bool found, route.targets[home]->DeleteOneMatching(image, txn,
+                                                           snapshot, tm));
+    if (found) return true;
+    for (size_t i = 0; i < route.targets.size(); ++i) {
+      if (i == home) continue;
+      IDAA_ASSIGN_OR_RETURN(
+          found,
+          route.targets[i]->DeleteOneMatching(image, txn, snapshot, tm));
+      if (found) return true;
+    }
+    return false;
+  }
+  bool found_everywhere = true;
+  for (accel::ColumnTable* target : route.targets) {
+    IDAA_ASSIGN_OR_RETURN(bool found,
+                          target->DeleteOneMatching(image, txn, snapshot, tm));
+    found_everywhere = found_everywhere && found;
+  }
+  return found_everywhere;
+}
+
+/// Insert one row along its route: home shard (hash-partitioned) or every
+/// copy (broadcast).
+Status RouteInsert(const accel::ReplicaRoute& route, const Row& row,
+                   TxnId txn) {
+  if (route.shard_of != nullptr) {
+    return route.targets[route.shard_of(row)]->Insert({row}, txn);
+  }
+  for (accel::ColumnTable* target : route.targets) {
+    IDAA_RETURN_IF_ERROR(target->Insert({row}, txn));
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 Result<ApplyStats> ApplyWorker::ApplyBatch(
     const std::vector<CommittedChange>& batch) {
@@ -8,15 +60,22 @@ Result<ApplyStats> ApplyWorker::ApplyBatch(
   if (batch.empty()) return stats;
   const uint64_t start_ns = TraceNowNs();
 
-  // Resolve every target replica before shipping anything: an unreachable
-  // accelerator must fail the batch *before* the boundary crossing so the
-  // caller can requeue it without having metered phantom bytes.
-  std::vector<accel::ColumnTable*> targets;
+  // Resolve every target route before shipping anything: an unreachable
+  // accelerator (or shard) must fail the batch *before* the boundary
+  // crossing so the caller can requeue it without having metered phantom
+  // bytes. One route per distinct table; its pin is held until the batch
+  // is applied (or abandoned), keeping the shard topology stable.
+  std::map<std::string, accel::ReplicaRoute> routes;
+  std::vector<const accel::ReplicaRoute*> targets;
   targets.reserve(batch.size());
   for (const auto& cc : batch) {
-    auto table_r = resolver_(cc.change.table_name);
-    if (!table_r.ok()) return table_r.status();
-    targets.push_back(*table_r);
+    auto it = routes.find(cc.change.table_name);
+    if (it == routes.end()) {
+      auto route_r = resolver_(cc.change.table_name);
+      if (!route_r.ok()) return route_r.status();
+      it = routes.emplace(cc.change.table_name, std::move(*route_r)).first;
+    }
+    targets.push_back(&it->second);
   }
 
   // Meter the batch crossing the boundary (old+new images, like a real
@@ -39,28 +98,28 @@ Result<ApplyStats> ApplyWorker::ApplyBatch(
   for (size_t i = 0; i < batch.size(); ++i) {
     const auto& cc = batch[i];
     const CapturedChange& change = cc.change;
-    accel::ColumnTable* table = targets[i];
+    const accel::ReplicaRoute& route = *targets[i];
     switch (change.op) {
       case CapturedChange::Op::kInsert: {
-        Status st = table->Insert({change.row}, txn->id());
+        Status st = RouteInsert(route, change.row, txn->id());
         if (!st.ok()) return fail(st);
         ++stats.inserts;
         break;
       }
       case CapturedChange::Op::kDelete: {
-        auto found = table->DeleteOneMatching(change.old_row, txn->id(),
-                                              txn->snapshot_csn(), *tm_);
+        auto found = RouteDelete(route, change.old_row, txn->id(),
+                                 txn->snapshot_csn(), *tm_);
         if (!found.ok()) return fail(found.status());
         if (!*found) ++stats.misses;
         ++stats.deletes;
         break;
       }
       case CapturedChange::Op::kUpdate: {
-        auto found = table->DeleteOneMatching(change.old_row, txn->id(),
-                                              txn->snapshot_csn(), *tm_);
+        auto found = RouteDelete(route, change.old_row, txn->id(),
+                                 txn->snapshot_csn(), *tm_);
         if (!found.ok()) return fail(found.status());
         if (!*found) ++stats.misses;
-        Status st = table->Insert({change.row}, txn->id());
+        Status st = RouteInsert(route, change.row, txn->id());
         if (!st.ok()) return fail(st);
         ++stats.updates;
         break;

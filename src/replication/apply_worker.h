@@ -15,11 +15,14 @@
 
 namespace idaa::replication {
 
-/// Resolves a replica column table by (normalized) table name — supplied by
+/// Resolves the replica route of a (normalized) table name — supplied by
 /// the embedding system, which knows which attached accelerator hosts the
-/// table.
+/// table. For a plain accelerator the route is one ColumnTable; a sharded
+/// accelerator returns every shard's storage plus the partition-hash
+/// router (see accel::ReplicaRoute), and the worker fans each change out
+/// to its home shard (hash-partitioned) or to every copy (broadcast).
 using ReplicaResolver =
-    std::function<Result<accel::ColumnTable*>(const std::string& table_name)>;
+    std::function<Result<accel::ReplicaRoute>(const std::string& table_name)>;
 
 struct ApplyStats {
   size_t changes_applied = 0;
@@ -40,7 +43,8 @@ class ApplyWorker {
         metrics_(metrics), apply_latency_(apply_latency) {}
 
   /// Apply one batch atomically (single replication transaction; rolled
-  /// back entirely on failure).
+  /// back entirely on failure). Route pins are held for the whole batch,
+  /// so a shard rebalance can never interleave with a half-applied batch.
   Result<ApplyStats> ApplyBatch(const std::vector<CommittedChange>& batch);
 
  private:

@@ -11,6 +11,7 @@
 #include <atomic>
 #include <thread>
 
+#include "accel/sharded_accelerator.h"
 #include "common/fault_injector.h"
 #include "common/rng.h"
 #include "common/string_util.h"
@@ -820,6 +821,139 @@ TEST_P(ConvergenceFuzz, JoinPipelinesAgreeUnderFaults) {
   stop.store(true);
   writer.join();
   system.fault_injector().Reset();
+}
+
+// Shard arm: a randomized stream of DML, DDL, GROOM and online AddShard
+// rebalances runs against a hash-partitioned N-shard accelerator while 10%
+// of channel and per-shard accelerator crossings fail retryably. The same
+// statement stream applied to a clean serial 1-shard reference must
+// converge to identical visible contents on every table — faults and
+// topology changes may delay convergence, never corrupt it.
+TEST_P(ConvergenceFuzz, ShardedReplicaConvergesUnderFaultsAndRebalance) {
+  Rng rng(GetParam() + 13000);
+  const size_t num_shards = 2 + GetParam() % 3;
+
+  SystemOptions ref_options;
+  ref_options.replication_batch_size = 0;
+  IdaaSystem reference(ref_options);
+
+  SystemOptions options;
+  options.replication_batch_size = 8;
+  options.accelerator_shards = num_shards;
+  IdaaSystem sharded(options);
+  auto* shard_accel =
+      dynamic_cast<accel::ShardedAccelerator*>(&sharded.accelerator());
+  ASSERT_NE(shard_accel, nullptr);
+
+  // Runs one statement on both systems: the serial reference must accept
+  // it outright; the faulty sharded system may need retries.
+  auto both = [&](const std::string& sql) {
+    auto ref = reference.Execute(sql);
+    ASSERT_TRUE(ref.ok()) << sql << ": " << ref.status().ToString();
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      auto got = sharded.Execute(sql);
+      if (got.ok()) return;
+      ASSERT_TRUE(got.status().retryable() ||
+                  got.status().code() == StatusCode::kConflict)
+          << "terminal error from " << sql << ": " << got.status().ToString();
+      std::this_thread::yield();
+    }
+    FAIL() << "retries exhausted for " << sql;
+  };
+
+  both("CREATE TABLE st (id INT NOT NULL, grp INT, v DOUBLE) "
+       "DISTRIBUTE BY (grp)");
+  both("CALL SYSPROC.ACCEL_ADD_TABLES('st')");
+
+  FaultSpec spec;
+  spec.probability = 0.1;
+  sharded.fault_injector().ArmChannel(spec);
+  // Shards are independent failure domains: arm every per-shard site (and
+  // a few extra indices so shards added mid-run fault too).
+  for (size_t i = 0; i < num_shards + 3; ++i) {
+    sharded.fault_injector().Arm(
+        FaultInjector::AcceleratorSite(StrFormat("ACCEL1#%zu", i)), spec);
+  }
+
+  int next_id = 0;
+  bool made_second_table = false;
+  for (int op = 0; op < 100; ++op) {
+    int kind = static_cast<int>(rng.Uniform(0, 11));
+    if (kind <= 4 || next_id == 0) {
+      both(StrFormat("INSERT INTO st VALUES (%d, %d, %d.25)", next_id++,
+                     static_cast<int>(rng.Uniform(0, 6)),
+                     static_cast<int>(rng.Uniform(0, 40))));
+    } else if (kind == 5) {
+      // Distribution-key update: replication reroutes the row to its new
+      // home shard (delete at the old hash, reinsert at the new one).
+      both(StrFormat("UPDATE st SET grp = %d WHERE id %% 5 = %d",
+                     static_cast<int>(rng.Uniform(0, 6)),
+                     static_cast<int>(rng.Uniform(0, 4))));
+    } else if (kind == 6) {
+      both(StrFormat("UPDATE st SET v = v + 1 WHERE grp = %d",
+                     static_cast<int>(rng.Uniform(0, 6))));
+    } else if (kind == 7) {
+      both(StrFormat("DELETE FROM st WHERE id %% 7 = %d",
+                     static_cast<int>(rng.Uniform(0, 6))));
+    } else if (kind == 8) {
+      for (int attempt = 0; attempt < 200; ++attempt) {
+        auto flushed = sharded.replication().Flush();
+        if (flushed.ok()) break;
+        ASSERT_TRUE(flushed.status().retryable())
+            << flushed.status().ToString();
+      }
+      ASSERT_TRUE(reference.replication().Flush().ok());
+    } else if (kind == 9) {
+      both("CALL SYSPROC.ACCEL_GROOM()");
+    } else if (!made_second_table) {
+      // Mid-stream DDL: a second partitioned table joins the stream.
+      made_second_table = true;
+      both("CREATE TABLE st2 (k INT NOT NULL, t VARCHAR) DISTRIBUTE BY (k)");
+      both("CALL SYSPROC.ACCEL_ADD_TABLES('st2')");
+      for (int i = 0; i < 10; ++i) {
+        both(StrFormat("INSERT INTO st2 VALUES (%d, 'w%d')", i, i % 3));
+      }
+    } else if (shard_accel->num_shards() < num_shards + 2) {
+      // Online rebalance, mid-stream, with replication traffic pending.
+      for (int attempt = 0; attempt < 200; ++attempt) {
+        Status added = shard_accel->AddShard();
+        if (added.ok()) break;
+        ASSERT_TRUE(added.retryable()) << added.ToString();
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  // Quiesce: drop the faults, then drain replication to both replicas.
+  sharded.fault_injector().Reset();
+  ASSERT_TRUE(reference.replication().Flush().ok());
+  bool drained = false;
+  for (int attempt = 0; attempt < 200 && !drained; ++attempt) {
+    auto flushed = sharded.replication().Flush();
+    ASSERT_TRUE(flushed.ok()) << flushed.status().ToString();
+    drained = flushed->misses == 0;
+  }
+  ASSERT_TRUE(drained);
+
+  std::vector<std::string> tables = {"st"};
+  if (made_second_table) tables.push_back("st2");
+  for (const std::string& table : tables) {
+    const std::string sql = "SELECT * FROM " + table;
+    // DB2 ≡ sharded replica ≡ serial 1-shard replica.
+    sharded.SetAccelerationMode(federation::AccelerationMode::kNone);
+    auto db2 = sharded.Query(sql);
+    ASSERT_TRUE(db2.ok()) << db2.status().ToString();
+    sharded.SetAccelerationMode(federation::AccelerationMode::kEligible);
+    auto sharded_rows = sharded.Query(sql);
+    ASSERT_TRUE(sharded_rows.ok()) << sharded_rows.status().ToString();
+    reference.SetAccelerationMode(federation::AccelerationMode::kEligible);
+    auto serial_rows = reference.Query(sql);
+    ASSERT_TRUE(serial_rows.ok()) << serial_rows.status().ToString();
+    EXPECT_EQ(CanonicalRows(*db2), CanonicalRows(*sharded_rows))
+        << "seed " << GetParam() << " table " << table;
+    EXPECT_EQ(CanonicalRows(*serial_rows), CanonicalRows(*sharded_rows))
+        << "seed " << GetParam() << " table " << table;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ConvergenceFuzz,

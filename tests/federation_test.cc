@@ -215,13 +215,21 @@ TEST_F(FederationTest, CreateTableIfNotExistsIdempotent) {
   EXPECT_FALSE(system_.Execute("CREATE TABLE plain (a INT)").ok());
 }
 
-TEST_F(FederationTest, DistributeByOnlyForAot) {
-  EXPECT_FALSE(
-      system_.Execute("CREATE TABLE d (a INT) DISTRIBUTE BY (a)").ok());
-  EXPECT_TRUE(system_
-                  .Execute("CREATE TABLE d (a INT) IN ACCELERATOR "
+TEST_F(FederationTest, DistributeByRecordedForAnyTable) {
+  // On a DB2 table the clause is recorded in the catalog and takes effect
+  // when the table is accelerated (replica placement); IN ACCELERATOR
+  // tables are placed by it immediately.
+  ASSERT_TRUE(system_.Execute("CREATE TABLE d (a INT) DISTRIBUTE BY (a)").ok());
+  auto db2_info = system_.catalog().GetTable("d");
+  ASSERT_TRUE(db2_info.ok());
+  EXPECT_EQ((*db2_info)->distribution_column, std::optional<size_t>(0));
+  ASSERT_TRUE(system_
+                  .Execute("CREATE TABLE d2 (a INT) IN ACCELERATOR "
                               "DISTRIBUTE BY (a)")
                   .ok());
+  // An unknown column still fails.
+  EXPECT_FALSE(
+      system_.Execute("CREATE TABLE d3 (a INT) DISTRIBUTE BY (nope)").ok());
 }
 
 TEST_F(FederationTest, GroomProcedure) {

@@ -217,5 +217,45 @@ TEST_F(MultiAccelTest, GroomSweepsAllAccelerators) {
   EXPECT_EQ((*system_.accelerator(1).GetTable("g2"))->NumVersions(), 0u);
 }
 
+TEST_F(MultiAccelTest, ResultCacheInvalidatesPerAcceleratorNotGlobally) {
+  // A write to a table hosted on accel1 must evict only cached results
+  // that read that table; cached results for accel2-hosted tables survive.
+  ASSERT_TRUE(system_
+                  .Execute("CREATE TABLE rc1 (x INT) IN ACCELERATOR accel1")
+                  .ok());
+  ASSERT_TRUE(system_
+                  .Execute("CREATE TABLE rc2 (x INT) IN ACCELERATOR accel2")
+                  .ok());
+  ASSERT_TRUE(system_.Execute("INSERT INTO rc1 VALUES (1), (2)").ok());
+  ASSERT_TRUE(system_.Execute("INSERT INTO rc2 VALUES (10), (20)").ok());
+
+  auto read1 = system_.Prepare("SELECT SUM(x) FROM rc1");
+  ASSERT_TRUE(read1.ok()) << read1.status().ToString();
+  auto read2 = system_.Prepare("SELECT SUM(x) FROM rc2");
+  ASSERT_TRUE(read2.ok()) << read2.status().ToString();
+
+  ASSERT_TRUE(read1->Execute().ok());
+  ASSERT_TRUE(read2->Execute().ok());
+  auto warm1 = read1->Execute();
+  auto warm2 = read2->Execute();
+  ASSERT_TRUE(warm1.ok());
+  ASSERT_TRUE(warm2.ok());
+  EXPECT_EQ(warm1->result_cache, "hit");
+  EXPECT_EQ(warm2->result_cache, "hit");
+
+  ASSERT_TRUE(system_.Execute("INSERT INTO rc1 VALUES (3)").ok());
+
+  auto after1 = read1->Execute();
+  ASSERT_TRUE(after1.ok());
+  EXPECT_NE(after1->result_cache, "hit")
+      << "write to rc1 must evict cached rc1 reads";
+  EXPECT_EQ(after1->rows.At(0, 0).AsInteger(), 6);
+  auto after2 = read2->Execute();
+  ASSERT_TRUE(after2.ok());
+  EXPECT_EQ(after2->result_cache, "hit")
+      << "write on accel1 must not evict accel2-hosted results";
+  EXPECT_EQ(after2->rows.At(0, 0).AsInteger(), 30);
+}
+
 }  // namespace
 }  // namespace idaa
