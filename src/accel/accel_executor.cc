@@ -163,6 +163,13 @@ Result<std::vector<Row>> BatchGather(
     table.ScanMorsel(
         m, bp.ranges, &bp.per_slice[m.slice], wk.visibility, &wk.sel,
         &wk.stats, [&](const ColumnBatch& b) {
+          // Cursors keep late materialization amortized-O(1) per element
+          // over encoded zones (sel is ascending).
+          std::vector<ColumnCursor> cursors;
+          cursors.reserve(width);
+          for (size_t c = 0; c < width; ++c) {
+            cursors.emplace_back(*(*b.columns)[c]);
+          }
           std::vector<Row>& rows = morsel_rows[mi];
           rows.reserve(b.sel_count);
           for (size_t k = 0; k < b.sel_count; ++k) {
@@ -170,7 +177,7 @@ Result<std::vector<Row>> BatchGather(
             Row row(width);
             for (size_t c = 0; c < width; ++c) {
               if (projection == nullptr || (*projection)[c]) {
-                row[c] = (*b.columns)[c]->Get(i);
+                row[c] = cursors[c].Get(i);
               }
             }
             rows.push_back(std::move(row));
@@ -210,6 +217,7 @@ Result<std::vector<Row>> BatchGather(
     }
   }
   RecordBatchAttrs(span, total);
+  RecordEncodingAttrs(span, table);
   span.Attr("rows", static_cast<uint64_t>(out.size()));
   return out;
 }
@@ -291,12 +299,93 @@ Result<AggPartial> BatchAggregate(
         m, bp.ranges, &bp.per_slice[m.slice], wk.visibility, &wk.sel,
         &wk.stats, [&](const ColumnBatch& b) {
           const auto& columns = *b.columns;
-          for (size_t k = 0; k < b.sel_count; ++k) {
+          if (b.sel_count == 0) return;
+          // One cursor per aggregate argument: sel is ascending, so reads
+          // over encoded zones stay amortized O(1), and RunEnd exposes RLE
+          // runs to the scalar fold below.
+          std::vector<ColumnCursor> arg_curs;
+          arg_curs.reserve(plan.aggregates.size());
+          for (size_t a = 0; a < plan.aggregates.size(); ++a) {
+            arg_curs.emplace_back(*columns[arg_cols[a]]);
+          }
+          if (plan.group_keys.empty()) {
+            // Scalar aggregation: one group for the whole table, resolved
+            // once per batch. Each aggregate then walks sel independently,
+            // folding whole RLE runs into one accumulator update.
+            if (wk.partial.keys.empty()) {
+              wk.index.emplace(wk.raw_key, 0);
+              wk.partial.keys.emplace_back();
+              std::vector<sql::AggregateAccumulator> accs;
+              accs.reserve(plan.aggregates.size());
+              for (const auto& agg : plan.aggregates) accs.emplace_back(agg);
+              wk.partial.accumulators.push_back(std::move(accs));
+            }
+            auto& accs = wk.partial.accumulators[0];
+            for (size_t a = 0; a < plan.aggregates.size(); ++a) {
+              if (modes[a] == ArgMode::kRow) {
+                accs[a].AccumulateRowRun(b.sel_count);
+                continue;
+              }
+              ColumnCursor& cur = arg_curs[a];
+              if (modes[a] == ArgMode::kValue) {
+                for (size_t k = 0; k < b.sel_count; ++k) {
+                  accs[a].Accumulate(cur.Get(b.AbsoluteRow(k)));
+                }
+                continue;
+              }
+              size_t k = 0;
+              while (k < b.sel_count) {
+                const size_t i = b.AbsoluteRow(k);
+                const size_t run_end = cur.RunEnd(i);
+                size_t k2 = k + 1;
+                while (k2 < b.sel_count && b.AbsoluteRow(k2) < run_end) {
+                  ++k2;
+                }
+                const uint64_t n = k2 - k;
+                if (cur.IsNull(i)) {
+                  accs[a].AccumulateNullRun(n);
+                } else {
+                  switch (modes[a]) {
+                    case ArgMode::kCount:
+                      accs[a].AccumulateCountNonNullRun(n);
+                      break;
+                    case ArgMode::kInt64:
+                      accs[a].AccumulateInt64Run(cur.Int(i), n);
+                      break;
+                    default:
+                      accs[a].AccumulateDoubleRun(cur.Double(i), n);
+                  }
+                }
+                k = k2;
+              }
+            }
+            return;
+          }
+          std::vector<ColumnCursor> key_curs;
+          key_curs.reserve(plan.group_keys.size());
+          for (const auto& key : plan.group_keys) {
+            key_curs.emplace_back(*columns[key->index]);
+          }
+          // Grouped aggregation folds on group-key runs: every selected
+          // row inside the maximal run shared by ALL group keys belongs
+          // to the same group, so the key extraction + hash probe happen
+          // once per run (a GROOM-clustered key collapses a zone to a
+          // handful of probes), and each aggregate folds its own argument
+          // runs inside the group run exactly like the scalar path.
+          size_t k = 0;
+          while (k < b.sel_count) {
             const size_t i = b.AbsoluteRow(k);
+            size_t key_run_end = key_curs[0].RunEnd(i);
+            for (size_t g = 1; g < plan.group_keys.size(); ++g) {
+              key_run_end = std::min(key_run_end, key_curs[g].RunEnd(i));
+            }
+            size_t k2 = k + 1;
+            while (k2 < b.sel_count && b.AbsoluteRow(k2) < key_run_end) {
+              ++k2;
+            }
             if (varchar_key) wk.raw_key[0] = m.slice;
             for (size_t g = 0; g < plan.group_keys.size(); ++g) {
-              RawKeyOf(*columns[plan.group_keys[g]->index], i,
-                       &wk.raw_key[key_base + 2 * g],
+              RawKeyOf(key_curs[g], i, &wk.raw_key[key_base + 2 * g],
                        &wk.raw_key[key_base + 2 * g + 1]);
             }
             auto it = wk.index.find(wk.raw_key);
@@ -319,42 +408,44 @@ Result<AggPartial> BatchAggregate(
             }
             auto& accs = wk.partial.accumulators[group];
             for (size_t a = 0; a < plan.aggregates.size(); ++a) {
-              switch (modes[a]) {
-                case ArgMode::kRow:
-                  accs[a].AccumulateRow();
-                  break;
-                case ArgMode::kCount: {
-                  const Column& col = *columns[arg_cols[a]];
-                  if (col.IsNull(i)) {
-                    accs[a].AccumulateNull();
-                  } else {
-                    accs[a].AccumulateCountNonNull();
-                  }
-                  break;
+              if (modes[a] == ArgMode::kRow) {
+                accs[a].AccumulateRowRun(k2 - k);
+                continue;
+              }
+              ColumnCursor& cur = arg_curs[a];
+              if (modes[a] == ArgMode::kValue) {
+                for (size_t kk = k; kk < k2; ++kk) {
+                  accs[a].Accumulate(cur.Get(b.AbsoluteRow(kk)));
                 }
-                case ArgMode::kInt64: {
-                  const Column& col = *columns[arg_cols[a]];
-                  if (col.IsNull(i)) {
-                    accs[a].AccumulateNull();
-                  } else {
-                    accs[a].AccumulateInt64(col.RawInt(i));
-                  }
-                  break;
+                continue;
+              }
+              size_t kk = k;
+              while (kk < k2) {
+                const size_t ri = b.AbsoluteRow(kk);
+                const size_t run_end = cur.RunEnd(ri);
+                size_t kk2 = kk + 1;
+                while (kk2 < k2 && b.AbsoluteRow(kk2) < run_end) {
+                  ++kk2;
                 }
-                case ArgMode::kDouble: {
-                  const Column& col = *columns[arg_cols[a]];
-                  if (col.IsNull(i)) {
-                    accs[a].AccumulateNull();
-                  } else {
-                    accs[a].AccumulateDouble(col.RawDouble(i));
+                const uint64_t n = kk2 - kk;
+                if (cur.IsNull(ri)) {
+                  accs[a].AccumulateNullRun(n);
+                } else {
+                  switch (modes[a]) {
+                    case ArgMode::kCount:
+                      accs[a].AccumulateCountNonNullRun(n);
+                      break;
+                    case ArgMode::kInt64:
+                      accs[a].AccumulateInt64Run(cur.Int(ri), n);
+                      break;
+                    default:
+                      accs[a].AccumulateDoubleRun(cur.Double(ri), n);
                   }
-                  break;
                 }
-                case ArgMode::kValue:
-                  accs[a].Accumulate(columns[arg_cols[a]]->Get(i));
-                  break;
+                kk = kk2;
               }
             }
+            k = k2;
           }
         });
     RecordMorselSpan(morsel_span, m, before, wk.stats);
@@ -374,6 +465,7 @@ Result<AggPartial> BatchAggregate(
   }
   AddScanMetrics(metrics, total);
   RecordBatchAttrs(agg_span, total);
+  RecordEncodingAttrs(agg_span, table);
   return MergeAggPartialsRaw(&partials);
 }
 

@@ -38,8 +38,21 @@ Accelerator::Accelerator(const AcceleratorOptions& options,
                          TransactionManager* tm, MetricsRegistry* metrics,
                          std::string name)
     : options_(options), name_(Catalog::NormalizeName(name)),
-      batch_path_enabled_(options.enable_batch_path), tm_(tm),
+      batch_path_enabled_(options.enable_batch_path),
+      encoding_enabled_(options.enable_encoding), tm_(tm),
       metrics_(metrics), pool_(options.num_threads) {}
+
+void Accelerator::SetEncodingEnabled(bool enabled) {
+  encoding_enabled_ = enabled;
+  // Tables created after the toggle inherit it (AddTable copies options_).
+  options_.enable_encoding = enabled;
+  std::vector<std::shared_ptr<ColumnTable>> tables;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, table] : tables_) tables.push_back(table);
+  }
+  for (const auto& table : tables) table->SetEncodingEnabled(enabled);
+}
 
 size_t Accelerator::NumTables() const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -142,15 +155,26 @@ GroomStats Accelerator::GroomAll() {
   GroomStats total;
   // Keep the snapshot alive by ownership: a concurrent DROP TABLE or AOT
   // re-create may erase entries from tables_ while we groom.
-  std::vector<std::shared_ptr<ColumnTable>> tables;
+  std::vector<std::pair<std::string, std::shared_ptr<ColumnTable>>> tables;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (auto& [name, table] : tables_) tables.push_back(table);
+    for (auto& [name, table] : tables_) tables.emplace_back(name, table);
   }
-  for (const std::shared_ptr<ColumnTable>& table : tables) {
+  std::vector<std::string> compacted;
+  for (const auto& [name, table] : tables) {
     GroomStats stats = table->Groom(horizon, *tm_);
     total.rows_examined += stats.rows_examined;
     total.rows_reclaimed += stats.rows_reclaimed;
+    total.zones_compacted += stats.zones_compacted;
+    if (stats.rows_reclaimed > 0 || stats.zones_compacted > 0) {
+      compacted.push_back(name);
+    }
+  }
+  // Compaction changed the physical layout (and bumped the tables'
+  // compaction epochs); layout-independent logical results are unchanged,
+  // but cached results must not outlive the layout they were computed on.
+  if (!compacted.empty() && compaction_listener_) {
+    compaction_listener_(compacted);
   }
   return total;
 }

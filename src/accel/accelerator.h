@@ -90,6 +90,22 @@ class Accelerator {
   }
   bool batch_path_enabled() const { return batch_path_enabled_; }
 
+  /// Runtime toggle for GROOM-time zone compaction on every hosted table
+  /// (current and future). Results are identical either way — encoded
+  /// zones keep decoding transparently when disabled; only future grooms
+  /// stop (or resume) compacting. Sharded: fans out to every shard.
+  virtual void SetEncodingEnabled(bool enabled);
+  bool encoding_enabled() const { return encoding_enabled_; }
+
+  /// Called after any GroomAll pass that compacted zones or reclaimed rows
+  /// in some table, with the affected table names: the physical layout
+  /// (row order / encoding) changed even though logical content did not,
+  /// so layout-dependent caches must drop those tables.
+  using CompactionListener = std::function<void(const std::vector<std::string>&)>;
+  void set_compaction_listener(CompactionListener listener) {
+    compaction_listener_ = std::move(listener);
+  }
+
   /// Number of physical shard instances behind this logical accelerator
   /// (1 for a plain appliance).
   virtual size_t num_shards() const { return 1; }
@@ -194,6 +210,8 @@ class Accelerator {
   std::atomic<AcceleratorState> state_{AcceleratorState::kOnline};
   FaultInjector* injector_ = nullptr;
   std::atomic<bool> batch_path_enabled_;
+  std::atomic<bool> encoding_enabled_;
+  CompactionListener compaction_listener_;
   TransactionManager* tm_;
   MetricsRegistry* metrics_;
   ThreadPool pool_;

@@ -92,6 +92,12 @@ struct BatchScanStats {
   size_t rows_scanned = 0;     // rows visited after zone pruning
   size_t rows_skipped_zone_map = 0;
   size_t rows_selected = 0;    // rows surviving visibility + predicate
+  // Predicate rows evaluated directly on an encoded zone (run-at-a-time on
+  // RLE, packed extraction on FOR, bitmap-null plain) vs. rows that had to
+  // decode the zone into scratch first (no direct kernel for that
+  // predicate shape × encoding).
+  size_t rows_encoded_eval = 0;
+  size_t rows_decode_fallback = 0;
 
   void Merge(const BatchScanStats& o) {
     morsels += o.morsels;
@@ -99,6 +105,8 @@ struct BatchScanStats {
     rows_scanned += o.rows_scanned;
     rows_skipped_zone_map += o.rows_skipped_zone_map;
     rows_selected += o.rows_selected;
+    rows_encoded_eval += o.rows_encoded_eval;
+    rows_decode_fallback += o.rows_decode_fallback;
   }
 };
 
@@ -123,9 +131,14 @@ void FilterVisibility(const TxnId* createxid, const TxnId* deletexid,
 
 /// Run the compiled conjunction column-at-a-time, compacting `sel` in
 /// place after each comparison. NULL operands fail every comparison.
+/// Encoded zones are evaluated on their encoded form where a direct kernel
+/// exists (see BatchScanStats::rows_encoded_eval), decoding into scratch
+/// otherwise; the hot tail runs the flat-array loops. `stats` (optional)
+/// accumulates the per-path row counts.
 void ApplyBatchPredicate(const BatchPredicate& predicate,
                          const std::vector<std::unique_ptr<Column>>& columns,
-                         size_t sel_base, std::vector<uint32_t>* sel);
+                         size_t sel_base, std::vector<uint32_t>* sel,
+                         BatchScanStats* stats = nullptr);
 
 /// (null_flag, bits) raw group-key encoding of column element i: doubles
 /// contribute their bit pattern, VARCHARs their dictionary code (callers
@@ -153,6 +166,34 @@ inline void RawKeyOf(const Column& col, size_t i, uint64_t* null_flag,
       break;
     default:
       *bits = static_cast<uint64_t>(col.RawInt(i));
+  }
+}
+
+/// Cursor variant of RawKeyOf for ascending consumers (group-key and join
+/// probe loops): identical key encoding, amortized O(1) reads on encoded
+/// zones instead of a per-element run search.
+inline void RawKeyOf(ColumnCursor& cur, size_t i, uint64_t* null_flag,
+                     uint64_t* bits) {
+  if (cur.IsNull(i)) {
+    *null_flag = 1;
+    *bits = 0;
+    return;
+  }
+  *null_flag = 0;
+  switch (cur.type()) {
+    case DataType::kDouble: {
+      double d = cur.Double(i);
+      uint64_t b;
+      static_assert(sizeof(b) == sizeof(d));
+      std::memcpy(&b, &d, sizeof(b));
+      *bits = b;
+      break;
+    }
+    case DataType::kVarchar:
+      *bits = cur.Code(i);
+      break;
+    default:
+      *bits = static_cast<uint64_t>(cur.Int(i));
   }
 }
 

@@ -307,24 +307,32 @@ void BuildDim(const ColumnTable& table, const BatchScanPlan& bp, TxnId reader,
     table.ScanMorsel(
         m, bp.ranges, &bp.per_slice[m.slice], visibility, &sel, &stats,
         [&](const ColumnBatch& b) {
+          // Ascending cursors over the (possibly encoded) source columns;
+          // the build-side copies land in the dst columns' hot tails, so
+          // later random access on them stays flat-array O(1).
+          std::vector<ColumnCursor> src_curs;
+          src_curs.reserve(dim->width);
+          for (size_t c = 0; c < dim->width; ++c) {
+            src_curs.emplace_back(*(*b.columns)[c]);
+          }
           for (size_t k = 0; k < b.sel_count; ++k) {
             const size_t i = b.AbsoluteRow(k);
             for (size_t c = 0; c < dim->width; ++c) {
               Column* dst = dim->cols[c].get();
               if (dst == nullptr) continue;
-              const Column& src = *(*b.columns)[c];
+              ColumnCursor& src = src_curs[c];
               if (src.IsNull(i)) {
                 dst->AppendRawNull();
               } else {
                 switch (src.type()) {
                   case DataType::kDouble:
-                    dst->AppendRawDouble(src.RawDouble(i));
+                    dst->AppendRawDouble(src.Double(i));
                     break;
                   case DataType::kVarchar:
-                    dst->AppendRawVarchar(src.DictEntry(src.RawCode(i)));
+                    dst->AppendRawVarchar(src.column().DictEntry(src.Code(i)));
                     break;
                   default:
-                    dst->AppendRawInt(src.RawInt(i));
+                    dst->AppendRawInt(src.Int(i));
                 }
               }
             }
@@ -666,6 +674,12 @@ Result<std::optional<ResultSet>> TryBatchJoin(
         [&](const ColumnBatch& b) {
           if (!wk.status.ok()) return;
           const auto& columns = *b.columns;
+          // One ascending cursor per base column: probe keys, group keys
+          // and aggregate args all read the base side at monotonically
+          // non-decreasing i, so encoded zones cost amortized O(1).
+          std::vector<ColumnCursor> base_curs;
+          base_curs.reserve(columns.size());
+          for (const auto& col : columns) base_curs.emplace_back(*col);
           for (size_t k = 0; k < b.sel_count; ++k) {
             const size_t i = b.AbsoluteRow(k);
             // Probe every keyed dimension; an inner miss drops the row,
@@ -677,11 +691,11 @@ Result<std::optional<ResultSet>> TryBatchJoin(
               if (nk == 0) continue;
               bool miss = false;
               for (size_t j = 0; j < nk && !miss; ++j) {
-                const Column& col = *columns[dim.keys[j].base_column];
+                ColumnCursor& col = base_curs[dim.keys[j].base_column];
                 if (col.IsNull(i)) {
                   miss = true;
                 } else if (dim.keys[j].type == DataType::kVarchar) {
-                  const uint32_t code = col.RawCode(i);
+                  const uint32_t code = col.Code(i);
                   const auto& map = dim.dict_maps[j][m.slice];
                   if (code >= map.size() || map[code] == 0) {
                     miss = true;
@@ -689,7 +703,7 @@ Result<std::optional<ResultSet>> TryBatchJoin(
                     wk.kw[j] = map[code] - 1;
                   }
                 } else {
-                  wk.kw[j] = static_cast<uint64_t>(col.RawInt(i));
+                  wk.kw[j] = static_cast<uint64_t>(col.Int(i));
                 }
               }
               uint32_t head = kNoRow;
@@ -722,7 +736,7 @@ Result<std::optional<ResultSet>> TryBatchJoin(
                   uint64_t* bits = nf + 1;
                   const ColRef& ref = key_refs[g];
                   if (ref.from_base) {
-                    RawKeyOf(*columns[ref.col], i, nf, bits);
+                    RawKeyOf(base_curs[ref.col], i, nf, bits);
                   } else if (wk.cur[ref.dim] == kNoRow) {
                     *nf = 1;
                     *bits = 0;
@@ -764,13 +778,45 @@ Result<std::optional<ResultSet>> TryBatchJoin(
                     continue;
                   }
                   const ColRef& ref = arg_refs[a];
+                  if (ref.from_base) {
+                    // Base-side argument at the (ascending) probe row:
+                    // read through the cursor so encoded zones stay O(1).
+                    ColumnCursor& cur = base_curs[ref.col];
+                    const bool is_null = cur.IsNull(i);
+                    switch (modes[a]) {
+                      case ArgMode::kCount:
+                        if (is_null) {
+                          accs[a].AccumulateNull();
+                        } else {
+                          accs[a].AccumulateCountNonNull();
+                        }
+                        break;
+                      case ArgMode::kInt64:
+                        if (is_null) {
+                          accs[a].AccumulateNull();
+                        } else {
+                          accs[a].AccumulateInt64(cur.Int(i));
+                        }
+                        break;
+                      case ArgMode::kDouble:
+                        if (is_null) {
+                          accs[a].AccumulateNull();
+                        } else {
+                          accs[a].AccumulateDouble(cur.Double(i));
+                        }
+                        break;
+                      default:
+                        accs[a].Accumulate(is_null ? Value::Null()
+                                                   : cur.Get(i));
+                    }
+                    continue;
+                  }
+                  // Dimension-side argument: the build copy lives in the
+                  // dst column's hot tail, already flat-array access.
                   const Column* col;
                   size_t r;
                   bool padded = false;
-                  if (ref.from_base) {
-                    col = columns[ref.col].get();
-                    r = i;
-                  } else if (wk.cur[ref.dim] == kNoRow) {
+                  if (wk.cur[ref.dim] == kNoRow) {
                     col = nullptr;
                     r = 0;
                     padded = true;
@@ -830,7 +876,7 @@ Result<std::optional<ResultSet>> TryBatchJoin(
               // the full combined row).
               Row& row = wk.row;
               for (size_t c = 0; c < base_width; ++c) {
-                if (projections[0][c]) row[c] = columns[c]->Get(i);
+                if (projections[0][c]) row[c] = base_curs[c].Get(i);
               }
               std::function<void(size_t)> expand = [&](size_t d) {
                 if (!wk.status.ok()) return;

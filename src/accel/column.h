@@ -1,6 +1,30 @@
-// Column: typed columnar storage for the accelerator. Numerics are stored
-// as flat arrays; VARCHAR uses dictionary encoding (codes + dictionary),
-// mirroring the compressed column format of the Netezza appliance.
+// Column: typed columnar storage for the accelerator. VARCHAR uses
+// dictionary encoding (codes + dictionary), mirroring the compressed column
+// format of the Netezza appliance. Numerics live in two regions:
+//
+//   [0, encoded_rows)        cold zones, compressed per zone (see below)
+//   [encoded_rows, size)     uncompressed hot tail, flat arrays
+//
+// Following the hot/cold split of "Mainlining Databases" (arXiv 2004.14471),
+// all writes append to the hot tail; GROOM calls CompactZones() under the
+// table's exclusive groom lock to fold full zones of the tail into one of
+// three encodings chosen per zone from its stats:
+//
+//   kPlain     raw values + packed null bitmap (when neither of the
+//              compressed forms pays for itself)
+//   kRle       run values + exclusive run-end offsets; runs break on value
+//              or nullness change, so a run is all-NULL or a single value
+//   kForPacked frame-of-reference bit-packing: int-family values and
+//              VARCHAR codes stored as (value - base) in `bit_width` bits
+//
+// Decoding is transparent: every per-element accessor (Get / IsNull /
+// RawInt / RawDouble / RawCode) works on both regions, and stored logical
+// content is bit-identical to the uncompressed form — a NULL position
+// decodes to exactly the 0 / 0.0 / code 0 the flat arrays hold, so even
+// callers that read a value without checking IsNull() first see identical
+// bytes. Batch kernels that want to exploit the encodings directly (run-at-
+// a-time predicates, run-folded aggregation) read the zones via
+// encoded_zone() / ColumnCursor instead of decoding.
 
 #pragma once
 
@@ -14,12 +38,80 @@
 
 namespace idaa::accel {
 
+enum class ZoneEncoding : uint8_t { kPlain = 0, kRle = 1, kForPacked = 2 };
+
+const char* ZoneEncodingName(ZoneEncoding e);
+
+/// Read bit i of a packed bitmap; an empty bitmap means "no bits set"
+/// (zones without NULLs don't allocate one).
+inline bool BitmapGet(const std::vector<uint64_t>& bits, size_t i) {
+  return !bits.empty() && ((bits[i >> 6] >> (i & 63)) & 1) != 0;
+}
+
+/// Extract a `width`-bit value at element index `idx` from a bit-packed
+/// word array (width in [1, 63]; the array carries one trailing pad word so
+/// the straddling read below never runs off the end).
+inline uint64_t ExtractPacked(const uint64_t* words, size_t idx,
+                              uint32_t width) {
+  const size_t bit = idx * width;
+  const size_t w = bit >> 6;
+  const size_t b = bit & 63;
+  uint64_t v = words[w] >> b;
+  if (b + width > 64) v |= words[w + 1] << (64 - b);
+  return v & ((uint64_t{1} << width) - 1);
+}
+
+/// One compressed zone of exactly Column::zone_size() rows.
+struct EncodedZone {
+  ZoneEncoding encoding = ZoneEncoding::kPlain;
+  // Bit i set => row i of the zone is NULL. Empty when the zone has no
+  // NULLs (the common case pays zero bytes and zero checks).
+  std::vector<uint64_t> null_bits;
+  // kPlain: one value per row. kRle: one value per run, parallel to
+  // run_ends. The array matching the column type is populated; NULL
+  // positions/runs hold 0 so decode is bit-identical to the flat arrays.
+  std::vector<int64_t> ints;
+  std::vector<double> doubles;
+  std::vector<uint32_t> codes;
+  // kRle only: exclusive zone-relative run ends, ascending, last == rows.
+  std::vector<uint32_t> run_ends;
+  // kForPacked only: value = for_base + ExtractPacked(packed, i, bit_width).
+  // bit_width 0 means every row decodes to for_base (packed stays empty).
+  int64_t for_base = 0;
+  uint32_t bit_width = 0;
+  std::vector<uint64_t> packed;
+
+  size_t ByteSize() const;
+};
+
+/// Per-column encoding summary (aggregated per table for EXPLAIN and the
+/// compression bench).
+struct ColumnEncodingStats {
+  size_t zones_plain = 0;
+  size_t zones_rle = 0;
+  size_t zones_for = 0;
+  size_t encoded_rows = 0;
+  size_t encoded_bytes = 0;  // actual footprint of the encoded zones
+  size_t raw_bytes = 0;      // what the same rows cost as flat arrays
+
+  void Merge(const ColumnEncodingStats& o) {
+    zones_plain += o.zones_plain;
+    zones_rle += o.zones_rle;
+    zones_for += o.zones_for;
+    encoded_rows += o.encoded_rows;
+    encoded_bytes += o.encoded_bytes;
+    raw_bytes += o.raw_bytes;
+  }
+};
+
+class ColumnCursor;
+
 class Column {
  public:
   explicit Column(DataType type) : type_(type) {}
 
   DataType type() const { return type_; }
-  size_t size() const { return nulls_.size(); }
+  size_t size() const { return encoded_rows_ + nulls_.size(); }
 
   /// Pre-size the backing arrays for `n` total elements (bulk ingest).
   void Reserve(size_t n);
@@ -31,7 +123,7 @@ class Column {
   /// (ColumnTable::InsertColumnar): the table has already checked the
   /// staged column against the schema, so these skip the per-Value type
   /// dispatch. Stored state is identical to Append() of the equivalent
-  /// Value.
+  /// Value. Appends always extend the uncompressed hot tail.
   void AppendRawNull();
   void AppendRawDouble(double d) {
     nulls_.push_back(0);
@@ -43,16 +135,32 @@ class Column {
   }
   void AppendRawVarchar(const std::string& s);
 
+  /// Append element i of `src` (same type), re-interning VARCHAR through
+  /// this column's dictionary. Decodes encoded source zones transparently;
+  /// used by the GROOM rebuild path, which must observe pre-encoding raw
+  /// values.
+  void AppendFrom(const Column& src, size_t i);
+
   /// Materialize element i as a Value.
   Value Get(size_t i) const;
 
-  bool IsNull(size_t i) const { return nulls_[i] != 0; }
+  bool IsNull(size_t i) const {
+    return i >= encoded_rows_ ? nulls_[i - encoded_rows_] != 0
+                              : EncodedIsNull(i);
+  }
 
-  /// Raw numeric view (INTEGER/DATE/TIMESTAMP/BOOLEAN as int64).
-  int64_t RawInt(size_t i) const { return ints_[i]; }
-  double RawDouble(size_t i) const { return doubles_[i]; }
+  /// Raw numeric view (INTEGER/DATE/TIMESTAMP/BOOLEAN as int64). NULL
+  /// positions read as 0 (0.0 / code 0), in both regions.
+  int64_t RawInt(size_t i) const {
+    return i >= encoded_rows_ ? ints_[i - encoded_rows_] : EncodedInt(i);
+  }
+  double RawDouble(size_t i) const {
+    return i >= encoded_rows_ ? doubles_[i - encoded_rows_] : EncodedDouble(i);
+  }
   /// Dictionary code of a VARCHAR element.
-  uint32_t RawCode(size_t i) const { return codes_[i]; }
+  uint32_t RawCode(size_t i) const {
+    return i >= encoded_rows_ ? codes_[i - encoded_rows_] : EncodedCode(i);
+  }
   const std::string& DictEntry(uint32_t code) const { return dict_[code]; }
   size_t DictSize() const { return dict_.size(); }
 
@@ -60,26 +168,185 @@ class Column {
   /// column (lets equality predicates skip the column entirely).
   int64_t LookupCode(const std::string& s) const;
 
-  /// Raw array views for the batch engine (valid until the next Append /
-  /// reallocation; callers hold the table lock while reading them). Only
-  /// the array matching type() is populated.
-  const uint8_t* NullsData() const { return nulls_.data(); }
-  const int64_t* IntsData() const { return ints_.data(); }
-  const double* DoublesData() const { return doubles_.data(); }
-  const uint32_t* CodesData() const { return codes_.data(); }
+  /// Raw array views of the UNCOMPRESSED HOT TAIL, i.e. rows in
+  /// [encoded_rows(), size()); index them with `i - encoded_rows()`.
+  /// Valid until the next Append / CompactZones; callers hold the table
+  /// lock while reading them. Only the array matching type() is populated.
+  const uint8_t* TailNullsData() const { return nulls_.data(); }
+  const int64_t* TailIntsData() const { return ints_.data(); }
+  const double* TailDoublesData() const { return doubles_.data(); }
+  const uint32_t* TailCodesData() const { return codes_.data(); }
+
+  /// Encoded (cold) region. Zones are `zone_size()` rows each and cover
+  /// exactly [0, encoded_rows()); zone zi spans
+  /// [zi * zone_size(), (zi + 1) * zone_size()).
+  size_t encoded_rows() const { return encoded_rows_; }
+  size_t zone_size() const { return zone_size_; }
+  size_t encoded_zone_count() const { return zones_.size(); }
+  const EncodedZone& encoded_zone(size_t zi) const { return zones_[zi]; }
+
+  /// Fold every full `zone_size`-row prefix of the hot tail into encoded
+  /// zones (encoding chosen per zone from its stats). Rows past the last
+  /// full zone stay uncompressed. Logical content is unchanged. The caller
+  /// must hold the owning table's groom + data locks exclusively: raw tail
+  /// views and cursors are invalidated. The zone size is fixed by the
+  /// first call (it must match the table's zone map granularity).
+  void CompactZones(size_t zone_size);
+
+  /// Decode the int-family values (and null flags) of encoded zone `zi`
+  /// into caller buffers of zone_size() elements — the decode fallback for
+  /// batch kernels without a direct path on this zone's encoding.
+  void DecodeZoneInts(size_t zi, int64_t* out, uint8_t* nulls_out) const;
+
+  ColumnEncodingStats EncodingStats() const;
 
   /// Approximate compressed footprint in bytes.
   size_t ByteSize() const;
 
  private:
+  friend class ColumnCursor;
+
+  bool EncodedIsNull(size_t i) const;
+  int64_t EncodedInt(size_t i) const;
+  double EncodedDouble(size_t i) const;
+  uint32_t EncodedCode(size_t i) const;
+
+  // Encode rows [0, zone_size_) of the hot tail into a new zone and drop
+  // them from the tail arrays.
+  void EncodeOneZone();
+
   DataType type_;
+  // Hot tail (rows >= encoded_rows_), flat arrays indexed tail-relative.
   std::vector<uint8_t> nulls_;
   // One of the following is populated, by type:
   std::vector<int64_t> ints_;      // INTEGER / DATE / TIMESTAMP / BOOLEAN
   std::vector<double> doubles_;    // DOUBLE
   std::vector<uint32_t> codes_;    // VARCHAR dictionary codes
-  std::vector<std::string> dict_;  // VARCHAR dictionary
+  std::vector<std::string> dict_;  // VARCHAR dictionary (both regions)
   std::unordered_map<std::string, uint32_t> dict_index_;
+  // Cold encoded prefix.
+  std::vector<EncodedZone> zones_;
+  size_t encoded_rows_ = 0;  // == zones_.size() * zone_size_
+  size_t zone_size_ = 0;     // fixed by the first CompactZones call
+};
+
+/// Ascending-access reader over one column: amortized O(1) per element on
+/// non-decreasing indices (selection vectors are ascending), seeking runs
+/// and zones incrementally instead of binary-searching per element.
+/// Arbitrary (backward) indices remain correct, just slower. Same validity
+/// rules as the raw accessors: hold the table lock; invalidated by
+/// CompactZones.
+class ColumnCursor {
+ public:
+  explicit ColumnCursor(const Column& col) : col_(&col) {}
+
+  DataType type() const { return col_->type(); }
+  const Column& column() const { return *col_; }
+
+  bool IsNull(size_t i) {
+    if (i >= col_->encoded_rows_) return col_->nulls_[i - col_->encoded_rows_];
+    Position(i);
+    return BitmapGet(zone_->null_bits, i - zone_begin_);
+  }
+  int64_t Int(size_t i) {
+    if (i >= col_->encoded_rows_) return col_->ints_[i - col_->encoded_rows_];
+    Position(i);
+    return ZoneInt(i - zone_begin_);
+  }
+  double Double(size_t i) {
+    if (i >= col_->encoded_rows_) {
+      return col_->doubles_[i - col_->encoded_rows_];
+    }
+    Position(i);
+    return ZoneDouble(i - zone_begin_);
+  }
+  uint32_t Code(size_t i) {
+    if (i >= col_->encoded_rows_) return col_->codes_[i - col_->encoded_rows_];
+    Position(i);
+    return ZoneCode(i - zone_begin_);
+  }
+  Value Get(size_t i);
+
+  /// Exclusive end (absolute row index) of the maximal run of identical
+  /// (value, nullness) containing i, when the storage knows it (RLE runs);
+  /// i + 1 otherwise. Lets aggregate consumers fold whole runs into one
+  /// accumulator update.
+  size_t RunEnd(size_t i) {
+    if (i >= col_->encoded_rows_) return i + 1;
+    Position(i);
+    if (zone_->encoding != ZoneEncoding::kRle) return i + 1;
+    SeekRun(i - zone_begin_);
+    return zone_begin_ + zone_->run_ends[run_];
+  }
+
+ private:
+  void Position(size_t i) {
+    if (zone_ == nullptr || i < zone_begin_ || i >= zone_end_) {
+      const size_t zi = i / col_->zone_size_;
+      zone_ = &col_->zones_[zi];
+      zone_begin_ = zi * col_->zone_size_;
+      zone_end_ = zone_begin_ + col_->zone_size_;
+      run_ = 0;
+      run_begin_ = 0;
+    }
+  }
+  void SeekRun(size_t off) {
+    if (off < run_begin_) {
+      run_ = 0;
+      run_begin_ = 0;
+    }
+    while (zone_->run_ends[run_] <= off) {
+      run_begin_ = zone_->run_ends[run_];
+      ++run_;
+    }
+  }
+  int64_t ZoneInt(size_t off) {
+    switch (zone_->encoding) {
+      case ZoneEncoding::kPlain:
+        return zone_->ints[off];
+      case ZoneEncoding::kRle:
+        SeekRun(off);
+        return zone_->ints[run_];
+      case ZoneEncoding::kForPacked:
+        if (zone_->bit_width == 0) return zone_->for_base;
+        return zone_->for_base +
+               static_cast<int64_t>(
+                   ExtractPacked(zone_->packed.data(), off, zone_->bit_width));
+    }
+    return 0;
+  }
+  double ZoneDouble(size_t off) {
+    if (zone_->encoding == ZoneEncoding::kRle) {
+      SeekRun(off);
+      return zone_->doubles[run_];
+    }
+    return zone_->doubles[off];
+  }
+  uint32_t ZoneCode(size_t off) {
+    switch (zone_->encoding) {
+      case ZoneEncoding::kPlain:
+        return zone_->codes[off];
+      case ZoneEncoding::kRle:
+        SeekRun(off);
+        return zone_->codes[run_];
+      case ZoneEncoding::kForPacked:
+        if (zone_->bit_width == 0) {
+          return static_cast<uint32_t>(zone_->for_base);
+        }
+        return static_cast<uint32_t>(
+            zone_->for_base +
+            static_cast<int64_t>(
+                ExtractPacked(zone_->packed.data(), off, zone_->bit_width)));
+    }
+    return 0;
+  }
+
+  const Column* col_;
+  const EncodedZone* zone_ = nullptr;
+  size_t zone_begin_ = 0;
+  size_t zone_end_ = 0;
+  size_t run_ = 0;
+  size_t run_begin_ = 0;  // zone-relative start of run_
 };
 
 }  // namespace idaa::accel

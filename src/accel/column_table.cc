@@ -1,6 +1,7 @@
 #include "accel/column_table.h"
 
 #include <algorithm>
+#include <string_view>
 
 #include "sql/expression_eval.h"
 
@@ -56,7 +57,8 @@ ColumnTable::ColumnTable(Schema schema,
                          const AcceleratorOptions& options)
     : schema_(std::move(schema)),
       distribution_column_(distribution_column),
-      options_(options) {
+      options_(options),
+      encoding_enabled_(options.enable_encoding) {
   slices_.reserve(options_.num_slices);
   for (size_t i = 0; i < options_.num_slices; ++i) {
     slices_.emplace_back(schema_, options_.zone_size);
@@ -596,11 +598,60 @@ Result<size_t> ColumnTable::CountVisible(TxnId reader, Csn snapshot,
   return count;
 }
 
+namespace {
+
+// Rebuild one column of a grooming slice: append the kept elements of
+// `src` (decoding encoded source zones back to raw values) and feed the
+// zone map one ObserveRun per zone-sized run, with extrema tracked on the
+// PRE-ENCODING raw values. Boxing only the two extrema per run keeps the
+// resulting zone stats identical to per-cell Observe while never letting
+// an encoded representation (frame deltas, run indexes) leak into pruning
+// bounds — sideways join Bloom ranges compare against these.
+template <typename T, typename GetRaw, typename AppendCell, typename Box>
+void RebuildColumnRuns(const Column& src, const std::vector<size_t>& keep,
+                       size_t zone_size, size_t column, ZoneMap& zone_map,
+                       Column& dst, const GetRaw& get, const AppendCell& append,
+                       const Box& box) {
+  size_t k = 0;
+  while (k < keep.size()) {
+    const size_t seg = std::min(keep.size() - k, zone_size - k % zone_size);
+    T lo{}, hi{};
+    bool any = false, null_seen = false;
+    for (size_t j = k; j < k + seg; ++j) {
+      const size_t i = keep[j];
+      if (src.IsNull(i)) {
+        dst.AppendRawNull();
+        null_seen = true;
+        continue;
+      }
+      T v = get(src, i);
+      append(dst, v);
+      if (!any) {
+        lo = hi = v;
+        any = true;
+      } else if (v < lo) {
+        lo = v;
+      } else if (hi < v) {
+        hi = v;
+      }
+    }
+    zone_map.ObserveRun(k, column, seg, any ? box(lo) : Value::Null(),
+                        any ? box(hi) : Value::Null(), null_seen);
+    k += seg;
+  }
+}
+
+}  // namespace
+
 GroomStats ColumnTable::Groom(Csn horizon, const TransactionManager& tm) {
   // Rebuilding a slice shifts row indexes, so wait out pinned scans first
-  // (lock order: groom_mu_ then mu_, matching the scan paths).
+  // (lock order: groom_mu_ then mu_, matching the scan paths). Compaction
+  // into encoded zones also happens only here, under both locks held
+  // exclusively: raw tail views and cursors held by scans never outlive
+  // their pin.
   std::unique_lock<std::shared_mutex> groom_lock(groom_mu_);
   std::unique_lock<std::shared_mutex> lock(mu_);
+  const bool encode = encoding_enabled_.load(std::memory_order_relaxed);
   GroomStats stats;
   for (Slice& slice : slices_) {
     size_t n = slice.NumRows();
@@ -623,22 +674,101 @@ GroomStats ColumnTable::Groom(Csn horizon, const TransactionManager& tm) {
       }
       keep.push_back(i);
     }
-    if (keep.size() == n) continue;
-    stats.rows_reclaimed += n - keep.size();
-    Slice rebuilt(schema_, options_.zone_size);
-    for (size_t i : keep) {
-      Row row = slice.MaterializeRow(i);
-      size_t new_index = rebuilt.NumRows();
-      for (size_t c = 0; c < rebuilt.columns.size(); ++c) {
-        (void)rebuilt.columns[c]->Append(row[c]);
-        rebuilt.zone_map.Observe(new_index, c, row[c]);
+    if (keep.size() < n) {
+      stats.rows_reclaimed += n - keep.size();
+      Slice rebuilt(schema_, options_.zone_size);
+      rebuilt.Reserve(keep.size());
+      for (size_t c = 0; c < slice.columns.size(); ++c) {
+        const Column& src = *slice.columns[c];
+        Column& dst = *rebuilt.columns[c];
+        const DataType type = src.type();
+        switch (type) {
+          case DataType::kDouble:
+            RebuildColumnRuns<double>(
+                src, keep, options_.zone_size, c, rebuilt.zone_map, dst,
+                [](const Column& s, size_t i) { return s.RawDouble(i); },
+                [](Column& d, double v) { d.AppendRawDouble(v); },
+                [](double v) { return Value::Double(v); });
+            break;
+          case DataType::kVarchar:
+            // String extrema compare by content; values re-intern through
+            // the rebuilt column's dictionary (dropping codes only dead
+            // rows used).
+            RebuildColumnRuns<std::string_view>(
+                src, keep, options_.zone_size, c, rebuilt.zone_map, dst,
+                [](const Column& s, size_t i) {
+                  return std::string_view(s.DictEntry(s.RawCode(i)));
+                },
+                [](Column& d, std::string_view v) {
+                  d.AppendRawVarchar(std::string(v));
+                },
+                [](std::string_view v) {
+                  return Value::Varchar(std::string(v));
+                });
+            break;
+          default:
+            // Int-family storage; box extrema back to the schema type so
+            // zone stats compare exactly as per-cell Observe did.
+            RebuildColumnRuns<int64_t>(
+                src, keep, options_.zone_size, c, rebuilt.zone_map, dst,
+                [](const Column& s, size_t i) { return s.RawInt(i); },
+                [](Column& d, int64_t v) { d.AppendRawInt(v); },
+                [type](int64_t v) {
+                  switch (type) {
+                    case DataType::kBoolean:
+                      return Value::Boolean(v != 0);
+                    case DataType::kDate:
+                      return Value::Date(static_cast<int32_t>(v));
+                    case DataType::kTimestamp:
+                      return Value::Timestamp(v);
+                    default:
+                      return Value::Integer(v);
+                  }
+                });
+            break;
+        }
       }
-      rebuilt.createxid.push_back(slice.createxid[i]);
-      rebuilt.deletexid.push_back(slice.deletexid[i]);
+      for (size_t i : keep) {
+        rebuilt.createxid.push_back(slice.createxid[i]);
+        rebuilt.deletexid.push_back(slice.deletexid[i]);
+      }
+      slice = std::move(rebuilt);
     }
-    slice = std::move(rebuilt);
+    if (encode) {
+      // Fold every full zone of the (possibly just-rebuilt) slice into its
+      // per-zone encoding; the partial zone at the end stays the hot tail.
+      // All columns of a slice advance in lockstep, so count one column.
+      bool first = true;
+      for (auto& col : slice.columns) {
+        const size_t before = col->encoded_zone_count();
+        col->CompactZones(options_.zone_size);
+        if (first) {
+          stats.zones_compacted += col->encoded_zone_count() - before;
+          first = false;
+        }
+      }
+    }
+  }
+  if (stats.zones_compacted > 0 || stats.rows_reclaimed > 0) {
+    compaction_epoch_.fetch_add(1, std::memory_order_release);
   }
   return stats;
+}
+
+TableEncodingStats ColumnTable::EncodingStats() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  TableEncodingStats out;
+  for (const Slice& slice : slices_) {
+    size_t encoded = 0;
+    for (const auto& col : slice.columns) {
+      ColumnEncodingStats s = col->EncodingStats();
+      encoded = s.encoded_rows;  // same for every column of the slice
+      out.columns.Merge(s);
+    }
+    out.hot_rows += slice.NumRows() - encoded;
+  }
+  out.compaction_epoch = compaction_epoch_.load(std::memory_order_acquire);
+  return out;
 }
 
 std::vector<Morsel> ColumnTable::PlanMorsels(size_t morsel_size) const {
@@ -708,7 +838,8 @@ void ColumnTable::ScanMorsel(const Morsel& morsel,
                      zone_start, zone_end, morsel.row_begin, visibility, sel);
   }
   if (predicate != nullptr && !sel->empty()) {
-    ApplyBatchPredicate(*predicate, slice.columns, morsel.row_begin, sel);
+    ApplyBatchPredicate(*predicate, slice.columns, morsel.row_begin, sel,
+                        stats);
   }
   stats->rows_selected += sel->size();
   if (sel->empty()) return;

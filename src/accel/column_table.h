@@ -8,6 +8,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -37,6 +38,12 @@ struct AcceleratorOptions {
   /// row-at-a-time path runs instead; results are identical.
   bool enable_batch_path = true;
   size_t morsel_size = kDefaultMorselSize;  ///< rows per scan morsel
+  /// Per-zone compressed encodings (RLE / FOR-bitpack / null bitmaps),
+  /// applied by GROOM to full zones while the hot tail stays uncompressed.
+  /// Logical results are identical either way; when off, future GROOMs
+  /// stop compacting (and rebuilds decompact, since rebuilt slices start
+  /// raw).
+  bool enable_encoding = true;
 };
 
 /// Column-major staging buffer for bulk appends from the vectorized
@@ -60,6 +67,14 @@ struct ColumnarRows {
 struct GroomStats {
   size_t rows_examined = 0;
   size_t rows_reclaimed = 0;
+  size_t zones_compacted = 0;  ///< zones newly encoded by this pass
+};
+
+/// Table-wide encoding summary (EXPLAIN attrs, compression bench).
+struct TableEncodingStats {
+  ColumnEncodingStats columns;  ///< summed over slices × columns
+  size_t hot_rows = 0;          ///< row versions still in the raw hot tail
+  uint64_t compaction_epoch = 0;
 };
 
 /// Per-scan accounting for one slice (query-trace attribution; the global
@@ -195,8 +210,33 @@ class ColumnTable {
                                            const Column& target) const;
 
   /// Reclaim rows whose deletion committed at csn <= horizon and rows
-  /// created by aborted transactions; clears aborted deletexids.
+  /// created by aborted transactions; clears aborted deletexids. When
+  /// encoding is enabled, every full zone of the surviving data is then
+  /// compacted into its per-zone encoding (chosen from zone stats) — the
+  /// hot tail past the last full zone stays uncompressed, and zone-map
+  /// extrema are observed from the pre-encoding raw values during the
+  /// rebuild so pruning bounds stay exact.
   GroomStats Groom(Csn horizon, const TransactionManager& tm);
+
+  /// Runtime toggle for GROOM-time compaction (mirrors the table-level
+  /// effect of AcceleratorOptions::enable_encoding). Takes effect at the
+  /// next Groom; already-encoded zones keep decoding transparently.
+  void SetEncodingEnabled(bool enabled) {
+    encoding_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool encoding_enabled() const {
+    return encoding_enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Bumped by every Groom pass that newly encodes at least one zone:
+  /// cached results computed against the pre-compaction layout are
+  /// invalidated on the bump (physical layout changed; logical content did
+  /// not, but row order within rebuilt slices may have).
+  uint64_t compaction_epoch() const {
+    return compaction_epoch_.load(std::memory_order_acquire);
+  }
+
+  TableEncodingStats EncodingStats() const;
 
   /// Total stored row versions (live + not yet groomed).
   size_t NumVersions() const;
@@ -243,6 +283,8 @@ class ColumnTable {
   mutable std::shared_mutex mu_;
   std::vector<Slice> slices_;
   size_t round_robin_next_ = 0;
+  std::atomic<bool> encoding_enabled_{true};
+  std::atomic<uint64_t> compaction_epoch_{0};
 };
 
 }  // namespace idaa::accel

@@ -115,6 +115,10 @@ inline void RecordBatchAttrs(TraceSpan& span, const BatchScanStats& total) {
   span.Attr("batch_path", "true");
   span.Attr("morsels", static_cast<uint64_t>(total.morsels));
   span.Attr("batches", static_cast<uint64_t>(total.batches));
+  span.Attr("encoded_eval_rows",
+            static_cast<uint64_t>(total.rows_encoded_eval));
+  span.Attr("decode_fallback_rows",
+            static_cast<uint64_t>(total.rows_decode_fallback));
   char buf[32];
   double selectivity =
       total.rows_scanned > 0
@@ -124,11 +128,28 @@ inline void RecordBatchAttrs(TraceSpan& span, const BatchScanStats& total) {
   span.Attr("selectivity", buf);
 }
 
+/// Storage-layout summary of the scanned table on the scan span: zone
+/// counts per encoding and the footprint the encoded zones have vs. what
+/// the same rows would cost as flat arrays (EXPLAIN ANALYZE visibility
+/// into what compaction bought).
+inline void RecordEncodingAttrs(TraceSpan& span, const ColumnTable& table) {
+  const TableEncodingStats enc = table.EncodingStats();
+  if (enc.columns.encoded_rows == 0) return;
+  span.Attr("enc_zones_plain", static_cast<uint64_t>(enc.columns.zones_plain));
+  span.Attr("enc_zones_rle", static_cast<uint64_t>(enc.columns.zones_rle));
+  span.Attr("enc_zones_for", static_cast<uint64_t>(enc.columns.zones_for));
+  span.Attr("enc_bytes", static_cast<uint64_t>(enc.columns.encoded_bytes));
+  span.Attr("enc_raw_bytes", static_cast<uint64_t>(enc.columns.raw_bytes));
+  span.Attr("enc_hot_rows", static_cast<uint64_t>(enc.hot_rows));
+}
+
 inline void AddScanMetrics(MetricsRegistry* metrics,
                            const BatchScanStats& total) {
   if (metrics == nullptr) return;
   metrics->Add(metric::kAccelRowsScanned, total.rows_scanned);
   metrics->Add(metric::kAccelRowsSkippedZoneMap, total.rows_skipped_zone_map);
+  metrics->Add(metric::kAccelRowsEncodedEval, total.rows_encoded_eval);
+  metrics->Add(metric::kAccelRowsDecodeFallback, total.rows_decode_fallback);
 }
 
 }  // namespace idaa::accel

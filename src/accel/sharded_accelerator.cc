@@ -191,6 +191,13 @@ void ShardedAccelerator::SetBatchPathEnabled(bool enabled) {
   for (auto& shard : shards_) shard->SetBatchPathEnabled(enabled);
 }
 
+void ShardedAccelerator::SetEncodingEnabled(bool enabled) {
+  auto pin = AcquirePin();
+  encoding_enabled_ = enabled;
+  options_.enable_encoding = enabled;
+  for (auto& shard : shards_) shard->SetEncodingEnabled(enabled);
+}
+
 size_t ShardedAccelerator::NumTables() const {
   std::lock_guard<std::mutex> lock(policy_mu_);
   return dist_.size();
@@ -561,11 +568,19 @@ GroomStats ShardedAccelerator::GroomAll() {
   auto pin = AcquirePin();
   GroomStats total;
   for (auto& shard : shards_) {
-    // Per-shard groom: surviving shards keep reclaiming while one is down.
+    // Per-shard groom (and per-shard zone compaction): surviving shards
+    // keep reclaiming while one is down.
     if (shard->state() == AcceleratorState::kOffline) continue;
     GroomStats stats = shard->GroomAll();
     total.rows_examined += stats.rows_examined;
     total.rows_reclaimed += stats.rows_reclaimed;
+    total.zones_compacted += stats.zones_compacted;
+  }
+  // The shard-level compaction listeners are not wired (shards are
+  // internal); fan out one notification for the logical accelerator.
+  if ((total.rows_reclaimed > 0 || total.zones_compacted > 0) &&
+      compaction_listener_) {
+    compaction_listener_(ListTables());
   }
   return total;
 }
@@ -657,6 +672,7 @@ Status ShardedAccelerator::AddShard() {
       options_, tm_, metrics_, name_ + "#" + std::to_string(n - 1));
   fresh->set_fault_injector(injector_);
   fresh->SetBatchPathEnabled(batch_path_enabled_.load());
+  fresh->SetEncodingEnabled(encoding_enabled_.load());
 
   // All data movement happens inside one MVCC transaction: the new
   // placement becomes visible atomically at commit, and any failure

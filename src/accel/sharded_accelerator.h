@@ -108,6 +108,7 @@ class ShardedAccelerator : public Accelerator {
 
   void set_fault_injector(FaultInjector* injector) override;
   void SetBatchPathEnabled(bool enabled) override;
+  void SetEncodingEnabled(bool enabled) override;
 
   size_t NumTables() const override;
   Status AddTable(const TableInfo& info) override;

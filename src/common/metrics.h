@@ -36,6 +36,12 @@ inline constexpr const char* kDb2BytesMaterialized = "db2.bytes_materialized";
 inline constexpr const char* kAccelRowsScanned = "accel.rows_scanned";
 inline constexpr const char* kAccelRowsSkippedZoneMap =
     "accel.rows_skipped_zone_map";
+// Rows whose predicate was evaluated directly on an encoded zone (RLE /
+// frame-of-reference) vs. rows that needed a scratch decode first.
+inline constexpr const char* kAccelRowsEncodedEval =
+    "accel.rows_encoded_eval";
+inline constexpr const char* kAccelRowsDecodeFallback =
+    "accel.rows_decode_fallback";
 inline constexpr const char* kDb2RowsScanned = "db2.rows_scanned";
 inline constexpr const char* kGovernanceChecks = "governance.checks";
 inline constexpr const char* kQueriesRoutedToAccel = "router.queries_to_accel";

@@ -158,6 +158,13 @@ IdaaSystem::IdaaSystem(const SystemOptions& options)
             wlm_->result_cache().InvalidateTables(tables);
           });
     }
+    // GROOM compaction bumps the affected tables' compaction epochs: the
+    // physical layout (row order, zone encodings) changed without a
+    // logical data change, so cached results computed on the old layout
+    // are dropped the same way.
+    a->set_compaction_listener([this](const std::vector<std::string>& tables) {
+      wlm_->result_cache().InvalidateTables(tables);
+    });
   }
   default_connection_ = NewConnection();
 }

@@ -461,6 +461,68 @@ void AggregateAccumulator::AccumulateDouble(double v) {
   sum_sq_ += v * v;
 }
 
+void AggregateAccumulator::AccumulateInt64Run(int64_t v, uint64_t n) {
+  if (n == 0) return;
+  row_count_ += n;
+  non_null_count_ += n;
+  if (min_.is_null()) {
+    min_ = Value::Integer(v);
+    max_ = Value::Integer(v);
+  } else {
+    if (v < min_.AsInteger()) min_ = Value::Integer(v);
+    if (v > max_.AsInteger()) max_ = Value::Integer(v);
+  }
+  // n wrapping adds == one wrapping multiply-add (exact mod 2^64).
+  int_sum_ = static_cast<int64_t>(static_cast<uint64_t>(int_sum_) +
+                                  static_cast<uint64_t>(v) * n);
+  // Finalize never reads sum_/sum_sq_ for MIN/MAX/COUNT, nor for an
+  // integer-exact SUM; everywhere else float addition is order-dependent,
+  // so replay the adds to stay bit-identical with the unfolded path.
+  bool needs_sum =
+      func_ == AggFunc::kAvg || func_ == AggFunc::kStddev ||
+      func_ == AggFunc::kVariance ||
+      (func_ == AggFunc::kSum && result_type_ != DataType::kInteger);
+  if (needs_sum) {
+    double d = static_cast<double>(v);
+    if (func_ == AggFunc::kStddev || func_ == AggFunc::kVariance) {
+      double sq = d * d;
+      for (uint64_t i = 0; i < n; ++i) {
+        sum_ += d;
+        sum_sq_ += sq;
+      }
+    } else {
+      for (uint64_t i = 0; i < n; ++i) sum_ += d;
+    }
+  }
+}
+
+void AggregateAccumulator::AccumulateDoubleRun(double v, uint64_t n) {
+  if (n == 0) return;
+  row_count_ += n;
+  non_null_count_ += n;
+  if (min_.is_null()) {
+    min_ = Value::Double(v);
+    max_ = Value::Double(v);
+  } else {
+    if (v < min_.AsDouble()) min_ = Value::Double(v);
+    if (v > max_.AsDouble()) max_ = Value::Double(v);
+  }
+  int_exact_ = false;
+  bool needs_sum = func_ == AggFunc::kSum || func_ == AggFunc::kAvg ||
+                   func_ == AggFunc::kStddev || func_ == AggFunc::kVariance;
+  if (needs_sum) {
+    if (func_ == AggFunc::kStddev || func_ == AggFunc::kVariance) {
+      double sq = v * v;
+      for (uint64_t i = 0; i < n; ++i) {
+        sum_ += v;
+        sum_sq_ += sq;
+      }
+    } else {
+      for (uint64_t i = 0; i < n; ++i) sum_ += v;
+    }
+  }
+}
+
 Status AggregateAccumulator::Merge(const AggregateAccumulator& other) {
   if (distinct_ || other.distinct_) {
     return Status::NotSupported("DISTINCT aggregates cannot be merged");

@@ -41,6 +41,23 @@ class AggregateAccumulator {
     ++non_null_count_;
   }
 
+  // Run-folded fast paths for RLE-encoded input: each is exactly
+  // equivalent to calling the corresponding single-row method n times.
+  // Counters fold to += n; min/max update once; integer sums fold via
+  // one multiply (wrap-exact mod 2^64, matching n repeated wrapping
+  // adds). Floating-point sums are NOT associative, so sum_/sum_sq_
+  // replay the adds one by one unless Finalize never reads them for
+  // this aggregate — bit-identity with the row-at-a-time path is the
+  // contract the equivalence battery pins.
+  void AccumulateRowRun(uint64_t n) { row_count_ += n; }
+  void AccumulateNullRun(uint64_t n) { row_count_ += n; }
+  void AccumulateCountNonNullRun(uint64_t n) {
+    row_count_ += n;
+    non_null_count_ += n;
+  }
+  void AccumulateInt64Run(int64_t v, uint64_t n);
+  void AccumulateDoubleRun(double v, uint64_t n);
+
   /// Final aggregate value (SQL semantics: SUM/AVG/... of no rows is NULL,
   /// COUNT is 0).
   Value Finalize() const;

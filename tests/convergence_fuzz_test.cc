@@ -956,6 +956,119 @@ TEST_P(ConvergenceFuzz, ShardedReplicaConvergesUnderFaultsAndRebalance) {
   }
 }
 
+// Encoding arm: a randomized stream of DML, GROOM compaction and
+// encoding-enable/disable toggles runs against an accelerator with tiny
+// zones (every groom re-encodes real data) while 10% of channel and
+// accelerator crossings fail retryably. A clean serial reference with
+// encoding disabled must end with identical visible contents — zone
+// compression may change layout and timing, never results.
+TEST_P(ConvergenceFuzz, EncodedStorageConvergesUnderFaultsAndToggles) {
+  Rng rng(GetParam() + 21000);
+
+  SystemOptions ref_options;
+  ref_options.replication_batch_size = 0;
+  ref_options.accelerator.enable_encoding = false;
+  IdaaSystem reference(ref_options);
+
+  SystemOptions options;
+  options.replication_batch_size = 8;
+  options.accelerator.zone_size = 16;
+  options.accelerator.num_slices = 2;
+  options.accelerator.morsel_size = 32;
+  IdaaSystem encoded(options);
+
+  auto both = [&](const std::string& sql) {
+    auto ref = reference.Execute(sql);
+    ASSERT_TRUE(ref.ok()) << sql << ": " << ref.status().ToString();
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      auto got = encoded.Execute(sql);
+      if (got.ok()) return;
+      ASSERT_TRUE(got.status().retryable() ||
+                  got.status().code() == StatusCode::kConflict)
+          << "terminal error from " << sql << ": " << got.status().ToString();
+      std::this_thread::yield();
+    }
+    FAIL() << "retries exhausted for " << sql;
+  };
+
+  both("CREATE TABLE et (id INT NOT NULL, grp INT, v DOUBLE, s VARCHAR)");
+  both("CALL SYSPROC.ACCEL_ADD_TABLES('et')");
+
+  FaultSpec spec;
+  spec.probability = 0.1;
+  encoded.fault_injector().ArmChannel(spec);
+  encoded.fault_injector().Arm(FaultInjector::AcceleratorSite("ACCEL1"),
+                               spec);
+
+  int next_id = 0;
+  for (int op = 0; op < 120; ++op) {
+    int kind = static_cast<int>(rng.Uniform(0, 10));
+    if (kind <= 4 || next_id == 0) {
+      // Runs and small ranges so full zones land on RLE and FOR.
+      both(StrFormat("INSERT INTO et VALUES (%d, %d, %d.25, 'tag%d')",
+                     next_id, next_id / 8,
+                     static_cast<int>(rng.Uniform(0, 12)),
+                     next_id / 16));
+      ++next_id;
+    } else if (kind == 5) {
+      both(StrFormat("UPDATE et SET v = v + 1 WHERE grp = %d",
+                     static_cast<int>(rng.Uniform(0, 8))));
+    } else if (kind == 6) {
+      both(StrFormat("DELETE FROM et WHERE id %% 9 = %d",
+                     static_cast<int>(rng.Uniform(0, 8))));
+    } else if (kind == 7) {
+      for (int attempt = 0; attempt < 200; ++attempt) {
+        auto flushed = encoded.replication().Flush();
+        if (flushed.ok()) break;
+        ASSERT_TRUE(flushed.status().retryable())
+            << flushed.status().ToString();
+      }
+      ASSERT_TRUE(reference.replication().Flush().ok());
+    } else if (kind == 8) {
+      // Compaction mid-stream: encodes full zones, rebuilds zones with
+      // reclaimed rows. The reference grooms too (uncompressed rebuild).
+      both("CALL SYSPROC.ACCEL_GROOM()");
+    } else {
+      // Toggle: future grooms stop (or resume) compacting; existing
+      // encoded zones must keep serving reads either way.
+      encoded.accelerator().SetEncodingEnabled(rng.Uniform(0, 2) < 1);
+    }
+  }
+  encoded.accelerator().SetEncodingEnabled(true);
+
+  // Quiesce: drop the faults, drain replication, then compact once more so
+  // the final comparison reads from genuinely encoded zones.
+  encoded.fault_injector().Reset();
+  ASSERT_TRUE(reference.replication().Flush().ok());
+  bool drained = false;
+  for (int attempt = 0; attempt < 200 && !drained; ++attempt) {
+    auto flushed = encoded.replication().Flush();
+    ASSERT_TRUE(flushed.ok()) << flushed.status().ToString();
+    drained = flushed->misses == 0;
+  }
+  ASSERT_TRUE(drained);
+  encoded.accelerator().GroomAll();
+
+  for (const char* sql :
+       {"SELECT * FROM et",
+        "SELECT grp, COUNT(*), SUM(v), MIN(id), MAX(id) FROM et GROUP BY "
+        "grp"}) {
+    encoded.SetAccelerationMode(federation::AccelerationMode::kNone);
+    auto db2 = encoded.Query(sql);
+    ASSERT_TRUE(db2.ok()) << db2.status().ToString();
+    encoded.SetAccelerationMode(federation::AccelerationMode::kEligible);
+    auto enc_rows = encoded.Query(sql);
+    ASSERT_TRUE(enc_rows.ok()) << enc_rows.status().ToString();
+    reference.SetAccelerationMode(federation::AccelerationMode::kEligible);
+    auto ref_rows = reference.Query(sql);
+    ASSERT_TRUE(ref_rows.ok()) << ref_rows.status().ToString();
+    EXPECT_EQ(CanonicalRows(*db2), CanonicalRows(*enc_rows))
+        << "seed " << GetParam() << ": " << sql;
+    EXPECT_EQ(CanonicalRows(*ref_rows), CanonicalRows(*enc_rows))
+        << "seed " << GetParam() << ": " << sql;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ConvergenceFuzz,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
 

@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "accel/sharded_accelerator.h"
+#include "common/string_util.h"
 #include "idaa/system.h"
 #include "loader/record_source.h"
 
@@ -160,6 +162,124 @@ TEST(ConnectionExtraTest, SetRegisterWithSemicolonAndCase) {
   EXPECT_TRUE(
       system.Execute("set current query acceleration = none;").ok());
   EXPECT_EQ(system.acceleration_mode(), federation::AccelerationMode::kNone);
+}
+
+// ---------------------------------------------------------------------------
+// Per-zone encoding: decode fallback, shard re-home, cache invalidation
+// ---------------------------------------------------------------------------
+
+namespace {
+SystemOptions SmallZoneOptions() {
+  SystemOptions options;
+  options.accelerator.zone_size = 16;
+  options.accelerator.num_slices = 2;
+  options.accelerator.morsel_size = 32;
+  return options;
+}
+
+void SeedEncoded(IdaaSystem& system, const char* extra_ddl = "") {
+  ASSERT_TRUE(system
+                  .Execute(std::string("CREATE TABLE ztab (id INT NOT NULL, "
+                                       "grp INT, v DOUBLE) ") +
+                           extra_ddl + " IN ACCELERATOR")
+                  .ok());
+  for (int base = 0; base < 128; base += 32) {
+    std::string insert = "INSERT INTO ztab VALUES ";
+    for (int i = base; i < base + 32; ++i) {
+      if (i != base) insert += ", ";
+      insert += StrFormat("(%d, %d, %d.25)", i, i % 7, i / 16);
+    }
+    ASSERT_TRUE(system.Execute(insert).ok());
+  }
+}
+}  // namespace
+
+TEST(EncodingCoverageTest, CrossTypePredicateTakesDecodeFallback) {
+  IdaaSystem system(SmallZoneOptions());
+  SeedEncoded(system);
+  system.accelerator().GroomAll();  // sequential ids -> FOR-packed zones
+
+  // Same-type comparison evaluates directly on the packed form.
+  uint64_t enc_before = system.metrics().Get(metric::kAccelRowsEncodedEval);
+  auto direct = system.Query("SELECT COUNT(*) FROM ztab WHERE id > 10");
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(direct->At(0, 0).AsInteger(), 117);
+  EXPECT_GT(system.metrics().Get(metric::kAccelRowsEncodedEval), enc_before);
+
+  // A double literal against the INT column forces the per-zone scratch
+  // decode (Value::Compare cross-type rule has no packed specialization).
+  uint64_t fb_before = system.metrics().Get(metric::kAccelRowsDecodeFallback);
+  auto fallback = system.Query("SELECT COUNT(*) FROM ztab WHERE id > 10.5");
+  ASSERT_TRUE(fallback.ok());
+  EXPECT_EQ(fallback->At(0, 0).AsInteger(), 117);
+  EXPECT_GT(system.metrics().Get(metric::kAccelRowsDecodeFallback),
+            fb_before);
+}
+
+TEST(EncodingCoverageTest, AddShardRehomeReencodesMovedRows) {
+  SystemOptions options = SmallZoneOptions();
+  options.accelerator_shards = 2;
+  IdaaSystem system(options);
+  SeedEncoded(system, "DISTRIBUTE BY (grp)");
+  auto* sharded =
+      dynamic_cast<accel::ShardedAccelerator*>(&system.accelerator());
+  ASSERT_NE(sharded, nullptr);
+  sharded->GroomAll();
+
+  auto canonical_count = [&](const char* sql) {
+    auto rs = system.Query(sql);
+    EXPECT_TRUE(rs.ok()) << rs.status().ToString();
+    return rs.ok() ? rs->At(0, 0).AsInteger() : -1;
+  };
+  ASSERT_EQ(canonical_count("SELECT COUNT(*) FROM ztab"), 128);
+
+  // Online shard add re-homes partitioned rows; moved rows land in the new
+  // shard's hot tail and the next groom compacts them there.
+  ASSERT_TRUE(sharded->AddShard().ok());
+  ASSERT_EQ(canonical_count("SELECT COUNT(*) FROM ztab"), 128);
+  sharded->GroomAll();
+  ASSERT_EQ(canonical_count("SELECT COUNT(*) FROM ztab"), 128);
+
+  size_t encoded_rows = 0;
+  for (size_t s = 0; s < sharded->num_shards(); ++s) {
+    auto table = sharded->shard(s).GetTable("ztab");
+    ASSERT_TRUE(table.ok());
+    encoded_rows += (*table)->EncodingStats().columns.encoded_rows;
+  }
+  EXPECT_GT(encoded_rows, 0u);
+
+  auto sum = system.Query("SELECT SUM(id), SUM(v) FROM ztab");
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(sum->At(0, 0).AsInteger(), 128 * 127 / 2);
+}
+
+TEST(EncodingCoverageTest, ResultCacheDroppedOnCompactionEpochBump) {
+  IdaaSystem system(SmallZoneOptions());
+  SeedEncoded(system);
+
+  const std::string query = "SELECT grp, SUM(v) FROM ztab GROUP BY grp";
+  ASSERT_TRUE(system.Execute(query).ok());
+  auto hit = system.Execute(query);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit->result_cache, "hit");
+
+  // GROOM compacts full zones: no logical data change, but the physical
+  // layout the cached result was computed on is gone — the compaction
+  // epoch bumps and the entry is dropped.
+  auto table_before = system.accelerator().GetTable("ztab");
+  ASSERT_TRUE(table_before.ok());
+  uint64_t epoch_before = (*table_before)->compaction_epoch();
+  auto groomed = system.accelerator().GroomAll();
+  EXPECT_GT(groomed.zones_compacted, 0u);
+  EXPECT_GT((*table_before)->compaction_epoch(), epoch_before);
+
+  auto after = system.Execute(query);
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(after->result_cache, "hit");
+  // Identical results either way, and the re-stored entry serves again.
+  auto rehit = system.Execute(query);
+  ASSERT_TRUE(rehit.ok());
+  EXPECT_EQ(rehit->result_cache, "hit");
 }
 
 }  // namespace

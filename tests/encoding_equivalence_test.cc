@@ -1,0 +1,545 @@
+// Encoding equivalence battery: per-zone compression (RLE,
+// frame-of-reference bit-packing, null bitmaps) must be invisible to
+// every consumer. Each query shape runs three ways — DB2 row engine,
+// accelerator before GROOM compaction (all rows in the uncompressed hot
+// tail), accelerator after compaction (cold prefix encoded) — and all
+// three must agree bit-for-bit, across threads {1,2,8} x shards {1,4}.
+//
+// The seed deliberately hits every encoding x type corner the storage
+// format defines:
+//   - sequential INTs            -> frame-of-reference bit-packing,
+//   - long runs (INT/DOUBLE/     -> RLE, including single-run zones of a
+//     VARCHAR codes)                constant column,
+//   - INT64 extrema              -> span overflow, zone must stay plain,
+//   - negative FOR deltas        -> for_base < 0,
+//   - all-NULL and no-NULL zones -> null-bitmap presence/absence,
+//   - NULL positions             -> decode to exactly 0/0.0/code-0.
+//
+// Bit-identity (not epsilon equality) is intentional: doubles in the seed
+// are FP-exact multiples of 0.25, encoded evaluation feeds accumulators
+// the same values in the same order as the raw path, and run-folded
+// accumulator updates replay float additions element-wise. Any divergence
+// is a real encoding bug, never FP noise.
+//
+// A direct Column-level section pins the storage format itself (encoding
+// choice per zone, byte accounting, cursor reads), and a GROOM-races-scan
+// regression (AnalyticsPinTest style) pins the compaction locking
+// protocol under concurrent readers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "accel/column.h"
+#include "accel/column_table.h"
+#include "common/string_util.h"
+#include "idaa/system.h"
+
+namespace idaa {
+namespace {
+
+using accel::Column;
+using accel::ColumnCursor;
+using accel::ColumnEncodingStats;
+using accel::ZoneEncoding;
+
+federation::ExecOptions NoResultCache() {
+  federation::ExecOptions opts;
+  opts.use_result_cache = false;
+  return opts;
+}
+
+/// %.17g round-trips every double exactly: equal canonical text means
+/// bit-identical values.
+std::vector<std::string> Canonical(const ResultSet& rs, bool keep_order) {
+  std::vector<std::string> lines;
+  lines.reserve(rs.NumRows());
+  for (const Row& row : rs.rows()) {
+    std::string line;
+    for (const Value& v : row) {
+      if (v.is_double()) {
+        line += StrFormat("%.17g", v.AsDouble());
+      } else {
+        line += v.ToString();
+      }
+      line += "|";
+    }
+    lines.push_back(std::move(line));
+  }
+  if (!keep_order) std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+constexpr int64_t kInt64Lo = std::numeric_limits<int64_t>::min() + 1;
+constexpr int64_t kInt64Hi = std::numeric_limits<int64_t>::max();
+
+// ---------------------------------------------------------------------------
+// Three-way SQL battery, threads x shards
+// ---------------------------------------------------------------------------
+
+class EncodingEquivalence
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {
+ protected:
+  void SetUp() override {
+    SystemOptions options;
+    options.accelerator.num_threads = std::get<0>(GetParam());
+    options.accelerator_shards = std::get<1>(GetParam());
+    options.accelerator.num_slices = 3;
+    options.accelerator.zone_size = 16;
+    options.accelerator.morsel_size = 32;
+    system_ = std::make_unique<IdaaSystem>(options);
+    Seed(*system_);
+  }
+
+  static void Seed(IdaaSystem& system) {
+    ASSERT_TRUE(system
+                    .Execute("CREATE TABLE enc_orders (id INT NOT NULL, "
+                             "grp INT, day INT, amount DOUBLE, "
+                             "region VARCHAR, extreme INT, neg INT, "
+                             "allnull INT, constv INT) DISTRIBUTE BY (grp)")
+                    .ok());
+    ASSERT_TRUE(system
+                    .Execute("CREATE TABLE enc_custs (cid INT NOT NULL, "
+                             "tier VARCHAR)")
+                    .ok());
+    const char* regions[] = {"NORTH", "SOUTH", "EAST", "WEST"};
+    const char* tiers[] = {"GOLD", "SILVER", "BRONZE"};
+    for (int c = 0; c < 23; ++c) {
+      ASSERT_TRUE(
+          system
+              .Execute(StrFormat("INSERT INTO enc_custs VALUES (%d, '%s')", c,
+                                 tiers[c % 3]))
+              .ok());
+    }
+    for (int base = 0; base < 240; base += 48) {
+      std::string insert = "INSERT INTO enc_orders VALUES ";
+      for (int i = base; i < base + 48; ++i) {
+        if (i != base) insert += ", ";
+        // grp: 0..22 with NULLs; day: runs of 20; amount: FP-exact,
+        // piecewise constant per day with NULL breaks; region: runs of
+        // 10; extreme: INT64 extrema mixed with small values; neg:
+        // negative frame-of-reference range; allnull/constv as named.
+        std::string grp = i % 9 == 4 ? "NULL" : std::to_string((i * 7) % 23);
+        std::string amount =
+            i % 13 == 0 ? "NULL"
+                        : StrFormat("%.2f", ((i / 20) % 97) * 0.25);
+        int64_t extreme = i % 3 == 0   ? kInt64Lo
+                          : i % 3 == 1 ? kInt64Hi
+                                       : static_cast<int64_t>(i);
+        insert += StrFormat(
+            "(%d, %s, %d, %s, '%s', %lld, %d, NULL, 42)", i, grp.c_str(),
+            i / 20, amount.c_str(), regions[(i / 10) % 4],
+            static_cast<long long>(extreme), -(1000 + i % 50));
+      }
+      ASSERT_TRUE(system.Execute(insert).ok());
+    }
+    ASSERT_TRUE(
+        system.Execute("CALL SYSPROC.ACCEL_ADD_TABLES('enc_orders')").ok());
+    ASSERT_TRUE(
+        system.Execute("CALL SYSPROC.ACCEL_ADD_TABLES('enc_custs')").ok());
+    ASSERT_TRUE(system.replication().Flush().ok());
+  }
+
+  /// The full query battery, canonicalized. Order-insensitive except for
+  /// explicit ORDER BY shapes.
+  std::vector<std::vector<std::string>> RunBattery() {
+    static const struct {
+      const char* sql;
+      bool ordered;
+    } kShapes[] = {
+        {"SELECT * FROM enc_orders", false},
+        // Range/equality filters over every encoding.
+        {"SELECT id, day FROM enc_orders WHERE id >= 37 AND id < 181", false},
+        {"SELECT id FROM enc_orders WHERE day = 5", false},
+        {"SELECT id FROM enc_orders WHERE day BETWEEN 3 AND 7", false},
+        {"SELECT id, amount FROM enc_orders WHERE amount > 0.5", false},
+        {"SELECT id FROM enc_orders WHERE region = 'EAST'", false},
+        {"SELECT id FROM enc_orders WHERE region > 'NORTH'", false},
+        {"SELECT id FROM enc_orders WHERE neg < -1025", false},
+        {"SELECT id FROM enc_orders WHERE extreme > 0", false},
+        {"SELECT id FROM enc_orders WHERE constv = 42 AND id < 50", false},
+        {"SELECT id FROM enc_orders WHERE grp IS NULL", false},
+        {"SELECT id FROM enc_orders WHERE allnull IS NULL AND id > 200",
+         false},
+        // Cross-type literal against an INT column: the deliberate
+        // decode-fallback shape on FOR-packed zones.
+        {"SELECT id FROM enc_orders WHERE id > 100.5", false},
+        // Scalar aggregates (run-folded on RLE zones).
+        {"SELECT COUNT(*), COUNT(grp), COUNT(allnull) FROM enc_orders",
+         false},
+        {"SELECT SUM(id), SUM(amount), SUM(constv) FROM enc_orders", false},
+        {"SELECT AVG(amount), STDDEV(amount) FROM enc_orders", false},
+        {"SELECT MIN(neg), MAX(neg), MIN(extreme), MAX(extreme) "
+         "FROM enc_orders",
+         false},
+        {"SELECT MIN(amount), MAX(amount), AVG(day) FROM enc_orders "
+         "WHERE id >= 60",
+         false},
+        // Grouped aggregates (VARCHAR and RLE INT keys).
+        {"SELECT region, COUNT(*), SUM(amount) FROM enc_orders "
+         "GROUP BY region",
+         false},
+        {"SELECT day, COUNT(grp), AVG(amount), MIN(id), MAX(id) "
+         "FROM enc_orders GROUP BY day",
+         false},
+        {"SELECT DISTINCT region FROM enc_orders", false},
+        // Joins against a broadcast dimension.
+        {"SELECT c.tier, COUNT(*), SUM(o.amount) FROM enc_orders o "
+         "JOIN enc_custs c ON o.grp = c.cid GROUP BY c.tier",
+         false},
+        {"SELECT o.id, c.tier FROM enc_orders o JOIN enc_custs c "
+         "ON o.grp = c.cid WHERE o.day = 2",
+         false},
+        // Ordered shapes compare in order.
+        {"SELECT id, region FROM enc_orders ORDER BY id LIMIT 20", true},
+        {"SELECT id, neg FROM enc_orders WHERE day >= 8 ORDER BY id", true},
+    };
+    std::vector<std::vector<std::string>> out;
+    for (const auto& shape : kShapes) {
+      auto rs = system_->Execute(shape.sql, NoResultCache());
+      EXPECT_TRUE(rs.ok()) << shape.sql << "\n" << rs.status().ToString();
+      out.push_back(rs.ok() ? Canonical(rs->rows, shape.ordered)
+                            : std::vector<std::string>{"<error>"});
+    }
+    return out;
+  }
+
+  static const char* ShapeName(size_t idx) {
+    return "battery shape index";
+  }
+
+  std::unique_ptr<IdaaSystem> system_;
+};
+
+TEST_P(EncodingEquivalence, ThreeWayBitIdentity) {
+  // Leg 1: DB2 row engine.
+  system_->SetAccelerationMode(federation::AccelerationMode::kNone);
+  auto db2 = RunBattery();
+
+  // Leg 2: accelerator, everything still in the uncompressed hot tail.
+  system_->SetAccelerationMode(federation::AccelerationMode::kEligible);
+  auto raw = RunBattery();
+
+  // Leg 3: accelerator after GROOM compacted full zones.
+  auto groomed = system_->accelerator().GroomAll();
+  EXPECT_GT(groomed.zones_compacted, 0u);
+  auto encoded = RunBattery();
+
+  ASSERT_EQ(db2.size(), raw.size());
+  ASSERT_EQ(db2.size(), encoded.size());
+  for (size_t i = 0; i < db2.size(); ++i) {
+    EXPECT_EQ(db2[i], raw[i]) << "db2 vs raw accel, shape " << i;
+    EXPECT_EQ(raw[i], encoded[i]) << "raw vs encoded accel, shape " << i;
+  }
+
+  // Toggling encoding off must not change anything already encoded:
+  // existing zones keep decoding transparently.
+  system_->accelerator().SetEncodingEnabled(false);
+  auto toggled = RunBattery();
+  for (size_t i = 0; i < db2.size(); ++i) {
+    EXPECT_EQ(encoded[i], toggled[i]) << "encoding toggle, shape " << i;
+  }
+  system_->accelerator().SetEncodingEnabled(true);
+}
+
+TEST_P(EncodingEquivalence, AnalyticsOverEncodedZonesMatchesRaw) {
+  // The IDAA.* analytics operators read through the same scan paths as
+  // SQL; their outputs must be bit-identical whether the input table's
+  // zones are flat or encoded. Analytics over hash-distributed inputs is
+  // out of scope on sharded accelerators (DESIGN.md §10 — broadcast
+  // inputs only), so this leg runs on the single-shard instances.
+  if (std::get<1>(GetParam()) > 1) GTEST_SKIP();
+  system_->SetAccelerationMode(federation::AccelerationMode::kEligible);
+  ASSERT_TRUE(system_
+                  ->Execute("CALL IDAA.SUMMARIZE('input=enc_orders', "
+                            "'output=enc_sum_raw')")
+                  .ok());
+  ASSERT_TRUE(system_
+                  ->Execute("CALL IDAA.KMEANS('input=enc_orders', "
+                            "'output=enc_k_raw', 'columns=id,day,neg', "
+                            "'k=3', 'seed=5')")
+                  .ok());
+  auto sum_raw = system_->Execute("SELECT * FROM enc_sum_raw");
+  auto k_raw = system_->Execute("SELECT * FROM enc_k_raw");
+  ASSERT_TRUE(sum_raw.ok());
+  ASSERT_TRUE(k_raw.ok());
+
+  auto groomed = system_->accelerator().GroomAll();
+  EXPECT_GT(groomed.zones_compacted, 0u);
+  ASSERT_TRUE(system_
+                  ->Execute("CALL IDAA.SUMMARIZE('input=enc_orders', "
+                            "'output=enc_sum_enc')")
+                  .ok());
+  ASSERT_TRUE(system_
+                  ->Execute("CALL IDAA.KMEANS('input=enc_orders', "
+                            "'output=enc_k_enc', 'columns=id,day,neg', "
+                            "'k=3', 'seed=5')")
+                  .ok());
+  auto sum_enc = system_->Execute("SELECT * FROM enc_sum_enc");
+  auto k_enc = system_->Execute("SELECT * FROM enc_k_enc");
+  ASSERT_TRUE(sum_enc.ok());
+  ASSERT_TRUE(k_enc.ok());
+
+  EXPECT_EQ(Canonical(sum_raw->rows, false), Canonical(sum_enc->rows, false))
+      << "SUMMARIZE raw vs encoded";
+  EXPECT_EQ(Canonical(k_raw->rows, false), Canonical(k_enc->rows, false))
+      << "KMEANS raw vs encoded";
+}
+
+TEST_P(EncodingEquivalence, DmlOnTopOfEncodedZonesConverges) {
+  system_->SetAccelerationMode(federation::AccelerationMode::kEligible);
+  system_->accelerator().GroomAll();
+
+  // Appends land in the hot tail on top of encoded zones; updates and
+  // deletes against encoded rows go through the rebuild path on the next
+  // groom. The DB2 engine stays authoritative throughout.
+  ASSERT_TRUE(system_
+                  ->Execute("INSERT INTO enc_orders VALUES (500, 3, 25, "
+                            "1.25, 'NORTH', 7, -1100, NULL, 42)")
+                  .ok());
+  ASSERT_TRUE(
+      system_->Execute("UPDATE enc_orders SET amount = 9.75 WHERE day = 4")
+          .ok());
+  ASSERT_TRUE(
+      system_->Execute("DELETE FROM enc_orders WHERE id >= 200 AND id < 220")
+          .ok());
+  ASSERT_TRUE(system_->replication().Flush().ok());
+  system_->accelerator().GroomAll();
+
+  auto accel = RunBattery();
+  system_->SetAccelerationMode(federation::AccelerationMode::kNone);
+  auto db2 = RunBattery();
+  for (size_t i = 0; i < db2.size(); ++i) {
+    EXPECT_EQ(db2[i], accel[i]) << "post-DML, shape " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsShards, EncodingEquivalence,
+    ::testing::Combine(::testing::Values<size_t>(1, 2, 8),
+                       ::testing::Values<size_t>(1, 4)),
+    [](const ::testing::TestParamInfo<std::tuple<size_t, size_t>>& info) {
+      return "t" + std::to_string(std::get<0>(info.param)) + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Column-level storage format pins
+// ---------------------------------------------------------------------------
+
+TEST(ColumnEncodingTest, SequentialIntsPickForPacked) {
+  Column col(DataType::kInteger);
+  for (int64_t i = 0; i < 64; ++i) {
+    ASSERT_TRUE(col.Append(Value::Integer(1000 + i)).ok());
+  }
+  col.CompactZones(16);
+  ASSERT_EQ(col.encoded_zone_count(), 4u);
+  ColumnEncodingStats stats = col.EncodingStats();
+  EXPECT_EQ(stats.zones_for, 4u);
+  EXPECT_LT(stats.encoded_bytes, stats.raw_bytes);
+  ColumnCursor cur(col);
+  for (size_t i = 0; i < 64; ++i) {
+    EXPECT_FALSE(cur.IsNull(i));
+    EXPECT_EQ(cur.Int(i), 1000 + static_cast<int64_t>(i)) << i;
+    EXPECT_EQ(col.RawInt(i), 1000 + static_cast<int64_t>(i)) << i;
+  }
+}
+
+TEST(ColumnEncodingTest, NegativeBaseForPacked) {
+  Column col(DataType::kInteger);
+  for (int64_t i = 0; i < 32; ++i) {
+    ASSERT_TRUE(col.Append(Value::Integer(-5000 + i * 3)).ok());
+  }
+  col.CompactZones(16);
+  ASSERT_EQ(col.EncodingStats().zones_for, 2u);
+  for (size_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(col.RawInt(i), -5000 + static_cast<int64_t>(i) * 3) << i;
+  }
+}
+
+TEST(ColumnEncodingTest, Int64ExtremaSpanOverflowStaysPlain) {
+  Column col(DataType::kInteger);
+  for (int64_t i = 0; i < 16; ++i) {
+    ASSERT_TRUE(
+        col.Append(Value::Integer(i % 2 == 0 ? kInt64Lo : kInt64Hi)).ok());
+  }
+  col.CompactZones(16);
+  // Alternating extrema: RLE degenerates to 16 runs, the FOR span
+  // overflows 64 bits — the zone must stay plain and read back exactly.
+  ASSERT_EQ(col.encoded_zone_count(), 1u);
+  EXPECT_EQ(col.encoded_zone(0).encoding, ZoneEncoding::kPlain);
+  for (size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(col.RawInt(i), i % 2 == 0 ? kInt64Lo : kInt64Hi) << i;
+  }
+}
+
+TEST(ColumnEncodingTest, ConstantColumnSingleRunRle) {
+  Column col(DataType::kInteger);
+  for (int64_t i = 0; i < 48; ++i) {
+    ASSERT_TRUE(col.Append(Value::Integer(7)).ok());
+  }
+  col.CompactZones(16);
+  ColumnEncodingStats stats = col.EncodingStats();
+  EXPECT_EQ(stats.zones_rle, 3u);
+  for (size_t zi = 0; zi < 3; ++zi) {
+    EXPECT_EQ(col.encoded_zone(zi).run_ends.size(), 1u) << zi;
+  }
+  ColumnCursor cur(col);
+  // RunEnd exposes the whole zone as one run to aggregate folding.
+  EXPECT_EQ(cur.RunEnd(0), 16u);
+  EXPECT_EQ(cur.RunEnd(20), 32u);
+  for (size_t i = 0; i < 48; ++i) EXPECT_EQ(col.RawInt(i), 7) << i;
+}
+
+TEST(ColumnEncodingTest, AllNullAndNoNullZones) {
+  Column col(DataType::kInteger);
+  for (int64_t i = 0; i < 16; ++i) {
+    ASSERT_TRUE(col.Append(Value::Null()).ok());
+  }
+  for (int64_t i = 0; i < 16; ++i) {
+    ASSERT_TRUE(col.Append(Value::Integer(i)).ok());
+  }
+  col.CompactZones(16);
+  ASSERT_EQ(col.encoded_zone_count(), 2u);
+  // The no-NULL zone stores no bitmap at all.
+  EXPECT_FALSE(col.encoded_zone(0).null_bits.empty());
+  EXPECT_TRUE(col.encoded_zone(1).null_bits.empty());
+  for (size_t i = 0; i < 16; ++i) {
+    EXPECT_TRUE(col.IsNull(i)) << i;
+    // NULL positions decode to exactly 0 in both regions.
+    EXPECT_EQ(col.RawInt(i), 0) << i;
+    EXPECT_TRUE(col.Get(i).is_null()) << i;
+  }
+  for (size_t i = 16; i < 32; ++i) {
+    EXPECT_FALSE(col.IsNull(i)) << i;
+    EXPECT_EQ(col.RawInt(i), static_cast<int64_t>(i) - 16) << i;
+  }
+}
+
+TEST(ColumnEncodingTest, DoubleRunsAndVarcharCodes) {
+  Column dbl(DataType::kDouble);
+  Column str(DataType::kVarchar);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(dbl.Append(i % 13 == 0 ? Value::Null()
+                                       : Value::Double((i / 16) * 0.25))
+                    .ok());
+    ASSERT_TRUE(
+        str.Append(Value::Varchar(i / 8 % 2 == 0 ? "AAA" : "BBB")).ok());
+  }
+  dbl.CompactZones(16);
+  str.CompactZones(16);
+  EXPECT_GT(dbl.EncodingStats().zones_rle, 0u);
+  EXPECT_GT(str.EncodingStats().zones_rle + str.EncodingStats().zones_for,
+            0u);
+  for (size_t i = 0; i < 64; ++i) {
+    if (i % 13 == 0) {
+      EXPECT_TRUE(dbl.IsNull(i)) << i;
+      EXPECT_EQ(dbl.RawDouble(i), 0.0) << i;
+    } else {
+      EXPECT_EQ(dbl.RawDouble(i), (i / 16) * 0.25) << i;
+    }
+    EXPECT_EQ(str.DictEntry(str.RawCode(i)), i / 8 % 2 == 0 ? "AAA" : "BBB")
+        << i;
+  }
+}
+
+TEST(ColumnEncodingTest, HotTailStaysUncompressedAndAppendable) {
+  Column col(DataType::kInteger);
+  for (int64_t i = 0; i < 40; ++i) {
+    ASSERT_TRUE(col.Append(Value::Integer(i)).ok());
+  }
+  col.CompactZones(16);
+  // 2 full zones encode; 8 rows stay in the tail; appends extend it.
+  EXPECT_EQ(col.encoded_rows(), 32u);
+  EXPECT_EQ(col.size(), 40u);
+  ASSERT_TRUE(col.Append(Value::Integer(99)).ok());
+  EXPECT_EQ(col.size(), 41u);
+  EXPECT_EQ(col.RawInt(40), 99);
+  for (size_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(col.RawInt(i), static_cast<int64_t>(i)) << i;
+  }
+  // A later compaction picks up the grown tail.
+  for (int64_t i = 41; i < 64; ++i) {
+    ASSERT_TRUE(col.Append(Value::Integer(i)).ok());
+  }
+  col.CompactZones(16);
+  EXPECT_EQ(col.encoded_rows(), 64u);
+}
+
+// ---------------------------------------------------------------------------
+// GROOM compaction racing concurrent scans (AnalyticsPinTest style)
+// ---------------------------------------------------------------------------
+
+TEST(EncodingGroomRaceTest, CompactionUnderConcurrentScansStaysConsistent) {
+  SystemOptions options;
+  options.accelerator.num_threads = 4;
+  options.accelerator.num_slices = 2;
+  options.accelerator.zone_size = 16;
+  options.accelerator.morsel_size = 32;
+  IdaaSystem system(options);
+  ASSERT_TRUE(system
+                  .Execute("CREATE TABLE race_t (id INT NOT NULL, day INT, "
+                           "amount DOUBLE, region VARCHAR) IN ACCELERATOR")
+                  .ok());
+  const char* regions[] = {"NORTH", "SOUTH", "EAST", "WEST"};
+  for (int base = 0; base < 240; base += 48) {
+    std::string insert = "INSERT INTO race_t VALUES ";
+    for (int i = base; i < base + 48; ++i) {
+      if (i != base) insert += ", ";
+      insert += StrFormat("(%d, %d, %.2f, '%s')", i, i / 20,
+                          ((i / 20) % 7) * 0.25, regions[(i / 10) % 4]);
+    }
+    ASSERT_TRUE(system.Execute(insert).ok());
+  }
+
+  const std::string query =
+      "SELECT region, COUNT(*), SUM(amount), MIN(id), MAX(id) FROM race_t "
+      "WHERE id < 240 GROUP BY region";
+  auto baseline_rs = system.Query(query);
+  ASSERT_TRUE(baseline_rs.ok());
+  const std::vector<std::string> baseline = Canonical(*baseline_rs, false);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> scanners;
+  for (int t = 0; t < 3; ++t) {
+    scanners.emplace_back([&] {
+      auto conn = system.NewConnection();
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto rs = conn->Query(query);
+        if (!rs.ok() || Canonical(*rs, false) != baseline) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  // Churn: append disjoint rows, delete them again (dead versions force
+  // the groom rebuild path), compact — repeatedly, under the scanners.
+  for (int round = 0; round < 8; ++round) {
+    std::string insert = "INSERT INTO race_t VALUES ";
+    for (int i = 0; i < 32; ++i) {
+      if (i != 0) insert += ", ";
+      insert += StrFormat("(%d, 99, 0.5, 'TEMP')", 1000 + round * 100 + i);
+    }
+    ASSERT_TRUE(system.Execute(insert).ok());
+    ASSERT_TRUE(system.Execute("DELETE FROM race_t WHERE id >= 1000").ok());
+    system.accelerator().GroomAll();
+  }
+  stop.store(true);
+  for (auto& th : scanners) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  auto final_rs = system.Query(query);
+  ASSERT_TRUE(final_rs.ok());
+  EXPECT_EQ(Canonical(*final_rs, false), baseline);
+}
+
+}  // namespace
+}  // namespace idaa
